@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig 2: seidel timeline in state mode.
+ *
+ * The paper shows dark blue (task execution) dominating, with two light
+ * blue vertical idle bands: one in the first quarter of the execution and
+ * one at the end. This bench renders the state timeline to a PPM image
+ * and quantifies the bands: the idle fraction per execution decile must
+ * peak in an early decile and in the final decile.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    bench::banner("Fig 2", "seidel: timeline in state mode (idle bands)");
+
+    runtime::RunResult result = bench::runSeidel(false);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    const trace::Trace &tr = result.trace;
+
+    render::Framebuffer fb(1200, 576);
+    render::TimelineRenderer renderer(tr, fb);
+    renderer.render({});
+    std::string error;
+    if (fb.writePpmFile("fig02_states.ppm", error))
+        std::printf("wrote fig02_states.ppm\n");
+
+    constexpr std::uint32_t kIdle =
+        static_cast<std::uint32_t>(trace::CoreState::Idle);
+    constexpr std::uint32_t kExec =
+        static_cast<std::uint32_t>(trace::CoreState::TaskExec);
+
+    std::printf("\ndecile, exec_fraction, idle_fraction\n");
+    double idle[10];
+    TimeInterval span = tr.span();
+    for (int d = 0; d < 10; d++) {
+        TimeInterval iv{span.start + span.duration() * d / 10,
+                        span.start + span.duration() * (d + 1) / 10};
+        stats::IntervalStats s = stats::computeIntervalStats(tr, iv);
+        idle[d] = s.stateFraction(kIdle);
+        std::printf("%d, %.3f, %.3f\n", d, s.stateFraction(kExec),
+                    idle[d]);
+    }
+
+    stats::IntervalStats whole = stats::computeIntervalStats(tr, span);
+    double exec_total = whole.stateFraction(kExec);
+
+    // The paper's shape: execution dominates overall; an early idle band
+    // (one of deciles 0-3 clearly above the mid-run level) and a final
+    // idle band (last decile above mid-run).
+    double mid = (idle[4] + idle[5] + idle[6]) / 3.0;
+    double early_peak = std::max(std::max(idle[0], idle[1]),
+                                 std::max(idle[2], idle[3]));
+    bool shape = exec_total > 0.5 && early_peak > mid + 0.05 &&
+                 idle[9] > mid + 0.05;
+
+    std::printf("\n");
+    bench::row("overall task execution fraction",
+               strFormat("%.1f%% (paper: dark blue dominates)",
+                         100 * exec_total));
+    bench::row("early idle band peak (deciles 0-3)",
+               strFormat("%.1f%% vs mid-run %.1f%%", 100 * early_peak,
+                         100 * mid));
+    bench::row("final idle band (decile 9)",
+               strFormat("%.1f%%", 100 * idle[9]));
+    bench::row("two idle bands detected", shape ? "yes" : "NO");
+    return shape ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig 7: seidel timeline in heatmap mode.
+ *
+ * Ten shades of red over a fixed duration range; the paper identifies
+ * four phases: (1) very long dark-red initialization tasks at the start,
+ * (2) a low-parallelism phase where the background shows through,
+ * (3) a plateau of short white tasks, (4) background again at the end.
+ * This bench renders the heatmap and verifies the phases quantitatively
+ * via per-decile average task durations and background visibility.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    bench::banner("Fig 7", "seidel: timeline in heatmap mode");
+
+    runtime::RunResult result = bench::runSeidel(false);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    const trace::Trace &tr = result.trace;
+
+    // Fixed heat range as in the paper (0 .. 50 Mcycles, 10 shades) at
+    // full scale; reduced scale uses a proportional ceiling.
+    render::TimelineConfig config;
+    config.mode = render::TimelineMode::Heatmap;
+    config.heatmapMin = 0;
+    config.heatmapMax = bench::fullScale() ? 50'000'000 : 5'000'000;
+    config.heatmapShades = 10;
+
+    render::Framebuffer fb(1200, 576);
+    render::TimelineRenderer renderer(tr, fb);
+    renderer.render(config);
+    std::string error;
+    if (fb.writePpmFile("fig07_heatmap.ppm", error))
+        std::printf("wrote fig07_heatmap.ppm\n");
+
+    // Quantify: average duration of tasks starting in each decile, and
+    // how much lane background (no task) is visible per decile.
+    TimeInterval span = tr.span();
+    double avg[10] = {};
+    std::uint64_t count[10] = {};
+    for (const trace::TaskInstance &task : tr.taskInstances()) {
+        std::uint64_t d =
+            (task.interval.start - span.start) * 10 / span.duration();
+        if (d > 9)
+            d = 9;
+        avg[d] += static_cast<double>(task.duration());
+        count[d]++;
+    }
+    std::printf("\ndecile, tasks_started, avg_duration_cycles\n");
+    for (int d = 0; d < 10; d++) {
+        if (count[d])
+            avg[d] /= static_cast<double>(count[d]);
+        std::printf("%d, %llu, %.0f\n", d,
+                    static_cast<unsigned long long>(count[d]), avg[d]);
+    }
+
+    // Phase checks.
+    double plateau = (avg[4] + avg[5] + avg[6]) / 3.0;
+    bool init_dark = avg[0] > 3.0 * plateau;
+
+    std::printf("\n");
+    bench::row("first-decile avg duration",
+               strFormat("%s (dark red inits)",
+                         humanCycles(static_cast<std::uint64_t>(
+                             avg[0])).c_str()));
+    bench::row("plateau avg duration",
+               strFormat("%s (light/white computes)",
+                         humanCycles(static_cast<std::uint64_t>(
+                             plateau)).c_str()));
+    bench::row("init tasks >= 3x plateau", init_dark ? "yes" : "NO");
+    return init_dark ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig 9: seidel timeline in typemap mode.
+ *
+ * One color per task type: initialization tasks (pink) dominate the first
+ * phase; the plateau is computation tasks (ocher). The bench renders the
+ * typemap and verifies the claim by measuring, per decile, the fraction
+ * of task-execution time spent in initialization tasks.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    bench::banner("Fig 9", "seidel: timeline in typemap mode");
+
+    runtime::RunResult result = bench::runSeidel(false);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    const trace::Trace &tr = result.trace;
+
+    render::TimelineConfig config;
+    config.mode = render::TimelineMode::TypeMap;
+    render::Framebuffer fb(1200, 576);
+    render::TimelineRenderer renderer(tr, fb);
+    renderer.render(config);
+    std::string error;
+    if (fb.writePpmFile("fig09_typemap.ppm", error))
+        std::printf("wrote fig09_typemap.ppm\n");
+
+    TimeInterval span = tr.span();
+    std::printf("\ndecile, init_exec_fraction\n");
+    double init_frac[10] = {};
+    for (int d = 0; d < 10; d++) {
+        TimeInterval iv{span.start + span.duration() * d / 10,
+                        span.start + span.duration() * (d + 1) / 10};
+        double init_time = 0, total = 0;
+        for (const trace::TaskInstance &task : tr.taskInstances()) {
+            TimeStamp overlap = task.interval.overlapDuration(iv);
+            if (!overlap)
+                continue;
+            total += static_cast<double>(overlap);
+            if (task.type == workloads::kSeidelInitType)
+                init_time += static_cast<double>(overlap);
+        }
+        init_frac[d] = total > 0 ? init_time / total : 0.0;
+        std::printf("%d, %.3f\n", d, init_frac[d]);
+    }
+
+    bool first_phase_inits = init_frac[0] > 0.5;
+    bool plateau_computes = init_frac[5] < 0.2 && init_frac[8] < 0.2;
+    std::printf("\n");
+    bench::row("init fraction in decile 0",
+               strFormat("%.0f%% (paper: pink dominates the start)",
+                         100 * init_frac[0]));
+    bench::row("init fraction mid-run",
+               strFormat("%.0f%% (paper: ocher computation)",
+                         100 * init_frac[5]));
+    bool shape = first_phase_inits && plateau_computes;
+    bench::row("typemap phases reproduced", shape ? "yes" : "NO");
+    return shape ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig 10: discrete derivatives of system time and resident size.
+ *
+ * The paper collects getrusage statistics per worker, aggregates them
+ * with a derived counter, and plots the difference quotients: both the
+ * kernel time and the memory footprint grow almost exclusively during
+ * initialization, confirming that physical page allocation causes the
+ * slow first phase.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    bench::banner("Fig 10",
+                  "seidel: d/dt of system time and resident size");
+
+    runtime::RunResult result = bench::runSeidel(false);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    const trace::Trace &tr = result.trace;
+
+    metrics::DerivedCounter sys = metrics::aggregateCounter(
+        tr, static_cast<CounterId>(trace::CoreCounter::SystemTimeUs), 50);
+    metrics::DerivedCounter rss = metrics::aggregateCounter(
+        tr, static_cast<CounterId>(trace::CoreCounter::ResidentKb), 50);
+    metrics::DerivedCounter dsys = metrics::differenceQuotient(sys);
+    metrics::DerivedCounter drss = metrics::differenceQuotient(rss);
+
+    std::printf("\nnormalized_time_pct, d_system_time_us_per_cycle, "
+                "d_resident_kb_per_cycle\n");
+    TimeStamp span = tr.span().duration();
+    for (std::size_t i = 0; i < dsys.samples.size(); i++) {
+        double pct = 100.0 * static_cast<double>(dsys.samples[i].time) /
+                     static_cast<double>(span);
+        double dr = i < drss.samples.size() ? drss.samples[i].value : 0.0;
+        std::printf("%.1f, %.6g, %.6g\n", pct, dsys.samples[i].value, dr);
+    }
+
+    // Quantify "almost exclusively during initialization": the share of
+    // total growth that happens in the first 30% of the execution.
+    auto early_share = [&](const metrics::DerivedCounter &series) {
+        if (series.samples.empty())
+            return 0.0;
+        double total = series.samples.back().value;
+        double at_30 = 0.0;
+        for (const auto &s : series.samples) {
+            if (static_cast<double>(s.time) <=
+                0.3 * static_cast<double>(span))
+                at_30 = s.value;
+        }
+        return total > 0 ? at_30 / total : 0.0;
+    };
+    double sys_share = early_share(sys);
+    double rss_share = early_share(rss);
+
+    std::printf("\n");
+    bench::row("total kernel time",
+               strFormat("%.1f ms", sys.samples.back().value / 1000.0));
+    bench::row("total resident growth",
+               humanBytes(static_cast<std::uint64_t>(
+                   rss.samples.back().value * 1024.0)));
+    bench::row("kernel-time growth within first 30%",
+               strFormat("%.0f%%", 100 * sys_share));
+    bench::row("resident-size growth within first 30%",
+               strFormat("%.0f%%", 100 * rss_share));
+    bool shape = sys_share > 0.85 && rss_share > 0.85;
+    bench::row("growth confined to initialization",
+               shape ? "yes" : "NO");
+    return shape ? 0 : 1;
+}

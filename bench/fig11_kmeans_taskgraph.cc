@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig 11: excerpt of the k-means task graph for two iterations.
+ *
+ * Distance-calculation tasks per block feed a tree-shaped reduction that
+ * updates the cluster centers; a propagation tree broadcasts the new
+ * centers to the next iteration's distance tasks. This bench builds a
+ * small instance, verifies the tree structure via the reconstructed
+ * graph, and exports the excerpt as DOT.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    bench::banner("Fig 11", "k-means task graph excerpt (2 iterations)");
+
+    workloads::KmeansParams params;
+    params.numPoints = 8000;
+    params.pointsPerBlock = 1000; // m = 8 blocks, as in the figure.
+    params.iterations = 2;
+    runtime::TaskSet set = workloads::buildKmeans(params);
+
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(2, 4);
+    config.seed = 11;
+    runtime::RunResult result = runtime::RuntimeSystem(config).run(set);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+
+    graph::TaskGraph g = graph::TaskGraph::reconstruct(result.trace);
+    graph::DepthAnalysis d = graph::computeDepths(g);
+    if (!d.acyclic) {
+        std::fprintf(stderr, "unexpected cycle\n");
+        return 1;
+    }
+
+    std::string error;
+    if (!graph::exportDotFile(g, result.trace, "fig11_kmeans.dot",
+                              error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    std::printf("wrote fig11_kmeans.dot (render with graphviz)\n");
+
+    // Structure checks: 8 inputs, 8 + 8 distance tasks, 7-node reduction
+    // per iteration, 15-node propagation between iterations.
+    std::map<TaskTypeId, int> type_counts;
+    for (const runtime::SimTask &task : set.tasks)
+        type_counts[task.type]++;
+
+    std::printf("\ntask_type, count\n");
+    for (const auto &[type, count] : type_counts) {
+        auto it = result.trace.taskTypes().find(type);
+        std::printf("%s, %d\n", it->second.name.c_str(), count);
+    }
+
+    bool shape =
+        type_counts[workloads::kKmeansInputType] == 8 &&
+        type_counts[workloads::kKmeansDistanceType] == 16 &&
+        type_counts[workloads::kKmeansReduceType] == 14 &&
+        type_counts[workloads::kKmeansPropagateType] == 15;
+
+    // Reduction trees give logarithmic depth between iterations.
+    bench::row("graph nodes / edges",
+               strFormat("%u / %zu", g.numNodes(), g.numEdges()));
+    bench::row("max depth",
+               strFormat("%u (trees add ~2 log2(m) per iteration)",
+                         d.maxDepth));
+    bench::row("tree structure matches Fig 11", shape ? "yes" : "NO");
+    return shape ? 0 : 1;
+}

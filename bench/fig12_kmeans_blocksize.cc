@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig 12: k-means wall-clock execution time as a function of block size.
+ *
+ * The paper sweeps the block size from 1.28 M points down to 2.5 K points
+ * (50 runs each) and reports a U-shaped curve: 14.85 s at 1.28 M, falling
+ * to a 6.22 s minimum at 10 K, rising again to 7.16 s at 2.5 K. Large
+ * blocks starve the 64 cores (too few tasks); tiny blocks pay task
+ * management overhead.
+ *
+ * This bench regenerates the row: mean +- stddev seconds per block size.
+ * The shape (monotone fall, minimum near 10 K-20 K, rise at 2.5 K) is the
+ * reproduction target; absolute seconds depend on the cost calibration.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    bench::banner("Fig 12",
+                  "k-means: execution time vs block size (U-curve)");
+
+    const std::vector<std::uint64_t> block_sizes = {
+        1'280'000, 640'000, 320'000, 160'000, 80'000,
+        40'000, 20'000, 10'000, 5'000, 2'500,
+    };
+    const int runs = bench::fullScale() ? 20 : 5;
+
+    std::printf("\nblock_size, runs, mean_s, stddev_s, mean_Gcycles\n");
+    std::vector<double> means;
+    for (std::uint64_t bs : block_sizes) {
+        std::vector<double> seconds;
+        for (int r = 0; r < runs; r++) {
+            runtime::RunResult result = bench::runKmeans(
+                bs, /*branch_optimized=*/false, /*record=*/false,
+                /*seed=*/100 + static_cast<std::uint64_t>(r));
+            if (!result.ok) {
+                std::fprintf(stderr, "simulation failed: %s\n",
+                             result.error.c_str());
+                return 1;
+            }
+            seconds.push_back(result.seconds());
+        }
+        double mean = stats::mean(seconds);
+        double sd = stats::stddev(seconds);
+        means.push_back(mean);
+        std::printf("%llu, %d, %.3f, %.3f, %.3f\n",
+                    static_cast<unsigned long long>(bs), runs, mean, sd,
+                    mean * 2.6);
+    }
+
+    // Shape checks: the largest block size is the slowest; the minimum
+    // sits in the 10K-40K region; the smallest block size is slower than
+    // the minimum (overhead tail).
+    std::size_t min_idx = 0;
+    for (std::size_t i = 1; i < means.size(); i++) {
+        if (means[i] < means[min_idx])
+            min_idx = i;
+    }
+    bool u_shape = means.front() > means[min_idx] &&
+                   means.back() > means[min_idx] &&
+                   min_idx >= 5 && min_idx <= 8;
+    double left_ratio = means.front() / means[min_idx];
+    double right_ratio = means.back() / means[min_idx];
+
+    std::printf("\n");
+    bench::row("minimum at block size",
+               strFormat("%llu (paper: 10K)",
+                         static_cast<unsigned long long>(
+                             block_sizes[min_idx])));
+    bench::row("largest/min ratio",
+               strFormat("%.2fx (paper: 14.85/6.22 = 2.39x)", left_ratio));
+    bench::row("smallest/min ratio",
+               strFormat("%.2fx (paper: 7.16/6.22 = 1.15x)", right_ratio));
+    bench::row("U-shape detected", u_shape ? "yes" : "NO");
+    return u_shape ? 0 : 1;
+}

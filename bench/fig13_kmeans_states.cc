@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fig 13: k-means state timelines across block sizes.
+ *
+ * The paper renders the state-mode timeline for every block size of the
+ * Fig 12 sweep: 1.28 M points shows predominant idle (32 blocks on 64
+ * cores), 640 K shows the alternating execute/idle pattern caused by
+ * uneven task durations at the iteration barriers, mid sizes are dense,
+ * and 2.5 K shows idle phases at termination from task management
+ * overhead. This bench renders four representative sizes to PPM and
+ * quantifies those signatures.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+namespace {
+
+struct Signature
+{
+    double idleFraction;     // Whole-run idle share.
+    double overheadFraction; // Runtime management share (creation,
+                             // reduction, broadcast states).
+};
+
+Signature
+measure(const trace::Trace &tr)
+{
+    using trace::CoreState;
+    stats::IntervalStats whole = stats::computeIntervalStats(tr,
+                                                             tr.span());
+    double overhead =
+        whole.stateFraction(
+            static_cast<std::uint32_t>(CoreState::TaskCreation)) +
+        whole.stateFraction(
+            static_cast<std::uint32_t>(CoreState::Reduction)) +
+        whole.stateFraction(
+            static_cast<std::uint32_t>(CoreState::Broadcast));
+    return {whole.stateFraction(
+                static_cast<std::uint32_t>(CoreState::Idle)),
+            overhead};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 13",
+                  "k-means: state timelines across block sizes");
+
+    const std::uint64_t sizes[] = {1'280'000, 640'000, 40'000, 2'500};
+    Signature sig[4];
+
+    std::printf("\nblock_size, idle_fraction, runtime_overhead_fraction\n");
+    for (int i = 0; i < 4; i++) {
+        runtime::RunResult result = bench::runKmeans(
+            sizes[i], false, /*record=*/true, /*seed=*/7);
+        if (!result.ok) {
+            std::fprintf(stderr, "simulation failed: %s\n",
+                         result.error.c_str());
+            return 1;
+        }
+        sig[i] = measure(result.trace);
+        std::printf("%llu, %.3f, %.3f\n",
+                    static_cast<unsigned long long>(sizes[i]),
+                    sig[i].idleFraction, sig[i].overheadFraction);
+
+        render::Framebuffer fb(900, 256);
+        render::TimelineRenderer renderer(result.trace, fb);
+        renderer.render({});
+        std::string error;
+        std::string path = strFormat(
+            "fig13_states_%llu.ppm",
+            static_cast<unsigned long long>(sizes[i]));
+        if (fb.writePpmFile(path, error))
+            std::printf("wrote %s\n", path.c_str());
+    }
+
+    // Signatures: huge blocks idle-dominated (13a); 640K intermediate
+    // (the alternating pattern of 13b); mid sizes dense (13g); tiny
+    // blocks pay visibly more task-management overhead (13j — our
+    // simulator charges that overhead as runtime states rather than as
+    // scheduler idling, see EXPERIMENTS.md).
+    bool huge_idles = sig[0].idleFraction > 0.4;
+    bool alt_band = sig[1].idleFraction < sig[0].idleFraction &&
+                    sig[1].idleFraction > sig[2].idleFraction + 0.1;
+    bool mid_dense = sig[2].idleFraction < sig[0].idleFraction / 2;
+    bool tiny_overhead = sig[3].overheadFraction >
+                         3.0 * sig[2].overheadFraction;
+
+    std::printf("\n");
+    bench::row("idle at 1.28M",
+               strFormat("%.0f%% (paper: predominant light blue)",
+                         100 * sig[0].idleFraction));
+    bench::row("idle at 640K",
+               strFormat("%.0f%% (paper: alternating bands)",
+                         100 * sig[1].idleFraction));
+    bench::row("idle at 40K",
+               strFormat("%.0f%% (paper: dense execution)",
+                         100 * sig[2].idleFraction));
+    bench::row("runtime overhead 2.5K vs 40K",
+               strFormat("%.1f%% vs %.1f%% (paper: overhead at 13j)",
+                         100 * sig[3].overheadFraction,
+                         100 * sig[2].overheadFraction));
+    bool shape = huge_idles && alt_band && mid_dense && tiny_overhead;
+    bench::row("block-size signatures reproduced", shape ? "yes" : "NO");
+    return shape ? 0 : 1;
+}

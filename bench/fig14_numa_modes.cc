@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fig 14: NUMA locality of seidel, non-optimized vs optimized runtime.
+ *
+ * The paper compares two OpenStream configurations: random work stealing
+ * with NUMA-oblivious placement versus a NUMA-aware scheduler and
+ * allocator. The NUMA read/write maps show no color pattern (poor
+ * locality) versus per-node bands (good locality); the NUMA heatmap shows
+ * pink (remote) versus blue (local); execution time drops from 7.91 to
+ * 2.59 Gcycles (3.05x).
+ *
+ * This bench runs both configurations, renders all three NUMA modes to
+ * PPM images, and quantifies what the images show: the fraction of task
+ * reads/writes resolved to the local node and the average remote-access
+ * fraction.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+namespace {
+
+struct LocalityStats
+{
+    double localReadFraction = 0.0;
+    double localWriteFraction = 0.0;
+    double avgRemoteFraction = 0.0;
+};
+
+LocalityStats
+measure(const trace::Trace &tr)
+{
+    LocalityStats out;
+    std::uint64_t local_read = 0, total_read = 0;
+    std::uint64_t local_write = 0, total_write = 0;
+    double remote_sum = 0.0;
+    std::uint64_t tasks = 0;
+    for (const trace::TaskInstance &task : tr.taskInstances()) {
+        NodeId node = tr.topology().nodeOfCpu(task.cpu);
+        trace::NumaAccessSummary reads =
+            trace::summarizeTaskAccesses(tr, task.id, false);
+        trace::NumaAccessSummary writes =
+            trace::summarizeTaskAccesses(tr, task.id, true);
+        total_read += reads.totalBytes();
+        total_write += writes.totalBytes();
+        if (node < reads.bytesPerNode.size())
+            local_read += reads.bytesPerNode[node];
+        if (node < writes.bytesPerNode.size())
+            local_write += writes.bytesPerNode[node];
+        std::uint64_t total = reads.totalBytes() + writes.totalBytes();
+        if (total > 0) {
+            std::uint64_t local = reads.bytesPerNode[node] +
+                                  writes.bytesPerNode[node];
+            remote_sum += 1.0 - static_cast<double>(local) /
+                                    static_cast<double>(total);
+            tasks++;
+        }
+    }
+    if (total_read)
+        out.localReadFraction = static_cast<double>(local_read) /
+                                static_cast<double>(total_read);
+    if (total_write)
+        out.localWriteFraction = static_cast<double>(local_write) /
+                                 static_cast<double>(total_write);
+    if (tasks)
+        out.avgRemoteFraction = remote_sum / static_cast<double>(tasks);
+    return out;
+}
+
+void
+renderModes(const trace::Trace &tr, const char *tag)
+{
+    struct ModeSpec
+    {
+        render::TimelineMode mode;
+        const char *name;
+    };
+    const ModeSpec modes[] = {
+        {render::TimelineMode::NumaRead, "read"},
+        {render::TimelineMode::NumaWrite, "write"},
+        {render::TimelineMode::NumaHeatmap, "heatmap"},
+    };
+    for (const ModeSpec &spec : modes) {
+        render::Framebuffer fb(1000, 384);
+        render::TimelineRenderer renderer(tr, fb);
+        render::TimelineConfig config;
+        config.mode = spec.mode;
+        renderer.render(config);
+        std::string error;
+        std::string path = strFormat("fig14_%s_%s.ppm", spec.name, tag);
+        if (fb.writePpmFile(path, error))
+            std::printf("wrote %s\n", path.c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 14",
+                  "seidel NUMA modes: non-optimized vs optimized runtime");
+
+    runtime::RunResult plain = bench::runSeidel(false);
+    runtime::RunResult numa = bench::runSeidel(true);
+    if (!plain.ok || !numa.ok) {
+        std::fprintf(stderr, "simulation failed: %s%s\n",
+                     plain.error.c_str(), numa.error.c_str());
+        return 1;
+    }
+
+    LocalityStats before = measure(plain.trace);
+    LocalityStats after = measure(numa.trace);
+    renderModes(plain.trace, "nonopt");
+    renderModes(numa.trace, "opt");
+
+    double speedup = static_cast<double>(plain.makespan) /
+                     static_cast<double>(numa.makespan);
+    std::printf("\n");
+    bench::row("non-optimized makespan",
+               strFormat("%s (paper: 7.91 Gcycles)",
+                         humanCycles(plain.makespan).c_str()));
+    bench::row("optimized makespan",
+               strFormat("%s (paper: 2.59 Gcycles)",
+                         humanCycles(numa.makespan).c_str()));
+    bench::row("speedup", strFormat("%.2fx (paper: 3.05x)", speedup));
+    bench::row("local read fraction",
+               strFormat("%.1f%% -> %.1f%%",
+                         100 * before.localReadFraction,
+                         100 * after.localReadFraction));
+    bench::row("local write fraction",
+               strFormat("%.1f%% -> %.1f%%",
+                         100 * before.localWriteFraction,
+                         100 * after.localWriteFraction));
+    bench::row("avg remote-access fraction (heatmap)",
+               strFormat("%.2f (pink) -> %.2f (blue)",
+                         before.avgRemoteFraction,
+                         after.avgRemoteFraction));
+
+    bool shape = speedup > 1.8 &&
+                 after.localReadFraction > before.localReadFraction + 0.3;
+    bench::row("shape reproduced", shape ? "yes" : "NO");
+    return shape ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 16: distribution of the main computation task durations in k-means.
+ *
+ * After filtering out auxiliary tasks (reduction, propagation, input),
+ * the histogram of distance-task durations shows several peaks although
+ * all blocks have identical point counts — the anomaly whose cause
+ * (branch mispredictions) sections V and Fig 19 track down.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    bench::banner("Fig 16",
+                  "k-means: duration histogram of computation tasks");
+
+    runtime::RunResult result = bench::runKmeans();
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    const trace::Trace &tr = result.trace;
+
+    // The paper's filter: only the main computation tasks.
+    filter::FilterSet f;
+    f.add(std::make_shared<filter::TaskTypeFilter>(
+        std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
+    stats::Histogram h = stats::Histogram::taskDurations(tr, f, 30);
+
+    std::printf("\nduration_mcycles, fraction_pct\n");
+    for (std::uint32_t i = 0; i < h.numBins(); i++) {
+        std::printf("%.2f, %.2f\n", h.binCenter(i) / 1e6,
+                    100.0 * h.fraction(i));
+    }
+
+    auto peaks = h.peaks();
+    double spread = h.rangeMax() / h.rangeMin();
+
+    std::printf("\n");
+    bench::row("computation tasks",
+               strFormat("%llu",
+                         static_cast<unsigned long long>(h.total())));
+    bench::row("duration range",
+               strFormat("%s .. %s (paper: 6.5M .. 12.5M)",
+                         humanCycles(static_cast<std::uint64_t>(
+                             h.rangeMin())).c_str(),
+                         humanCycles(static_cast<std::uint64_t>(
+                             h.rangeMax())).c_str()));
+    bench::row("distinct peaks",
+               strFormat("%zu (paper: multiple peaks)", peaks.size()));
+    bool shape = peaks.size() >= 2 && spread > 1.3;
+    bench::row("multi-modal non-uniform durations",
+               shape ? "yes" : "NO");
+    return shape ? 0 : 1;
+}

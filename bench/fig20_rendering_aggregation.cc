@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fig 20 / section VI-B: predominant-state pixels + rectangle aggregation.
+ *
+ * Each horizontal pixel represents a trace interval whose length depends
+ * on the zoom. Zoomed out, a naive renderer draws every state event
+ * sequentially — many operations per pixel; Aftermath instead resolves
+ * each pixel to its predominant state once and merges runs of
+ * equal-colored pixels into single rectangles. This bench measures
+ * drawing-operation counts and wall time for both algorithms across zoom
+ * levels (google-benchmark timings plus a summary table).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+namespace {
+
+trace::Trace g_trace; // Built once in main before benchmarks run.
+
+void
+buildTrace()
+{
+    workloads::SeidelParams params;
+    params.blocksX = 32;
+    params.blocksY = 32;
+    params.blockDim = 32;
+    params.iterations = 10;
+    runtime::TaskSet set = workloads::buildSeidel(params);
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(4, 8);
+    config.seed = 20;
+    runtime::RunResult result = runtime::RuntimeSystem(config).run(set);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        std::exit(1);
+    }
+    g_trace = std::move(result.trace);
+}
+
+/** View covering 1/denominator of the trace (zoom level). */
+TimeInterval
+zoomView(std::uint64_t denominator)
+{
+    TimeInterval span = g_trace.span();
+    return {span.start, span.start + span.duration() / denominator};
+}
+
+void
+BM_RenderOptimized(benchmark::State &state)
+{
+    render::Framebuffer fb(1024, 256);
+    render::TimelineRenderer renderer(g_trace, fb);
+    render::TimelineConfig config;
+    config.view = zoomView(static_cast<std::uint64_t>(state.range(0)));
+    for (auto _ : state)
+        renderer.render(config);
+    state.counters["draw_ops"] =
+        static_cast<double>(renderer.stats().rectOps);
+}
+
+void
+BM_RenderNaive(benchmark::State &state)
+{
+    render::Framebuffer fb(1024, 256);
+    render::TimelineRenderer renderer(g_trace, fb);
+    render::TimelineConfig config;
+    config.view = zoomView(static_cast<std::uint64_t>(state.range(0)));
+    for (auto _ : state)
+        renderer.renderNaive(config);
+    state.counters["draw_ops"] =
+        static_cast<double>(renderer.stats().rectOps);
+}
+
+BENCHMARK(BM_RenderOptimized)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_RenderNaive)->Arg(1)->Arg(8)->Arg(64);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Fig 20",
+                  "rendering: predominant state + rectangle aggregation");
+    buildTrace();
+
+    // Summary table of operation counts per zoom level.
+    std::printf("\nzoom_fraction, naive_ops, optimized_ops, reduction\n");
+    bool ok = true;
+    for (std::uint64_t denom : {1, 8, 64}) {
+        render::Framebuffer fb(1024, 256);
+        render::TimelineRenderer renderer(g_trace, fb);
+        render::TimelineConfig config;
+        config.view = zoomView(denom);
+        renderer.renderNaive(config);
+        std::uint64_t naive = renderer.stats().rectOps;
+        renderer.render(config);
+        std::uint64_t optimized = renderer.stats().rectOps;
+        std::printf("1/%llu, %llu, %llu, %.1fx\n",
+                    static_cast<unsigned long long>(denom),
+                    static_cast<unsigned long long>(naive),
+                    static_cast<unsigned long long>(optimized),
+                    static_cast<double>(naive) /
+                        static_cast<double>(optimized));
+        // Zoomed out (full view) the optimization must win clearly.
+        if (denom == 1)
+            ok = naive > 2 * optimized;
+    }
+    std::printf("\n");
+    bench::row("aggregation reduces ops when zoomed out",
+               ok ? "yes" : "NO");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fig 21 / section VI-B: min/max column rendering of counters.
+ *
+ * Instead of drawing a line for each pair of adjacent samples, Aftermath
+ * determines the minimum and maximum sample value per pixel column — via
+ * the n-ary counter search tree — and draws one vertical line. The
+ * benefit grows as the zoom level widens (more samples per pixel).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+namespace {
+
+trace::Trace g_trace;
+constexpr CounterId kCounter = 0;
+
+void
+buildTrace()
+{
+    // One CPU with a dense counter: 2M samples.
+    Rng rng(21);
+    g_trace.setTopology(trace::MachineTopology::uniform(1, 1));
+    g_trace.addCounterDescription({kCounter, "dense_counter"});
+    TimeStamp t = 0;
+    std::int64_t v = 0;
+    for (int i = 0; i < 2'000'000; i++) {
+        t += 1 + rng.nextBounded(3);
+        v += static_cast<std::int64_t>(rng.nextBounded(201)) - 100;
+        g_trace.cpu(0).addCounterSample(kCounter, {t, v});
+    }
+    std::string err;
+    if (!g_trace.finalize(err)) {
+        std::fprintf(stderr, "finalize failed: %s\n", err.c_str());
+        std::exit(1);
+    }
+}
+
+TimeInterval
+zoomView(std::uint64_t denominator)
+{
+    TimeInterval span = g_trace.span();
+    return {span.start, span.start + span.duration() / denominator + 1};
+}
+
+void
+BM_CounterOptimized(benchmark::State &state)
+{
+    index::CounterIndex index(g_trace.cpu(0).counterSamples(kCounter));
+    render::Framebuffer fb(1024, 128);
+    render::CounterOverlay overlay(g_trace, fb);
+    render::TimelineLayout layout(
+        zoomView(static_cast<std::uint64_t>(state.range(0))), 1024, 128,
+        1);
+    for (auto _ : state)
+        overlay.renderLane(0, kCounter, index, layout, {});
+    state.counters["line_ops"] =
+        static_cast<double>(overlay.stats().lineOps);
+}
+
+void
+BM_CounterNaive(benchmark::State &state)
+{
+    render::Framebuffer fb(1024, 128);
+    render::CounterOverlay overlay(g_trace, fb);
+    render::TimelineLayout layout(
+        zoomView(static_cast<std::uint64_t>(state.range(0))), 1024, 128,
+        1);
+    for (auto _ : state)
+        overlay.renderLaneNaive(0, kCounter, layout, {});
+    state.counters["line_ops"] =
+        static_cast<double>(overlay.stats().lineOps);
+}
+
+BENCHMARK(BM_CounterOptimized)->Arg(1)->Arg(16)->Arg(256);
+BENCHMARK(BM_CounterNaive)->Arg(1)->Arg(16)->Arg(256);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Fig 21", "counter rendering: min/max per column");
+    buildTrace();
+
+    index::CounterIndex index(g_trace.cpu(0).counterSamples(kCounter));
+    std::printf("\nindex: arity %u, memory %s, overhead %.2f%% "
+                "(paper: <= 5%%)\n",
+                index.arity(), humanBytes(index.memoryBytes()).c_str(),
+                100 * index.overheadFraction());
+
+    std::printf("\nzoom_fraction, naive_ops, optimized_ops, reduction\n");
+    bool ok = true;
+    for (std::uint64_t denom : {1, 16, 256}) {
+        render::Framebuffer fb(1024, 128);
+        render::CounterOverlay overlay(g_trace, fb);
+        render::TimelineLayout layout(zoomView(denom), 1024, 128, 1);
+        overlay.renderLaneNaive(0, kCounter, layout, {});
+        std::uint64_t naive = overlay.stats().lineOps;
+        overlay.renderLane(0, kCounter, index, layout, {});
+        std::uint64_t optimized = overlay.stats().lineOps;
+        std::printf("1/%llu, %llu, %llu, %.0fx\n",
+                    static_cast<unsigned long long>(denom),
+                    static_cast<unsigned long long>(naive),
+                    static_cast<unsigned long long>(optimized),
+                    static_cast<double>(naive) /
+                        static_cast<double>(optimized));
+        if (denom == 1)
+            ok = naive > 100 * optimized && optimized <= 1024;
+    }
+    std::printf("\n");
+    bench::row("min/max columns beat per-sample lines",
+               ok ? "yes" : "NO");
+    bench::row("index overhead below 5%",
+               index.overheadFraction() < 0.05 ? "yes" : "NO");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return ok && index.overheadFraction() < 0.05 ? 0 : 1;
+}

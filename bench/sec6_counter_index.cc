@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Section VI-B.c: the n-ary min/max search tree.
+ *
+ * "For each performance counter and each core, Aftermath builds an n-ary
+ * search tree that allows to quickly determine the minimum and maximum
+ * value of the counter for any interval ... a default arity of 100 for
+ * all search trees ... effectively limits the overhead to 5% of the
+ * actual performance counter data." This bench measures query latency of
+ * the index against the linear scan it replaces, and the memory overhead
+ * across arities.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace aftermath;
+
+namespace {
+
+std::vector<trace::CounterSample> g_samples;
+
+void
+buildSamples()
+{
+    Rng rng(6);
+    TimeStamp t = 0;
+    std::int64_t v = 0;
+    g_samples.reserve(5'000'000);
+    for (int i = 0; i < 5'000'000; i++) {
+        t += 1 + rng.nextBounded(4);
+        v += static_cast<std::int64_t>(rng.nextBounded(101)) - 50;
+        g_samples.push_back({t, v});
+    }
+}
+
+void
+BM_IndexQuery(benchmark::State &state)
+{
+    index::CounterIndex idx(g_samples,
+                            static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(7);
+    TimeStamp max_t = g_samples.back().time;
+    for (auto _ : state) {
+        TimeStamp a = rng.nextBounded(max_t / 2);
+        index::MinMax mm = idx.query({a, a + max_t / 2});
+        benchmark::DoNotOptimize(mm);
+    }
+    state.counters["overhead_pct"] = 100.0 * idx.overheadFraction();
+}
+
+void
+BM_LinearScan(benchmark::State &state)
+{
+    Rng rng(7);
+    TimeStamp max_t = g_samples.back().time;
+    for (auto _ : state) {
+        TimeStamp a = rng.nextBounded(max_t / 2);
+        TimeInterval iv{a, a + max_t / 2};
+        std::int64_t lo = 0, hi = 0;
+        bool valid = false;
+        for (const auto &s : g_samples) {
+            if (s.time < iv.start || s.time >= iv.end)
+                continue;
+            if (!valid) {
+                lo = hi = s.value;
+                valid = true;
+            } else {
+                lo = std::min(lo, s.value);
+                hi = std::max(hi, s.value);
+            }
+        }
+        benchmark::DoNotOptimize(lo);
+        benchmark::DoNotOptimize(hi);
+    }
+}
+
+BENCHMARK(BM_IndexQuery)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_LinearScan)->Iterations(20);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Section VI-B.c",
+                  "counter index: query speed and memory overhead");
+    buildSamples();
+
+    std::printf("\narity, index_memory, overhead_pct\n");
+    for (std::uint32_t arity : {10u, 100u, 1000u}) {
+        index::CounterIndex idx(g_samples, arity);
+        std::printf("%u, %s, %.2f%%\n", arity,
+                    humanBytes(idx.memoryBytes()).c_str(),
+                    100 * idx.overheadFraction());
+    }
+    index::CounterIndex default_idx(g_samples);
+    bool ok = default_idx.overheadFraction() < 0.05;
+    bench::row("default arity-100 overhead <= 5%", ok ? "yes" : "NO");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quickstart: simulate a small task-parallel execution, write the trace
+ * to disk, read it back and run a few analyses on it.
+ *
+ * Walks the full pipeline a downstream user would: workload -> runtime
+ * simulator -> trace file -> analysis (interval statistics, derived
+ * counters, task graph) -> timeline rendering to a PPM image.
+ */
+
+#include <cstdio>
+
+#include "aftermath.h"
+
+using namespace aftermath;
+
+int
+main()
+{
+    // 1. A small NUMA machine: 4 nodes x 4 cores.
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(4, 4);
+    config.scheduling = runtime::SchedulingPolicy::RandomSteal;
+    config.seed = 42;
+
+    // 2. A fork-join workload: 8 phases of 32 tasks.
+    runtime::TaskSet program = workloads::buildForkJoin(8, 32, 200'000);
+
+    // 3. Simulate.
+    runtime::RuntimeSystem rts(config);
+    runtime::RunResult result = rts.run(program);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    std::printf("simulated %llu tasks on %u cpus\n",
+                static_cast<unsigned long long>(result.tasksExecuted),
+                result.trace.numCpus());
+    std::printf("makespan: %s (%.3f ms), %llu steals\n",
+                humanCycles(result.makespan).c_str(),
+                result.seconds() * 1e3,
+                static_cast<unsigned long long>(result.steals));
+
+    // 4. Round-trip through the on-disk format (compact encoding).
+    std::string error;
+    if (!trace::writeTraceFile(result.trace, "quickstart.ostv",
+                               trace::Encoding::Compact, error)) {
+        std::fprintf(stderr, "write failed: %s\n", error.c_str());
+        return 1;
+    }
+    trace::ReadResult loaded = trace::readTraceFile("quickstart.ostv");
+    if (!loaded.ok) {
+        std::fprintf(stderr, "read failed: %s\n", loaded.error.c_str());
+        return 1;
+    }
+    std::printf("trace file: %zu bytes, %zu task instances\n",
+                loaded.bytesRead, loaded.trace.taskInstances().size());
+
+    // 5. Analyses: state breakdown, average parallelism, idle workers.
+    const trace::Trace &tr = loaded.trace;
+    stats::IntervalStats istats = stats::computeIntervalStats(tr,
+                                                              tr.span());
+    std::printf("average parallelism: %.2f of %u cpus\n",
+                istats.averageParallelism(static_cast<std::uint32_t>(
+                    trace::CoreState::TaskExec)),
+                tr.numCpus());
+    for (const auto &[state, time] : istats.timeInState) {
+        std::printf("  %-16s %6.2f%%\n", tr.stateName(state).c_str(),
+                    100.0 * istats.stateFraction(state));
+    }
+
+    metrics::DerivedCounter idle = metrics::stateOccupancy(
+        tr, static_cast<std::uint32_t>(trace::CoreState::Idle), 50);
+    std::printf("peak simultaneous idle workers: %.1f\n",
+                idle.maxValue());
+
+    // 6. Task graph reconstruction from the trace's memory accesses.
+    graph::TaskGraph tg = graph::TaskGraph::reconstruct(tr);
+    graph::DepthAnalysis depth = graph::computeDepths(tg);
+    std::printf("task graph: %u nodes, %zu edges, max depth %u, "
+                "acyclic=%s\n",
+                tg.numNodes(), tg.numEdges(), depth.maxDepth,
+                depth.acyclic ? "yes" : "no");
+
+    // 7. Render the state timeline to a PPM image.
+    render::Framebuffer fb(800, 256);
+    render::TimelineRenderer renderer(tr, fb);
+    render::TimelineConfig tl_config;
+    tl_config.mode = render::TimelineMode::State;
+    renderer.render(tl_config);
+    if (!fb.writePpmFile("quickstart_states.ppm", error)) {
+        std::fprintf(stderr, "ppm export failed: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("wrote quickstart_states.ppm (%llu draw ops)\n",
+                static_cast<unsigned long long>(
+                    renderer.stats().totalOps()));
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * trace_inspector: a command-line dump tool for Aftermath trace files.
+ *
+ * Usage: trace_inspector <trace-file> [--states] [--counters] [--tasks]
+ *
+ * Prints the header, topology, per-CPU event inventories and summary
+ * statistics of a trace file; with flags, dumps the individual records.
+ * Also demonstrates symbol resolution: if a file <trace>.nm exists (nm
+ * text output), task type addresses are resolved to function names.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "aftermath.h"
+
+using namespace aftermath;
+
+namespace {
+
+void
+printSummary(const trace::Trace &tr, const symbols::SymbolTable &syms)
+{
+    std::printf("machine: %u cpus, %u NUMA nodes, %.2f GHz\n",
+                tr.numCpus(), tr.topology().numNodes(),
+                static_cast<double>(tr.cpuFreqHz()) / 1e9);
+    std::printf("span: %s\n", humanCycles(tr.span().duration()).c_str());
+
+    std::uint64_t states = 0, samples = 0, discrete = 0, comm = 0;
+    for (CpuId c = 0; c < tr.numCpus(); c++) {
+        states += tr.cpu(c).states().size();
+        for (CounterId id : tr.cpu(c).counterIds())
+            samples += tr.cpu(c).counterSamples(id).size();
+        discrete += tr.cpu(c).discreteEvents().size();
+        comm += tr.cpu(c).commEvents().size();
+    }
+    std::printf("events: %llu states, %llu counter samples, "
+                "%llu discrete, %llu comm\n",
+                static_cast<unsigned long long>(states),
+                static_cast<unsigned long long>(samples),
+                static_cast<unsigned long long>(discrete),
+                static_cast<unsigned long long>(comm));
+    std::printf("tasks: %zu instances of %zu types\n",
+                tr.taskInstances().size(), tr.taskTypes().size());
+    std::printf("memory: %zu regions, %zu accesses\n",
+                tr.memRegions().size(), tr.memAccesses().size());
+
+    std::printf("\ntask types:\n");
+    for (const auto &[id, type] : tr.taskTypes()) {
+        const symbols::Symbol *sym = syms.lookup(id);
+        std::printf("  0x%llx  %-24s %s\n",
+                    static_cast<unsigned long long>(id),
+                    type.name.c_str(),
+                    sym ? (std::string("[nm: ") + sym->name + "]").c_str()
+                        : "");
+    }
+
+    std::printf("\nstate breakdown:\n");
+    stats::IntervalStats s = stats::computeIntervalStats(tr, tr.span());
+    for (const auto &[state, time] : s.timeInState) {
+        std::printf("  %-18s %6.2f%%\n", tr.stateName(state).c_str(),
+                    100.0 * s.stateFraction(state));
+    }
+}
+
+void
+dumpStates(const trace::Trace &tr)
+{
+    for (CpuId c = 0; c < tr.numCpus(); c++) {
+        std::printf("cpu %u:\n", c);
+        for (const trace::StateEvent &ev : tr.cpu(c).states()) {
+            std::printf("  [%llu, %llu) %s",
+                        static_cast<unsigned long long>(
+                            ev.interval.start),
+                        static_cast<unsigned long long>(ev.interval.end),
+                        tr.stateName(ev.state).c_str());
+            if (ev.task != kInvalidTaskInstance)
+                std::printf(" task %llu",
+                            static_cast<unsigned long long>(ev.task));
+            std::printf("\n");
+        }
+    }
+}
+
+void
+dumpCounters(const trace::Trace &tr)
+{
+    for (CpuId c = 0; c < tr.numCpus(); c++) {
+        for (CounterId id : tr.cpu(c).counterIds()) {
+            std::printf("cpu %u counter %s:\n", c,
+                        tr.counterName(id).c_str());
+            for (const trace::CounterSample &s :
+                 tr.cpu(c).counterSamples(id)) {
+                std::printf("  %llu: %lld\n",
+                            static_cast<unsigned long long>(s.time),
+                            static_cast<long long>(s.value));
+            }
+        }
+    }
+}
+
+void
+dumpTasks(const trace::Trace &tr)
+{
+    for (const trace::TaskInstance &task : tr.taskInstances()) {
+        std::printf("task %llu type 0x%llx cpu %u [%llu, %llu) "
+                    "duration %s\n",
+                    static_cast<unsigned long long>(task.id),
+                    static_cast<unsigned long long>(task.type), task.cpu,
+                    static_cast<unsigned long long>(task.interval.start),
+                    static_cast<unsigned long long>(task.interval.end),
+                    humanCycles(task.duration()).c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <trace-file> [--states] [--counters] "
+                     "[--tasks]\n"
+                     "(generate one with the quickstart example)\n",
+                     argv[0]);
+        return 2;
+    }
+
+    trace::ReadResult result = trace::readTraceFile(argv[1]);
+    if (!result.ok) {
+        std::fprintf(stderr, "error: %s\n", result.error.c_str());
+        return 1;
+    }
+    std::printf("%s: %zu bytes, %s encoding\n\n", argv[1],
+                result.bytesRead,
+                result.encoding == trace::Encoding::Compact ? "compact"
+                                                            : "raw");
+
+    // Optional nm sidecar for symbol resolution (paper section VI-C).
+    symbols::SymbolTable syms;
+    std::ifstream nm_file(std::string(argv[1]) + ".nm");
+    if (nm_file)
+        syms = symbols::SymbolTable::parseNm(nm_file);
+
+    printSummary(result.trace, syms);
+    for (int i = 2; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--states"))
+            dumpStates(result.trace);
+        else if (!std::strcmp(argv[i], "--counters"))
+            dumpCounters(result.trace);
+        else if (!std::strcmp(argv[i], "--tasks"))
+            dumpTasks(result.trace);
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the Aftermath reproduction.
+ *
+ * Include this to get the trace model and format, indexes, filters,
+ * derived metrics, statistics, task-graph analysis, rendering, symbol
+ * handling, and the runtime simulator with its workloads.
+ */
+
+#ifndef AFTERMATH_AFTERMATH_H
+#define AFTERMATH_AFTERMATH_H
+
+// Base utilities.
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "base/time_interval.h"
+#include "base/types.h"
+
+// Trace model and file format.
+#include "trace/counter.h"
+#include "trace/cpu_timeline.h"
+#include "trace/event.h"
+#include "trace/format.h"
+#include "trace/memory.h"
+#include "trace/numa.h"
+#include "trace/reader.h"
+#include "trace/state.h"
+#include "trace/task.h"
+#include "trace/topology.h"
+#include "trace/trace.h"
+#include "trace/writer.h"
+
+// Indexes.
+#include "index/counter_index.h"
+
+// Filters.
+#include "filter/task_filter.h"
+
+// Derived metrics.
+#include "metrics/counter_utils.h"
+#include "metrics/derived_counter.h"
+#include "metrics/generators.h"
+#include "metrics/task_attribution.h"
+
+// Statistics.
+#include "stats/anomaly.h"
+#include "stats/comm_matrix.h"
+#include "stats/export.h"
+#include "stats/histogram.h"
+#include "stats/interval_stats.h"
+#include "stats/regression.h"
+
+// Task graph.
+#include "graph/critical_path.h"
+#include "graph/depth.h"
+#include "graph/dot_export.h"
+#include "graph/task_graph.h"
+
+// Rendering.
+#include "render/color.h"
+#include "render/counter_overlay.h"
+#include "render/framebuffer.h"
+#include "render/layout.h"
+#include "render/render_stats.h"
+#include "render/timeline_renderer.h"
+
+// Symbols and annotations.
+#include "symbols/annotations.h"
+#include "symbols/symbol_table.h"
+
+// Simulation substrate.
+#include "machine/cost_model.h"
+#include "machine/machine_spec.h"
+#include "machine/region_placement.h"
+#include "runtime/runtime_system.h"
+#include "runtime/scheduler.h"
+#include "runtime/task_set.h"
+#include "sim/event_queue.h"
+
+// Workloads.
+#include "workloads/kmeans.h"
+#include "workloads/seidel.h"
+#include "workloads/synthetic.h"
+
+#endif // AFTERMATH_AFTERMATH_H

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bounds-checked little-endian byte buffers used by the trace format.
+ *
+ * ByteWriter appends fixed-width and variable-width primitives to a growing
+ * byte vector; ByteReader consumes them from a read-only view. The reader
+ * uses a sticky failure flag instead of exceptions: any out-of-bounds or
+ * malformed read marks the reader failed and subsequent reads return
+ * zero-values, so callers validate once per frame (see trace/reader).
+ */
+
+#ifndef AFTERMATH_BASE_BUFFER_H
+#define AFTERMATH_BASE_BUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aftermath {
+
+/** Serializes primitives into a byte vector, little-endian. */
+class ByteWriter
+{
+  public:
+    /** Append one byte. */
+    void
+    writeU8(std::uint8_t v)
+    {
+        data_.push_back(v);
+    }
+
+    /** Append a 16-bit value, little-endian. */
+    void
+    writeU16(std::uint16_t v)
+    {
+        writeLe(v, 2);
+    }
+
+    /** Append a 32-bit value, little-endian. */
+    void
+    writeU32(std::uint32_t v)
+    {
+        writeLe(v, 4);
+    }
+
+    /** Append a 64-bit value, little-endian. */
+    void
+    writeU64(std::uint64_t v)
+    {
+        writeLe(v, 8);
+    }
+
+    /** Append an unsigned LEB128 varint. */
+    void writeVarint(std::uint64_t v);
+
+    /** Append a ZigZag-coded signed varint. */
+    void writeSignedVarint(std::int64_t v);
+
+    /** Append a double in IEEE-754 binary64 bit representation. */
+    void writeDouble(double v);
+
+    /** Append a varint length followed by the string bytes. */
+    void writeString(const std::string &s);
+
+    /** Append @p size raw bytes. */
+    void writeBytes(const std::uint8_t *bytes, std::size_t size);
+
+    /** Bytes written so far. */
+    std::size_t size() const { return data_.size(); }
+
+    /** The accumulated buffer. */
+    const std::vector<std::uint8_t> &data() const { return data_; }
+
+    /** Move the accumulated buffer out, leaving the writer empty. */
+    std::vector<std::uint8_t>
+    take()
+    {
+        auto out = std::move(data_);
+        data_.clear();
+        return out;
+    }
+
+  private:
+    void
+    writeLe(std::uint64_t v, int bytes)
+    {
+        for (int i = 0; i < bytes; i++)
+            data_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> data_;
+};
+
+/**
+ * Deserializes primitives from a byte view with sticky failure semantics.
+ *
+ * The reader never reads past the end of the buffer: a short read sets the
+ * failure flag and all subsequent reads return zero. Callers check ok()
+ * after a logical unit (a frame) rather than after every field.
+ */
+class ByteReader
+{
+  public:
+    /** View over @p size bytes at @p data; does not take ownership. */
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    /** View over a byte vector; the vector must outlive the reader. */
+    explicit ByteReader(const std::vector<std::uint8_t> &data)
+        : ByteReader(data.data(), data.size())
+    {}
+
+    std::uint8_t readU8();
+    std::uint16_t readU16();
+    std::uint32_t readU32();
+    std::uint64_t readU64();
+    std::uint64_t readVarint();
+    std::int64_t readSignedVarint();
+    double readDouble();
+
+    /**
+     * Read a varint-length-prefixed string. Lengths above @p max_len (a
+     * corruption guard) fail the reader.
+     */
+    std::string readString(std::size_t max_len = 1 << 20);
+
+    /** Read @p size raw bytes into @p out. */
+    void readBytes(std::uint8_t *out, std::size_t size);
+
+    /** Skip @p size bytes. */
+    void skip(std::size_t size);
+
+    /** True until a read has failed. */
+    bool ok() const { return ok_; }
+
+    /** Mark the reader failed (used for semantic validation errors). */
+    void markFailed() { ok_ = false; }
+
+    /** Current read position in bytes. */
+    std::size_t offset() const { return offset_; }
+
+    /** Bytes left to read. */
+    std::size_t
+    remaining() const
+    {
+        return ok_ ? size_ - offset_ : 0;
+    }
+
+    /** True once all bytes have been consumed (and no read failed). */
+    bool atEnd() const { return ok_ && offset_ == size_; }
+
+  private:
+    std::uint64_t readLe(int bytes);
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t offset_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace aftermath
+
+#endif // AFTERMATH_BASE_BUFFER_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations (aborts), fatal() for unrecoverable user errors
+ * (clean exit), warn()/inform() for diagnostics.
+ */
+
+#ifndef AFTERMATH_BASE_LOGGING_H
+#define AFTERMATH_BASE_LOGGING_H
+
+#include <string>
+
+namespace aftermath {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted message at the given level. Fatal exits with status 1;
+ * Panic aborts. Formatting is printf-style.
+ */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+
+/** Report an internal bug and abort. Never returns. */
+[[noreturn]] [[gnu::format(printf, 1, 2)]]
+void panic(const char *fmt, ...);
+
+/** Report an unrecoverable user-facing error and exit(1). Never returns. */
+[[noreturn]] [[gnu::format(printf, 1, 2)]]
+void fatal(const char *fmt, ...);
+
+/** Report a suspicious-but-survivable condition. */
+[[gnu::format(printf, 1, 2)]]
+void warn(const char *fmt, ...);
+
+/** Report normal operational status. */
+[[gnu::format(printf, 1, 2)]]
+void inform(const char *fmt, ...);
+
+/**
+ * Assert an invariant that must hold regardless of user input; panics with
+ * the given message when violated.
+ */
+#define AFTERMATH_ASSERT(cond, ...)                                         \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::aftermath::panic(__VA_ARGS__);                                \
+    } while (0)
+
+} // namespace aftermath
+
+#endif // AFTERMATH_BASE_LOGGING_H

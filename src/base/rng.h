@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything random in the simulator (work-stealing victim selection, task
+ * duration noise, synthetic workload generation) draws from this generator
+ * so that every experiment is reproducible from its seed.
+ */
+
+#ifndef AFTERMATH_BASE_RNG_H
+#define AFTERMATH_BASE_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace aftermath {
+
+/**
+ * xoshiro256** PRNG seeded through SplitMix64.
+ *
+ * Small, fast and of high statistical quality; not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct with the given seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into the four state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextRange(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** Standard normal variate (Marsaglia polar method). */
+    double
+    nextGaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = nextRange(-1.0, 1.0);
+            v = nextRange(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double m = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * m;
+        haveSpare_ = true;
+        return u * m;
+    }
+
+    /** True with probability @p p (clamped to [0, 1]). */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    double spare_ = 0.0;
+    bool haveSpare_ = false;
+};
+
+} // namespace aftermath
+
+#endif // AFTERMATH_BASE_RNG_H

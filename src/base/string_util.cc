@@ -1,0 +1,88 @@
+#include "base/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace aftermath {
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args2);
+        return {};
+    }
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+std::vector<std::string>
+strSplit(const std::string &s, char sep)
+{
+    std::vector<std::string> fields;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i <= s.size(); i++) {
+        if (i == s.size() || s[i] == sep) {
+            fields.push_back(s.substr(begin, i - begin));
+            begin = i + 1;
+        }
+    }
+    return fields;
+}
+
+std::string
+strTrim(const std::string &s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        begin++;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        end--;
+    return s.substr(begin, end - begin);
+}
+
+namespace {
+
+std::string
+humanScaled(double value, const char *const *units, int num_units,
+            double step)
+{
+    int unit = 0;
+    while (value >= step && unit < num_units - 1) {
+        value /= step;
+        unit++;
+    }
+    if (unit == 0)
+        return strFormat("%.0f %s", value, units[0]);
+    return strFormat("%.2f %s", value, units[unit]);
+}
+
+} // namespace
+
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    static const char *const units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    return humanScaled(static_cast<double>(bytes), units, 5, 1024.0);
+}
+
+std::string
+humanCycles(std::uint64_t cycles)
+{
+    static const char *const units[] = {
+        "cycles", "Kcycles", "Mcycles", "Gcycles", "Tcycles"
+    };
+    return humanScaled(static_cast<double>(cycles), units, 5, 1000.0);
+}
+
+} // namespace aftermath

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small string helpers: printf-style formatting into std::string, splitting,
+ * trimming, and human-readable quantities for reports.
+ */
+
+#ifndef AFTERMATH_BASE_STRING_UTIL_H
+#define AFTERMATH_BASE_STRING_UTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aftermath {
+
+/** printf-style formatting returning a std::string. */
+[[gnu::format(printf, 1, 2)]]
+std::string strFormat(const char *fmt, ...);
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> strSplit(const std::string &s, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string strTrim(const std::string &s);
+
+/** Render a byte count as "512 B", "4.0 KiB", "1.2 GiB", ... */
+std::string humanBytes(std::uint64_t bytes);
+
+/** Render a cycle count as "950", "8.2 Kcycles", "7.91 Gcycles", ... */
+std::string humanCycles(std::uint64_t cycles);
+
+} // namespace aftermath
+
+#endif // AFTERMATH_BASE_STRING_UTIL_H

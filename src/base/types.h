@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used throughout Aftermath.
+ *
+ * All timestamps are expressed in CPU cycles of the traced machine, as in
+ * the original tool. Identifiers are plain integers so that trace frames
+ * stay trivially serializable.
+ */
+
+#ifndef AFTERMATH_BASE_TYPES_H
+#define AFTERMATH_BASE_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace aftermath {
+
+/** A point in time, in cycles since the start of the trace. */
+using TimeStamp = std::uint64_t;
+
+/** Logical CPU (worker) identifier. */
+using CpuId = std::uint32_t;
+
+/** NUMA node identifier. */
+using NodeId = std::uint32_t;
+
+/** Task type identifier; by convention the work-function address. */
+using TaskTypeId = std::uint64_t;
+
+/** Unique identifier of one task execution (a task instance). */
+using TaskInstanceId = std::uint64_t;
+
+/** Identifier of a hardware or derived performance counter. */
+using CounterId = std::uint32_t;
+
+/** Identifier of a memory region registered with the runtime. */
+using RegionId = std::uint64_t;
+
+/** Sentinel for "no CPU". */
+inline constexpr CpuId kInvalidCpu = std::numeric_limits<CpuId>::max();
+
+/** Sentinel for "no NUMA node" (e.g. page not yet physically backed). */
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no task instance" (e.g. a state outside any task). */
+inline constexpr TaskInstanceId kInvalidTaskInstance =
+    std::numeric_limits<TaskInstanceId>::max();
+
+/** Sentinel timestamp greater than any valid time. */
+inline constexpr TimeStamp kTimeMax = std::numeric_limits<TimeStamp>::max();
+
+} // namespace aftermath
+
+#endif // AFTERMATH_BASE_TYPES_H

@@ -1,0 +1,39 @@
+#include "base/varint.h"
+
+namespace aftermath {
+
+void
+varintEncode(std::uint64_t value, std::vector<std::uint8_t> &out)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool
+varintDecode(const std::uint8_t *data, std::size_t size,
+             std::size_t &offset, std::uint64_t &value)
+{
+    std::uint64_t result = 0;
+    int shift = 0;
+    std::size_t pos = offset;
+    while (pos < size) {
+        std::uint8_t byte = data[pos++];
+        if (shift == 63 && (byte & 0x7e))
+            return false; // Would overflow 64 bits.
+        if (shift > 63)
+            return false;
+        result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            offset = pos;
+            value = result;
+            return true;
+        }
+        shift += 7;
+    }
+    return false; // Truncated input.
+}
+
+} // namespace aftermath

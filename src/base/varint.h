@@ -1,0 +1,51 @@
+/**
+ * @file
+ * LEB128 variable-length integer coding used by the compact trace codec.
+ *
+ * Timestamps in a trace are large but their per-CPU deltas are small; the
+ * compact trace format stores them as unsigned LEB128 varints (and signed
+ * values through ZigZag), which is where most of its size reduction over
+ * the raw format comes from.
+ */
+
+#ifndef AFTERMATH_BASE_VARINT_H
+#define AFTERMATH_BASE_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aftermath {
+
+/** Append @p value to @p out as unsigned LEB128. */
+void varintEncode(std::uint64_t value, std::vector<std::uint8_t> &out);
+
+/**
+ * Decode an unsigned LEB128 varint from @p data (of @p size bytes) starting
+ * at @p offset; advances @p offset past the varint.
+ *
+ * @return true on success; false if the buffer ends mid-varint or the
+ *         encoding exceeds 64 bits.
+ */
+bool varintDecode(const std::uint8_t *data, std::size_t size,
+                  std::size_t &offset, std::uint64_t &value);
+
+/** Map a signed value to unsigned so small magnitudes stay small. */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+/** Inverse of zigzagEncode(). */
+constexpr std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+} // namespace aftermath
+
+#endif // AFTERMATH_BASE_VARINT_H

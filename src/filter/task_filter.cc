@@ -1,0 +1,119 @@
+#include "filter/task_filter.h"
+
+#include "base/string_util.h"
+#include "trace/numa.h"
+
+namespace aftermath {
+namespace filter {
+
+bool
+TaskTypeFilter::matches(const trace::Trace &, // NOLINT(misc-unused-param)
+                        const trace::TaskInstance &task) const
+{
+    return types_.count(task.type) > 0;
+}
+
+std::string
+TaskTypeFilter::describe() const
+{
+    return strFormat("task type in {%zu types}", types_.size());
+}
+
+bool
+DurationFilter::matches(const trace::Trace &,
+                        const trace::TaskInstance &task) const
+{
+    TimeStamp d = task.duration();
+    return d >= min_ && d <= max_;
+}
+
+std::string
+DurationFilter::describe() const
+{
+    return strFormat("duration in [%s, %s]",
+                     humanCycles(min_).c_str(), humanCycles(max_).c_str());
+}
+
+bool
+CpuFilter::matches(const trace::Trace &,
+                   const trace::TaskInstance &task) const
+{
+    return cpus_.count(task.cpu) > 0;
+}
+
+std::string
+CpuFilter::describe() const
+{
+    return strFormat("cpu in {%zu cpus}", cpus_.size());
+}
+
+bool
+IntervalFilter::matches(const trace::Trace &,
+                        const trace::TaskInstance &task) const
+{
+    return task.interval.overlaps(interval_);
+}
+
+std::string
+IntervalFilter::describe() const
+{
+    return strFormat("overlaps [%llu, %llu)",
+                     static_cast<unsigned long long>(interval_.start),
+                     static_cast<unsigned long long>(interval_.end));
+}
+
+bool
+NumaTargetFilter::matches(const trace::Trace &trace,
+                          const trace::TaskInstance &task) const
+{
+    trace::NumaAccessSummary summary =
+        trace::summarizeTaskAccesses(trace, task.id, writes_);
+    return node_ < summary.bytesPerNode.size() &&
+           summary.bytesPerNode[node_] > 0;
+}
+
+std::string
+NumaTargetFilter::describe() const
+{
+    return strFormat("%s node %u", writes_ ? "writes to" : "reads from",
+                     node_);
+}
+
+bool
+FilterSet::matches(const trace::Trace &trace,
+                   const trace::TaskInstance &task) const
+{
+    for (const auto &f : filters_) {
+        if (!f->matches(trace, task))
+            return false;
+    }
+    return true;
+}
+
+std::string
+FilterSet::describe() const
+{
+    if (filters_.empty())
+        return "all tasks";
+    std::string out;
+    for (std::size_t i = 0; i < filters_.size(); i++) {
+        if (i)
+            out += " and ";
+        out += filters_[i]->describe();
+    }
+    return out;
+}
+
+std::vector<const trace::TaskInstance *>
+filterTasks(const trace::Trace &trace, const TaskFilter &filter)
+{
+    std::vector<const trace::TaskInstance *> out;
+    for (const trace::TaskInstance &task : trace.taskInstances()) {
+        if (filter.matches(trace, task))
+            out.push_back(&task);
+    }
+    return out;
+}
+
+} // namespace filter
+} // namespace aftermath

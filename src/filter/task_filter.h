@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Filters over task instances.
+ *
+ * Filters control the contents of the timeline and the statistical views
+ * (paper section II-A group 3): only tasks of a specific type, tasks whose
+ * execution duration is in a certain range, or tasks that access certain
+ * NUMA nodes. Filters compose conjunctively through FilterSet and apply
+ * uniformly to rendering, statistics and data export.
+ */
+
+#ifndef AFTERMATH_FILTER_TASK_FILTER_H
+#define AFTERMATH_FILTER_TASK_FILTER_H
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace filter {
+
+/** Predicate over task instances, evaluated against a trace. */
+class TaskFilter
+{
+  public:
+    virtual ~TaskFilter() = default;
+
+    /** True if @p task passes the filter. */
+    virtual bool matches(const trace::Trace &trace,
+                         const trace::TaskInstance &task) const = 0;
+
+    /** Human-readable description for UIs and reports. */
+    virtual std::string describe() const = 0;
+};
+
+/** Keeps only tasks whose type is in a given set. */
+class TaskTypeFilter : public TaskFilter
+{
+  public:
+    explicit TaskTypeFilter(std::unordered_set<TaskTypeId> types)
+        : types_(std::move(types))
+    {}
+
+    bool matches(const trace::Trace &trace,
+                 const trace::TaskInstance &task) const override;
+    std::string describe() const override;
+
+  private:
+    std::unordered_set<TaskTypeId> types_;
+};
+
+/** Keeps only tasks with duration in [min, max] cycles. */
+class DurationFilter : public TaskFilter
+{
+  public:
+    DurationFilter(TimeStamp min_duration, TimeStamp max_duration)
+        : min_(min_duration), max_(max_duration)
+    {}
+
+    bool matches(const trace::Trace &trace,
+                 const trace::TaskInstance &task) const override;
+    std::string describe() const override;
+
+  private:
+    TimeStamp min_;
+    TimeStamp max_;
+};
+
+/** Keeps only tasks executed on one of the given CPUs. */
+class CpuFilter : public TaskFilter
+{
+  public:
+    explicit CpuFilter(std::unordered_set<CpuId> cpus)
+        : cpus_(std::move(cpus))
+    {}
+
+    bool matches(const trace::Trace &trace,
+                 const trace::TaskInstance &task) const override;
+    std::string describe() const override;
+
+  private:
+    std::unordered_set<CpuId> cpus_;
+};
+
+/** Keeps only tasks whose execution overlaps a time interval. */
+class IntervalFilter : public TaskFilter
+{
+  public:
+    explicit IntervalFilter(TimeInterval interval) : interval_(interval) {}
+
+    bool matches(const trace::Trace &trace,
+                 const trace::TaskInstance &task) const override;
+    std::string describe() const override;
+
+  private:
+    TimeInterval interval_;
+};
+
+/**
+ * Keeps only tasks that read (or write) data on a given NUMA node
+ * ("tasks that write to certain NUMA nodes", paper section II-A).
+ */
+class NumaTargetFilter : public TaskFilter
+{
+  public:
+    /**
+     * @param node Target node of interest.
+     * @param writes true to test write accesses, false for reads.
+     */
+    NumaTargetFilter(NodeId node, bool writes)
+        : node_(node), writes_(writes)
+    {}
+
+    bool matches(const trace::Trace &trace,
+                 const trace::TaskInstance &task) const override;
+    std::string describe() const override;
+
+  private:
+    NodeId node_;
+    bool writes_;
+};
+
+/**
+ * Conjunction of task filters: a task passes if every added filter
+ * accepts it. An empty set accepts everything.
+ */
+class FilterSet : public TaskFilter
+{
+  public:
+    /** Add a filter to the conjunction. */
+    void
+    add(std::shared_ptr<const TaskFilter> f)
+    {
+        filters_.push_back(std::move(f));
+    }
+
+    /** Number of component filters. */
+    std::size_t size() const { return filters_.size(); }
+
+    bool matches(const trace::Trace &trace,
+                 const trace::TaskInstance &task) const override;
+    std::string describe() const override;
+
+  private:
+    std::vector<std::shared_ptr<const TaskFilter>> filters_;
+};
+
+/** All task instances in @p trace accepted by @p filter. */
+std::vector<const trace::TaskInstance *>
+filterTasks(const trace::Trace &trace, const TaskFilter &filter);
+
+} // namespace filter
+} // namespace aftermath
+
+#endif // AFTERMATH_FILTER_TASK_FILTER_H

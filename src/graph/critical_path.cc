@@ -1,0 +1,76 @@
+#include "graph/critical_path.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace aftermath {
+namespace graph {
+
+CriticalPath
+computeCriticalPath(const TaskGraph &graph, const trace::Trace &trace)
+{
+    CriticalPath result;
+    NodeIndex n = graph.numNodes();
+    if (n == 0) {
+        result.acyclic = true;
+        return result;
+    }
+
+    std::vector<TimeStamp> weight(n, 0);
+    for (NodeIndex v = 0; v < n; v++) {
+        const trace::TaskInstance *inst =
+            trace.taskInstance(graph.taskOf(v));
+        weight[v] = inst ? inst->duration() : 0;
+    }
+
+    // Longest weighted path via Kahn topological order.
+    std::vector<TimeStamp> dist(n, 0);
+    std::vector<NodeIndex> best_pred(n, kInvalidNodeIndex);
+    std::vector<std::uint32_t> indegree(n, 0);
+    for (NodeIndex v = 0; v < n; v++)
+        indegree[v] = static_cast<std::uint32_t>(
+            graph.predecessors(v).size());
+
+    std::queue<NodeIndex> ready;
+    for (NodeIndex v = 0; v < n; v++) {
+        if (indegree[v] == 0) {
+            dist[v] = weight[v];
+            ready.push(v);
+        }
+    }
+
+    NodeIndex processed = 0;
+    while (!ready.empty()) {
+        NodeIndex v = ready.front();
+        ready.pop();
+        processed++;
+        for (NodeIndex s : graph.successors(v)) {
+            if (dist[v] + weight[s] > dist[s]) {
+                dist[s] = dist[v] + weight[s];
+                best_pred[s] = v;
+            }
+            if (--indegree[s] == 0)
+                ready.push(s);
+        }
+    }
+    if (processed != n)
+        return result; // Cycle.
+
+    result.acyclic = true;
+    NodeIndex tail = 0;
+    for (NodeIndex v = 1; v < n; v++) {
+        if (dist[v] > dist[tail])
+            tail = v;
+    }
+    result.length = dist[tail];
+
+    // Walk the predecessor chain back to a root.
+    std::vector<TaskInstanceId> reversed;
+    for (NodeIndex v = tail; v != kInvalidNodeIndex; v = best_pred[v])
+        reversed.push_back(graph.taskOf(v));
+    result.tasks.assign(reversed.rbegin(), reversed.rend());
+    return result;
+}
+
+} // namespace graph
+} // namespace aftermath

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Critical-path analysis of reconstructed task graphs.
+ *
+ * An extension beyond the paper's depth metric: weighting each node with
+ * its measured execution time yields the longest *time* path through the
+ * dependence graph — the hard lower bound on the makespan and the chain
+ * to attack when available parallelism, not load balance, limits
+ * performance (the seidel phase-2 drop of section III-A).
+ */
+
+#ifndef AFTERMATH_GRAPH_CRITICAL_PATH_H
+#define AFTERMATH_GRAPH_CRITICAL_PATH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "graph/task_graph.h"
+
+namespace aftermath {
+namespace graph {
+
+/** Result of the weighted longest-path computation. */
+struct CriticalPath
+{
+    bool acyclic = false;
+    /** Total execution time along the heaviest dependence chain. */
+    TimeStamp length = 0;
+    /** Task instances on the path, in dependence order. */
+    std::vector<TaskInstanceId> tasks;
+
+    /**
+     * length / makespan: how much of the execution the critical chain
+     * explains (1.0 = fully serialized on the chain).
+     */
+    double coverage(TimeStamp makespan) const
+    {
+        return makespan == 0 ? 0.0
+            : static_cast<double>(length) /
+                  static_cast<double>(makespan);
+    }
+};
+
+/**
+ * Compute the critical path of @p graph, weighting node @p v with the
+ * measured duration of its task instance in @p trace.
+ */
+CriticalPath computeCriticalPath(const TaskGraph &graph,
+                                 const trace::Trace &trace);
+
+} // namespace graph
+} // namespace aftermath
+
+#endif // AFTERMATH_GRAPH_CRITICAL_PATH_H

@@ -1,0 +1,92 @@
+#include "graph/depth.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace aftermath {
+namespace graph {
+
+DepthAnalysis
+computeDepths(const TaskGraph &graph)
+{
+    DepthAnalysis analysis;
+    NodeIndex n = graph.numNodes();
+    analysis.depth.assign(n, 0);
+
+    std::vector<std::uint32_t> indegree(n, 0);
+    for (NodeIndex v = 0; v < n; v++)
+        indegree[v] = static_cast<std::uint32_t>(
+            graph.predecessors(v).size());
+
+    std::queue<NodeIndex> ready;
+    for (NodeIndex v = 0; v < n; v++) {
+        if (indegree[v] == 0)
+            ready.push(v);
+    }
+
+    NodeIndex processed = 0;
+    while (!ready.empty()) {
+        NodeIndex v = ready.front();
+        ready.pop();
+        processed++;
+        for (NodeIndex s : graph.successors(v)) {
+            analysis.depth[s] = std::max(analysis.depth[s],
+                                         analysis.depth[v] + 1);
+            if (--indegree[s] == 0)
+                ready.push(s);
+        }
+    }
+
+    if (processed != n)
+        return analysis; // Cycle: acyclic stays false.
+
+    analysis.acyclic = true;
+    for (NodeIndex v = 0; v < n; v++)
+        analysis.maxDepth = std::max(analysis.maxDepth, analysis.depth[v]);
+    if (n > 0) {
+        analysis.parallelismByDepth.assign(analysis.maxDepth + 1, 0);
+        for (NodeIndex v = 0; v < n; v++)
+            analysis.parallelismByDepth[analysis.depth[v]]++;
+    }
+    return analysis;
+}
+
+ParallelismPhases
+classifyPhases(const std::vector<std::uint64_t> &parallelism_by_depth)
+{
+    ParallelismPhases phases;
+    if (parallelism_by_depth.size() < 4)
+        return phases;
+
+    phases.startupParallelism = parallelism_by_depth[0];
+
+    // Phase 2: the minimum over depths after 0, earliest occurrence.
+    std::uint32_t drop = 1;
+    for (std::uint32_t d = 1; d < parallelism_by_depth.size(); d++) {
+        if (parallelism_by_depth[d] < parallelism_by_depth[drop])
+            drop = d;
+    }
+    phases.dropDepth = drop;
+    phases.dropParallelism = parallelism_by_depth[drop];
+
+    // Phase 3: the maximum after the drop.
+    std::uint32_t peak = drop;
+    for (std::uint32_t d = drop; d < parallelism_by_depth.size(); d++) {
+        if (parallelism_by_depth[d] > parallelism_by_depth[peak])
+            peak = d;
+    }
+    phases.peakDepth = peak;
+    phases.peakParallelism = parallelism_by_depth[peak];
+
+    // The four-phase shape requires startup > drop, peak after drop,
+    // peak > drop, and a decline after the peak.
+    bool declines = peak + 1 < parallelism_by_depth.size() &&
+                    parallelism_by_depth.back() < phases.peakParallelism;
+    phases.valid = phases.startupParallelism > phases.dropParallelism &&
+                   peak > drop && phases.peakParallelism >
+                   phases.dropParallelism && declines;
+    return phases;
+}
+
+} // namespace graph
+} // namespace aftermath

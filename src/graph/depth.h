@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Task depth and the available-parallelism profile.
+ *
+ * The depth of a task is the number of edges on the longest path from any
+ * task without input dependences to it; the number of tasks at a given
+ * depth estimates the parallelism available at that step of the
+ * computation and upper-bounds the effective parallelism (paper section
+ * III-A, Fig 5).
+ */
+
+#ifndef AFTERMATH_GRAPH_DEPTH_H
+#define AFTERMATH_GRAPH_DEPTH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.h"
+
+namespace aftermath {
+namespace graph {
+
+/** Result of the depth analysis. */
+struct DepthAnalysis
+{
+    bool acyclic = false;            ///< False if a cycle was detected.
+    std::vector<std::uint32_t> depth;///< Longest-path depth per node.
+    std::uint32_t maxDepth = 0;      ///< Largest depth (0 if empty/cyclic).
+
+    /** parallelism[d] = number of tasks whose depth is d (Fig 5's y). */
+    std::vector<std::uint64_t> parallelismByDepth;
+};
+
+/**
+ * Compute longest-path depths by Kahn's algorithm.
+ *
+ * @return analysis with acyclic == false if the graph has a cycle (the
+ *         depth fields are then unspecified).
+ */
+DepthAnalysis computeDepths(const TaskGraph &graph);
+
+/**
+ * Classify an available-parallelism profile into the paper's four seidel
+ * phases: (1) high startup parallelism, (2) drop to ~1, (3) rise to the
+ * wavefront maximum, (4) decline. Returns the phase boundaries as depths;
+ * used by the Fig 5 bench to check the shape.
+ */
+struct ParallelismPhases
+{
+    bool valid = false;
+    std::uint64_t startupParallelism = 0; ///< Tasks at depth 0.
+    std::uint32_t dropDepth = 0;          ///< First depth with minimal par.
+    std::uint64_t dropParallelism = 0;    ///< Parallelism at the drop.
+    std::uint32_t peakDepth = 0;          ///< Depth of the later maximum.
+    std::uint64_t peakParallelism = 0;    ///< Wavefront maximum after drop.
+};
+
+/** Identify the four-phase structure of a parallelism profile. */
+ParallelismPhases classifyPhases(
+    const std::vector<std::uint64_t> &parallelism_by_depth);
+
+} // namespace graph
+} // namespace aftermath
+
+#endif // AFTERMATH_GRAPH_DEPTH_H

@@ -1,0 +1,98 @@
+#include "graph/dot_export.h"
+
+#include <fstream>
+
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace graph {
+
+namespace {
+
+/** A small palette of GraphViz color names cycled over task types. */
+const char *const kTypeColors[] = {
+    "lightblue", "lightpink", "lightgoldenrod", "palegreen", "plum",
+    "lightsalmon", "lightcyan", "wheat",
+};
+
+std::string
+nodeLabel(const trace::Trace &trace, TaskInstanceId id)
+{
+    const trace::TaskInstance *instance = trace.taskInstance(id);
+    if (!instance)
+        return strFormat("t%llu", static_cast<unsigned long long>(id));
+    auto it = trace.taskTypes().find(instance->type);
+    std::string type_name = it != trace.taskTypes().end()
+        ? it->second.name
+        : strFormat("0x%llx",
+                    static_cast<unsigned long long>(instance->type));
+    return strFormat("%s\\n#%llu", type_name.c_str(),
+                     static_cast<unsigned long long>(id));
+}
+
+} // namespace
+
+void
+exportDot(const TaskGraph &graph, const trace::Trace &trace,
+          std::ostream &os, const DotOptions &options)
+{
+    auto included = [&](NodeIndex v) {
+        return !options.include || options.include(v);
+    };
+
+    // Stable type -> color assignment in type-id order.
+    std::map<TaskTypeId, const char *> colors;
+    std::size_t next_color = 0;
+    for (const auto &[id, type] : trace.taskTypes()) {
+        colors[id] = kTypeColors[next_color % std::size(kTypeColors)];
+        next_color++;
+    }
+
+    os << "digraph " << options.graphName << " {\n";
+    os << "    node [shape=ellipse, style=filled];\n";
+    for (NodeIndex v = 0; v < graph.numNodes(); v++) {
+        if (!included(v))
+            continue;
+        TaskInstanceId id = graph.taskOf(v);
+        os << "    n" << v << " [label=\"" << nodeLabel(trace, id) << "\"";
+        if (options.colorByType) {
+            const trace::TaskInstance *instance = trace.taskInstance(id);
+            if (instance) {
+                auto it = colors.find(instance->type);
+                if (it != colors.end())
+                    os << ", fillcolor=" << it->second;
+            }
+        }
+        os << "];\n";
+    }
+    for (NodeIndex v = 0; v < graph.numNodes(); v++) {
+        if (!included(v))
+            continue;
+        for (NodeIndex s : graph.successors(v)) {
+            if (included(s))
+                os << "    n" << v << " -> n" << s << ";\n";
+        }
+    }
+    os << "}\n";
+}
+
+bool
+exportDotFile(const TaskGraph &graph, const trace::Trace &trace,
+              const std::string &path, std::string &error,
+              const DotOptions &options)
+{
+    std::ofstream os(path);
+    if (!os) {
+        error = "cannot open " + path + " for writing";
+        return false;
+    }
+    exportDot(graph, trace, os, options);
+    if (!os) {
+        error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace graph
+} // namespace aftermath

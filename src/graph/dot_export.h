@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Export of task-graph subsets to the DOT format.
+ *
+ * For detailed analysis of particular tasks, Aftermath exports a subset of
+ * the task graph to a file in the DOT format, visualized with GRAPHVIZ
+ * (paper section III-A).
+ */
+
+#ifndef AFTERMATH_GRAPH_DOT_EXPORT_H
+#define AFTERMATH_GRAPH_DOT_EXPORT_H
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "graph/task_graph.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace graph {
+
+/** Options controlling DOT output. */
+struct DotOptions
+{
+    /** Keep only nodes this predicate accepts (default: all). */
+    std::function<bool(NodeIndex)> include;
+    /** Color nodes by task type. */
+    bool colorByType = true;
+    /** Graph name emitted in the digraph header. */
+    std::string graphName = "taskgraph";
+};
+
+/**
+ * Write the (filtered) task graph as DOT.
+ *
+ * Edges are emitted only when both endpoints are included. Nodes are
+ * labeled with the task type name and instance id.
+ */
+void exportDot(const TaskGraph &graph, const trace::Trace &trace,
+               std::ostream &os, const DotOptions &options = {});
+
+/** exportDot() to a file; false (with @p error set) on failure. */
+bool exportDotFile(const TaskGraph &graph, const trace::Trace &trace,
+                   const std::string &path, std::string &error,
+                   const DotOptions &options = {});
+
+} // namespace graph
+} // namespace aftermath
+
+#endif // AFTERMATH_GRAPH_DOT_EXPORT_H

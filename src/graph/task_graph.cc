@@ -1,0 +1,101 @@
+#include "graph/task_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aftermath {
+namespace graph {
+
+namespace {
+
+/** Writers and readers of one memory region. */
+struct RegionUse
+{
+    std::vector<NodeIndex> writers;
+    std::vector<NodeIndex> readers;
+};
+
+} // namespace
+
+TaskGraph
+TaskGraph::reconstruct(const trace::Trace &trace)
+{
+    TaskGraph g;
+    const auto &instances = trace.taskInstances();
+    g.tasks_.reserve(instances.size());
+    g.taskIndex_.reserve(instances.size());
+    for (NodeIndex i = 0; i < instances.size(); i++) {
+        g.tasks_.push_back(instances[i].id);
+        g.taskIndex_.emplace_back(instances[i].id, i);
+    }
+    std::sort(g.taskIndex_.begin(), g.taskIndex_.end());
+    g.succ_.assign(g.tasks_.size(), {});
+    g.pred_.assign(g.tasks_.size(), {});
+
+    // Group accesses by region. Accesses reference addresses; resolve each
+    // to its containing region (the paper's address->region lookup).
+    std::unordered_map<RegionId, RegionUse> uses;
+    for (const trace::MemAccess &access : trace.memAccesses()) {
+        const trace::MemRegion *region =
+            trace.regionContaining(access.address);
+        if (!region)
+            continue;
+        NodeIndex node = g.nodeOf(access.task);
+        if (node == kInvalidNodeIndex)
+            continue;
+        RegionUse &use = uses[region->id];
+        auto &side = access.isWrite ? use.writers : use.readers;
+        side.push_back(node);
+    }
+
+    // writer -> reader edges, deduplicated via a per-writer seen set.
+    std::unordered_set<std::uint64_t> seen;
+    for (auto &[region, use] : uses) {
+        for (NodeIndex w : use.writers) {
+            for (NodeIndex r : use.readers) {
+                if (w == r)
+                    continue;
+                std::uint64_t key =
+                    (static_cast<std::uint64_t>(w) << 32) | r;
+                if (seen.insert(key).second)
+                    g.addEdge(w, r);
+            }
+        }
+    }
+    return g;
+}
+
+void
+TaskGraph::addEdge(NodeIndex from, NodeIndex to)
+{
+    succ_[from].push_back(to);
+    pred_[to].push_back(from);
+    numEdges_++;
+}
+
+NodeIndex
+TaskGraph::nodeOf(TaskInstanceId task) const
+{
+    auto it = std::lower_bound(
+        taskIndex_.begin(), taskIndex_.end(),
+        std::make_pair(task, NodeIndex(0)),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    if (it == taskIndex_.end() || it->first != task)
+        return kInvalidNodeIndex;
+    return it->second;
+}
+
+std::vector<NodeIndex>
+TaskGraph::roots() const
+{
+    std::vector<NodeIndex> out;
+    for (NodeIndex i = 0; i < numNodes(); i++) {
+        if (pred_[i].empty())
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace graph
+} // namespace aftermath

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Task graph reconstruction from trace data.
+ *
+ * The task graph is a directed acyclic graph whose nodes are tasks and
+ * whose edges are inter-task data dependences (paper section III-A).
+ * Aftermath reconstructs it from the read and write accesses to memory
+ * regions shared by tasks: the writer of a region precedes its readers.
+ */
+
+#ifndef AFTERMATH_GRAPH_TASK_GRAPH_H
+#define AFTERMATH_GRAPH_TASK_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace graph {
+
+/** Dense node index inside a TaskGraph. */
+using NodeIndex = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeIndex kInvalidNodeIndex = 0xffffffffu;
+
+/**
+ * A reconstructed task dependence graph.
+ *
+ * Nodes map 1:1 to task instances of the originating trace; edges are
+ * deduplicated producer->consumer data dependences.
+ */
+class TaskGraph
+{
+  public:
+    /**
+     * Reconstruct the graph of @p trace.
+     *
+     * For every memory region, an edge is added from each task that wrote
+     * the region to each distinct task that read it. Self-edges (a task
+     * reading its own output) are dropped.
+     */
+    static TaskGraph reconstruct(const trace::Trace &trace);
+
+    /** Number of nodes (== task instances in the trace). */
+    NodeIndex numNodes() const
+    {
+        return static_cast<NodeIndex>(tasks_.size());
+    }
+
+    /** Number of (deduplicated) edges. */
+    std::size_t numEdges() const { return numEdges_; }
+
+    /** Task instance id of node @p node. */
+    TaskInstanceId taskOf(NodeIndex node) const { return tasks_.at(node); }
+
+    /** Node index of task @p task, or kInvalidNodeIndex. */
+    NodeIndex nodeOf(TaskInstanceId task) const;
+
+    /** Successors (consumers) of node @p node. */
+    const std::vector<NodeIndex> &successors(NodeIndex node) const
+    {
+        return succ_.at(node);
+    }
+
+    /** Predecessors (producers) of node @p node. */
+    const std::vector<NodeIndex> &predecessors(NodeIndex node) const
+    {
+        return pred_.at(node);
+    }
+
+    /** Nodes without any input dependence. */
+    std::vector<NodeIndex> roots() const;
+
+  private:
+    void addEdge(NodeIndex from, NodeIndex to);
+
+    std::vector<TaskInstanceId> tasks_;
+    std::vector<std::vector<NodeIndex>> succ_;
+    std::vector<std::vector<NodeIndex>> pred_;
+    std::vector<std::pair<TaskInstanceId, NodeIndex>> taskIndex_; // Sorted.
+    std::size_t numEdges_ = 0;
+};
+
+} // namespace graph
+} // namespace aftermath
+
+#endif // AFTERMATH_GRAPH_TASK_GRAPH_H

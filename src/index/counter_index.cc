@@ -1,0 +1,147 @@
+#include "index/counter_index.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace index {
+
+CounterIndex::CounterIndex(const std::vector<trace::CounterSample> &samples,
+                           std::uint32_t arity)
+    : samples_(samples), arity_(arity)
+{
+    AFTERMATH_ASSERT(arity_ >= 2, "counter index arity must be >= 2");
+
+    // Build level 0 over the samples, then each next level over the
+    // previous one, until a level fits in a single group of `arity` nodes.
+    std::size_t prev_size = samples_.size();
+    bool over_samples = true;
+    while (prev_size > arity_) {
+        std::size_t level_size = (prev_size + arity_ - 1) / arity_;
+        std::vector<Node> level(level_size);
+        for (std::size_t g = 0; g < level_size; g++) {
+            std::size_t begin = g * arity_;
+            std::size_t end = std::min<std::size_t>(begin + arity_,
+                                                    prev_size);
+            Node node{};
+            for (std::size_t i = begin; i < end; i++) {
+                std::int64_t lo, hi;
+                if (over_samples) {
+                    lo = hi = samples_[i].value;
+                } else {
+                    lo = levels_.back()[i].min;
+                    hi = levels_.back()[i].max;
+                }
+                if (i == begin) {
+                    node.min = lo;
+                    node.max = hi;
+                } else {
+                    node.min = std::min(node.min, lo);
+                    node.max = std::max(node.max, hi);
+                }
+            }
+            level[g] = node;
+        }
+        levels_.push_back(std::move(level));
+        prev_size = levels_.back().size();
+        over_samples = false;
+    }
+}
+
+void
+CounterIndex::merge(MinMax &out, std::int64_t min, std::int64_t max)
+{
+    if (!out.valid) {
+        out.min = min;
+        out.max = max;
+        out.valid = true;
+    } else {
+        out.min = std::min(out.min, min);
+        out.max = std::max(out.max, max);
+    }
+}
+
+void
+CounterIndex::scanRange(std::size_t first, std::size_t last,
+                        MinMax &out) const
+{
+    for (std::size_t i = first; i < last; i++)
+        merge(out, samples_[i].value, samples_[i].value);
+}
+
+MinMax
+CounterIndex::query(const TimeInterval &interval) const
+{
+    MinMax out;
+    auto time_less = [](const trace::CounterSample &s, TimeStamp t) {
+        return s.time < t;
+    };
+    auto lo_it = std::lower_bound(samples_.begin(), samples_.end(),
+                                  interval.start, time_less);
+    auto hi_it = std::lower_bound(lo_it, samples_.end(), interval.end,
+                                  time_less);
+    // [first, last) below are positions in *sample units* throughout; a
+    // unit at tree level k spans arity^(k+1) samples.
+    std::size_t first = static_cast<std::size_t>(lo_it - samples_.begin());
+    std::size_t last = static_cast<std::size_t>(hi_it - samples_.begin());
+    if (first >= last)
+        return out;
+
+    if (levels_.empty()) {
+        scanRange(first, last, out);
+        return out;
+    }
+
+    // Peel unaligned fringes level by level: at step k, consume units of
+    // the previous level (raw samples for k == 0) until the range aligns
+    // to this level's group span. Each step consumes < arity units per
+    // side, so total work is O(arity * depth).
+    auto consume_unit = [&](std::size_t k, std::size_t idx) {
+        if (k == 0)
+            merge(out, samples_[idx].value, samples_[idx].value);
+        else
+            merge(out, levels_[k - 1][idx].min, levels_[k - 1][idx].max);
+    };
+
+    std::size_t span = 1; // Samples per unit of the level below step k.
+    for (std::size_t k = 0; k < levels_.size() && first < last; k++) {
+        std::size_t group_span = span * arity_;
+        while (first % group_span != 0 && first < last) {
+            consume_unit(k, first / span);
+            first += span;
+        }
+        while (last % group_span != 0 && last > first) {
+            last -= span;
+            consume_unit(k, last / span);
+        }
+        span = group_span;
+    }
+
+    // Whole aligned groups of the top level cover the remaining middle.
+    const auto &top = levels_.back();
+    for (std::size_t g = first / span; g < last / span; g++)
+        merge(out, top[g].min, top[g].max);
+    return out;
+}
+
+std::size_t
+CounterIndex::memoryBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &level : levels_)
+        bytes += level.size() * sizeof(Node);
+    return bytes;
+}
+
+double
+CounterIndex::overheadFraction() const
+{
+    std::size_t data = samples_.size() * sizeof(trace::CounterSample);
+    if (data == 0)
+        return 0.0;
+    return static_cast<double>(memoryBytes()) / static_cast<double>(data);
+}
+
+} // namespace index
+} // namespace aftermath

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * n-ary min/max search tree over counter samples.
+ *
+ * For each performance counter and each core, Aftermath builds an n-ary
+ * search tree that quickly determines the minimum and maximum value of the
+ * counter for any interval (paper section VI-B.c). This accelerates
+ * counter rendering: one horizontal pixel covers an interval, and the
+ * renderer needs only the extrema inside it, not every sample. The default
+ * arity of 100 keeps the index's memory overhead around or below 5% of the
+ * sample data.
+ */
+
+#ifndef AFTERMATH_INDEX_COUNTER_INDEX_H
+#define AFTERMATH_INDEX_COUNTER_INDEX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "trace/event.h"
+
+namespace aftermath {
+namespace index {
+
+/** Extrema of counter values within a queried interval. */
+struct MinMax
+{
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    bool valid = false; ///< False if the interval contains no sample.
+};
+
+/**
+ * Min/max index over one sorted sample array.
+ *
+ * The tree is stored level by level in flat vectors: level 0 summarizes
+ * groups of @c arity samples, level k groups of arity^(k+1). Queries
+ * combine whole summarized groups in the middle of the interval with a
+ * linear scan of at most 2*arity samples at the fringes, giving
+ * O(arity * log_arity(n)) worst-case work independent of the number of
+ * samples covered.
+ */
+class CounterIndex
+{
+  public:
+    /** Default group size; the paper uses 100 for all search trees. */
+    static constexpr std::uint32_t kDefaultArity = 100;
+
+    /**
+     * Build the index for @p samples (which must stay alive and is not
+     * copied).
+     *
+     * @param samples Sample array sorted by time.
+     * @param arity Nodes per group at each level; >= 2.
+     */
+    explicit CounterIndex(const std::vector<trace::CounterSample> &samples,
+                          std::uint32_t arity = kDefaultArity);
+
+    /** Extrema of sample values with time in [interval.start, end). */
+    MinMax query(const TimeInterval &interval) const;
+
+    /** Bytes used by the index structure (excludes the samples). */
+    std::size_t memoryBytes() const;
+
+    /**
+     * Index memory as a fraction of the sample data it summarizes
+     * (the paper's <=5% figure at arity 100).
+     */
+    double overheadFraction() const;
+
+    /** The arity the index was built with. */
+    std::uint32_t arity() const { return arity_; }
+
+  private:
+    struct Node
+    {
+        std::int64_t min;
+        std::int64_t max;
+    };
+
+    /** Scan raw samples in [first, last) intersected with the interval. */
+    void scanRange(std::size_t first, std::size_t last, MinMax &out) const;
+
+    static void merge(MinMax &out, std::int64_t min, std::int64_t max);
+
+    const std::vector<trace::CounterSample> &samples_;
+    std::uint32_t arity_;
+    std::vector<std::vector<Node>> levels_;
+};
+
+} // namespace index
+} // namespace aftermath
+
+#endif // AFTERMATH_INDEX_COUNTER_INDEX_H

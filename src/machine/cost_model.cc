@@ -1,0 +1,3 @@
+// CostModel is header-only; this translation unit anchors the machine
+// library component for build systems that dislike header-only targets.
+#include "machine/cost_model.h"

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The simulator's cost and counter model.
+ *
+ * Converts workload-level quantities (work units, bytes read/written,
+ * page faults, branch mispredictions) into cycles on the simulated
+ * machine. Remote memory accesses are scaled by the SLIT distance between
+ * the accessing core's node and the data's home node, which is what makes
+ * NUMA-oblivious executions slower (paper section IV) and page faults are
+ * charged kernel time (section III-B).
+ *
+ * The constants are calibrated so simulated magnitudes land in the ranges
+ * the paper reports (task durations of Mcycles, executions of Gcycles);
+ * EXPERIMENTS.md compares shapes, not absolute values.
+ */
+
+#ifndef AFTERMATH_MACHINE_COST_MODEL_H
+#define AFTERMATH_MACHINE_COST_MODEL_H
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "trace/topology.h"
+
+namespace aftermath {
+namespace machine {
+
+/** Tunable constants of the cost model. */
+struct CostModelParams
+{
+    /** Cycles per abstract work unit of a task's compute part. */
+    double cyclesPerWorkUnit = 1.0;
+
+    /**
+     * Cycles per byte for memory traffic at local distance (10); actual
+     * cost scales linearly with SLIT distance / 10.
+     */
+    double cyclesPerByteLocal = 0.25;
+
+    /**
+     * Kernel cycles per first-touch page fault. Large on big ccNUMA
+     * machines where concurrent faults contend on allocation locks —
+     * the effect behind seidel's slow initialization.
+     */
+    std::uint64_t pageFaultCycles = 120'000;
+
+    /** Cycles the creator spends creating one child task. */
+    std::uint64_t taskCreationCycles = 900;
+
+    /**
+     * Fixed runtime-management cycles per executed task (dequeue,
+     * dependence resolution, dataflow frame bookkeeping). This is what
+     * makes very small task granularities expensive (paper Fig 12/13j).
+     */
+    std::uint64_t taskOverheadCycles = 3'000;
+
+    /** Cycles per work-stealing attempt (successful or not). */
+    std::uint64_t stealAttemptCycles = 450;
+
+    /** Extra latency for transferring a stolen task. */
+    std::uint64_t stealLatencyCycles = 900;
+
+    /** Latency between enqueuing a task and the worker noticing. */
+    std::uint64_t dispatchLatencyCycles = 200;
+
+    /** Cycles lost per branch misprediction. */
+    std::uint64_t mispredictPenaltyCycles = 15;
+
+    /** Baseline mispredictions per 1000 work units (loop exits etc.). */
+    double baseMispredictsPerKiloUnit = 1.0;
+
+    /** Last-level cache misses per byte of data traffic. */
+    double cacheMissesPerByte = 1.0 / 1024.0;
+
+    /** Relative stddev of the lognormal-ish task duration noise. */
+    double durationNoise = 0.03;
+};
+
+/** Cost queries against a topology. */
+class CostModel
+{
+  public:
+    CostModel(const trace::MachineTopology &topology,
+              const CostModelParams &params)
+        : topology_(topology), params_(params)
+    {}
+
+    const CostModelParams &params() const { return params_; }
+
+    /** Cycles to move @p bytes between @p from and @p to. */
+    std::uint64_t
+    memAccessCycles(std::uint64_t bytes, NodeId from, NodeId to) const
+    {
+        double distance =
+            static_cast<double>(topology_.distance(from, to)) / 10.0;
+        return static_cast<std::uint64_t>(
+            static_cast<double>(bytes) * params_.cyclesPerByteLocal *
+            distance);
+    }
+
+    /** Cycles for the pure compute part of @p work_units. */
+    std::uint64_t
+    computeCycles(std::uint64_t work_units) const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(work_units) * params_.cyclesPerWorkUnit);
+    }
+
+    /** Kernel cycles for @p faults first-touch page faults. */
+    std::uint64_t
+    pageFaultCycles(std::uint64_t faults) const
+    {
+        return faults * params_.pageFaultCycles;
+    }
+
+    /** Cycle penalty of @p mispredicts branch mispredictions. */
+    std::uint64_t
+    mispredictCycles(std::uint64_t mispredicts) const
+    {
+        return mispredicts * params_.mispredictPenaltyCycles;
+    }
+
+  private:
+    const trace::MachineTopology &topology_;
+    CostModelParams params_;
+};
+
+} // namespace machine
+} // namespace aftermath
+
+#endif // AFTERMATH_MACHINE_COST_MODEL_H

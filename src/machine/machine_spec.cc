@@ -1,0 +1,85 @@
+#include "machine/machine_spec.h"
+
+#include <vector>
+
+namespace aftermath {
+namespace machine {
+
+MachineSpec
+MachineSpec::uv2000()
+{
+    constexpr std::uint32_t nodes = 24;
+    constexpr std::uint32_t cores = 8;
+    std::vector<NodeId> cpu_to_node;
+    for (std::uint32_t n = 0; n < nodes; n++)
+        for (std::uint32_t c = 0; c < cores; c++)
+            cpu_to_node.push_back(n);
+
+    std::vector<std::uint32_t> dist(nodes * nodes);
+    for (std::uint32_t a = 0; a < nodes; a++) {
+        for (std::uint32_t b = 0; b < nodes; b++) {
+            std::uint32_t d;
+            if (a == b)
+                d = 10;
+            else if (a / 4 == b / 4)
+                d = 30; // Same NUMAlink group.
+            else
+                d = 50; // Cross-group hop.
+            dist[a * nodes + b] = d;
+        }
+    }
+
+    MachineSpec spec;
+    spec.name = "uv2000-192";
+    spec.topology = trace::MachineTopology::custom(std::move(cpu_to_node),
+                                                   nodes, std::move(dist));
+    spec.cpuFreqHz = 2'400'000'000;
+    return spec;
+}
+
+MachineSpec
+MachineSpec::opteron64()
+{
+    constexpr std::uint32_t nodes = 8;
+    constexpr std::uint32_t cores = 8;
+    std::vector<NodeId> cpu_to_node;
+    for (std::uint32_t n = 0; n < nodes; n++)
+        for (std::uint32_t c = 0; c < cores; c++)
+            cpu_to_node.push_back(n);
+
+    std::vector<std::uint32_t> dist(nodes * nodes);
+    for (std::uint32_t a = 0; a < nodes; a++) {
+        for (std::uint32_t b = 0; b < nodes; b++) {
+            std::uint32_t d;
+            if (a == b)
+                d = 10;
+            else if (a / 2 == b / 2)
+                d = 16; // Sibling die on the same socket.
+            else
+                d = 22; // Cross-socket HyperTransport hop.
+            dist[a * nodes + b] = d;
+        }
+    }
+
+    MachineSpec spec;
+    spec.name = "opteron-64";
+    spec.topology = trace::MachineTopology::custom(std::move(cpu_to_node),
+                                                   nodes, std::move(dist));
+    spec.cpuFreqHz = 2'600'000'000;
+    return spec;
+}
+
+MachineSpec
+MachineSpec::small(std::uint32_t num_nodes, std::uint32_t cpus_per_node,
+                   std::uint64_t freq_hz)
+{
+    MachineSpec spec;
+    spec.name = "small";
+    spec.topology = trace::MachineTopology::uniform(num_nodes,
+                                                    cpus_per_node);
+    spec.cpuFreqHz = freq_hz;
+    return spec;
+}
+
+} // namespace machine
+} // namespace aftermath

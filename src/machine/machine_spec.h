@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Machine presets for the runtime simulator.
+ *
+ * The paper's test systems: an SGI UV2000 with 192 cores and 24 NUMA nodes
+ * connected through NUMAlink 6 (used for seidel), and a quad-socket AMD
+ * Opteron 6282 SE with 64 cores and 8 NUMA nodes connected with
+ * HyperTransport 3.0 (used for k-means). Since we simulate, both presets
+ * are available anywhere, plus arbitrary small machines for tests.
+ */
+
+#ifndef AFTERMATH_MACHINE_MACHINE_SPEC_H
+#define AFTERMATH_MACHINE_MACHINE_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/topology.h"
+
+namespace aftermath {
+namespace machine {
+
+/** A named machine configuration. */
+struct MachineSpec
+{
+    std::string name;
+    trace::MachineTopology topology;
+    std::uint64_t cpuFreqHz = 2'000'000'000;
+
+    /**
+     * SGI UV2000-like preset: 24 nodes x 8 cores = 192 cores at 2.4 GHz.
+     * NUMAlink distances grow with the hop count: 10 on-node, 30 within
+     * a group of four nodes, 50 across groups.
+     */
+    static MachineSpec uv2000();
+
+    /**
+     * Quad-socket AMD Opteron 6282 SE-like preset: 8 nodes x 8 cores =
+     * 64 cores at 2.6 GHz. HyperTransport distances: 10 on-node, 16 for
+     * the sibling die on the same socket, 22 across sockets.
+     */
+    static MachineSpec opteron64();
+
+    /** A small uniform machine for tests and the quickstart example. */
+    static MachineSpec small(std::uint32_t num_nodes,
+                             std::uint32_t cpus_per_node,
+                             std::uint64_t freq_hz = 2'000'000'000);
+};
+
+} // namespace machine
+} // namespace aftermath
+
+#endif // AFTERMATH_MACHINE_MACHINE_SPEC_H

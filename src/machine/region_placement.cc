@@ -1,0 +1,106 @@
+#include "machine/region_placement.h"
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace machine {
+
+RegionPlacementMap::RegionPlacementMap(std::uint32_t num_nodes,
+                                       std::uint64_t page_size)
+    : numNodes_(num_nodes), pageSize_(page_size)
+{
+    AFTERMATH_ASSERT(num_nodes > 0, "placement map needs >= 1 node");
+    AFTERMATH_ASSERT(page_size > 0, "page size must be positive");
+}
+
+void
+RegionPlacementMap::registerRegion(RegionId id, std::uint64_t size,
+                                   NodeId preferred, bool fresh)
+{
+    if (id >= placements_.size())
+        placements_.resize(id + 1);
+    RegionPlacement &p = placements_[id];
+    p.size = size;
+    p.preferred = preferred;
+    p.fresh = fresh;
+    p.node = kInvalidNode;
+    p.touched = false;
+    p.interleaved = false;
+}
+
+std::uint64_t
+RegionPlacementMap::touch(RegionId id, NodeId writer_node,
+                          PlacementPolicy policy)
+{
+    AFTERMATH_ASSERT(id < placements_.size(),
+                     "touch of unregistered region %llu",
+                     static_cast<unsigned long long>(id));
+    RegionPlacement &p = placements_[id];
+    if (p.touched)
+        return 0;
+    p.touched = true;
+
+    switch (policy) {
+      case PlacementPolicy::FirstTouch:
+        if (p.fresh) {
+            p.node = writer_node;
+        } else {
+            // Recycled pool buffer: it is already physically backed
+            // wherever it was first allocated, which under a
+            // NUMA-oblivious runtime is effectively arbitrary. A
+            // deterministic hash of the region id stands in for that
+            // location (cf. the poor write locality of paper Fig 14c).
+            std::uint64_t h = id * 0x9e3779b97f4a7c15ull;
+            p.node = static_cast<NodeId>((h >> 32) % numNodes_);
+        }
+        break;
+      case PlacementPolicy::Interleave:
+        p.interleaved = true;
+        // Majority node rotates so that interleaved regions spread.
+        p.node = static_cast<NodeId>(interleaveNext_++ % numNodes_);
+        break;
+      case PlacementPolicy::Explicit:
+        p.node = p.preferred != kInvalidNode ? p.preferred : writer_node;
+        break;
+    }
+
+    if (!p.fresh)
+        return 0; // Recycled pool buffer: already physically backed.
+    return (p.size + pageSize_ - 1) / pageSize_;
+}
+
+const RegionPlacement &
+RegionPlacementMap::placement(RegionId id) const
+{
+    AFTERMATH_ASSERT(id < placements_.size(),
+                     "placement of unregistered region %llu",
+                     static_cast<unsigned long long>(id));
+    return placements_[id];
+}
+
+std::vector<std::uint64_t>
+RegionPlacementMap::bytesPerNode(RegionId id) const
+{
+    const RegionPlacement &p = placement(id);
+    std::vector<std::uint64_t> out(numNodes_, 0);
+    if (!p.touched || p.node == kInvalidNode)
+        return out;
+    if (p.interleaved) {
+        std::uint64_t share = p.size / numNodes_;
+        for (NodeId n = 0; n < numNodes_; n++)
+            out[n] = share;
+        out[p.node] += p.size - share * numNodes_;
+    } else {
+        out[p.node] = p.size;
+    }
+    return out;
+}
+
+NodeId
+RegionPlacementMap::homeNode(RegionId id) const
+{
+    return placement(id).node;
+}
+
+} // namespace machine
+} // namespace aftermath

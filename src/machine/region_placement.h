@@ -1,0 +1,106 @@
+/**
+ * @file
+ * NUMA placement of memory regions in the simulated machine.
+ *
+ * Mirrors the paper's storage design at the simulation level: placement is
+ * tracked per region (stored once), not per access. Physical allocation
+ * happens on first touch — the first write to a fresh region faults its
+ * pages in, assigning the region's home node according to the placement
+ * policy and charging the toucher the page-fault cost (the mechanism
+ * behind the slow seidel initialization of paper section III-B).
+ */
+
+#ifndef AFTERMATH_MACHINE_REGION_PLACEMENT_H
+#define AFTERMATH_MACHINE_REGION_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace aftermath {
+namespace machine {
+
+/** How fresh regions obtain their home node. */
+enum class PlacementPolicy {
+    FirstTouch, ///< Node of the first writer (Linux default).
+    Interleave, ///< Pages spread round-robin over all nodes.
+    Explicit,   ///< The region's preferred node, set at registration.
+};
+
+/** Placement state of one region. */
+struct RegionPlacement
+{
+    std::uint64_t size = 0;
+    NodeId node = kInvalidNode; ///< Home node; kInvalidNode until touched.
+    NodeId preferred = kInvalidNode; ///< Explicit-policy target.
+    bool interleaved = false;
+    bool fresh = true;   ///< True until first touch faults pages in.
+    bool touched = false;
+};
+
+/**
+ * Tracks the placement of all regions of a simulated execution.
+ *
+ * Regions are identified by dense ids assigned by the workload.
+ */
+class RegionPlacementMap
+{
+  public:
+    /**
+     * @param num_nodes Number of NUMA nodes.
+     * @param page_size Page size in bytes (default 4 KiB).
+     */
+    explicit RegionPlacementMap(std::uint32_t num_nodes,
+                                std::uint64_t page_size = 4096);
+
+    /**
+     * Register region @p id.
+     *
+     * @param size Region size in bytes.
+     * @param preferred Home node under the Explicit policy.
+     * @param fresh False for regions recycled from the runtime's buffer
+     *        pool: they adopt a home on first write without faulting.
+     */
+    void registerRegion(RegionId id, std::uint64_t size, NodeId preferred,
+                        bool fresh);
+
+    /**
+     * Record a write to region @p id by a worker on @p writer_node under
+     * @p policy.
+     *
+     * @return The number of pages newly faulted in (0 if the region was
+     *         already backed or recycled).
+     */
+    std::uint64_t touch(RegionId id, NodeId writer_node,
+                        PlacementPolicy policy);
+
+    /** Placement state of region @p id. */
+    const RegionPlacement &placement(RegionId id) const;
+
+    /**
+     * Bytes of region @p id residing on each node (size num_nodes).
+     * Untouched regions report all-zero.
+     */
+    std::vector<std::uint64_t> bytesPerNode(RegionId id) const;
+
+    /** Home node of the region (the majority node under interleaving). */
+    NodeId homeNode(RegionId id) const;
+
+    /** Number of registered regions. */
+    std::size_t numRegions() const { return placements_.size(); }
+
+    /** Page size in bytes. */
+    std::uint64_t pageSize() const { return pageSize_; }
+
+  private:
+    std::uint32_t numNodes_;
+    std::uint64_t pageSize_;
+    std::vector<RegionPlacement> placements_;
+    std::uint64_t interleaveNext_ = 0;
+};
+
+} // namespace machine
+} // namespace aftermath
+
+#endif // AFTERMATH_MACHINE_REGION_PLACEMENT_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for reading raw counter values out of a trace.
+ */
+
+#ifndef AFTERMATH_METRICS_COUNTER_UTILS_H
+#define AFTERMATH_METRICS_COUNTER_UTILS_H
+
+#include <optional>
+
+#include "base/types.h"
+#include "trace/cpu_timeline.h"
+
+namespace aftermath {
+namespace metrics {
+
+/**
+ * Value of @p counter on @p timeline at time @p t using step
+ * interpolation: the value of the last sample at or before @p t.
+ *
+ * @return std::nullopt if no sample exists at or before @p t.
+ */
+std::optional<std::int64_t> counterValueAt(const trace::CpuTimeline &timeline,
+                                           CounterId counter, TimeStamp t);
+
+/**
+ * Linearly interpolated value of @p counter at time @p t; clamps to the
+ * first/last sample outside the sampled range.
+ *
+ * @return std::nullopt if the counter has no samples at all.
+ */
+std::optional<double> counterValueInterpolated(
+    const trace::CpuTimeline &timeline, CounterId counter, TimeStamp t);
+
+} // namespace metrics
+} // namespace aftermath
+
+#endif // AFTERMATH_METRICS_COUNTER_UTILS_H

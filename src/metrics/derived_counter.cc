@@ -1,0 +1,33 @@
+#include "metrics/derived_counter.h"
+
+#include <algorithm>
+
+namespace aftermath {
+namespace metrics {
+
+double
+DerivedCounter::minValue() const
+{
+    double v = 0.0;
+    for (std::size_t i = 0; i < samples.size(); i++)
+        v = i == 0 ? samples[i].value : std::min(v, samples[i].value);
+    return v;
+}
+
+double
+DerivedCounter::maxValue() const
+{
+    double v = 0.0;
+    for (std::size_t i = 0; i < samples.size(); i++)
+        v = i == 0 ? samples[i].value : std::max(v, samples[i].value);
+    return v;
+}
+
+TimeStamp
+DerivedCounter::lastTime() const
+{
+    return samples.empty() ? 0 : samples.back().time;
+}
+
+} // namespace metrics
+} // namespace aftermath

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Derived counters: time series computed from trace events.
+ *
+ * Aftermath lets the user configure generators for metrics derived from
+ * high-level events or combining existing counters (paper section II-A
+ * group 5): the number of workers in a state, average task duration,
+ * discrete derivatives, counter ratios and per-worker aggregations. The
+ * generators live in the metrics/ module; they all produce this common
+ * series type, which the counter overlay renders like any raw counter.
+ */
+
+#ifndef AFTERMATH_METRICS_DERIVED_COUNTER_H
+#define AFTERMATH_METRICS_DERIVED_COUNTER_H
+
+#include <string>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+
+namespace aftermath {
+namespace metrics {
+
+/** One sample of a derived series. */
+struct DerivedSample
+{
+    TimeStamp time = 0;
+    double value = 0.0;
+};
+
+/** A named, time-ordered derived series. */
+struct DerivedCounter
+{
+    std::string name;
+    std::vector<DerivedSample> samples;
+
+    /** Minimum sample value (0 if empty). */
+    double minValue() const;
+
+    /** Maximum sample value (0 if empty). */
+    double maxValue() const;
+
+    /** Largest sample timestamp (0 if empty). */
+    TimeStamp lastTime() const;
+};
+
+} // namespace metrics
+} // namespace aftermath
+
+#endif // AFTERMATH_METRICS_DERIVED_COUNTER_H

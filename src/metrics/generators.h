@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Generators of derived counters.
+ *
+ * Each generator reproduces one of the derived-metric menus of the paper:
+ *
+ *  - stateOccupancy(): "the evolution of the number of workers that are
+ *    simultaneously in any given state" (section III-A, Fig 3). The
+ *    execution is divided into a user-defined number of intervals; for
+ *    each interval the time every worker spent in the state is summed and
+ *    divided by the interval duration.
+ *  - averageTaskDuration(): average duration of the tasks executing in
+ *    each interval (section III-B, Fig 8).
+ *  - differenceQuotient(): discrete derivative of a series (Fig 10, 18).
+ *  - aggregateCounter(): converts per-worker counter data into global
+ *    statistics by summing across workers (section III-B, Fig 10).
+ *  - counterRatio(): pointwise ratio of two derived series ("ratio of
+ *    hardware counters", section II-A group 5).
+ */
+
+#ifndef AFTERMATH_METRICS_GENERATORS_H
+#define AFTERMATH_METRICS_GENERATORS_H
+
+#include <cstdint>
+
+#include "base/time_interval.h"
+#include "metrics/derived_counter.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace metrics {
+
+/**
+ * Average number of workers simultaneously in @p state per interval.
+ *
+ * @param trace Finalized trace.
+ * @param state State id to count (e.g. CoreState::Idle).
+ * @param num_intervals Number of equal subdivisions of the trace span.
+ */
+DerivedCounter stateOccupancy(const trace::Trace &trace, std::uint32_t state,
+                              std::uint32_t num_intervals);
+
+/**
+ * Average duration (cycles) of tasks whose execution overlaps each
+ * interval; 0 for intervals without any executing task.
+ */
+DerivedCounter averageTaskDuration(const trace::Trace &trace,
+                                   std::uint32_t num_intervals);
+
+/**
+ * Discrete derivative of @p series: sample i holds
+ * (v[i] - v[i-1]) / (t[i] - t[i-1]) placed at t[i].
+ */
+DerivedCounter differenceQuotient(const DerivedCounter &series);
+
+/**
+ * Sum of a raw counter across all workers, sampled per interval with step
+ * interpolation (a per-worker counter becomes one global series).
+ */
+DerivedCounter aggregateCounter(const trace::Trace &trace, CounterId counter,
+                                std::uint32_t num_intervals);
+
+/**
+ * Pointwise ratio a/b resampled at @p a's timestamps; samples where the
+ * denominator is 0 are skipped.
+ */
+DerivedCounter counterRatio(const DerivedCounter &a, const DerivedCounter &b);
+
+} // namespace metrics
+} // namespace aftermath
+
+#endif // AFTERMATH_METRICS_GENERATORS_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Attribution of monotonic counters to task executions.
+ *
+ * Aftermath can "determine the increase of a monotonically increasing
+ * counter for each task" (paper section V) — e.g. the number of branch
+ * mispredictions each task suffered — because counters are sampled
+ * immediately before and after task execution. The per-task increases
+ * drive the correlation analysis of Fig 19 and the quantitative cache
+ * analyses of section IV.
+ */
+
+#ifndef AFTERMATH_METRICS_TASK_ATTRIBUTION_H
+#define AFTERMATH_METRICS_TASK_ATTRIBUTION_H
+
+#include <vector>
+
+#include "base/types.h"
+#include "filter/task_filter.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace metrics {
+
+/** Counter increase observed across one task's execution. */
+struct TaskCounterIncrease
+{
+    TaskInstanceId task = kInvalidTaskInstance;
+    TaskTypeId type = 0;
+    CpuId cpu = kInvalidCpu;
+    TimeStamp duration = 0;   ///< Task execution time, cycles.
+    std::int64_t increase = 0;///< Counter delta across the execution.
+
+    /** Counter increase per thousand cycles (Fig 19's x axis). */
+    double
+    ratePerKcycle() const
+    {
+        return duration == 0 ? 0.0
+            : 1000.0 * static_cast<double>(increase) /
+                  static_cast<double>(duration);
+    }
+};
+
+/**
+ * Counter increase of @p counter across every task accepted by
+ * @p filter.
+ *
+ * Tasks whose CPU lacks samples bracketing the execution are skipped.
+ */
+std::vector<TaskCounterIncrease> taskCounterIncreases(
+    const trace::Trace &trace, CounterId counter,
+    const filter::TaskFilter &filter);
+
+} // namespace metrics
+} // namespace aftermath
+
+#endif // AFTERMATH_METRICS_TASK_ATTRIBUTION_H

@@ -1,0 +1,120 @@
+#include "render/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/state.h"
+
+namespace aftermath {
+namespace render {
+
+Rgba
+lerp(const Rgba &a, const Rgba &b, double t)
+{
+    t = std::clamp(t, 0.0, 1.0);
+    auto mix = [t](std::uint8_t x, std::uint8_t y) {
+        return static_cast<std::uint8_t>(
+            std::lround(static_cast<double>(x) +
+                        t * (static_cast<double>(y) -
+                             static_cast<double>(x))));
+    };
+    return {mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b), mix(a.a, b.a)};
+}
+
+Rgba
+stateColor(std::uint32_t state_id)
+{
+    using trace::CoreState;
+    switch (static_cast<CoreState>(state_id)) {
+      case CoreState::TaskExec: return {26, 58, 128, 255};      // Dark blue.
+      case CoreState::TaskCreation: return {230, 126, 34, 255}; // Orange.
+      case CoreState::Idle: return {140, 190, 238, 255};        // Light blue.
+      case CoreState::Broadcast: return {39, 174, 96, 255};     // Green.
+      case CoreState::Reduction: return {142, 68, 173, 255};    // Purple.
+      case CoreState::Synchronization: return {241, 196, 15, 255}; // Yellow.
+      case CoreState::RuntimeInit: return {127, 140, 141, 255}; // Gray.
+    }
+    // Unknown states get a deterministic color from the type palette.
+    return taskTypeColor(state_id);
+}
+
+Rgba
+taskTypeColor(std::size_t type_index)
+{
+    // A repeating palette of well-separated hues; pink and ocher first to
+    // echo Fig 9's initialization/computation colors.
+    static const Rgba palette[] = {
+        {231, 84, 128, 255},  // Pink.
+        {204, 119, 34, 255},  // Ocher.
+        {52, 152, 219, 255},  // Blue.
+        {46, 204, 113, 255},  // Green.
+        {155, 89, 182, 255},  // Purple.
+        {241, 196, 15, 255},  // Yellow.
+        {26, 188, 156, 255},  // Teal.
+        {149, 165, 166, 255}, // Gray.
+        {192, 57, 43, 255},   // Dark red.
+        {41, 128, 185, 255},  // Dark blue.
+    };
+    return palette[type_index % std::size(palette)];
+}
+
+Rgba
+numaNodeColor(std::uint32_t node)
+{
+    // Deterministic distinct hues around the color wheel; HSV with
+    // golden-ratio hue stepping keeps adjacent node ids far apart.
+    double hue = std::fmod(static_cast<double>(node) * 0.618033988749895,
+                           1.0) * 360.0;
+    double s = 0.65, v = 0.90;
+    double c = v * s;
+    double hp = hue / 60.0;
+    double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+    double r = 0, g = 0, b = 0;
+    if (hp < 1) { r = c; g = x; }
+    else if (hp < 2) { r = x; g = c; }
+    else if (hp < 3) { g = c; b = x; }
+    else if (hp < 4) { g = x; b = c; }
+    else if (hp < 5) { r = x; b = c; }
+    else { r = c; b = x; }
+    double m = v - c;
+    auto to8 = [m](double ch) {
+        return static_cast<std::uint8_t>(std::lround((ch + m) * 255.0));
+    };
+    return {to8(r), to8(g), to8(b), 255};
+}
+
+Rgba
+heatmapShade(std::uint64_t duration, std::uint64_t min_duration,
+             std::uint64_t max_duration, std::uint32_t shades)
+{
+    if (shades < 2)
+        shades = 2;
+    if (max_duration <= min_duration)
+        max_duration = min_duration + 1;
+    double f;
+    if (duration <= min_duration) {
+        f = 0.0;
+    } else if (duration >= max_duration) {
+        f = 1.0;
+    } else {
+        f = static_cast<double>(duration - min_duration) /
+            static_cast<double>(max_duration - min_duration);
+    }
+    // Quantize into the discrete shades (paper: heatmap with ten shades).
+    double step = std::floor(f * (shades - 1) + 0.5) /
+                  static_cast<double>(shades - 1);
+    const Rgba white{255, 255, 255, 255};
+    const Rgba dark_red{120, 8, 8, 255};
+    return lerp(white, dark_red, step);
+}
+
+Rgba
+numaHeatShade(double remote_fraction)
+{
+    const Rgba blue{41, 98, 255, 255};
+    const Rgba pink{255, 64, 180, 255};
+    return lerp(blue, pink, remote_fraction);
+}
+
+} // namespace render
+} // namespace aftermath

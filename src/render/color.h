@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Colors and the palettes of the timeline modes.
+ *
+ * The palettes follow the paper's descriptions: dark blue for task
+ * execution and light blue for idling (Fig 2), shades of red for the task
+ * duration heatmap (darker = longer, Fig 7), one distinct color per task
+ * type (Fig 9) and per NUMA node (Fig 14a-d), and a blue-to-pink gradient
+ * for the NUMA heatmap (Fig 14e-f).
+ */
+
+#ifndef AFTERMATH_RENDER_COLOR_H
+#define AFTERMATH_RENDER_COLOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace aftermath {
+namespace render {
+
+/** An 8-bit RGBA color. */
+struct Rgba
+{
+    std::uint8_t r = 0;
+    std::uint8_t g = 0;
+    std::uint8_t b = 0;
+    std::uint8_t a = 255;
+
+    constexpr bool operator==(const Rgba &other) const = default;
+};
+
+/** Linear interpolation between two colors, t in [0, 1]. */
+Rgba lerp(const Rgba &a, const Rgba &b, double t);
+
+/** Timeline background (visible where no event is drawn, Fig 7). */
+inline constexpr Rgba kBackground{32, 32, 32, 255};
+
+/** Alternate background for odd lanes, giving the striped look. */
+inline constexpr Rgba kBackgroundAlt{48, 48, 48, 255};
+
+/** Color of state @p state_id in state mode. */
+Rgba stateColor(std::uint32_t state_id);
+
+/** Distinct color of task type index @p type_index (typemap mode). */
+Rgba taskTypeColor(std::size_t type_index);
+
+/** Distinct color of NUMA node @p node (NUMA read/write map modes). */
+Rgba numaNodeColor(std::uint32_t node);
+
+/**
+ * Heatmap shade for a task duration.
+ *
+ * @param duration Task duration.
+ * @param min_duration Durations at/below map to the lightest shade.
+ * @param max_duration Durations at/above map to the darkest shade.
+ * @param shades Number of discrete shades (the paper uses 10).
+ */
+Rgba heatmapShade(std::uint64_t duration, std::uint64_t min_duration,
+                  std::uint64_t max_duration, std::uint32_t shades);
+
+/**
+ * NUMA heatmap shade: blue for mostly-local accesses through pink for
+ * mostly-remote (@p remote_fraction in [0, 1]).
+ */
+Rgba numaHeatShade(double remote_fraction);
+
+} // namespace render
+} // namespace aftermath
+
+#endif // AFTERMATH_RENDER_COLOR_H

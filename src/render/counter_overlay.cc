@@ -1,0 +1,160 @@
+#include "render/counter_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aftermath {
+namespace render {
+
+CounterOverlay::CounterOverlay(const trace::Trace &trace, Framebuffer &fb)
+    : trace_(trace), fb_(fb)
+{}
+
+std::int64_t
+CounterOverlay::valueToY(double value, double lo, double hi,
+                         std::uint32_t top, std::uint32_t height)
+{
+    if (hi <= lo)
+        hi = lo + 1.0;
+    double f = (value - lo) / (hi - lo);
+    f = std::clamp(f, 0.0, 1.0);
+    // Larger values sit higher on screen (smaller y).
+    double y = static_cast<double>(top) +
+               (1.0 - f) * static_cast<double>(height - 1);
+    return static_cast<std::int64_t>(std::llround(y));
+}
+
+void
+CounterOverlay::renderLane(CpuId cpu, CounterId counter,
+                           const index::CounterIndex &index,
+                           const TimelineLayout &layout,
+                           const CounterOverlayConfig &config)
+{
+    (void)counter; // The index already encapsulates the sample array.
+    stats_.reset();
+    std::uint32_t top = layout.laneTop(cpu);
+    std::uint32_t height = layout.laneHeight();
+
+    // Auto-scale against the extrema of the visible interval: a single
+    // O(arity * depth) index query.
+    double lo, hi;
+    if (config.scaleMin && config.scaleMax) {
+        lo = *config.scaleMin;
+        hi = *config.scaleMax;
+    } else {
+        index::MinMax mm = index.query(layout.view());
+        if (!mm.valid)
+            return;
+        lo = config.scaleMin.value_or(static_cast<double>(mm.min));
+        hi = config.scaleMax.value_or(static_cast<double>(mm.max));
+    }
+
+    for (std::uint32_t x = 0; x < layout.width(); x++) {
+        TimeInterval pixel = layout.pixelInterval(x);
+        if (pixel.empty())
+            continue;
+        index::MinMax mm = index.query(pixel);
+        if (!mm.valid)
+            continue;
+        std::int64_t y0 = valueToY(static_cast<double>(mm.min), lo, hi,
+                                   top, height);
+        std::int64_t y1 = valueToY(static_cast<double>(mm.max), lo, hi,
+                                   top, height);
+        fb_.drawVLine(x, y1, y0, config.color);
+        stats_.lineOps++;
+    }
+}
+
+void
+CounterOverlay::renderLaneNaive(CpuId cpu, CounterId counter,
+                                const TimelineLayout &layout,
+                                const CounterOverlayConfig &config)
+{
+    stats_.reset();
+    std::uint32_t top = layout.laneTop(cpu);
+    std::uint32_t height = layout.laneHeight();
+
+    const auto &samples = trace_.cpu(cpu).counterSamples(counter);
+    trace::SliceRange slice = trace_.cpu(cpu).counterSlice(counter,
+                                                           layout.view());
+    if (slice.empty())
+        return;
+
+    double lo, hi;
+    if (config.scaleMin && config.scaleMax) {
+        lo = *config.scaleMin;
+        hi = *config.scaleMax;
+    } else {
+        std::int64_t mn = samples[slice.first].value;
+        std::int64_t mx = mn;
+        for (std::size_t i = slice.first; i < slice.last; i++) {
+            mn = std::min(mn, samples[i].value);
+            mx = std::max(mx, samples[i].value);
+            stats_.eventsVisited++;
+        }
+        lo = config.scaleMin.value_or(static_cast<double>(mn));
+        hi = config.scaleMax.value_or(static_cast<double>(mx));
+    }
+
+    // One drawing operation per adjacent sample pair, regardless of how
+    // many samples share a pixel column.
+    for (std::size_t i = slice.first + 1; i < slice.last; i++) {
+        const trace::CounterSample &a = samples[i - 1];
+        const trace::CounterSample &b = samples[i];
+        std::int64_t x0 = layout.timeToPixel(a.time);
+        std::int64_t x1 = layout.timeToPixel(b.time);
+        std::int64_t y0 = valueToY(static_cast<double>(a.value), lo, hi,
+                                   top, height);
+        std::int64_t y1 = valueToY(static_cast<double>(b.value), lo, hi,
+                                   top, height);
+        fb_.drawLine(x0, y0, x1, y1, config.color);
+        stats_.lineOps++;
+    }
+}
+
+void
+CounterOverlay::renderGlobal(const metrics::DerivedCounter &series,
+                             const TimelineLayout &layout,
+                             const CounterOverlayConfig &config)
+{
+    stats_.reset();
+    if (series.samples.empty())
+        return;
+
+    double lo = config.scaleMin.value_or(series.minValue());
+    double hi = config.scaleMax.value_or(series.maxValue());
+
+    // Per-column min/max reduction by a single forward scan: derived
+    // series are usually small, so no index is built for them.
+    std::size_t ptr = 0;
+    const auto &samples = series.samples;
+    for (std::uint32_t x = 0; x < layout.width(); x++) {
+        TimeInterval pixel = layout.pixelInterval(x);
+        while (ptr < samples.size() && samples[ptr].time < pixel.start)
+            ptr++;
+        std::size_t end = ptr;
+        double mn = 0.0, mx = 0.0;
+        bool any = false;
+        while (end < samples.size() && samples[end].time < pixel.end) {
+            stats_.eventsVisited++;
+            if (!any) {
+                mn = mx = samples[end].value;
+                any = true;
+            } else {
+                mn = std::min(mn, samples[end].value);
+                mx = std::max(mx, samples[end].value);
+            }
+            end++;
+        }
+        ptr = end;
+        if (!any)
+            continue;
+        std::int64_t y0 = valueToY(mn, lo, hi, 0, layout.height());
+        std::int64_t y1 = valueToY(mx, lo, hi, 0, layout.height());
+        fb_.drawVLine(x, y1, y0, config.color);
+        stats_.lineOps++;
+    }
+}
+
+} // namespace render
+} // namespace aftermath

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Counter overlays on the timeline.
+ *
+ * The timeline can be overlaid with the evolution of performance counters
+ * (paper section II-A). Because counter samples have two dimensions, the
+ * rendering optimization works both horizontally and vertically (section
+ * VI-B, Fig 21): instead of drawing a line per adjacent sample pair, the
+ * renderer determines the minimum and maximum value within each pixel
+ * column — via the n-ary counter index — and draws one vertical line
+ * between them.
+ */
+
+#ifndef AFTERMATH_RENDER_COUNTER_OVERLAY_H
+#define AFTERMATH_RENDER_COUNTER_OVERLAY_H
+
+#include <optional>
+
+#include "index/counter_index.h"
+#include "metrics/derived_counter.h"
+#include "render/color.h"
+#include "render/framebuffer.h"
+#include "render/layout.h"
+#include "render/render_stats.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace render {
+
+/** Configuration of a counter overlay pass. */
+struct CounterOverlayConfig
+{
+    Rgba color{235, 235, 235, 255};
+
+    /**
+     * Fixed vertical scale; when unset the scale adapts to the minimum
+     * and maximum of the visible samples (as Fig 18's axis does).
+     */
+    std::optional<double> scaleMin;
+    std::optional<double> scaleMax;
+};
+
+/** Draws counter curves over timeline lanes or the full drawing area. */
+class CounterOverlay
+{
+  public:
+    CounterOverlay(const trace::Trace &trace, Framebuffer &fb);
+
+    /**
+     * Optimized per-lane rendering of a raw counter: one min/max query
+     * per pixel column through @p index, one vertical line per column.
+     */
+    void renderLane(CpuId cpu, CounterId counter,
+                    const index::CounterIndex &index,
+                    const TimelineLayout &layout,
+                    const CounterOverlayConfig &config);
+
+    /**
+     * Naive per-lane rendering: a line segment per adjacent visible
+     * sample pair — the baseline of the Fig 21 comparison.
+     */
+    void renderLaneNaive(CpuId cpu, CounterId counter,
+                         const TimelineLayout &layout,
+                         const CounterOverlayConfig &config);
+
+    /**
+     * Render a derived (global) series across the full drawing area
+     * using the same per-column min/max reduction.
+     */
+    void renderGlobal(const metrics::DerivedCounter &series,
+                      const TimelineLayout &layout,
+                      const CounterOverlayConfig &config);
+
+    /** Operation counts of the last render call. */
+    const RenderStats &stats() const { return stats_; }
+
+  private:
+    /** Map a value to a y coordinate inside [top, top+height). */
+    static std::int64_t valueToY(double value, double lo, double hi,
+                                 std::uint32_t top, std::uint32_t height);
+
+    const trace::Trace &trace_;
+    Framebuffer &fb_;
+    RenderStats stats_;
+};
+
+} // namespace render
+} // namespace aftermath
+
+#endif // AFTERMATH_RENDER_COUNTER_OVERLAY_H

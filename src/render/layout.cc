@@ -1,0 +1,69 @@
+#include "render/layout.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace render {
+
+TimelineLayout::TimelineLayout(const TimeInterval &view, std::uint32_t width,
+                               std::uint32_t height, std::uint32_t num_cpus)
+    : view_(view), width_(width), height_(height), numCpus_(num_cpus)
+{
+    AFTERMATH_ASSERT(width > 0 && height > 0, "layout area must be positive");
+    AFTERMATH_ASSERT(num_cpus > 0, "layout needs at least one cpu lane");
+    AFTERMATH_ASSERT(!view.empty(), "layout view interval must be non-empty");
+}
+
+TimeInterval
+TimelineLayout::pixelInterval(std::uint32_t x) const
+{
+    // Integer split of the view into `width` near-equal pieces; pixel
+    // intervals tile the view exactly (no gaps, no overlaps) so that the
+    // predominant-state resolution never double-counts time.
+    TimeStamp dur = view_.duration();
+    TimeStamp start = view_.start +
+        static_cast<TimeStamp>((static_cast<unsigned __int128>(dur) * x) /
+                               width_);
+    TimeStamp end = view_.start +
+        static_cast<TimeStamp>(
+            (static_cast<unsigned __int128>(dur) * (x + 1)) / width_);
+    return {start, std::max(end, start)};
+}
+
+std::uint32_t
+TimelineLayout::timeToPixel(TimeStamp t) const
+{
+    if (t <= view_.start)
+        return 0;
+    if (t >= view_.end)
+        return width_ - 1;
+    unsigned __int128 off = t - view_.start;
+    std::uint32_t x = static_cast<std::uint32_t>(
+        (off * width_) / view_.duration());
+    return std::min(x, width_ - 1);
+}
+
+double
+TimelineLayout::cyclesPerPixel() const
+{
+    return static_cast<double>(view_.duration()) /
+           static_cast<double>(width_);
+}
+
+std::uint32_t
+TimelineLayout::laneTop(CpuId cpu) const
+{
+    AFTERMATH_ASSERT(cpu < numCpus_, "cpu %u outside layout", cpu);
+    return (height_ * cpu) / numCpus_;
+}
+
+std::uint32_t
+TimelineLayout::laneHeight() const
+{
+    return std::max<std::uint32_t>(height_ / numCpus_, 1);
+}
+
+} // namespace render
+} // namespace aftermath

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Instrumentation of rendering work.
+ *
+ * The renderer counts its own drawing operations so the optimizations of
+ * paper section VI-B (one pixel drawn once, aggregation of adjacent
+ * equal-colored pixels into single rectangles, min/max counter column
+ * rendering) are measurable against the naive algorithms they replace.
+ */
+
+#ifndef AFTERMATH_RENDER_RENDER_STATS_H
+#define AFTERMATH_RENDER_RENDER_STATS_H
+
+#include <cstdint>
+
+namespace aftermath {
+namespace render {
+
+/** Counts of primitive drawing operations issued. */
+struct RenderStats
+{
+    std::uint64_t rectOps = 0;   ///< fillRect calls.
+    std::uint64_t lineOps = 0;   ///< drawLine/drawVLine calls.
+    std::uint64_t eventsVisited = 0; ///< Trace events inspected.
+
+    void
+    reset()
+    {
+        *this = RenderStats{};
+    }
+
+    std::uint64_t totalOps() const { return rectOps + lineOps; }
+};
+
+} // namespace render
+} // namespace aftermath
+
+#endif // AFTERMATH_RENDER_RENDER_STATS_H

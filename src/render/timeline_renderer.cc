@@ -1,0 +1,383 @@
+#include "render/timeline_renderer.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "trace/numa.h"
+#include "trace/state.h"
+
+namespace aftermath {
+namespace render {
+
+namespace {
+
+/** Color of tasks whose NUMA placement is unknown. */
+constexpr Rgba kUnknownNuma{120, 120, 120, 255};
+
+constexpr std::uint32_t kTaskExecState =
+    static_cast<std::uint32_t>(trace::CoreState::TaskExec);
+
+} // namespace
+
+TimelineRenderer::TimelineRenderer(const trace::Trace &trace,
+                                   Framebuffer &fb)
+    : trace_(trace), fb_(fb)
+{
+    std::size_t index = 0;
+    for (const auto &[id, type] : trace_.taskTypes())
+        typeIndexCache_[id] = index++;
+}
+
+Rgba
+TimelineRenderer::laneBackground(CpuId cpu)
+{
+    return (cpu % 2) ? kBackgroundAlt : kBackground;
+}
+
+std::size_t
+TimelineRenderer::typeIndex(TaskTypeId type) const
+{
+    auto it = typeIndexCache_.find(type);
+    return it == typeIndexCache_.end() ? 0 : it->second;
+}
+
+bool
+TimelineRenderer::taskVisible(const TimelineConfig &config,
+                              TaskInstanceId id) const
+{
+    if (!config.taskFilter)
+        return true;
+    const trace::TaskInstance *task = trace_.taskInstance(id);
+    if (!task)
+        return false;
+    return config.taskFilter->matches(trace_, *task);
+}
+
+void
+TimelineRenderer::prepareHeatmapRange(const TimelineConfig &config,
+                                      const TimeInterval &view)
+{
+    if (config.heatmapMax != 0) {
+        effectiveHeatMin_ = config.heatmapMin;
+        effectiveHeatMax_ = config.heatmapMax;
+        return;
+    }
+    // Adapt to the shortest/longest task currently displayed.
+    bool any = false;
+    TimeStamp lo = 0, hi = 1;
+    for (const trace::TaskInstance &task : trace_.taskInstances()) {
+        if (!task.interval.overlaps(view))
+            continue;
+        if (config.taskFilter &&
+            !config.taskFilter->matches(trace_, task))
+            continue;
+        TimeStamp d = task.duration();
+        if (!any) {
+            lo = hi = d;
+            any = true;
+        } else {
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+    }
+    effectiveHeatMin_ = lo;
+    effectiveHeatMax_ = std::max(hi, lo + 1);
+}
+
+double
+TimelineRenderer::taskRemoteFraction(TaskInstanceId id, CpuId cpu)
+{
+    auto it = remoteFractionCache_.find(id);
+    if (it != remoteFractionCache_.end())
+        return it->second;
+
+    trace::NumaAccessSummary reads =
+        trace::summarizeTaskAccesses(trace_, id, /*writes=*/false);
+    trace::NumaAccessSummary writes =
+        trace::summarizeTaskAccesses(trace_, id, /*writes=*/true);
+    NodeId local = trace_.topology().nodeOfCpu(cpu);
+    std::uint64_t total = reads.totalBytes() + writes.totalBytes();
+    double fraction = 0.0;
+    if (total > 0) {
+        std::uint64_t local_bytes = 0;
+        if (local < reads.bytesPerNode.size())
+            local_bytes += reads.bytesPerNode[local];
+        if (local < writes.bytesPerNode.size())
+            local_bytes += writes.bytesPerNode[local];
+        fraction = static_cast<double>(total - local_bytes) /
+                   static_cast<double>(total);
+    }
+    remoteFractionCache_[id] = fraction;
+    return fraction;
+}
+
+std::optional<Rgba>
+TimelineRenderer::taskColor(const TimelineConfig &config, TaskInstanceId id)
+{
+    auto it = taskColorCache_.find(id);
+    if (it != taskColorCache_.end())
+        return it->second;
+
+    const trace::TaskInstance *task = trace_.taskInstance(id);
+    if (!task)
+        return std::nullopt;
+
+    Rgba color;
+    switch (config.mode) {
+      case TimelineMode::Heatmap:
+        color = heatmapShade(task->duration(), effectiveHeatMin_,
+                             effectiveHeatMax_, config.heatmapShades);
+        break;
+      case TimelineMode::TypeMap:
+        color = taskTypeColor(typeIndex(task->type));
+        break;
+      case TimelineMode::NumaRead:
+      case TimelineMode::NumaWrite: {
+        trace::NumaAccessSummary summary = trace::summarizeTaskAccesses(
+            trace_, id, config.mode == TimelineMode::NumaWrite);
+        NodeId node = summary.dominantNode();
+        color = node == kInvalidNode ? kUnknownNuma : numaNodeColor(node);
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+    taskColorCache_[id] = color;
+    return color;
+}
+
+Rgba
+TimelineRenderer::resolveInterval(const TimelineConfig &config, CpuId cpu,
+                                  const std::vector<trace::StateEvent> &states,
+                                  std::size_t first, std::size_t last,
+                                  const TimeInterval &pixel)
+{
+    if (pixel.empty())
+        return laneBackground(cpu);
+
+    if (config.mode == TimelineMode::State) {
+        // Predominant state: the state covering the largest share of the
+        // pixel interval (paper section VI-B.a).
+        // Small flat accumulation keyed by state id.
+        std::uint32_t best_state = 0;
+        TimeStamp best_time = 0;
+        std::vector<std::pair<std::uint32_t, TimeStamp>> acc;
+        for (std::size_t i = first; i < last; i++) {
+            const trace::StateEvent &ev = states[i];
+            stats_.eventsVisited++;
+            TimeStamp overlap = ev.interval.overlapDuration(pixel);
+            if (overlap == 0)
+                continue;
+            if (ev.state == kTaskExecState &&
+                ev.task != kInvalidTaskInstance &&
+                !taskVisible(config, ev.task))
+                continue;
+            bool found = false;
+            for (auto &[state, time] : acc) {
+                if (state == ev.state) {
+                    time += overlap;
+                    if (time > best_time) {
+                        best_time = time;
+                        best_state = state;
+                    }
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                acc.emplace_back(ev.state, overlap);
+                if (overlap > best_time) {
+                    best_time = overlap;
+                    best_state = ev.state;
+                }
+            }
+        }
+        return best_time == 0 ? laneBackground(cpu)
+                              : stateColor(best_state);
+    }
+
+    if (config.mode == TimelineMode::NumaHeatmap) {
+        // Average remote fraction weighted by each task's coverage.
+        double weight_sum = 0.0;
+        double fraction_sum = 0.0;
+        for (std::size_t i = first; i < last; i++) {
+            const trace::StateEvent &ev = states[i];
+            stats_.eventsVisited++;
+            if (ev.state != kTaskExecState ||
+                ev.task == kInvalidTaskInstance)
+                continue;
+            TimeStamp overlap = ev.interval.overlapDuration(pixel);
+            if (overlap == 0 || !taskVisible(config, ev.task))
+                continue;
+            double w = static_cast<double>(overlap);
+            weight_sum += w;
+            fraction_sum += w * taskRemoteFraction(ev.task, cpu);
+        }
+        if (weight_sum == 0.0)
+            return laneBackground(cpu);
+        return numaHeatShade(fraction_sum / weight_sum);
+    }
+
+    // Task-colored modes: the predominant visible task execution wins.
+    TaskInstanceId best_task = kInvalidTaskInstance;
+    TimeStamp best_time = 0;
+    for (std::size_t i = first; i < last; i++) {
+        const trace::StateEvent &ev = states[i];
+        stats_.eventsVisited++;
+        if (ev.state != kTaskExecState || ev.task == kInvalidTaskInstance)
+            continue;
+        TimeStamp overlap = ev.interval.overlapDuration(pixel);
+        if (overlap == 0 || !taskVisible(config, ev.task))
+            continue;
+        if (overlap > best_time) {
+            best_time = overlap;
+            best_task = ev.task;
+        }
+    }
+    if (best_task == kInvalidTaskInstance)
+        return laneBackground(cpu);
+    std::optional<Rgba> color = taskColor(config, best_task);
+    return color.value_or(laneBackground(cpu));
+}
+
+void
+TimelineRenderer::resolveLane(const TimelineConfig &config,
+                              const TimelineLayout &layout, CpuId cpu,
+                              std::vector<Rgba> &row)
+{
+    const auto &states = trace_.cpu(cpu).states();
+    trace::SliceRange slice = trace_.cpu(cpu).stateSlice(layout.view());
+
+    std::size_t ptr = slice.first;
+    for (std::uint32_t x = 0; x < layout.width(); x++) {
+        TimeInterval pixel = layout.pixelInterval(x);
+        if (pixel.empty()) {
+            row[x] = laneBackground(cpu);
+            continue;
+        }
+        // Advance past events entirely before this pixel; state ends are
+        // sorted because states are non-overlapping and start-sorted.
+        while (ptr < slice.last &&
+               states[ptr].interval.end <= pixel.start)
+            ptr++;
+        std::size_t end = ptr;
+        while (end < slice.last && states[end].interval.start < pixel.end)
+            end++;
+        row[x] = resolveInterval(config, cpu, states, ptr, end, pixel);
+    }
+}
+
+void
+TimelineRenderer::render(const TimelineConfig &config)
+{
+    stats_.reset();
+    taskColorCache_.clear();
+    remoteFractionCache_.clear();
+
+    fb_.clear(kBackground);
+    TimeInterval view = config.view.empty() ? trace_.span() : config.view;
+    if (view.empty())
+        return;
+    TimelineLayout layout(view, fb_.width(), fb_.height(),
+                          trace_.numCpus());
+    prepareHeatmapRange(config, view);
+
+    std::vector<Rgba> row(layout.width());
+    for (CpuId cpu = 0; cpu < trace_.numCpus(); cpu++) {
+        resolveLane(config, layout, cpu, row);
+
+        // Aggregate runs of identical adjacent pixels into one rectangle
+        // (paper section VI-B.b).
+        std::uint32_t top = layout.laneTop(cpu);
+        std::uint32_t height = layout.laneHeight();
+        std::uint32_t x = 0;
+        while (x < layout.width()) {
+            std::uint32_t run_end = x + 1;
+            while (run_end < layout.width() && row[run_end] == row[x])
+                run_end++;
+            fb_.fillRect(x, top, run_end - x, height, row[x]);
+            stats_.rectOps++;
+            x = run_end;
+        }
+    }
+}
+
+void
+TimelineRenderer::renderNaive(const TimelineConfig &config)
+{
+    stats_.reset();
+    taskColorCache_.clear();
+    remoteFractionCache_.clear();
+
+    fb_.clear(kBackground);
+    TimeInterval view = config.view.empty() ? trace_.span() : config.view;
+    if (view.empty())
+        return;
+    TimelineLayout layout(view, fb_.width(), fb_.height(),
+                          trace_.numCpus());
+    prepareHeatmapRange(config, view);
+
+    for (CpuId cpu = 0; cpu < trace_.numCpus(); cpu++) {
+        std::uint32_t top = layout.laneTop(cpu);
+        std::uint32_t height = layout.laneHeight();
+        fb_.fillRect(0, top, layout.width(), height, laneBackground(cpu));
+        stats_.rectOps++;
+
+        const auto &states = trace_.cpu(cpu).states();
+        trace::SliceRange slice = trace_.cpu(cpu).stateSlice(view);
+        for (std::size_t i = slice.first; i < slice.last; i++) {
+            const trace::StateEvent &ev = states[i];
+            stats_.eventsVisited++;
+            TimeInterval clipped = ev.interval.intersect(view);
+            if (clipped.empty())
+                continue;
+
+            Rgba color;
+            if (config.mode == TimelineMode::State) {
+                if (ev.state == kTaskExecState &&
+                    ev.task != kInvalidTaskInstance &&
+                    !taskVisible(config, ev.task))
+                    continue;
+                color = stateColor(ev.state);
+            } else {
+                if (ev.state != kTaskExecState ||
+                    ev.task == kInvalidTaskInstance ||
+                    !taskVisible(config, ev.task))
+                    continue;
+                if (config.mode == TimelineMode::NumaHeatmap) {
+                    color = numaHeatShade(
+                        taskRemoteFraction(ev.task, cpu));
+                } else {
+                    std::optional<Rgba> c = taskColor(config, ev.task);
+                    if (!c)
+                        continue;
+                    color = *c;
+                }
+            }
+
+            std::uint32_t x0 = layout.timeToPixel(clipped.start);
+            std::uint32_t x1 = layout.timeToPixel(clipped.end - 1);
+            fb_.fillRect(x0, top, x1 - x0 + 1, height, color);
+            stats_.rectOps++;
+        }
+    }
+}
+
+Rgba
+TimelineRenderer::resolvePixel(const TimelineConfig &config,
+                               const TimelineLayout &layout, CpuId cpu,
+                               std::uint32_t x)
+{
+    taskColorCache_.clear();
+    remoteFractionCache_.clear();
+    prepareHeatmapRange(config, layout.view());
+
+    TimeInterval pixel = layout.pixelInterval(x);
+    const auto &states = trace_.cpu(cpu).states();
+    trace::SliceRange slice = trace_.cpu(cpu).stateSlice(pixel);
+    return resolveInterval(config, cpu, states, slice.first, slice.last,
+                           pixel);
+}
+
+} // namespace render
+} // namespace aftermath

@@ -1,0 +1,585 @@
+#include "runtime/runtime_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "sim/event_queue.h"
+#include "trace/counter.h"
+#include "trace/state.h"
+
+namespace aftermath {
+namespace runtime {
+
+double
+RunResult::seconds() const
+{
+    std::uint64_t freq = trace.cpuFreqHz();
+    if (freq == 0)
+        return 0.0;
+    return static_cast<double>(makespan) / static_cast<double>(freq);
+}
+
+namespace {
+
+constexpr std::uint32_t kStateTaskExec =
+    static_cast<std::uint32_t>(trace::CoreState::TaskExec);
+constexpr std::uint32_t kStateTaskCreation =
+    static_cast<std::uint32_t>(trace::CoreState::TaskCreation);
+constexpr std::uint32_t kStateIdle =
+    static_cast<std::uint32_t>(trace::CoreState::Idle);
+
+/** Per-worker simulation state. */
+struct WorkerSim
+{
+    NodeId node = 0;
+    std::deque<std::uint64_t> ready;
+    bool busy = false;
+    bool waking = false;
+    TimeStamp timelineEnd = 0;
+
+    // Cumulative counters mirrored into the trace at task boundaries.
+    std::uint64_t mispredicts = 0;
+    std::uint64_t cacheMisses = 0;
+    double systemTimeUs = 0.0;
+    std::uint64_t rssKb = 0;
+};
+
+/** Per-task scheduling state. */
+struct TaskSim
+{
+    std::uint32_t depsRemaining = 0;
+    bool created = false;
+    bool completed = false;
+    bool enqueued = false;
+};
+
+/** One simulated execution; RuntimeSystem::run() instantiates and runs. */
+class Simulation
+{
+  public:
+    Simulation(const RuntimeConfig &config, const TaskSet &task_set)
+        : config_(config), set_(task_set),
+          topology_(config.machine.topology),
+          cost_(topology_, config.cost),
+          placement_(topology_.numNodes()),
+          scheduler_(topology_, config.scheduling, config.seed),
+          rng_(config.seed ^ 0x5eed5eed5eedull)
+    {}
+
+    RunResult run();
+
+  private:
+    void setupTrace();
+    void releaseRoots();
+    void enqueueReady(std::uint64_t task, TimeStamp t, CpuId hint);
+    void wakeSleeper(TimeStamp t, CpuId origin);
+    void tryAcquire(CpuId cpu, TimeStamp t);
+    void startTask(CpuId cpu, std::uint64_t id, TimeStamp t);
+    void complete(CpuId cpu, std::uint64_t id, TimeStamp t);
+    void recordIdleGap(CpuId cpu, TimeStamp until);
+    void sampleCounters(CpuId cpu, TimeStamp t);
+    void markSleeping(CpuId cpu);
+    void scheduleAcquire(CpuId cpu, TimeStamp t);
+
+    const RuntimeConfig &config_;
+    const TaskSet &set_;
+    const trace::MachineTopology &topology_;
+    machine::CostModel cost_;
+    machine::RegionPlacementMap placement_;
+    Scheduler scheduler_;
+    Rng rng_;
+
+    sim::EventQueue queue_;
+    std::vector<WorkerSim> workers_;
+    std::vector<TaskSim> taskState_;
+    std::vector<std::vector<std::uint64_t>> children_;   // By creator.
+    std::vector<std::vector<std::uint64_t>> dependents_; // By producer.
+    std::set<CpuId> sleepers_;
+
+    RunResult result_;
+    std::uint64_t completedCount_ = 0;
+};
+
+RunResult
+Simulation::run()
+{
+    std::string error;
+    if (!set_.validate(error)) {
+        result_.error = "invalid task set: " + error;
+        return result_;
+    }
+
+    workers_.assign(topology_.numCpus(), {});
+    for (CpuId c = 0; c < topology_.numCpus(); c++) {
+        workers_[c].node = topology_.nodeOfCpu(c);
+        sleepers_.insert(c);
+    }
+
+    taskState_.assign(set_.tasks.size(), {});
+    children_.assign(set_.tasks.size(), {});
+    dependents_.assign(set_.tasks.size(), {});
+    for (const SimTask &task : set_.tasks) {
+        taskState_[task.id].depsRemaining =
+            static_cast<std::uint32_t>(task.deps.size());
+        for (std::uint64_t d : task.deps)
+            dependents_[d].push_back(task.id);
+        if (task.creator != kNoTask)
+            children_[task.creator].push_back(task.id);
+    }
+
+    for (const SimRegion &region : set_.regions)
+        placement_.registerRegion(region.id, region.size, region.home,
+                                  region.fresh);
+
+    setupTrace();
+    releaseRoots();
+    result_.simEvents = queue_.runAll();
+
+    if (completedCount_ != set_.tasks.size()) {
+        for (std::uint64_t i = 0; i < set_.tasks.size(); i++) {
+            if (!taskState_[i].completed) {
+                result_.error = strFormat(
+                    "dependence deadlock: task %llu never ran "
+                    "(%llu of %zu completed)",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(completedCount_),
+                    set_.tasks.size());
+                return result_;
+            }
+        }
+    }
+
+    TimeStamp makespan = 0;
+    for (const WorkerSim &w : workers_)
+        makespan = std::max(makespan, w.timelineEnd);
+    result_.makespan = makespan;
+    for (CpuId c = 0; c < workers_.size(); c++)
+        recordIdleGap(c, makespan);
+
+    // Regions enter the trace with their final placement: stored once
+    // per region, exactly as the paper's format does.
+    if (config_.record.memAccesses) {
+        for (const SimRegion &region : set_.regions) {
+            trace::MemRegion r;
+            r.id = region.id;
+            r.address = region.address;
+            r.size = region.size;
+            r.node = placement_.homeNode(region.id);
+            result_.trace.addMemRegion(r);
+        }
+    }
+
+    std::string finalize_error;
+    if (!result_.trace.finalize(finalize_error)) {
+        result_.error = "trace finalize failed: " + finalize_error;
+        return result_;
+    }
+    result_.tasksExecuted = completedCount_;
+    result_.ok = true;
+    return result_;
+}
+
+void
+Simulation::setupTrace()
+{
+    trace::Trace &tr = result_.trace;
+    tr.setTopology(topology_);
+    tr.setCpuFreqHz(config_.machine.cpuFreqHz);
+    for (const trace::StateDescription &desc :
+         trace::coreStateDescriptions())
+        tr.addStateDescription(desc);
+    tr.addCounterDescription(
+        {static_cast<CounterId>(trace::CoreCounter::BranchMispredictions),
+         "branch_mispredictions"});
+    tr.addCounterDescription(
+        {static_cast<CounterId>(trace::CoreCounter::CacheMisses),
+         "cache_misses"});
+    tr.addCounterDescription(
+        {static_cast<CounterId>(trace::CoreCounter::SystemTimeUs),
+         "system_time_us"});
+    tr.addCounterDescription(
+        {static_cast<CounterId>(trace::CoreCounter::ResidentKb),
+         "resident_kb"});
+    for (const trace::TaskType &type : set_.types)
+        tr.addTaskType(type);
+}
+
+void
+Simulation::releaseRoots()
+{
+    // The control program creates every top-level task sequentially on
+    // worker 0, releasing each at its creation timestamp — the startup
+    // creation phase visible at the left of the paper's timelines.
+    std::vector<std::uint64_t> roots;
+    for (const SimTask &task : set_.tasks) {
+        if (task.creator == kNoTask)
+            roots.push_back(task.id);
+    }
+    if (roots.empty())
+        return;
+
+    TimeStamp cc = config_.cost.taskCreationCycles;
+    TimeStamp control_end = static_cast<TimeStamp>(roots.size()) * cc;
+
+    WorkerSim &w0 = workers_[0];
+    w0.busy = true;
+    sleepers_.erase(0);
+    if (config_.record.states) {
+        result_.trace.cpu(0).addState(
+            {{0, control_end}, kStateTaskCreation, kInvalidTaskInstance});
+    }
+    w0.timelineEnd = control_end;
+
+    for (std::size_t i = 0; i < roots.size(); i++) {
+        std::uint64_t id = roots[i];
+        TimeStamp created_at = static_cast<TimeStamp>(i + 1) * cc;
+        queue_.schedule(created_at, [this, id](TimeStamp t) {
+            taskState_[id].created = true;
+            if (config_.record.discrete) {
+                result_.trace.cpu(0).addDiscrete(
+                    {t, trace::DiscreteType::TaskCreated, id});
+            }
+            if (taskState_[id].depsRemaining == 0)
+                enqueueReady(id, t, 0);
+        });
+    }
+
+    queue_.schedule(control_end, [this](TimeStamp t) {
+        workers_[0].busy = false;
+        scheduleAcquire(0, t);
+    });
+}
+
+void
+Simulation::markSleeping(CpuId cpu)
+{
+    sleepers_.insert(cpu);
+}
+
+void
+Simulation::scheduleAcquire(CpuId cpu, TimeStamp t)
+{
+    WorkerSim &w = workers_[cpu];
+    if (w.busy || w.waking)
+        return;
+    w.waking = true;
+    sleepers_.erase(cpu);
+    queue_.schedule(t, [this, cpu](TimeStamp when) {
+        tryAcquire(cpu, when);
+    });
+}
+
+void
+Simulation::enqueueReady(std::uint64_t task, TimeStamp t, CpuId hint)
+{
+    TaskSim &ts = taskState_[task];
+    AFTERMATH_ASSERT(!ts.enqueued, "task %llu enqueued twice",
+                     static_cast<unsigned long long>(task));
+    ts.enqueued = true;
+
+    CpuId target = scheduler_.placeTask(set_.tasks[task], hint);
+    workers_[target].ready.push_back(task);
+
+    if (!workers_[target].busy && !workers_[target].waking) {
+        scheduleAcquire(target, t + config_.cost.dispatchLatencyCycles);
+    } else {
+        wakeSleeper(t, target);
+    }
+}
+
+void
+Simulation::wakeSleeper(TimeStamp t, CpuId origin)
+{
+    CpuId sleeper = scheduler_.chooseSleeperToWake(sleepers_, origin);
+    if (sleeper == kInvalidCpu)
+        return;
+    scheduleAcquire(sleeper, t + config_.cost.stealLatencyCycles);
+}
+
+void
+Simulation::tryAcquire(CpuId cpu, TimeStamp t)
+{
+    WorkerSim &w = workers_[cpu];
+    w.waking = false;
+    if (w.busy)
+        return;
+
+    std::uint64_t task = kNoTask;
+    bool stolen = false;
+    CpuId victim = kInvalidCpu;
+    TimeStamp cost = 0;
+
+    if (!w.ready.empty()) {
+        // Own deque: LIFO pop for locality.
+        task = w.ready.back();
+        w.ready.pop_back();
+    } else {
+        // Steal: a bounded number of policy-directed probes, then a
+        // deterministic scan (repeated stealing eventually succeeds in a
+        // real runtime; the scan models that without event storms).
+        for (std::uint32_t attempt = 0;
+             attempt < config_.maxStealAttempts && task == kNoTask;
+             attempt++) {
+            CpuId v = scheduler_.chooseVictim(cpu, attempt);
+            cost += config_.cost.stealAttemptCycles;
+            if (v != cpu && !workers_[v].ready.empty()) {
+                task = workers_[v].ready.front();
+                workers_[v].ready.pop_front();
+                victim = v;
+                stolen = true;
+            }
+        }
+        if (task == kNoTask) {
+            for (std::uint32_t i = 1; i < workers_.size(); i++) {
+                CpuId v = static_cast<CpuId>((cpu + i) % workers_.size());
+                if (!workers_[v].ready.empty()) {
+                    cost += config_.cost.stealAttemptCycles;
+                    task = workers_[v].ready.front();
+                    workers_[v].ready.pop_front();
+                    victim = v;
+                    stolen = true;
+                    break;
+                }
+            }
+        }
+        if (task == kNoTask) {
+            markSleeping(cpu);
+            return;
+        }
+        cost += config_.cost.stealLatencyCycles;
+    }
+
+    TimeStamp start = t + cost;
+    if (stolen) {
+        result_.steals++;
+        if (config_.record.comm) {
+            result_.trace.cpu(cpu).addComm(
+                {start, trace::CommKind::Steal, victim, cpu, 0, 0});
+        }
+        if (config_.record.discrete) {
+            result_.trace.cpu(cpu).addDiscrete(
+                {start, trace::DiscreteType::StealSuccess, task});
+        }
+    }
+    startTask(cpu, task, start);
+}
+
+void
+Simulation::recordIdleGap(CpuId cpu, TimeStamp until)
+{
+    WorkerSim &w = workers_[cpu];
+    if (until <= w.timelineEnd)
+        return;
+    if (config_.record.states) {
+        result_.trace.cpu(cpu).addState(
+            {{w.timelineEnd, until}, kStateIdle, kInvalidTaskInstance});
+    }
+    w.timelineEnd = until;
+}
+
+void
+Simulation::sampleCounters(CpuId cpu, TimeStamp t)
+{
+    if (!config_.record.counters)
+        return;
+    WorkerSim &w = workers_[cpu];
+    trace::CpuTimeline &tl = result_.trace.cpu(cpu);
+    tl.addCounterSample(
+        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions),
+        {t, static_cast<std::int64_t>(w.mispredicts)});
+    tl.addCounterSample(
+        static_cast<CounterId>(trace::CoreCounter::CacheMisses),
+        {t, static_cast<std::int64_t>(w.cacheMisses)});
+    tl.addCounterSample(
+        static_cast<CounterId>(trace::CoreCounter::SystemTimeUs),
+        {t, static_cast<std::int64_t>(std::llround(w.systemTimeUs))});
+    tl.addCounterSample(
+        static_cast<CounterId>(trace::CoreCounter::ResidentKb),
+        {t, static_cast<std::int64_t>(w.rssKb)});
+}
+
+void
+Simulation::startTask(CpuId cpu, std::uint64_t id, TimeStamp t)
+{
+    WorkerSim &w = workers_[cpu];
+    const SimTask &task = set_.tasks[id];
+    w.busy = true;
+
+    // --- Cost computation against the machine model. ---------------------
+    std::uint64_t read_cycles = 0;
+    std::uint64_t bytes_touched = 0;
+    for (const SimRegionRef &ref : task.reads) {
+        bytes_touched += ref.bytes;
+        const machine::RegionPlacement &p = placement_.placement(ref.region);
+        if (!p.touched || p.node == kInvalidNode) {
+            // Input with no recorded producer: treat as node-local.
+            read_cycles += cost_.memAccessCycles(ref.bytes, w.node, w.node);
+            continue;
+        }
+        std::vector<std::uint64_t> per_node =
+            placement_.bytesPerNode(ref.region);
+        for (NodeId n = 0; n < per_node.size(); n++) {
+            if (per_node[n] == 0)
+                continue;
+            // Scale the region's distribution to this access's bytes.
+            std::uint64_t bytes = p.size == 0 ? 0
+                : per_node[n] * ref.bytes / p.size;
+            if (bytes == 0)
+                continue;
+            read_cycles += cost_.memAccessCycles(bytes, n, w.node);
+            if (config_.record.comm) {
+                result_.trace.cpu(cpu).addComm(
+                    {t, trace::CommKind::DataRead, n, w.node, bytes,
+                     ref.region});
+            }
+        }
+    }
+
+    std::uint64_t write_cycles = 0;
+    std::uint64_t faults = 0;
+    for (const SimRegionRef &ref : task.writes) {
+        bytes_touched += ref.bytes;
+        faults += placement_.touch(ref.region, w.node, config_.placement);
+        NodeId home = placement_.homeNode(ref.region);
+        if (home == kInvalidNode)
+            home = w.node;
+        write_cycles += cost_.memAccessCycles(ref.bytes, w.node, home);
+        if (config_.record.comm) {
+            result_.trace.cpu(cpu).addComm(
+                {t, trace::CommKind::DataWrite, w.node, home, ref.bytes,
+                 ref.region});
+        }
+    }
+
+    std::uint64_t mispredicts = task.extraMispredicts +
+        static_cast<std::uint64_t>(
+            static_cast<double>(task.workUnits) / 1000.0 *
+            config_.cost.baseMispredictsPerKiloUnit);
+
+    double base = static_cast<double>(cost_.computeCycles(task.workUnits) +
+                                      read_cycles + write_cycles);
+    double noise = 1.0 + config_.cost.durationNoise * rng_.nextGaussian();
+    base *= std::max(noise, 0.1);
+    TimeStamp duration = static_cast<TimeStamp>(base) +
+                         cost_.pageFaultCycles(faults) +
+                         cost_.mispredictCycles(mispredicts) +
+                         config_.cost.taskOverheadCycles;
+    duration = std::max<TimeStamp>(duration, 1);
+
+    // --- Trace recording. -------------------------------------------------
+    recordIdleGap(cpu, t);
+    sampleCounters(cpu, t);
+
+    w.mispredicts += mispredicts;
+    w.cacheMisses += static_cast<std::uint64_t>(
+        static_cast<double>(bytes_touched) *
+        config_.cost.cacheMissesPerByte);
+    double fault_us = static_cast<double>(cost_.pageFaultCycles(faults)) *
+                      1e6 /
+                      static_cast<double>(config_.machine.cpuFreqHz);
+    w.systemTimeUs += fault_us;
+    w.rssKb += faults * placement_.pageSize() / 1024;
+    result_.pageFaults += faults;
+
+    TimeStamp exec_end = t + duration;
+    sampleCounters(cpu, exec_end);
+
+    if (config_.record.states) {
+        result_.trace.cpu(cpu).addState(
+            {{t, exec_end}, kStateTaskExec, id});
+    }
+    result_.trace.addTaskInstance(
+        {id, task.type, cpu, {t, exec_end}});
+
+    if (config_.record.memAccesses) {
+        for (const SimRegionRef &ref : task.reads) {
+            result_.trace.addMemAccess(
+                {id, set_.regions[ref.region].address, ref.bytes, false});
+        }
+        for (const SimRegionRef &ref : task.writes) {
+            result_.trace.addMemAccess(
+                {id, set_.regions[ref.region].address, ref.bytes, true});
+        }
+    }
+
+    TimeStamp tail = exec_end;
+    if (task.auxState != SimTask::kNoAuxState && task.auxCycles > 0) {
+        if (config_.record.states) {
+            result_.trace.cpu(cpu).addState(
+                {{tail, tail + task.auxCycles}, task.auxState, id});
+        }
+        tail += task.auxCycles;
+    }
+
+    const auto &children = children_[id];
+    if (!children.empty()) {
+        TimeStamp creation_time = static_cast<TimeStamp>(children.size()) *
+                                  config_.cost.taskCreationCycles;
+        if (config_.record.states) {
+            result_.trace.cpu(cpu).addState(
+                {{tail, tail + creation_time}, kStateTaskCreation, id});
+        }
+        if (config_.record.discrete) {
+            for (std::size_t i = 0; i < children.size(); i++) {
+                TimeStamp created_at = tail +
+                    static_cast<TimeStamp>(i + 1) *
+                    config_.cost.taskCreationCycles;
+                result_.trace.cpu(cpu).addDiscrete(
+                    {created_at, trace::DiscreteType::TaskCreated,
+                     children[i]});
+            }
+        }
+        tail += creation_time;
+    }
+
+    w.timelineEnd = tail;
+    queue_.schedule(tail, [this, cpu, id](TimeStamp when) {
+        complete(cpu, id, when);
+    });
+}
+
+void
+Simulation::complete(CpuId cpu, std::uint64_t id, TimeStamp t)
+{
+    WorkerSim &w = workers_[cpu];
+    w.busy = false;
+    taskState_[id].completed = true;
+    completedCount_++;
+
+    for (std::uint64_t child : children_[id]) {
+        taskState_[child].created = true;
+        if (taskState_[child].depsRemaining == 0)
+            enqueueReady(child, t, cpu);
+    }
+    for (std::uint64_t dep : dependents_[id]) {
+        TaskSim &ts = taskState_[dep];
+        AFTERMATH_ASSERT(ts.depsRemaining > 0,
+                         "dependence counter underflow on task %llu",
+                         static_cast<unsigned long long>(dep));
+        if (--ts.depsRemaining == 0 && ts.created)
+            enqueueReady(dep, t, cpu);
+    }
+
+    scheduleAcquire(cpu, t);
+}
+
+} // namespace
+
+RuntimeSystem::RuntimeSystem(RuntimeConfig config)
+    : config_(std::move(config))
+{}
+
+RunResult
+RuntimeSystem::run(const TaskSet &task_set)
+{
+    Simulation sim(config_, task_set);
+    return sim.run();
+}
+
+} // namespace runtime
+} // namespace aftermath

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The OpenStream-like runtime simulator.
+ *
+ * Executes a TaskSet on a simulated NUMA machine with work-stealing
+ * workers and produces an Aftermath trace: worker states (task execution,
+ * creation, idling), hardware counter samples bracketing every task
+ * execution, communication events, task instances, memory regions with
+ * their final NUMA placement, and task-level memory accesses.
+ *
+ * The simulation is single-threaded, event-driven and fully deterministic
+ * for a given seed. It substitutes for the paper's real OpenStream runtime
+ * on real hardware (see DESIGN.md): the traces it emits have the same
+ * structure and causality as the originals, so every analysis in the
+ * paper's evaluation can run on them.
+ */
+
+#ifndef AFTERMATH_RUNTIME_RUNTIME_SYSTEM_H
+#define AFTERMATH_RUNTIME_RUNTIME_SYSTEM_H
+
+#include <cstdint>
+#include <string>
+
+#include "machine/cost_model.h"
+#include "machine/machine_spec.h"
+#include "machine/region_placement.h"
+#include "runtime/scheduler.h"
+#include "runtime/task_set.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace runtime {
+
+/** What the simulator records into the trace. */
+struct RecordOptions
+{
+    bool states = true;      ///< Worker state events.
+    bool counters = true;    ///< Counter samples around task execution.
+    bool memAccesses = true; ///< Task-level memory access records.
+    bool comm = true;        ///< Communication events.
+    bool discrete = true;    ///< Discrete events (creation, steals).
+
+    /** Everything off: fastest, for makespan-only parameter sweeps. */
+    static RecordOptions
+    none()
+    {
+        return {false, false, false, false, false};
+    }
+};
+
+/** Configuration of one simulated execution. */
+struct RuntimeConfig
+{
+    machine::MachineSpec machine = machine::MachineSpec::small(2, 2);
+    SchedulingPolicy scheduling = SchedulingPolicy::RandomSteal;
+    machine::PlacementPolicy placement =
+        machine::PlacementPolicy::FirstTouch;
+    machine::CostModelParams cost;
+    RecordOptions record;
+    std::uint64_t seed = 1;
+    /** Steal probes before the deterministic fallback scan. */
+    std::uint32_t maxStealAttempts = 3;
+};
+
+/** Outcome of a simulated execution. */
+struct RunResult
+{
+    bool ok = false;
+    std::string error;
+    trace::Trace trace;        ///< Finalized trace of the execution.
+    TimeStamp makespan = 0;    ///< Total execution time in cycles.
+    std::uint64_t tasksExecuted = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t simEvents = 0; ///< Simulator events processed.
+
+    /** Makespan in seconds at the machine's clock frequency. */
+    double seconds() const;
+};
+
+/** Runs TaskSets under a RuntimeConfig. */
+class RuntimeSystem
+{
+  public:
+    explicit RuntimeSystem(RuntimeConfig config);
+
+    /**
+     * Simulate the execution of @p task_set.
+     *
+     * @return the trace and summary statistics; !ok with an error for
+     *         invalid task sets or dependence deadlocks.
+     */
+    RunResult run(const TaskSet &task_set);
+
+    const RuntimeConfig &config() const { return config_; }
+
+  private:
+    RuntimeConfig config_;
+};
+
+} // namespace runtime
+} // namespace aftermath
+
+#endif // AFTERMATH_RUNTIME_RUNTIME_SYSTEM_H

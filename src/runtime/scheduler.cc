@@ -1,0 +1,81 @@
+#include "runtime/scheduler.h"
+
+namespace aftermath {
+namespace runtime {
+
+Scheduler::Scheduler(const trace::MachineTopology &topology,
+                     SchedulingPolicy policy, std::uint64_t seed)
+    : topology_(topology), policy_(policy), rng_(seed)
+{
+    nodeRoundRobin_.assign(topology.numNodes(), 0);
+}
+
+CpuId
+Scheduler::placeTask(const SimTask &task, CpuId ready_on_cpu)
+{
+    if (policy_ == SchedulingPolicy::NumaAware &&
+        task.homeNode != kInvalidNode &&
+        task.homeNode < topology_.numNodes()) {
+        const auto &cpus = topology_.cpusOfNode(task.homeNode);
+        if (!cpus.empty()) {
+            std::uint32_t slot =
+                nodeRoundRobin_[task.homeNode]++ %
+                static_cast<std::uint32_t>(cpus.size());
+            return cpus[slot];
+        }
+    }
+    return ready_on_cpu;
+}
+
+CpuId
+Scheduler::chooseVictim(CpuId thief, std::uint32_t attempt)
+{
+    std::uint32_t num_cpus = topology_.numCpus();
+    if (num_cpus <= 1)
+        return thief;
+
+    if (policy_ == SchedulingPolicy::NumaAware) {
+        // Probe same-node CPUs first, then fall back to random remote.
+        NodeId node = topology_.nodeOfCpu(thief);
+        const auto &local = topology_.cpusOfNode(node);
+        if (attempt < local.size()) {
+            CpuId candidate = local[attempt];
+            if (candidate != thief)
+                return candidate;
+            // Skip over ourselves deterministically.
+            return local[(attempt + 1) % local.size()];
+        }
+    }
+
+    // Uniform random victim distinct from the thief.
+    CpuId victim = static_cast<CpuId>(rng_.nextBounded(num_cpus - 1));
+    if (victim >= thief)
+        victim++;
+    return victim;
+}
+
+CpuId
+Scheduler::chooseSleeperToWake(const std::set<CpuId> &sleepers,
+                               CpuId origin) const
+{
+    if (sleepers.empty())
+        return kInvalidCpu;
+
+    if (policy_ == SchedulingPolicy::NumaAware) {
+        NodeId node = topology_.nodeOfCpu(origin);
+        for (CpuId cpu : topology_.cpusOfNode(node)) {
+            if (sleepers.count(cpu))
+                return cpu;
+        }
+    }
+
+    // Closest sleeper at or after the origin, wrapping around; this
+    // spreads wake-ups deterministically without a shared counter.
+    auto it = sleepers.lower_bound(origin);
+    if (it == sleepers.end())
+        it = sleepers.begin();
+    return *it;
+}
+
+} // namespace runtime
+} // namespace aftermath

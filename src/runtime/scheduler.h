@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scheduling policies of the runtime simulator.
+ *
+ * The paper compares two OpenStream configurations (section IV): a
+ * non-optimized one using random work stealing with no NUMA awareness,
+ * and an optimized one exploiting NUMA information in the scheduler and
+ * allocator. This module implements both policies: where a newly ready
+ * task is enqueued, which victims a thief probes, and which sleeping
+ * worker is woken when work appears.
+ */
+
+#ifndef AFTERMATH_RUNTIME_SCHEDULER_H
+#define AFTERMATH_RUNTIME_SCHEDULER_H
+
+#include <set>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "runtime/task_set.h"
+#include "trace/topology.h"
+
+namespace aftermath {
+namespace runtime {
+
+/** Work-stealing scheduling policies. */
+enum class SchedulingPolicy {
+    RandomSteal, ///< Non-optimized: random victims, no placement hints.
+    NumaAware,   ///< Optimized: home-node placement, same-node-first steal.
+};
+
+/** Policy decisions for the runtime simulator. */
+class Scheduler
+{
+  public:
+    Scheduler(const trace::MachineTopology &topology,
+              SchedulingPolicy policy, std::uint64_t seed);
+
+    SchedulingPolicy policy() const { return policy_; }
+
+    /**
+     * The worker whose deque receives a newly ready task.
+     *
+     * RandomSteal enqueues on the worker that made the task ready;
+     * NumaAware targets a worker on the node owning the task's data,
+     * rotating across the node's CPUs.
+     */
+    CpuId placeTask(const SimTask &task, CpuId ready_on_cpu);
+
+    /**
+     * The victim probed on steal attempt @p attempt by @p thief.
+     * NumaAware probes same-node CPUs before remote ones.
+     */
+    CpuId chooseVictim(CpuId thief, std::uint32_t attempt);
+
+    /**
+     * Pick a sleeping worker to wake so it can steal work originating
+     * at @p origin; returns kInvalidCpu if @p sleepers is empty.
+     * NumaAware prefers sleepers on origin's node.
+     */
+    CpuId chooseSleeperToWake(const std::set<CpuId> &sleepers,
+                              CpuId origin) const;
+
+  private:
+    const trace::MachineTopology &topology_;
+    SchedulingPolicy policy_;
+    Rng rng_;
+    std::vector<std::uint32_t> nodeRoundRobin_;
+};
+
+} // namespace runtime
+} // namespace aftermath
+
+#endif // AFTERMATH_RUNTIME_SCHEDULER_H

@@ -1,0 +1,75 @@
+#include "runtime/task_set.h"
+
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace runtime {
+
+bool
+TaskSet::validate(std::string &error) const
+{
+    for (std::size_t i = 0; i < regions.size(); i++) {
+        if (regions[i].id != i) {
+            error = strFormat("region %zu has id %llu (must be dense)", i,
+                              static_cast<unsigned long long>(
+                                  regions[i].id));
+            return false;
+        }
+        if (regions[i].size == 0) {
+            error = strFormat("region %zu has zero size", i);
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < tasks.size(); i++) {
+        const SimTask &t = tasks[i];
+        if (t.id != i) {
+            error = strFormat("task %zu has id %llu (must be dense)", i,
+                              static_cast<unsigned long long>(t.id));
+            return false;
+        }
+        for (std::uint64_t d : t.deps) {
+            if (d >= tasks.size()) {
+                error = strFormat("task %zu depends on invalid task %llu",
+                                  i, static_cast<unsigned long long>(d));
+                return false;
+            }
+            if (d == i) {
+                error = strFormat("task %zu depends on itself", i);
+                return false;
+            }
+        }
+        if (t.creator != kNoTask && t.creator >= tasks.size()) {
+            error = strFormat("task %zu has invalid creator", i);
+            return false;
+        }
+        if (t.creator == t.id && t.creator != kNoTask) {
+            error = strFormat("task %zu creates itself", i);
+            return false;
+        }
+        for (const SimRegionRef &ref : t.reads) {
+            if (ref.region >= regions.size()) {
+                error = strFormat("task %zu reads invalid region", i);
+                return false;
+            }
+        }
+        for (const SimRegionRef &ref : t.writes) {
+            if (ref.region >= regions.size()) {
+                error = strFormat("task %zu writes invalid region", i);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+TaskSet::totalWork() const
+{
+    std::uint64_t total = 0;
+    for (const SimTask &t : tasks)
+        total += t.workUnits;
+    return total;
+}
+
+} // namespace runtime
+} // namespace aftermath

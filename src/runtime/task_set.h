@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The dependent-task programs executed by the runtime simulator.
+ *
+ * A workload builds a TaskSet: tasks with explicit data dependences and
+ * explicit memory regions (the information-rich environment of dependent
+ * task models the paper relies on), plus the regions themselves. The
+ * runtime simulator executes the set under a scheduling policy and
+ * produces an Aftermath trace.
+ */
+
+#ifndef AFTERMATH_RUNTIME_TASK_SET_H
+#define AFTERMATH_RUNTIME_TASK_SET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "trace/state.h"
+#include "trace/task.h"
+
+namespace aftermath {
+namespace runtime {
+
+/** Sentinel for "no task". */
+inline constexpr std::uint64_t kNoTask =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** One access of a task to a region. */
+struct SimRegionRef
+{
+    RegionId region = 0;
+    std::uint64_t bytes = 0; ///< Bytes actually touched by this task.
+};
+
+/** A memory region exchanged between tasks. */
+struct SimRegion
+{
+    RegionId id = 0;          ///< Dense id (== index in TaskSet::regions).
+    std::uint64_t address = 0;///< Simulated virtual address.
+    std::uint64_t size = 0;   ///< Size in bytes.
+    NodeId home = kInvalidNode; ///< Preferred node (Explicit placement).
+    /**
+     * True if writing this region allocates fresh pages (first touch
+     * faults); false for buffers recycled from the runtime's pool.
+     */
+    bool fresh = true;
+};
+
+/** One task of the simulated program. */
+struct SimTask
+{
+    std::uint64_t id = 0;     ///< Dense id (== index in TaskSet::tasks).
+    TaskTypeId type = 0;      ///< Work-function address.
+    std::uint64_t workUnits = 0; ///< Abstract compute work.
+    std::vector<SimRegionRef> reads;
+    std::vector<SimRegionRef> writes;
+    /** Producer tasks that must complete before this task is ready. */
+    std::vector<std::uint64_t> deps;
+    /**
+     * Task that creates this one during its own execution; kNoTask for
+     * top-level tasks created by the control program.
+     */
+    std::uint64_t creator = kNoTask;
+    /** Workload-injected branch mispredictions (k-means churn model). */
+    std::uint64_t extraMispredicts = 0;
+    /**
+     * Optional runtime state entered right after execution (e.g.
+     * Reduction for reduce tasks, Broadcast for propagation tasks) and
+     * its duration in cycles; kNoAuxState for none.
+     */
+    std::uint32_t auxState = kNoAuxState;
+    std::uint64_t auxCycles = 0;
+    /** Node owning most input data (NUMA-aware scheduling hint). */
+    NodeId homeNode = kInvalidNode;
+
+    static constexpr std::uint32_t kNoAuxState = 0xffffffffu;
+};
+
+/** A complete simulated program. */
+struct TaskSet
+{
+    std::string name;
+    std::vector<trace::TaskType> types;
+    std::vector<SimTask> tasks;
+    std::vector<SimRegion> regions;
+
+    /**
+     * Check internal consistency: ids dense, dependences and region
+     * references in range, no self-dependences.
+     *
+     * @param error Receives the first violation.
+     */
+    bool validate(std::string &error) const;
+
+    /** Total work units over all tasks. */
+    std::uint64_t totalWork() const;
+};
+
+} // namespace runtime
+} // namespace aftermath
+
+#endif // AFTERMATH_RUNTIME_TASK_SET_H

@@ -1,0 +1,3 @@
+// EventQueue is header-only; this translation unit anchors the sim library
+// and keeps a single place to add out-of-line kernel code later.
+#include "sim/event_queue.h"

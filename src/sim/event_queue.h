@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The runtime simulator advances a set of simulated workers through time
+ * by processing events in timestamp order. Ties are broken by insertion
+ * sequence so simulations are fully deterministic.
+ */
+
+#ifndef AFTERMATH_SIM_EVENT_QUEUE_H
+#define AFTERMATH_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.h"
+
+namespace aftermath {
+namespace sim {
+
+/** Callback invoked when an event fires; receives the event time. */
+using EventAction = std::function<void(TimeStamp)>;
+
+/**
+ * A deterministic min-heap of timed events.
+ *
+ * Events scheduled for the same timestamp fire in scheduling order.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p action to fire at absolute time @p when. */
+    void
+    schedule(TimeStamp when, EventAction action)
+    {
+        heap_.push(Entry{when, nextSeq_++, std::move(action)});
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Timestamp of the next event; queue must not be empty. */
+    TimeStamp nextTime() const { return heap_.top().when; }
+
+    /** Current simulation time (time of the last processed event). */
+    TimeStamp now() const { return now_; }
+
+    /**
+     * Pop and run the earliest event.
+     *
+     * @return false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        // std::priority_queue::top() is const; move out via const_cast is
+        // UB-adjacent, so copy the action handle instead (shared_ptr-free
+        // std::function copy — events are small closures).
+        Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.when;
+        entry.action(entry.when);
+        return true;
+    }
+
+    /** Run events until the queue drains; returns events processed. */
+    std::uint64_t
+    runAll()
+    {
+        std::uint64_t count = 0;
+        while (runOne())
+            count++;
+        return count;
+    }
+
+  private:
+    struct Entry
+    {
+        TimeStamp when;
+        std::uint64_t seq;
+        EventAction action;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+    TimeStamp now_ = 0;
+};
+
+} // namespace sim
+} // namespace aftermath
+
+#endif // AFTERMATH_SIM_EVENT_QUEUE_H

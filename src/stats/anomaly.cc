@@ -1,0 +1,191 @@
+#include "stats/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/string_util.h"
+#include "metrics/generators.h"
+#include "trace/state.h"
+
+namespace aftermath {
+namespace stats {
+
+namespace {
+
+void
+detectIdlePhases(const trace::Trace &trace,
+                 const AnomalyScanOptions &options,
+                 std::vector<Anomaly> &out)
+{
+    metrics::DerivedCounter idle = metrics::stateOccupancy(
+        trace, static_cast<std::uint32_t>(trace::CoreState::Idle),
+        options.numIntervals);
+    if (idle.samples.empty())
+        return;
+
+    double threshold = options.idleWorkerFraction *
+                       static_cast<double>(trace.numCpus());
+    TimeStamp width = trace.span().duration() / options.numIntervals;
+
+    // Merge consecutive above-threshold intervals into one phase.
+    std::vector<Anomaly> phases;
+    std::size_t i = 0;
+    while (i < idle.samples.size()) {
+        if (idle.samples[i].value < threshold) {
+            i++;
+            continue;
+        }
+        std::size_t begin = i;
+        double peak = 0.0;
+        while (i < idle.samples.size() &&
+               idle.samples[i].value >= threshold) {
+            peak = std::max(peak, idle.samples[i].value);
+            i++;
+        }
+        Anomaly a;
+        a.kind = AnomalyKind::IdlePhase;
+        a.interval = {idle.samples[begin].time - width / 2,
+                      idle.samples[i - 1].time + width / 2};
+        a.severity = peak / static_cast<double>(trace.numCpus());
+        a.description = strFormat(
+            "idle phase: up to %.0f of %u workers idle for %s",
+            peak, trace.numCpus(),
+            humanCycles(a.interval.duration()).c_str());
+        phases.push_back(std::move(a));
+    }
+    std::sort(phases.begin(), phases.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+                  return a.severity > b.severity;
+              });
+    if (phases.size() > options.maxPerKind)
+        phases.resize(options.maxPerKind);
+    out.insert(out.end(), phases.begin(), phases.end());
+}
+
+void
+detectDurationOutliers(const trace::Trace &trace,
+                       const AnomalyScanOptions &options,
+                       std::vector<Anomaly> &out)
+{
+    // Per-type mean and stddev of task durations.
+    struct TypeStats
+    {
+        double sum = 0, sum2 = 0;
+        std::uint64_t n = 0;
+    };
+    std::map<TaskTypeId, TypeStats> by_type;
+    for (const trace::TaskInstance &task : trace.taskInstances()) {
+        TypeStats &s = by_type[task.type];
+        double d = static_cast<double>(task.duration());
+        s.sum += d;
+        s.sum2 += d * d;
+        s.n++;
+    }
+
+    std::vector<Anomaly> findings;
+    for (const trace::TaskInstance &task : trace.taskInstances()) {
+        const TypeStats &s = by_type[task.type];
+        if (s.n < 10)
+            continue; // Too few samples for a meaningful z-score.
+        double mean = s.sum / static_cast<double>(s.n);
+        double var = s.sum2 / static_cast<double>(s.n) - mean * mean;
+        double sd = var > 0 ? std::sqrt(var) : 0.0;
+        if (sd <= 0)
+            continue;
+        double z = (static_cast<double>(task.duration()) - mean) / sd;
+        if (z < options.durationZScore)
+            continue;
+        Anomaly a;
+        a.kind = AnomalyKind::DurationOutlier;
+        a.interval = task.interval;
+        a.cpu = task.cpu;
+        a.task = task.id;
+        a.severity = z;
+        auto it = trace.taskTypes().find(task.type);
+        a.description = strFormat(
+            "task %llu (%s) ran %s, %.1f sigma above its type mean",
+            static_cast<unsigned long long>(task.id),
+            it != trace.taskTypes().end() ? it->second.name.c_str()
+                                          : "?",
+            humanCycles(task.duration()).c_str(), z);
+        findings.push_back(std::move(a));
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+                  return a.severity > b.severity;
+              });
+    if (findings.size() > options.maxPerKind)
+        findings.resize(options.maxPerKind);
+    out.insert(out.end(), findings.begin(), findings.end());
+}
+
+void
+detectCounterBursts(const trace::Trace &trace,
+                    const AnomalyScanOptions &options,
+                    std::vector<Anomaly> &out)
+{
+    std::vector<Anomaly> findings;
+    for (const auto &[counter, name] : trace.counters()) {
+        for (CpuId c = 0; c < trace.numCpus(); c++) {
+            const auto &samples = trace.cpu(c).counterSamples(counter);
+            if (samples.size() < 3)
+                continue;
+            // Trace-wide mean rate on this cpu.
+            double total_dv = static_cast<double>(
+                samples.back().value - samples.front().value);
+            double total_dt = static_cast<double>(
+                samples.back().time - samples.front().time);
+            if (total_dt <= 0 || total_dv <= 0)
+                continue;
+            double mean_rate = total_dv / total_dt;
+
+            for (std::size_t i = 1; i < samples.size(); i++) {
+                double dv = static_cast<double>(samples[i].value -
+                                                samples[i - 1].value);
+                double dt = static_cast<double>(samples[i].time -
+                                                samples[i - 1].time);
+                if (dt <= 0)
+                    continue;
+                double rate = dv / dt;
+                if (rate < options.burstFactor * mean_rate)
+                    continue;
+                Anomaly a;
+                a.kind = AnomalyKind::CounterBurst;
+                a.interval = {samples[i - 1].time, samples[i].time};
+                a.cpu = c;
+                a.counter = counter;
+                a.severity = rate / mean_rate;
+                a.description = strFormat(
+                    "cpu %u: %s rate %.1fx the run average", c,
+                    name.c_str(), a.severity);
+                findings.push_back(std::move(a));
+            }
+        }
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+                  return a.severity > b.severity;
+              });
+    if (findings.size() > options.maxPerKind)
+        findings.resize(options.maxPerKind);
+    out.insert(out.end(), findings.begin(), findings.end());
+}
+
+} // namespace
+
+std::vector<Anomaly>
+scanForAnomalies(const trace::Trace &trace,
+                 const AnomalyScanOptions &options)
+{
+    std::vector<Anomaly> out;
+    if (trace.span().empty())
+        return out;
+    detectIdlePhases(trace, options, out);
+    detectDurationOutliers(trace, options, out);
+    detectCounterBursts(trace, options, out);
+    return out;
+}
+
+} // namespace stats
+} // namespace aftermath

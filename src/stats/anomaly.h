@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Semi-automatic detection of interesting anomalies.
+ *
+ * The paper's conclusion names "semi-automatic statistical methods to
+ * quickly focus the search for interesting anomalies" as ongoing work
+ * (section VIII). This module implements that extension: it scans a
+ * trace for the anomaly classes the paper debugs by hand — idle phases,
+ * task-duration outliers, and counter bursts — and returns ranked,
+ * time-localized findings the user can jump to.
+ */
+
+#ifndef AFTERMATH_STATS_ANOMALY_H
+#define AFTERMATH_STATS_ANOMALY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace stats {
+
+/** Classes of detected anomalies. */
+enum class AnomalyKind {
+    IdlePhase,       ///< Many workers simultaneously idle (Fig 2/3).
+    DurationOutlier, ///< Task far longer than its type's typical run.
+    CounterBurst,    ///< Counter rate spike relative to the trace mean.
+};
+
+/** One ranked finding. */
+struct Anomaly
+{
+    AnomalyKind kind = AnomalyKind::IdlePhase;
+    TimeInterval interval;            ///< Where to look.
+    CpuId cpu = kInvalidCpu;          ///< Affected CPU (if applicable).
+    TaskInstanceId task = kInvalidTaskInstance; ///< Affected task.
+    CounterId counter = 0;            ///< Affected counter (bursts).
+    double severity = 0.0;            ///< Higher = more interesting.
+    std::string description;          ///< Human-readable summary.
+};
+
+/** Thresholds of the scanner. */
+struct AnomalyScanOptions
+{
+    /** Subdivisions of the trace span used for phase detection. */
+    std::uint32_t numIntervals = 100;
+    /** Idle phase: fraction of workers that must be idle. */
+    double idleWorkerFraction = 0.5;
+    /** Duration outlier: z-score threshold within the task type. */
+    double durationZScore = 3.0;
+    /** Counter burst: rate relative to the trace-wide mean rate. */
+    double burstFactor = 4.0;
+    /** Cap on findings returned per kind. */
+    std::size_t maxPerKind = 20;
+};
+
+/**
+ * Scan @p trace for anomalies; findings are sorted by severity within
+ * each kind, idle phases first.
+ */
+std::vector<Anomaly> scanForAnomalies(
+    const trace::Trace &trace, const AnomalyScanOptions &options = {});
+
+} // namespace stats
+} // namespace aftermath
+
+#endif // AFTERMATH_STATS_ANOMALY_H

@@ -1,0 +1,39 @@
+#include "stats/export.h"
+
+#include <fstream>
+
+namespace aftermath {
+namespace stats {
+
+void
+exportTaskCounterTsv(const std::vector<metrics::TaskCounterIncrease> &rows,
+                     std::ostream &os)
+{
+    os << "task\ttype\tcpu\tduration_cycles\tincrease\tper_kcycle\n";
+    for (const auto &row : rows) {
+        os << row.task << '\t' << row.type << '\t' << row.cpu << '\t'
+           << row.duration << '\t' << row.increase << '\t'
+           << row.ratePerKcycle() << '\n';
+    }
+}
+
+bool
+exportTaskCounterTsvFile(
+    const std::vector<metrics::TaskCounterIncrease> &rows,
+    const std::string &path, std::string &error)
+{
+    std::ofstream os(path);
+    if (!os) {
+        error = "cannot open " + path + " for writing";
+        return false;
+    }
+    exportTaskCounterTsv(rows, os);
+    if (!os) {
+        error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace stats
+} // namespace aftermath

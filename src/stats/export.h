@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Export of per-task performance data for external analysis.
+ *
+ * Aftermath exports performance data to files processed by external
+ * statistics packages (paper section V); the filter mechanisms apply to
+ * the exported data so outliers and auxiliary tasks can be excluded
+ * before the analysis.
+ */
+
+#ifndef AFTERMATH_STATS_EXPORT_H
+#define AFTERMATH_STATS_EXPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/task_attribution.h"
+
+namespace aftermath {
+namespace stats {
+
+/**
+ * Write per-task counter increases as tab-separated values.
+ *
+ * Columns: task id, task type id, cpu, duration (cycles), counter
+ * increase, increase per kcycle. One header line precedes the data.
+ */
+void exportTaskCounterTsv(
+    const std::vector<metrics::TaskCounterIncrease> &rows, std::ostream &os);
+
+/** exportTaskCounterTsv() to a file; false (with @p error set) on failure. */
+bool exportTaskCounterTsvFile(
+    const std::vector<metrics::TaskCounterIncrease> &rows,
+    const std::string &path, std::string &error);
+
+} // namespace stats
+} // namespace aftermath
+
+#endif // AFTERMATH_STATS_EXPORT_H

@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace stats {
+
+Histogram
+Histogram::fromValues(const std::vector<double> &values,
+                      std::uint32_t num_bins, std::optional<double> min,
+                      std::optional<double> max)
+{
+    AFTERMATH_ASSERT(num_bins >= 1, "histogram needs at least one bin");
+    Histogram h;
+    h.counts_.assign(num_bins, 0);
+    if (values.empty()) {
+        h.min_ = min.value_or(0.0);
+        h.max_ = max.value_or(1.0);
+        h.width_ = (h.max_ - h.min_) / num_bins;
+        return h;
+    }
+
+    auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+    h.min_ = min.value_or(*lo_it);
+    h.max_ = max.value_or(*hi_it);
+    if (h.max_ <= h.min_)
+        h.max_ = h.min_ + 1.0;
+    h.width_ = (h.max_ - h.min_) / num_bins;
+
+    for (double v : values) {
+        double offset = (v - h.min_) / h.width_;
+        std::int64_t bin = static_cast<std::int64_t>(std::floor(offset));
+        bin = std::clamp<std::int64_t>(bin, 0, num_bins - 1);
+        h.counts_[static_cast<std::size_t>(bin)]++;
+        h.total_++;
+    }
+    return h;
+}
+
+Histogram
+Histogram::taskDurations(const trace::Trace &trace,
+                         const filter::TaskFilter &filter,
+                         std::uint32_t num_bins)
+{
+    std::vector<double> durations;
+    for (const trace::TaskInstance &task : trace.taskInstances()) {
+        if (filter.matches(trace, task))
+            durations.push_back(static_cast<double>(task.duration()));
+    }
+    return fromValues(durations, num_bins);
+}
+
+double
+Histogram::fraction(std::uint32_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double
+Histogram::binCenter(std::uint32_t i) const
+{
+    return min_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::binLow(std::uint32_t i) const
+{
+    return min_ + static_cast<double>(i) * width_;
+}
+
+std::vector<std::uint32_t>
+Histogram::peaks() const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < counts_.size(); i++) {
+        std::uint64_t left = i > 0 ? counts_[i - 1] : 0;
+        std::uint64_t right = i + 1 < counts_.size() ? counts_[i + 1] : 0;
+        if (counts_[i] > 0 && counts_[i] >= left && counts_[i] > right &&
+            (counts_[i] > left || i == 0))
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace aftermath

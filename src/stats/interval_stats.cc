@@ -1,0 +1,63 @@
+#include "stats/interval_stats.h"
+
+namespace aftermath {
+namespace stats {
+
+TimeStamp
+IntervalStats::totalTime() const
+{
+    TimeStamp total = 0;
+    for (const auto &[state, time] : timeInState)
+        total += time;
+    return total;
+}
+
+double
+IntervalStats::stateFraction(std::uint32_t state) const
+{
+    TimeStamp total = totalTime();
+    if (total == 0)
+        return 0.0;
+    auto it = timeInState.find(state);
+    TimeStamp t = it == timeInState.end() ? 0 : it->second;
+    return static_cast<double>(t) / static_cast<double>(total);
+}
+
+double
+IntervalStats::averageParallelism(std::uint32_t task_exec_state) const
+{
+    if (interval.empty())
+        return 0.0;
+    auto it = timeInState.find(task_exec_state);
+    TimeStamp t = it == timeInState.end() ? 0 : it->second;
+    return static_cast<double>(t) / static_cast<double>(interval.duration());
+}
+
+IntervalStats
+computeIntervalStats(const trace::Trace &trace, const TimeInterval &interval)
+{
+    IntervalStats stats;
+    stats.interval = interval;
+
+    for (CpuId c = 0; c < trace.numCpus(); c++) {
+        const auto &states = trace.cpu(c).states();
+        trace::SliceRange slice = trace.cpu(c).stateSlice(interval);
+        for (std::size_t i = slice.first; i < slice.last; i++) {
+            const trace::StateEvent &ev = states[i];
+            stats.timeInState[ev.state] +=
+                ev.interval.overlapDuration(interval);
+        }
+    }
+
+    for (const trace::TaskInstance &task : trace.taskInstances()) {
+        if (task.interval.overlaps(interval)) {
+            stats.tasksOverlapping++;
+            if (interval.contains(task.interval.start))
+                stats.tasksStarted++;
+        }
+    }
+    return stats;
+}
+
+} // namespace stats
+} // namespace aftermath

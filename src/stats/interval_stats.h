@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aggregate statistics for a user-selected interval.
+ *
+ * The statistical views present aggregate quantitative information for a
+ * user-selected interval from the timeline (paper section II-A group 2):
+ * per-state time breakdown, average parallelism and task counts.
+ */
+
+#ifndef AFTERMATH_STATS_INTERVAL_STATS_H
+#define AFTERMATH_STATS_INTERVAL_STATS_H
+
+#include <cstdint>
+#include <map>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace stats {
+
+/** Per-state and task statistics of one timeline interval. */
+struct IntervalStats
+{
+    TimeInterval interval;
+    /** Total worker time per state id within the interval. */
+    std::map<std::uint32_t, TimeStamp> timeInState;
+    /** Tasks whose execution overlaps the interval. */
+    std::uint64_t tasksOverlapping = 0;
+    /** Tasks that started within the interval. */
+    std::uint64_t tasksStarted = 0;
+
+    /** Total worker time across all states. */
+    TimeStamp totalTime() const;
+
+    /** Fraction of worker time spent in @p state (0 if no time at all). */
+    double stateFraction(std::uint32_t state) const;
+
+    /**
+     * Average parallelism: mean number of workers executing tasks
+     * simultaneously (task-exec time / interval duration).
+     */
+    double averageParallelism(std::uint32_t task_exec_state) const;
+};
+
+/** Compute interval statistics across all CPUs of @p trace. */
+IntervalStats computeIntervalStats(const trace::Trace &trace,
+                                   const TimeInterval &interval);
+
+} // namespace stats
+} // namespace aftermath
+
+#endif // AFTERMATH_STATS_INTERVAL_STATS_H

@@ -1,0 +1,73 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace stats {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double sum = 0.0;
+    for (double v : values)
+        sum += (v - m) * (v - m);
+    return std::sqrt(sum / static_cast<double>(values.size()));
+}
+
+Regression
+linearRegression(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    AFTERMATH_ASSERT(xs.size() == ys.size(),
+                     "regression inputs differ in length (%zu vs %zu)",
+                     xs.size(), ys.size());
+    Regression r;
+    r.n = xs.size();
+    if (r.n < 2)
+        return r;
+
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxx = 0.0, syy = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); i++) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if (sxx == 0.0)
+        return r; // Vertical line: slope undefined.
+
+    r.slope = sxy / sxx;
+    r.intercept = my - r.slope * mx;
+
+    if (syy == 0.0) {
+        // All y equal: the fit is exact and correlation degenerate.
+        r.r2 = 1.0;
+        r.pearson = 0.0;
+    } else {
+        r.pearson = sxy / std::sqrt(sxx * syy);
+        r.r2 = r.pearson * r.pearson;
+    }
+    r.valid = true;
+    return r;
+}
+
+} // namespace stats
+} // namespace aftermath

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Least-squares linear regression and correlation.
+ *
+ * The correlation between two performance indicators is tested with the
+ * coefficient of determination of a linear regression (paper section V,
+ * Fig 19): the original workflow exported per-task data and ran SciPy;
+ * this module implements the same computation natively.
+ */
+
+#ifndef AFTERMATH_STATS_REGRESSION_H
+#define AFTERMATH_STATS_REGRESSION_H
+
+#include <cstddef>
+#include <vector>
+
+namespace aftermath {
+namespace stats {
+
+/** Result of a least-squares fit y = slope * x + intercept. */
+struct Regression
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;      ///< Coefficient of determination.
+    double pearson = 0.0; ///< Pearson correlation coefficient.
+    std::size_t n = 0;    ///< Number of points used.
+    bool valid = false;   ///< False if fewer than two distinct x values.
+};
+
+/** Fit a least-squares line through (xs[i], ys[i]). */
+Regression linearRegression(const std::vector<double> &xs,
+                            const std::vector<double> &ys);
+
+/** Arithmetic mean (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation (0 for fewer than two values). */
+double stddev(const std::vector<double> &values);
+
+} // namespace stats
+} // namespace aftermath
+
+#endif // AFTERMATH_STATS_REGRESSION_H

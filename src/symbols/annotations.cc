@@ -1,0 +1,153 @@
+#include "symbols/annotations.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace symbols {
+
+namespace {
+
+constexpr const char *kHeader = "aftermath-annotations v1";
+
+std::string
+escapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\t': out += "\\t"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); i++) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            i++;
+            switch (s[i]) {
+              case '\\': out += '\\'; break;
+              case 't': out += '\t'; break;
+              case 'n': out += '\n'; break;
+              default: out += s[i];
+            }
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+AnnotationStore::add(const Annotation &annotation)
+{
+    annotations_.push_back(annotation);
+}
+
+std::vector<const Annotation *>
+AnnotationStore::overlapping(const TimeInterval &interval) const
+{
+    std::vector<const Annotation *> out;
+    for (const Annotation &a : annotations_) {
+        if (a.interval.overlaps(interval))
+            out.push_back(&a);
+    }
+    return out;
+}
+
+std::string
+AnnotationStore::serialize() const
+{
+    std::ostringstream os;
+    os << kHeader << '\n';
+    for (const Annotation &a : annotations_) {
+        os << a.cpu << '\t' << a.interval.start << '\t' << a.interval.end
+           << '\t' << escapeField(a.author) << '\t' << escapeField(a.text)
+           << '\n';
+    }
+    return os.str();
+}
+
+bool
+AnnotationStore::deserialize(const std::string &text, std::string &error)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || strTrim(line) != kHeader) {
+        error = "missing annotation file header";
+        return false;
+    }
+
+    std::vector<Annotation> loaded;
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        line_no++;
+        if (strTrim(line).empty())
+            continue;
+        std::vector<std::string> fields = strSplit(line, '\t');
+        if (fields.size() != 5) {
+            error = strFormat("line %zu: expected 5 fields, got %zu",
+                              line_no, fields.size());
+            return false;
+        }
+        Annotation a;
+        try {
+            a.cpu = static_cast<CpuId>(std::stoul(fields[0]));
+            a.interval.start = std::stoull(fields[1]);
+            a.interval.end = std::stoull(fields[2]);
+        } catch (const std::exception &) {
+            error = strFormat("line %zu: malformed numeric field", line_no);
+            return false;
+        }
+        a.author = unescapeField(fields[3]);
+        a.text = unescapeField(fields[4]);
+        loaded.push_back(std::move(a));
+    }
+    annotations_ = std::move(loaded);
+    return true;
+}
+
+bool
+AnnotationStore::save(const std::string &path, std::string &error) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        error = "cannot open " + path + " for writing";
+        return false;
+    }
+    os << serialize();
+    if (!os) {
+        error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+AnnotationStore::load(const std::string &path, std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return deserialize(buffer.str(), error);
+}
+
+} // namespace symbols
+} // namespace aftermath

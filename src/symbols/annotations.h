@@ -1,0 +1,72 @@
+/**
+ * @file
+ * User annotations on traces.
+ *
+ * Trace analysis can be time-consuming and collaborative; Aftermath
+ * records user-defined annotations that are saved independently from the
+ * trace file and loaded for further analysis later (paper section VI-C).
+ */
+
+#ifndef AFTERMATH_SYMBOLS_ANNOTATIONS_H
+#define AFTERMATH_SYMBOLS_ANNOTATIONS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+
+namespace aftermath {
+namespace symbols {
+
+/** One user annotation attached to a CPU and time interval. */
+struct Annotation
+{
+    CpuId cpu = kInvalidCpu; ///< kInvalidCpu = applies to all CPUs.
+    TimeInterval interval;
+    std::string author;
+    std::string text;
+};
+
+/** An ordered collection of annotations with sidecar-file persistence. */
+class AnnotationStore
+{
+  public:
+    /** Append an annotation. */
+    void add(const Annotation &annotation);
+
+    /** All annotations in insertion order. */
+    const std::vector<Annotation> &all() const { return annotations_; }
+
+    /** Annotations whose interval overlaps @p interval. */
+    std::vector<const Annotation *> overlapping(
+        const TimeInterval &interval) const;
+
+    /**
+     * Save to a sidecar file (text, one annotation per line with escaped
+     * fields). Returns false with @p error set on failure.
+     */
+    bool save(const std::string &path, std::string &error) const;
+
+    /**
+     * Load a sidecar file previously produced by save(). Replaces the
+     * current contents. Returns false with @p error set on malformed
+     * input.
+     */
+    bool load(const std::string &path, std::string &error);
+
+    /** Serialize to the sidecar format. */
+    std::string serialize() const;
+
+    /** Parse the sidecar format; false with @p error set on failure. */
+    bool deserialize(const std::string &text, std::string &error);
+
+  private:
+    std::vector<Annotation> annotations_;
+};
+
+} // namespace symbols
+} // namespace aftermath
+
+#endif // AFTERMATH_SYMBOLS_ANNOTATIONS_H

@@ -1,0 +1,104 @@
+#include "symbols/symbol_table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace symbols {
+
+namespace {
+
+bool
+isFunctionKind(char kind)
+{
+    return kind == 'T' || kind == 't' || kind == 'W' || kind == 'w';
+}
+
+} // namespace
+
+void
+SymbolTable::add(const Symbol &symbol)
+{
+    symbols_.push_back(symbol);
+    sorted_ = false;
+}
+
+SymbolTable
+SymbolTable::parseNm(std::istream &is)
+{
+    SymbolTable table;
+    std::string line;
+    while (std::getline(is, line)) {
+        line = strTrim(line);
+        if (line.empty())
+            continue;
+        // "ADDRESS TYPE NAME"; undefined symbols lack the address field.
+        std::istringstream fields(line);
+        std::string addr_text, kind_text, name;
+        if (!(fields >> addr_text >> kind_text))
+            continue;
+        if (kind_text.size() != 1)
+            continue;
+        if (!(fields >> name) || name.empty())
+            continue;
+        char *end = nullptr;
+        std::uint64_t address = std::strtoull(addr_text.c_str(), &end, 16);
+        if (end == addr_text.c_str() || *end != '\0')
+            continue;
+        table.add({address, kind_text[0], name});
+    }
+    return table;
+}
+
+SymbolTable
+SymbolTable::parseNmString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseNm(is);
+}
+
+void
+SymbolTable::ensureSorted() const
+{
+    if (sorted_)
+        return;
+    std::stable_sort(symbols_.begin(), symbols_.end(),
+                     [](const Symbol &a, const Symbol &b) {
+                         return a.address < b.address;
+                     });
+    sorted_ = true;
+}
+
+const Symbol *
+SymbolTable::lookup(std::uint64_t address) const
+{
+    ensureSorted();
+    auto it = std::upper_bound(
+        symbols_.begin(), symbols_.end(), address,
+        [](std::uint64_t addr, const Symbol &s) { return addr < s.address; });
+    // Walk back to the nearest preceding function symbol.
+    while (it != symbols_.begin()) {
+        --it;
+        if (isFunctionKind(it->kind))
+            return &*it;
+    }
+    return nullptr;
+}
+
+const Symbol *
+SymbolTable::exact(std::uint64_t address) const
+{
+    ensureSorted();
+    auto it = std::lower_bound(
+        symbols_.begin(), symbols_.end(), address,
+        [](const Symbol &s, std::uint64_t addr) { return s.address < addr; });
+    if (it != symbols_.end() && it->address == address)
+        return &*it;
+    return nullptr;
+}
+
+} // namespace symbols
+} // namespace aftermath

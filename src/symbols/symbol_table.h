@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Symbol tables mapping work-function addresses to names.
+ *
+ * Aftermath relates visual elements to source code by extracting debug
+ * symbols from the application's binary with the NM command-line tool
+ * (paper section VI-C): selecting a task looks up the work-function
+ * address and shows the function name. This module parses nm's text
+ * output format and answers nearest-symbol queries.
+ */
+
+#ifndef AFTERMATH_SYMBOLS_SYMBOL_TABLE_H
+#define AFTERMATH_SYMBOLS_SYMBOL_TABLE_H
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace aftermath {
+namespace symbols {
+
+/** One symbol from an nm listing. */
+struct Symbol
+{
+    std::uint64_t address = 0;
+    char kind = 'T'; ///< nm type letter; functions are T/t/W/w.
+    std::string name;
+};
+
+/** An address-sorted symbol table. */
+class SymbolTable
+{
+  public:
+    /** Add a symbol (any order; the table sorts lazily). */
+    void add(const Symbol &symbol);
+
+    /**
+     * Parse nm's default output: lines of "ADDRESS TYPE NAME" with a
+     * hexadecimal address. Lines for undefined symbols ("    U name")
+     * and unparsable lines are skipped.
+     */
+    static SymbolTable parseNm(std::istream &is);
+
+    /** parseNm() over a string. */
+    static SymbolTable parseNmString(const std::string &text);
+
+    /**
+     * The function symbol covering @p address: the symbol with the
+     * greatest address <= the query, considering only function kinds
+     * (T/t/W/w). Returns nullptr if none.
+     */
+    const Symbol *lookup(std::uint64_t address) const;
+
+    /** The symbol at exactly @p address, or nullptr. */
+    const Symbol *exact(std::uint64_t address) const;
+
+    /** Number of symbols. */
+    std::size_t size() const { return symbols_.size(); }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<Symbol> symbols_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace symbols
+} // namespace aftermath
+
+#endif // AFTERMATH_SYMBOLS_SYMBOL_TABLE_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Descriptions of traced performance counters.
+ */
+
+#ifndef AFTERMATH_TRACE_COUNTER_H
+#define AFTERMATH_TRACE_COUNTER_H
+
+#include <string>
+
+#include "base/types.h"
+
+namespace aftermath {
+namespace trace {
+
+/** Well-known counter ids emitted by the bundled runtime simulator. */
+enum class CoreCounter : CounterId {
+    BranchMispredictions = 0, ///< Cumulative mispredicted branches.
+    CacheMisses = 1,          ///< Cumulative last-level cache misses.
+    SystemTimeUs = 2,         ///< Cumulative µs spent in the OS (getrusage).
+    ResidentKb = 3,           ///< Worker's contribution to RSS, in KiB.
+};
+
+/** Human-readable description of one counter id. */
+struct CounterDescription
+{
+    CounterId id = 0;
+    std::string name;
+};
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_COUNTER_H

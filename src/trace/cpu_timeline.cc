@@ -1,0 +1,184 @@
+#include "trace/cpu_timeline.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace trace {
+
+namespace {
+
+/** Slice of a vector sorted by a time projection, overlapping [s, e). */
+template <typename Event, typename GetTime>
+SliceRange
+pointSlice(const std::vector<Event> &events, const TimeInterval &interval,
+           GetTime get_time)
+{
+    auto first = std::lower_bound(
+        events.begin(), events.end(), interval.start,
+        [&](const Event &ev, TimeStamp t) { return get_time(ev) < t; });
+    auto last = std::lower_bound(
+        first, events.end(), interval.end,
+        [&](const Event &ev, TimeStamp t) { return get_time(ev) < t; });
+    return {static_cast<std::size_t>(first - events.begin()),
+            static_cast<std::size_t>(last - events.begin())};
+}
+
+} // namespace
+
+void
+CpuTimeline::addState(const StateEvent &ev)
+{
+    states_.push_back(ev);
+}
+
+void
+CpuTimeline::addCounterSample(CounterId counter, const CounterSample &sample)
+{
+    counters_[counter].push_back(sample);
+}
+
+void
+CpuTimeline::addDiscrete(const DiscreteEvent &ev)
+{
+    discrete_.push_back(ev);
+}
+
+void
+CpuTimeline::addComm(const CommEvent &ev)
+{
+    comm_.push_back(ev);
+}
+
+bool
+CpuTimeline::finalize(std::string &error)
+{
+    for (std::size_t i = 0; i < states_.size(); i++) {
+        const StateEvent &ev = states_[i];
+        if (ev.interval.end < ev.interval.start) {
+            error = strFormat("state %zu has inverted interval", i);
+            return false;
+        }
+        if (i > 0 && ev.interval.start < states_[i - 1].interval.end) {
+            error = strFormat("state %zu overlaps its predecessor", i);
+            return false;
+        }
+    }
+    for (const auto &[id, samples] : counters_) {
+        for (std::size_t i = 1; i < samples.size(); i++) {
+            if (samples[i].time < samples[i - 1].time) {
+                error = strFormat("counter %u sample %zu out of order",
+                                  id, i);
+                return false;
+            }
+        }
+    }
+    for (std::size_t i = 1; i < discrete_.size(); i++) {
+        if (discrete_[i].time < discrete_[i - 1].time) {
+            error = strFormat("discrete event %zu out of order", i);
+            return false;
+        }
+    }
+    for (std::size_t i = 1; i < comm_.size(); i++) {
+        if (comm_[i].time < comm_[i - 1].time) {
+            error = strFormat("comm event %zu out of order", i);
+            return false;
+        }
+    }
+    return true;
+}
+
+const std::vector<CounterSample> &
+CpuTimeline::counterSamples(CounterId counter) const
+{
+    static const std::vector<CounterSample> empty;
+    auto it = counters_.find(counter);
+    return it == counters_.end() ? empty : it->second;
+}
+
+std::vector<CounterId>
+CpuTimeline::counterIds() const
+{
+    std::vector<CounterId> ids;
+    ids.reserve(counters_.size());
+    for (const auto &[id, samples] : counters_)
+        ids.push_back(id);
+    return ids;
+}
+
+SliceRange
+CpuTimeline::stateSlice(const TimeInterval &interval) const
+{
+    // First state whose end is beyond the interval start: since states
+    // are non-overlapping and sorted by start, ends are sorted as well.
+    auto first = std::lower_bound(
+        states_.begin(), states_.end(), interval.start,
+        [](const StateEvent &ev, TimeStamp t) {
+            return ev.interval.end <= t;
+        });
+    // First state starting at/after the interval end terminates the slice.
+    auto last = std::lower_bound(
+        first, states_.end(), interval.end,
+        [](const StateEvent &ev, TimeStamp t) {
+            return ev.interval.start < t;
+        });
+    return {static_cast<std::size_t>(first - states_.begin()),
+            static_cast<std::size_t>(last - states_.begin())};
+}
+
+SliceRange
+CpuTimeline::counterSlice(CounterId counter,
+                          const TimeInterval &interval) const
+{
+    return pointSlice(counterSamples(counter), interval,
+                      [](const CounterSample &s) { return s.time; });
+}
+
+SliceRange
+CpuTimeline::discreteSlice(const TimeInterval &interval) const
+{
+    return pointSlice(discrete_, interval,
+                      [](const DiscreteEvent &ev) { return ev.time; });
+}
+
+SliceRange
+CpuTimeline::commSlice(const TimeInterval &interval) const
+{
+    return pointSlice(comm_, interval,
+                      [](const CommEvent &ev) { return ev.time; });
+}
+
+TimeStamp
+CpuTimeline::lastTime() const
+{
+    TimeStamp last = 0;
+    if (!states_.empty())
+        last = std::max(last, states_.back().interval.end);
+    for (const auto &[id, samples] : counters_) {
+        if (!samples.empty())
+            last = std::max(last, samples.back().time);
+    }
+    if (!discrete_.empty())
+        last = std::max(last, discrete_.back().time);
+    if (!comm_.empty())
+        last = std::max(last, comm_.back().time);
+    return last;
+}
+
+TimeStamp
+CpuTimeline::timeInState(std::uint32_t state,
+                         const TimeInterval &interval) const
+{
+    SliceRange slice = stateSlice(interval);
+    TimeStamp total = 0;
+    for (std::size_t i = slice.first; i < slice.last; i++) {
+        const StateEvent &ev = states_[i];
+        if (ev.state == state)
+            total += ev.interval.overlapDuration(interval);
+    }
+    return total;
+}
+
+} // namespace trace
+} // namespace aftermath

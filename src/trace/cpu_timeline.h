@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The per-CPU event arrays of the in-memory trace representation.
+ *
+ * Following the paper (section VI-B.c), each core keeps one array per type
+ * of event (state changes, discrete events, performance counter samples,
+ * communication events), sorted by timestamp. Binary search finds the
+ * array slice relevant to any time interval.
+ */
+
+#ifndef AFTERMATH_TRACE_CPU_TIMELINE_H
+#define AFTERMATH_TRACE_CPU_TIMELINE_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "trace/event.h"
+
+namespace aftermath {
+namespace trace {
+
+/** A contiguous index range [first, last) into one event array. */
+struct SliceRange
+{
+    std::size_t first = 0;
+    std::size_t last = 0;
+
+    std::size_t size() const { return last - first; }
+    bool empty() const { return last <= first; }
+};
+
+/**
+ * All events recorded on one CPU (one worker thread).
+ *
+ * Events must be appended in non-decreasing timestamp order per array —
+ * the total order per core that the trace format requires (paper section
+ * VI-A). finalize() verifies this and the non-overlap of state events.
+ */
+class CpuTimeline
+{
+  public:
+    /** Append a state event; starts must be non-decreasing. */
+    void addState(const StateEvent &ev);
+
+    /** Append a sample of counter @p counter. */
+    void addCounterSample(CounterId counter, const CounterSample &sample);
+
+    /** Append a discrete event. */
+    void addDiscrete(const DiscreteEvent &ev);
+
+    /** Append a communication event. */
+    void addComm(const CommEvent &ev);
+
+    /**
+     * Validate ordering invariants.
+     *
+     * @param error Receives a description of the first violation.
+     * @return true if all arrays are correctly ordered and states do not
+     *         overlap.
+     */
+    bool finalize(std::string &error);
+
+    /** All state events, sorted by start time, non-overlapping. */
+    const std::vector<StateEvent> &states() const { return states_; }
+
+    /** Samples of @p counter sorted by time (empty if never sampled). */
+    const std::vector<CounterSample> &counterSamples(CounterId counter) const;
+
+    /** Ids of the counters sampled on this CPU. */
+    std::vector<CounterId> counterIds() const;
+
+    /** All discrete events sorted by time. */
+    const std::vector<DiscreteEvent> &discreteEvents() const
+    {
+        return discrete_;
+    }
+
+    /** All communication events sorted by time. */
+    const std::vector<CommEvent> &commEvents() const { return comm_; }
+
+    /**
+     * The slice of state events overlapping @p interval.
+     *
+     * O(log n) by binary search: states are sorted by start and
+     * non-overlapping, so their end times are sorted too.
+     */
+    SliceRange stateSlice(const TimeInterval &interval) const;
+
+    /** The slice of samples of @p counter with time in [start, end). */
+    SliceRange counterSlice(CounterId counter,
+                            const TimeInterval &interval) const;
+
+    /** The slice of discrete events with time in [start, end). */
+    SliceRange discreteSlice(const TimeInterval &interval) const;
+
+    /** The slice of comm events with time in [start, end). */
+    SliceRange commSlice(const TimeInterval &interval) const;
+
+    /** Largest end/sample timestamp on this CPU (0 if empty). */
+    TimeStamp lastTime() const;
+
+    /**
+     * Total time spent in @p state within @p interval, clamping partially
+     * overlapping state events to the interval.
+     */
+    TimeStamp timeInState(std::uint32_t state,
+                          const TimeInterval &interval) const;
+
+  private:
+    std::vector<StateEvent> states_;
+    std::map<CounterId, std::vector<CounterSample>> counters_;
+    std::vector<DiscreteEvent> discrete_;
+    std::vector<CommEvent> comm_;
+};
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_CPU_TIMELINE_H

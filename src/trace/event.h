@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The event records stored in per-CPU arrays of the in-memory trace.
+ *
+ * Per the paper (section VI-B.c), each core keeps one array per type of
+ * event, sorted by timestamp, enabling binary-search slicing for any
+ * interval. The records here are deliberately plain structs.
+ */
+
+#ifndef AFTERMATH_TRACE_EVENT_H
+#define AFTERMATH_TRACE_EVENT_H
+
+#include <cstdint>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+
+namespace aftermath {
+namespace trace {
+
+/**
+ * One contiguous span of time a worker spent in one state.
+ *
+ * State events on a CPU are non-overlapping and sorted by start time.
+ * When the state covers a task execution, @c task identifies the task
+ * instance (kInvalidTaskInstance otherwise).
+ */
+struct StateEvent
+{
+    TimeInterval interval;
+    std::uint32_t state = 0;
+    TaskInstanceId task = kInvalidTaskInstance;
+};
+
+/**
+ * One sample of a (typically monotonically increasing) counter.
+ *
+ * Hardware counters are sampled immediately before and after task
+ * execution (paper section V); values are raw integer counts.
+ */
+struct CounterSample
+{
+    TimeStamp time = 0;
+    std::int64_t value = 0;
+};
+
+/** Kinds of discrete (point-in-time) events. */
+enum class DiscreteType : std::uint32_t {
+    TaskCreated = 0,  ///< A task was created; payload = task instance id.
+    TaskReady = 1,    ///< All dependences satisfied; payload = instance id.
+    StealSuccess = 2, ///< A steal succeeded; payload = instance id.
+    PageFault = 3,    ///< First touch faulted a page in; payload = page idx.
+    UserEvent = 100,  ///< Application-defined marker.
+};
+
+/** A discrete event: a point in time with a type and payload. */
+struct DiscreteEvent
+{
+    TimeStamp time = 0;
+    DiscreteType type = DiscreteType::UserEvent;
+    std::uint64_t payload = 0;
+};
+
+/** Kinds of communication events. */
+enum class CommKind : std::uint8_t {
+    DataRead = 0,  ///< Task read bytes; src = home node, dst = reader node.
+    DataWrite = 1, ///< Task wrote bytes; src = writer node, dst = home node.
+    Steal = 2,     ///< Work stealing; src = victim CPU, dst = thief CPU.
+    Push = 3,      ///< Explicit work push; src = origin CPU, dst = target.
+};
+
+/**
+ * A communication event recorded on the CPU where it originated.
+ *
+ * The meaning of @c src and @c dst depends on @c kind: NUMA node ids for
+ * data transfers, CPU ids for steal/push events. @c size is in bytes for
+ * data transfers and zero otherwise.
+ */
+struct CommEvent
+{
+    TimeStamp time = 0;
+    CommKind kind = CommKind::DataRead;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t size = 0;
+    RegionId region = 0;
+};
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_EVENT_H

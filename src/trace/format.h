@@ -1,0 +1,71 @@
+/**
+ * @file
+ * On-disk trace format constants.
+ *
+ * An Aftermath trace file is a header followed by a stream of frames
+ * (paper section VI-A: "traces are organized as streams of data
+ * structures"). Frames may appear in any order as long as timestamps stay
+ * ordered per CPU; events from different CPUs can be freely interleaved.
+ *
+ * Two encodings share the frame structure:
+ *  - Raw: fixed-width little-endian fields — trivially seekable.
+ *  - Compact: varint fields with per-CPU delta-coded timestamps — the
+ *    built-in substitute for the external GZIP/BZIP2/XZ compression the
+ *    original tool piped through.
+ */
+
+#ifndef AFTERMATH_TRACE_FORMAT_H
+#define AFTERMATH_TRACE_FORMAT_H
+
+#include <cstdint>
+
+namespace aftermath {
+namespace trace {
+
+/** File magic: "AFTM" in little-endian byte order. */
+inline constexpr std::uint32_t kTraceMagic = 0x4d544641;
+
+/** Current format version. */
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/** Trace encoding variants. */
+enum class Encoding : std::uint16_t {
+    Raw = 0,     ///< Fixed-width little-endian fields.
+    Compact = 1, ///< Varints + per-CPU delta timestamps.
+};
+
+/** Frame type tags. */
+enum class FrameType : std::uint8_t {
+    Topology = 1,
+    StateDescription = 2,
+    CounterDescription = 3,
+    TaskType = 4,
+    StateEvent = 5,
+    CounterSample = 6,
+    DiscreteEvent = 7,
+    CommEvent = 8,
+    TaskInstance = 9,
+    MemRegion = 10,
+    MemAccess = 11,
+    EndOfTrace = 12,
+};
+
+/**
+ * Timestamp delta-coding context classes for the compact encoding.
+ *
+ * Each (class, CPU) pair keeps an independent previous-timestamp register
+ * on both the writer and the reader; deltas are ZigZag-coded so arbitrary
+ * interleavings stay representable.
+ */
+enum class DeltaClass : std::uint8_t {
+    State = 0,
+    Counter = 1,
+    Discrete = 2,
+    Comm = 3,
+    NumClasses = 4,
+};
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_FORMAT_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory regions and their NUMA placement.
+ */
+
+#ifndef AFTERMATH_TRACE_MEMORY_H
+#define AFTERMATH_TRACE_MEMORY_H
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace aftermath {
+namespace trace {
+
+/**
+ * A memory region registered with the runtime, with its NUMA placement.
+ *
+ * Dependent-task models expose the memory regions exchanged between tasks
+ * explicitly; recording each region's location once lets the tool localize
+ * any access by address lookup (paper sections I and VI-A). A region whose
+ * pages are not yet physically allocated has node == kInvalidNode.
+ */
+struct MemRegion
+{
+    RegionId id = 0;
+    std::uint64_t address = 0; ///< Start address of the region.
+    std::uint64_t size = 0;    ///< Size in bytes.
+    NodeId node = kInvalidNode;
+
+    /** True if @p addr falls inside this region. */
+    bool
+    contains(std::uint64_t addr) const
+    {
+        return addr >= address && addr - address < size;
+    }
+};
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_MEMORY_H

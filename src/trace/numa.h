@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-task NUMA locality queries.
+ *
+ * The NUMA timeline modes (paper section II-B modes 4 and 5) color each
+ * task by the node holding the predominant fraction of the data it reads
+ * or writes, and the NUMA heatmap by the fraction of remote accesses.
+ * These helpers derive that information from a task's memory accesses by
+ * resolving access addresses to regions and regions to nodes.
+ */
+
+#ifndef AFTERMATH_TRACE_NUMA_H
+#define AFTERMATH_TRACE_NUMA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace trace {
+
+/** Byte totals of one task's accesses broken down by target NUMA node. */
+struct NumaAccessSummary
+{
+    /** bytesPerNode[n] = bytes accessed on node n. */
+    std::vector<std::uint64_t> bytesPerNode;
+    /** Bytes whose region placement is unknown. */
+    std::uint64_t unknownBytes = 0;
+
+    /** Total known bytes. */
+    std::uint64_t totalBytes() const;
+
+    /**
+     * The node holding the largest fraction of the bytes, or kInvalidNode
+     * if no byte could be localized.
+     */
+    NodeId dominantNode() const;
+
+    /** Fraction of known bytes NOT on @p local_node (0 if no bytes). */
+    double remoteFraction(NodeId local_node) const;
+};
+
+/**
+ * Summarize the bytes task @p task accessed per NUMA node.
+ *
+ * @param trace Finalized trace.
+ * @param task Task instance id.
+ * @param writes true to summarize write accesses, false for reads.
+ */
+NumaAccessSummary summarizeTaskAccesses(const Trace &trace,
+                                        TaskInstanceId task, bool writes);
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_NUMA_H

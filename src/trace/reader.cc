@@ -1,0 +1,342 @@
+#include "trace/reader.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "base/buffer.h"
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace trace {
+
+namespace {
+
+/** Mirrors TraceWriter's encoding decisions while decoding. */
+class FrameDecoder
+{
+  public:
+    FrameDecoder(ByteReader &reader, Encoding encoding)
+        : reader_(reader), encoding_(encoding)
+    {
+        lastTime_.assign(
+            static_cast<std::size_t>(DeltaClass::NumClasses), {});
+    }
+
+    std::uint64_t
+    readValue()
+    {
+        return encoding_ == Encoding::Compact ? reader_.readVarint()
+                                              : reader_.readU64();
+    }
+
+    std::uint32_t
+    readValue32()
+    {
+        if (encoding_ == Encoding::Compact) {
+            std::uint64_t v = reader_.readVarint();
+            if (v > std::numeric_limits<std::uint32_t>::max())
+                reader_.markFailed();
+            return static_cast<std::uint32_t>(v);
+        }
+        return reader_.readU32();
+    }
+
+    TimeStamp
+    readTime(DeltaClass cls, CpuId cpu)
+    {
+        if (encoding_ != Encoding::Compact)
+            return reader_.readU64();
+        auto &row = lastTime_[static_cast<std::size_t>(cls)];
+        if (cpu >= row.size())
+            row.resize(cpu + 1, 0);
+        std::int64_t delta = reader_.readSignedVarint();
+        TimeStamp time = static_cast<TimeStamp>(
+            static_cast<std::int64_t>(row[cpu]) + delta);
+        row[cpu] = time;
+        return time;
+    }
+
+    std::int64_t
+    readCounterValue()
+    {
+        if (encoding_ == Encoding::Compact)
+            return reader_.readSignedVarint();
+        return static_cast<std::int64_t>(reader_.readU64());
+    }
+
+  private:
+    ByteReader &reader_;
+    Encoding encoding_;
+    std::vector<std::vector<TimeStamp>> lastTime_;
+};
+
+/** Guard against absurd CPU/node counts from corrupt headers. */
+constexpr std::uint32_t kMaxCpus = 1 << 16;
+constexpr std::uint32_t kMaxNodes = 1 << 12;
+
+} // namespace
+
+ReadResult
+readTrace(const std::vector<std::uint8_t> &bytes)
+{
+    ReadResult result;
+    ByteReader reader(bytes);
+
+    std::uint32_t magic = reader.readU32();
+    std::uint16_t version = reader.readU16();
+    std::uint16_t encoding_raw = reader.readU16();
+    std::uint64_t cpu_freq = reader.readU64();
+
+    if (!reader.ok() || magic != kTraceMagic) {
+        result.error = "not an Aftermath trace (bad magic)";
+        return result;
+    }
+    if (version != kTraceVersion) {
+        result.error = strFormat("unsupported trace version %u", version);
+        return result;
+    }
+    if (encoding_raw > static_cast<std::uint16_t>(Encoding::Compact)) {
+        result.error = strFormat("unknown encoding %u", encoding_raw);
+        return result;
+    }
+    Encoding encoding = static_cast<Encoding>(encoding_raw);
+    result.encoding = encoding;
+    result.trace.setCpuFreqHz(cpu_freq);
+
+    FrameDecoder decoder(reader, encoding);
+    Trace &trace = result.trace;
+    bool have_topology = false;
+    bool done = false;
+
+    auto check_cpu = [&](CpuId cpu) -> bool {
+        if (!have_topology) {
+            result.error = "event frame before topology frame";
+            return false;
+        }
+        if (cpu >= trace.numCpus()) {
+            result.error = strFormat("event on cpu %u outside topology",
+                                     cpu);
+            return false;
+        }
+        return true;
+    };
+
+    while (!done) {
+        std::uint8_t type_raw = reader.readU8();
+        if (!reader.ok()) {
+            result.error = "truncated trace: missing end-of-trace frame";
+            return result;
+        }
+
+        switch (static_cast<FrameType>(type_raw)) {
+          case FrameType::Topology: {
+            if (have_topology) {
+                result.error = "duplicate topology frame";
+                return result;
+            }
+            std::uint32_t num_cpus = decoder.readValue32();
+            std::uint32_t num_nodes = decoder.readValue32();
+            if (!reader.ok() || num_cpus == 0 || num_cpus > kMaxCpus ||
+                num_nodes == 0 || num_nodes > kMaxNodes) {
+                result.error = "invalid topology frame";
+                return result;
+            }
+            std::vector<NodeId> cpu_to_node(num_cpus);
+            for (auto &node : cpu_to_node) {
+                node = decoder.readValue32();
+                if (reader.ok() && node >= num_nodes) {
+                    result.error = "cpu mapped to invalid node";
+                    return result;
+                }
+            }
+            std::vector<std::uint32_t> distances(
+                static_cast<std::size_t>(num_nodes) * num_nodes);
+            for (auto &d : distances)
+                d = decoder.readValue32();
+            if (!reader.ok()) {
+                result.error = "truncated topology frame";
+                return result;
+            }
+            trace.setTopology(MachineTopology::custom(
+                std::move(cpu_to_node), num_nodes, std::move(distances)));
+            have_topology = true;
+            break;
+          }
+          case FrameType::StateDescription: {
+            StateDescription desc;
+            desc.id = decoder.readValue32();
+            desc.name = reader.readString();
+            if (reader.ok())
+                trace.addStateDescription(desc);
+            break;
+          }
+          case FrameType::CounterDescription: {
+            CounterDescription desc;
+            desc.id = decoder.readValue32();
+            desc.name = reader.readString();
+            if (reader.ok())
+                trace.addCounterDescription(desc);
+            break;
+          }
+          case FrameType::TaskType: {
+            TaskType type;
+            type.id = decoder.readValue();
+            type.name = reader.readString();
+            if (reader.ok())
+                trace.addTaskType(type);
+            break;
+          }
+          case FrameType::StateEvent: {
+            CpuId cpu = decoder.readValue32();
+            StateEvent ev;
+            ev.state = decoder.readValue32();
+            ev.interval.start = decoder.readTime(DeltaClass::State, cpu);
+            ev.interval.end = ev.interval.start + decoder.readValue();
+            ev.task = decoder.readValue();
+            if (!reader.ok())
+                break;
+            if (!check_cpu(cpu))
+                return result;
+            trace.cpu(cpu).addState(ev);
+            break;
+          }
+          case FrameType::CounterSample: {
+            CpuId cpu = decoder.readValue32();
+            CounterId counter = decoder.readValue32();
+            CounterSample sample;
+            sample.time = decoder.readTime(DeltaClass::Counter, cpu);
+            sample.value = decoder.readCounterValue();
+            if (!reader.ok())
+                break;
+            if (!check_cpu(cpu))
+                return result;
+            trace.cpu(cpu).addCounterSample(counter, sample);
+            break;
+          }
+          case FrameType::DiscreteEvent: {
+            CpuId cpu = decoder.readValue32();
+            DiscreteEvent ev;
+            ev.type = static_cast<DiscreteType>(decoder.readValue32());
+            ev.time = decoder.readTime(DeltaClass::Discrete, cpu);
+            ev.payload = decoder.readValue();
+            if (!reader.ok())
+                break;
+            if (!check_cpu(cpu))
+                return result;
+            trace.cpu(cpu).addDiscrete(ev);
+            break;
+          }
+          case FrameType::CommEvent: {
+            CpuId cpu = decoder.readValue32();
+            CommEvent ev;
+            ev.kind = static_cast<CommKind>(reader.readU8());
+            ev.time = decoder.readTime(DeltaClass::Comm, cpu);
+            ev.src = decoder.readValue32();
+            ev.dst = decoder.readValue32();
+            ev.size = decoder.readValue();
+            ev.region = decoder.readValue();
+            if (!reader.ok())
+                break;
+            if (!check_cpu(cpu))
+                return result;
+            trace.cpu(cpu).addComm(ev);
+            break;
+          }
+          case FrameType::TaskInstance: {
+            TaskInstance instance;
+            instance.id = decoder.readValue();
+            instance.type = decoder.readValue();
+            instance.cpu = decoder.readValue32();
+            instance.interval.start = decoder.readValue();
+            instance.interval.end = instance.interval.start +
+                                    decoder.readValue();
+            if (!reader.ok())
+                break;
+            if (!check_cpu(instance.cpu))
+                return result;
+            trace.addTaskInstance(instance);
+            break;
+          }
+          case FrameType::MemRegion: {
+            MemRegion region;
+            region.id = decoder.readValue();
+            region.address = decoder.readValue();
+            region.size = decoder.readValue();
+            std::uint32_t node = decoder.readValue32();
+            region.node = node == std::numeric_limits<std::uint32_t>::max()
+                              ? kInvalidNode : node;
+            if (reader.ok())
+                trace.addMemRegion(region);
+            break;
+          }
+          case FrameType::MemAccess: {
+            MemAccess access;
+            access.task = decoder.readValue();
+            access.address = decoder.readValue();
+            access.size = decoder.readValue();
+            access.isWrite = reader.readU8() != 0;
+            if (reader.ok())
+                trace.addMemAccess(access);
+            break;
+          }
+          case FrameType::EndOfTrace:
+            done = true;
+            break;
+          default:
+            result.error = strFormat("unknown frame type %u at offset %zu",
+                                     type_raw, reader.offset() - 1);
+            return result;
+        }
+
+        if (!reader.ok()) {
+            result.error = strFormat("truncated or corrupt frame (type %u)",
+                                     type_raw);
+            return result;
+        }
+    }
+
+    if (!have_topology) {
+        result.error = "trace contains no topology frame";
+        return result;
+    }
+
+    std::string finalize_error;
+    if (!trace.finalize(finalize_error)) {
+        result.error = "trace validation failed: " + finalize_error;
+        return result;
+    }
+
+    result.bytesRead = reader.offset();
+    result.ok = true;
+    return result;
+}
+
+ReadResult
+readTraceFile(const std::string &path)
+{
+    ReadResult result;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        result.error = "cannot open " + path;
+        return result;
+    }
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        result.error = "cannot determine size of " + path;
+        return result;
+    }
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size()) {
+        result.error = "short read from " + path;
+        return result;
+    }
+    return readTrace(bytes);
+}
+
+} // namespace trace
+} // namespace aftermath

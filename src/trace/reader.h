@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deserialization of trace files into the in-memory representation.
+ *
+ * The reader accepts any global interleaving of frames, validates per-CPU
+ * timestamp ordering (the format's only ordering requirement), rejects
+ * malformed or truncated input with a diagnostic instead of crashing, and
+ * finalizes the resulting Trace so it is immediately analyzable.
+ */
+
+#ifndef AFTERMATH_TRACE_READER_H
+#define AFTERMATH_TRACE_READER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace trace {
+
+/** Outcome of reading a trace stream. */
+struct ReadResult
+{
+    bool ok = false;     ///< True if the trace parsed and finalized.
+    std::string error;   ///< Diagnostic when !ok.
+    Trace trace;         ///< The materialized trace when ok.
+    Encoding encoding = Encoding::Raw; ///< Encoding found in the header.
+    std::size_t bytesRead = 0;         ///< Total bytes consumed.
+};
+
+/** Parse a trace from an in-memory byte buffer. */
+ReadResult readTrace(const std::vector<std::uint8_t> &bytes);
+
+/** Parse a trace from a file. */
+ReadResult readTraceFile(const std::string &path);
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_READER_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Worker states and their descriptions.
+ *
+ * The default timeline mode shows which state each worker thread traverses
+ * over time (paper section II-B). States are identified by small integers;
+ * a trace carries a description frame per state id. The ids below are the
+ * well-known states emitted by the bundled runtime simulator — analysis
+ * code never assumes a trace is limited to them.
+ */
+
+#ifndef AFTERMATH_TRACE_STATE_H
+#define AFTERMATH_TRACE_STATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aftermath {
+namespace trace {
+
+/** State ids emitted by the bundled OpenStream-like runtime. */
+enum class CoreState : std::uint32_t {
+    TaskExec = 0,       ///< Executing a task's work function.
+    TaskCreation = 1,   ///< Creating child tasks.
+    Idle = 2,           ///< Idle, engaging in work stealing.
+    Broadcast = 3,      ///< Propagating data to multiple consumers.
+    Reduction = 4,      ///< Participating in a reduction.
+    Synchronization = 5,///< Waiting on a synchronization construct.
+    RuntimeInit = 6,    ///< Runtime system startup/teardown bookkeeping.
+};
+
+/** Number of well-known core states. */
+inline constexpr std::uint32_t kNumCoreStates = 7;
+
+/** Human-readable description of one state id. */
+struct StateDescription
+{
+    std::uint32_t id = 0;
+    std::string name;
+};
+
+/** Descriptions for all well-known CoreState values. */
+inline std::vector<StateDescription>
+coreStateDescriptions()
+{
+    return {
+        {static_cast<std::uint32_t>(CoreState::TaskExec), "task_exec"},
+        {static_cast<std::uint32_t>(CoreState::TaskCreation),
+         "task_creation"},
+        {static_cast<std::uint32_t>(CoreState::Idle), "idle"},
+        {static_cast<std::uint32_t>(CoreState::Broadcast), "broadcast"},
+        {static_cast<std::uint32_t>(CoreState::Reduction), "reduction"},
+        {static_cast<std::uint32_t>(CoreState::Synchronization),
+         "synchronization"},
+        {static_cast<std::uint32_t>(CoreState::RuntimeInit), "runtime_init"},
+    };
+}
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_STATE_H

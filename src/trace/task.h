@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Task types, task instances and task-level memory accesses.
+ */
+
+#ifndef AFTERMATH_TRACE_TASK_H
+#define AFTERMATH_TRACE_TASK_H
+
+#include <cstdint>
+#include <string>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+
+namespace aftermath {
+namespace trace {
+
+/**
+ * A task type: the work function executed by tasks of this type.
+ *
+ * Identified by the work-function address (paper section II-B mode 3);
+ * the symbol table maps the address back to a source-level name.
+ */
+struct TaskType
+{
+    TaskTypeId id = 0; ///< Work-function address.
+    std::string name;  ///< Demangled function name, if known.
+};
+
+/** One execution of a task on one CPU. */
+struct TaskInstance
+{
+    TaskInstanceId id = kInvalidTaskInstance;
+    TaskTypeId type = 0;
+    CpuId cpu = kInvalidCpu;
+    TimeInterval interval;
+
+    /** Execution duration in cycles. */
+    TimeStamp duration() const { return interval.duration(); }
+};
+
+/**
+ * A read or write by a task instance to a registered memory region.
+ *
+ * Accesses reference raw addresses; the trace resolves them to memory
+ * regions (and thereby NUMA nodes) on demand, storing region placement
+ * only once regardless of the number of accesses (paper section VI-A).
+ */
+struct MemAccess
+{
+    TaskInstanceId task = kInvalidTaskInstance;
+    std::uint64_t address = 0;
+    std::uint64_t size = 0;
+    bool isWrite = false;
+};
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_TASK_H

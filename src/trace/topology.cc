@@ -1,0 +1,78 @@
+#include "trace/topology.h"
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace trace {
+
+MachineTopology
+MachineTopology::uniform(std::uint32_t num_nodes, std::uint32_t cpus_per_node,
+                         std::uint32_t remote_distance)
+{
+    AFTERMATH_ASSERT(num_nodes >= 1 && cpus_per_node >= 1,
+                     "uniform topology requires at least one node and cpu");
+    std::vector<NodeId> cpu_to_node;
+    cpu_to_node.reserve(static_cast<std::size_t>(num_nodes) * cpus_per_node);
+    for (std::uint32_t n = 0; n < num_nodes; n++)
+        for (std::uint32_t c = 0; c < cpus_per_node; c++)
+            cpu_to_node.push_back(n);
+
+    std::vector<std::uint32_t> distances(
+        static_cast<std::size_t>(num_nodes) * num_nodes, remote_distance);
+    for (std::uint32_t n = 0; n < num_nodes; n++)
+        distances[static_cast<std::size_t>(n) * num_nodes + n] = 10;
+
+    return custom(std::move(cpu_to_node), num_nodes, std::move(distances));
+}
+
+MachineTopology
+MachineTopology::custom(std::vector<NodeId> cpu_to_node,
+                        std::uint32_t num_nodes,
+                        std::vector<std::uint32_t> distances)
+{
+    AFTERMATH_ASSERT(distances.size() ==
+                         static_cast<std::size_t>(num_nodes) * num_nodes,
+                     "distance matrix must be num_nodes^2");
+    for (NodeId n : cpu_to_node)
+        AFTERMATH_ASSERT(n < num_nodes, "cpu mapped to invalid node %u", n);
+
+    MachineTopology topo;
+    topo.cpuToNode_ = std::move(cpu_to_node);
+    topo.numNodes_ = num_nodes;
+    topo.distances_ = std::move(distances);
+    topo.buildNodeCpuLists();
+    return topo;
+}
+
+NodeId
+MachineTopology::nodeOfCpu(CpuId cpu) const
+{
+    AFTERMATH_ASSERT(cpu < cpuToNode_.size(), "cpu %u out of range", cpu);
+    return cpuToNode_[cpu];
+}
+
+const std::vector<CpuId> &
+MachineTopology::cpusOfNode(NodeId node) const
+{
+    AFTERMATH_ASSERT(node < nodeCpus_.size(), "node %u out of range", node);
+    return nodeCpus_[node];
+}
+
+std::uint32_t
+MachineTopology::distance(NodeId from, NodeId to) const
+{
+    AFTERMATH_ASSERT(from < numNodes_ && to < numNodes_,
+                     "node pair (%u, %u) out of range", from, to);
+    return distances_[static_cast<std::size_t>(from) * numNodes_ + to];
+}
+
+void
+MachineTopology::buildNodeCpuLists()
+{
+    nodeCpus_.assign(numNodes_, {});
+    for (CpuId cpu = 0; cpu < cpuToNode_.size(); cpu++)
+        nodeCpus_[cpuToNode_[cpu]].push_back(cpu);
+}
+
+} // namespace trace
+} // namespace aftermath

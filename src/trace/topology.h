@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Machine topology: CPUs, NUMA nodes and inter-node distances.
+ *
+ * Aftermath relates trace information to the machine's topology (paper
+ * abstract); the topology travels inside the trace file so analyses know
+ * which CPU belongs to which NUMA node and how far nodes are from each
+ * other.
+ */
+
+#ifndef AFTERMATH_TRACE_TOPOLOGY_H
+#define AFTERMATH_TRACE_TOPOLOGY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace aftermath {
+namespace trace {
+
+/**
+ * The NUMA topology of the traced machine.
+ *
+ * Distances follow the ACPI SLIT convention: local distance is 10 and
+ * remote distances are larger; they scale the simulator's memory access
+ * costs and feed the NUMA heatmap's local/remote classification.
+ */
+class MachineTopology
+{
+  public:
+    /** An empty topology (no CPUs); populate with setUniform()/custom. */
+    MachineTopology() = default;
+
+    /**
+     * Build a symmetric topology: @p num_nodes nodes of
+     * @p cpus_per_node CPUs each, all remote distances equal.
+     *
+     * @param num_nodes Number of NUMA nodes (>= 1).
+     * @param cpus_per_node CPUs per node (>= 1).
+     * @param remote_distance SLIT distance between distinct nodes.
+     */
+    static MachineTopology uniform(std::uint32_t num_nodes,
+                                   std::uint32_t cpus_per_node,
+                                   std::uint32_t remote_distance = 20);
+
+    /**
+     * Build a topology with explicit CPU->node mapping and distances.
+     *
+     * @param cpu_to_node Node id of each CPU.
+     * @param num_nodes Number of nodes; every entry of @p cpu_to_node
+     *        must be smaller.
+     * @param distances Row-major num_nodes x num_nodes SLIT matrix.
+     */
+    static MachineTopology custom(std::vector<NodeId> cpu_to_node,
+                                  std::uint32_t num_nodes,
+                                  std::vector<std::uint32_t> distances);
+
+    /** Number of logical CPUs. */
+    std::uint32_t numCpus() const
+    {
+        return static_cast<std::uint32_t>(cpuToNode_.size());
+    }
+
+    /** Number of NUMA nodes. */
+    std::uint32_t numNodes() const { return numNodes_; }
+
+    /** NUMA node of CPU @p cpu. */
+    NodeId nodeOfCpu(CpuId cpu) const;
+
+    /** CPUs belonging to node @p node. */
+    const std::vector<CpuId> &cpusOfNode(NodeId node) const;
+
+    /** SLIT distance between two nodes (10 == local). */
+    std::uint32_t distance(NodeId from, NodeId to) const;
+
+    /** True if @p from and @p to are the same node. */
+    bool
+    isLocal(NodeId from, NodeId to) const
+    {
+        return from == to;
+    }
+
+    /** True if the topology has at least one CPU. */
+    bool valid() const { return !cpuToNode_.empty(); }
+
+  private:
+    void buildNodeCpuLists();
+
+    std::vector<NodeId> cpuToNode_;
+    std::vector<std::vector<CpuId>> nodeCpus_;
+    std::vector<std::uint32_t> distances_; // Row-major numNodes_^2.
+    std::uint32_t numNodes_ = 0;
+};
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_TOPOLOGY_H

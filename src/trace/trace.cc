@@ -1,0 +1,216 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace trace {
+
+void
+Trace::setTopology(MachineTopology topo)
+{
+    topology_ = std::move(topo);
+    cpus_.resize(topology_.numCpus());
+}
+
+void
+Trace::addStateDescription(const StateDescription &desc)
+{
+    stateNames_[desc.id] = desc.name;
+}
+
+void
+Trace::addCounterDescription(const CounterDescription &desc)
+{
+    counterNames_[desc.id] = desc.name;
+}
+
+void
+Trace::addTaskType(const TaskType &type)
+{
+    taskTypes_[type.id] = type;
+}
+
+void
+Trace::addTaskInstance(const TaskInstance &instance)
+{
+    instanceIndex_[instance.id] = taskInstances_.size();
+    taskInstances_.push_back(instance);
+}
+
+void
+Trace::addMemRegion(const MemRegion &region)
+{
+    regionIndex_[region.id] = memRegions_.size();
+    memRegions_.push_back(region);
+}
+
+void
+Trace::addMemAccess(const MemAccess &access)
+{
+    memAccesses_.push_back(access);
+}
+
+CpuTimeline &
+Trace::cpu(CpuId cpu)
+{
+    AFTERMATH_ASSERT(cpu < cpus_.size(),
+                     "cpu %u outside topology (%zu cpus)", cpu, cpus_.size());
+    return cpus_[cpu];
+}
+
+const CpuTimeline &
+Trace::cpu(CpuId cpu) const
+{
+    AFTERMATH_ASSERT(cpu < cpus_.size(),
+                     "cpu %u outside topology (%zu cpus)", cpu, cpus_.size());
+    return cpus_[cpu];
+}
+
+bool
+Trace::finalize(std::string &error)
+{
+    if (finalized_) {
+        error = "trace already finalized";
+        return false;
+    }
+    if (!topology_.valid()) {
+        error = "trace has no machine topology";
+        return false;
+    }
+
+    lastTime_ = 0;
+    for (CpuId c = 0; c < cpus_.size(); c++) {
+        std::string cpu_error;
+        if (!cpus_[c].finalize(cpu_error)) {
+            error = strFormat("cpu %u: %s", c, cpu_error.c_str());
+            return false;
+        }
+        lastTime_ = std::max(lastTime_, cpus_[c].lastTime());
+    }
+
+    for (const TaskInstance &instance : taskInstances_) {
+        if (instance.cpu >= cpus_.size()) {
+            error = strFormat("task instance %llu on invalid cpu %u",
+                              static_cast<unsigned long long>(instance.id),
+                              instance.cpu);
+            return false;
+        }
+        lastTime_ = std::max(lastTime_, instance.interval.end);
+    }
+
+    // Region table sorted by address for O(log n) address lookups; the
+    // NUMA placement of a region is stored once and found per access
+    // through this index (paper section VI-A).
+    std::sort(memRegions_.begin(), memRegions_.end(),
+              [](const MemRegion &a, const MemRegion &b) {
+                  return a.address < b.address;
+              });
+    regionIndex_.clear();
+    for (std::size_t i = 0; i < memRegions_.size(); i++) {
+        if (i > 0 && memRegions_[i].address <
+                         memRegions_[i - 1].address + memRegions_[i - 1].size
+                  && memRegions_[i].size > 0 && memRegions_[i - 1].size > 0) {
+            error = strFormat("memory regions %llu and %llu overlap",
+                              static_cast<unsigned long long>(
+                                  memRegions_[i - 1].id),
+                              static_cast<unsigned long long>(
+                                  memRegions_[i].id));
+            return false;
+        }
+        regionIndex_[memRegions_[i].id] = i;
+    }
+
+    // Group accesses by task instance so per-task locality queries are a
+    // range scan rather than a full pass.
+    std::stable_sort(memAccesses_.begin(), memAccesses_.end(),
+                     [](const MemAccess &a, const MemAccess &b) {
+                         return a.task < b.task;
+                     });
+    accessRanges_.clear();
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i <= memAccesses_.size(); i++) {
+        if (i == memAccesses_.size() ||
+            (i > begin && memAccesses_[i].task != memAccesses_[begin].task)) {
+            if (i > begin)
+                accessRanges_[memAccesses_[begin].task] = {begin, i};
+            begin = i;
+        }
+    }
+
+    finalized_ = true;
+    return true;
+}
+
+std::string
+Trace::stateName(std::uint32_t id) const
+{
+    auto it = stateNames_.find(id);
+    if (it != stateNames_.end())
+        return it->second;
+    return strFormat("state_%u", id);
+}
+
+std::string
+Trace::counterName(CounterId id) const
+{
+    auto it = counterNames_.find(id);
+    if (it != counterNames_.end())
+        return it->second;
+    return strFormat("counter_%u", id);
+}
+
+const TaskInstance *
+Trace::taskInstance(TaskInstanceId id) const
+{
+    auto it = instanceIndex_.find(id);
+    return it == instanceIndex_.end() ? nullptr : &taskInstances_[it->second];
+}
+
+const MemRegion *
+Trace::regionContaining(std::uint64_t address) const
+{
+    // First region starting beyond the address; its predecessor is the
+    // only candidate since regions are sorted and non-overlapping.
+    auto it = std::upper_bound(
+        memRegions_.begin(), memRegions_.end(), address,
+        [](std::uint64_t addr, const MemRegion &r) {
+            return addr < r.address;
+        });
+    if (it == memRegions_.begin())
+        return nullptr;
+    --it;
+    return it->contains(address) ? &*it : nullptr;
+}
+
+const MemRegion *
+Trace::region(RegionId id) const
+{
+    auto it = regionIndex_.find(id);
+    return it == regionIndex_.end() ? nullptr : &memRegions_[it->second];
+}
+
+std::vector<MemAccess>::const_iterator
+Trace::accessesBegin(TaskInstanceId id) const
+{
+    auto it = accessRanges_.find(id);
+    if (it == accessRanges_.end())
+        return memAccesses_.end();
+    return memAccesses_.begin() + static_cast<std::ptrdiff_t>(
+        it->second.first);
+}
+
+std::vector<MemAccess>::const_iterator
+Trace::accessesEnd(TaskInstanceId id) const
+{
+    auto it = accessRanges_.find(id);
+    if (it == accessRanges_.end())
+        return memAccesses_.end();
+    return memAccesses_.begin() + static_cast<std::ptrdiff_t>(
+        it->second.second);
+}
+
+} // namespace trace
+} // namespace aftermath

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Serialization of traces to the on-disk frame format.
+ *
+ * TraceWriter exposes an event-level API so a tracing runtime can emit
+ * frames as execution proceeds, in any global interleaving, as long as
+ * each CPU's events are appended in timestamp order (the only ordering
+ * the format requires, paper section VI-A). writeTrace() serializes a
+ * complete in-memory Trace through the same path.
+ */
+
+#ifndef AFTERMATH_TRACE_WRITER_H
+#define AFTERMATH_TRACE_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/buffer.h"
+#include "base/types.h"
+#include "trace/format.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace trace {
+
+/** Streams trace frames into a byte buffer in Raw or Compact encoding. */
+class TraceWriter
+{
+  public:
+    /**
+     * Start a trace stream.
+     *
+     * @param encoding Raw (fixed-width) or Compact (varint + delta).
+     * @param cpu_freq_hz Clock frequency recorded in the header.
+     */
+    explicit TraceWriter(Encoding encoding = Encoding::Raw,
+                         std::uint64_t cpu_freq_hz = 2'000'000'000);
+
+    /** Emit the machine topology (must precede per-CPU event frames). */
+    void topology(const MachineTopology &topo);
+
+    /** Emit a state description frame. */
+    void stateDescription(const StateDescription &desc);
+
+    /** Emit a counter description frame. */
+    void counterDescription(const CounterDescription &desc);
+
+    /** Emit a task type frame. */
+    void taskType(const TaskType &type);
+
+    /** Emit a state event on @p cpu. */
+    void stateEvent(CpuId cpu, const StateEvent &ev);
+
+    /** Emit a counter sample on @p cpu. */
+    void counterSample(CpuId cpu, CounterId counter,
+                       const CounterSample &sample);
+
+    /** Emit a discrete event on @p cpu. */
+    void discreteEvent(CpuId cpu, const DiscreteEvent &ev);
+
+    /** Emit a communication event on @p cpu. */
+    void commEvent(CpuId cpu, const CommEvent &ev);
+
+    /** Emit a task instance frame. */
+    void taskInstance(const TaskInstance &instance);
+
+    /** Emit a memory region frame. */
+    void memRegion(const MemRegion &region);
+
+    /** Emit a memory access frame. */
+    void memAccess(const MemAccess &access);
+
+    /** Terminate the stream and return the encoded bytes. */
+    std::vector<std::uint8_t> finish();
+
+    /** Bytes emitted so far (excluding the final end frame). */
+    std::size_t sizeBytes() const { return buffer_.size(); }
+
+  private:
+    void frameHeader(FrameType type);
+    void writeTime(DeltaClass cls, CpuId cpu, TimeStamp time);
+    void writeValue(std::uint64_t v);
+    void writeValue32(std::uint32_t v);
+    std::uint64_t deltaKey(DeltaClass cls, CpuId cpu) const;
+
+    ByteWriter buffer_;
+    Encoding encoding_;
+    bool finished_ = false;
+    // Previous timestamp per (delta class, cpu), compact encoding only.
+    std::vector<std::vector<TimeStamp>> lastTime_;
+};
+
+/** Serialize a finalized in-memory trace. */
+std::vector<std::uint8_t> writeTrace(const Trace &trace,
+                                     Encoding encoding = Encoding::Raw);
+
+/**
+ * Serialize a finalized trace to a file.
+ *
+ * @return true on success; on failure @p error describes the problem.
+ */
+bool writeTraceFile(const Trace &trace, const std::string &path,
+                    Encoding encoding, std::string &error);
+
+} // namespace trace
+} // namespace aftermath
+
+#endif // AFTERMATH_TRACE_WRITER_H

@@ -1,0 +1,268 @@
+#include "workloads/kmeans.h"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "trace/state.h"
+
+namespace aftermath {
+namespace workloads {
+
+using runtime::SimRegion;
+using runtime::SimRegionRef;
+using runtime::SimTask;
+using runtime::TaskSet;
+
+namespace {
+
+/** Incrementally builds the task/region tables with dense ids. */
+class KmeansBuilder
+{
+  public:
+    explicit KmeansBuilder(const KmeansParams &params)
+        : params_(params), biasRng_(params.seed)
+    {
+        m_ = (params.numPoints + params.pointsPerBlock - 1) /
+             params.pointsPerBlock;
+        AFTERMATH_ASSERT(m_ > 0, "k-means needs at least one block");
+        pointBytes_ = params.pointsPerBlock * params.dims * sizeof(double);
+        centerBytes_ = static_cast<std::uint64_t>(params.clusters) *
+                       params.dims * sizeof(double);
+        partialBytes_ = static_cast<std::uint64_t>(params.clusters) *
+                        (params.dims + 1) * sizeof(double);
+        blockBias_.reserve(m_);
+        for (std::uint64_t j = 0; j < m_; j++)
+            blockBias_.push_back(0.6 + 0.8 * biasRng_.nextDouble());
+    }
+
+    TaskSet
+    build()
+    {
+        set_.name = strFormat(
+            "kmeans-n%llu-b%llu-k%u-it%u%s",
+            static_cast<unsigned long long>(params_.numPoints),
+            static_cast<unsigned long long>(params_.pointsPerBlock),
+            params_.clusters, params_.iterations,
+            params_.branchOptimized ? "-fixed" : "");
+        set_.types.push_back({kKmeansInputType, "kmeans_input"});
+        set_.types.push_back({kKmeansDistanceType, "kmeans_distance"});
+        set_.types.push_back({kKmeansReduceType, "kmeans_reduce"});
+        set_.types.push_back({kKmeansPropagateType, "kmeans_propagate"});
+
+        buildInputs();
+        for (std::uint32_t i = 0; i < params_.iterations; i++)
+            buildIteration(i);
+        return std::move(set_);
+    }
+
+  private:
+    RegionId
+    makeRegion(std::uint64_t size, NodeId home, bool fresh)
+    {
+        SimRegion region;
+        region.id = set_.regions.size();
+        region.address = nextAddress_;
+        region.size = size;
+        region.home = home;
+        region.fresh = fresh;
+        nextAddress_ += (size + 0xfffull) & ~0xfffull;
+        set_.regions.push_back(region);
+        return region.id;
+    }
+
+    SimTask &
+    makeTask(TaskTypeId type, std::uint64_t work_units)
+    {
+        SimTask task;
+        task.id = set_.tasks.size();
+        task.type = type;
+        task.workUnits = work_units;
+        set_.tasks.push_back(task);
+        return set_.tasks.back();
+    }
+
+    NodeId
+    blockHome(std::uint64_t j) const
+    {
+        if (params_.numNodes <= 1)
+            return kInvalidNode;
+        return static_cast<NodeId>((j * params_.numNodes) / m_);
+    }
+
+    /** Input tasks write the point blocks and the initial centers. */
+    void
+    buildInputs()
+    {
+        pointRegion_.resize(m_);
+        centerRegion_.resize(m_);
+        inputTask_.resize(m_);
+        for (std::uint64_t j = 0; j < m_; j++) {
+            pointRegion_[j] = makeRegion(pointBytes_, blockHome(j), true);
+            centerRegion_[j] = makeRegion(centerBytes_, blockHome(j), true);
+            SimTask &task = makeTask(
+                kKmeansInputType,
+                params_.pointsPerBlock * params_.dims / 2);
+            task.writes.push_back({pointRegion_[j], pointBytes_});
+            task.writes.push_back({centerRegion_[j], centerBytes_});
+            task.homeNode = blockHome(j);
+            inputTask_[j] = task.id;
+        }
+        centerProducer_ = inputTask_;
+    }
+
+    /** Mispredictions of distance task (i, j) under the churn model. */
+    std::uint64_t
+    mispredicts(std::uint32_t i, std::uint64_t j) const
+    {
+        double comparisons = static_cast<double>(params_.pointsPerBlock) *
+                             params_.clusters;
+        if (params_.branchOptimized) {
+            // Unconditional update, check hoisted out of the loop: only
+            // the loop-control branches remain.
+            return static_cast<std::uint64_t>(comparisons * 0.02);
+        }
+        // Assignment churn decays over iterations; some blocks sit on
+        // cluster boundaries and churn persistently (the bias).
+        double rate = (0.55 * std::exp(-static_cast<double>(i) / 2.2) +
+                       0.06) * blockBias_[j];
+        rate = std::min(rate, 0.95);
+        return static_cast<std::uint64_t>(comparisons * rate);
+    }
+
+    void
+    buildIteration(std::uint32_t i)
+    {
+        // --- Distance calculation tasks k(i, j). -------------------------
+        std::uint64_t work = static_cast<std::uint64_t>(
+            static_cast<double>(params_.pointsPerBlock) * params_.dims *
+            params_.clusters * params_.workPerTerm);
+        std::vector<std::uint64_t> partial_task(m_);
+        std::vector<RegionId> partial_region(m_);
+        for (std::uint64_t j = 0; j < m_; j++) {
+            partial_region[j] = makeRegion(partialBytes_, blockHome(j),
+                                           i == 0);
+            SimTask &task = makeTask(kKmeansDistanceType, work);
+            task.reads.push_back({pointRegion_[j], pointBytes_});
+            task.reads.push_back({centerRegion_[j], centerBytes_});
+            task.writes.push_back({partial_region[j], partialBytes_});
+            task.deps.push_back(inputTask_[j]);
+            if (centerProducer_[j] != inputTask_[j])
+                task.deps.push_back(centerProducer_[j]);
+            task.extraMispredicts = mispredicts(i, j);
+            task.homeNode = blockHome(j);
+            partial_task[j] = task.id;
+        }
+
+        // --- Binary reduction tree r(i, s, q). ----------------------------
+        std::vector<std::uint64_t> level_tasks = partial_task;
+        std::vector<RegionId> level_regions = partial_region;
+        while (level_tasks.size() > 1) {
+            std::vector<std::uint64_t> next_tasks;
+            std::vector<RegionId> next_regions;
+            for (std::size_t q = 0; q + 1 < level_tasks.size(); q += 2) {
+                RegionId out = makeRegion(partialBytes_, kInvalidNode,
+                                          i == 0);
+                SimTask &task = makeTask(
+                    kKmeansReduceType,
+                    static_cast<std::uint64_t>(params_.clusters) *
+                        (params_.dims + 1) * 4);
+                task.reads.push_back({level_regions[q], partialBytes_});
+                task.reads.push_back({level_regions[q + 1], partialBytes_});
+                task.writes.push_back({out, partialBytes_});
+                task.deps.push_back(level_tasks[q]);
+                task.deps.push_back(level_tasks[q + 1]);
+                task.auxState =
+                    static_cast<std::uint32_t>(trace::CoreState::Reduction);
+                // Runtime latency of a tree node: dependence resolution
+                // and partial-result synchronization on a contended
+                // interconnect; dominates the node's tiny compute.
+                task.auxCycles = 30'000;
+                next_tasks.push_back(task.id);
+                next_regions.push_back(out);
+            }
+            if (level_tasks.size() % 2) {
+                next_tasks.push_back(level_tasks.back());
+                next_regions.push_back(level_regions.back());
+            }
+            level_tasks = std::move(next_tasks);
+            level_regions = std::move(next_regions);
+        }
+        std::uint64_t root_task = level_tasks.front();
+        RegionId root_region = level_regions.front();
+
+        // --- Binary propagation tree p(i, s, q) for the next iteration. --
+        if (i + 1 >= params_.iterations)
+            return;
+        // Each node covers a range of blocks [lo, hi); leaves (single
+        // block) write that block's next-iteration center region.
+        std::vector<RegionId> next_centers(m_);
+        std::vector<std::uint64_t> next_producer(m_);
+        struct Range
+        {
+            std::uint64_t lo, hi;
+            std::uint64_t parent_task;
+            RegionId parent_region;
+        };
+        std::vector<Range> stack{{0, m_, root_task, root_region}};
+        while (!stack.empty()) {
+            Range range = stack.back();
+            stack.pop_back();
+            RegionId out = makeRegion(centerBytes_,
+                                      blockHome(range.lo), i == 0);
+            SimTask &task = makeTask(kKmeansPropagateType,
+                                     params_.clusters * params_.dims * 2);
+            task.reads.push_back({range.parent_region,
+                                  range.parent_region == root_region
+                                      ? partialBytes_ : centerBytes_});
+            task.writes.push_back({out, centerBytes_});
+            task.deps.push_back(range.parent_task);
+            task.auxState =
+                static_cast<std::uint32_t>(trace::CoreState::Broadcast);
+            task.auxCycles = 30'000;
+            task.homeNode = blockHome(range.lo);
+            if (range.hi - range.lo == 1) {
+                next_centers[range.lo] = out;
+                next_producer[range.lo] = task.id;
+            } else {
+                std::uint64_t mid = (range.lo + range.hi) / 2;
+                stack.push_back({range.lo, mid, task.id, out});
+                stack.push_back({mid, range.hi, task.id, out});
+            }
+        }
+        centerRegion_ = std::move(next_centers);
+        centerProducer_ = std::move(next_producer);
+    }
+
+    const KmeansParams &params_;
+    Rng biasRng_;
+    TaskSet set_;
+    std::uint64_t m_ = 0;
+    std::uint64_t pointBytes_ = 0;
+    std::uint64_t centerBytes_ = 0;
+    std::uint64_t partialBytes_ = 0;
+    std::uint64_t nextAddress_ = 0x20'0000'0000ull;
+    std::vector<double> blockBias_;
+    std::vector<RegionId> pointRegion_;
+    std::vector<RegionId> centerRegion_;
+    std::vector<std::uint64_t> inputTask_;
+    std::vector<std::uint64_t> centerProducer_;
+};
+
+} // namespace
+
+runtime::TaskSet
+buildKmeans(const KmeansParams &params)
+{
+    AFTERMATH_ASSERT(params.numPoints > 0 && params.pointsPerBlock > 0 &&
+                     params.iterations > 0 && params.clusters > 0 &&
+                     params.dims > 0,
+                     "k-means parameters must be positive");
+    KmeansBuilder builder(params);
+    return builder.build();
+}
+
+} // namespace workloads
+} // namespace aftermath

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The k-means benchmark: blocked naive K-means clustering.
+ *
+ * The paper's second case study (sections III-C and V): n points in d
+ * dimensions grouped into k clusters. Each iteration partitions the
+ * points into m blocks; a distance task per block assigns points to the
+ * nearest center; a binary reduction tree combines partial sums and the
+ * root updates the centers, which a binary propagation tree broadcasts to
+ * the next iteration's distance tasks (Fig 11).
+ *
+ * The distance tasks' inner loop performs frequent conditional updates of
+ * the running minimum; the per-block, per-iteration assignment churn
+ * drives branch mispredictions, reproducing the duration variability of
+ * Fig 16 and the duration/misprediction correlation of Fig 18/19. The
+ * branchOptimized flag applies the paper's fix (unconditional update with
+ * the check hoisted out of the loop), collapsing both the mean and the
+ * spread.
+ */
+
+#ifndef AFTERMATH_WORKLOADS_KMEANS_H
+#define AFTERMATH_WORKLOADS_KMEANS_H
+
+#include <cstdint>
+
+#include "runtime/task_set.h"
+
+namespace aftermath {
+namespace workloads {
+
+/** Parameters of the k-means task set. */
+struct KmeansParams
+{
+    std::uint64_t numPoints = 20'480'000; ///< Points to cluster.
+    std::uint32_t dims = 10;              ///< Dimensions per point.
+    std::uint32_t clusters = 11;          ///< Cluster count (k).
+    std::uint64_t pointsPerBlock = 10'000;///< Block size (the Fig 12 knob).
+    std::uint32_t iterations = 10;        ///< Clustering iterations.
+    /**
+     * Abstract work units per point-dimension-cluster distance term,
+     * scaled by the cost model's cyclesPerWorkUnit.
+     */
+    double workPerTerm = 6.0;
+    /** Apply the paper's branch fix (section V). */
+    bool branchOptimized = false;
+    /** Seed of the per-block churn bias. */
+    std::uint64_t seed = 7;
+    /** Number of NUMA nodes for block home hints. */
+    std::uint32_t numNodes = 1;
+};
+
+/** Work-function addresses of the k-means task types. */
+inline constexpr TaskTypeId kKmeansInputType = 0x500000;
+inline constexpr TaskTypeId kKmeansDistanceType = 0x501000;
+inline constexpr TaskTypeId kKmeansReduceType = 0x502000;
+inline constexpr TaskTypeId kKmeansPropagateType = 0x503000;
+
+/** Build the k-means task set. */
+runtime::TaskSet buildKmeans(const KmeansParams &params);
+
+} // namespace workloads
+} // namespace aftermath
+
+#endif // AFTERMATH_WORKLOADS_KMEANS_H

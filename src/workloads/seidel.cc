@@ -1,0 +1,162 @@
+#include "workloads/seidel.h"
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace workloads {
+
+using runtime::SimRegion;
+using runtime::SimRegionRef;
+using runtime::SimTask;
+using runtime::TaskSet;
+
+namespace {
+
+/** Ids are laid out version-major: version t of block (i, j). */
+struct SeidelIds
+{
+    std::uint32_t bx, by;
+
+    std::uint64_t
+    block(std::uint32_t i, std::uint32_t j) const
+    {
+        return static_cast<std::uint64_t>(j) * bx + i;
+    }
+
+    /** Region id of version @p t of block (i, j); t in [0, iterations]. */
+    std::uint64_t
+    region(std::uint32_t t, std::uint32_t i, std::uint32_t j) const
+    {
+        return static_cast<std::uint64_t>(t) * bx * by + block(i, j);
+    }
+
+    /** Task id: inits occupy [0, bx*by), sweep t >= 1 follows. */
+    std::uint64_t
+    task(std::uint32_t t, std::uint32_t i, std::uint32_t j) const
+    {
+        return static_cast<std::uint64_t>(t) * bx * by + block(i, j);
+    }
+};
+
+} // namespace
+
+runtime::TaskSet
+buildSeidel(const SeidelParams &params)
+{
+    AFTERMATH_ASSERT(params.blocksX > 0 && params.blocksY > 0 &&
+                     params.blockDim > 0 && params.iterations > 0,
+                     "seidel parameters must be positive");
+    AFTERMATH_ASSERT(params.numNodes > 0, "seidel needs >= 1 node");
+
+    TaskSet set;
+    set.name = strFormat("seidel-%ux%u-b%u-it%u", params.blocksX,
+                         params.blocksY, params.blockDim,
+                         params.iterations);
+    set.types.push_back({kSeidelInitType, "seidel_init"});
+    set.types.push_back({kSeidelBlockType, "seidel_block"});
+
+    const SeidelIds ids{params.blocksX, params.blocksY};
+    const std::uint32_t bx = params.blocksX;
+    const std::uint32_t by = params.blocksY;
+    const std::uint64_t num_blocks =
+        static_cast<std::uint64_t>(bx) * by;
+    const std::uint64_t block_elems =
+        static_cast<std::uint64_t>(params.blockDim) * params.blockDim;
+    const std::uint64_t block_bytes = block_elems * sizeof(double);
+    const std::uint64_t boundary_bytes = params.blockDim * sizeof(double);
+
+    // Home node of a block: contiguous ranges of the block-linearized
+    // grid per node, so neighbouring blocks mostly share a node.
+    auto home_node = [&](std::uint32_t i, std::uint32_t j) -> NodeId {
+        if (!params.numaOptimized)
+            return kInvalidNode;
+        return static_cast<NodeId>(
+            (ids.block(i, j) * params.numNodes) / num_blocks);
+    };
+
+    // --- Regions: one per block version, version 0 is fresh memory. -----
+    const std::uint64_t region_stride = (block_bytes + 0xfffu) & ~0xfffull;
+    const std::uint64_t base_address = 0x10'0000'0000ull;
+    std::uint64_t num_regions =
+        static_cast<std::uint64_t>(params.iterations + 1) * num_blocks;
+    set.regions.reserve(num_regions);
+    for (std::uint32_t t = 0; t <= params.iterations; t++) {
+        for (std::uint32_t j = 0; j < by; j++) {
+            for (std::uint32_t i = 0; i < bx; i++) {
+                SimRegion region;
+                region.id = ids.region(t, i, j);
+                region.address = base_address + region.id * region_stride;
+                region.size = block_bytes;
+                region.home = home_node(i, j);
+                region.fresh = (t == 0);
+                set.regions.push_back(region);
+            }
+        }
+    }
+
+    // --- Initialization tasks write version 0 of every block. -----------
+    std::uint64_t num_tasks =
+        static_cast<std::uint64_t>(params.iterations + 1) * num_blocks;
+    set.tasks.reserve(num_tasks);
+    for (std::uint32_t j = 0; j < by; j++) {
+        for (std::uint32_t i = 0; i < bx; i++) {
+            SimTask task;
+            task.id = ids.task(0, i, j);
+            task.type = kSeidelInitType;
+            task.workUnits = block_elems / 2; // Pure stores, little math.
+            task.writes.push_back(
+                SimRegionRef{ids.region(0, i, j), block_bytes});
+            task.homeNode = home_node(i, j);
+            set.tasks.push_back(task);
+        }
+    }
+    // Ids must stay dense: fill sweep tasks in id order.
+    for (std::uint32_t t = 1; t <= params.iterations; t++) {
+        for (std::uint32_t j = 0; j < by; j++) {
+            for (std::uint32_t i = 0; i < bx; i++) {
+                SimTask task;
+                task.id = ids.task(t, i, j);
+                task.type = kSeidelBlockType;
+                task.workUnits = block_elems * params.workPerElement;
+                task.homeNode = home_node(i, j);
+
+                // Own block, previous version: full read.
+                task.reads.push_back(
+                    SimRegionRef{ids.region(t - 1, i, j), block_bytes});
+                task.deps.push_back(ids.task(t - 1, i, j));
+                // Left/upper neighbours, current sweep: boundary rows.
+                if (i > 0) {
+                    task.reads.push_back(SimRegionRef{
+                        ids.region(t, i - 1, j), boundary_bytes});
+                    task.deps.push_back(ids.task(t, i - 1, j));
+                }
+                if (j > 0) {
+                    task.reads.push_back(SimRegionRef{
+                        ids.region(t, i, j - 1), boundary_bytes});
+                    task.deps.push_back(ids.task(t, i, j - 1));
+                }
+                // Right/lower neighbours, previous sweep: boundaries.
+                if (i + 1 < bx) {
+                    task.reads.push_back(SimRegionRef{
+                        ids.region(t - 1, i + 1, j), boundary_bytes});
+                    task.deps.push_back(ids.task(t - 1, i + 1, j));
+                }
+                if (j + 1 < by) {
+                    task.reads.push_back(SimRegionRef{
+                        ids.region(t - 1, i, j + 1), boundary_bytes});
+                    task.deps.push_back(ids.task(t - 1, i, j + 1));
+                }
+
+                task.writes.push_back(
+                    SimRegionRef{ids.region(t, i, j), block_bytes});
+                set.tasks.push_back(task);
+            }
+        }
+    }
+
+    return set;
+}
+
+} // namespace workloads
+} // namespace aftermath

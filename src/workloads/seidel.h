@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The seidel benchmark: a blocked 2-D Gauss-Seidel stencil.
+ *
+ * The paper's first case study (sections III and IV): a 2-dimensional
+ * stencil over a matrix of doubles, decomposed into blocks. Initialization
+ * tasks write each block's initial version — the first touch of the
+ * memory regions used for data exchanges, triggering physical allocation
+ * (section III-B). Compute tasks form the characteristic diagonal
+ * wavefront (Fig 6): task (i, j, t) depends on its left/upper neighbours
+ * of the same iteration and on itself and its right/lower neighbours of
+ * the previous iteration, giving depth i + j + 1 + 2(t-1) and the
+ * four-phase available-parallelism profile of Fig 5.
+ */
+
+#ifndef AFTERMATH_WORKLOADS_SEIDEL_H
+#define AFTERMATH_WORKLOADS_SEIDEL_H
+
+#include <cstdint>
+
+#include "runtime/task_set.h"
+
+namespace aftermath {
+namespace workloads {
+
+/** Parameters of the seidel task set. */
+struct SeidelParams
+{
+    std::uint32_t blocksX = 64;   ///< Blocks per matrix row.
+    std::uint32_t blocksY = 64;   ///< Blocks per matrix column.
+    std::uint32_t blockDim = 256; ///< Elements (doubles) per block side.
+    std::uint32_t iterations = 30;///< Gauss-Seidel sweeps.
+    /**
+     * Abstract work units per element per sweep (the stencil's compute
+     * intensity relative to the cost model's cyclesPerWorkUnit).
+     */
+    std::uint32_t workPerElement = 3;
+    /**
+     * Assign home nodes to blocks (contiguous 2-D ranges per node) and
+     * home-node hints to tasks; used by the optimized NUMA-aware runtime
+     * configuration of section IV.
+     */
+    bool numaOptimized = false;
+    /** Number of NUMA nodes used for the home-node mapping. */
+    std::uint32_t numNodes = 1;
+};
+
+/** Work-function addresses of the seidel task types. */
+inline constexpr TaskTypeId kSeidelInitType = 0x400000;
+inline constexpr TaskTypeId kSeidelBlockType = 0x401000;
+
+/** Build the seidel task set. */
+runtime::TaskSet buildSeidel(const SeidelParams &params);
+
+} // namespace workloads
+} // namespace aftermath
+
+#endif // AFTERMATH_WORKLOADS_SEIDEL_H

@@ -1,0 +1,150 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+
+namespace aftermath {
+namespace workloads {
+
+using runtime::SimRegion;
+using runtime::SimRegionRef;
+using runtime::SimTask;
+using runtime::TaskSet;
+
+namespace {
+
+constexpr std::uint64_t kRegionBytes = 4096;
+constexpr std::uint64_t kBaseAddress = 0x30'0000'0000ull;
+
+/** Give every task its own output region at a disjoint address. */
+void
+addTaskRegions(TaskSet &set)
+{
+    set.regions.reserve(set.tasks.size());
+    for (SimTask &task : set.tasks) {
+        SimRegion region;
+        region.id = set.regions.size();
+        region.address = kBaseAddress + region.id * 2 * kRegionBytes;
+        region.size = kRegionBytes;
+        region.fresh = true;
+        set.regions.push_back(region);
+        task.writes.push_back({region.id, kRegionBytes});
+    }
+    // Read the output regions of all dependences.
+    for (SimTask &task : set.tasks) {
+        for (std::uint64_t d : task.deps)
+            task.reads.push_back({d, kRegionBytes});
+    }
+}
+
+TaskSet
+makeSet(const std::string &name)
+{
+    TaskSet set;
+    set.name = name;
+    set.types.push_back({kSyntheticType, "synthetic_work"});
+    return set;
+}
+
+} // namespace
+
+runtime::TaskSet
+buildChain(std::uint64_t length, std::uint64_t work_units)
+{
+    TaskSet set = makeSet(strFormat(
+        "chain-%llu", static_cast<unsigned long long>(length)));
+    set.tasks.reserve(length);
+    for (std::uint64_t i = 0; i < length; i++) {
+        SimTask task;
+        task.id = i;
+        task.type = kSyntheticType;
+        task.workUnits = work_units;
+        if (i > 0)
+            task.deps.push_back(i - 1);
+        set.tasks.push_back(task);
+    }
+    addTaskRegions(set);
+    return set;
+}
+
+runtime::TaskSet
+buildParallel(std::uint64_t count, std::uint64_t work_units)
+{
+    TaskSet set = makeSet(strFormat(
+        "parallel-%llu", static_cast<unsigned long long>(count)));
+    set.tasks.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        SimTask task;
+        task.id = i;
+        task.type = kSyntheticType;
+        task.workUnits = work_units;
+        set.tasks.push_back(task);
+    }
+    addTaskRegions(set);
+    return set;
+}
+
+runtime::TaskSet
+buildForkJoin(std::uint32_t phases, std::uint32_t width,
+              std::uint64_t work_units)
+{
+    TaskSet set = makeSet(strFormat("forkjoin-%ux%u", phases, width));
+    std::uint64_t prev_join = runtime::kNoTask;
+    for (std::uint32_t p = 0; p < phases; p++) {
+        std::uint64_t first = set.tasks.size();
+        for (std::uint32_t w = 0; w < width; w++) {
+            SimTask task;
+            task.id = set.tasks.size();
+            task.type = kSyntheticType;
+            task.workUnits = work_units;
+            if (prev_join != runtime::kNoTask)
+                task.deps.push_back(prev_join);
+            set.tasks.push_back(task);
+        }
+        SimTask join;
+        join.id = set.tasks.size();
+        join.type = kSyntheticType;
+        join.workUnits = work_units / 10 + 1;
+        for (std::uint32_t w = 0; w < width; w++)
+            join.deps.push_back(first + w);
+        set.tasks.push_back(join);
+        prev_join = join.id;
+    }
+    addTaskRegions(set);
+    return set;
+}
+
+runtime::TaskSet
+buildRandomDag(std::uint64_t count, std::uint32_t max_deps,
+               std::uint64_t seed, std::uint64_t work_units)
+{
+    TaskSet set = makeSet(strFormat(
+        "randomdag-%llu", static_cast<unsigned long long>(count)));
+    Rng rng(seed);
+    set.tasks.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        SimTask task;
+        task.id = i;
+        task.type = kSyntheticType;
+        task.workUnits = work_units / 2 +
+                         rng.nextBounded(work_units / 2 + 1);
+        if (i > 0 && max_deps > 0) {
+            std::uint32_t ndeps = static_cast<std::uint32_t>(
+                rng.nextBounded(std::min<std::uint64_t>(max_deps, i) + 1));
+            for (std::uint32_t d = 0; d < ndeps; d++) {
+                std::uint64_t dep = rng.nextBounded(i);
+                if (std::find(task.deps.begin(), task.deps.end(), dep) ==
+                    task.deps.end())
+                    task.deps.push_back(dep);
+            }
+        }
+        set.tasks.push_back(task);
+    }
+    addTaskRegions(set);
+    return set;
+}
+
+} // namespace workloads
+} // namespace aftermath

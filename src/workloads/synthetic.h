@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic task sets for tests, examples and micro-benchmarks.
+ *
+ * These small generators exercise specific structures: serial chains
+ * (zero parallelism), fork-join phases (barrier-like waves), random DAGs
+ * (property tests of scheduling and graph reconstruction), and embarrass-
+ * ingly parallel sets (load balancing).
+ */
+
+#ifndef AFTERMATH_WORKLOADS_SYNTHETIC_H
+#define AFTERMATH_WORKLOADS_SYNTHETIC_H
+
+#include <cstdint>
+
+#include "runtime/task_set.h"
+
+namespace aftermath {
+namespace workloads {
+
+/** Work-function address of the synthetic task type. */
+inline constexpr TaskTypeId kSyntheticType = 0x600000;
+
+/** A serial chain: task i depends on task i-1. */
+runtime::TaskSet buildChain(std::uint64_t length,
+                            std::uint64_t work_units = 10'000);
+
+/**
+ * Independent tasks: @p count tasks with no dependences, each with the
+ * given work.
+ */
+runtime::TaskSet buildParallel(std::uint64_t count,
+                               std::uint64_t work_units = 10'000);
+
+/**
+ * Fork-join phases: @p phases waves of @p width independent tasks, each
+ * wave joined by a single join task before the next wave forks.
+ */
+runtime::TaskSet buildForkJoin(std::uint32_t phases, std::uint32_t width,
+                               std::uint64_t work_units = 10'000);
+
+/**
+ * A random DAG: @p count tasks; task i draws up to @p max_deps
+ * dependences uniformly from earlier tasks. Every task writes its own
+ * region and reads its producers' regions, so reconstructing the task
+ * graph from the trace must recover exactly these dependences.
+ */
+runtime::TaskSet buildRandomDag(std::uint64_t count, std::uint32_t max_deps,
+                                std::uint64_t seed,
+                                std::uint64_t work_units = 10'000);
+
+} // namespace workloads
+} // namespace aftermath
+
+#endif // AFTERMATH_WORKLOADS_SYNTHETIC_H

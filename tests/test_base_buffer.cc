@@ -1,0 +1,148 @@
+/** @file Tests of the bounds-checked byte buffers. */
+
+#include <gtest/gtest.h>
+
+#include "base/buffer.h"
+#include "base/rng.h"
+
+namespace aftermath {
+namespace {
+
+TEST(ByteWriter, WritesLittleEndian)
+{
+    ByteWriter w;
+    w.writeU16(0x1234);
+    w.writeU32(0xdeadbeef);
+    w.writeU64(0x0102030405060708ull);
+    const auto &d = w.data();
+    ASSERT_EQ(d.size(), 14u);
+    EXPECT_EQ(d[0], 0x34);
+    EXPECT_EQ(d[1], 0x12);
+    EXPECT_EQ(d[2], 0xef);
+    EXPECT_EQ(d[5], 0xde);
+    EXPECT_EQ(d[6], 0x08);
+    EXPECT_EQ(d[13], 0x01);
+}
+
+TEST(ByteRoundTrip, AllPrimitiveTypes)
+{
+    ByteWriter w;
+    w.writeU8(0xab);
+    w.writeU16(0xcdef);
+    w.writeU32(0x12345678);
+    w.writeU64(0x1122334455667788ull);
+    w.writeVarint(300);
+    w.writeSignedVarint(-12345);
+    w.writeDouble(3.14159265358979);
+    w.writeString("hello aftermath");
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.readU8(), 0xab);
+    EXPECT_EQ(r.readU16(), 0xcdef);
+    EXPECT_EQ(r.readU32(), 0x12345678u);
+    EXPECT_EQ(r.readU64(), 0x1122334455667788ull);
+    EXPECT_EQ(r.readVarint(), 300u);
+    EXPECT_EQ(r.readSignedVarint(), -12345);
+    EXPECT_DOUBLE_EQ(r.readDouble(), 3.14159265358979);
+    EXPECT_EQ(r.readString(), "hello aftermath");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteReader, FailureIsSticky)
+{
+    ByteWriter w;
+    w.writeU16(7);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.readU32(), 0u); // Short read fails.
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.readU8(), 0u); // Still failed, returns zero.
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_FALSE(r.atEnd());
+}
+
+TEST(ByteReader, EmptyBufferFailsImmediately)
+{
+    ByteReader r(nullptr, 0);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+    r.readU8();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, StringLengthGuardRejectsHugeLengths)
+{
+    ByteWriter w;
+    w.writeVarint(1 << 30); // Claims a gigabyte-sized string.
+    w.writeU8('x');
+    ByteReader r(w.data());
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, StringLengthBeyondBufferFails)
+{
+    ByteWriter w;
+    w.writeVarint(100); // Claims 100 bytes but provides 3.
+    w.writeU8('a');
+    w.writeU8('b');
+    w.writeU8('c');
+    ByteReader r(w.data());
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, SkipRespectsBounds)
+{
+    ByteWriter w;
+    w.writeU64(1);
+    ByteReader r(w.data());
+    r.skip(4);
+    EXPECT_TRUE(r.ok());
+    r.skip(5); // Only 4 bytes left.
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, ReadBytesCopiesAndAdvances)
+{
+    ByteWriter w;
+    std::uint8_t payload[5] = {1, 2, 3, 4, 5};
+    w.writeBytes(payload, sizeof(payload));
+    ByteReader r(w.data());
+    std::uint8_t out[5] = {};
+    r.readBytes(out, 5);
+    EXPECT_TRUE(r.ok());
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(out[i], payload[i]);
+}
+
+TEST(ByteWriter, TakeResetsWriter)
+{
+    ByteWriter w;
+    w.writeU32(1);
+    auto bytes = w.take();
+    EXPECT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(w.size(), 0u);
+    w.writeU8(2);
+    EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(ByteRoundTrip, RandomDoubles)
+{
+    Rng rng(77);
+    ByteWriter w;
+    std::vector<double> values;
+    for (int i = 0; i < 500; i++) {
+        double v = rng.nextGaussian() * 1e12;
+        values.push_back(v);
+        w.writeDouble(v);
+    }
+    ByteReader r(w.data());
+    for (double v : values)
+        EXPECT_DOUBLE_EQ(r.readDouble(), v);
+    EXPECT_TRUE(r.atEnd());
+}
+
+} // namespace
+} // namespace aftermath

@@ -1,0 +1,152 @@
+/** @file Tests of time intervals, string utilities and the RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "base/time_interval.h"
+
+namespace aftermath {
+namespace {
+
+TEST(TimeInterval, BasicProperties)
+{
+    TimeInterval iv(10, 20);
+    EXPECT_EQ(iv.duration(), 10u);
+    EXPECT_FALSE(iv.empty());
+    EXPECT_TRUE(iv.contains(10));
+    EXPECT_TRUE(iv.contains(19));
+    EXPECT_FALSE(iv.contains(20)); // Half-open.
+    EXPECT_FALSE(iv.contains(9));
+}
+
+TEST(TimeInterval, EmptyAndInverted)
+{
+    EXPECT_TRUE(TimeInterval(5, 5).empty());
+    EXPECT_TRUE(TimeInterval(7, 3).empty());
+    EXPECT_EQ(TimeInterval(7, 3).duration(), 0u);
+}
+
+TEST(TimeInterval, OverlapsAndIntersection)
+{
+    TimeInterval a(0, 10), b(5, 15), c(10, 20);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c)); // Touching half-open intervals.
+    EXPECT_EQ(a.intersect(b), TimeInterval(5, 10));
+    EXPECT_EQ(a.overlapDuration(b), 5u);
+    EXPECT_EQ(a.overlapDuration(c), 0u);
+    EXPECT_TRUE(a.intersect(c).empty());
+}
+
+TEST(TimeInterval, IntersectionIsCommutative)
+{
+    TimeInterval a(3, 42), b(17, 99);
+    EXPECT_EQ(a.intersect(b), b.intersect(a));
+    EXPECT_EQ(a.overlapDuration(b), b.overlapDuration(a));
+}
+
+TEST(StringUtil, Format)
+{
+    EXPECT_EQ(strFormat("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(strFormat("%llu", 18446744073709551615ull),
+              "18446744073709551615");
+    EXPECT_EQ(strFormat("empty"), "empty");
+}
+
+TEST(StringUtil, Split)
+{
+    auto f = strSplit("a,b,,c", ',');
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_EQ(f[0], "a");
+    EXPECT_EQ(f[2], "");
+    EXPECT_EQ(f[3], "c");
+    EXPECT_EQ(strSplit("", ',').size(), 1u);
+    EXPECT_EQ(strSplit("abc", ',').size(), 1u);
+}
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(strTrim("  hi \t\n"), "hi");
+    EXPECT_EQ(strTrim(""), "");
+    EXPECT_EQ(strTrim("   "), "");
+    EXPECT_EQ(strTrim("x"), "x");
+}
+
+TEST(StringUtil, HumanBytes)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(4096), "4.00 KiB");
+    EXPECT_EQ(humanBytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(StringUtil, HumanCycles)
+{
+    EXPECT_EQ(humanCycles(950), "950 cycles");
+    EXPECT_EQ(humanCycles(50'000'000), "50.00 Mcycles");
+    EXPECT_EQ(humanCycles(7'910'000'000ull), "7.91 Gcycles");
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true, any_diff_c = false;
+    for (int i = 0; i < 100; i++) {
+        std::uint64_t va = a.next();
+        all_equal &= (va == b.next());
+        any_diff_c |= (va != c.next());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; i++) {
+        EXPECT_LT(rng.nextBounded(17), 17u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoundedCoversAllResidues)
+{
+    Rng rng(10);
+    std::vector<int> seen(7, 0);
+    for (int i = 0; i < 7000; i++)
+        seen[rng.nextBounded(7)]++;
+    for (int r = 0; r < 7; r++)
+        EXPECT_GT(seen[r], 700) << "residue " << r; // ~1000 expected.
+}
+
+TEST(Rng, GaussianMomentsAreSane)
+{
+    Rng rng(11);
+    double sum = 0, sum2 = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    double mean = sum / n;
+    double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NextRangeRespectsBounds)
+{
+    Rng rng(12);
+    for (int i = 0; i < 1000; i++) {
+        double v = rng.nextRange(-3.0, 7.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+} // namespace
+} // namespace aftermath

@@ -1,0 +1,131 @@
+/** @file Unit and property tests of LEB128 varints and ZigZag coding. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/varint.h"
+
+namespace aftermath {
+namespace {
+
+std::uint64_t
+roundTrip(std::uint64_t value)
+{
+    std::vector<std::uint8_t> buf;
+    varintEncode(value, buf);
+    std::size_t offset = 0;
+    std::uint64_t out = 0;
+    EXPECT_TRUE(varintDecode(buf.data(), buf.size(), offset, out));
+    EXPECT_EQ(offset, buf.size());
+    return out;
+}
+
+TEST(Varint, EncodesSmallValuesInOneByte)
+{
+    for (std::uint64_t v = 0; v < 128; v++) {
+        std::vector<std::uint8_t> buf;
+        varintEncode(v, buf);
+        EXPECT_EQ(buf.size(), 1u);
+        EXPECT_EQ(roundTrip(v), v);
+    }
+}
+
+TEST(Varint, RoundTripsBoundaryValues)
+{
+    const std::uint64_t cases[] = {
+        0, 1, 127, 128, 129, 16383, 16384, 16385,
+        (1ull << 32) - 1, 1ull << 32, (1ull << 56) - 1,
+        ~0ull, ~0ull - 1, 0x8000000000000000ull,
+    };
+    for (std::uint64_t v : cases)
+        EXPECT_EQ(roundTrip(v), v) << "value " << v;
+}
+
+TEST(Varint, MaxValueUsesTenBytes)
+{
+    std::vector<std::uint8_t> buf;
+    varintEncode(~0ull, buf);
+    EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(Varint, DecodeFailsOnTruncatedInput)
+{
+    std::vector<std::uint8_t> buf;
+    varintEncode(1ull << 40, buf);
+    ASSERT_GT(buf.size(), 1u);
+    for (std::size_t len = 0; len + 1 < buf.size(); len++) {
+        std::size_t offset = 0;
+        std::uint64_t out = 0;
+        EXPECT_FALSE(varintDecode(buf.data(), len, offset, out))
+            << "prefix length " << len;
+    }
+}
+
+TEST(Varint, DecodeFailsOnOverlongEncoding)
+{
+    // Eleven continuation bytes exceed 64 bits of payload.
+    std::vector<std::uint8_t> buf(11, 0xff);
+    buf.push_back(0x01);
+    std::size_t offset = 0;
+    std::uint64_t out = 0;
+    EXPECT_FALSE(varintDecode(buf.data(), buf.size(), offset, out));
+}
+
+TEST(Varint, DecodeAdvancesOffsetAcrossSequence)
+{
+    std::vector<std::uint8_t> buf;
+    const std::uint64_t values[] = {5, 300, 1ull << 50, 0};
+    for (std::uint64_t v : values)
+        varintEncode(v, buf);
+    std::size_t offset = 0;
+    for (std::uint64_t v : values) {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(varintDecode(buf.data(), buf.size(), offset, out));
+        EXPECT_EQ(out, v);
+    }
+    EXPECT_EQ(offset, buf.size());
+}
+
+TEST(Zigzag, MapsSmallMagnitudesToSmallCodes)
+{
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+    EXPECT_EQ(zigzagEncode(2), 4u);
+}
+
+TEST(Zigzag, RoundTripsExtremes)
+{
+    const std::int64_t cases[] = {
+        0, 1, -1, 1000, -1000,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    for (std::int64_t v : cases)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << "value " << v;
+}
+
+/** Property sweep: random values round-trip at several magnitudes. */
+class VarintProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(VarintProperty, RandomRoundTrip)
+{
+    int bits = GetParam();
+    Rng rng(0xabcdef + bits);
+    for (int i = 0; i < 2000; i++) {
+        std::uint64_t v = rng.next();
+        if (bits < 64)
+            v &= (1ull << bits) - 1;
+        EXPECT_EQ(roundTrip(v), v);
+        std::int64_t s = static_cast<std::int64_t>(v);
+        EXPECT_EQ(zigzagDecode(zigzagEncode(s)), s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, VarintProperty,
+                         ::testing::Values(7, 14, 21, 32, 48, 63, 64));
+
+} // namespace
+} // namespace aftermath

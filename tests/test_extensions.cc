@@ -1,0 +1,196 @@
+/** @file Tests of the future-work extensions: anomaly scan, critical
+ *  path. */
+
+#include <gtest/gtest.h>
+
+#include "graph/critical_path.h"
+#include "machine/machine_spec.h"
+#include "runtime/runtime_system.h"
+#include "stats/anomaly.h"
+#include "trace/state.h"
+#include "workloads/seidel.h"
+#include "workloads/synthetic.h"
+
+namespace aftermath {
+namespace {
+
+constexpr std::uint32_t kExec =
+    static_cast<std::uint32_t>(trace::CoreState::TaskExec);
+constexpr std::uint32_t kIdle =
+    static_cast<std::uint32_t>(trace::CoreState::Idle);
+
+TEST(AnomalyScan, FindsIdlePhase)
+{
+    // Two workers, both idle in the middle third of the run.
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 2));
+    for (CpuId c = 0; c < 2; c++) {
+        tr.cpu(c).addState({{0, 300}, kExec, kInvalidTaskInstance});
+        tr.cpu(c).addState({{300, 600}, kIdle, kInvalidTaskInstance});
+        tr.cpu(c).addState({{600, 900}, kExec, kInvalidTaskInstance});
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    auto findings = stats::scanForAnomalies(tr);
+    ASSERT_FALSE(findings.empty());
+    const stats::Anomaly &a = findings.front();
+    EXPECT_EQ(a.kind, stats::AnomalyKind::IdlePhase);
+    // The phase covers roughly [300, 600).
+    EXPECT_LT(a.interval.start, 350u);
+    EXPECT_GT(a.interval.end, 550u);
+    EXPECT_GT(a.severity, 0.9); // Both workers idle.
+    EXPECT_NE(a.description.find("idle phase"), std::string::npos);
+}
+
+TEST(AnomalyScan, FindsDurationOutlier)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addTaskType({0x1, "work"});
+    TimeStamp t = 0;
+    for (TaskInstanceId id = 0; id < 30; id++) {
+        // 29 tasks of ~100 cycles and one of 1000.
+        TimeStamp d = (id == 17) ? 1000 : 100 + (id % 3);
+        tr.addTaskInstance({id, 0x1, 0, {t, t + d}});
+        tr.cpu(0).addState({{t, t + d}, kExec, id});
+        t += d;
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    auto findings = stats::scanForAnomalies(tr);
+    bool found = false;
+    for (const stats::Anomaly &a : findings) {
+        if (a.kind == stats::AnomalyKind::DurationOutlier) {
+            EXPECT_EQ(a.task, 17u);
+            EXPECT_GT(a.severity, 3.0);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AnomalyScan, FindsCounterBurst)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addCounterDescription({0, "misses"});
+    // Steady rate 1/cycle, one 50x burst between t=500 and t=510.
+    std::int64_t v = 0;
+    for (TimeStamp t = 0; t <= 1000; t += 10) {
+        v += (t == 510) ? 500 : 10;
+        tr.cpu(0).addCounterSample(0, {t, v});
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    auto findings = stats::scanForAnomalies(tr);
+    bool found = false;
+    for (const stats::Anomaly &a : findings) {
+        if (a.kind == stats::AnomalyKind::CounterBurst) {
+            EXPECT_TRUE(a.interval.overlaps({500, 511}));
+            EXPECT_GT(a.severity, 4.0);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(AnomalyScan, QuietTraceYieldsNothing)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 2));
+    tr.addTaskType({0x1, "work"});
+    TimeStamp t = 0;
+    for (TaskInstanceId id = 0; id < 40; id++) {
+        CpuId c = static_cast<CpuId>(id % 2);
+        tr.addTaskInstance({id, 0x1, c, {t, t + 100}});
+        tr.cpu(c).addState({{t, t + 100}, kExec, id});
+        if (id % 2)
+            t += 100;
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+    EXPECT_TRUE(stats::scanForAnomalies(tr).empty());
+}
+
+TEST(CriticalPath, ChainIsItsOwnCriticalPath)
+{
+    runtime::TaskSet set = workloads::buildChain(20, 10'000);
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(2, 2);
+    config.seed = 5;
+    runtime::RunResult result = runtime::RuntimeSystem(config).run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+
+    graph::TaskGraph g = graph::TaskGraph::reconstruct(result.trace);
+    graph::CriticalPath cp = graph::computeCriticalPath(g, result.trace);
+    ASSERT_TRUE(cp.acyclic);
+    EXPECT_EQ(cp.tasks.size(), 20u);
+    // A chain's critical path is the sum of all task durations, and it
+    // explains (almost) the whole makespan.
+    TimeStamp total = 0;
+    for (const trace::TaskInstance &inst : result.trace.taskInstances())
+        total += inst.duration();
+    EXPECT_EQ(cp.length, total);
+    EXPECT_GT(cp.coverage(result.makespan), 0.8);
+    // Path is in dependence order.
+    for (std::size_t i = 1; i < cp.tasks.size(); i++)
+        EXPECT_EQ(cp.tasks[i], cp.tasks[i - 1] + 1);
+}
+
+TEST(CriticalPath, ParallelTasksHaveShallowPath)
+{
+    runtime::TaskSet set = workloads::buildParallel(32, 50'000);
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(2, 4);
+    config.seed = 6;
+    runtime::RunResult result = runtime::RuntimeSystem(config).run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+
+    graph::TaskGraph g = graph::TaskGraph::reconstruct(result.trace);
+    graph::CriticalPath cp = graph::computeCriticalPath(g, result.trace);
+    ASSERT_TRUE(cp.acyclic);
+    EXPECT_EQ(cp.tasks.size(), 1u); // No dependences: one task.
+    EXPECT_LT(cp.coverage(result.makespan), 0.5);
+}
+
+TEST(CriticalPath, EmptyGraph)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+    graph::TaskGraph g = graph::TaskGraph::reconstruct(tr);
+    graph::CriticalPath cp = graph::computeCriticalPath(g, tr);
+    EXPECT_TRUE(cp.acyclic);
+    EXPECT_EQ(cp.length, 0u);
+    EXPECT_TRUE(cp.tasks.empty());
+}
+
+TEST(CriticalPath, WavefrontCoverageIsHighWhenStarved)
+{
+    // seidel's phase-2 drop: with more workers than wavefront width the
+    // critical chain explains a large share of the makespan.
+    workloads::SeidelParams params;
+    params.blocksX = 4;
+    params.blocksY = 4;
+    params.blockDim = 16;
+    params.iterations = 6;
+    runtime::TaskSet set = workloads::buildSeidel(params);
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(8, 8); // 64 cpus.
+    config.seed = 7;
+    runtime::RunResult result = runtime::RuntimeSystem(config).run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+
+    graph::TaskGraph g = graph::TaskGraph::reconstruct(result.trace);
+    graph::CriticalPath cp = graph::computeCriticalPath(g, result.trace);
+    ASSERT_TRUE(cp.acyclic);
+    EXPECT_GT(cp.coverage(result.makespan), 0.4);
+    EXPECT_GE(cp.tasks.size(), 10u);
+}
+
+} // namespace
+} // namespace aftermath

@@ -1,0 +1,234 @@
+/** @file Tests of task-graph reconstruction, depth and DOT export. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/rng.h"
+#include "graph/depth.h"
+#include "graph/dot_export.h"
+#include "graph/task_graph.h"
+#include "machine/machine_spec.h"
+#include "runtime/runtime_system.h"
+#include "workloads/synthetic.h"
+
+namespace aftermath {
+namespace graph {
+namespace {
+
+/** A trace whose dependences are known by construction. */
+trace::Trace
+handBuiltTrace()
+{
+    // Fig 4's example: t00, t10 at depth 0; t01, t11 at 1; t02, t12, t22
+    // at 2; t03 at 3. Edges through shared regions.
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 2));
+    tr.addTaskType({0x1, "t"});
+    // Eight tasks; instance ids 0..7 map to the paper's
+    // {t00, t10, t01, t11, t02, t12, t22, t03}.
+    for (TaskInstanceId id = 0; id < 8; id++) {
+        tr.addTaskInstance({id, 0x1, static_cast<CpuId>(id % 2),
+                            {id * 10, id * 10 + 5}});
+    }
+    // One region per producing task.
+    for (RegionId r = 0; r < 8; r++)
+        tr.addMemRegion({r, 0x1000 + r * 0x100, 0x100, 0});
+    auto write = [&](TaskInstanceId t, RegionId r) {
+        tr.addMemAccess({t, 0x1000 + r * 0x100, 8, true});
+    };
+    auto read = [&](TaskInstanceId t, RegionId r) {
+        tr.addMemAccess({t, 0x1000 + r * 0x100, 8, false});
+    };
+    for (TaskInstanceId t = 0; t < 8; t++)
+        write(t, t);
+    // Edges: 0->2, 0->3, 1->3, 2->4, 3->4(x via region3), 3->5, 3->6,
+    // 1->6, 4->7, 5->7.
+    read(2, 0);
+    read(3, 0);
+    read(3, 1);
+    read(4, 2);
+    read(4, 3);
+    read(5, 3);
+    read(6, 3);
+    read(6, 1);
+    read(7, 4);
+    read(7, 5);
+    std::string err;
+    EXPECT_TRUE(tr.finalize(err)) << err;
+    return tr;
+}
+
+TEST(TaskGraph, ReconstructsHandBuiltExample)
+{
+    trace::Trace tr = handBuiltTrace();
+    TaskGraph g = TaskGraph::reconstruct(tr);
+    EXPECT_EQ(g.numNodes(), 8u);
+    EXPECT_EQ(g.numEdges(), 10u);
+
+    DepthAnalysis d = computeDepths(g);
+    ASSERT_TRUE(d.acyclic);
+    EXPECT_EQ(d.maxDepth, 3u);
+    // Depths of the paper's example (Fig 4).
+    std::vector<std::uint32_t> expect = {0, 0, 1, 1, 2, 2, 2, 3};
+    for (NodeIndex v = 0; v < 8; v++)
+        EXPECT_EQ(d.depth[g.nodeOf(v)], expect[v]) << "task " << v;
+    EXPECT_EQ(d.parallelismByDepth,
+              (std::vector<std::uint64_t>{2, 2, 3, 1}));
+    EXPECT_EQ(g.roots().size(), 2u);
+}
+
+TEST(TaskGraph, SelfReadsProduceNoEdge)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addTaskType({0x1, "t"});
+    tr.addTaskInstance({0, 0x1, 0, {0, 5}});
+    tr.addMemRegion({0, 0x1000, 0x100, 0});
+    tr.addMemAccess({0, 0x1000, 8, true});
+    tr.addMemAccess({0, 0x1000, 8, false});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+    TaskGraph g = TaskGraph::reconstruct(tr);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(TaskGraph, CycleDetected)
+{
+    // Two tasks reading each other's output regions: not a DAG.
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addTaskType({0x1, "t"});
+    tr.addTaskInstance({0, 0x1, 0, {0, 5}});
+    tr.addTaskInstance({1, 0x1, 0, {5, 9}});
+    tr.addMemRegion({0, 0x1000, 0x100, 0});
+    tr.addMemRegion({1, 0x2000, 0x100, 0});
+    tr.addMemAccess({0, 0x1000, 8, true});
+    tr.addMemAccess({1, 0x1000, 8, false});
+    tr.addMemAccess({1, 0x2000, 8, true});
+    tr.addMemAccess({0, 0x2000, 8, false});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+    TaskGraph g = TaskGraph::reconstruct(tr);
+    DepthAnalysis d = computeDepths(g);
+    EXPECT_FALSE(d.acyclic);
+}
+
+/** Brute-force longest path by DFS memoization for cross-checking. */
+std::uint32_t
+longestPathTo(const TaskGraph &g, NodeIndex v,
+              std::vector<std::int64_t> &memo)
+{
+    if (memo[v] >= 0)
+        return static_cast<std::uint32_t>(memo[v]);
+    std::uint32_t best = 0;
+    for (NodeIndex p : g.predecessors(v))
+        best = std::max(best, longestPathTo(g, p, memo) + 1);
+    memo[v] = best;
+    return best;
+}
+
+class GraphProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(GraphProperty, ReconstructionMatchesWorkloadDeps)
+{
+    // Simulate a random DAG; the trace's memory accesses must
+    // reconstruct exactly the workload's dependence edges.
+    int seed = GetParam();
+    runtime::TaskSet set = workloads::buildRandomDag(120, 4, seed, 5'000);
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(2, 2);
+    config.seed = seed;
+    runtime::RuntimeSystem rts(config);
+    runtime::RunResult result = rts.run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+
+    TaskGraph g = TaskGraph::reconstruct(result.trace);
+    ASSERT_EQ(g.numNodes(), set.tasks.size());
+
+    std::size_t expected_edges = 0;
+    for (const runtime::SimTask &task : set.tasks) {
+        expected_edges += task.deps.size();
+        NodeIndex v = g.nodeOf(task.id);
+        ASSERT_NE(v, kInvalidNodeIndex);
+        std::vector<std::uint64_t> preds;
+        for (NodeIndex p : g.predecessors(v))
+            preds.push_back(g.taskOf(p));
+        std::vector<std::uint64_t> want(task.deps);
+        std::sort(preds.begin(), preds.end());
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(preds, want) << "task " << task.id;
+    }
+    EXPECT_EQ(g.numEdges(), expected_edges);
+
+    // Depth by Kahn equals brute-force longest path.
+    DepthAnalysis d = computeDepths(g);
+    ASSERT_TRUE(d.acyclic);
+    std::vector<std::int64_t> memo(g.numNodes(), -1);
+    for (NodeIndex v = 0; v < g.numNodes(); v++)
+        EXPECT_EQ(d.depth[v], longestPathTo(g, v, memo)) << "node " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(ClassifyPhases, DetectsSeidelShape)
+{
+    // Startup spike, drop, rise to peak, decline.
+    std::vector<std::uint64_t> profile = {100, 1, 5, 20, 60, 90, 80, 40,
+                                          10, 2};
+    ParallelismPhases p = classifyPhases(profile);
+    EXPECT_TRUE(p.valid);
+    EXPECT_EQ(p.startupParallelism, 100u);
+    EXPECT_EQ(p.dropDepth, 1u);
+    EXPECT_EQ(p.dropParallelism, 1u);
+    EXPECT_EQ(p.peakDepth, 5u);
+    EXPECT_EQ(p.peakParallelism, 90u);
+}
+
+TEST(ClassifyPhases, RejectsMonotoneProfiles)
+{
+    EXPECT_FALSE(classifyPhases({1, 2, 3, 4, 5, 6}).valid);
+    EXPECT_FALSE(classifyPhases({6, 5, 4, 3, 2, 1}).valid);
+    EXPECT_FALSE(classifyPhases({3, 3}).valid);
+}
+
+TEST(DotExport, EmitsNodesAndEdges)
+{
+    trace::Trace tr = handBuiltTrace();
+    TaskGraph g = TaskGraph::reconstruct(tr);
+    std::ostringstream os;
+    exportDot(g, tr, os);
+    std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph taskgraph {"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+    // All 8 nodes present.
+    for (int v = 0; v < 8; v++) {
+        EXPECT_NE(dot.find("n" + std::to_string(v) + " ["),
+                  std::string::npos);
+    }
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, IncludeFilterRestrictsSubset)
+{
+    trace::Trace tr = handBuiltTrace();
+    TaskGraph g = TaskGraph::reconstruct(tr);
+    std::ostringstream os;
+    DotOptions options;
+    options.include = [](NodeIndex v) { return v < 2; };
+    options.graphName = "subset";
+    exportDot(g, tr, os, options);
+    std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph subset"), std::string::npos);
+    EXPECT_EQ(dot.find("n5 ["), std::string::npos);
+    // No cross-subset edges survive.
+    EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+} // namespace
+} // namespace graph
+} // namespace aftermath

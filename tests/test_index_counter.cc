@@ -1,0 +1,153 @@
+/** @file Property tests of the n-ary min/max counter index. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "index/counter_index.h"
+
+namespace aftermath {
+namespace index {
+namespace {
+
+using trace::CounterSample;
+
+std::vector<CounterSample>
+randomSamples(std::uint64_t seed, std::size_t count)
+{
+    Rng rng(seed);
+    std::vector<CounterSample> samples;
+    samples.reserve(count);
+    TimeStamp t = 0;
+    std::int64_t v = 0;
+    for (std::size_t i = 0; i < count; i++) {
+        t += 1 + rng.nextBounded(5);
+        v += static_cast<std::int64_t>(rng.nextBounded(2001)) - 1000;
+        samples.push_back({t, v});
+    }
+    return samples;
+}
+
+MinMax
+bruteForce(const std::vector<CounterSample> &samples,
+           const TimeInterval &iv)
+{
+    MinMax out;
+    for (const CounterSample &s : samples) {
+        if (s.time < iv.start || s.time >= iv.end)
+            continue;
+        if (!out.valid) {
+            out = {s.value, s.value, true};
+        } else {
+            out.min = std::min(out.min, s.value);
+            out.max = std::max(out.max, s.value);
+        }
+    }
+    return out;
+}
+
+/** Sweep: sample counts x arities, queries cross-checked vs brute force. */
+class CounterIndexProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>>
+{};
+
+TEST_P(CounterIndexProperty, MatchesBruteForce)
+{
+    auto [count, arity] = GetParam();
+    auto samples = randomSamples(count * 31 + arity, count);
+    CounterIndex index(samples, arity);
+
+    Rng rng(count + arity * 7);
+    TimeStamp max_t = samples.empty() ? 10 : samples.back().time + 10;
+    for (int trial = 0; trial < 400; trial++) {
+        TimeStamp a = rng.nextBounded(max_t);
+        TimeStamp b = a + rng.nextBounded(max_t / 2 + 2);
+        TimeInterval iv{a, b};
+        MinMax expect = bruteForce(samples, iv);
+        MinMax got = index.query(iv);
+        ASSERT_EQ(got.valid, expect.valid)
+            << "interval [" << a << ", " << b << ")";
+        if (expect.valid) {
+            EXPECT_EQ(got.min, expect.min)
+                << "interval [" << a << ", " << b << ")";
+            EXPECT_EQ(got.max, expect.max)
+                << "interval [" << a << ", " << b << ")";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CounterIndexProperty,
+    ::testing::Combine(::testing::Values(0, 1, 5, 99, 100, 101, 1000,
+                                         20000),
+                       ::testing::Values(2u, 3u, 10u, 100u)));
+
+TEST(CounterIndex, FullRangeQueryEqualsGlobalExtrema)
+{
+    auto samples = randomSamples(4, 5000);
+    CounterIndex index(samples);
+    MinMax mm = index.query({0, samples.back().time + 1});
+    std::int64_t lo = samples[0].value, hi = samples[0].value;
+    for (const auto &s : samples) {
+        lo = std::min(lo, s.value);
+        hi = std::max(hi, s.value);
+    }
+    ASSERT_TRUE(mm.valid);
+    EXPECT_EQ(mm.min, lo);
+    EXPECT_EQ(mm.max, hi);
+}
+
+TEST(CounterIndex, EmptyIntervalInvalid)
+{
+    auto samples = randomSamples(4, 100);
+    CounterIndex index(samples);
+    EXPECT_FALSE(index.query({50, 50}).valid);
+    EXPECT_FALSE(index.query({samples.back().time + 100,
+                              samples.back().time + 200}).valid);
+}
+
+TEST(CounterIndex, MemoryOverheadBelowFivePercentAtArity100)
+{
+    // The paper: arity 100 "effectively limits the overhead to 5% of the
+    // actual performance counter data".
+    auto samples = randomSamples(9, 200'000);
+    CounterIndex index(samples, 100);
+    EXPECT_GT(index.memoryBytes(), 0u);
+    EXPECT_LT(index.overheadFraction(), 0.05)
+        << "overhead " << index.overheadFraction();
+}
+
+TEST(CounterIndex, SmallerArityCostsMoreMemory)
+{
+    auto samples = randomSamples(10, 50'000);
+    CounterIndex coarse(samples, 100);
+    CounterIndex fine(samples, 2);
+    EXPECT_GT(fine.memoryBytes(), coarse.memoryBytes());
+    EXPECT_EQ(coarse.arity(), 100u);
+}
+
+TEST(CounterIndex, EmptySampleArray)
+{
+    std::vector<CounterSample> empty;
+    CounterIndex index(empty);
+    EXPECT_FALSE(index.query({0, 1000}).valid);
+    EXPECT_EQ(index.memoryBytes(), 0u);
+    EXPECT_EQ(index.overheadFraction(), 0.0);
+}
+
+TEST(CounterIndex, MonotonicCounterExtremaAtEnds)
+{
+    // Monotone counters: min/max of any interval are its first/last
+    // samples.
+    std::vector<CounterSample> samples;
+    for (TimeStamp t = 0; t < 10'000; t += 3)
+        samples.push_back({t, static_cast<std::int64_t>(t * 2)});
+    CounterIndex index(samples);
+    MinMax mm = index.query({300, 600});
+    ASSERT_TRUE(mm.valid);
+    EXPECT_EQ(mm.min, 600);
+    EXPECT_EQ(mm.max, 1194); // Last sample at t=597.
+}
+
+} // namespace
+} // namespace index
+} // namespace aftermath

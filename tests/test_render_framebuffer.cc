@@ -1,0 +1,177 @@
+/** @file Tests of the framebuffer, colors and layout geometry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "render/color.h"
+#include "render/framebuffer.h"
+#include "render/layout.h"
+
+namespace aftermath {
+namespace render {
+namespace {
+
+TEST(Framebuffer, InitialFillAndClear)
+{
+    Framebuffer fb(8, 4, {1, 2, 3, 255});
+    EXPECT_EQ(fb.countPixels({1, 2, 3, 255}), 32u);
+    fb.clear({9, 9, 9, 255});
+    EXPECT_EQ(fb.countPixels({9, 9, 9, 255}), 32u);
+}
+
+TEST(Framebuffer, SetAndGetPixel)
+{
+    Framebuffer fb(4, 4);
+    fb.setPixel(2, 1, {7, 8, 9, 255});
+    EXPECT_EQ(fb.pixel(2, 1), (Rgba{7, 8, 9, 255}));
+    // Out of bounds: ignored on write, transparent on read.
+    fb.setPixel(-1, 0, {1, 1, 1, 255});
+    fb.setPixel(4, 0, {1, 1, 1, 255});
+    EXPECT_EQ(fb.pixel(99, 99).a, 0);
+}
+
+TEST(Framebuffer, FillRectClips)
+{
+    Framebuffer fb(10, 10, {0, 0, 0, 255});
+    fb.fillRect(-5, -5, 8, 8, {255, 0, 0, 255});
+    EXPECT_EQ(fb.countPixels({255, 0, 0, 255}), 9u); // 3x3 visible.
+    fb.fillRect(8, 8, 100, 100, {0, 255, 0, 255});
+    EXPECT_EQ(fb.countPixels({0, 255, 0, 255}), 4u); // 2x2 visible.
+}
+
+TEST(Framebuffer, VLineInclusiveAndSwapped)
+{
+    Framebuffer fb(4, 10, {0, 0, 0, 255});
+    fb.drawVLine(1, 7, 3, {5, 5, 5, 255});
+    EXPECT_EQ(fb.countPixels({5, 5, 5, 255}), 5u); // Rows 3..7.
+    EXPECT_EQ(fb.pixel(1, 3), (Rgba{5, 5, 5, 255}));
+    EXPECT_EQ(fb.pixel(1, 7), (Rgba{5, 5, 5, 255}));
+}
+
+TEST(Framebuffer, LineEndpoints)
+{
+    Framebuffer fb(20, 20, {0, 0, 0, 255});
+    fb.drawLine(2, 3, 15, 11, {9, 1, 1, 255});
+    EXPECT_EQ(fb.pixel(2, 3), (Rgba{9, 1, 1, 255}));
+    EXPECT_EQ(fb.pixel(15, 11), (Rgba{9, 1, 1, 255}));
+    EXPECT_GE(fb.countPixels({9, 1, 1, 255}), 14u);
+}
+
+TEST(Framebuffer, PpmHeaderAndSize)
+{
+    Framebuffer fb(3, 2, {10, 20, 30, 255});
+    std::ostringstream os;
+    fb.writePpm(os);
+    std::string ppm = os.str();
+    EXPECT_EQ(ppm.substr(0, 11), "P6\n3 2\n255\n");
+    EXPECT_EQ(ppm.size(), 11u + 3u * 2u * 3u);
+    EXPECT_EQ(static_cast<unsigned char>(ppm[11]), 10);
+    EXPECT_EQ(static_cast<unsigned char>(ppm[12]), 20);
+    EXPECT_EQ(static_cast<unsigned char>(ppm[13]), 30);
+}
+
+TEST(Color, LerpEndpointsAndMidpoint)
+{
+    Rgba a{0, 0, 0, 255}, b{200, 100, 50, 255};
+    EXPECT_EQ(lerp(a, b, 0.0), a);
+    EXPECT_EQ(lerp(a, b, 1.0), b);
+    Rgba mid = lerp(a, b, 0.5);
+    EXPECT_EQ(mid.r, 100);
+    EXPECT_EQ(mid.g, 50);
+    EXPECT_EQ(mid.b, 25);
+    // Clamped outside [0, 1].
+    EXPECT_EQ(lerp(a, b, -3.0), a);
+    EXPECT_EQ(lerp(a, b, 7.0), b);
+}
+
+TEST(Color, HeatmapShadesAreMonotone)
+{
+    // Longer duration => darker red (smaller channel values).
+    Rgba shortest = heatmapShade(0, 0, 100, 10);
+    Rgba longest = heatmapShade(100, 0, 100, 10);
+    EXPECT_EQ(shortest, (Rgba{255, 255, 255, 255}));
+    Rgba prev = shortest;
+    for (std::uint64_t d = 10; d <= 100; d += 10) {
+        Rgba cur = heatmapShade(d, 0, 100, 10);
+        EXPECT_LE(cur.r, prev.r);
+        EXPECT_LE(cur.g, prev.g);
+        prev = cur;
+    }
+    EXPECT_EQ(prev, longest);
+    // Out-of-range durations clamp.
+    EXPECT_EQ(heatmapShade(10'000, 0, 100, 10), longest);
+}
+
+TEST(Color, HeatmapQuantizesToShadeCount)
+{
+    // With 2 shades there are only the two extreme colors.
+    Rgba lo = heatmapShade(49, 0, 100, 2);
+    Rgba hi = heatmapShade(51, 0, 100, 2);
+    EXPECT_EQ(lo, (Rgba{255, 255, 255, 255}));
+    EXPECT_EQ(hi, heatmapShade(100, 0, 100, 2));
+}
+
+TEST(Color, NumaNodeColorsDistinct)
+{
+    for (std::uint32_t a = 0; a < 24; a++) {
+        for (std::uint32_t b = a + 1; b < 24; b++)
+            EXPECT_NE(numaNodeColor(a), numaNodeColor(b))
+                << a << " vs " << b;
+    }
+}
+
+TEST(Color, NumaHeatEndpoints)
+{
+    EXPECT_EQ(numaHeatShade(0.0), (Rgba{41, 98, 255, 255}));
+    EXPECT_EQ(numaHeatShade(1.0), (Rgba{255, 64, 180, 255}));
+}
+
+TEST(Layout, PixelIntervalsTileTheView)
+{
+    TimelineLayout layout({1000, 2003}, 97, 50, 4);
+    TimeStamp covered = 0;
+    TimeStamp prev_end = 1000;
+    for (std::uint32_t x = 0; x < 97; x++) {
+        TimeInterval px = layout.pixelInterval(x);
+        EXPECT_EQ(px.start, prev_end) << "pixel " << x;
+        prev_end = px.end;
+        covered += px.duration();
+    }
+    EXPECT_EQ(prev_end, 2003u);
+    EXPECT_EQ(covered, 1003u);
+}
+
+TEST(Layout, TimeToPixelInverse)
+{
+    TimelineLayout layout({0, 10'000}, 100, 40, 2);
+    for (std::uint32_t x = 0; x < 100; x++) {
+        TimeInterval px = layout.pixelInterval(x);
+        EXPECT_EQ(layout.timeToPixel(px.start), x);
+        EXPECT_EQ(layout.timeToPixel(px.end - 1), x);
+    }
+    EXPECT_EQ(layout.timeToPixel(99'999), 99u); // Clamped.
+}
+
+TEST(Layout, LanesPartitionHeight)
+{
+    TimelineLayout layout({0, 100}, 10, 37, 5);
+    EXPECT_EQ(layout.laneHeight(), 7u);
+    EXPECT_EQ(layout.laneTop(0), 0u);
+    EXPECT_EQ(layout.laneTop(4), 29u);
+    EXPECT_LE(layout.laneTop(4) + layout.laneHeight(), 37u);
+}
+
+TEST(Layout, MorePixelsThanCycles)
+{
+    // Zoomed far in: some pixel intervals are empty; none overlap.
+    TimelineLayout layout({10, 14}, 16, 10, 1);
+    std::uint64_t total = 0;
+    for (std::uint32_t x = 0; x < 16; x++)
+        total += layout.pixelInterval(x).duration();
+    EXPECT_EQ(total, 4u);
+}
+
+} // namespace
+} // namespace render
+} // namespace aftermath

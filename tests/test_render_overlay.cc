@@ -1,0 +1,177 @@
+/** @file Tests of the counter overlay and its min/max optimization. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "index/counter_index.h"
+#include "metrics/generators.h"
+#include "render/counter_overlay.h"
+
+namespace aftermath {
+namespace render {
+namespace {
+
+trace::Trace
+counterTrace(std::uint64_t seed, std::size_t samples_per_cpu)
+{
+    Rng rng(seed);
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 2));
+    tr.addCounterDescription({0, "ctr"});
+    for (CpuId c = 0; c < 2; c++) {
+        TimeStamp t = 0;
+        std::int64_t v = 1000;
+        for (std::size_t i = 0; i < samples_per_cpu; i++) {
+            t += 1 + rng.nextBounded(4);
+            v += static_cast<std::int64_t>(rng.nextBounded(201)) - 100;
+            tr.cpu(c).addCounterSample(0, {t, v});
+        }
+    }
+    std::string err;
+    EXPECT_TRUE(tr.finalize(err)) << err;
+    return tr;
+}
+
+TEST(CounterOverlay, OptimizedIssuesOneLinePerColumn)
+{
+    trace::Trace tr = counterTrace(1, 5000);
+    index::CounterIndex index(tr.cpu(0).counterSamples(0));
+    Framebuffer fb(120, 60);
+    TimelineLayout layout(tr.span(), 120, 60, 2);
+    CounterOverlay overlay(tr, fb);
+    overlay.renderLane(0, 0, index, layout, {});
+    EXPECT_LE(overlay.stats().lineOps, 120u);
+    EXPECT_GT(overlay.stats().lineOps, 100u); // Samples are dense.
+}
+
+TEST(CounterOverlay, NaiveIssuesOneLinePerSamplePair)
+{
+    trace::Trace tr = counterTrace(2, 3000);
+    Framebuffer fb(120, 60);
+    // View one past the trace end so the final point sample (which sits
+    // exactly at span().end) falls inside the half-open view.
+    TimelineLayout layout({0, tr.span().end + 1}, 120, 60, 2);
+    CounterOverlay overlay(tr, fb);
+    overlay.renderLaneNaive(0, 0, layout, {});
+    EXPECT_EQ(overlay.stats().lineOps, 2999u);
+}
+
+TEST(CounterOverlay, OptimizedCoversSamePixelColumns)
+{
+    // Both paths must ink the same columns (where samples exist).
+    trace::Trace tr = counterTrace(3, 2000);
+    index::CounterIndex index(tr.cpu(0).counterSamples(0));
+    TimelineLayout layout(tr.span(), 100, 40, 2);
+    CounterOverlayConfig config;
+    config.color = {255, 0, 0, 255};
+
+    Framebuffer fast(100, 40, {0, 0, 0, 255});
+    CounterOverlay overlay_fast(tr, fast);
+    overlay_fast.renderLane(0, 0, index, layout, config);
+
+    Framebuffer naive(100, 40, {0, 0, 0, 255});
+    CounterOverlay overlay_naive(tr, naive);
+    overlay_naive.renderLaneNaive(0, 0, layout, config);
+
+    int fast_cols = 0, naive_cols = 0;
+    for (std::uint32_t x = 0; x < 100; x++) {
+        bool f = false, n = false;
+        for (std::uint32_t y = 0; y < 20; y++) {
+            f |= fast.pixel(x, y) == config.color;
+            n |= naive.pixel(x, y) == config.color;
+        }
+        fast_cols += f;
+        naive_cols += n;
+    }
+    EXPECT_GT(fast_cols, 90);
+    // The naive polyline may ink a couple more columns by connecting
+    // across sample gaps, never fewer.
+    EXPECT_GE(naive_cols, fast_cols);
+}
+
+TEST(CounterOverlay, VerticalSpanMatchesIndexExtrema)
+{
+    // A sawtooth whose extremes are known: the drawn column must span
+    // from the min to the max row of the lane.
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    for (TimeStamp t = 0; t < 100; t++) {
+        tr.cpu(0).addCounterSample(
+            0, {t, (t % 2) ? 100 : 0});
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    index::CounterIndex index(tr.cpu(0).counterSamples(0));
+    Framebuffer fb(1, 50, {0, 0, 0, 255});
+    TimelineLayout layout(tr.span(), 1, 50, 1);
+    CounterOverlayConfig config;
+    config.color = {1, 2, 3, 255};
+    CounterOverlay overlay(tr, fb);
+    overlay.renderLane(0, 0, index, layout, config);
+    // Full vertical span: every row inked.
+    EXPECT_EQ(fb.countPixels(config.color), 50u);
+}
+
+TEST(CounterOverlay, FixedScaleClampsValues)
+{
+    trace::Trace tr = counterTrace(4, 200);
+    index::CounterIndex index(tr.cpu(0).counterSamples(0));
+    Framebuffer fb(50, 20, {0, 0, 0, 255});
+    TimelineLayout layout(tr.span(), 50, 20, 1);
+    CounterOverlayConfig config;
+    config.scaleMin = 1e12; // Everything below the scale floor.
+    config.scaleMax = 2e12;
+    config.color = {9, 9, 9, 255};
+    CounterOverlay overlay(tr, fb);
+    overlay.renderLane(0, 0, index, layout, config);
+    // All values clamp to the bottom row of the lane.
+    for (std::uint32_t x = 0; x < 50; x++) {
+        for (std::uint32_t y = 0; y + 1 < 20; y++)
+            EXPECT_NE(fb.pixel(x, y), config.color);
+    }
+}
+
+TEST(CounterOverlay, GlobalDerivedSeries)
+{
+    metrics::DerivedCounter series;
+    series.name = "workers";
+    // Several samples per pixel column so columns span min..max.
+    for (TimeStamp t = 0; t < 1000; t += 2)
+        series.samples.push_back(
+            {t, static_cast<double>((t / 2) % 7)});
+
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.cpu(0).addState({{0, 1000}, 0, kInvalidTaskInstance});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    Framebuffer fb(100, 30, {0, 0, 0, 255});
+    TimelineLayout layout({0, 1000}, 100, 30, 1);
+    CounterOverlayConfig config;
+    config.color = {200, 200, 200, 255};
+    CounterOverlay overlay(tr, fb);
+    overlay.renderGlobal(series, layout, config);
+    EXPECT_GT(overlay.stats().lineOps, 90u);
+    EXPECT_GT(fb.countPixels(config.color), 100u);
+}
+
+TEST(CounterOverlay, EmptySeriesDrawsNothing)
+{
+    trace::Trace tr = counterTrace(5, 10);
+    Framebuffer fb(50, 20, {0, 0, 0, 255});
+    TimelineLayout layout(tr.span(), 50, 20, 2);
+    CounterOverlay overlay(tr, fb);
+    metrics::DerivedCounter empty;
+    overlay.renderGlobal(empty, layout, {});
+    EXPECT_EQ(overlay.stats().lineOps, 0u);
+    // Counter 99 has no samples on cpu 1.
+    index::CounterIndex index(tr.cpu(1).counterSamples(99));
+    overlay.renderLane(1, 99, index, layout, {});
+    EXPECT_EQ(overlay.stats().lineOps, 0u);
+}
+
+} // namespace
+} // namespace render
+} // namespace aftermath

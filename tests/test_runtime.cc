@@ -1,0 +1,256 @@
+/** @file Tests of the runtime simulator: correctness and determinism. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "machine/machine_spec.h"
+#include "runtime/runtime_system.h"
+#include "trace/state.h"
+#include "workloads/synthetic.h"
+
+namespace aftermath {
+namespace runtime {
+namespace {
+
+RuntimeConfig
+smallConfig(std::uint64_t seed = 1,
+            SchedulingPolicy policy = SchedulingPolicy::RandomSteal)
+{
+    RuntimeConfig config;
+    config.machine = machine::MachineSpec::small(2, 4);
+    config.scheduling = policy;
+    config.seed = seed;
+    return config;
+}
+
+TEST(Scheduler, PlaceTaskHonorsHomeNode)
+{
+    trace::MachineTopology topo = trace::MachineTopology::uniform(2, 4);
+    Scheduler numa(topo, SchedulingPolicy::NumaAware, 1);
+    SimTask task;
+    task.homeNode = 1;
+    for (int i = 0; i < 16; i++) {
+        CpuId cpu = numa.placeTask(task, 0);
+        EXPECT_EQ(topo.nodeOfCpu(cpu), 1u);
+    }
+    // Random policy keeps the hint CPU.
+    Scheduler rand_sched(topo, SchedulingPolicy::RandomSteal, 1);
+    EXPECT_EQ(rand_sched.placeTask(task, 5), 5u);
+    // Without a home the NUMA policy also keeps the hint.
+    SimTask homeless;
+    EXPECT_EQ(numa.placeTask(homeless, 3), 3u);
+}
+
+TEST(Scheduler, VictimNeverSelf)
+{
+    trace::MachineTopology topo = trace::MachineTopology::uniform(2, 4);
+    Scheduler sched(topo, SchedulingPolicy::RandomSteal, 2);
+    for (std::uint32_t attempt = 0; attempt < 100; attempt++)
+        EXPECT_NE(sched.chooseVictim(3, attempt), 3u);
+}
+
+TEST(Scheduler, NumaAwareProbesLocalFirst)
+{
+    trace::MachineTopology topo = trace::MachineTopology::uniform(2, 4);
+    Scheduler sched(topo, SchedulingPolicy::NumaAware, 3);
+    // First attempts target the thief's own node (node 1 for cpu 5).
+    for (std::uint32_t attempt = 0; attempt < 3; attempt++) {
+        CpuId v = sched.chooseVictim(5, attempt);
+        EXPECT_EQ(topo.nodeOfCpu(v), 1u) << "attempt " << attempt;
+        EXPECT_NE(v, 5u);
+    }
+}
+
+TEST(Scheduler, SleeperSelection)
+{
+    trace::MachineTopology topo = trace::MachineTopology::uniform(2, 4);
+    Scheduler numa(topo, SchedulingPolicy::NumaAware, 4);
+    std::set<CpuId> sleepers{2, 6};
+    // Origin on node 0 -> wake the node-0 sleeper.
+    EXPECT_EQ(numa.chooseSleeperToWake(sleepers, 1), 2u);
+    // Origin on node 1 -> prefer cpu 6.
+    EXPECT_EQ(numa.chooseSleeperToWake(sleepers, 5), 6u);
+    EXPECT_EQ(numa.chooseSleeperToWake({}, 0), kInvalidCpu);
+}
+
+class RuntimeProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RuntimeProperty, ExecutesEveryTaskOnceRespectingDeps)
+{
+    int seed = GetParam();
+    TaskSet set = workloads::buildRandomDag(250, 5, seed, 8'000);
+    RuntimeSystem rts(smallConfig(seed));
+    RunResult result = rts.run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.tasksExecuted, set.tasks.size());
+
+    // Exactly one instance per task.
+    ASSERT_EQ(result.trace.taskInstances().size(), set.tasks.size());
+    std::map<TaskInstanceId, const trace::TaskInstance *> by_id;
+    for (const trace::TaskInstance &inst : result.trace.taskInstances()) {
+        EXPECT_TRUE(by_id.emplace(inst.id, &inst).second)
+            << "task " << inst.id << " executed twice";
+        EXPECT_GT(inst.duration(), 0u);
+    }
+
+    // Dependences respected: producer finished before consumer started.
+    for (const SimTask &task : set.tasks) {
+        const trace::TaskInstance *consumer = by_id.at(task.id);
+        for (std::uint64_t dep : task.deps) {
+            const trace::TaskInstance *producer = by_id.at(dep);
+            EXPECT_LE(producer->interval.end, consumer->interval.start)
+                << "task " << task.id << " started before dep " << dep;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 21, 99));
+
+TEST(Runtime, DeterministicForSeed)
+{
+    TaskSet set = workloads::buildRandomDag(150, 4, 7, 5'000);
+    RunResult a = RuntimeSystem(smallConfig(11)).run(set);
+    RunResult b = RuntimeSystem(smallConfig(11)).run(set);
+    RunResult c = RuntimeSystem(smallConfig(12)).run(set);
+    ASSERT_TRUE(a.ok && b.ok && c.ok);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_NE(a.makespan, c.makespan); // Different seed, different noise.
+}
+
+TEST(Runtime, ChainRunsSequentially)
+{
+    TaskSet set = workloads::buildChain(40, 10'000);
+    RunResult result = RuntimeSystem(smallConfig()).run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+    // A chain can never overlap: makespan >= sum of task durations.
+    TimeStamp total = 0;
+    for (const trace::TaskInstance &inst : result.trace.taskInstances())
+        total += inst.duration();
+    EXPECT_GE(result.makespan, total);
+}
+
+TEST(Runtime, ParallelTasksActuallyRunInParallel)
+{
+    TaskSet set = workloads::buildParallel(64, 200'000);
+    RunResult result = RuntimeSystem(smallConfig()).run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+    TimeStamp total = 0;
+    for (const trace::TaskInstance &inst : result.trace.taskInstances())
+        total += inst.duration();
+    // 8 CPUs: the makespan must beat 1/4 of the serial time.
+    EXPECT_LT(result.makespan, total / 4);
+    EXPECT_GT(result.steals, 0u);
+}
+
+TEST(Runtime, InvalidTaskSetRejected)
+{
+    TaskSet set = workloads::buildChain(3);
+    set.tasks[1].deps.push_back(99); // Out of range.
+    RunResult result = RuntimeSystem(smallConfig()).run(set);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("invalid task set"), std::string::npos);
+}
+
+TEST(Runtime, DependenceCycleReportsDeadlock)
+{
+    TaskSet set = workloads::buildChain(4);
+    set.tasks[1].deps.push_back(2); // 1 -> 2 and 2 -> 1.
+    RunResult result = RuntimeSystem(smallConfig()).run(set);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("deadlock"), std::string::npos);
+}
+
+TEST(Runtime, RecordOptionsNoneSkipsTraceBulk)
+{
+    TaskSet set = workloads::buildForkJoin(4, 16, 20'000);
+    RuntimeConfig config = smallConfig();
+    config.record = RecordOptions::none();
+    RunResult result = RuntimeSystem(config).run(set);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.makespan, 0u);
+    for (CpuId c = 0; c < result.trace.numCpus(); c++) {
+        EXPECT_TRUE(result.trace.cpu(c).states().empty());
+        EXPECT_TRUE(result.trace.cpu(c).counterIds().empty());
+    }
+    // Task instances are always recorded (they are the analysis anchor).
+    EXPECT_EQ(result.trace.taskInstances().size(), set.tasks.size());
+}
+
+TEST(Runtime, CountersAreMonotone)
+{
+    TaskSet set = workloads::buildForkJoin(3, 8, 50'000);
+    RunResult result = RuntimeSystem(smallConfig()).run(set);
+    ASSERT_TRUE(result.ok);
+    for (CpuId c = 0; c < result.trace.numCpus(); c++) {
+        for (CounterId id : result.trace.cpu(c).counterIds()) {
+            const auto &samples = result.trace.cpu(c).counterSamples(id);
+            for (std::size_t i = 1; i < samples.size(); i++) {
+                EXPECT_GE(samples[i].value, samples[i - 1].value)
+                    << "cpu " << c << " counter " << id;
+            }
+        }
+    }
+}
+
+TEST(Runtime, StatesCoverTaskExecution)
+{
+    TaskSet set = workloads::buildParallel(20, 30'000);
+    RunResult result = RuntimeSystem(smallConfig()).run(set);
+    ASSERT_TRUE(result.ok);
+    // Every task instance has a matching task_exec state on its cpu.
+    for (const trace::TaskInstance &inst : result.trace.taskInstances()) {
+        const auto &states = result.trace.cpu(inst.cpu).states();
+        bool found = false;
+        for (const trace::StateEvent &ev : states) {
+            if (ev.task == inst.id &&
+                ev.state == static_cast<std::uint32_t>(
+                    trace::CoreState::TaskExec) &&
+                ev.interval == inst.interval) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "task " << inst.id;
+    }
+}
+
+TEST(Runtime, NumaAwarePlacementKeepsTasksOnHomeNode)
+{
+    TaskSet set = workloads::buildParallel(64, 100'000);
+    for (SimTask &task : set.tasks)
+        task.homeNode = task.id % 2;
+    RuntimeConfig config = smallConfig(5, SchedulingPolicy::NumaAware);
+    RunResult result = RuntimeSystem(config).run(set);
+    ASSERT_TRUE(result.ok);
+    std::uint64_t on_home = 0;
+    for (const trace::TaskInstance &inst : result.trace.taskInstances()) {
+        NodeId node = result.trace.topology().nodeOfCpu(inst.cpu);
+        if (node == inst.id % 2)
+            on_home++;
+    }
+    // Most tasks execute on their home node (some may be stolen).
+    EXPECT_GT(on_home, set.tasks.size() * 3 / 4);
+}
+
+TEST(Runtime, TraceFinalizesAndSpansMakespan)
+{
+    TaskSet set = workloads::buildForkJoin(5, 10, 40'000);
+    RunResult result = RuntimeSystem(smallConfig()).run(set);
+    ASSERT_TRUE(result.ok);
+    EXPECT_TRUE(result.trace.finalized());
+    EXPECT_EQ(result.trace.span().end, result.makespan);
+    // Every worker timeline extends to the makespan (trailing idle).
+    for (CpuId c = 0; c < result.trace.numCpus(); c++) {
+        ASSERT_FALSE(result.trace.cpu(c).states().empty());
+        EXPECT_EQ(result.trace.cpu(c).states().back().interval.end,
+                  result.makespan);
+    }
+}
+
+} // namespace
+} // namespace runtime
+} // namespace aftermath

@@ -1,0 +1,159 @@
+/** @file Tests of the event queue, machine specs and placement map. */
+
+#include <gtest/gtest.h>
+
+#include "machine/cost_model.h"
+#include "machine/machine_spec.h"
+#include "machine/region_placement.h"
+#include "sim/event_queue.h"
+
+namespace aftermath {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](TimeStamp) { order.push_back(3); });
+    q.schedule(10, [&](TimeStamp) { order.push_back(1); });
+    q.schedule(20, [&](TimeStamp) { order.push_back(2); });
+    EXPECT_EQ(q.runAll(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        q.schedule(42, [&order, i](TimeStamp) { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    sim::EventQueue q;
+    int fired = 0;
+    std::function<void(TimeStamp)> chain = [&](TimeStamp t) {
+        fired++;
+        if (fired < 5)
+            q.schedule(t + 10, chain);
+    };
+    q.schedule(0, chain);
+    EXPECT_EQ(q.runAll(), 5u);
+    EXPECT_EQ(q.now(), 40u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunOneOnEmptyReturnsFalse)
+{
+    sim::EventQueue q;
+    EXPECT_FALSE(q.runOne());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MachineSpec, Uv2000Shape)
+{
+    machine::MachineSpec spec = machine::MachineSpec::uv2000();
+    EXPECT_EQ(spec.topology.numCpus(), 192u);
+    EXPECT_EQ(spec.topology.numNodes(), 24u);
+    EXPECT_EQ(spec.cpuFreqHz, 2'400'000'000ull);
+    EXPECT_EQ(spec.topology.distance(0, 0), 10u);
+    EXPECT_EQ(spec.topology.distance(0, 1), 30u);  // Same group of 4.
+    EXPECT_EQ(spec.topology.distance(0, 23), 50u); // Cross-group.
+}
+
+TEST(MachineSpec, OpteronShape)
+{
+    machine::MachineSpec spec = machine::MachineSpec::opteron64();
+    EXPECT_EQ(spec.topology.numCpus(), 64u);
+    EXPECT_EQ(spec.topology.numNodes(), 8u);
+    EXPECT_EQ(spec.topology.distance(0, 1), 16u); // Same socket.
+    EXPECT_EQ(spec.topology.distance(0, 7), 22u); // Cross socket.
+}
+
+TEST(RegionPlacement, FirstTouchFreshRegion)
+{
+    machine::RegionPlacementMap map(4, 4096);
+    map.registerRegion(0, 10'000, kInvalidNode, /*fresh=*/true);
+    EXPECT_EQ(map.homeNode(0), kInvalidNode);
+    // First touch: 3 pages faulted, placed on the writer's node.
+    EXPECT_EQ(map.touch(0, 2, machine::PlacementPolicy::FirstTouch), 3u);
+    EXPECT_EQ(map.homeNode(0), 2u);
+    // Second touch: nothing further.
+    EXPECT_EQ(map.touch(0, 1, machine::PlacementPolicy::FirstTouch), 0u);
+    EXPECT_EQ(map.homeNode(0), 2u);
+    auto bytes = map.bytesPerNode(0);
+    EXPECT_EQ(bytes[2], 10'000u);
+    EXPECT_EQ(bytes[0], 0u);
+}
+
+TEST(RegionPlacement, RecycledBufferFaultsNothing)
+{
+    machine::RegionPlacementMap map(4);
+    map.registerRegion(1, 8192, kInvalidNode, /*fresh=*/false);
+    EXPECT_EQ(map.touch(1, 3, machine::PlacementPolicy::FirstTouch), 0u);
+    // Pool buffer lives wherever it was allocated, not with the writer:
+    // the home is a deterministic hash, constant across calls.
+    NodeId home = map.homeNode(1);
+    EXPECT_NE(home, kInvalidNode);
+    machine::RegionPlacementMap map2(4);
+    map2.registerRegion(1, 8192, kInvalidNode, false);
+    map2.touch(1, 0, machine::PlacementPolicy::FirstTouch);
+    EXPECT_EQ(map2.homeNode(1), home);
+}
+
+TEST(RegionPlacement, ExplicitUsesPreferredNode)
+{
+    machine::RegionPlacementMap map(4);
+    map.registerRegion(0, 4096, 3, true);
+    EXPECT_EQ(map.touch(0, 0, machine::PlacementPolicy::Explicit), 1u);
+    EXPECT_EQ(map.homeNode(0), 3u);
+    // Explicit without preference falls back to the writer.
+    map.registerRegion(1, 4096, kInvalidNode, true);
+    map.touch(1, 1, machine::PlacementPolicy::Explicit);
+    EXPECT_EQ(map.homeNode(1), 1u);
+}
+
+TEST(RegionPlacement, InterleaveSpreadsBytes)
+{
+    machine::RegionPlacementMap map(4);
+    map.registerRegion(0, 40'000, kInvalidNode, true);
+    map.touch(0, 0, machine::PlacementPolicy::Interleave);
+    auto bytes = map.bytesPerNode(0);
+    std::uint64_t total = 0;
+    for (NodeId n = 0; n < 4; n++) {
+        EXPECT_GE(bytes[n], 10'000u);
+        total += bytes[n];
+    }
+    EXPECT_EQ(total, 40'000u);
+}
+
+TEST(RegionPlacement, UntouchedReportsNoBytes)
+{
+    machine::RegionPlacementMap map(2);
+    map.registerRegion(0, 4096, 1, true);
+    auto bytes = map.bytesPerNode(0);
+    EXPECT_EQ(bytes[0] + bytes[1], 0u);
+    EXPECT_FALSE(map.placement(0).touched);
+}
+
+TEST(CostModel, DistanceScalesMemoryCost)
+{
+    trace::MachineTopology topo = trace::MachineTopology::uniform(2, 1, 40);
+    machine::CostModelParams params;
+    params.cyclesPerByteLocal = 0.5;
+    machine::CostModel model(topo, params);
+    EXPECT_EQ(model.memAccessCycles(1000, 0, 0), 500u);
+    EXPECT_EQ(model.memAccessCycles(1000, 0, 1), 2000u); // 4x distance.
+    EXPECT_EQ(model.computeCycles(100), 100u);
+    EXPECT_EQ(model.pageFaultCycles(3), 3 * params.pageFaultCycles);
+    EXPECT_EQ(model.mispredictCycles(10),
+              10 * params.mispredictPenaltyCycles);
+}
+
+} // namespace
+} // namespace aftermath

@@ -1,0 +1,149 @@
+/** @file Tests of nm parsing, symbol lookup and annotations. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "symbols/annotations.h"
+#include "symbols/symbol_table.h"
+
+namespace aftermath {
+namespace symbols {
+namespace {
+
+const char *kNmOutput =
+    "0000000000401000 T main\n"
+    "0000000000401200 T seidel_init\n"
+    "0000000000401800 t helper_static\n"
+    "0000000000402000 W weak_work_fn\n"
+    "0000000000403000 D some_data\n"
+    "                 U printf\n"
+    "garbage line that should be skipped\n"
+    "zzzz T not_hex\n"
+    "\n"
+    "0000000000404000 T last_fn\n";
+
+TEST(SymbolTable, ParsesNmOutput)
+{
+    SymbolTable table = SymbolTable::parseNmString(kNmOutput);
+    // 6 valid lines (U/garbage/not-hex skipped).
+    EXPECT_EQ(table.size(), 6u);
+    ASSERT_NE(table.exact(0x401200), nullptr);
+    EXPECT_EQ(table.exact(0x401200)->name, "seidel_init");
+    EXPECT_EQ(table.exact(0x999999), nullptr);
+}
+
+TEST(SymbolTable, LookupFindsEnclosingFunction)
+{
+    SymbolTable table = SymbolTable::parseNmString(kNmOutput);
+    // Mid-function address resolves to the preceding function symbol.
+    const Symbol *s = table.lookup(0x401234);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name, "seidel_init");
+    // Data symbols are skipped when resolving functions.
+    const Symbol *d = table.lookup(0x403500);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->name, "weak_work_fn");
+    // Below the first symbol: no match.
+    EXPECT_EQ(table.lookup(0x100), nullptr);
+    // At and beyond the last symbol.
+    EXPECT_EQ(table.lookup(0x404000)->name, "last_fn");
+    EXPECT_EQ(table.lookup(0xffffffff)->name, "last_fn");
+}
+
+TEST(SymbolTable, AddAndLazySort)
+{
+    SymbolTable table;
+    table.add({0x3000, 'T', "c"});
+    table.add({0x1000, 'T', "a"});
+    table.add({0x2000, 'T', "b"});
+    EXPECT_EQ(table.lookup(0x1500)->name, "a");
+    EXPECT_EQ(table.lookup(0x2fff)->name, "b");
+    table.add({0x1800, 'T', "a2"});
+    EXPECT_EQ(table.lookup(0x1900)->name, "a2");
+}
+
+TEST(SymbolTable, EmptyTable)
+{
+    SymbolTable table;
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.lookup(0x1000), nullptr);
+    EXPECT_EQ(table.exact(0), nullptr);
+}
+
+TEST(Annotations, RoundTripWithEscaping)
+{
+    AnnotationStore store;
+    store.add({0, {100, 200}, "alice", "plain note"});
+    store.add({3, {500, 900}, "bob\twith\ttabs",
+               "multi\nline\nnote with \\ backslash"});
+    store.add({kInvalidCpu, {0, 1}, "", ""});
+
+    std::string text = store.serialize();
+    AnnotationStore loaded;
+    std::string error;
+    ASSERT_TRUE(loaded.deserialize(text, error)) << error;
+    ASSERT_EQ(loaded.all().size(), 3u);
+    EXPECT_EQ(loaded.all()[0].text, "plain note");
+    EXPECT_EQ(loaded.all()[1].author, "bob\twith\ttabs");
+    EXPECT_EQ(loaded.all()[1].text,
+              "multi\nline\nnote with \\ backslash");
+    EXPECT_EQ(loaded.all()[1].interval, TimeInterval(500, 900));
+    EXPECT_EQ(loaded.all()[2].cpu, kInvalidCpu);
+}
+
+TEST(Annotations, OverlappingQuery)
+{
+    AnnotationStore store;
+    store.add({0, {100, 200}, "a", "first"});
+    store.add({1, {300, 400}, "b", "second"});
+    auto hits = store.overlapping({150, 350});
+    ASSERT_EQ(hits.size(), 2u);
+    hits = store.overlapping({200, 300});
+    EXPECT_TRUE(hits.empty()); // Half-open on both sides.
+    hits = store.overlapping({399, 500});
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0]->text, "second");
+}
+
+TEST(Annotations, RejectsMalformedInput)
+{
+    AnnotationStore store;
+    std::string error;
+    EXPECT_FALSE(store.deserialize("", error));
+    EXPECT_FALSE(store.deserialize("wrong header\n", error));
+    EXPECT_FALSE(store.deserialize(
+        "aftermath-annotations v1\n1\t2\t3\n", error));
+    EXPECT_NE(error.find("5 fields"), std::string::npos);
+    EXPECT_FALSE(store.deserialize(
+        "aftermath-annotations v1\nxx\t2\t3\ta\tb\n", error));
+}
+
+TEST(Annotations, MalformedLoadPreservesOldContents)
+{
+    AnnotationStore store;
+    store.add({0, {1, 2}, "keep", "me"});
+    std::string error;
+    EXPECT_FALSE(store.deserialize("bogus\n", error));
+    ASSERT_EQ(store.all().size(), 1u);
+    EXPECT_EQ(store.all()[0].author, "keep");
+}
+
+TEST(Annotations, FileRoundTrip)
+{
+    AnnotationStore store;
+    store.add({2, {7, 9}, "carol", "saved separately from the trace"});
+    std::string path = ::testing::TempDir() + "/aftermath_notes.txt";
+    std::string error;
+    ASSERT_TRUE(store.save(path, error)) << error;
+    AnnotationStore loaded;
+    ASSERT_TRUE(loaded.load(path, error)) << error;
+    ASSERT_EQ(loaded.all().size(), 1u);
+    EXPECT_EQ(loaded.all()[0].author, "carol");
+    std::remove(path.c_str());
+    EXPECT_FALSE(loaded.load(path, error));
+}
+
+} // namespace
+} // namespace symbols
+} // namespace aftermath

@@ -1,0 +1,293 @@
+/** @file Round-trip and robustness tests of the on-disk trace format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace aftermath {
+namespace trace {
+namespace {
+
+/** Build a randomized but valid trace. */
+Trace
+randomTrace(std::uint64_t seed, std::uint32_t num_cpus = 4)
+{
+    Rng rng(seed);
+    Trace tr;
+    tr.setTopology(MachineTopology::uniform((num_cpus + 1) / 2, 2));
+    tr.setCpuFreqHz(2'400'000'000);
+    for (const auto &desc : coreStateDescriptions())
+        tr.addStateDescription(desc);
+    tr.addCounterDescription({0, "ctr_a"});
+    tr.addCounterDescription({1, "ctr_b"});
+    tr.addTaskType({0x1000, "work_alpha"});
+    tr.addTaskType({0x2000, "work_beta"});
+
+    TaskInstanceId next_task = 0;
+    for (CpuId c = 0; c < tr.numCpus(); c++) {
+        TimeStamp t = rng.nextBounded(50);
+        std::int64_t ctr = 0;
+        for (int i = 0; i < 50; i++) {
+            TimeStamp end = t + 1 + rng.nextBounded(100);
+            bool is_task = rng.nextBool(0.6);
+            TaskInstanceId task = kInvalidTaskInstance;
+            if (is_task) {
+                task = next_task++;
+                tr.addTaskInstance(
+                    {task, rng.nextBool(0.5) ? 0x1000ull : 0x2000ull, c,
+                     {t, end}});
+                tr.addMemAccess({task, 0x100000 + task * 0x1000, 64,
+                                 rng.nextBool(0.5)});
+            }
+            tr.cpu(c).addState(
+                {{t, end},
+                 is_task ? 0u : static_cast<std::uint32_t>(
+                     1 + rng.nextBounded(4)),
+                 task});
+            ctr += static_cast<std::int64_t>(rng.nextBounded(1000)) - 200;
+            tr.cpu(c).addCounterSample(
+                static_cast<CounterId>(rng.nextBounded(2)), {t, ctr});
+            if (rng.nextBool(0.3)) {
+                tr.cpu(c).addDiscrete(
+                    {t, DiscreteType::TaskCreated, task});
+            }
+            if (rng.nextBool(0.3)) {
+                tr.cpu(c).addComm(
+                    {t, CommKind::DataRead,
+                     static_cast<std::uint32_t>(rng.nextBounded(2)),
+                     static_cast<std::uint32_t>(rng.nextBounded(2)),
+                     rng.nextBounded(4096), 0});
+            }
+            t = end + rng.nextBounded(10);
+        }
+    }
+    for (TaskInstanceId id = 0; id < next_task; id++)
+        tr.addMemRegion({id, 0x100000 + id * 0x1000, 0x1000,
+                         static_cast<NodeId>(id % 2)});
+    std::string err;
+    EXPECT_TRUE(tr.finalize(err)) << err;
+    return tr;
+}
+
+void
+expectTracesEqual(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.numCpus(), b.numCpus());
+    EXPECT_EQ(a.cpuFreqHz(), b.cpuFreqHz());
+    EXPECT_EQ(a.span(), b.span());
+    EXPECT_EQ(a.states(), b.states());
+    EXPECT_EQ(a.counters(), b.counters());
+    ASSERT_EQ(a.taskInstances().size(), b.taskInstances().size());
+    ASSERT_EQ(a.memRegions().size(), b.memRegions().size());
+    ASSERT_EQ(a.memAccesses().size(), b.memAccesses().size());
+    for (std::size_t i = 0; i < a.taskInstances().size(); i++) {
+        const TaskInstance &x = a.taskInstances()[i];
+        const TaskInstance &y = b.taskInstances()[i];
+        EXPECT_EQ(x.id, y.id);
+        EXPECT_EQ(x.type, y.type);
+        EXPECT_EQ(x.cpu, y.cpu);
+        EXPECT_EQ(x.interval, y.interval);
+    }
+    for (CpuId c = 0; c < a.numCpus(); c++) {
+        const CpuTimeline &x = a.cpu(c);
+        const CpuTimeline &y = b.cpu(c);
+        ASSERT_EQ(x.states().size(), y.states().size()) << "cpu " << c;
+        for (std::size_t i = 0; i < x.states().size(); i++) {
+            EXPECT_EQ(x.states()[i].interval, y.states()[i].interval);
+            EXPECT_EQ(x.states()[i].state, y.states()[i].state);
+            EXPECT_EQ(x.states()[i].task, y.states()[i].task);
+        }
+        ASSERT_EQ(x.counterIds(), y.counterIds());
+        for (CounterId id : x.counterIds()) {
+            const auto &sx = x.counterSamples(id);
+            const auto &sy = y.counterSamples(id);
+            ASSERT_EQ(sx.size(), sy.size());
+            for (std::size_t i = 0; i < sx.size(); i++) {
+                EXPECT_EQ(sx[i].time, sy[i].time);
+                EXPECT_EQ(sx[i].value, sy[i].value);
+            }
+        }
+        ASSERT_EQ(x.discreteEvents().size(), y.discreteEvents().size());
+        ASSERT_EQ(x.commEvents().size(), y.commEvents().size());
+        for (std::size_t i = 0; i < x.commEvents().size(); i++) {
+            EXPECT_EQ(x.commEvents()[i].size, y.commEvents()[i].size);
+            EXPECT_EQ(x.commEvents()[i].src, y.commEvents()[i].src);
+        }
+    }
+}
+
+/** Property sweep over seeds x encodings. */
+class FormatRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, Encoding>>
+{};
+
+TEST_P(FormatRoundTrip, PreservesEverything)
+{
+    auto [seed, encoding] = GetParam();
+    Trace original = randomTrace(seed);
+    std::vector<std::uint8_t> bytes = writeTrace(original, encoding);
+    ReadResult result = readTrace(bytes);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.encoding, encoding);
+    expectTracesEqual(original, result.trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FormatRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 42, 999),
+                       ::testing::Values(Encoding::Raw,
+                                         Encoding::Compact)));
+
+TEST(Format, CompactIsSmallerThanRaw)
+{
+    Trace tr = randomTrace(7, 8);
+    auto raw = writeTrace(tr, Encoding::Raw);
+    auto compact = writeTrace(tr, Encoding::Compact);
+    EXPECT_LT(compact.size(), raw.size() / 2)
+        << "compact " << compact.size() << " vs raw " << raw.size();
+}
+
+TEST(Format, FileRoundTrip)
+{
+    Trace tr = randomTrace(21);
+    std::string path = ::testing::TempDir() + "/aftermath_roundtrip.ostv";
+    std::string error;
+    ASSERT_TRUE(writeTraceFile(tr, path, Encoding::Compact, error))
+        << error;
+    ReadResult result = readTraceFile(path);
+    ASSERT_TRUE(result.ok) << result.error;
+    expectTracesEqual(tr, result.trace);
+    std::remove(path.c_str());
+}
+
+TEST(Format, MissingFileReportsError)
+{
+    ReadResult result = readTraceFile("/nonexistent/path/trace.ostv");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+TEST(FormatErrors, BadMagicRejected)
+{
+    std::vector<std::uint8_t> bytes = {'N', 'O', 'P', 'E', 0, 0, 0, 0};
+    bytes.resize(32, 0);
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("magic"), std::string::npos);
+}
+
+TEST(FormatErrors, BadVersionRejected)
+{
+    Trace tr = randomTrace(1);
+    auto bytes = writeTrace(tr, Encoding::Raw);
+    bytes[4] = 0x63; // Version field.
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("version"), std::string::npos);
+}
+
+TEST(FormatErrors, UnknownEncodingRejected)
+{
+    Trace tr = randomTrace(1);
+    auto bytes = writeTrace(tr, Encoding::Raw);
+    bytes[6] = 0x7f; // Encoding field.
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("encoding"), std::string::npos);
+}
+
+TEST(FormatErrors, UnknownFrameTypeRejected)
+{
+    Trace tr = randomTrace(1);
+    auto bytes = writeTrace(tr, Encoding::Raw);
+    // Corrupt the first frame tag after the 16-byte header.
+    bytes[16] = 0xee;
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(FormatErrors, EveryTruncationFailsCleanly)
+{
+    Trace tr = randomTrace(3, 2);
+    auto bytes = writeTrace(tr, Encoding::Compact);
+    // Chop the stream at many prefix lengths: the reader must reject
+    // each without crashing (end-of-trace frame is mandatory).
+    for (std::size_t len = 0; len < bytes.size() - 1;
+         len += 1 + len / 16) {
+        std::vector<std::uint8_t> prefix(bytes.begin(),
+                                         bytes.begin() + len);
+        ReadResult result = readTrace(prefix);
+        EXPECT_FALSE(result.ok) << "prefix " << len << " unexpectedly ok";
+        EXPECT_FALSE(result.error.empty());
+    }
+}
+
+TEST(FormatErrors, EventBeforeTopologyRejected)
+{
+    TraceWriter writer(Encoding::Raw);
+    writer.stateEvent(0, {{0, 10}, 0, kInvalidTaskInstance});
+    auto bytes = writer.finish();
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("topology"), std::string::npos);
+}
+
+TEST(FormatErrors, EventOnCpuOutsideTopologyRejected)
+{
+    TraceWriter writer(Encoding::Raw);
+    writer.topology(MachineTopology::uniform(1, 2));
+    writer.stateEvent(5, {{0, 10}, 0, kInvalidTaskInstance});
+    auto bytes = writer.finish();
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("outside topology"), std::string::npos);
+}
+
+TEST(FormatErrors, OverlappingStatesRejectedAtValidation)
+{
+    TraceWriter writer(Encoding::Raw);
+    writer.topology(MachineTopology::uniform(1, 1));
+    writer.stateEvent(0, {{0, 10}, 0, kInvalidTaskInstance});
+    writer.stateEvent(0, {{5, 15}, 1, kInvalidTaskInstance});
+    auto bytes = writer.finish();
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("validation"), std::string::npos);
+}
+
+TEST(FormatErrors, DuplicateTopologyRejected)
+{
+    TraceWriter writer(Encoding::Raw);
+    writer.topology(MachineTopology::uniform(1, 1));
+    writer.topology(MachineTopology::uniform(1, 1));
+    auto bytes = writer.finish();
+    ReadResult result = readTrace(bytes);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(Format, InterleavedCpuStreamsAccepted)
+{
+    // Events from different CPUs freely interleaved; per-CPU order kept.
+    TraceWriter writer(Encoding::Compact);
+    writer.topology(MachineTopology::uniform(1, 2));
+    writer.stateEvent(0, {{0, 10}, 0, kInvalidTaskInstance});
+    writer.stateEvent(1, {{5, 25}, 1, kInvalidTaskInstance});
+    writer.stateEvent(0, {{10, 30}, 2, kInvalidTaskInstance});
+    writer.stateEvent(1, {{25, 30}, 0, kInvalidTaskInstance});
+    writer.counterSample(1, 0, {5, 100});
+    writer.counterSample(0, 0, {2, 50});
+    auto bytes = writer.finish();
+    ReadResult result = readTrace(bytes);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.trace.cpu(0).states().size(), 2u);
+    EXPECT_EQ(result.trace.cpu(1).states().size(), 2u);
+}
+
+} // namespace
+} // namespace trace
+} // namespace aftermath

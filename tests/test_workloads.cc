@@ -1,0 +1,254 @@
+/** @file Structural tests of the seidel, k-means and synthetic workloads. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/kmeans.h"
+#include "workloads/seidel.h"
+#include "workloads/synthetic.h"
+
+namespace aftermath {
+namespace workloads {
+namespace {
+
+TEST(Seidel, TaskAndRegionCounts)
+{
+    SeidelParams params;
+    params.blocksX = 8;
+    params.blocksY = 4;
+    params.blockDim = 16;
+    params.iterations = 3;
+    runtime::TaskSet set = buildSeidel(params);
+    std::string err;
+    ASSERT_TRUE(set.validate(err)) << err;
+    // 32 inits + 32 * 3 sweeps.
+    EXPECT_EQ(set.tasks.size(), 32u + 96u);
+    // One region per block version (iterations + 1).
+    EXPECT_EQ(set.regions.size(), 32u * 4u);
+    EXPECT_EQ(set.types.size(), 2u);
+}
+
+TEST(Seidel, DependenceStructureIsWavefront)
+{
+    SeidelParams params;
+    params.blocksX = 4;
+    params.blocksY = 4;
+    params.blockDim = 8;
+    params.iterations = 2;
+    runtime::TaskSet set = buildSeidel(params);
+
+    auto task_id = [&](std::uint32_t t, std::uint32_t i,
+                       std::uint32_t j) {
+        return static_cast<std::uint64_t>(t) * 16 + j * 4 + i;
+    };
+    // Corner block (0,0) sweep 1: depends on its own init plus the
+    // right/down neighbours' inits (their previous-sweep boundaries).
+    const runtime::SimTask &corner = set.tasks[task_id(1, 0, 0)];
+    std::set<std::uint64_t> corner_deps(corner.deps.begin(),
+                                        corner.deps.end());
+    EXPECT_EQ(corner_deps,
+              (std::set<std::uint64_t>{task_id(0, 0, 0), task_id(0, 1, 0),
+                                       task_id(0, 0, 1)}));
+    // Interior block (2,1) sweep 2: 5 deps (self prev, left/up current,
+    // right/down previous).
+    const runtime::SimTask &mid = set.tasks[task_id(2, 2, 1)];
+    std::set<std::uint64_t> deps(mid.deps.begin(), mid.deps.end());
+    EXPECT_EQ(deps.size(), 5u);
+    EXPECT_TRUE(deps.count(task_id(1, 2, 1)));
+    EXPECT_TRUE(deps.count(task_id(2, 1, 1)));
+    EXPECT_TRUE(deps.count(task_id(2, 2, 0)));
+    EXPECT_TRUE(deps.count(task_id(1, 3, 1)));
+    EXPECT_TRUE(deps.count(task_id(1, 2, 2)));
+}
+
+TEST(Seidel, OnlyVersionZeroIsFresh)
+{
+    SeidelParams params;
+    params.blocksX = 2;
+    params.blocksY = 2;
+    params.blockDim = 8;
+    params.iterations = 2;
+    runtime::TaskSet set = buildSeidel(params);
+    for (const runtime::SimRegion &region : set.regions) {
+        bool v0 = region.id < 4;
+        EXPECT_EQ(region.fresh, v0) << "region " << region.id;
+    }
+}
+
+TEST(Seidel, NumaOptimizedAssignsHomes)
+{
+    SeidelParams params;
+    params.blocksX = 4;
+    params.blocksY = 4;
+    params.blockDim = 8;
+    params.iterations = 1;
+    params.numaOptimized = true;
+    params.numNodes = 4;
+    runtime::TaskSet set = buildSeidel(params);
+    std::set<NodeId> homes;
+    for (const runtime::SimTask &task : set.tasks) {
+        ASSERT_NE(task.homeNode, kInvalidNode);
+        homes.insert(task.homeNode);
+    }
+    EXPECT_EQ(homes.size(), 4u); // All nodes used.
+
+    params.numaOptimized = false;
+    runtime::TaskSet plain = buildSeidel(params);
+    EXPECT_EQ(plain.tasks[0].homeNode, kInvalidNode);
+}
+
+TEST(Kmeans, TaskCountsMatchTreeStructure)
+{
+    KmeansParams params;
+    params.numPoints = 8000;
+    params.pointsPerBlock = 1000; // m = 8.
+    params.iterations = 3;
+    runtime::TaskSet set = buildKmeans(params);
+    std::string err;
+    ASSERT_TRUE(set.validate(err)) << err;
+
+    // 8 inputs; per iteration: 8 distance + 7 reduce; propagation
+    // (2*8 - 1 = 15 nodes) for all but the last iteration.
+    std::size_t expect = 8 + 3 * (8 + 7) + 2 * 15;
+    EXPECT_EQ(set.tasks.size(), expect);
+    EXPECT_EQ(set.types.size(), 4u);
+}
+
+TEST(Kmeans, ChurnDecaysOverIterations)
+{
+    KmeansParams params;
+    params.numPoints = 4000;
+    params.pointsPerBlock = 1000;
+    params.iterations = 6;
+    runtime::TaskSet set = buildKmeans(params);
+
+    // Average mispredictions of distance tasks per iteration must fall.
+    std::vector<double> per_iter(params.iterations, 0.0);
+    std::vector<int> counts(params.iterations, 0);
+    std::uint32_t iter = 0;
+    for (const runtime::SimTask &task : set.tasks) {
+        if (task.type != kKmeansDistanceType)
+            continue;
+        per_iter[iter / 4] += static_cast<double>(task.extraMispredicts);
+        counts[iter / 4]++;
+        iter++;
+    }
+    for (std::uint32_t i = 0; i < params.iterations; i++)
+        per_iter[i] /= counts[i];
+    EXPECT_GT(per_iter[0], per_iter[2]);
+    EXPECT_GT(per_iter[2], per_iter[5]);
+    EXPECT_GT(per_iter[5], 0.0);
+}
+
+TEST(Kmeans, BranchFixCollapsesMispredictions)
+{
+    KmeansParams params;
+    params.numPoints = 4000;
+    params.pointsPerBlock = 1000;
+    params.iterations = 2;
+    runtime::TaskSet plain = buildKmeans(params);
+    params.branchOptimized = true;
+    runtime::TaskSet fixed = buildKmeans(params);
+
+    auto max_mispred = [](const runtime::TaskSet &set) {
+        std::uint64_t best = 0;
+        for (const runtime::SimTask &task : set.tasks)
+            best = std::max(best, task.extraMispredicts);
+        return best;
+    };
+    EXPECT_GT(max_mispred(plain), 10 * max_mispred(fixed));
+}
+
+TEST(Kmeans, DistanceTasksReadPointsAndCenters)
+{
+    KmeansParams params;
+    params.numPoints = 2000;
+    params.pointsPerBlock = 1000;
+    params.iterations = 2;
+    runtime::TaskSet set = buildKmeans(params);
+    for (const runtime::SimTask &task : set.tasks) {
+        if (task.type != kKmeansDistanceType)
+            continue;
+        ASSERT_EQ(task.reads.size(), 2u);
+        EXPECT_EQ(task.writes.size(), 1u);
+        // Point block is the big read.
+        EXPECT_EQ(task.reads[0].bytes,
+                  params.pointsPerBlock * params.dims * sizeof(double));
+        EXPECT_FALSE(task.deps.empty());
+    }
+}
+
+TEST(Kmeans, DeterministicForSeed)
+{
+    KmeansParams params;
+    params.numPoints = 4000;
+    params.pointsPerBlock = 500;
+    params.iterations = 2;
+    params.seed = 5;
+    runtime::TaskSet a = buildKmeans(params);
+    runtime::TaskSet b = buildKmeans(params);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); i++)
+        EXPECT_EQ(a.tasks[i].extraMispredicts,
+                  b.tasks[i].extraMispredicts);
+}
+
+TEST(Synthetic, ChainStructure)
+{
+    runtime::TaskSet set = buildChain(10);
+    std::string err;
+    ASSERT_TRUE(set.validate(err)) << err;
+    EXPECT_EQ(set.tasks.size(), 10u);
+    EXPECT_TRUE(set.tasks[0].deps.empty());
+    for (std::size_t i = 1; i < 10; i++)
+        EXPECT_EQ(set.tasks[i].deps,
+                  (std::vector<std::uint64_t>{i - 1}));
+    // Every task has a region and reads its producers'.
+    EXPECT_EQ(set.regions.size(), 10u);
+    EXPECT_EQ(set.tasks[5].reads.size(), 1u);
+}
+
+TEST(Synthetic, ForkJoinStructure)
+{
+    runtime::TaskSet set = buildForkJoin(3, 4);
+    std::string err;
+    ASSERT_TRUE(set.validate(err)) << err;
+    EXPECT_EQ(set.tasks.size(), 3u * 5u);
+    // The join of phase 0 is task 4 and has 4 deps.
+    EXPECT_EQ(set.tasks[4].deps.size(), 4u);
+    // Phase-1 workers depend on the phase-0 join.
+    EXPECT_EQ(set.tasks[5].deps, (std::vector<std::uint64_t>{4}));
+}
+
+TEST(Synthetic, RandomDagIsAcyclicByConstruction)
+{
+    runtime::TaskSet set = buildRandomDag(200, 6, 3);
+    std::string err;
+    ASSERT_TRUE(set.validate(err)) << err;
+    for (const runtime::SimTask &task : set.tasks) {
+        for (std::uint64_t dep : task.deps)
+            EXPECT_LT(dep, task.id); // Edges only point backwards.
+    }
+}
+
+TEST(Validate, CatchesBrokenSets)
+{
+    runtime::TaskSet set = buildChain(3);
+    set.tasks[2].id = 7; // Non-dense id.
+    std::string err;
+    EXPECT_FALSE(set.validate(err));
+
+    runtime::TaskSet self_dep = buildChain(3);
+    self_dep.tasks[1].deps.push_back(1);
+    EXPECT_FALSE(self_dep.validate(err));
+    EXPECT_NE(err.find("itself"), std::string::npos);
+
+    runtime::TaskSet bad_region = buildChain(2);
+    bad_region.tasks[0].reads.push_back({99, 10});
+    EXPECT_FALSE(bad_region.validate(err));
+}
+
+} // namespace
+} // namespace workloads
+} // namespace aftermath
