@@ -27,10 +27,10 @@ main()
         return 1;
     }
     const trace::Trace &tr = result.trace;
+    Session session = Session::view(tr);
 
     render::Framebuffer fb(1200, 576);
-    render::TimelineRenderer renderer(tr, fb);
-    renderer.render({});
+    session.render({}, fb);
     std::string error;
     if (fb.writePpmFile("fig02_states.ppm", error))
         std::printf("wrote fig02_states.ppm\n");
@@ -46,13 +46,13 @@ main()
     for (int d = 0; d < 10; d++) {
         TimeInterval iv{span.start + span.duration() * d / 10,
                         span.start + span.duration() * (d + 1) / 10};
-        stats::IntervalStats s = stats::computeIntervalStats(tr, iv);
+        const stats::IntervalStats &s = session.intervalStats(iv);
         idle[d] = s.stateFraction(kIdle);
         std::printf("%d, %.3f, %.3f\n", d, s.stateFraction(kExec),
                     idle[d]);
     }
 
-    stats::IntervalStats whole = stats::computeIntervalStats(tr, span);
+    const stats::IntervalStats &whole = session.intervalStats(span);
     double exec_total = whole.stateFraction(kExec);
 
     // The paper's shape: execution dominates overall; an early idle band

@@ -27,9 +27,10 @@ main()
         return 1;
     }
     const trace::Trace &tr = result.trace;
+    Session session = Session::view(tr);
 
-    metrics::DerivedCounter idle = metrics::stateOccupancy(
-        tr, static_cast<std::uint32_t>(trace::CoreState::Idle), 100);
+    metrics::DerivedCounter idle = session.stateOccupancy(
+        static_cast<std::uint32_t>(trace::CoreState::Idle), 100);
 
     std::printf("\nnormalized_time_pct, idle_workers\n");
     TimeStamp span = tr.span().duration();
@@ -51,12 +52,8 @@ main()
 
     // Render the overlay over the timeline as the paper displays it.
     render::Framebuffer fb(1000, 200);
-    render::TimelineRenderer renderer(tr, fb);
-    renderer.render({});
-    render::CounterOverlay overlay(tr, fb);
-    render::TimelineLayout layout(tr.span(), fb.width(), fb.height(),
-                                  tr.numCpus());
-    overlay.renderGlobal(idle, layout, {});
+    session.render({}, fb);
+    session.renderGlobalOverlay(idle, session.layoutFor(fb), {}, fb);
     std::string error;
     if (fb.writePpmFile("fig03_idle_workers.ppm", error))
         std::printf("wrote fig03_idle_workers.ppm\n");

@@ -28,6 +28,7 @@ main()
         return 1;
     }
     const trace::Trace &tr = result.trace;
+    Session session = Session::view(tr);
 
     // Fixed heat range as in the paper (0 .. 50 Mcycles, 10 shades) at
     // full scale; reduced scale uses a proportional ceiling.
@@ -38,8 +39,7 @@ main()
     config.heatmapShades = 10;
 
     render::Framebuffer fb(1200, 576);
-    render::TimelineRenderer renderer(tr, fb);
-    renderer.render(config);
+    session.render(config, fb);
     std::string error;
     if (fb.writePpmFile("fig07_heatmap.ppm", error))
         std::printf("wrote fig07_heatmap.ppm\n");

@@ -26,12 +26,12 @@ main()
         return 1;
     }
     const trace::Trace &tr = result.trace;
+    Session session = Session::view(tr);
 
     render::TimelineConfig config;
     config.mode = render::TimelineMode::TypeMap;
     render::Framebuffer fb(1200, 576);
-    render::TimelineRenderer renderer(tr, fb);
-    renderer.render(config);
+    session.render(config, fb);
     std::string error;
     if (fb.writePpmFile("fig09_typemap.ppm", error))
         std::printf("wrote fig09_typemap.ppm\n");

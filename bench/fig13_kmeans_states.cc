@@ -30,8 +30,8 @@ Signature
 measure(const trace::Trace &tr)
 {
     using trace::CoreState;
-    stats::IntervalStats whole = stats::computeIntervalStats(tr,
-                                                             tr.span());
+    stats::IntervalStats whole =
+        Session::view(tr).intervalStats(tr.span());
     double overhead =
         whole.stateFraction(
             static_cast<std::uint32_t>(CoreState::TaskCreation)) +
@@ -70,8 +70,8 @@ main()
                     sig[i].idleFraction, sig[i].overheadFraction);
 
         render::Framebuffer fb(900, 256);
-        render::TimelineRenderer renderer(result.trace, fb);
-        renderer.render({});
+        Session run_session = Session::view(result.trace);
+        run_session.render({}, fb);
         std::string error;
         std::string path = strFormat(
             "fig13_states_%llu.ppm",

@@ -71,7 +71,7 @@ measure(const trace::Trace &tr)
 }
 
 void
-renderModes(const trace::Trace &tr, const char *tag)
+renderModes(Session &session, const char *tag)
 {
     struct ModeSpec
     {
@@ -85,10 +85,9 @@ renderModes(const trace::Trace &tr, const char *tag)
     };
     for (const ModeSpec &spec : modes) {
         render::Framebuffer fb(1000, 384);
-        render::TimelineRenderer renderer(tr, fb);
         render::TimelineConfig config;
         config.mode = spec.mode;
-        renderer.render(config);
+        session.render(config, fb);
         std::string error;
         std::string path = strFormat("fig14_%s_%s.ppm", spec.name, tag);
         if (fb.writePpmFile(path, error))
@@ -114,8 +113,10 @@ main()
 
     LocalityStats before = measure(plain.trace);
     LocalityStats after = measure(numa.trace);
-    renderModes(plain.trace, "nonopt");
-    renderModes(numa.trace, "opt");
+    Session plain_session = Session::view(plain.trace);
+    Session numa_session = Session::view(numa.trace);
+    renderModes(plain_session, "nonopt");
+    renderModes(numa_session, "opt");
 
     double speedup = static_cast<double>(plain.makespan) /
                      static_cast<double>(numa.makespan);

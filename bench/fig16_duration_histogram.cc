@@ -28,11 +28,14 @@ main()
     }
     const trace::Trace &tr = result.trace;
 
-    // The paper's filter: only the main computation tasks.
+    // The paper's filter: only the main computation tasks, installed on
+    // the session so statistics and export share it.
+    Session session = Session::view(tr);
     filter::FilterSet f;
     f.add(std::make_shared<filter::TaskTypeFilter>(
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
-    stats::Histogram h = stats::Histogram::taskDurations(tr, f, 30);
+    session.setFilters(f);
+    stats::Histogram h = session.histogram(30);
 
     std::printf("\nduration_mcycles, fraction_pct\n");
     for (std::uint32_t i = 0; i < h.numBins(); i++) {

@@ -27,16 +27,18 @@ main()
     }
     const trace::Trace &tr = result.trace;
 
+    // The computation-task filter lives on the session and applies to
+    // the rendering pass below without re-threading it per call.
+    Session session = Session::view(tr);
     filter::FilterSet f;
     f.add(std::make_shared<filter::TaskTypeFilter>(
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
+    session.setFilters(f);
 
     render::TimelineConfig config;
     config.mode = render::TimelineMode::Heatmap;
-    config.taskFilter = &f;
     render::Framebuffer fb(1200, 512);
-    render::TimelineRenderer renderer(tr, fb);
-    renderer.render(config);
+    session.render(config, fb);
     std::string error;
     if (fb.writePpmFile("fig17_kmeans_heatmap.ppm", error))
         std::printf("wrote fig17_kmeans_heatmap.ppm\n");

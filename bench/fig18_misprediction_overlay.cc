@@ -38,22 +38,20 @@ main()
     TimeInterval window{span.start + span.duration() * 8 / 100,
                         span.start + span.duration() * 18 / 100};
 
+    Session session = Session::view(tr);
+    session.setView(window);
+
     render::TimelineConfig config;
     config.mode = render::TimelineMode::Heatmap;
-    config.view = window;
     render::Framebuffer fb(1000, 300);
-    render::TimelineRenderer renderer(tr, fb);
-    renderer.render(config);
+    session.render(config, fb);
 
-    render::TimelineLayout layout(window, fb.width(), fb.height(),
-                                  tr.numCpus());
-    render::CounterOverlay overlay(tr, fb);
+    // One cached min/max index per (cpu, counter), built on first use.
+    render::TimelineLayout layout = session.layoutFor(fb);
     CounterId counter =
         static_cast<CounterId>(trace::CoreCounter::BranchMispredictions);
-    for (CpuId c = 0; c < 5 && c < tr.numCpus(); c++) {
-        index::CounterIndex index(tr.cpu(c).counterSamples(counter));
-        overlay.renderLane(c, counter, index, layout, {});
-    }
+    for (CpuId c = 0; c < 5 && c < tr.numCpus(); c++)
+        session.renderCounterLane(c, counter, layout, {}, fb);
     std::string error;
     if (fb.writePpmFile("fig18_overlay.ppm", error))
         std::printf("wrote fig18_overlay.ppm\n");
@@ -63,7 +61,8 @@ main()
     f.add(std::make_shared<filter::TaskTypeFilter>(
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
     f.add(std::make_shared<filter::IntervalFilter>(window));
-    auto rows = metrics::taskCounterIncreases(tr, counter, f);
+    session.setFilters(f);
+    auto rows = session.taskCounterIncreases(counter);
     if (rows.size() < 30) {
         std::fprintf(stderr, "window too sparse (%zu tasks)\n",
                      rows.size());

@@ -40,14 +40,14 @@ analyze(bool branch_optimized)
 
     // The paper's filter chain: computation tasks only, outliers below
     // 1 Mcycle removed before export.
+    Session session = Session::view(tr);
     filter::FilterSet f;
     f.add(std::make_shared<filter::TaskTypeFilter>(
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
     f.add(std::make_shared<filter::DurationFilter>(1'000'000, kTimeMax));
-    auto rows = metrics::taskCounterIncreases(
-        tr,
-        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions),
-        f);
+    session.setFilters(f);
+    auto rows = session.taskCounterIncreases(
+        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions));
 
     Variant v;
     std::vector<double> xs;

@@ -22,6 +22,7 @@ using namespace aftermath;
 namespace {
 
 trace::Trace g_trace; // Built once in main before benchmarks run.
+std::unique_ptr<session::Session> g_session;
 
 void
 buildTrace()
@@ -42,6 +43,8 @@ buildTrace()
         std::exit(1);
     }
     g_trace = std::move(result.trace);
+    g_session = std::make_unique<session::Session>(
+        session::Session::view(g_trace));
 }
 
 /** View covering 1/denominator of the trace (zoom level). */
@@ -56,26 +59,24 @@ void
 BM_RenderOptimized(benchmark::State &state)
 {
     render::Framebuffer fb(1024, 256);
-    render::TimelineRenderer renderer(g_trace, fb);
     render::TimelineConfig config;
     config.view = zoomView(static_cast<std::uint64_t>(state.range(0)));
+    std::uint64_t ops = 0;
     for (auto _ : state)
-        renderer.render(config);
-    state.counters["draw_ops"] =
-        static_cast<double>(renderer.stats().rectOps);
+        ops = g_session->render(config, fb).rectOps;
+    state.counters["draw_ops"] = static_cast<double>(ops);
 }
 
 void
 BM_RenderNaive(benchmark::State &state)
 {
     render::Framebuffer fb(1024, 256);
-    render::TimelineRenderer renderer(g_trace, fb);
     render::TimelineConfig config;
     config.view = zoomView(static_cast<std::uint64_t>(state.range(0)));
+    std::uint64_t ops = 0;
     for (auto _ : state)
-        renderer.renderNaive(config);
-    state.counters["draw_ops"] =
-        static_cast<double>(renderer.stats().rectOps);
+        ops = g_session->renderNaive(config, fb).rectOps;
+    state.counters["draw_ops"] = static_cast<double>(ops);
 }
 
 BENCHMARK(BM_RenderOptimized)->Arg(1)->Arg(8)->Arg(64);
@@ -95,13 +96,10 @@ main(int argc, char **argv)
     bool ok = true;
     for (std::uint64_t denom : {1, 8, 64}) {
         render::Framebuffer fb(1024, 256);
-        render::TimelineRenderer renderer(g_trace, fb);
         render::TimelineConfig config;
         config.view = zoomView(denom);
-        renderer.renderNaive(config);
-        std::uint64_t naive = renderer.stats().rectOps;
-        renderer.render(config);
-        std::uint64_t optimized = renderer.stats().rectOps;
+        std::uint64_t naive = g_session->renderNaive(config, fb).rectOps;
+        std::uint64_t optimized = g_session->render(config, fb).rectOps;
         std::printf("1/%llu, %llu, %llu, %.1fx\n",
                     static_cast<unsigned long long>(denom),
                     static_cast<unsigned long long>(naive),

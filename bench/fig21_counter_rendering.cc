@@ -19,6 +19,7 @@ using namespace aftermath;
 namespace {
 
 trace::Trace g_trace;
+std::unique_ptr<session::Session> g_session;
 constexpr CounterId kCounter = 0;
 
 void
@@ -40,6 +41,8 @@ buildTrace()
         std::fprintf(stderr, "finalize failed: %s\n", err.c_str());
         std::exit(1);
     }
+    g_session = std::make_unique<session::Session>(
+        session::Session::view(g_trace));
 }
 
 TimeInterval
@@ -52,16 +55,17 @@ zoomView(std::uint64_t denominator)
 void
 BM_CounterOptimized(benchmark::State &state)
 {
-    index::CounterIndex index(g_trace.cpu(0).counterSamples(kCounter));
+    // The min/max index is built once by the session cache and reused
+    // for every iteration and zoom level.
     render::Framebuffer fb(1024, 128);
-    render::CounterOverlay overlay(g_trace, fb);
     render::TimelineLayout layout(
         zoomView(static_cast<std::uint64_t>(state.range(0))), 1024, 128,
         1);
+    std::uint64_t ops = 0;
     for (auto _ : state)
-        overlay.renderLane(0, kCounter, index, layout, {});
-    state.counters["line_ops"] =
-        static_cast<double>(overlay.stats().lineOps);
+        ops = g_session->renderCounterLane(0, kCounter, layout, {},
+                                           fb).lineOps;
+    state.counters["line_ops"] = static_cast<double>(ops);
 }
 
 void
@@ -89,7 +93,8 @@ main(int argc, char **argv)
     bench::banner("Fig 21", "counter rendering: min/max per column");
     buildTrace();
 
-    index::CounterIndex index(g_trace.cpu(0).counterSamples(kCounter));
+    const index::CounterIndex &index =
+        g_session->counterIndex(0, kCounter);
     std::printf("\nindex: arity %u, memory %s, overhead %.2f%% "
                 "(paper: <= 5%%)\n",
                 index.arity(), humanBytes(index.memoryBytes()).c_str(),
@@ -103,8 +108,9 @@ main(int argc, char **argv)
         render::TimelineLayout layout(zoomView(denom), 1024, 128, 1);
         overlay.renderLaneNaive(0, kCounter, layout, {});
         std::uint64_t naive = overlay.stats().lineOps;
-        overlay.renderLane(0, kCounter, index, layout, {});
-        std::uint64_t optimized = overlay.stats().lineOps;
+        std::uint64_t optimized =
+            g_session->renderCounterLane(0, kCounter, layout, {},
+                                         fb).lineOps;
         std::printf("1/%llu, %llu, %llu, %.0fx\n",
                     static_cast<unsigned long long>(denom),
                     static_cast<unsigned long long>(naive),

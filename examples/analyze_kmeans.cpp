@@ -67,14 +67,15 @@ main()
         return 1;
     }
     const trace::Trace &tr = result.trace;
+    Session session = Session::view(tr);
 
     std::printf("== Step 3: non-uniform computation durations "
                 "(Fig 16/17)\n");
     filter::FilterSet computation;
     computation.add(std::make_shared<filter::TaskTypeFilter>(
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
-    stats::Histogram h = stats::Histogram::taskDurations(tr, computation,
-                                                         24);
+    session.setFilters(computation);
+    stats::Histogram h = session.histogram(24);
     std::printf("   %llu computation tasks, durations %s .. %s, "
                 "%zu histogram peaks\n",
                 static_cast<unsigned long long>(h.total()),
@@ -90,10 +91,9 @@ main()
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
     filtered.add(std::make_shared<filter::DurationFilter>(1'000'000,
                                                           kTimeMax));
-    auto rows = metrics::taskCounterIncreases(
-        tr,
-        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions),
-        filtered);
+    session.setFilters(filtered);
+    auto rows = session.taskCounterIncreases(
+        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions));
     std::string error;
     if (stats::exportTaskCounterTsvFile(rows, "kmeans_mispred.tsv",
                                         error))
@@ -117,12 +117,14 @@ main()
         return 1;
     }
     auto durations_of = [](const trace::Trace &t) {
+        Session s = Session::view(t);
         std::vector<double> out;
-        for (const trace::TaskInstance &task : t.taskInstances()) {
-            if (task.type == workloads::kKmeansDistanceType &&
-                task.duration() >= 1'000'000)
-                out.push_back(static_cast<double>(task.duration()));
-        }
+        for (const trace::TaskInstance *task :
+             s.tasks([](const trace::TaskInstance &task) {
+                 return task.type == workloads::kKmeansDistanceType &&
+                        task.duration() >= 1'000'000;
+             }))
+            out.push_back(static_cast<double>(task->duration()));
         return out;
     };
     std::vector<double> before = durations_of(tr);
@@ -137,12 +139,13 @@ main()
                 humanCycles(static_cast<std::uint64_t>(
                     stats::stddev(after))).c_str());
 
+    // The session's active filters apply to rendering too: restore the
+    // computation-task filter and render without re-threading it.
+    session.setFilters(computation);
     render::Framebuffer fb(1100, 512);
-    render::TimelineRenderer renderer(tr, fb);
     render::TimelineConfig config;
     config.mode = render::TimelineMode::Heatmap;
-    config.taskFilter = &computation;
-    renderer.render(config);
+    session.render(config, fb);
     if (fb.writePpmFile("kmeans_heatmap.ppm", error))
         std::printf("   wrote kmeans_heatmap.ppm\n");
     return 0;

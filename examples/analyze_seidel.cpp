@@ -63,13 +63,14 @@ main()
         return 1;
     }
     const trace::Trace &tr = plain.trace;
+    Session session = Session::view(tr);
     std::printf("   %zu tasks, makespan %s\n",
-                tr.taskInstances().size(),
+                session.tasks().size(),
                 humanCycles(plain.makespan).c_str());
 
     std::printf("== Step 2: detect idle phases (Fig 2/3)\n");
-    metrics::DerivedCounter idle = metrics::stateOccupancy(
-        tr, static_cast<std::uint32_t>(trace::CoreState::Idle), 60);
+    metrics::DerivedCounter idle = session.stateOccupancy(
+        static_cast<std::uint32_t>(trace::CoreState::Idle), 60);
     std::printf("   peak idle workers: %.0f of %u\n", idle.maxValue(),
                 tr.numCpus());
 
@@ -98,12 +99,12 @@ main()
     std::printf("== Step 4: find the slow initialization (Fig 7-10)\n");
     double init_avg = 0, compute_avg = 0;
     std::uint64_t ninit = 0, ncompute = 0;
-    for (const trace::TaskInstance &task : tr.taskInstances()) {
-        if (task.type == workloads::kSeidelInitType) {
-            init_avg += static_cast<double>(task.duration());
+    for (const trace::TaskInstance *task : session.tasks()) {
+        if (task->type == workloads::kSeidelInitType) {
+            init_avg += static_cast<double>(task->duration());
             ninit++;
         } else {
-            compute_avg += static_cast<double>(task.duration());
+            compute_avg += static_cast<double>(task->duration());
             ncompute++;
         }
     }
@@ -116,8 +117,8 @@ main()
                     compute_avg)).c_str(),
                 init_avg / compute_avg);
 
-    metrics::DerivedCounter sys = metrics::aggregateCounter(
-        tr, static_cast<CounterId>(trace::CoreCounter::SystemTimeUs), 40);
+    metrics::DerivedCounter sys = session.aggregateCounter(
+        static_cast<CounterId>(trace::CoreCounter::SystemTimeUs), 40);
     metrics::DerivedCounter dsys = metrics::differenceQuotient(sys);
     std::size_t growth_end = 0;
     for (std::size_t i = 0; i < dsys.samples.size(); i++) {
@@ -143,11 +144,11 @@ main()
         {render::TimelineMode::NumaHeatmap, "seidel_numa_heat.ppm"},
     };
     for (const View &view : views) {
+        // One persistent renderer inside the session serves all modes.
         render::Framebuffer fb(1100, 576);
-        render::TimelineRenderer renderer(tr, fb);
         render::TimelineConfig config;
         config.mode = view.mode;
-        renderer.render(config);
+        session.render(config, fb);
         if (fb.writePpmFile(view.path, error))
             std::printf("   wrote %s\n", view.path);
     }

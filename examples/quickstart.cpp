@@ -4,8 +4,9 @@
  * to disk, read it back and run a few analyses on it.
  *
  * Walks the full pipeline a downstream user would: workload -> runtime
- * simulator -> trace file -> analysis (interval statistics, derived
- * counters, task graph) -> timeline rendering to a PPM image.
+ * simulator -> trace file -> analysis session (interval statistics,
+ * derived counters, task graph) -> timeline rendering to a PPM image.
+ * All analysis goes through session::Session, the library's front door.
  */
 
 #include <cstdio>
@@ -57,10 +58,14 @@ main()
     std::printf("trace file: %zu bytes, %zu task instances\n",
                 loaded.bytesRead, loaded.trace.taskInstances().size());
 
-    // 5. Analyses: state breakdown, average parallelism, idle workers.
-    const trace::Trace &tr = loaded.trace;
-    stats::IntervalStats istats = stats::computeIntervalStats(tr,
-                                                              tr.span());
+    // 5. Open an analysis session — the front door to statistics,
+    //    counter queries, filtered iteration and rendering. The session
+    //    takes ownership of the loaded trace and lazily builds every
+    //    index a query needs.
+    Session session(std::move(loaded.trace));
+    const trace::Trace &tr = session.trace();
+
+    const stats::IntervalStats &istats = session.intervalStats();
     std::printf("average parallelism: %.2f of %u cpus\n",
                 istats.averageParallelism(static_cast<std::uint32_t>(
                     trace::CoreState::TaskExec)),
@@ -70,8 +75,8 @@ main()
                     100.0 * istats.stateFraction(state));
     }
 
-    metrics::DerivedCounter idle = metrics::stateOccupancy(
-        tr, static_cast<std::uint32_t>(trace::CoreState::Idle), 50);
+    metrics::DerivedCounter idle = session.stateOccupancy(
+        static_cast<std::uint32_t>(trace::CoreState::Idle), 50);
     std::printf("peak simultaneous idle workers: %.1f\n",
                 idle.maxValue());
 
@@ -85,16 +90,14 @@ main()
 
     // 7. Render the state timeline to a PPM image.
     render::Framebuffer fb(800, 256);
-    render::TimelineRenderer renderer(tr, fb);
     render::TimelineConfig tl_config;
     tl_config.mode = render::TimelineMode::State;
-    renderer.render(tl_config);
+    const render::RenderStats &rstats = session.render(tl_config, fb);
     if (!fb.writePpmFile("quickstart_states.ppm", error)) {
         std::fprintf(stderr, "ppm export failed: %s\n", error.c_str());
         return 1;
     }
     std::printf("wrote quickstart_states.ppm (%llu draw ops)\n",
-                static_cast<unsigned long long>(
-                    renderer.stats().totalOps()));
+                static_cast<unsigned long long>(rstats.totalOps()));
     return 0;
 }

@@ -36,6 +36,7 @@ main()
         return 1;
     }
     const trace::Trace &tr = result.trace;
+    Session session = Session::view(tr);
     std::string error;
 
     // (1) The timeline in all five modes.
@@ -53,49 +54,49 @@ main()
         {render::TimelineMode::NumaHeatmap, "numa_heatmap"},
     };
     for (const View &view : views) {
+        // One session renderer serves every mode; its palette caches
+        // persist across the passes.
         render::Framebuffer fb(1024, 512);
-        render::TimelineRenderer renderer(tr, fb);
         render::TimelineConfig tl;
         tl.mode = view.mode;
-        renderer.render(tl);
+        const render::RenderStats &rstats = session.render(tl, fb);
         std::string path = strFormat("mode_%s.ppm", view.name);
         if (fb.writePpmFile(path, error))
             std::printf("wrote %s (%llu draw ops for %llu events)\n",
                         path.c_str(),
                         static_cast<unsigned long long>(
-                            renderer.stats().totalOps()),
+                            rstats.totalOps()),
                         static_cast<unsigned long long>(
-                            renderer.stats().eventsVisited));
+                            rstats.eventsVisited));
     }
 
-    // (2) A filtered view: long tasks only.
+    // (2) A filtered view: long tasks only. Filters installed on the
+    // session apply to rendering, statistics and export alike.
     filter::FilterSet long_tasks;
     long_tasks.add(std::make_shared<filter::DurationFilter>(
         1'000'000, kTimeMax));
+    session.setFilters(long_tasks);
     render::Framebuffer filtered_fb(1024, 512);
-    render::TimelineRenderer filtered_renderer(tr, filtered_fb);
     render::TimelineConfig filtered_config;
     filtered_config.mode = render::TimelineMode::Heatmap;
-    filtered_config.taskFilter = &long_tasks;
-    filtered_renderer.render(filtered_config);
+    session.render(filtered_config, filtered_fb);
     if (filtered_fb.writePpmFile("mode_filtered.ppm", error))
         std::printf("wrote mode_filtered.ppm (filter: %s)\n",
-                    long_tasks.describe().c_str());
+                    session.filters().describe().c_str());
+    session.clearFilters();
 
     // (5) Derived metric overlay: idle workers over the state view.
     render::Framebuffer overlay_fb(1024, 512);
-    render::TimelineRenderer overlay_renderer(tr, overlay_fb);
-    overlay_renderer.render({});
-    metrics::DerivedCounter idle = metrics::stateOccupancy(
-        tr, static_cast<std::uint32_t>(trace::CoreState::Idle), 200);
-    render::TimelineLayout layout(tr.span(), 1024, 512, tr.numCpus());
-    render::CounterOverlay overlay(tr, overlay_fb);
-    overlay.renderGlobal(idle, layout, {});
+    session.render({}, overlay_fb);
+    metrics::DerivedCounter idle = session.stateOccupancy(
+        static_cast<std::uint32_t>(trace::CoreState::Idle), 200);
+    session.renderGlobalOverlay(idle, session.layoutFor(overlay_fb), {},
+                                overlay_fb);
     if (overlay_fb.writePpmFile("mode_overlay.ppm", error))
         std::printf("wrote mode_overlay.ppm\n");
 
     // (4) Selected-task details, as the detail pane would show them.
-    const trace::TaskInstance &selected = tr.taskInstances().front();
+    const trace::TaskInstance &selected = *session.tasks().front();
     std::printf("\nselected task %llu:\n",
                 static_cast<unsigned long long>(selected.id));
     std::printf("  type: %s\n",

@@ -22,8 +22,9 @@ using namespace aftermath;
 namespace {
 
 void
-printSummary(const trace::Trace &tr, const symbols::SymbolTable &syms)
+printSummary(Session &session, const symbols::SymbolTable &syms)
 {
+    const trace::Trace &tr = session.trace();
     std::printf("machine: %u cpus, %u NUMA nodes, %.2f GHz\n",
                 tr.numCpus(), tr.topology().numNodes(),
                 static_cast<double>(tr.cpuFreqHz()) / 1e9);
@@ -59,7 +60,7 @@ printSummary(const trace::Trace &tr, const symbols::SymbolTable &syms)
     }
 
     std::printf("\nstate breakdown:\n");
-    stats::IntervalStats s = stats::computeIntervalStats(tr, tr.span());
+    const stats::IntervalStats &s = session.intervalStats();
     for (const auto &[state, time] : s.timeInState) {
         std::printf("  %-18s %6.2f%%\n", tr.stateName(state).c_str(),
                     100.0 * s.stateFraction(state));
@@ -146,14 +147,16 @@ main(int argc, char **argv)
     if (nm_file)
         syms = symbols::SymbolTable::parseNm(nm_file);
 
-    printSummary(result.trace, syms);
+    // The session owns the loaded trace for the rest of the run.
+    Session session(std::move(result.trace));
+    printSummary(session, syms);
     for (int i = 2; i < argc; i++) {
         if (!std::strcmp(argv[i], "--states"))
-            dumpStates(result.trace);
+            dumpStates(session.trace());
         else if (!std::strcmp(argv[i], "--counters"))
-            dumpCounters(result.trace);
+            dumpCounters(session.trace());
         else if (!std::strcmp(argv[i], "--tasks"))
-            dumpTasks(result.trace);
+            dumpTasks(session.trace());
     }
     return 0;
 }

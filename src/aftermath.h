@@ -2,9 +2,29 @@
  * @file
  * Umbrella header: the full public API of the Aftermath reproduction.
  *
- * Include this to get the trace model and format, indexes, filters,
- * derived metrics, statistics, task-graph analysis, rendering, symbol
- * handling, and the runtime simulator with its workloads.
+ * The front door of the library is session::Session (exported as
+ * aftermath::Session): open a session over a finalized trace and query
+ * interval statistics, counter extrema, filtered tasks, histograms,
+ * counter attribution and timeline renderings through one object. The
+ * session owns the shared analysis state the paper's interactivity
+ * depends on — the active filter set and view interval — and lazily
+ * builds and memoizes the per-(CPU, counter) min/max search trees and
+ * per-interval statistics so repeated queries cost far less than a
+ * rescan (paper sections II-A, VI-B).
+ *
+ *   Session session(std::move(trace));      // or Session::view(trace)
+ *   session.setFilters(filters);            // shared by stats + render
+ *   auto &stats = session.intervalStats();  // memoized
+ *   auto mm = session.counterExtrema(cpu, counter, interval); // indexed
+ *   session.render(config, framebuffer);    // persistent renderer
+ *
+ * The per-layer modules remain available underneath: the trace model
+ * and format, indexes, filters, derived metrics, statistics, task-graph
+ * analysis, rendering, symbol handling, and the runtime simulator with
+ * its workloads. The legacy free functions (stats::computeIntervalStats,
+ * filter::filterTasks, stats::Histogram::taskDurations,
+ * metrics::taskCounterIncreases) are thin wrappers over Session kept
+ * for one deprecation cycle; see README.md for the deprecation plan.
  */
 
 #ifndef AFTERMATH_AFTERMATH_H
@@ -36,6 +56,11 @@
 
 // Filters.
 #include "filter/task_filter.h"
+
+// The session facade (the analysis front door).
+#include "session/counter_index_cache.h"
+#include "session/query_cache.h"
+#include "session/session.h"
 
 // Derived metrics.
 #include "metrics/counter_utils.h"

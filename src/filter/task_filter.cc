@@ -1,6 +1,7 @@
 #include "filter/task_filter.h"
 
 #include "base/string_util.h"
+#include "session/session.h"
 #include "trace/numa.h"
 
 namespace aftermath {
@@ -107,12 +108,8 @@ FilterSet::describe() const
 std::vector<const trace::TaskInstance *>
 filterTasks(const trace::Trace &trace, const TaskFilter &filter)
 {
-    std::vector<const trace::TaskInstance *> out;
-    for (const trace::TaskInstance &task : trace.taskInstances()) {
-        if (filter.matches(trace, task))
-            out.push_back(&task);
-    }
-    return out;
+    // Deprecated thin wrapper over the session facade's task iteration.
+    return session::Session::view(trace).tasksMatching(filter);
 }
 
 } // namespace filter

@@ -74,6 +74,11 @@ MinMax
 CounterIndex::query(const TimeInterval &interval) const
 {
     MinMax out;
+    // Degenerate inputs short-circuit before any array arithmetic: an
+    // empty or single-sample array never built a level, and an empty or
+    // inverted interval selects nothing.
+    if (samples_.empty() || interval.empty())
+        return out;
     auto time_less = [](const trace::CounterSample &s, TimeStamp t) {
         return s.time < t;
     };

@@ -58,7 +58,13 @@ class CounterIndex
     explicit CounterIndex(const std::vector<trace::CounterSample> &samples,
                           std::uint32_t arity = kDefaultArity);
 
-    /** Extrema of sample values with time in [interval.start, end). */
+    /**
+     * Extrema of sample values with time in [interval.start, end).
+     *
+     * Safe on degenerate inputs: empty or single-sample arrays and
+     * empty/inverted intervals return valid == false instead of touching
+     * the level arrays.
+     */
     MinMax query(const TimeInterval &interval) const;
 
     /** Bytes used by the index structure (excludes the samples). */

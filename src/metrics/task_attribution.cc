@@ -1,6 +1,6 @@
 #include "metrics/task_attribution.h"
 
-#include "metrics/counter_utils.h"
+#include "session/session.h"
 
 namespace aftermath {
 namespace metrics {
@@ -9,24 +9,10 @@ std::vector<TaskCounterIncrease>
 taskCounterIncreases(const trace::Trace &trace, CounterId counter,
                      const filter::TaskFilter &filter)
 {
-    std::vector<TaskCounterIncrease> out;
-    for (const trace::TaskInstance &task : trace.taskInstances()) {
-        if (!filter.matches(trace, task))
-            continue;
-        const trace::CpuTimeline &tl = trace.cpu(task.cpu);
-        auto before = counterValueAt(tl, counter, task.interval.start);
-        auto after = counterValueAt(tl, counter, task.interval.end);
-        if (!before || !after)
-            continue;
-        TaskCounterIncrease row;
-        row.task = task.id;
-        row.type = task.type;
-        row.cpu = task.cpu;
-        row.duration = task.duration();
-        row.increase = *after - *before;
-        out.push_back(row);
-    }
-    return out;
+    // Deprecated thin wrapper over the session facade's attribution
+    // query.
+    return session::Session::view(trace).taskCounterIncreasesMatching(
+        counter, filter);
 }
 
 } // namespace metrics

@@ -46,6 +46,10 @@ struct TaskCounterIncrease
  * @p filter.
  *
  * Tasks whose CPU lacks samples bracketing the execution are skipped.
+ *
+ * @deprecated Thin wrapper over
+ * session::Session::taskCounterIncreases(), kept for one deprecation
+ * cycle.
  */
 std::vector<TaskCounterIncrease> taskCounterIncreases(
     const trace::Trace &trace, CounterId counter,

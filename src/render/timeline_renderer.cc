@@ -19,13 +19,19 @@ constexpr std::uint32_t kTaskExecState =
 
 } // namespace
 
-TimelineRenderer::TimelineRenderer(const trace::Trace &trace,
-                                   Framebuffer &fb)
-    : trace_(trace), fb_(fb)
+TimelineRenderer::TimelineRenderer(const trace::Trace &trace)
+    : trace_(trace)
 {
     std::size_t index = 0;
     for (const auto &[id, type] : trace_.taskTypes())
         typeIndexCache_[id] = index++;
+}
+
+TimelineRenderer::TimelineRenderer(const trace::Trace &trace,
+                                   Framebuffer &fb)
+    : TimelineRenderer(trace)
+{
+    boundFb_ = &fb;
 }
 
 Rgba
@@ -268,17 +274,17 @@ TimelineRenderer::resolveLane(const TimelineConfig &config,
 }
 
 void
-TimelineRenderer::render(const TimelineConfig &config)
+TimelineRenderer::render(const TimelineConfig &config, Framebuffer &fb)
 {
     stats_.reset();
     taskColorCache_.clear();
     remoteFractionCache_.clear();
 
-    fb_.clear(kBackground);
+    fb.clear(kBackground);
     TimeInterval view = config.view.empty() ? trace_.span() : config.view;
     if (view.empty())
         return;
-    TimelineLayout layout(view, fb_.width(), fb_.height(),
+    TimelineLayout layout(view, fb.width(), fb.height(),
                           trace_.numCpus());
     prepareHeatmapRange(config, view);
 
@@ -295,7 +301,7 @@ TimelineRenderer::render(const TimelineConfig &config)
             std::uint32_t run_end = x + 1;
             while (run_end < layout.width() && row[run_end] == row[x])
                 run_end++;
-            fb_.fillRect(x, top, run_end - x, height, row[x]);
+            fb.fillRect(x, top, run_end - x, height, row[x]);
             stats_.rectOps++;
             x = run_end;
         }
@@ -303,24 +309,24 @@ TimelineRenderer::render(const TimelineConfig &config)
 }
 
 void
-TimelineRenderer::renderNaive(const TimelineConfig &config)
+TimelineRenderer::renderNaive(const TimelineConfig &config, Framebuffer &fb)
 {
     stats_.reset();
     taskColorCache_.clear();
     remoteFractionCache_.clear();
 
-    fb_.clear(kBackground);
+    fb.clear(kBackground);
     TimeInterval view = config.view.empty() ? trace_.span() : config.view;
     if (view.empty())
         return;
-    TimelineLayout layout(view, fb_.width(), fb_.height(),
+    TimelineLayout layout(view, fb.width(), fb.height(),
                           trace_.numCpus());
     prepareHeatmapRange(config, view);
 
     for (CpuId cpu = 0; cpu < trace_.numCpus(); cpu++) {
         std::uint32_t top = layout.laneTop(cpu);
         std::uint32_t height = layout.laneHeight();
-        fb_.fillRect(0, top, layout.width(), height, laneBackground(cpu));
+        fb.fillRect(0, top, layout.width(), height, laneBackground(cpu));
         stats_.rectOps++;
 
         const auto &states = trace_.cpu(cpu).states();
@@ -357,10 +363,28 @@ TimelineRenderer::renderNaive(const TimelineConfig &config)
 
             std::uint32_t x0 = layout.timeToPixel(clipped.start);
             std::uint32_t x1 = layout.timeToPixel(clipped.end - 1);
-            fb_.fillRect(x0, top, x1 - x0 + 1, height, color);
+            fb.fillRect(x0, top, x1 - x0 + 1, height, color);
             stats_.rectOps++;
         }
     }
+}
+
+void
+TimelineRenderer::render(const TimelineConfig &config)
+{
+    AFTERMATH_ASSERT(boundFb_ != nullptr,
+                     "render() without framebuffer requires the "
+                     "framebuffer-binding constructor");
+    render(config, *boundFb_);
+}
+
+void
+TimelineRenderer::renderNaive(const TimelineConfig &config)
+{
+    AFTERMATH_ASSERT(boundFb_ != nullptr,
+                     "renderNaive() without framebuffer requires the "
+                     "framebuffer-binding constructor");
+    renderNaive(config, *boundFb_);
 }
 
 Rgba

@@ -61,24 +61,46 @@ struct TimelineConfig
     const filter::TaskFilter *taskFilter = nullptr;
 };
 
-/** Renders a trace's timeline into a framebuffer. */
+/**
+ * Renders a trace's timeline into a framebuffer.
+ *
+ * The renderer is independent of any particular framebuffer: construct it
+ * once per trace and pass the target buffer to each render call. Internal
+ * caches (task type palette assignment) persist across renders, which is
+ * what session::Session relies on for repeated interactive redraws. The
+ * framebuffer-binding constructor and the render overloads without an
+ * explicit framebuffer remain for one deprecation cycle.
+ */
 class TimelineRenderer
 {
   public:
+    /** A renderer for @p trace; pass the framebuffer per render call. */
+    explicit TimelineRenderer(const trace::Trace &trace);
+
+    /**
+     * @deprecated Bind-at-construction form; use
+     * TimelineRenderer(trace) plus render(config, fb) instead.
+     */
     TimelineRenderer(const trace::Trace &trace, Framebuffer &fb);
 
     /**
-     * Render with the paper's optimizations: per-pixel predominant color
-     * resolution and aggregation of equal adjacent pixels into single
-     * rectangles.
+     * Render into @p fb with the paper's optimizations: per-pixel
+     * predominant color resolution and aggregation of equal adjacent
+     * pixels into single rectangles.
      */
-    void render(const TimelineConfig &config);
+    void render(const TimelineConfig &config, Framebuffer &fb);
 
     /**
-     * Render naively: one rectangle per visible event, drawn in trace
-     * order. Produces (approximately) the same image but issues one
-     * operation per event — the baseline of the Fig 20 comparison.
+     * Render naively into @p fb: one rectangle per visible event, drawn
+     * in trace order. Produces (approximately) the same image but issues
+     * one operation per event — the baseline of the Fig 20 comparison.
      */
+    void renderNaive(const TimelineConfig &config, Framebuffer &fb);
+
+    /** @deprecated Renders into the constructor-bound framebuffer. */
+    void render(const TimelineConfig &config);
+
+    /** @deprecated Renders into the constructor-bound framebuffer. */
     void renderNaive(const TimelineConfig &config);
 
     /** Operation counts of the last render call. */
@@ -126,7 +148,7 @@ class TimelineRenderer
     std::size_t typeIndex(TaskTypeId type) const;
 
     const trace::Trace &trace_;
-    Framebuffer &fb_;
+    Framebuffer *boundFb_ = nullptr; ///< Deprecated-ctor binding only.
     RenderStats stats_;
 
     TimeStamp effectiveHeatMin_ = 0;

@@ -1,0 +1,42 @@
+#include "session/counter_index_cache.h"
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace session {
+
+CounterIndexCache::CounterIndexCache(const trace::Trace &trace,
+                                     std::uint32_t arity)
+    : trace_(trace), arity_(arity)
+{}
+
+const index::CounterIndex &
+CounterIndexCache::get(CpuId cpu, CounterId counter)
+{
+    AFTERMATH_ASSERT(trace_.hasCpu(cpu),
+                     "counter index for cpu %u outside topology (%u cpus)",
+                     cpu, trace_.numCpus());
+    return *cache_.getOrBuild(std::make_pair(cpu, counter), [&] {
+        return std::make_unique<index::CounterIndex>(
+            trace_.cpu(cpu).counterSamples(counter), arity_);
+    });
+}
+
+const index::CounterIndex *
+CounterIndexCache::getOrNull(CpuId cpu, CounterId counter)
+{
+    if (!trace_.hasCpu(cpu))
+        return nullptr;
+    return &get(cpu, counter);
+}
+
+index::MinMax
+CounterIndexCache::query(CpuId cpu, CounterId counter,
+                         const TimeInterval &interval)
+{
+    const index::CounterIndex *index = getOrNull(cpu, counter);
+    return index ? index->query(interval) : index::MinMax{};
+}
+
+} // namespace session
+} // namespace aftermath

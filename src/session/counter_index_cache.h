@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lazy per-(CPU, counter) store of n-ary min/max counter indexes.
+ *
+ * The paper precomputes one search tree per performance counter and per
+ * core so any interval's extrema cost O(arity * log n) instead of a
+ * rescan (section VI-B.c). This cache builds each tree on first query
+ * and keeps it for the lifetime of the trace, so no consumer — renderer,
+ * statistics, export — ever rebuilds an index the session already paid
+ * for. Used by session::Session; usable standalone wherever one trace
+ * outlives many extrema queries.
+ */
+
+#ifndef AFTERMATH_SESSION_COUNTER_INDEX_CACHE_H
+#define AFTERMATH_SESSION_COUNTER_INDEX_CACHE_H
+
+#include <memory>
+#include <utility>
+
+#include "base/types.h"
+#include "index/counter_index.h"
+#include "session/query_cache.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace session {
+
+/** Lazily built, memoized CounterIndex per (cpu, counter) pair. */
+class CounterIndexCache
+{
+  public:
+    /**
+     * A cache over @p trace, which must stay alive and unchanged.
+     *
+     * @param arity Group size of every built index (the paper uses 100).
+     */
+    explicit CounterIndexCache(
+        const trace::Trace &trace,
+        std::uint32_t arity = index::CounterIndex::kDefaultArity);
+
+    /**
+     * The index of @p counter on @p cpu, built on first use. Panics on
+     * out-of-range CPU ids; a counter never sampled on the CPU yields an
+     * index over an empty array (every query invalid).
+     */
+    const index::CounterIndex &get(CpuId cpu, CounterId counter);
+
+    /** Like get(), but returns nullptr for out-of-range CPU ids. */
+    const index::CounterIndex *getOrNull(CpuId cpu, CounterId counter);
+
+    /**
+     * Extrema of @p counter on @p cpu within @p interval through the
+     * cached index; invalid for unknown CPUs or unsampled counters.
+     */
+    index::MinMax query(CpuId cpu, CounterId counter,
+                        const TimeInterval &interval);
+
+    /** Drop every built index (counters preserved). */
+    void clear() { cache_.clear(); }
+
+    /** Number of indexes currently built. */
+    std::size_t size() const { return cache_.size(); }
+
+    /** Hit/build accounting; builds counts CounterIndex constructions. */
+    const CacheCounters &counters() const { return cache_.counters(); }
+
+    /** The arity used for every built index. */
+    std::uint32_t arity() const { return arity_; }
+
+  private:
+    const trace::Trace &trace_;
+    std::uint32_t arity_;
+
+    // unique_ptr because CounterIndex pins a reference to its sample
+    // array and is neither copyable nor movable.
+    MemoCache<std::pair<CpuId, CounterId>,
+              std::unique_ptr<index::CounterIndex>> cache_;
+};
+
+} // namespace session
+} // namespace aftermath
+
+#endif // AFTERMATH_SESSION_COUNTER_INDEX_CACHE_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Generic memoization primitives for the session query facade.
+ *
+ * Every cache inside session::Session follows the same discipline: build
+ * on first use, serve repeated queries from memory, and count hits and
+ * builds so tests (and users tuning an interactive frontend) can observe
+ * cache behaviour instead of guessing. MemoCache is that discipline in
+ * one reusable type.
+ */
+
+#ifndef AFTERMATH_SESSION_QUERY_CACHE_H
+#define AFTERMATH_SESSION_QUERY_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace aftermath {
+namespace session {
+
+/** Cumulative hit/build counters of one memoization cache. */
+struct CacheCounters
+{
+    /** Queries answered from the cache. */
+    std::uint64_t hits = 0;
+
+    /** Queries that had to construct the value. */
+    std::uint64_t builds = 0;
+
+    /** Total queries observed. */
+    std::uint64_t total() const { return hits + builds; }
+};
+
+/**
+ * An ordered-map memoization cache with hit/build accounting.
+ *
+ * Values are built at most once per key until clear(); counters are
+ * cumulative across clear() so invalidation (filter changes, trace
+ * swaps) remains observable from the outside.
+ */
+template <typename Key, typename Value>
+class MemoCache
+{
+  public:
+    /** The cached value for @p key, built with @p build() on miss. */
+    template <typename Builder>
+    const Value &
+    getOrBuild(const Key &key, Builder &&build)
+    {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            counters_.hits++;
+            return it->second;
+        }
+        counters_.builds++;
+        return entries_.emplace(key, build()).first->second;
+    }
+
+    /** Drop every entry; counters are preserved. */
+    void clear() { entries_.clear(); }
+
+    /** Number of live entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Cumulative hit/build counters. */
+    const CacheCounters &counters() const { return counters_; }
+
+  private:
+    std::map<Key, Value> entries_;
+    CacheCounters counters_;
+};
+
+} // namespace session
+} // namespace aftermath
+
+#endif // AFTERMATH_SESSION_QUERY_CACHE_H

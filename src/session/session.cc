@@ -1,0 +1,284 @@
+#include "session/session.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "metrics/counter_utils.h"
+#include "metrics/generators.h"
+
+namespace aftermath {
+namespace session {
+
+namespace {
+
+/** Counter attribution over an explicit task list (paper section V). */
+std::vector<metrics::TaskCounterIncrease>
+collectIncreases(const trace::Trace &trace, CounterId counter,
+                 const std::vector<const trace::TaskInstance *> &tasks)
+{
+    std::vector<metrics::TaskCounterIncrease> out;
+    for (const trace::TaskInstance *task : tasks) {
+        const trace::CpuTimeline *tl = trace.cpuOrNull(task->cpu);
+        if (!tl)
+            continue;
+        auto before =
+            metrics::counterValueAt(*tl, counter, task->interval.start);
+        auto after =
+            metrics::counterValueAt(*tl, counter, task->interval.end);
+        if (!before || !after)
+            continue;
+        metrics::TaskCounterIncrease row;
+        row.task = task->id;
+        row.type = task->type;
+        row.cpu = task->cpu;
+        row.duration = task->duration();
+        row.increase = *after - *before;
+        out.push_back(row);
+    }
+    return out;
+}
+
+/** Task durations as doubles, the histogram observation vector. */
+std::vector<double>
+durationsOf(const std::vector<const trace::TaskInstance *> &tasks)
+{
+    std::vector<double> out;
+    out.reserve(tasks.size());
+    for (const trace::TaskInstance *task : tasks)
+        out.push_back(static_cast<double>(task->duration()));
+    return out;
+}
+
+} // namespace
+
+Session::Session(trace::Trace trace)
+    : trace_(std::make_shared<const trace::Trace>(std::move(trace)))
+{
+    rebindTrace();
+}
+
+Session::Session(std::shared_ptr<const trace::Trace> trace)
+    : trace_(std::move(trace))
+{
+    AFTERMATH_ASSERT(trace_ != nullptr, "session over a null trace");
+    rebindTrace();
+}
+
+Session
+Session::view(const trace::Trace &trace)
+{
+    // Aliasing empty-owner shared_ptr: no ownership, pointer only.
+    return Session(std::shared_ptr<const trace::Trace>(
+        std::shared_ptr<const trace::Trace>(), &trace));
+}
+
+void
+Session::rebindTrace()
+{
+    counterIndexes_ = std::make_unique<CounterIndexCache>(*trace_);
+    // The renderer scans the task-type table at construction; defer it
+    // until the first render so query-only sessions (in particular the
+    // throwaway ones behind the deprecated free functions) never pay it.
+    renderer_.reset();
+    statsCache_.clear();
+    taskListCache_.clear();
+}
+
+render::TimelineRenderer &
+Session::renderer()
+{
+    if (!renderer_)
+        renderer_ = std::make_unique<render::TimelineRenderer>(*trace_);
+    return *renderer_;
+}
+
+void
+Session::setTrace(trace::Trace trace)
+{
+    setTrace(std::make_shared<const trace::Trace>(std::move(trace)));
+}
+
+void
+Session::setTrace(std::shared_ptr<const trace::Trace> trace)
+{
+    AFTERMATH_ASSERT(trace != nullptr, "session over a null trace");
+    // Keep the index accounting cumulative across the swap: the cache
+    // object dies with the old trace, its counters roll into the base.
+    counterIndexBase_.hits += counterIndexes_->counters().hits;
+    counterIndexBase_.builds += counterIndexes_->counters().builds;
+    trace_ = std::move(trace);
+    rebindTrace();
+}
+
+void
+Session::setFilters(filter::FilterSet filters)
+{
+    filters_ = std::move(filters);
+    filterGeneration_++;
+    // Only filter-dependent caches go; indexes and interval statistics
+    // are filter-independent and survive.
+    taskListCache_.clear();
+}
+
+void
+Session::clearFilters()
+{
+    setFilters(filter::FilterSet());
+}
+
+TimeInterval
+Session::view() const
+{
+    return view_.empty() ? trace_->span() : view_;
+}
+
+const stats::IntervalStats &
+Session::intervalStats(const TimeInterval &interval)
+{
+    return statsCache_.getOrBuild(
+        std::make_pair(interval.start, interval.end),
+        [&] { return computeIntervalStatsUncached(interval); });
+}
+
+const stats::IntervalStats &
+Session::intervalStats()
+{
+    return intervalStats(view());
+}
+
+stats::IntervalStats
+Session::computeIntervalStatsUncached(const TimeInterval &interval) const
+{
+    stats::IntervalStats stats;
+    stats.interval = interval;
+
+    for (CpuId c = 0; c < trace_->numCpus(); c++) {
+        const auto &states = trace_->cpu(c).states();
+        trace::SliceRange slice = trace_->cpu(c).stateSlice(interval);
+        for (std::size_t i = slice.first; i < slice.last; i++) {
+            const trace::StateEvent &ev = states[i];
+            stats.timeInState[ev.state] +=
+                ev.interval.overlapDuration(interval);
+        }
+    }
+
+    for (const trace::TaskInstance &task : trace_->taskInstances()) {
+        if (task.interval.overlaps(interval)) {
+            stats.tasksOverlapping++;
+            if (interval.contains(task.interval.start))
+                stats.tasksStarted++;
+        }
+    }
+    return stats;
+}
+
+stats::Histogram
+Session::histogram(std::uint32_t num_bins)
+{
+    return stats::Histogram::fromValues(durationsOf(tasks()), num_bins);
+}
+
+stats::Histogram
+Session::histogramMatching(const filter::TaskFilter &filter,
+                           std::uint32_t num_bins) const
+{
+    return stats::Histogram::fromValues(durationsOf(tasksMatching(filter)),
+                                        num_bins);
+}
+
+index::MinMax
+Session::counterExtrema(CpuId cpu, CounterId counter,
+                        const TimeInterval &interval)
+{
+    return counterIndexes_->query(cpu, counter, interval);
+}
+
+index::MinMax
+Session::counterExtrema(CpuId cpu, CounterId counter)
+{
+    return counterExtrema(cpu, counter, view());
+}
+
+const index::CounterIndex &
+Session::counterIndex(CpuId cpu, CounterId counter)
+{
+    return counterIndexes_->get(cpu, counter);
+}
+
+std::vector<metrics::TaskCounterIncrease>
+Session::taskCounterIncreases(CounterId counter)
+{
+    return collectIncreases(*trace_, counter, tasks());
+}
+
+std::vector<metrics::TaskCounterIncrease>
+Session::taskCounterIncreasesMatching(CounterId counter,
+                                      const filter::TaskFilter &filter) const
+{
+    return collectIncreases(*trace_, counter, tasksMatching(filter));
+}
+
+const std::vector<const trace::TaskInstance *> &
+Session::tasks()
+{
+    return taskListCache_.getOrBuild(
+        filterGeneration_, [&] { return tasksMatching(filters_); });
+}
+
+std::vector<const trace::TaskInstance *>
+Session::tasks(const TaskPredicate &pred)
+{
+    std::vector<const trace::TaskInstance *> out;
+    for (const trace::TaskInstance *task : tasks()) {
+        if (pred(*task))
+            out.push_back(task);
+    }
+    return out;
+}
+
+std::vector<const trace::TaskInstance *>
+Session::tasksMatching(const filter::TaskFilter &filter) const
+{
+    std::vector<const trace::TaskInstance *> out;
+    for (const trace::TaskInstance &task : trace_->taskInstances()) {
+        if (filter.matches(*trace_, task))
+            out.push_back(&task);
+    }
+    return out;
+}
+
+metrics::DerivedCounter
+Session::stateOccupancy(std::uint32_t state,
+                        std::uint32_t num_intervals) const
+{
+    return metrics::stateOccupancy(*trace_, state, num_intervals);
+}
+
+metrics::DerivedCounter
+Session::averageTaskDuration(std::uint32_t num_intervals) const
+{
+    return metrics::averageTaskDuration(*trace_, num_intervals);
+}
+
+metrics::DerivedCounter
+Session::aggregateCounter(CounterId counter,
+                          std::uint32_t num_intervals) const
+{
+    return metrics::aggregateCounter(*trace_, counter, num_intervals);
+}
+
+SessionCacheStats
+Session::cacheStats() const
+{
+    SessionCacheStats out;
+    out.counterIndex.hits =
+        counterIndexBase_.hits + counterIndexes_->counters().hits;
+    out.counterIndex.builds =
+        counterIndexBase_.builds + counterIndexes_->counters().builds;
+    out.intervalStats = statsCache_.counters();
+    out.taskList = taskListCache_.counters();
+    return out;
+}
+
+} // namespace session
+} // namespace aftermath

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * The unified query facade over one trace: session::Session.
+ *
+ * The paper's interactivity rests on every view — timeline modes,
+ * statistical views, filters, selections — operating on shared state and
+ * on precomputed search structures so a query costs far less than a
+ * rescan (sections II-A, VI-B). Session is that shared state as an API:
+ * it owns one finalized trace, the active filter set and the current
+ * view interval, and answers the whole analysis surface through one
+ * coherent object. Internally it lazily builds and memoizes the
+ * per-(CPU, counter) min/max indexes and per-interval statistics,
+ * invalidates filter-dependent caches on setFilters(), and feeds the
+ * cached structures to the renderer, the statistics and the metrics so
+ * no consumer ever rebuilds them.
+ *
+ * The legacy free functions (stats::computeIntervalStats,
+ * filter::filterTasks, stats::Histogram::taskDurations,
+ * metrics::taskCounterIncreases) remain as thin wrappers over Session
+ * for one deprecation cycle; new code should construct a Session.
+ *
+ * Sessions are single-threaded: queries mutate internal caches.
+ */
+
+#ifndef AFTERMATH_SESSION_SESSION_H
+#define AFTERMATH_SESSION_SESSION_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "filter/task_filter.h"
+#include "index/counter_index.h"
+#include "metrics/derived_counter.h"
+#include "metrics/task_attribution.h"
+#include "render/counter_overlay.h"
+#include "render/framebuffer.h"
+#include "render/layout.h"
+#include "render/render_stats.h"
+#include "render/timeline_renderer.h"
+#include "session/counter_index_cache.h"
+#include "session/query_cache.h"
+#include "stats/histogram.h"
+#include "stats/interval_stats.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace session {
+
+/** Snapshot of the hit/build accounting of every session cache. */
+struct SessionCacheStats
+{
+    /** Per-(cpu, counter) min/max index cache. */
+    CacheCounters counterIndex;
+
+    /** Per-interval statistics cache. */
+    CacheCounters intervalStats;
+
+    /** Filtered task list cache. */
+    CacheCounters taskList;
+};
+
+/**
+ * One interactive analysis session over one finalized trace.
+ *
+ * Construction modes:
+ *  - Session(trace::Trace) takes ownership of the trace;
+ *  - Session(std::shared_ptr<const trace::Trace>) shares it;
+ *  - Session::view(trace) borrows a trace owned elsewhere (the caller
+ *    guarantees it outlives the session) — the mode the deprecated
+ *    free-function wrappers use.
+ *
+ * All caches are lazy: nothing is indexed until the first query needs
+ * it. setFilters() invalidates only filter-dependent caches (the task
+ * list); setTrace() invalidates everything. Counters are cumulative
+ * across invalidations so cache behaviour stays observable.
+ */
+class Session
+{
+  public:
+    /** Additional predicate over task instances for tasks(pred). */
+    using TaskPredicate =
+        std::function<bool(const trace::TaskInstance &)>;
+
+    /** A session owning @p trace (moved in; must be finalized). */
+    explicit Session(trace::Trace trace);
+
+    /** A session sharing ownership of @p trace. */
+    explicit Session(std::shared_ptr<const trace::Trace> trace);
+
+    /** A non-owning session over a trace that outlives it. */
+    static Session view(const trace::Trace &trace);
+
+    // -- Shared state ------------------------------------------------------
+
+    /** The trace under analysis. */
+    const trace::Trace &trace() const { return *trace_; }
+
+    /** Replace the trace (ownership taken); every cache is dropped. */
+    void setTrace(trace::Trace trace);
+
+    /** Replace the trace (shared); every cache is dropped. */
+    void setTrace(std::shared_ptr<const trace::Trace> trace);
+
+    /**
+     * Replace the active filter set; filter-dependent caches (the task
+     * list) are invalidated, filter-independent ones (counter indexes,
+     * interval statistics) survive.
+     */
+    void setFilters(filter::FilterSet filters);
+
+    /** Drop every active filter (equivalent to an empty FilterSet). */
+    void clearFilters();
+
+    /** The active filter set (empty set accepts every task). */
+    const filter::FilterSet &filters() const { return filters_; }
+
+    /** Bumped by every setFilters()/clearFilters() call. */
+    std::uint64_t filterGeneration() const { return filterGeneration_; }
+
+    /** Set the current view interval (the zoom window). */
+    void setView(const TimeInterval &view) { view_ = view; }
+
+    /** The current view interval; empty means the whole trace span. */
+    TimeInterval view() const;
+
+    // -- Statistics --------------------------------------------------------
+
+    /**
+     * Aggregate statistics of @p interval across all CPUs, memoized per
+     * interval. The reference stays valid until setTrace(); that
+     * guarantee is why entries are never evicted, so memory grows with
+     * the number of *distinct* intervals queried. Callers issuing
+     * unbounded streams of unique intervals (e.g. continuous zooming)
+     * should copy the result and call setTrace() — or a future
+     * bounded-cache mode — to trim.
+     */
+    const stats::IntervalStats &intervalStats(const TimeInterval &interval);
+
+    /** Interval statistics of the current view. */
+    const stats::IntervalStats &intervalStats();
+
+    /** Duration histogram of the tasks passing the active filters. */
+    stats::Histogram histogram(std::uint32_t num_bins);
+
+    /** Duration histogram of the tasks accepted by @p filter. */
+    stats::Histogram histogramMatching(const filter::TaskFilter &filter,
+                                       std::uint32_t num_bins) const;
+
+    // -- Counter queries ---------------------------------------------------
+
+    /**
+     * Extrema of @p counter on @p cpu within @p interval via the cached
+     * min/max index (built on first use). Invalid result for unknown
+     * CPUs or counters never sampled on the CPU.
+     */
+    index::MinMax counterExtrema(CpuId cpu, CounterId counter,
+                                 const TimeInterval &interval);
+
+    /** Extrema of @p counter on @p cpu within the current view. */
+    index::MinMax counterExtrema(CpuId cpu, CounterId counter);
+
+    /** The cached min/max index of (@p cpu, @p counter). */
+    const index::CounterIndex &counterIndex(CpuId cpu, CounterId counter);
+
+    /**
+     * Counter increase of @p counter across every task passing the
+     * active filters (monotonic-counter attribution, paper section V).
+     */
+    std::vector<metrics::TaskCounterIncrease>
+    taskCounterIncreases(CounterId counter);
+
+    /** Counter increases of the tasks accepted by @p filter. */
+    std::vector<metrics::TaskCounterIncrease>
+    taskCounterIncreasesMatching(CounterId counter,
+                                 const filter::TaskFilter &filter) const;
+
+    // -- Task iteration ----------------------------------------------------
+
+    /**
+     * The task instances passing the active filters, cached until the
+     * filters or the trace change. Pointers into the trace's instance
+     * array, in insertion order.
+     */
+    const std::vector<const trace::TaskInstance *> &tasks();
+
+    /** The filtered tasks additionally accepted by @p pred. */
+    std::vector<const trace::TaskInstance *> tasks(const TaskPredicate &pred);
+
+    /** Tasks accepted by an explicit @p filter (uncached). */
+    std::vector<const trace::TaskInstance *>
+    tasksMatching(const filter::TaskFilter &filter) const;
+
+    // -- Derived metrics ---------------------------------------------------
+
+    /** Workers simultaneously in @p state (metrics::stateOccupancy). */
+    metrics::DerivedCounter stateOccupancy(std::uint32_t state,
+                                           std::uint32_t num_intervals) const;
+
+    /** Average task duration per interval (metrics generator). */
+    metrics::DerivedCounter
+    averageTaskDuration(std::uint32_t num_intervals) const;
+
+    /** Cross-worker counter aggregation (metrics generator). */
+    metrics::DerivedCounter aggregateCounter(CounterId counter,
+                                             std::uint32_t num_intervals) const;
+
+    // -- Rendering ---------------------------------------------------------
+
+    /**
+     * Render the timeline into @p fb through the session's persistent
+     * renderer. When @p config names no task filter the session's active
+     * filters apply; when it names no view the session's view applies.
+     */
+    const render::RenderStats &render(const render::TimelineConfig &config,
+                                      render::Framebuffer &fb);
+
+    /** Naive (per-event) rendering baseline with the same semantics. */
+    const render::RenderStats &
+    renderNaive(const render::TimelineConfig &config,
+                render::Framebuffer &fb);
+
+    /**
+     * Overlay @p counter of @p cpu onto its lane of @p layout using the
+     * cached min/max index (one query per pixel column, Fig 21).
+     */
+    const render::RenderStats &
+    renderCounterLane(CpuId cpu, CounterId counter,
+                      const render::TimelineLayout &layout,
+                      const render::CounterOverlayConfig &overlay_config,
+                      render::Framebuffer &fb);
+
+    /**
+     * Overlay a derived series across the full drawing area of @p fb
+     * (per-column min/max reduction, like any raw counter).
+     */
+    const render::RenderStats &
+    renderGlobalOverlay(const metrics::DerivedCounter &series,
+                        const render::TimelineLayout &layout,
+                        const render::CounterOverlayConfig &overlay_config,
+                        render::Framebuffer &fb);
+
+    /** The layout mapping the current view onto @p fb's pixel grid. */
+    render::TimelineLayout layoutFor(const render::Framebuffer &fb) const;
+
+    // -- Cache introspection -----------------------------------------------
+
+    /** Hit/build counters of every cache (cumulative). */
+    SessionCacheStats cacheStats() const;
+
+  private:
+    /** Re-point every per-trace structure after a trace swap. */
+    void rebindTrace();
+
+    /** The persistent renderer, built on first render call. */
+    render::TimelineRenderer &renderer();
+
+    /** The effective config: session filters and view filled in. */
+    render::TimelineConfig
+    effectiveConfig(const render::TimelineConfig &config) const;
+
+    /** The uncached interval-statistics computation. */
+    stats::IntervalStats
+    computeIntervalStatsUncached(const TimeInterval &interval) const;
+
+    std::shared_ptr<const trace::Trace> trace_;
+    filter::FilterSet filters_;
+    std::uint64_t filterGeneration_ = 0;
+    TimeInterval view_; ///< Empty means the whole trace span.
+
+    std::unique_ptr<CounterIndexCache> counterIndexes_;
+    CacheCounters counterIndexBase_; ///< Accounting of pre-swap caches.
+    MemoCache<std::pair<TimeStamp, TimeStamp>,
+              stats::IntervalStats> statsCache_;
+    // Keyed by filterGeneration_ and additionally cleared on every
+    // filter change, so at most one generation's list is ever live;
+    // stale generations cannot accumulate or be served.
+    MemoCache<std::uint64_t,
+              std::vector<const trace::TaskInstance *>> taskListCache_;
+    std::unique_ptr<render::TimelineRenderer> renderer_;
+    render::RenderStats overlayStats_;
+};
+
+} // namespace session
+
+// Session is the front door of the library; export it at top level.
+using session::Session;
+
+} // namespace aftermath
+
+#endif // AFTERMATH_SESSION_SESSION_H

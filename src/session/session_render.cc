@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The rendering face of session::Session: timeline passes through the
+ * persistent renderer and counter overlays through the cached indexes.
+ */
+
+#include "session/session.h"
+
+namespace aftermath {
+namespace session {
+
+render::TimelineConfig
+Session::effectiveConfig(const render::TimelineConfig &config) const
+{
+    render::TimelineConfig effective = config;
+    if (!effective.taskFilter && filters_.size() > 0)
+        effective.taskFilter = &filters_;
+    if (effective.view.empty() && !view_.empty())
+        effective.view = view_;
+    return effective;
+}
+
+const render::RenderStats &
+Session::render(const render::TimelineConfig &config,
+                render::Framebuffer &fb)
+{
+    render::TimelineRenderer &r = renderer();
+    r.render(effectiveConfig(config), fb);
+    return r.stats();
+}
+
+const render::RenderStats &
+Session::renderNaive(const render::TimelineConfig &config,
+                     render::Framebuffer &fb)
+{
+    render::TimelineRenderer &r = renderer();
+    r.renderNaive(effectiveConfig(config), fb);
+    return r.stats();
+}
+
+const render::RenderStats &
+Session::renderCounterLane(CpuId cpu, CounterId counter,
+                           const render::TimelineLayout &layout,
+                           const render::CounterOverlayConfig &overlay_config,
+                           render::Framebuffer &fb)
+{
+    render::CounterOverlay overlay(*trace_, fb);
+    overlay.renderLane(cpu, counter, counterIndex(cpu, counter), layout,
+                       overlay_config);
+    overlayStats_ = overlay.stats();
+    return overlayStats_;
+}
+
+const render::RenderStats &
+Session::renderGlobalOverlay(const metrics::DerivedCounter &series,
+                             const render::TimelineLayout &layout,
+                             const render::CounterOverlayConfig &overlay_config,
+                             render::Framebuffer &fb)
+{
+    render::CounterOverlay overlay(*trace_, fb);
+    overlay.renderGlobal(series, layout, overlay_config);
+    overlayStats_ = overlay.stats();
+    return overlayStats_;
+}
+
+render::TimelineLayout
+Session::layoutFor(const render::Framebuffer &fb) const
+{
+    return render::TimelineLayout(view(), fb.width(), fb.height(),
+                                  trace_->numCpus());
+}
+
+} // namespace session
+} // namespace aftermath

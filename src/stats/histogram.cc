@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "session/session.h"
 
 namespace aftermath {
 namespace stats {
@@ -45,12 +46,9 @@ Histogram::taskDurations(const trace::Trace &trace,
                          const filter::TaskFilter &filter,
                          std::uint32_t num_bins)
 {
-    std::vector<double> durations;
-    for (const trace::TaskInstance &task : trace.taskInstances()) {
-        if (filter.matches(trace, task))
-            durations.push_back(static_cast<double>(task.duration()));
-    }
-    return fromValues(durations, num_bins);
+    // Deprecated thin wrapper over the session facade's histogram query.
+    return session::Session::view(trace).histogramMatching(filter,
+                                                           num_bins);
 }
 
 double

@@ -38,7 +38,12 @@ class Histogram
                                 std::optional<double> min = std::nullopt,
                                 std::optional<double> max = std::nullopt);
 
-    /** Histogram of durations of the tasks accepted by @p filter. */
+    /**
+     * Histogram of durations of the tasks accepted by @p filter.
+     *
+     * @deprecated Thin wrapper over session::Session::histogram() /
+     * histogramMatching(), kept for one deprecation cycle.
+     */
     static Histogram taskDurations(const trace::Trace &trace,
                                    const filter::TaskFilter &filter,
                                    std::uint32_t num_bins);

@@ -1,5 +1,7 @@
 #include "stats/interval_stats.h"
 
+#include "session/session.h"
+
 namespace aftermath {
 namespace stats {
 
@@ -36,27 +38,12 @@ IntervalStats::averageParallelism(std::uint32_t task_exec_state) const
 IntervalStats
 computeIntervalStats(const trace::Trace &trace, const TimeInterval &interval)
 {
-    IntervalStats stats;
-    stats.interval = interval;
-
-    for (CpuId c = 0; c < trace.numCpus(); c++) {
-        const auto &states = trace.cpu(c).states();
-        trace::SliceRange slice = trace.cpu(c).stateSlice(interval);
-        for (std::size_t i = slice.first; i < slice.last; i++) {
-            const trace::StateEvent &ev = states[i];
-            stats.timeInState[ev.state] +=
-                ev.interval.overlapDuration(interval);
-        }
-    }
-
-    for (const trace::TaskInstance &task : trace.taskInstances()) {
-        if (task.interval.overlaps(interval)) {
-            stats.tasksOverlapping++;
-            if (interval.contains(task.interval.start))
-                stats.tasksStarted++;
-        }
-    }
-    return stats;
+    // Deprecated thin wrapper: the implementation (and its memoization)
+    // lives in session::Session. The throwaway session adds a few small
+    // allocations and one result copy on top of the O(trace) scan that
+    // dominates; loops over many intervals should hold a Session and
+    // get memoization for free.
+    return session::Session::view(trace).intervalStats(interval);
 }
 
 } // namespace stats

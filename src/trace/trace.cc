@@ -69,6 +69,12 @@ Trace::cpu(CpuId cpu) const
     return cpus_[cpu];
 }
 
+const CpuTimeline *
+Trace::cpuOrNull(CpuId cpu) const
+{
+    return cpu < cpus_.size() ? &cpus_[cpu] : nullptr;
+}
+
 bool
 Trace::finalize(std::string &error)
 {
@@ -192,24 +198,29 @@ Trace::region(RegionId id) const
     return it == regionIndex_.end() ? nullptr : &memRegions_[it->second];
 }
 
-std::vector<MemAccess>::const_iterator
-Trace::accessesBegin(TaskInstanceId id) const
+std::pair<std::vector<MemAccess>::const_iterator,
+          std::vector<MemAccess>::const_iterator>
+Trace::accessRange(TaskInstanceId id) const
 {
     auto it = accessRanges_.find(id);
     if (it == accessRanges_.end())
-        return memAccesses_.end();
-    return memAccesses_.begin() + static_cast<std::ptrdiff_t>(
-        it->second.first);
+        return {memAccesses_.end(), memAccesses_.end()};
+    return {memAccesses_.begin() +
+                static_cast<std::ptrdiff_t>(it->second.first),
+            memAccesses_.begin() +
+                static_cast<std::ptrdiff_t>(it->second.second)};
+}
+
+std::vector<MemAccess>::const_iterator
+Trace::accessesBegin(TaskInstanceId id) const
+{
+    return accessRange(id).first;
 }
 
 std::vector<MemAccess>::const_iterator
 Trace::accessesEnd(TaskInstanceId id) const
 {
-    auto it = accessRanges_.find(id);
-    if (it == accessRanges_.end())
-        return memAccesses_.end();
-    return memAccesses_.begin() + static_cast<std::ptrdiff_t>(
-        it->second.second);
+    return accessRange(id).second;
 }
 
 } // namespace trace

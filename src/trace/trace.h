@@ -16,6 +16,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/time_interval.h"
@@ -90,8 +91,17 @@ class Trace
     /** Number of CPUs (workers) in the trace. */
     std::uint32_t numCpus() const { return topology_.numCpus(); }
 
-    /** Read-only timeline of CPU @p cpu. */
+    /** True if @p cpu is a valid CPU id of this trace's topology. */
+    bool hasCpu(CpuId cpu) const { return cpu < cpus_.size(); }
+
+    /**
+     * Read-only timeline of CPU @p cpu; panics on out-of-range ids.
+     * Callers with untrusted ids should use cpuOrNull() instead.
+     */
     const CpuTimeline &cpu(CpuId cpu) const;
+
+    /** Timeline of CPU @p cpu, or nullptr if @p cpu is out of range. */
+    const CpuTimeline *cpuOrNull(CpuId cpu) const;
 
     /** [0, end) interval covering every event in the trace. */
     TimeInterval span() const { return {0, lastTime_}; }
@@ -141,9 +151,20 @@ class Trace
     /** All memory accesses, grouped by task after finalize(). */
     const std::vector<MemAccess> &memAccesses() const { return memAccesses_; }
 
-    /** The accesses performed by task instance @p id (possibly empty). */
+    /**
+     * The accesses performed by task instance @p id as an iterator pair
+     * [first, second). Unknown ids yield a well-defined empty range
+     * (both iterators equal); the pair is always safe to iterate.
+     */
+    std::pair<std::vector<MemAccess>::const_iterator,
+              std::vector<MemAccess>::const_iterator>
+    accessRange(TaskInstanceId id) const;
+
+    /** First access of task @p id; accessRange(id).first. */
     std::vector<MemAccess>::const_iterator accessesBegin(
         TaskInstanceId id) const;
+
+    /** Past-the-end access of task @p id; accessRange(id).second. */
     std::vector<MemAccess>::const_iterator accessesEnd(
         TaskInstanceId id) const;
 

@@ -134,6 +134,46 @@ TEST(CounterIndex, EmptySampleArray)
     EXPECT_EQ(index.overheadFraction(), 0.0);
 }
 
+TEST(CounterIndex, EmptySampleArrayAcrossArities)
+{
+    std::vector<CounterSample> empty;
+    for (std::uint32_t arity : {2u, 3u, 100u}) {
+        CounterIndex index(empty, arity);
+        EXPECT_FALSE(index.query({0, kTimeMax}).valid);
+        EXPECT_FALSE(index.query({0, 0}).valid);
+        EXPECT_EQ(index.memoryBytes(), 0u);
+    }
+}
+
+TEST(CounterIndex, SingleSampleArray)
+{
+    std::vector<CounterSample> one{{50, -7}};
+    for (std::uint32_t arity : {2u, 3u, 100u}) {
+        CounterIndex index(one, arity);
+        // No level array is built for a single sample.
+        EXPECT_EQ(index.memoryBytes(), 0u);
+
+        MinMax hit = index.query({0, 100});
+        ASSERT_TRUE(hit.valid);
+        EXPECT_EQ(hit.min, -7);
+        EXPECT_EQ(hit.max, -7);
+
+        // Exactly-at-sample start is included, end is exclusive.
+        EXPECT_TRUE(index.query({50, 51}).valid);
+        EXPECT_FALSE(index.query({0, 50}).valid);
+        EXPECT_FALSE(index.query({51, 100}).valid);
+    }
+}
+
+TEST(CounterIndex, InvertedAndEmptyIntervals)
+{
+    auto samples = randomSamples(11, 1000);
+    CounterIndex index(samples);
+    EXPECT_FALSE(index.query({100, 100}).valid);
+    EXPECT_FALSE(index.query({200, 100}).valid); // Inverted interval.
+    EXPECT_FALSE(index.query({kTimeMax, 0}).valid);
+}
+
 TEST(CounterIndex, MonotonicCounterExtremaAtEnds)
 {
     // Monotone counters: min/max of any interval are its first/last

@@ -106,8 +106,9 @@ TEST_F(CpuTimelineTest, StateSliceMatchesBruteForce)
             bool in_slice = i >= slice.first && i < slice.last;
             // The slice may include non-overlapping events only at the
             // fringes of gaps; it must never exclude an overlapping one.
-            if (overlaps)
+            if (overlaps) {
                 EXPECT_TRUE(in_slice) << "event " << i;
+            }
         }
     }
 }
@@ -222,6 +223,50 @@ TEST_F(TraceTest, AccessesGroupedByTask)
     EXPECT_EQ(std::distance(tr.accessesBegin(11), tr.accessesEnd(11)), 2);
     EXPECT_EQ(std::distance(tr.accessesBegin(12), tr.accessesEnd(12)), 0);
     EXPECT_EQ(tr.accessesBegin(10)->address, 0x1000u);
+}
+
+TEST_F(TraceTest, AccessRangeIsEmptyForUnknownTask)
+{
+    tr.addTaskInstance({10, 0xabc, 0, {0, 5}});
+    tr.addMemAccess({10, 0x1000, 4, true});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    // Unknown ids yield an iterable empty range, not dangling iterators.
+    auto [first, last] = tr.accessRange(999);
+    EXPECT_EQ(first, last);
+    EXPECT_EQ(tr.accessesBegin(999), tr.accessesEnd(999));
+    std::size_t visited = 0;
+    for (auto it = first; it != last; ++it)
+        visited++;
+    EXPECT_EQ(visited, 0u);
+
+    // accessRange and accessesBegin/End agree for known ids too.
+    auto [kf, kl] = tr.accessRange(10);
+    EXPECT_EQ(kf, tr.accessesBegin(10));
+    EXPECT_EQ(kl, tr.accessesEnd(10));
+    EXPECT_EQ(std::distance(kf, kl), 1);
+}
+
+TEST_F(TraceTest, AccessRangeOnTraceWithoutAccesses)
+{
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+    auto [first, last] = tr.accessRange(0);
+    EXPECT_EQ(first, last);
+}
+
+TEST_F(TraceTest, CpuLookupBoundsChecked)
+{
+    // uniform(2, 2) has CPUs 0..3.
+    EXPECT_TRUE(tr.hasCpu(0));
+    EXPECT_TRUE(tr.hasCpu(3));
+    EXPECT_FALSE(tr.hasCpu(4));
+    EXPECT_FALSE(tr.hasCpu(kInvalidCpu));
+    EXPECT_NE(tr.cpuOrNull(0), nullptr);
+    EXPECT_EQ(tr.cpuOrNull(0), &std::as_const(tr).cpu(0));
+    EXPECT_EQ(tr.cpuOrNull(4), nullptr);
+    EXPECT_EQ(tr.cpuOrNull(kInvalidCpu), nullptr);
 }
 
 TEST_F(TraceTest, InstanceLookupAndNames)
