@@ -34,6 +34,25 @@ row(const std::string &name, const std::string &value)
     std::printf("%-44s %s\n", name.c_str(), value.c_str());
 }
 
+JsonLines::JsonLines(const std::string &bench)
+    : bench_(bench), path_("BENCH_" + bench + ".json"),
+      os_(path_, std::ios::trunc)
+{}
+
+void
+JsonLines::add(const std::string &metric, double value,
+               const std::string &unit)
+{
+    // Metric/unit strings are bench-internal identifiers (no quoting
+    // needed); %.17g round-trips every double.
+    os_ << "{\"bench\":\"" << bench_ << "\",\"metric\":\"" << metric
+        << "\",\"value\":" << strFormat("%.17g", value);
+    if (!unit.empty())
+        os_ << ",\"unit\":\"" << unit << "\"";
+    os_ << "}\n";
+    os_.flush();
+}
+
 runtime::RuntimeConfig
 seidelConfig(bool numa_optimized)
 {

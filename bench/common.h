@@ -13,6 +13,7 @@
 #define AFTERMATH_BENCH_COMMON_H
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 
 #include "aftermath.h"
@@ -28,6 +29,34 @@ void banner(const std::string &figure, const std::string &description);
 
 /** Print one "name = value" result row. */
 void row(const std::string &name, const std::string &value);
+
+/**
+ * Machine-readable result sink: one JSON object per add(), written to
+ * BENCH_<bench>.json in the working directory so the perf trajectory
+ * can track bench metrics across commits without parsing the
+ * human-readable rows.
+ */
+class JsonLines
+{
+  public:
+    /** Open (truncate) BENCH_<bench>.json. */
+    explicit JsonLines(const std::string &bench);
+
+    /** Append {"bench":..., "metric":..., "value":..., "unit":...}. */
+    void add(const std::string &metric, double value,
+             const std::string &unit = "");
+
+    /** True if the file opened and every write succeeded so far. */
+    bool ok() const { return static_cast<bool>(os_); }
+
+    /** The path written to. */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string bench_;
+    std::string path_;
+    std::ofstream os_;
+};
 
 // --- seidel on the UV2000-like machine (paper sections III-A/B, IV). ----
 

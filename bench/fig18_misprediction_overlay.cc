@@ -38,18 +38,26 @@ main()
     TimeInterval window{span.start + span.duration() * 8 / 100,
                         span.start + span.duration() * 18 / 100};
 
-    Session session = Session::view(tr);
-    session.setView(window);
+    // One-variant group: the same aligned-state machinery the A/B
+    // benches use drives this zoom, and the misprediction indexes are
+    // prefetched off the rendering path.
+    session::SessionGroup group;
+    std::size_t kmeans = group.add("kmeans", Session::view(tr));
+    Session &session = group.session(kmeans);
+    group.setView(window);
+    CounterId counter =
+        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions);
+    Session::WarmupPolicy policy;
+    policy.counters = {counter};
+    group.warmup(policy);
 
     render::TimelineConfig config;
     config.mode = render::TimelineMode::Heatmap;
     render::Framebuffer fb(1000, 300);
     session.render(config, fb);
 
-    // One cached min/max index per (cpu, counter), built on first use.
+    // One cached min/max index per (cpu, counter), already warm.
     render::TimelineLayout layout = session.layoutFor(fb);
-    CounterId counter =
-        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions);
     for (CpuId c = 0; c < 5 && c < tr.numCpus(); c++)
         session.renderCounterLane(c, counter, layout, {}, fb);
     std::string error;

@@ -9,6 +9,11 @@
  * update into an unconditional one reduces the mean duration of the
  * computation tasks from 9.76 to 7.73 Mcycles and the standard deviation
  * from 1.18 Mcycles to 335 kcycles.
+ *
+ * The baseline and branch-fixed runs form one two-variant
+ * session::SessionGroup with the paper's filter chain applied to both;
+ * the regression table (per-variant duration mean/stddev and the
+ * duration-vs-rate fit) comes straight from the group's delta queries.
  */
 
 #include <cstdio>
@@ -20,14 +25,8 @@ using namespace aftermath;
 
 namespace {
 
-struct Variant
-{
-    std::vector<double> durations;
-    stats::Regression regression;
-};
-
-Variant
-analyze(bool branch_optimized)
+runtime::RunResult
+simulate(bool branch_optimized)
 {
     runtime::RunResult result = bench::runKmeans(
         10'000, branch_optimized, /*record=*/true, /*seed=*/7);
@@ -36,35 +35,7 @@ analyze(bool branch_optimized)
                      result.error.c_str());
         std::exit(1);
     }
-    const trace::Trace &tr = result.trace;
-
-    // The paper's filter chain: computation tasks only, outliers below
-    // 1 Mcycle removed before export.
-    Session session = Session::view(tr);
-    filter::FilterSet f;
-    f.add(std::make_shared<filter::TaskTypeFilter>(
-        std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
-    f.add(std::make_shared<filter::DurationFilter>(1'000'000, kTimeMax));
-    session.setFilters(f);
-    auto rows = session.taskCounterIncreases(
-        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions));
-
-    Variant v;
-    std::vector<double> xs;
-    for (const auto &row : rows) {
-        xs.push_back(row.ratePerKcycle());
-        v.durations.push_back(static_cast<double>(row.duration));
-    }
-    v.regression = stats::linearRegression(xs, v.durations);
-
-    if (!branch_optimized) {
-        std::string error;
-        if (stats::exportTaskCounterTsvFile(rows, "fig19_export.tsv",
-                                            error))
-            std::printf("wrote fig19_export.tsv (%zu rows)\n",
-                        rows.size());
-    }
-    return v;
+    return result;
 }
 
 } // namespace
@@ -75,42 +46,64 @@ main()
     bench::banner("Fig 19",
                   "k-means: duration vs misprediction rate + the fix");
 
-    Variant baseline = analyze(false);
-    Variant fixed = analyze(true);
+    runtime::RunResult baseline = simulate(false);
+    runtime::RunResult fixed = simulate(true);
 
-    double base_mean = stats::mean(baseline.durations);
-    double base_sd = stats::stddev(baseline.durations);
-    double fixed_mean = stats::mean(fixed.durations);
-    double fixed_sd = stats::stddev(fixed.durations);
+    session::SessionGroup group;
+    std::size_t base_idx =
+        group.add("baseline", Session::view(baseline.trace));
+    std::size_t fix_idx =
+        group.add("branch-fixed", Session::view(fixed.trace));
+
+    // The paper's filter chain: computation tasks only, outliers below
+    // 1 Mcycle removed before export — aligned across both variants.
+    filter::FilterSet f;
+    f.add(std::make_shared<filter::TaskTypeFilter>(
+        std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
+    f.add(std::make_shared<filter::DurationFilter>(1'000'000, kTimeMax));
+    group.setFilters(f);
+
+    CounterId counter =
+        static_cast<CounterId>(trace::CoreCounter::BranchMispredictions);
+    auto table = group.regressionRows(counter);
+    const session::compare::RegressionRow &base = table[base_idx];
+    const session::compare::RegressionRow &fix = table[fix_idx];
+
+    {
+        auto rows = group.session(base_idx).taskCounterIncreases(counter);
+        std::string error;
+        if (stats::exportTaskCounterTsvFile(rows, "fig19_export.tsv",
+                                            error))
+            std::printf("wrote fig19_export.tsv (%zu rows)\n",
+                        rows.size());
+    }
 
     std::printf("\n");
-    bench::row("tasks analyzed",
-               strFormat("%zu", baseline.durations.size()));
+    bench::row("tasks analyzed", strFormat("%zu", base.tasks));
     bench::row("R^2 of duration vs mispred rate",
-               strFormat("%.2f (paper: 0.83)", baseline.regression.r2));
+               strFormat("%.2f (paper: 0.83)", base.fit.r2));
     bench::row("regression slope",
                strFormat("%.0f cycles per mispred/kcycle (positive)",
-                         baseline.regression.slope));
+                         base.fit.slope));
     bench::row("mean duration before fix",
                strFormat("%s (paper: 9.76 Mcycles)",
                          humanCycles(static_cast<std::uint64_t>(
-                             base_mean)).c_str()));
+                             base.meanDuration)).c_str()));
     bench::row("mean duration after fix",
                strFormat("%s (paper: 7.73 Mcycles)",
                          humanCycles(static_cast<std::uint64_t>(
-                             fixed_mean)).c_str()));
+                             fix.meanDuration)).c_str()));
     bench::row("stddev before -> after",
                strFormat("%s -> %s (paper: 1.18M -> 335k)",
                          humanCycles(static_cast<std::uint64_t>(
-                             base_sd)).c_str(),
+                             base.stddevDuration)).c_str(),
                          humanCycles(static_cast<std::uint64_t>(
-                             fixed_sd)).c_str()));
+                             fix.stddevDuration)).c_str()));
 
-    bool shape = baseline.regression.valid &&
-                 baseline.regression.r2 > 0.6 &&
-                 baseline.regression.slope > 0 &&
-                 fixed_mean < 0.9 * base_mean &&
-                 fixed_sd < 0.5 * base_sd;
+    bool shape = base.fit.valid && base.fit.r2 > 0.6 &&
+                 base.fit.slope > 0 &&
+                 fix.meanDuration < 0.9 * base.meanDuration &&
+                 fix.stddevDuration < 0.5 * base.stddevDuration;
     bench::row("correlation + fix reproduced", shape ? "yes" : "NO");
     return shape ? 0 : 1;
 }

@@ -130,6 +130,7 @@ main(int argc, char **argv)
 {
     bench::banner("Section VII (this repo)",
                   "session facade: cached vs rebuilt counter indexes");
+    bench::JsonLines json("sec7_session_cache");
     buildTrace();
 
     // Warm the session cache outside the timed region — the facade's
@@ -144,6 +145,14 @@ main(int argc, char **argv)
 
     bool correct = cached_acc == uncached_acc && cached_acc == warm;
     bool fast = speedup >= 5.0;
+
+    json.add("cached_time", cached_s, "s");
+    json.add("uncached_time", uncached_s, "s");
+    json.add("speedup", speedup, "x");
+    json.add("identical", correct ? 1 : 0);
+    json.add("index_builds",
+             static_cast<double>(
+                 g_session->cacheStats().counterIndex.builds));
 
     std::printf("\n");
     bench::row("queries per run",
@@ -160,6 +169,7 @@ main(int argc, char **argv)
                          static_cast<unsigned long long>(
                              g_session->cacheStats().counterIndex
                                  .builds)));
+    bench::row("json", json.ok() ? json.path().c_str() : "WRITE FAILED");
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

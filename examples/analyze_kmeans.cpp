@@ -116,19 +116,23 @@ main()
                      fixed.error.c_str());
         return 1;
     }
-    auto durations_of = [](const trace::Trace &t) {
-        Session s = Session::view(t);
+
+    // Both runs in one aligned comparison group: the step-4 filter
+    // chain applies to baseline and fix alike, and the duration
+    // histograms share one bin grid so per-bin counts are comparable.
+    session::SessionGroup ab;
+    std::size_t before_idx = ab.add("baseline", Session::view(tr));
+    std::size_t after_idx =
+        ab.add("branch-fixed", Session::view(fixed.trace));
+    ab.setFilters(filtered);
+    auto durations_of = [&](std::size_t variant) {
         std::vector<double> out;
-        for (const trace::TaskInstance *task :
-             s.tasks([](const trace::TaskInstance &task) {
-                 return task.type == workloads::kKmeansDistanceType &&
-                        task.duration() >= 1'000'000;
-             }))
+        for (const trace::TaskInstance *task : ab.session(variant).tasks())
             out.push_back(static_cast<double>(task->duration()));
         return out;
     };
-    std::vector<double> before = durations_of(tr);
-    std::vector<double> after = durations_of(fixed.trace);
+    std::vector<double> before = durations_of(before_idx);
+    std::vector<double> after = durations_of(after_idx);
     std::printf("   mean %s -> %s, stddev %s -> %s\n",
                 humanCycles(static_cast<std::uint64_t>(
                     stats::mean(before))).c_str(),
@@ -138,6 +142,20 @@ main()
                     stats::stddev(before))).c_str(),
                 humanCycles(static_cast<std::uint64_t>(
                     stats::stddev(after))).c_str());
+
+    session::compare::PairedHistograms paired = ab.pairedHistograms(24);
+    int tightened = 0;
+    for (std::uint32_t b = 0; b < 24; b++) {
+        if (paired.countDelta(before_idx, after_idx, b) < 0)
+            tightened++;
+    }
+    std::printf("   aligned histograms: %d of 24 bins lost mass after "
+                "the fix (range %s .. %s)\n",
+                tightened,
+                humanCycles(static_cast<std::uint64_t>(
+                    paired.rangeMin)).c_str(),
+                humanCycles(static_cast<std::uint64_t>(
+                    paired.rangeMax)).c_str());
 
     // The session's active filters apply to rendering too: restore the
     // computation-task filter and render without re-threading it.

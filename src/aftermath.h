@@ -18,13 +18,20 @@
  *   auto mm = session.counterExtrema(cpu, counter, interval); // indexed
  *   session.render(config, framebuffer);    // persistent renderer
  *
+ * Sessions extend to comparison workflows and to many-core traces:
+ * session::SessionGroup aligns N sessions over N trace variants and
+ * answers delta queries and side-by-side/diff renderings, and
+ * Session::warmup() builds the per-CPU search structures concurrently
+ * (Session::Concurrency) before the user's first zoom needs them.
+ *
  * The per-layer modules remain available underneath: the trace model
  * and format, indexes, filters, derived metrics, statistics, task-graph
  * analysis, rendering, symbol handling, and the runtime simulator with
- * its workloads. The legacy free functions (stats::computeIntervalStats,
- * filter::filterTasks, stats::Histogram::taskDurations,
- * metrics::taskCounterIncreases) are thin wrappers over Session kept
- * for one deprecation cycle; see README.md for the deprecation plan.
+ * its workloads. The pre-facade free functions (computeIntervalStats,
+ * filterTasks, Histogram::taskDurations, taskCounterIncreases) and the
+ * framebuffer-binding TimelineRenderer constructor completed their
+ * deprecation cycle and are gone; see README.md for the migration
+ * table.
  */
 
 #ifndef AFTERMATH_AFTERMATH_H
@@ -34,6 +41,7 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 #include "base/time_interval.h"
 #include "base/types.h"
 
@@ -58,9 +66,11 @@
 #include "filter/task_filter.h"
 
 // The session facade (the analysis front door).
+#include "session/compare.h"
 #include "session/counter_index_cache.h"
 #include "session/query_cache.h"
 #include "session/session.h"
+#include "session/session_group.h"
 
 // Derived metrics.
 #include "metrics/counter_utils.h"

@@ -1,0 +1,137 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace aftermath {
+namespace base {
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_workers)
+{
+    if (num_workers == 0)
+        num_workers = defaultWorkers();
+    workers_.reserve(num_workers);
+    for (unsigned i = 0; i < num_workers; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ with a drained queue.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            running_++;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            running_--;
+            if (queue_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+namespace {
+
+/** Completion gate for one parallelFor call: helpers still inside. */
+struct ForState
+{
+    std::atomic<std::size_t> next{0}; ///< Next unclaimed index.
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t active = 0; ///< Participants still draining.
+};
+
+} // namespace
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || workers_.size() < 2) {
+        for (std::size_t i = 0; i < n; i++)
+            body(i);
+        return;
+    }
+
+    // One shared cursor; every participant pulls the next index until
+    // the range is exhausted. The caller runs the same loop, so the
+    // range completes even on a pool whose workers are all busy, and
+    // waits until the last helper left the body — the state (and the
+    // caller's body reference) outlives every access.
+    auto state = std::make_shared<ForState>();
+    auto drain = [state, n, &body] {
+        for (;;) {
+            std::size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            body(i);
+        }
+    };
+
+    std::size_t helpers = std::min<std::size_t>(workers_.size(), n - 1);
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->active = helpers;
+    }
+    for (std::size_t h = 0; h < helpers; h++) {
+        submit([state, drain] {
+            drain();
+            std::unique_lock<std::mutex> lock(state->mutex);
+            if (--state->active == 0)
+                state->done.notify_all();
+        });
+    }
+    drain();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->active == 0; });
+}
+
+} // namespace base
+} // namespace aftermath

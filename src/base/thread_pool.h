@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A small fixed-size worker pool for internally parallel analyses.
+ *
+ * The paper's interactivity hinges on building the per-(CPU, counter)
+ * search structures before the user needs them (section VI-B); on
+ * many-core traces that construction is embarrassingly parallel across
+ * CPUs. ThreadPool is the minimal substrate for that: a fixed worker
+ * count, one FIFO task queue, and a blocking parallelFor() — no work
+ * stealing, no priorities, no dynamic resizing. Session::warmup() and
+ * SessionGroup drive it; it is usable standalone for any
+ * independent-chunk computation.
+ */
+
+#ifndef AFTERMATH_BASE_THREAD_POOL_H
+#define AFTERMATH_BASE_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aftermath {
+namespace base {
+
+/**
+ * Fixed-size thread pool with a FIFO task queue.
+ *
+ * Tasks must not throw: an exception escaping a task terminates the
+ * process (the pool runs analysis kernels that report failure through
+ * their results, not through exceptions). submit()/parallelFor() may be
+ * called from any thread, including from inside a pool task — but
+ * parallelFor() must not, as a task waiting for sibling tasks on the
+ * same pool can deadlock. Destruction drains the queue, then joins.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p num_workers worker threads; 0 picks defaultWorkers().
+     */
+    explicit ThreadPool(unsigned num_workers);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+    /**
+     * Run body(i) for every i in [0, n), distributing indexes across
+     * the workers, and block until all calls returned. The calling
+     * thread participates, so a pool is never idle-waited on from a
+     * thread that could work. Chunking is by single index: bodies are
+     * expected to be coarse (an index build, a per-CPU scan), where
+     * scheduling overhead is noise.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Number of worker threads (>= 1). */
+    unsigned numWorkers() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    /** Worker main loop: pop and run until stopping and drained. */
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;  ///< Signals queued work / shutdown.
+    std::condition_variable idle_;  ///< Signals queue drained + all idle.
+    std::size_t running_ = 0;       ///< Tasks currently executing.
+    bool stopping_ = false;
+};
+
+} // namespace base
+} // namespace aftermath
+
+#endif // AFTERMATH_BASE_THREAD_POOL_H

@@ -1,7 +1,6 @@
 #include "filter/task_filter.h"
 
 #include "base/string_util.h"
-#include "session/session.h"
 #include "trace/numa.h"
 
 namespace aftermath {
@@ -103,13 +102,6 @@ FilterSet::describe() const
         out += filters_[i]->describe();
     }
     return out;
-}
-
-std::vector<const trace::TaskInstance *>
-filterTasks(const trace::Trace &trace, const TaskFilter &filter)
-{
-    // Deprecated thin wrapper over the session facade's task iteration.
-    return session::Session::view(trace).tasksMatching(filter);
 }
 
 } // namespace filter

@@ -149,16 +149,6 @@ class FilterSet : public TaskFilter
     std::vector<std::shared_ptr<const TaskFilter>> filters_;
 };
 
-/**
- * All task instances in @p trace accepted by @p filter.
- *
- * @deprecated Thin wrapper over session::Session::tasksMatching(), kept
- * for one deprecation cycle. A Session additionally caches the list of
- * tasks passing its active filter set across queries.
- */
-std::vector<const trace::TaskInstance *>
-filterTasks(const trace::Trace &trace, const TaskFilter &filter);
-
 } // namespace filter
 } // namespace aftermath
 

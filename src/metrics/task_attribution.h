@@ -13,11 +13,9 @@
 #ifndef AFTERMATH_METRICS_TASK_ATTRIBUTION_H
 #define AFTERMATH_METRICS_TASK_ATTRIBUTION_H
 
-#include <vector>
+#include <cstdint>
 
 #include "base/types.h"
-#include "filter/task_filter.h"
-#include "trace/trace.h"
 
 namespace aftermath {
 namespace metrics {
@@ -40,20 +38,6 @@ struct TaskCounterIncrease
                   static_cast<double>(duration);
     }
 };
-
-/**
- * Counter increase of @p counter across every task accepted by
- * @p filter.
- *
- * Tasks whose CPU lacks samples bracketing the execution are skipped.
- *
- * @deprecated Thin wrapper over
- * session::Session::taskCounterIncreases(), kept for one deprecation
- * cycle.
- */
-std::vector<TaskCounterIncrease> taskCounterIncreases(
-    const trace::Trace &trace, CounterId counter,
-    const filter::TaskFilter &filter);
 
 } // namespace metrics
 } // namespace aftermath

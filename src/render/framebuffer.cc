@@ -83,6 +83,24 @@ Framebuffer::drawLine(std::int64_t x0, std::int64_t y0, std::int64_t x1,
 }
 
 void
+Framebuffer::blit(const Framebuffer &src, std::int64_t x, std::int64_t y)
+{
+    std::int64_t src_x0 = std::max<std::int64_t>(0, -x);
+    std::int64_t src_y0 = std::max<std::int64_t>(0, -y);
+    std::int64_t src_x1 = std::min<std::int64_t>(src.width_, width_ - x);
+    std::int64_t src_y1 = std::min<std::int64_t>(src.height_, height_ - y);
+    if (src_x0 >= src_x1)
+        return; // Fully clipped horizontally.
+    for (std::int64_t sy = src_y0; sy < src_y1; sy++) {
+        auto from = src.pixels_.begin() +
+                    static_cast<std::ptrdiff_t>(sy * src.width_);
+        auto to = pixels_.begin() +
+                  static_cast<std::ptrdiff_t>((y + sy) * width_ + x);
+        std::copy(from + src_x0, from + src_x1, to + src_x0);
+    }
+}
+
+void
 Framebuffer::writePpm(std::ostream &os) const
 {
     os << "P6\n" << width_ << ' ' << height_ << "\n255\n";

@@ -59,6 +59,14 @@ class Framebuffer
     void drawLine(std::int64_t x0, std::int64_t y0, std::int64_t x1,
                   std::int64_t y1, const Rgba &color);
 
+    /**
+     * Copy @p src into this buffer with its top-left corner at
+     * (@p x, @p y), clipped to this buffer's bounds. Used by the
+     * session-group renderers to compose per-variant timelines into
+     * one shared buffer.
+     */
+    void blit(const Framebuffer &src, std::int64_t x, std::int64_t y);
+
     /** Write the buffer as binary PPM (P6). */
     void writePpm(std::ostream &os) const;
 

@@ -27,13 +27,6 @@ TimelineRenderer::TimelineRenderer(const trace::Trace &trace)
         typeIndexCache_[id] = index++;
 }
 
-TimelineRenderer::TimelineRenderer(const trace::Trace &trace,
-                                   Framebuffer &fb)
-    : TimelineRenderer(trace)
-{
-    boundFb_ = &fb;
-}
-
 Rgba
 TimelineRenderer::laneBackground(CpuId cpu)
 {
@@ -367,24 +360,6 @@ TimelineRenderer::renderNaive(const TimelineConfig &config, Framebuffer &fb)
             stats_.rectOps++;
         }
     }
-}
-
-void
-TimelineRenderer::render(const TimelineConfig &config)
-{
-    AFTERMATH_ASSERT(boundFb_ != nullptr,
-                     "render() without framebuffer requires the "
-                     "framebuffer-binding constructor");
-    render(config, *boundFb_);
-}
-
-void
-TimelineRenderer::renderNaive(const TimelineConfig &config)
-{
-    AFTERMATH_ASSERT(boundFb_ != nullptr,
-                     "renderNaive() without framebuffer requires the "
-                     "framebuffer-binding constructor");
-    renderNaive(config, *boundFb_);
 }
 
 Rgba

@@ -67,21 +67,13 @@ struct TimelineConfig
  * The renderer is independent of any particular framebuffer: construct it
  * once per trace and pass the target buffer to each render call. Internal
  * caches (task type palette assignment) persist across renders, which is
- * what session::Session relies on for repeated interactive redraws. The
- * framebuffer-binding constructor and the render overloads without an
- * explicit framebuffer remain for one deprecation cycle.
+ * what session::Session relies on for repeated interactive redraws.
  */
 class TimelineRenderer
 {
   public:
     /** A renderer for @p trace; pass the framebuffer per render call. */
     explicit TimelineRenderer(const trace::Trace &trace);
-
-    /**
-     * @deprecated Bind-at-construction form; use
-     * TimelineRenderer(trace) plus render(config, fb) instead.
-     */
-    TimelineRenderer(const trace::Trace &trace, Framebuffer &fb);
 
     /**
      * Render into @p fb with the paper's optimizations: per-pixel
@@ -96,12 +88,6 @@ class TimelineRenderer
      * one operation per event — the baseline of the Fig 20 comparison.
      */
     void renderNaive(const TimelineConfig &config, Framebuffer &fb);
-
-    /** @deprecated Renders into the constructor-bound framebuffer. */
-    void render(const TimelineConfig &config);
-
-    /** @deprecated Renders into the constructor-bound framebuffer. */
-    void renderNaive(const TimelineConfig &config);
 
     /** Operation counts of the last render call. */
     const RenderStats &stats() const { return stats_; }
@@ -148,7 +134,6 @@ class TimelineRenderer
     std::size_t typeIndex(TaskTypeId type) const;
 
     const trace::Trace &trace_;
-    Framebuffer *boundFb_ = nullptr; ///< Deprecated-ctor binding only.
     RenderStats stats_;
 
     TimeStamp effectiveHeatMin_ = 0;

@@ -1,0 +1,78 @@
+#include "session/compare.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace session {
+namespace compare {
+
+IntervalStatsDelta
+intervalStatsDelta(const stats::IntervalStats &a,
+                   const stats::IntervalStats &b)
+{
+    IntervalStatsDelta delta;
+    delta.intervalA = a.interval;
+    delta.intervalB = b.interval;
+    for (const auto &[state, time] : a.timeInState)
+        delta.timeInState[state] -= static_cast<std::int64_t>(time);
+    for (const auto &[state, time] : b.timeInState)
+        delta.timeInState[state] += static_cast<std::int64_t>(time);
+    delta.tasksOverlapping =
+        static_cast<std::int64_t>(b.tasksOverlapping) -
+        static_cast<std::int64_t>(a.tasksOverlapping);
+    delta.tasksStarted = static_cast<std::int64_t>(b.tasksStarted) -
+                         static_cast<std::int64_t>(a.tasksStarted);
+    TimeStamp total_b = b.totalTime();
+    delta.totalTimeRatio = total_b == 0
+        ? 0.0
+        : static_cast<double>(a.totalTime()) /
+              static_cast<double>(total_b);
+    return delta;
+}
+
+std::int64_t
+PairedHistograms::countDelta(std::size_t a, std::size_t b,
+                             std::uint32_t bin) const
+{
+    return static_cast<std::int64_t>(variants.at(b).count(bin)) -
+           static_cast<std::int64_t>(variants.at(a).count(bin));
+}
+
+PairedHistograms
+pairedHistograms(const std::vector<std::vector<double>> &observations,
+                 std::uint32_t num_bins)
+{
+    PairedHistograms out;
+
+    // Shared range: the extrema across every variant's observations, so
+    // every histogram gets identical bin edges.
+    bool any = false;
+    for (const std::vector<double> &values : observations) {
+        for (double v : values) {
+            if (!any) {
+                out.rangeMin = out.rangeMax = v;
+                any = true;
+            } else {
+                out.rangeMin = std::min(out.rangeMin, v);
+                out.rangeMax = std::max(out.rangeMax, v);
+            }
+        }
+    }
+    // Degenerate ranges (no observations, or a single distinct value)
+    // widen exactly like Histogram::fromValues does, so the advertised
+    // range matches the variants' actual bin edges.
+    if (out.rangeMax <= out.rangeMin)
+        out.rangeMax = out.rangeMin + 1.0;
+
+    out.variants.reserve(observations.size());
+    for (const std::vector<double> &values : observations)
+        out.variants.push_back(stats::Histogram::fromValues(
+            values, num_bins, out.rangeMin, out.rangeMax));
+    return out;
+}
+
+} // namespace compare
+} // namespace session
+} // namespace aftermath

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Delta types and combinators for multi-trace comparison.
+ *
+ * The paper's A/B analyses — NUMA-oblivious vs NUMA-aware runtimes
+ * (Fig 14), the branch-misprediction fix (Fig 19) — compare the same
+ * statistics across trace variants of one application. This module holds
+ * the variant-count-agnostic pieces: signed interval-statistics deltas,
+ * duration histograms re-binned onto one shared grid so bins align
+ * across variants, and per-variant regression rows for counter-vs-
+ * duration correlation tables. session::SessionGroup produces these
+ * from aligned sessions; the combinators are usable standalone on
+ * results obtained any other way.
+ */
+
+#ifndef AFTERMATH_SESSION_COMPARE_H
+#define AFTERMATH_SESSION_COMPARE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "stats/histogram.h"
+#include "stats/interval_stats.h"
+#include "stats/regression.h"
+
+namespace aftermath {
+namespace session {
+namespace compare {
+
+/**
+ * Signed difference of two interval statistics (b minus a): how the
+ * per-state time breakdown and the task counts moved between variant a
+ * and variant b.
+ */
+struct IntervalStatsDelta
+{
+    /** The intervals the operands were computed over. */
+    TimeInterval intervalA;
+    TimeInterval intervalB;
+
+    /**
+     * b's time minus a's time per state id, over the union of the
+     * states either side observed (absent = 0).
+     */
+    std::map<std::uint32_t, std::int64_t> timeInState;
+
+    /** b's overlapping-task count minus a's. */
+    std::int64_t tasksOverlapping = 0;
+
+    /** b's started-task count minus a's. */
+    std::int64_t tasksStarted = 0;
+
+    /**
+     * a's total worker time over b's: > 1 means variant b spends less
+     * worker time in the interval (0 when b's total is zero).
+     */
+    double totalTimeRatio = 0.0;
+};
+
+/** The delta @p b minus @p a of two interval statistics. */
+IntervalStatsDelta intervalStatsDelta(const stats::IntervalStats &a,
+                                      const stats::IntervalStats &b);
+
+/**
+ * Duration histograms of N variants over one shared bin grid: the range
+ * spans the extrema of every variant's observations, so bin i of every
+ * variant covers the same duration band and per-bin deltas are
+ * meaningful.
+ */
+struct PairedHistograms
+{
+    /** Shared lower edge across every variant. */
+    double rangeMin = 0.0;
+
+    /** Shared upper edge across every variant. */
+    double rangeMax = 0.0;
+
+    /** One histogram per variant, all with identical bin edges. */
+    std::vector<stats::Histogram> variants;
+
+    /** Signed count difference (variant b minus a) in bin @p bin. */
+    std::int64_t countDelta(std::size_t a, std::size_t b,
+                            std::uint32_t bin) const;
+};
+
+/**
+ * Build aligned histograms of @p num_bins bins from one observation
+ * vector per variant. Variants may be empty; their histograms are empty
+ * over the shared range.
+ */
+PairedHistograms
+pairedHistograms(const std::vector<std::vector<double>> &observations,
+                 std::uint32_t num_bins);
+
+/**
+ * One variant's row of a counter-correlation table (Fig 19): the
+ * duration distribution of its filtered tasks and the least-squares fit
+ * of duration against counter increase per kilocycle.
+ */
+struct RegressionRow
+{
+    /** Variant label (from the session group). */
+    std::string label;
+
+    /** Tasks that entered the fit. */
+    std::size_t tasks = 0;
+
+    /** Mean task duration, cycles. */
+    double meanDuration = 0.0;
+
+    /** Population standard deviation of task duration, cycles. */
+    double stddevDuration = 0.0;
+
+    /** Fit of duration (y) vs counter rate per kcycle (x). */
+    stats::Regression fit;
+};
+
+} // namespace compare
+} // namespace session
+} // namespace aftermath
+
+#endif // AFTERMATH_SESSION_COMPARE_H

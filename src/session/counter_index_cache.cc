@@ -7,7 +7,7 @@ namespace session {
 
 CounterIndexCache::CounterIndexCache(const trace::Trace &trace,
                                      std::uint32_t arity)
-    : trace_(trace), arity_(arity)
+    : trace_(trace), arity_(arity), shards_(trace.numCpus())
 {}
 
 const index::CounterIndex &
@@ -16,10 +16,21 @@ CounterIndexCache::get(CpuId cpu, CounterId counter)
     AFTERMATH_ASSERT(trace_.hasCpu(cpu),
                      "counter index for cpu %u outside topology (%u cpus)",
                      cpu, trace_.numCpus());
-    return *cache_.getOrBuild(std::make_pair(cpu, counter), [&] {
-        return std::make_unique<index::CounterIndex>(
-            trace_.cpu(cpu).counterSamples(counter), arity_);
-    });
+    Shard &shard = shards_[cpu];
+    // The build runs under the shard lock: only same-CPU queries wait on
+    // it, and they would have to wait for the index anyway. Entries are
+    // never evicted, so the reference is stable after the lock drops.
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(counter);
+    if (it != shard.entries.end()) {
+        shard.counters.hits++;
+        return *it->second;
+    }
+    shard.counters.builds++;
+    auto index = std::make_unique<index::CounterIndex>(
+        trace_.cpu(cpu).counterSamples(counter), arity_);
+    return *shard.entries.emplace(counter, std::move(index))
+                .first->second;
 }
 
 const index::CounterIndex *
@@ -36,6 +47,36 @@ CounterIndexCache::query(CpuId cpu, CounterId counter,
 {
     const index::CounterIndex *index = getOrNull(cpu, counter);
     return index ? index->query(interval) : index::MinMax{};
+}
+
+void
+CounterIndexCache::clear()
+{
+    for (Shard &shard : shards_)
+        shard.entries.clear();
+}
+
+std::size_t
+CounterIndexCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+CacheCounters
+CounterIndexCache::counters() const
+{
+    CacheCounters total;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total.hits += shard.counters.hits;
+        total.builds += shard.counters.builds;
+    }
+    return total;
 }
 
 } // namespace session

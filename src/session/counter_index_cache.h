@@ -9,13 +9,22 @@
  * statistics, export — ever rebuilds an index the session already paid
  * for. Used by session::Session; usable standalone wherever one trace
  * outlives many extrema queries.
+ *
+ * The store is sharded per CPU with one lock per shard: lookups and
+ * builds for different CPUs never contend, which is what lets
+ * Session::warmup() construct the indexes of a many-core trace
+ * concurrently. get()/getOrNull()/query()/counters() are safe to call
+ * from multiple threads; clear() requires external synchronization
+ * (no concurrent queries).
  */
 
 #ifndef AFTERMATH_SESSION_COUNTER_INDEX_CACHE_H
 #define AFTERMATH_SESSION_COUNTER_INDEX_CACHE_H
 
+#include <map>
 #include <memory>
-#include <utility>
+#include <mutex>
+#include <vector>
 
 #include "base/types.h"
 #include "index/counter_index.h"
@@ -41,7 +50,9 @@ class CounterIndexCache
     /**
      * The index of @p counter on @p cpu, built on first use. Panics on
      * out-of-range CPU ids; a counter never sampled on the CPU yields an
-     * index over an empty array (every query invalid).
+     * index over an empty array (every query invalid). The returned
+     * reference stays valid until clear(). Thread-safe; concurrent
+     * callers of the same (cpu, counter) build at most one index.
      */
     const index::CounterIndex &get(CpuId cpu, CounterId counter);
 
@@ -55,26 +66,35 @@ class CounterIndexCache
     index::MinMax query(CpuId cpu, CounterId counter,
                         const TimeInterval &interval);
 
-    /** Drop every built index (counters preserved). */
-    void clear() { cache_.clear(); }
+    /** Drop every built index (counters preserved). Not thread-safe. */
+    void clear();
 
     /** Number of indexes currently built. */
-    std::size_t size() const { return cache_.size(); }
+    std::size_t size() const;
 
-    /** Hit/build accounting; builds counts CounterIndex constructions. */
-    const CacheCounters &counters() const { return cache_.counters(); }
+    /**
+     * Aggregated hit/build accounting across every shard; builds counts
+     * CounterIndex constructions.
+     */
+    CacheCounters counters() const;
 
     /** The arity used for every built index. */
     std::uint32_t arity() const { return arity_; }
 
   private:
+    /** One CPU's slice of the store, guarded by its own lock. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        // unique_ptr because CounterIndex pins a reference to its
+        // sample array and is neither copyable nor movable.
+        std::map<CounterId, std::unique_ptr<index::CounterIndex>> entries;
+        CacheCounters counters;
+    };
+
     const trace::Trace &trace_;
     std::uint32_t arity_;
-
-    // unique_ptr because CounterIndex pins a reference to its sample
-    // array and is neither copyable nor movable.
-    MemoCache<std::pair<CpuId, CounterId>,
-              std::unique_ptr<index::CounterIndex>> cache_;
+    std::vector<Shard> shards_; ///< One per CPU; never resized.
 };
 
 } // namespace session

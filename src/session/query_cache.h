@@ -6,20 +6,23 @@
  * on first use, serve repeated queries from memory, and count hits and
  * builds so tests (and users tuning an interactive frontend) can observe
  * cache behaviour instead of guessing. MemoCache is that discipline in
- * one reusable type.
+ * one reusable type, with an opt-in LRU capacity bound for callers whose
+ * key stream is unbounded (continuous zooming queries a never-repeating
+ * sequence of intervals).
  */
 
 #ifndef AFTERMATH_SESSION_QUERY_CACHE_H
 #define AFTERMATH_SESSION_QUERY_CACHE_H
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <utility>
 
 namespace aftermath {
 namespace session {
 
-/** Cumulative hit/build counters of one memoization cache. */
+/** Cumulative hit/build/eviction counters of one memoization cache. */
 struct CacheCounters
 {
     /** Queries answered from the cache. */
@@ -28,16 +31,25 @@ struct CacheCounters
     /** Queries that had to construct the value. */
     std::uint64_t builds = 0;
 
+    /** Entries dropped by the LRU capacity bound (0 when unbounded). */
+    std::uint64_t evictions = 0;
+
     /** Total queries observed. */
     std::uint64_t total() const { return hits + builds; }
 };
 
 /**
- * An ordered-map memoization cache with hit/build accounting.
+ * An ordered-map memoization cache with hit/build accounting and an
+ * optional LRU capacity bound.
  *
- * Values are built at most once per key until clear(); counters are
- * cumulative across clear() so invalidation (filter changes, trace
- * swaps) remains observable from the outside.
+ * Unbounded by default: values are built at most once per key until
+ * clear(), and references returned by getOrBuild() stay valid until
+ * clear(). With setCapacity(n > 0) the cache keeps only the n most
+ * recently used entries; a returned reference then stays valid only
+ * until the entry's eviction (at the earliest, n getOrBuild() calls
+ * with other keys later). Counters are cumulative across clear() so
+ * invalidation (filter changes, trace swaps) remains observable from
+ * the outside.
  */
 template <typename Key, typename Value>
 class MemoCache
@@ -51,23 +63,71 @@ class MemoCache
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             counters_.hits++;
-            return it->second;
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            return it->second.value;
         }
         counters_.builds++;
-        return entries_.emplace(key, build()).first->second;
+        Value value = build();
+        lru_.push_front(key);
+        it = entries_.emplace(key, Entry{std::move(value), lru_.begin()})
+                 .first;
+        // The new entry is most-recently-used; with capacity >= 1 the
+        // trim below can never evict it, so the reference stays valid.
+        trimToCapacity();
+        return it->second.value;
     }
 
+    /**
+     * Bound the cache to the @p capacity most recently used entries;
+     * 0 restores the default unbounded mode. Shrinking below the
+     * current size evicts immediately.
+     */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        capacity_ = capacity;
+        trimToCapacity();
+    }
+
+    /** The capacity bound; 0 means unbounded. */
+    std::size_t capacity() const { return capacity_; }
+
     /** Drop every entry; counters are preserved. */
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        entries_.clear();
+        lru_.clear();
+    }
 
     /** Number of live entries. */
     std::size_t size() const { return entries_.size(); }
 
-    /** Cumulative hit/build counters. */
+    /** Cumulative hit/build/eviction counters. */
     const CacheCounters &counters() const { return counters_; }
 
   private:
-    std::map<Key, Value> entries_;
+    struct Entry
+    {
+        Value value;
+        typename std::list<Key>::iterator lruIt;
+    };
+
+    void
+    trimToCapacity()
+    {
+        if (capacity_ == 0)
+            return;
+        while (entries_.size() > capacity_) {
+            entries_.erase(lru_.back());
+            lru_.pop_back();
+            counters_.evictions++;
+        }
+    }
+
+    std::map<Key, Entry> entries_;
+    std::list<Key> lru_; ///< Front = most recently used.
+    std::size_t capacity_ = 0; ///< 0 = unbounded.
     CacheCounters counters_;
 };
 

@@ -132,6 +132,90 @@ Session::view() const
     return view_.empty() ? trace_->span() : view_;
 }
 
+void
+Session::setConcurrency(const Concurrency &concurrency)
+{
+    if (concurrency.workers != concurrency_.workers)
+        pool_.reset(); // Rebuilt lazily with the new worker count.
+    concurrency_ = concurrency;
+}
+
+base::ThreadPool *
+Session::pool()
+{
+    unsigned workers = concurrency_.workers == 0
+        ? base::ThreadPool::defaultWorkers()
+        : concurrency_.workers;
+    if (workers <= 1)
+        return nullptr;
+    if (!pool_)
+        pool_ = std::make_unique<base::ThreadPool>(workers);
+    return pool_.get();
+}
+
+Session::WarmupStats
+Session::warmup(const WarmupPolicy &policy)
+{
+    WarmupStats stats;
+
+    if (policy.counterIndexes) {
+        // Enumerate the sampled (cpu, counter) pairs up front; the
+        // builds are independent and go through the per-CPU-sharded
+        // index cache, so they run concurrently without contending.
+        std::vector<std::pair<CpuId, CounterId>> pairs;
+        for (CpuId c = 0; c < trace_->numCpus(); c++) {
+            for (CounterId id : trace_->cpu(c).counterIds()) {
+                if (policy.counters.empty() ||
+                    std::find(policy.counters.begin(),
+                              policy.counters.end(),
+                              id) != policy.counters.end())
+                    pairs.emplace_back(c, id);
+            }
+        }
+        std::uint64_t builds_before = counterIndexes_->counters().builds;
+        base::ThreadPool *workers = pool();
+        if (workers) {
+            stats.workers = workers->numWorkers();
+            workers->parallelFor(pairs.size(), [&](std::size_t i) {
+                counterIndexes_->get(pairs[i].first, pairs[i].second);
+            });
+        } else {
+            for (const auto &[cpu, counter] : pairs)
+                counterIndexes_->get(cpu, counter);
+        }
+        stats.indexesVisited = pairs.size();
+        stats.indexesBuilt = static_cast<std::size_t>(
+            counterIndexes_->counters().builds - builds_before);
+    }
+
+    // The memoized single-entry structures are cheap relative to the
+    // index sweep; they warm serially on the calling thread (MemoCache
+    // is not thread-safe, and there is nothing to overlap).
+    if (policy.intervalStats)
+        intervalStats(view());
+    if (policy.taskList)
+        tasks();
+
+    // Workers park only between the pool's construction and here; the
+    // session does not keep idle threads alive after the warm-up (a
+    // group of many-variant sessions would otherwise park
+    // variants x workers threads for the program's lifetime).
+    pool_.reset();
+    return stats;
+}
+
+Session::WarmupStats
+Session::warmup()
+{
+    return warmup(WarmupPolicy());
+}
+
+void
+Session::setStatsCacheCapacity(std::size_t capacity)
+{
+    statsCache_.setCapacity(capacity);
+}
+
 const stats::IntervalStats &
 Session::intervalStats(const TimeInterval &interval)
 {

@@ -14,12 +14,13 @@
  * cached structures to the renderer, the statistics and the metrics so
  * no consumer ever rebuilds them.
  *
- * The legacy free functions (stats::computeIntervalStats,
- * filter::filterTasks, stats::Histogram::taskDurations,
- * metrics::taskCounterIncreases) remain as thin wrappers over Session
- * for one deprecation cycle; new code should construct a Session.
- *
- * Sessions are single-threaded: queries mutate internal caches.
+ * Threading contract: queries and setters mutate internal caches and
+ * require external synchronization — one thread at a time per session.
+ * warmup() is the exception in implementation but not in contract: it
+ * parallelizes index construction internally (over the per-CPU-sharded
+ * index cache, driven by the Concurrency knob) yet must itself be the
+ * only call running on the session. Distinct sessions, including
+ * sessions viewing the same trace, are fully independent.
  */
 
 #ifndef AFTERMATH_SESSION_SESSION_H
@@ -31,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "base/time_interval.h"
 #include "base/types.h"
 #include "filter/task_filter.h"
@@ -71,13 +73,14 @@ struct SessionCacheStats
  *  - Session(trace::Trace) takes ownership of the trace;
  *  - Session(std::shared_ptr<const trace::Trace>) shares it;
  *  - Session::view(trace) borrows a trace owned elsewhere (the caller
- *    guarantees it outlives the session) — the mode the deprecated
- *    free-function wrappers use.
+ *    guarantees it outlives the session).
  *
  * All caches are lazy: nothing is indexed until the first query needs
- * it. setFilters() invalidates only filter-dependent caches (the task
- * list); setTrace() invalidates everything. Counters are cumulative
- * across invalidations so cache behaviour stays observable.
+ * it — unless warmup() prefetches the structures for the current view
+ * off the query path. setFilters() invalidates only filter-dependent
+ * caches (the task list); setTrace() invalidates everything. Counters
+ * are cumulative across invalidations so cache behaviour stays
+ * observable.
  */
 class Session
 {
@@ -85,6 +88,51 @@ class Session
     /** Additional predicate over task instances for tasks(pred). */
     using TaskPredicate =
         std::function<bool(const trace::TaskInstance &)>;
+
+    /**
+     * Parallelism knob for internally parallel operations (warmup()).
+     * Serial by default so existing callers see no new threads.
+     */
+    struct Concurrency
+    {
+        /**
+         * Worker threads for warm-up; 1 = serial on the calling
+         * thread, 0 = one per hardware thread.
+         */
+        unsigned workers = 1;
+    };
+
+    /** What warmup() prefetches. */
+    struct WarmupPolicy
+    {
+        /** Build the min/max index of every sampled (cpu, counter). */
+        bool counterIndexes = true;
+
+        /**
+         * Restrict index warm-up to these counter ids; empty means
+         * every counter sampled on each CPU.
+         */
+        std::vector<CounterId> counters;
+
+        /** Memoize the interval statistics of the current view. */
+        bool intervalStats = true;
+
+        /** Cache the task list of the active filters. */
+        bool taskList = true;
+    };
+
+    /** What one warmup() call actually did. */
+    struct WarmupStats
+    {
+        /** (cpu, counter) pairs visited (built or already cached). */
+        std::size_t indexesVisited = 0;
+
+        /** Indexes newly built by this call. */
+        std::size_t indexesBuilt = 0;
+
+        /** Worker threads used (1 = it ran serially). */
+        unsigned workers = 1;
+    };
 
     /** A session owning @p trace (moved in; must be finalized). */
     explicit Session(trace::Trace trace);
@@ -128,21 +176,52 @@ class Session
     /** The current view interval; empty means the whole trace span. */
     TimeInterval view() const;
 
+    // -- Warm-up and concurrency -------------------------------------------
+
+    /**
+     * Set the parallelism of internally parallel operations. Takes
+     * effect on the next warmup(); queries are unaffected.
+     */
+    void setConcurrency(const Concurrency &concurrency);
+
+    /** The active concurrency knob. */
+    const Concurrency &concurrency() const { return concurrency_; }
+
+    /**
+     * Prefetch the search structures @p policy names so later queries
+     * never pay a build on the interactive path: the per-(CPU, counter)
+     * min/max indexes (constructed concurrently across CPUs when the
+     * Concurrency knob allows), the interval statistics of the current
+     * view, and the filtered task list. Idempotent: structures already
+     * cached are not rebuilt, so a repeated call is a cheap no-op.
+     */
+    WarmupStats warmup(const WarmupPolicy &policy);
+
+    /** warmup() under the default policy (everything). */
+    WarmupStats warmup();
+
     // -- Statistics --------------------------------------------------------
 
     /**
      * Aggregate statistics of @p interval across all CPUs, memoized per
-     * interval. The reference stays valid until setTrace(); that
-     * guarantee is why entries are never evicted, so memory grows with
-     * the number of *distinct* intervals queried. Callers issuing
-     * unbounded streams of unique intervals (e.g. continuous zooming)
-     * should copy the result and call setTrace() — or a future
-     * bounded-cache mode — to trim.
+     * interval. By default entries are never evicted: the reference
+     * stays valid until setTrace(), and memory grows with the number of
+     * *distinct* intervals queried. Callers issuing unbounded streams
+     * of unique intervals (continuous zooming) should bound the memo
+     * with setStatsCacheCapacity(); the reference then stays valid only
+     * until the entry's eviction.
      */
     const stats::IntervalStats &intervalStats(const TimeInterval &interval);
 
     /** Interval statistics of the current view. */
     const stats::IntervalStats &intervalStats();
+
+    /**
+     * Bound the interval-statistics memo to the @p capacity most
+     * recently queried intervals (LRU eviction); 0 restores the default
+     * unbounded mode. Shrinking evicts immediately.
+     */
+    void setStatsCacheCapacity(std::size_t capacity);
 
     /** Duration histogram of the tasks passing the active filters. */
     stats::Histogram histogram(std::uint32_t num_bins);
@@ -259,6 +338,9 @@ class Session
     /** The persistent renderer, built on first render call. */
     render::TimelineRenderer &renderer();
 
+    /** The pool matching the concurrency knob (nullptr when serial). */
+    base::ThreadPool *pool();
+
     /** The effective config: session filters and view filled in. */
     render::TimelineConfig
     effectiveConfig(const render::TimelineConfig &config) const;
@@ -271,6 +353,7 @@ class Session
     filter::FilterSet filters_;
     std::uint64_t filterGeneration_ = 0;
     TimeInterval view_; ///< Empty means the whole trace span.
+    Concurrency concurrency_;
 
     std::unique_ptr<CounterIndexCache> counterIndexes_;
     CacheCounters counterIndexBase_; ///< Accounting of pre-swap caches.
@@ -282,6 +365,7 @@ class Session
     MemoCache<std::uint64_t,
               std::vector<const trace::TaskInstance *>> taskListCache_;
     std::unique_ptr<render::TimelineRenderer> renderer_;
+    std::unique_ptr<base::ThreadPool> pool_; ///< Alive only inside warmup().
     render::RenderStats overlayStats_;
 };
 

@@ -1,0 +1,199 @@
+#include "session/session_group.h"
+
+#include <utility>
+
+#include "base/logging.h"
+#include "stats/regression.h"
+
+namespace aftermath {
+namespace session {
+
+std::size_t
+SessionGroup::add(std::string label, Session session)
+{
+    variants_.push_back({std::move(label), std::move(session)});
+    return variants_.size() - 1;
+}
+
+SessionGroup::Variant &
+SessionGroup::variant(std::size_t i)
+{
+    AFTERMATH_ASSERT(i < variants_.size(),
+                     "variant %zu outside group of %zu", i,
+                     variants_.size());
+    return variants_[i];
+}
+
+Session &
+SessionGroup::session(std::size_t i)
+{
+    return variant(i).session;
+}
+
+const Session &
+SessionGroup::session(std::size_t i) const
+{
+    AFTERMATH_ASSERT(i < variants_.size(),
+                     "variant %zu outside group of %zu", i,
+                     variants_.size());
+    return variants_[i].session;
+}
+
+const std::string &
+SessionGroup::label(std::size_t i) const
+{
+    AFTERMATH_ASSERT(i < variants_.size(),
+                     "variant %zu outside group of %zu", i,
+                     variants_.size());
+    return variants_[i].label;
+}
+
+void
+SessionGroup::setFilters(const filter::FilterSet &filters)
+{
+    for (Variant &v : variants_)
+        v.session.setFilters(filters);
+}
+
+void
+SessionGroup::clearFilters()
+{
+    for (Variant &v : variants_)
+        v.session.clearFilters();
+}
+
+void
+SessionGroup::setView(const TimeInterval &view)
+{
+    for (Variant &v : variants_)
+        v.session.setView(view);
+}
+
+void
+SessionGroup::setConcurrency(const Session::Concurrency &concurrency)
+{
+    for (Variant &v : variants_)
+        v.session.setConcurrency(concurrency);
+}
+
+std::vector<Session::WarmupStats>
+SessionGroup::warmup(const Session::WarmupPolicy &policy)
+{
+    std::vector<Session::WarmupStats> out;
+    out.reserve(variants_.size());
+    for (Variant &v : variants_)
+        out.push_back(v.session.warmup(policy));
+    return out;
+}
+
+compare::IntervalStatsDelta
+SessionGroup::intervalStatsDelta(std::size_t a, std::size_t b)
+{
+    const stats::IntervalStats &stats_a = session(a).intervalStats();
+    const stats::IntervalStats &stats_b = session(b).intervalStats();
+    return compare::intervalStatsDelta(stats_a, stats_b);
+}
+
+compare::PairedHistograms
+SessionGroup::pairedHistograms(std::uint32_t num_bins)
+{
+    std::vector<std::vector<double>> observations;
+    observations.reserve(variants_.size());
+    for (Variant &v : variants_) {
+        std::vector<double> durations;
+        const auto &tasks = v.session.tasks();
+        durations.reserve(tasks.size());
+        for (const trace::TaskInstance *task : tasks)
+            durations.push_back(static_cast<double>(task->duration()));
+        observations.push_back(std::move(durations));
+    }
+    return compare::pairedHistograms(observations, num_bins);
+}
+
+std::vector<compare::RegressionRow>
+SessionGroup::regressionRows(CounterId counter)
+{
+    std::vector<compare::RegressionRow> rows;
+    rows.reserve(variants_.size());
+    for (Variant &v : variants_) {
+        compare::RegressionRow row;
+        row.label = v.label;
+        auto increases = v.session.taskCounterIncreases(counter);
+        std::vector<double> rates, durations;
+        rates.reserve(increases.size());
+        durations.reserve(increases.size());
+        for (const metrics::TaskCounterIncrease &inc : increases) {
+            rates.push_back(inc.ratePerKcycle());
+            durations.push_back(static_cast<double>(inc.duration));
+        }
+        row.tasks = increases.size();
+        row.meanDuration = stats::mean(durations);
+        row.stddevDuration = stats::stddev(durations);
+        row.fit = stats::linearRegression(rates, durations);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+render::RenderStats
+SessionGroup::renderSideBySide(const render::TimelineConfig &config,
+                               render::Framebuffer &fb)
+{
+    AFTERMATH_ASSERT(!variants_.empty(),
+                     "side-by-side render of an empty group");
+    std::uint32_t band_height = std::max<std::uint32_t>(
+        1, fb.height() / static_cast<std::uint32_t>(variants_.size()));
+    render::RenderStats total;
+    for (std::size_t i = 0; i < variants_.size(); i++) {
+        // The last band absorbs the integer-division remainder so the
+        // whole target height is covered.
+        std::uint32_t top =
+            static_cast<std::uint32_t>(i) * band_height;
+        if (top >= fb.height())
+            break; // More variants than pixel rows.
+        std::uint32_t height = i + 1 == variants_.size()
+            ? fb.height() - top
+            : band_height;
+        render::Framebuffer band(fb.width(), height);
+        const render::RenderStats &stats =
+            variants_[i].session.render(config, band);
+        fb.blit(band, 0, top);
+        total.rectOps += stats.rectOps;
+        total.lineOps += stats.lineOps;
+        total.eventsVisited += stats.eventsVisited;
+    }
+    return total;
+}
+
+render::RenderStats
+SessionGroup::renderDiff(std::size_t a, std::size_t b,
+                         const render::TimelineConfig &config,
+                         render::Framebuffer &fb)
+{
+    render::Framebuffer fb_a(fb.width(), fb.height());
+    render::Framebuffer fb_b(fb.width(), fb.height());
+    const render::RenderStats &stats_a = session(a).render(config, fb_a);
+    render::RenderStats total = stats_a;
+    const render::RenderStats &stats_b = session(b).render(config, fb_b);
+    total.rectOps += stats_b.rectOps;
+    total.lineOps += stats_b.lineOps;
+    total.eventsVisited += stats_b.eventsVisited;
+
+    for (std::uint32_t y = 0; y < fb.height(); y++) {
+        for (std::uint32_t x = 0; x < fb.width(); x++) {
+            render::Rgba pa = fb_a.pixel(x, y);
+            if (pa == fb_b.pixel(x, y)) {
+                // Rec. 601 luma: agreement renders as gray context.
+                std::uint8_t luma = static_cast<std::uint8_t>(
+                    (299 * pa.r + 587 * pa.g + 114 * pa.b) / 1000);
+                fb.setPixel(x, y, {luma, luma, luma, 255});
+            } else {
+                fb.setPixel(x, y, kDiffHighlight);
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace session
+} // namespace aftermath

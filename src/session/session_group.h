@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Aligned multi-trace comparison sessions: session::SessionGroup.
+ *
+ * The paper's A/B workflows (Fig 14's NUMA modes, Fig 19's branch fix)
+ * analyze N trace variants of one application under the *same* filters
+ * and view, and reason about differences. SessionGroup is that workflow
+ * as an API: it owns one Session per labeled variant, fans aligned
+ * state (filters, view, concurrency, warm-up) out to all of them, and
+ * answers delta queries — interval-statistics deltas, duration
+ * histograms on one shared bin grid, per-variant regression rows — plus
+ * side-by-side and pixel-diff timeline rendering through one shared
+ * framebuffer.
+ *
+ * Like Session, a group requires external synchronization: one thread
+ * at a time. warmup() parallelizes internally per variant according to
+ * each session's Concurrency knob.
+ */
+
+#ifndef AFTERMATH_SESSION_SESSION_GROUP_H
+#define AFTERMATH_SESSION_SESSION_GROUP_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "render/framebuffer.h"
+#include "render/render_stats.h"
+#include "render/timeline_renderer.h"
+#include "session/compare.h"
+#include "session/session.h"
+
+namespace aftermath {
+namespace session {
+
+/** N labeled sessions over N trace variants with aligned state. */
+class SessionGroup
+{
+  public:
+    SessionGroup() = default;
+
+    /**
+     * Add a variant; returns its index. The label names the variant in
+     * regression rows and diagnostics ("baseline", "numa-aware", ...).
+     * Adding invalidates references previously returned by session()
+     * and label() — finish assembling the group before holding any.
+     */
+    std::size_t add(std::string label, Session session);
+
+    /** Number of variants. */
+    std::size_t size() const { return variants_.size(); }
+
+    /**
+     * The session of variant @p i (panics on out-of-range). The
+     * reference stays valid until the next add().
+     */
+    Session &session(std::size_t i);
+    const Session &session(std::size_t i) const;
+
+    /** The label of variant @p i. */
+    const std::string &label(std::size_t i) const;
+
+    // -- Aligned shared state ----------------------------------------------
+
+    /** Apply one filter set to every variant. */
+    void setFilters(const filter::FilterSet &filters);
+
+    /** Drop the filters of every variant. */
+    void clearFilters();
+
+    /** Apply one view interval to every variant. */
+    void setView(const TimeInterval &view);
+
+    /** Apply one concurrency knob to every variant. */
+    void setConcurrency(const Session::Concurrency &concurrency);
+
+    /**
+     * Warm every variant up under @p policy (variants in sequence,
+     * each internally parallel per its concurrency knob). Returns one
+     * WarmupStats per variant, in index order.
+     */
+    std::vector<Session::WarmupStats>
+    warmup(const Session::WarmupPolicy &policy = Session::WarmupPolicy());
+
+    // -- Delta queries -----------------------------------------------------
+
+    /**
+     * Interval-statistics delta of variant @p b minus variant @p a,
+     * each over its current view.
+     */
+    compare::IntervalStatsDelta intervalStatsDelta(std::size_t a,
+                                                   std::size_t b);
+
+    /**
+     * Duration histograms of every variant's filtered tasks on one
+     * shared bin grid (aligned bins, comparable per-bin counts).
+     */
+    compare::PairedHistograms pairedHistograms(std::uint32_t num_bins);
+
+    /**
+     * One regression row per variant: duration distribution of the
+     * filtered tasks and the least-squares fit of duration vs
+     * @p counter increase per kcycle (the Fig 19 table).
+     */
+    std::vector<compare::RegressionRow> regressionRows(CounterId counter);
+
+    // -- Rendering ---------------------------------------------------------
+
+    /**
+     * Render every variant's timeline stacked into @p fb: variant i
+     * occupies the i-th horizontal band of height height/N (the
+     * remainder pads the last band's bottom). Each variant renders with
+     * its own session semantics (active filters and view injected when
+     * the config names none). Returns the summed operation counts.
+     */
+    render::RenderStats renderSideBySide(
+        const render::TimelineConfig &config, render::Framebuffer &fb);
+
+    /**
+     * Render the pixel diff of variants @p a and @p b into @p fb: where
+     * both render the same color the pixel is dimmed to its gray level
+     * (context), where they differ it is the highlight color (see
+     * kDiffHighlight), making regressions and improvements pop. Returns
+     * the summed operation counts of the two underlying renders.
+     */
+    render::RenderStats renderDiff(std::size_t a, std::size_t b,
+                                   const render::TimelineConfig &config,
+                                   render::Framebuffer &fb);
+
+    /** Highlight color of differing pixels in renderDiff(). */
+    static constexpr render::Rgba kDiffHighlight{255, 0, 170, 255};
+
+  private:
+    struct Variant
+    {
+        std::string label;
+        Session session;
+    };
+
+    /** The variant at @p i; panics on out-of-range. */
+    Variant &variant(std::size_t i);
+
+    std::vector<Variant> variants_;
+};
+
+} // namespace session
+} // namespace aftermath
+
+#endif // AFTERMATH_SESSION_SESSION_GROUP_H

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "base/logging.h"
-#include "session/session.h"
 
 namespace aftermath {
 namespace stats {
@@ -39,16 +38,6 @@ Histogram::fromValues(const std::vector<double> &values,
         h.total_++;
     }
     return h;
-}
-
-Histogram
-Histogram::taskDurations(const trace::Trace &trace,
-                         const filter::TaskFilter &filter,
-                         std::uint32_t num_bins)
-{
-    // Deprecated thin wrapper over the session facade's histogram query.
-    return session::Session::view(trace).histogramMatching(filter,
-                                                           num_bins);
 }
 
 double

@@ -14,9 +14,6 @@
 #include <optional>
 #include <vector>
 
-#include "filter/task_filter.h"
-#include "trace/trace.h"
-
 namespace aftermath {
 namespace stats {
 
@@ -37,16 +34,6 @@ class Histogram
                                 std::uint32_t num_bins,
                                 std::optional<double> min = std::nullopt,
                                 std::optional<double> max = std::nullopt);
-
-    /**
-     * Histogram of durations of the tasks accepted by @p filter.
-     *
-     * @deprecated Thin wrapper over session::Session::histogram() /
-     * histogramMatching(), kept for one deprecation cycle.
-     */
-    static Histogram taskDurations(const trace::Trace &trace,
-                                   const filter::TaskFilter &filter,
-                                   std::uint32_t num_bins);
 
     /** Number of bins. */
     std::uint32_t numBins() const

@@ -1,7 +1,5 @@
 #include "stats/interval_stats.h"
 
-#include "session/session.h"
-
 namespace aftermath {
 namespace stats {
 
@@ -33,17 +31,6 @@ IntervalStats::averageParallelism(std::uint32_t task_exec_state) const
     auto it = timeInState.find(task_exec_state);
     TimeStamp t = it == timeInState.end() ? 0 : it->second;
     return static_cast<double>(t) / static_cast<double>(interval.duration());
-}
-
-IntervalStats
-computeIntervalStats(const trace::Trace &trace, const TimeInterval &interval)
-{
-    // Deprecated thin wrapper: the implementation (and its memoization)
-    // lives in session::Session. The throwaway session adds a few small
-    // allocations and one result copy on top of the O(trace) scan that
-    // dominates; loops over many intervals should hold a Session and
-    // get memoization for free.
-    return session::Session::view(trace).intervalStats(interval);
 }
 
 } // namespace stats

@@ -44,16 +44,6 @@ struct IntervalStats
     double averageParallelism(std::uint32_t task_exec_state) const;
 };
 
-/**
- * Compute interval statistics across all CPUs of @p trace.
- *
- * @deprecated Thin wrapper over session::Session::intervalStats(), kept
- * for one deprecation cycle. Construct a Session instead: repeated
- * queries of the same interval are then served from its cache.
- */
-IntervalStats computeIntervalStats(const trace::Trace &trace,
-                                   const TimeInterval &interval);
-
 } // namespace stats
 } // namespace aftermath
 

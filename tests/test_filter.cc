@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "filter/task_filter.h"
+#include "session/session.h"
 #include "trace/trace.h"
 
 namespace aftermath {
@@ -39,7 +40,7 @@ class FilterTest : public ::testing::Test
     idsOf(const TaskFilter &f)
     {
         std::vector<TaskInstanceId> out;
-        for (const auto *t : filterTasks(tr, f))
+        for (const auto *t : session::Session::view(tr).tasksMatching(f))
             out.push_back(t->id);
         return out;
     }

@@ -133,10 +133,10 @@ TEST_F(SeidelEndToEnd, AllTimelineModesRenderNonTrivially)
           render::TimelineMode::NumaWrite,
           render::TimelineMode::NumaHeatmap}) {
         render::Framebuffer fb(160, 64);
-        render::TimelineRenderer renderer(traceFromDisk_, fb);
+        render::TimelineRenderer renderer(traceFromDisk_);
         render::TimelineConfig config;
         config.mode = mode;
-        renderer.render(config);
+        renderer.render(config, fb);
         std::uint64_t background = fb.countPixels(render::kBackground) +
             fb.countPixels(render::kBackgroundAlt);
         EXPECT_LT(background, 160u * 64u)
@@ -200,8 +200,7 @@ TEST_F(KmeansEndToEnd, DurationCorrelatesWithMispredictions)
     filter::FilterSet f;
     f.add(std::make_shared<filter::TaskTypeFilter>(
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
-    auto rows = metrics::taskCounterIncreases(
-        trace_,
+    auto rows = Session::view(trace_).taskCounterIncreasesMatching(
         static_cast<CounterId>(trace::CoreCounter::BranchMispredictions),
         f);
     ASSERT_GT(rows.size(), 50u);
@@ -222,7 +221,7 @@ TEST_F(KmeansEndToEnd, ComputeDurationHistogramIsSpread)
     filter::FilterSet f;
     f.add(std::make_shared<filter::TaskTypeFilter>(
         std::unordered_set<TaskTypeId>{workloads::kKmeansDistanceType}));
-    stats::Histogram h = stats::Histogram::taskDurations(trace_, f, 20);
+    stats::Histogram h = Session::view(trace_).histogramMatching(f, 20);
     EXPECT_GT(h.total(), 50u);
     // Non-uniform durations: range spans at least 1.3x.
     EXPECT_GT(h.rangeMax(), 1.3 * h.rangeMin());
@@ -235,8 +234,8 @@ TEST_F(KmeansEndToEnd, ComputeDurationHistogramIsSpread)
 
 TEST_F(KmeansEndToEnd, AuxStatesPresent)
 {
-    stats::IntervalStats s = stats::computeIntervalStats(trace_,
-                                                         trace_.span());
+    stats::IntervalStats s =
+        Session::view(trace_).intervalStats(trace_.span());
     EXPECT_GT(s.timeInState[static_cast<std::uint32_t>(
         trace::CoreState::Reduction)], 0u);
     EXPECT_GT(s.timeInState[static_cast<std::uint32_t>(
@@ -248,8 +247,7 @@ TEST_F(KmeansEndToEnd, AuxStatesPresent)
 TEST_F(KmeansEndToEnd, ExportedTsvMatchesRowCount)
 {
     filter::FilterSet all;
-    auto rows = metrics::taskCounterIncreases(
-        trace_,
+    auto rows = Session::view(trace_).taskCounterIncreasesMatching(
         static_cast<CounterId>(trace::CoreCounter::BranchMispredictions),
         all);
     std::string path = ::testing::TempDir() + "/aftermath_export.tsv";

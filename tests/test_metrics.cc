@@ -6,6 +6,7 @@
 #include "metrics/counter_utils.h"
 #include "metrics/generators.h"
 #include "metrics/task_attribution.h"
+#include "session/session.h"
 #include "trace/state.h"
 #include "trace/trace.h"
 
@@ -148,7 +149,8 @@ TEST_F(MetricsTest, CounterValueInterpolatedIsLinear)
 TEST_F(MetricsTest, TaskCounterIncreases)
 {
     filter::FilterSet all;
-    auto rows = taskCounterIncreases(tr, 0, all);
+    auto rows =
+        session::Session::view(tr).taskCounterIncreasesMatching(0, all);
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[0].task, 0u);
     EXPECT_EQ(rows[0].increase, 500); // 1500 - 1000 across [0, 100).
@@ -160,7 +162,8 @@ TEST_F(MetricsTest, TaskCounterIncreases)
 TEST_F(MetricsTest, TaskCounterIncreasesRespectFilter)
 {
     filter::CpuFilter cpu0({0});
-    auto rows = taskCounterIncreases(tr, 0, cpu0);
+    auto rows =
+        session::Session::view(tr).taskCounterIncreasesMatching(0, cpu0);
     ASSERT_EQ(rows.size(), 1u);
     EXPECT_EQ(rows[0].task, 0u);
 }

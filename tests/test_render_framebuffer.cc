@@ -58,6 +58,34 @@ TEST(Framebuffer, LineEndpoints)
     EXPECT_GE(fb.countPixels({9, 1, 1, 255}), 14u);
 }
 
+TEST(Framebuffer, BlitCopiesAndClips)
+{
+    Framebuffer dst(8, 6, {0, 0, 0, 255});
+    Framebuffer src(4, 3, {7, 7, 7, 255});
+
+    dst.blit(src, 2, 1);
+    EXPECT_EQ(dst.countPixels({7, 7, 7, 255}), 12u);
+    EXPECT_EQ(dst.pixel(2, 1), (Rgba{7, 7, 7, 255}));
+    EXPECT_EQ(dst.pixel(5, 3), (Rgba{7, 7, 7, 255}));
+    EXPECT_EQ(dst.pixel(1, 1), (Rgba{0, 0, 0, 255}));
+
+    // Partial clipping on every edge.
+    Framebuffer corner(8, 6, {0, 0, 0, 255});
+    corner.blit(src, -2, -1);
+    EXPECT_EQ(corner.countPixels({7, 7, 7, 255}), 4u); // 2 x 2 visible.
+    Framebuffer edge(8, 6, {0, 0, 0, 255});
+    edge.blit(src, 6, 4);
+    EXPECT_EQ(edge.countPixels({7, 7, 7, 255}), 4u);
+
+    // Fully clipped (each axis separately): a no-op, not a crash.
+    Framebuffer off(8, 6, {0, 0, 0, 255});
+    off.blit(src, 100, 0);
+    off.blit(src, -100, 0);
+    off.blit(src, 0, 100);
+    off.blit(src, 0, -100);
+    EXPECT_EQ(off.countPixels({7, 7, 7, 255}), 0u);
+}
+
 TEST(Framebuffer, PpmHeaderAndSize)
 {
     Framebuffer fb(3, 2, {10, 20, 30, 255});

@@ -62,10 +62,10 @@ TEST_P(RendererProperty, FastPathMatchesPerPixelResolution)
     auto [seed, mode] = GetParam();
     trace::Trace tr = randomTrace(seed);
     Framebuffer fb(173, 64);
-    TimelineRenderer renderer(tr, fb);
+    TimelineRenderer renderer(tr);
     TimelineConfig config;
     config.mode = mode;
-    renderer.render(config);
+    renderer.render(config, fb);
 
     TimelineLayout layout(tr.span(), fb.width(), fb.height(),
                           tr.numCpus());
@@ -101,8 +101,8 @@ TEST(Renderer, StateModeShowsDominantState)
     ASSERT_TRUE(tr.finalize(err)) << err;
 
     Framebuffer fb(1, 1);
-    TimelineRenderer renderer(tr, fb);
-    renderer.render({});
+    TimelineRenderer renderer(tr);
+    renderer.render({}, fb);
     EXPECT_EQ(fb.pixel(0, 0), stateColor(kExec));
 }
 
@@ -116,8 +116,8 @@ TEST(Renderer, BackgroundVisibleInGaps)
     ASSERT_TRUE(tr.finalize(err)) << err;
 
     Framebuffer fb(100, 4);
-    TimelineRenderer renderer(tr, fb);
-    renderer.render({});
+    TimelineRenderer renderer(tr);
+    renderer.render({}, fb);
     EXPECT_EQ(fb.pixel(50, 0), kBackground); // The gap (Fig 7's black).
     EXPECT_EQ(fb.pixel(5, 0), stateColor(kIdle));
 }
@@ -126,8 +126,8 @@ TEST(Renderer, AggregationBoundsRectOps)
 {
     trace::Trace tr = randomTrace(5);
     Framebuffer fb(200, 64);
-    TimelineRenderer renderer(tr, fb);
-    renderer.render({});
+    TimelineRenderer renderer(tr);
+    renderer.render({}, fb);
     // Optimized: at most one rect per pixel column per lane.
     EXPECT_LE(renderer.stats().rectOps,
               static_cast<std::uint64_t>(200) * tr.numCpus());
@@ -142,8 +142,8 @@ TEST(Renderer, NaiveIssuesOneOpPerEvent)
         events += tr.cpu(c).states().size();
 
     Framebuffer fb(200, 64);
-    TimelineRenderer renderer(tr, fb);
-    renderer.renderNaive({});
+    TimelineRenderer renderer(tr);
+    renderer.renderNaive({}, fb);
     // One background rect per lane plus one per drawn event.
     EXPECT_GE(renderer.stats().rectOps, events / 2);
     EXPECT_LE(renderer.stats().rectOps, events + tr.numCpus());
@@ -154,11 +154,11 @@ TEST(Renderer, ZoomedOutOptimizedBeatsNaive)
     // Narrow framebuffer, many events per pixel: aggregation wins big.
     trace::Trace tr = randomTrace(8, 2);
     Framebuffer fb(10, 16);
-    TimelineRenderer optimized(tr, fb);
-    optimized.render({});
+    TimelineRenderer optimized(tr);
+    optimized.render({}, fb);
     Framebuffer fb2(10, 16);
-    TimelineRenderer naive(tr, fb2);
-    naive.renderNaive({});
+    TimelineRenderer naive(tr);
+    naive.renderNaive({}, fb2);
     EXPECT_LT(optimized.stats().rectOps, naive.stats().rectOps / 2);
 }
 
@@ -171,8 +171,8 @@ TEST(Renderer, TaskFilterHidesTasks)
     config.taskFilter = &only_alpha;
 
     Framebuffer fb(300, 64);
-    TimelineRenderer renderer(tr, fb);
-    renderer.render(config);
+    TimelineRenderer renderer(tr);
+    renderer.render(config, fb);
     // Beta's color must not appear; alpha's should.
     Rgba alpha = taskTypeColor(0);
     Rgba beta = taskTypeColor(1);
@@ -181,7 +181,7 @@ TEST(Renderer, TaskFilterHidesTasks)
 
     // Without the filter both appear.
     config.taskFilter = nullptr;
-    renderer.render(config);
+    renderer.render(config, fb);
     EXPECT_GT(fb.countPixels(alpha), 0u);
     EXPECT_GT(fb.countPixels(beta), 0u);
 }
@@ -203,8 +203,8 @@ TEST(Renderer, HeatmapUsesConfiguredRange)
     config.heatmapMax = 50'000'000;
     config.heatmapShades = 10;
     Framebuffer fb(10, 4);
-    TimelineRenderer renderer(tr, fb);
-    renderer.render(config);
+    TimelineRenderer renderer(tr);
+    renderer.render(config, fb);
     EXPECT_EQ(fb.pixel(0, 0), heatmapShade(0, 0, 10, 10));
 }
 
@@ -221,20 +221,20 @@ TEST(Renderer, NumaReadModeColorsByDominantNode)
     ASSERT_TRUE(tr.finalize(err)) << err;
 
     Framebuffer fb(10, 8);
-    TimelineRenderer renderer(tr, fb);
+    TimelineRenderer renderer(tr);
     TimelineConfig config;
     config.mode = TimelineMode::NumaRead;
-    renderer.render(config);
+    renderer.render(config, fb);
     EXPECT_EQ(fb.pixel(5, 0), numaNodeColor(1));
 
     // Write map: no writes recorded -> unknown gray.
     config.mode = TimelineMode::NumaWrite;
-    renderer.render(config);
+    renderer.render(config, fb);
     EXPECT_EQ(fb.pixel(5, 0), (Rgba{120, 120, 120, 255}));
 
     // NUMA heatmap: all bytes remote from node 0 -> pink end.
     config.mode = TimelineMode::NumaHeatmap;
-    renderer.render(config);
+    renderer.render(config, fb);
     EXPECT_EQ(fb.pixel(5, 0), numaHeatShade(1.0));
 }
 
@@ -250,8 +250,8 @@ TEST(Renderer, ViewRestrictsRendering)
     TimelineConfig config;
     config.view = {0, 50};
     Framebuffer fb(10, 2);
-    TimelineRenderer renderer(tr, fb);
-    renderer.render(config);
+    TimelineRenderer renderer(tr);
+    renderer.render(config, fb);
     EXPECT_EQ(fb.countPixels(stateColor(kExec)), 0u);
     EXPECT_GT(fb.countPixels(stateColor(kIdle)), 0u);
 }

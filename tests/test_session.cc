@@ -13,6 +13,7 @@
 #include "base/rng.h"
 #include "filter/task_filter.h"
 #include "index/counter_index.h"
+#include "metrics/counter_utils.h"
 #include "metrics/task_attribution.h"
 #include "render/framebuffer.h"
 #include "render/timeline_renderer.h"
@@ -214,7 +215,7 @@ TEST(Session, OwningAndViewModesSeeTheSameTrace)
     EXPECT_EQ(owning.trace().numCpus(), tr.numCpus());
 }
 
-/** Facade results equal the legacy free-function paths end to end. */
+/** Facade results equal independent hand-rolled computations. */
 class SessionEquivalence : public ::testing::Test
 {
   protected:
@@ -235,48 +236,80 @@ class SessionEquivalence : public ::testing::Test
 
 trace::Trace SessionEquivalence::workload_;
 
-TEST_F(SessionEquivalence, IntervalStatsMatchLegacy)
+TEST_F(SessionEquivalence, IntervalStatsMatchBruteForce)
 {
     Session session = Session::view(workload_);
     TimeInterval span = workload_.span();
     for (auto iv : {span, TimeInterval{span.end / 4, span.end / 2},
                     TimeInterval{0, 1}}) {
-        stats::IntervalStats legacy =
-            stats::computeIntervalStats(workload_, iv);
+        // Independent full-scan computation (no slicing, no session).
+        std::map<std::uint32_t, TimeStamp> time_in_state;
+        for (CpuId c = 0; c < workload_.numCpus(); c++) {
+            for (const trace::StateEvent &ev : workload_.cpu(c).states()) {
+                TimeStamp overlap = ev.interval.overlapDuration(iv);
+                if (overlap > 0)
+                    time_in_state[ev.state] += overlap;
+            }
+        }
+        std::uint64_t overlapping = 0, started = 0;
+        for (const trace::TaskInstance &task : workload_.taskInstances()) {
+            if (task.interval.overlaps(iv)) {
+                overlapping++;
+                if (iv.contains(task.interval.start))
+                    started++;
+            }
+        }
+
         const stats::IntervalStats &facade = session.intervalStats(iv);
-        EXPECT_EQ(facade.timeInState, legacy.timeInState);
-        EXPECT_EQ(facade.tasksOverlapping, legacy.tasksOverlapping);
-        EXPECT_EQ(facade.tasksStarted, legacy.tasksStarted);
+        for (const auto &[state, time] : time_in_state)
+            EXPECT_EQ(facade.timeInState.at(state), time)
+                << "state " << state;
+        for (const auto &[state, time] : facade.timeInState) {
+            if (time > 0) {
+                EXPECT_EQ(time_in_state[state], time)
+                    << "state " << state;
+            }
+        }
+        EXPECT_EQ(facade.tasksOverlapping, overlapping);
+        EXPECT_EQ(facade.tasksStarted, started);
     }
 }
 
-TEST_F(SessionEquivalence, FilteredTasksMatchLegacy)
+TEST_F(SessionEquivalence, FilteredTasksMatchHandFilter)
 {
     Session session = Session::view(workload_);
     filter::FilterSet f;
     f.add(std::make_shared<filter::CpuFilter>(
         std::unordered_set<CpuId>{0, 3, 5}));
 
-    auto legacy = filter::filterTasks(workload_, f);
+    std::vector<const trace::TaskInstance *> expected;
+    for (const trace::TaskInstance &task : workload_.taskInstances()) {
+        if (f.matches(workload_, task))
+            expected.push_back(&task);
+    }
+    ASSERT_FALSE(expected.empty());
+
     session.setFilters(f);
-    EXPECT_EQ(session.tasks(), legacy);
-    EXPECT_EQ(session.tasksMatching(f), legacy);
+    EXPECT_EQ(session.tasks(), expected);
+    EXPECT_EQ(session.tasksMatching(f), expected);
 }
 
-TEST_F(SessionEquivalence, HistogramMatchesLegacy)
+TEST_F(SessionEquivalence, HistogramMatchesFromValues)
 {
     Session session = Session::view(workload_);
-    filter::FilterSet all;
-    stats::Histogram legacy =
-        stats::Histogram::taskDurations(workload_, all, 12);
+    std::vector<double> durations;
+    for (const trace::TaskInstance &task : workload_.taskInstances())
+        durations.push_back(static_cast<double>(task.duration()));
+    stats::Histogram expected = stats::Histogram::fromValues(durations, 12);
+
     stats::Histogram facade = session.histogram(12);
-    ASSERT_EQ(facade.numBins(), legacy.numBins());
-    EXPECT_EQ(facade.total(), legacy.total());
-    for (std::uint32_t i = 0; i < legacy.numBins(); i++)
-        EXPECT_EQ(facade.count(i), legacy.count(i)) << "bin " << i;
+    ASSERT_EQ(facade.numBins(), expected.numBins());
+    EXPECT_EQ(facade.total(), expected.total());
+    for (std::uint32_t i = 0; i < expected.numBins(); i++)
+        EXPECT_EQ(facade.count(i), expected.count(i)) << "bin " << i;
 }
 
-TEST_F(SessionEquivalence, TaskCounterIncreasesMatchLegacy)
+TEST_F(SessionEquivalence, TaskCounterIncreasesMatchHandAttribution)
 {
     Session session = Session::view(workload_);
     CounterId counter = 0;
@@ -287,14 +320,32 @@ TEST_F(SessionEquivalence, TaskCounterIncreasesMatchLegacy)
             break;
         }
     }
-    filter::FilterSet all;
-    auto legacy = metrics::taskCounterIncreases(workload_, counter, all);
+    // Hand attribution: value right before start minus right before end.
+    std::vector<metrics::TaskCounterIncrease> expected;
+    for (const trace::TaskInstance &task : workload_.taskInstances()) {
+        const trace::CpuTimeline *tl = workload_.cpuOrNull(task.cpu);
+        if (!tl)
+            continue;
+        auto before =
+            metrics::counterValueAt(*tl, counter, task.interval.start);
+        auto after =
+            metrics::counterValueAt(*tl, counter, task.interval.end);
+        if (!before || !after)
+            continue;
+        metrics::TaskCounterIncrease row;
+        row.task = task.id;
+        row.increase = *after - *before;
+        row.duration = task.duration();
+        expected.push_back(row);
+    }
+    ASSERT_FALSE(expected.empty());
+
     auto facade = session.taskCounterIncreases(counter);
-    ASSERT_EQ(facade.size(), legacy.size());
-    for (std::size_t i = 0; i < legacy.size(); i++) {
-        EXPECT_EQ(facade[i].task, legacy[i].task);
-        EXPECT_EQ(facade[i].increase, legacy[i].increase);
-        EXPECT_EQ(facade[i].duration, legacy[i].duration);
+    ASSERT_EQ(facade.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); i++) {
+        EXPECT_EQ(facade[i].task, expected[i].task);
+        EXPECT_EQ(facade[i].increase, expected[i].increase);
+        EXPECT_EQ(facade[i].duration, expected[i].duration);
     }
 }
 

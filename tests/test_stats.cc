@@ -6,6 +6,7 @@
 
 #include "base/rng.h"
 #include "filter/task_filter.h"
+#include "session/session.h"
 #include "stats/comm_matrix.h"
 #include "stats/export.h"
 #include "stats/histogram.h"
@@ -164,7 +165,7 @@ class TraceStatsTest : public ::testing::Test
 
 TEST_F(TraceStatsTest, IntervalStatsBreakdown)
 {
-    IntervalStats s = computeIntervalStats(tr, {0, 100});
+    IntervalStats s = session::Session::view(tr).intervalStats({0, 100});
     EXPECT_EQ(s.timeInState[kExec], 160u);
     EXPECT_EQ(s.timeInState[kIdle], 40u);
     EXPECT_EQ(s.totalTime(), 200u);
@@ -176,7 +177,7 @@ TEST_F(TraceStatsTest, IntervalStatsBreakdown)
 
 TEST_F(TraceStatsTest, IntervalStatsSubRange)
 {
-    IntervalStats s = computeIntervalStats(tr, {50, 100});
+    IntervalStats s = session::Session::view(tr).intervalStats({50, 100});
     EXPECT_EQ(s.timeInState[kExec], 60u); // 10 from cpu0 + 50 from cpu1.
     EXPECT_EQ(s.timeInState[kIdle], 40u);
     EXPECT_EQ(s.tasksOverlapping, 2u);
@@ -226,10 +227,11 @@ TEST_F(TraceStatsTest, ExportTsvFormat)
 TEST_F(TraceStatsTest, HistogramOfTaskDurationsWithFilter)
 {
     filter::FilterSet all;
-    Histogram h = Histogram::taskDurations(tr, all, 4);
+    session::Session session = session::Session::view(tr);
+    Histogram h = session.histogramMatching(all, 4);
     EXPECT_EQ(h.total(), 2u);
     filter::DurationFilter longer(90, 1000);
-    Histogram h2 = Histogram::taskDurations(tr, longer, 4);
+    Histogram h2 = session.histogramMatching(longer, 4);
     EXPECT_EQ(h2.total(), 1u);
 }
 
