@@ -41,7 +41,7 @@ JsonLines::JsonLines(const std::string &bench)
 
 void
 JsonLines::add(const std::string &metric, double value,
-               const std::string &unit)
+               const std::string &unit, int workers)
 {
     // Metric/unit strings are bench-internal identifiers (no quoting
     // needed); %.17g round-trips every double.
@@ -49,6 +49,8 @@ JsonLines::add(const std::string &metric, double value,
         << "\",\"value\":" << strFormat("%.17g", value);
     if (!unit.empty())
         os_ << ",\"unit\":\"" << unit << "\"";
+    if (workers >= 0)
+        os_ << ",\"workers\":" << workers;
     os_ << "}\n";
     os_.flush();
 }

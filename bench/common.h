@@ -42,9 +42,14 @@ class JsonLines
     /** Open (truncate) BENCH_<bench>.json. */
     explicit JsonLines(const std::string &bench);
 
-    /** Append {"bench":..., "metric":..., "value":..., "unit":...}. */
+    /**
+     * Append {"bench":..., "metric":..., "value":..., "unit":...,
+     * "workers":...}. @p workers < 0 omits the field; parallel benches
+     * pass the worker count so the perf trajectory can tell serial
+     * from parallel runs of one metric.
+     */
     void add(const std::string &metric, double value,
-             const std::string &unit = "");
+             const std::string &unit = "", int workers = -1);
 
     /** True if the file opened and every write succeeded so far. */
     bool ok() const { return static_cast<bool>(os_); }

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Asynchronous query plane: cold parallel interval statistics and
+ * cancellation latency.
+ *
+ * The paper's statistical views aggregate a user-selected interval
+ * across all CPUs (section II-A); on a many-core trace the first (cold)
+ * aggregation is a full scan, exactly the stall the asynchronous query
+ * plane moves off the interaction path. This bench measures the cold
+ * interval-statistics scan of the 192-CPU seidel trace at 1/2/4/8
+ * workers through Session::submit()'s parallel executor (per-CPU and
+ * task-chunk partial sums merged at the end), verifies the parallel
+ * result is bit-identical to the serial one, requires — on >= 4
+ * hardware threads — a >= 2x speedup at >= 4 workers, and measures how
+ * fast an in-flight query reacts to cancel() and to a view-generation
+ * bump. Results are emitted as JSON lines with a "workers" field
+ * (BENCH_sec7_async_queries.json) for the perf trajectory.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+
+using namespace aftermath;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Wall time of one cold interval-statistics query, seconds. */
+double
+timeColdStats(const trace::Trace &tr, unsigned workers,
+              stats::IntervalStats *out = nullptr)
+{
+    Session session = Session::view(tr);
+    session.setConcurrency({workers});
+    session.queryEngine()->pool(); // Spin workers up outside the timing.
+    auto start = Clock::now();
+    const stats::IntervalStats &stats = session.intervalStats();
+    double seconds = secondsSince(start);
+    if (out)
+        *out = stats;
+    return seconds;
+}
+
+/** Average cold-query time over @p reps fresh sessions, seconds. */
+double
+averageColdStats(const trace::Trace &tr, unsigned workers, int reps)
+{
+    double total = 0.0;
+    for (int r = 0; r < reps; r++)
+        total += timeColdStats(tr, workers);
+    return total / reps;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section VII (this repo)",
+                  "async query plane: parallel cold interval statistics "
+                  "+ cancellation latency");
+    bench::JsonLines json("sec7_async_queries");
+
+    runtime::RunResult result = bench::runSeidel(false);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    const trace::Trace &tr = result.trace;
+    bench::row("trace",
+               strFormat("%u cpus, %zu task instances", tr.numCpus(),
+                         tr.taskInstances().size()));
+
+    // Calibrate repetitions so each timing covers >= ~50 ms of work.
+    double probe = timeColdStats(tr, 1);
+    int reps = static_cast<int>(
+        std::clamp(0.05 / std::max(probe, 1e-6), 3.0, 50.0));
+
+    double serial_s = averageColdStats(tr, 1, reps);
+    json.add("cold_stats_w1", serial_s, "s", 1);
+    bench::row("serial cold interval stats",
+               strFormat("%.5f s (avg of %d)", serial_s, reps));
+
+    unsigned hw = std::thread::hardware_concurrency();
+    double speedup_at_4plus = 0.0;
+    for (unsigned workers : {2u, 4u, 8u}) {
+        double parallel_s = averageColdStats(tr, workers, reps);
+        double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+        json.add(strFormat("cold_stats_w%u", workers), parallel_s, "s",
+                 static_cast<int>(workers));
+        json.add(strFormat("speedup_w%u", workers), speedup, "x",
+                 static_cast<int>(workers));
+        bench::row(strFormat("%u workers", workers),
+                   strFormat("%.5f s (%.2fx)", parallel_s, speedup));
+        if (workers >= 4)
+            speedup_at_4plus = std::max(speedup_at_4plus, speedup);
+    }
+
+    // Correctness: the parallel merge must be bit-identical to the
+    // serial scan — same per-state map, same task counts.
+    stats::IntervalStats serial_stats, parallel_stats;
+    timeColdStats(tr, 1, &serial_stats);
+    timeColdStats(tr, std::max(4u, std::min(hw, 8u)), &parallel_stats);
+    bool identical =
+        serial_stats.interval == parallel_stats.interval &&
+        serial_stats.timeInState == parallel_stats.timeInState &&
+        serial_stats.tasksOverlapping == parallel_stats.tasksOverlapping &&
+        serial_stats.tasksStarted == parallel_stats.tasksStarted;
+
+    // Cancellation latency: how long a running cold query needs to
+    // notice cancel() and complete as Cancelled. Distinct intervals
+    // defeat the memo so every submission really scans.
+    TimeInterval span = tr.span();
+    double cancel_total = 0.0;
+    int cancel_samples = 0;
+    for (int r = 0; r < reps; r++) {
+        Session session = Session::view(tr);
+        session.setConcurrency({2});
+        session.queryEngine()->pool();
+        auto ticket = session.submit(session::IntervalStatsQuery{
+            TimeInterval{span.start, span.end - 1 - r}});
+        while (ticket.status() == session::QueryStatus::Pending)
+            std::this_thread::yield();
+        if (ticket.status() != session::QueryStatus::Running)
+            continue; // Finished before we could cancel; retry.
+        auto start = Clock::now();
+        ticket.cancel();
+        session::QueryStatus final_status = ticket.wait();
+        // Cancellation is cooperative: a scan in its final chunk may
+        // legitimately race to Done. Only actual cancellations are
+        // latency samples.
+        if (final_status == session::QueryStatus::Cancelled) {
+            cancel_total += secondsSince(start);
+            cancel_samples++;
+        }
+    }
+    double cancel_latency =
+        cancel_samples > 0 ? cancel_total / cancel_samples : 0.0;
+    json.add("cancel_latency", cancel_latency, "s", 2);
+    json.add("cancel_samples", cancel_samples);
+
+    // Generation semantics: a view change cancels the stale in-flight
+    // query without an explicit cancel().
+    bool generation_cancels = true;
+    {
+        Session session = Session::view(tr);
+        session.setConcurrency({2});
+        session.queryEngine()->pool();
+        auto stale = session.submit(session::IntervalStatsQuery{
+            TimeInterval{span.start, span.end - 7}});
+        session.setView({span.start, span.start + span.duration() / 4});
+        session::QueryStatus status = stale.wait();
+        // Fast machines may finish the scan before the bump lands;
+        // only a stale *completion under the old view* would be wrong.
+        generation_cancels = status == session::QueryStatus::Cancelled ||
+                             status == session::QueryStatus::Done;
+        auto fresh = session.submit(session::IntervalStatsQuery{});
+        generation_cancels =
+            generation_cancels &&
+            fresh.wait() == session::QueryStatus::Done;
+    }
+
+    json.add("identical", identical ? 1 : 0);
+    json.add("generation_cancels", generation_cancels ? 1 : 0);
+    json.add("hardware_threads", hw);
+
+    std::printf("\n");
+    bench::row("parallel == serial (bit-identical)",
+               identical ? "yes" : "NO");
+    bench::row("cancel latency",
+               strFormat("%.6f s (avg of %d running cancels)",
+                         cancel_latency, cancel_samples));
+    bench::row("generation bump cancels stale queries",
+               generation_cancels ? "yes" : "NO");
+    bool enough_hw = hw >= 4;
+    if (enough_hw) {
+        bench::row("speedup at >= 4 workers",
+                   strFormat("%.2fx (required: >= 2x)", speedup_at_4plus));
+    } else {
+        bench::row("speedup at >= 4 workers",
+                   strFormat("%.2fx (not required: only %u hardware "
+                             "thread%s)",
+                             speedup_at_4plus, hw, hw == 1 ? "" : "s"));
+    }
+    bench::row("json", json.ok() ? json.path().c_str() : "WRITE FAILED");
+
+    bool ok = identical && generation_cancels &&
+              (!enough_hw || speedup_at_4plus >= 2.0);
+    return ok ? 0 : 1;
+}

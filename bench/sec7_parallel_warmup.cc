@@ -86,7 +86,7 @@ main()
         std::clamp(0.05 / std::max(probe, 1e-6), 3.0, 50.0));
 
     double serial_s = averageWarmup(tr, 1, reps);
-    json.add("serial_warmup", serial_s, "s");
+    json.add("serial_warmup", serial_s, "s", 1);
     bench::row("serial warm-up",
                strFormat("%.4f s (avg of %d)", serial_s, reps));
 
@@ -96,8 +96,9 @@ main()
         double parallel_s = averageWarmup(tr, workers, reps);
         double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
         json.add(strFormat("parallel_warmup_w%u", workers), parallel_s,
-                 "s");
-        json.add(strFormat("speedup_w%u", workers), speedup, "x");
+                 "s", static_cast<int>(workers));
+        json.add(strFormat("speedup_w%u", workers), speedup, "x",
+                 static_cast<int>(workers));
         bench::row(strFormat("%u workers", workers),
                    strFormat("%.4f s (%.2fx)", parallel_s, speedup));
         if (workers >= 4)

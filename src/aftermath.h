@@ -18,11 +18,15 @@
  *   auto mm = session.counterExtrema(cpu, counter, interval); // indexed
  *   session.render(config, framebuffer);    // persistent renderer
  *
- * Sessions extend to comparison workflows and to many-core traces:
- * session::SessionGroup aligns N sessions over N trace variants and
- * answers delta queries and side-by-side/diff renderings, and
- * Session::warmup() builds the per-CPU search structures concurrently
- * (Session::Concurrency) before the user's first zoom needs them.
+ * Sessions extend to comparison workflows, to many-core traces, and to
+ * UI threads that must never block: session::SessionGroup aligns N
+ * sessions over N trace variants (one shared worker pool) and answers
+ * delta queries and side-by-side/diff renderings; Session::submit()
+ * accepts value-type query specs (session/query.h) and returns
+ * QueryTicket futures executed on the shared pool, with cooperative
+ * cancellation when the view or filters move on; and warmup() /
+ * submit(WarmupQuery) build the per-CPU search structures concurrently
+ * and incrementally before the user's first zoom needs them.
  *
  * The per-layer modules remain available underneath: the trace model
  * and format, indexes, filters, derived metrics, statistics, task-graph
@@ -68,7 +72,9 @@
 // The session facade (the analysis front door).
 #include "session/compare.h"
 #include "session/counter_index_cache.h"
+#include "session/query.h"
 #include "session/query_cache.h"
+#include "session/query_engine.h"
 #include "session/session.h"
 #include "session/session_group.h"
 

@@ -41,6 +41,69 @@ ThreadPool::submit(std::function<void()> task)
     wake_.notify_one();
 }
 
+bool
+TaskHandle::tryCancel()
+{
+    if (!shared_)
+        return false;
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    if (shared_->state != State::Queued)
+        return false;
+    shared_->state = State::Skipped;
+    shared_->cv.notify_all();
+    return true;
+}
+
+bool
+TaskHandle::done() const
+{
+    if (!shared_)
+        return false;
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    return shared_->state == State::Finished ||
+           shared_->state == State::Skipped;
+}
+
+bool
+TaskHandle::skipped() const
+{
+    if (!shared_)
+        return false;
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    return shared_->state == State::Skipped;
+}
+
+void
+TaskHandle::wait() const
+{
+    if (!shared_)
+        return;
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    shared_->cv.wait(lock, [this] {
+        return shared_->state == State::Finished ||
+               shared_->state == State::Skipped;
+    });
+}
+
+TaskHandle
+ThreadPool::submitTracked(std::function<void()> task)
+{
+    auto shared = std::make_shared<TaskHandle::Shared>();
+    submit([shared, task = std::move(task)] {
+        {
+            std::unique_lock<std::mutex> lock(shared->mutex);
+            if (shared->state == TaskHandle::State::Skipped)
+                return; // Cancelled while queued; never run.
+            shared->state = TaskHandle::State::Running;
+        }
+        task();
+        std::unique_lock<std::mutex> lock(shared->mutex);
+        shared->state = TaskHandle::State::Finished;
+        shared->cv.notify_all();
+    });
+    return TaskHandle(shared);
+}
+
 void
 ThreadPool::wait()
 {

@@ -20,12 +20,97 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace aftermath {
 namespace base {
+
+/**
+ * A copyable flag for cooperative cancellation.
+ *
+ * Copies share one flag: the producer hands a copy to the running task,
+ * keeps one itself, and requestCancel() from any holder is visible to
+ * all of them. Tasks poll cancelled() at convenient points (chunk
+ * boundaries) and abandon their work; cancellation is a request, never
+ * preemption. Both operations are safe from any thread.
+ */
+class CancellationToken
+{
+  public:
+    CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    /** Ask every holder of this token's work to stop. */
+    void
+    requestCancel() const
+    {
+        flag_->store(true, std::memory_order_release);
+    }
+
+    /** True once any copy of this token requested cancellation. */
+    bool
+    cancelled() const
+    {
+        return flag_->load(std::memory_order_acquire);
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class ThreadPool;
+
+/**
+ * Observable handle of one task submitted with submitTracked(): query
+ * whether it started or finished, wait for it, and — if it has not been
+ * picked up by a worker yet — cancel it before it ever runs. All
+ * methods are safe from any thread; a default-constructed handle is
+ * inert (valid() is false).
+ */
+class TaskHandle
+{
+  public:
+    TaskHandle() = default;
+
+    /** True if the handle tracks a submitted task. */
+    bool valid() const { return shared_ != nullptr; }
+
+    /**
+     * Prevent the task from running if it has not started yet. Returns
+     * true when the task will never execute (it counts as done); false
+     * when it is already running or finished.
+     */
+    bool tryCancel();
+
+    /** True once the task finished or was cancelled before starting. */
+    bool done() const;
+
+    /** True if tryCancel() kept the task from ever running. */
+    bool skipped() const;
+
+    /** Block until the task finished or was skipped. */
+    void wait() const;
+
+  private:
+    friend class ThreadPool;
+
+    enum class State { Queued, Running, Finished, Skipped };
+
+    struct Shared
+    {
+        mutable std::mutex mutex;
+        std::condition_variable cv;
+        State state = State::Queued;
+    };
+
+    explicit TaskHandle(std::shared_ptr<Shared> shared)
+        : shared_(std::move(shared))
+    {}
+
+    std::shared_ptr<Shared> shared_;
+};
 
 /**
  * Fixed-size thread pool with a FIFO task queue.
@@ -53,6 +138,14 @@ class ThreadPool
 
     /** Enqueue @p task for execution on some worker. */
     void submit(std::function<void()> task);
+
+    /**
+     * Enqueue @p task and return a handle that can wait for it or
+     * cancel it while it is still queued. Costs one small shared
+     * allocation over submit(); use for tasks a caller may abandon
+     * (the session query engine's single-task queries).
+     */
+    TaskHandle submitTracked(std::function<void()> task);
 
     /** Block until the queue is empty and no task is running. */
     void wait();

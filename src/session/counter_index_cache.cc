@@ -11,7 +11,7 @@ CounterIndexCache::CounterIndexCache(const trace::Trace &trace,
 {}
 
 const index::CounterIndex &
-CounterIndexCache::get(CpuId cpu, CounterId counter)
+CounterIndexCache::get(CpuId cpu, CounterId counter, bool *built)
 {
     AFTERMATH_ASSERT(trace_.hasCpu(cpu),
                      "counter index for cpu %u outside topology (%u cpus)",
@@ -24,9 +24,13 @@ CounterIndexCache::get(CpuId cpu, CounterId counter)
     auto it = shard.entries.find(counter);
     if (it != shard.entries.end()) {
         shard.counters.hits++;
+        if (built)
+            *built = false;
         return *it->second;
     }
     shard.counters.builds++;
+    if (built)
+        *built = true;
     auto index = std::make_unique<index::CounterIndex>(
         trace_.cpu(cpu).counterSamples(counter), arity_);
     return *shard.entries.emplace(counter, std::move(index))

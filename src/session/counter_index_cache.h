@@ -52,9 +52,14 @@ class CounterIndexCache
      * out-of-range CPU ids; a counter never sampled on the CPU yields an
      * index over an empty array (every query invalid). The returned
      * reference stays valid until clear(). Thread-safe; concurrent
-     * callers of the same (cpu, counter) build at most one index.
+     * callers of the same (cpu, counter) build at most one index. When
+     * @p built is non-null it is set to whether *this* call constructed
+     * the index — exact even under concurrency (decided under the shard
+     * lock), which is what lets a warm-up attribute its own builds
+     * while other queries build concurrently.
      */
-    const index::CounterIndex &get(CpuId cpu, CounterId counter);
+    const index::CounterIndex &get(CpuId cpu, CounterId counter,
+                                   bool *built = nullptr);
 
     /** Like get(), but returns nullptr for out-of-range CPU ids. */
     const index::CounterIndex *getOrNull(CpuId cpu, CounterId counter);

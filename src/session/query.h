@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Value-type query specifications for the asynchronous query plane.
+ *
+ * The paper's interactivity promise is that no user interaction stalls
+ * the UI: every view answers from precomputed structures while heavy
+ * work runs off the interaction path (sections II-A, VI-B). These specs
+ * make that promise expressible in the API — a query is a small value
+ * describing *what* to compute, handed to Session::submit(), which
+ * returns a QueryTicket immediately and executes the work on the shared
+ * worker pool (see session/query_engine.h). Every spec mirrors one
+ * synchronous Session method and produces a bit-identical result.
+ *
+ * Specs that carry an interval use std::optional: std::nullopt means
+ * "the session's current view at submit time", while an explicit
+ * interval — even an empty one — is used exactly as given, matching the
+ * synchronous overload pairs.
+ */
+
+#ifndef AFTERMATH_SESSION_QUERY_H
+#define AFTERMATH_SESSION_QUERY_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "render/framebuffer.h"
+#include "render/render_stats.h"
+#include "render/timeline_renderer.h"
+
+namespace aftermath {
+namespace session {
+
+/**
+ * What a warm-up prefetches. Warm-up is incremental: (cpu, counter)
+ * pairs already warmed by an earlier warm-up of the same session are
+ * skipped, and the interval statistics / task list units are skipped
+ * when the current view's (or filter generation's) entry is already
+ * memoized — so a re-warm-up after a view change rebuilds only what
+ * the new view needs.
+ */
+struct WarmupPolicy
+{
+    /** Build the min/max index of every sampled (cpu, counter). */
+    bool counterIndexes = true;
+
+    /**
+     * Restrict index warm-up to these counter ids; empty means every
+     * counter sampled on each CPU.
+     */
+    std::vector<CounterId> counters;
+
+    /** Memoize the interval statistics of the current view. */
+    bool intervalStats = true;
+
+    /** Cache the task list of the active filters. */
+    bool taskList = true;
+};
+
+/** What one warm-up actually did. */
+struct WarmupStats
+{
+    /** (cpu, counter) pairs scheduled by this call. */
+    std::size_t indexesVisited = 0;
+
+    /** Indexes newly built by this call. */
+    std::size_t indexesBuilt = 0;
+
+    /** Pairs skipped because an earlier warm-up already covered them. */
+    std::size_t indexesSkipped = 0;
+
+    /** Worker threads available to the executing pool. */
+    unsigned workers = 1;
+};
+
+/**
+ * Aggregate statistics of one interval (Session::intervalStats). The
+ * cold scan executes in parallel: per-CPU state chunks and task-array
+ * chunks produce partial sums merged at the end (exact integer sums,
+ * so the result is bit-identical to the serial scan at any worker
+ * count). Memoized results answer as already-completed tickets.
+ */
+struct IntervalStatsQuery
+{
+    /** Interval to aggregate; nullopt = the current view. */
+    std::optional<TimeInterval> interval;
+};
+
+/** Duration histogram of the tasks passing the active filters. */
+struct HistogramQuery
+{
+    /** Number of equal-width bins. */
+    std::uint32_t numBins = 20;
+};
+
+/** The task instances passing the active filters (Session::tasks). */
+struct TaskListQuery
+{
+};
+
+/**
+ * Extrema of one counter on one CPU through the cached min/max index
+ * (Session::counterExtrema).
+ */
+struct CounterExtremaQuery
+{
+    CpuId cpu = 0;
+    CounterId counter = 0;
+
+    /** Query interval; nullopt = the current view. */
+    std::optional<TimeInterval> interval;
+};
+
+/** Prefetch the structures @p policy names (Session::warmup). */
+struct WarmupQuery
+{
+    WarmupPolicy policy;
+};
+
+/**
+ * Render the timeline into a query-owned framebuffer of the given
+ * dimensions. Session filters and view are injected at submit time when
+ * the config names none, exactly like Session::render(); a config that
+ * names a taskFilter must keep it alive until the ticket completes.
+ */
+struct TimelineRenderQuery
+{
+    render::TimelineConfig config;
+    std::uint32_t width = 640;
+    std::uint32_t height = 360;
+};
+
+/** The finished frame and operation counts of a TimelineRenderQuery. */
+struct TimelineRenderResult
+{
+    // 1x1 placeholder (Framebuffer has no empty state); the executor
+    // replaces it with the width x height frame before completion.
+    render::Framebuffer fb{1, 1};
+    render::RenderStats stats;
+};
+
+} // namespace session
+} // namespace aftermath
+
+#endif // AFTERMATH_SESSION_QUERY_H

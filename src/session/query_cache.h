@@ -78,6 +78,46 @@ class MemoCache
     }
 
     /**
+     * The cached value for @p key, or nullptr on a miss. A hit counts
+     * and refreshes the entry's LRU position; a miss counts nothing
+     * (pair with insertOrGet(), which counts the build, when the caller
+     * computes the value out of line — the async query engine computes
+     * on a worker between the two calls).
+     */
+    const Value *
+    tryGet(const Key &key)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return nullptr;
+        counters_.hits++;
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return &it->second.value;
+    }
+
+    /**
+     * Insert @p value for @p key (counting one build) and return the
+     * cached copy. If the key is already present — another computation
+     * of the same query published first — the existing entry wins and
+     * nothing is counted, so racing producers never double-count.
+     */
+    const Value &
+    insertOrGet(const Key &key, Value &&value)
+    {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            return it->second.value;
+        }
+        counters_.builds++;
+        lru_.push_front(key);
+        it = entries_.emplace(key, Entry{std::move(value), lru_.begin()})
+                 .first;
+        trimToCapacity();
+        return it->second.value;
+    }
+
+    /**
      * Bound the cache to the @p capacity most recently used entries;
      * 0 restores the default unbounded mode. Shrinking below the
      * current size evicts immediately.

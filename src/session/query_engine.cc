@@ -1,0 +1,538 @@
+/**
+ * @file
+ * The executors of the asynchronous query plane: Session::submit()
+ * overloads and the worker-side code they fan out.
+ *
+ * Executors capture shared ownership of everything they read — the
+ * trace, the sharded index cache, filter snapshots, the SessionMemo —
+ * and never the Session itself, so sessions stay movable and
+ * destruction is safe with queries in flight. No executor ever blocks
+ * on the pool (fan-out queries decompose into independent chunk tasks
+ * joined by an atomic countdown), so a 1-worker pool cannot deadlock.
+ */
+
+#include "session/query_engine.h"
+
+#include <algorithm>
+
+#include "filter/task_filter.h"
+#include "session/session.h"
+#include "stats/histogram.h"
+
+namespace aftermath {
+namespace session {
+
+namespace {
+
+/** Fresh ticket state snapshotting the engine's generation. */
+template <typename Result>
+std::shared_ptr<detail::TicketState<Result>>
+newTicketState(const QueryEngine &engine)
+{
+    auto state = std::make_shared<detail::TicketState<Result>>();
+    state->generation = engine.generation();
+    state->live = engine.generationCell();
+    return state;
+}
+
+/** An already-Done ticket (memo fast path; never touches the pool). */
+template <typename Result>
+QueryTicket<Result>
+completedTicket(const QueryEngine &engine, Result value)
+{
+    auto state = newTicketState<Result>(engine);
+    state->status = QueryStatus::Done;
+    state->result.emplace(std::move(value));
+    return QueryTicket<Result>(std::move(state));
+}
+
+/**
+ * Scan the trace's task instances against @p filters in insertion
+ * order, polling @p state for staleness every few thousand instances.
+ * Returns nullopt when the query went stale mid-scan.
+ */
+template <typename Result>
+std::optional<std::vector<const trace::TaskInstance *>>
+scanTaskList(const trace::Trace &trace, const filter::FilterSet &filters,
+             const detail::TicketState<Result> &state)
+{
+    std::vector<const trace::TaskInstance *> out;
+    const std::vector<trace::TaskInstance> &instances =
+        trace.taskInstances();
+    for (std::size_t i = 0; i < instances.size(); i++) {
+        if ((i & 0xfff) == 0 && state.stale())
+            return std::nullopt;
+        if (filters.matches(trace, instances[i]))
+            out.push_back(&instances[i]);
+    }
+    return out;
+}
+
+/**
+ * Publish a freshly computed task list into the memo, unless the
+ * filter generation moved on (a stale-keyed entry would outlive the
+ * one-live-generation invariant of the cache).
+ */
+void
+publishTaskList(SessionMemo &memo, std::uint64_t filter_generation,
+                const std::vector<const trace::TaskInstance *> &list)
+{
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    if (memo.filterGeneration != filter_generation)
+        return;
+    memo.taskList.insertOrGet(
+        filter_generation,
+        std::vector<const trace::TaskInstance *>(list));
+}
+
+// -- Interval statistics (parallel fan-out) ------------------------------
+
+/**
+ * One cold interval-statistics scan decomposed into per-CPU state
+ * chunks plus task-array chunks. Drainer tasks claim chunks through an
+ * atomic cursor; the last drainer out merges the partials in chunk
+ * order and completes (or cancels) the ticket. All sums are exact
+ * integers, so the merged result is bit-identical to the serial scan
+ * at any worker count.
+ */
+struct StatsJob
+{
+    std::shared_ptr<detail::TicketState<stats::IntervalStats>> ticket;
+    std::shared_ptr<const trace::Trace> trace;
+    std::shared_ptr<SessionMemo> memo;
+    TimeInterval interval;
+    std::size_t cpuChunks = 0;
+    std::size_t taskChunks = 0;
+    std::size_t taskChunkSize = 1;
+    std::vector<stats::IntervalStats> partials;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> active{0};
+    std::atomic<bool> abandoned{false};
+};
+
+void
+drainStats(const std::shared_ptr<StatsJob> &job)
+{
+    job->ticket->markRunning();
+    const std::size_t total = job->cpuChunks + job->taskChunks;
+    for (;;) {
+        if (job->ticket->stale()) {
+            job->abandoned.store(true, std::memory_order_relaxed);
+            break;
+        }
+        std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total)
+            break;
+        if (i < job->cpuChunks) {
+            job->partials[i] = stats::intervalStateChunk(
+                job->trace->cpu(static_cast<CpuId>(i)), job->interval);
+        } else {
+            const auto &instances = job->trace->taskInstances();
+            std::size_t begin = (i - job->cpuChunks) * job->taskChunkSize;
+            std::size_t end =
+                std::min(instances.size(), begin + job->taskChunkSize);
+            job->partials[i] = stats::intervalTaskChunk(
+                instances.data() + begin, instances.data() + end,
+                job->interval);
+        }
+    }
+    if (job->active.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    // Last drainer out: merge, publish, complete.
+    if (job->abandoned.load(std::memory_order_relaxed) ||
+        job->ticket->stale()) {
+        job->ticket->completeCancelled();
+        return;
+    }
+    stats::IntervalStats merged;
+    merged.interval = job->interval;
+    for (const stats::IntervalStats &partial : job->partials)
+        merged.mergeFrom(partial);
+    {
+        std::lock_guard<std::mutex> lock(job->memo->mutex);
+        job->memo->stats.insertOrGet(
+            std::make_pair(job->interval.start, job->interval.end),
+            stats::IntervalStats(merged));
+    }
+    job->ticket->complete(std::move(merged));
+}
+
+// -- Warm-up (parallel fan-out, generation-immune) -----------------------
+
+/**
+ * One incremental warm-up: the not-yet-warmed (cpu, counter) pairs as
+ * independent index-build units, plus optional interval-statistics and
+ * task-list units. Unit claiming and completion mirror StatsJob.
+ */
+struct WarmupJob
+{
+    std::shared_ptr<detail::TicketState<WarmupStats>> ticket;
+    std::shared_ptr<const trace::Trace> trace;
+    std::shared_ptr<CounterIndexCache> cache;
+    std::shared_ptr<SessionMemo> memo;
+    std::shared_ptr<const filter::FilterSet> filters;
+    std::vector<std::pair<CpuId, CounterId>> pairs;
+    bool doStats = false;
+    bool doTaskList = false;
+    TimeInterval statsInterval;
+    std::uint64_t filterGeneration = 0;
+    WarmupStats stats;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> active{0};
+    std::atomic<std::size_t> built{0}; ///< Indexes this job constructed.
+    std::atomic<bool> abandoned{false};
+};
+
+void
+drainWarmup(const std::shared_ptr<WarmupJob> &job)
+{
+    job->ticket->markRunning();
+    const std::size_t pair_units = job->pairs.size();
+    const std::size_t stats_unit = pair_units;
+    const std::size_t list_unit = pair_units + (job->doStats ? 1 : 0);
+    const std::size_t total = list_unit + (job->doTaskList ? 1 : 0);
+    for (;;) {
+        if (job->ticket->stale()) {
+            job->abandoned.store(true, std::memory_order_relaxed);
+            break;
+        }
+        std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total)
+            break;
+        if (i < pair_units) {
+            bool constructed = false;
+            job->cache->get(job->pairs[i].first, job->pairs[i].second,
+                            &constructed);
+            // Per-call attribution: concurrent non-warm-up queries
+            // building indexes never inflate this job's count.
+            if (constructed)
+                job->built.fetch_add(1, std::memory_order_relaxed);
+        } else if (job->doStats && i == stats_unit) {
+            // One serial scan (warm-up is already off the interactive
+            // path; the pairs dominate the work).
+            stats::IntervalStats merged;
+            merged.interval = job->statsInterval;
+            for (CpuId c = 0; c < job->trace->numCpus(); c++)
+                merged.mergeFrom(stats::intervalStateChunk(
+                    job->trace->cpu(c), job->statsInterval));
+            const auto &instances = job->trace->taskInstances();
+            merged.mergeFrom(stats::intervalTaskChunk(
+                instances.data(), instances.data() + instances.size(),
+                job->statsInterval));
+            std::lock_guard<std::mutex> lock(job->memo->mutex);
+            job->memo->stats.insertOrGet(
+                std::make_pair(job->statsInterval.start,
+                               job->statsInterval.end),
+                std::move(merged));
+        } else {
+            auto list =
+                scanTaskList(*job->trace, *job->filters, *job->ticket);
+            if (!list) {
+                job->abandoned.store(true, std::memory_order_relaxed);
+                break;
+            }
+            publishTaskList(*job->memo, job->filterGeneration, *list);
+        }
+    }
+    if (job->active.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    if (job->abandoned.load(std::memory_order_relaxed) ||
+        job->ticket->stale()) {
+        // Cancelled mid-way: indexes already built stay cached (they
+        // answer lazily), but nothing is recorded as warmed, so the
+        // next warm-up revisits cheaply.
+        job->ticket->completeCancelled();
+        return;
+    }
+    WarmupStats stats = job->stats;
+    stats.indexesBuilt = job->built.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(job->memo->mutex);
+        job->memo->warmedPairs.insert(job->pairs.begin(),
+                                      job->pairs.end());
+    }
+    job->ticket->complete(stats);
+}
+
+} // namespace
+
+// -- Session::submit overloads -------------------------------------------
+
+QueryTicket<stats::IntervalStats>
+Session::submit(const IntervalStatsQuery &query)
+{
+    TimeInterval interval = query.interval.value_or(view());
+    {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        if (const stats::IntervalStats *hit = memo_->stats.tryGet(
+                std::make_pair(interval.start, interval.end)))
+            return completedTicket(*engine_, stats::IntervalStats(*hit));
+    }
+    auto state = newTicketState<stats::IntervalStats>(*engine_);
+    auto job = std::make_shared<StatsJob>();
+    job->ticket = state;
+    job->trace = trace_;
+    job->memo = memo_;
+    job->interval = interval;
+    job->cpuChunks = trace_->numCpus();
+    const std::size_t instances = trace_->taskInstances().size();
+    const unsigned workers = engine_->workers();
+    if (instances > 0) {
+        // Enough task chunks to load every worker a few times over,
+        // but no micro-chunks: the claim cursor should stay noise.
+        job->taskChunkSize = std::max<std::size_t>(
+            4096, instances / (static_cast<std::size_t>(workers) * 4));
+        job->taskChunks =
+            (instances + job->taskChunkSize - 1) / job->taskChunkSize;
+    }
+    const std::size_t total = job->cpuChunks + job->taskChunks;
+    if (total == 0) {
+        stats::IntervalStats empty;
+        empty.interval = interval;
+        {
+            std::lock_guard<std::mutex> lock(memo_->mutex);
+            memo_->stats.insertOrGet(
+                std::make_pair(interval.start, interval.end),
+                stats::IntervalStats(empty));
+        }
+        return completedTicket(*engine_, std::move(empty));
+    }
+    job->partials.resize(total);
+    const std::size_t drainers =
+        std::max<std::size_t>(1, std::min<std::size_t>(workers, total));
+    job->active.store(drainers, std::memory_order_relaxed);
+    for (std::size_t d = 0; d < drainers; d++)
+        engine_->pool().submit([job] { drainStats(job); });
+    return QueryTicket<stats::IntervalStats>(std::move(state));
+}
+
+QueryTicket<std::vector<const trace::TaskInstance *>>
+Session::submit(const TaskListQuery &)
+{
+    using List = std::vector<const trace::TaskInstance *>;
+    std::uint64_t generation;
+    {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        generation = memo_->filterGeneration;
+        if (const List *hit = memo_->taskList.tryGet(generation))
+            return completedTicket(*engine_, List(*hit));
+    }
+    auto state = newTicketState<List>(*engine_);
+    // The task list is view-independent: staleness tracks the filter
+    // generation, so panning the view never cancels it.
+    state->generation = engine_->filterGeneration();
+    state->live = engine_->filterGenerationCell();
+    auto trace = trace_;
+    auto memo = memo_;
+    auto filters = std::make_shared<const filter::FilterSet>(filters_);
+    base::TaskHandle handle = engine_->pool().submitTracked(
+        [state, trace, memo, filters, generation] {
+            state->markRunning();
+            auto list = scanTaskList(*trace, *filters, *state);
+            if (!list) {
+                state->completeCancelled();
+                return;
+            }
+            publishTaskList(*memo, generation, *list);
+            state->complete(std::move(*list));
+        });
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->handle = handle;
+    }
+    return QueryTicket<List>(std::move(state));
+}
+
+QueryTicket<stats::Histogram>
+Session::submit(const HistogramQuery &query)
+{
+    using List = std::vector<const trace::TaskInstance *>;
+    auto state = newTicketState<stats::Histogram>(*engine_);
+    // Like the task list it is built from, the histogram is
+    // view-independent: staleness tracks the filter generation only.
+    state->generation = engine_->filterGeneration();
+    state->live = engine_->filterGenerationCell();
+    std::uint64_t generation;
+    std::shared_ptr<const List> cached;
+    {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        generation = memo_->filterGeneration;
+        if (const List *hit = memo_->taskList.tryGet(generation))
+            cached = std::make_shared<const List>(*hit);
+    }
+    auto trace = trace_;
+    auto memo = memo_;
+    auto filters = std::make_shared<const filter::FilterSet>(filters_);
+    std::uint32_t num_bins = query.numBins;
+    base::TaskHandle handle = engine_->pool().submitTracked(
+        [state, trace, memo, filters, cached, generation, num_bins] {
+            state->markRunning();
+            if (state->stale()) {
+                state->completeCancelled();
+                return;
+            }
+            const List *tasks = cached.get();
+            List computed;
+            if (!tasks) {
+                auto list = scanTaskList(*trace, *filters, *state);
+                if (!list) {
+                    state->completeCancelled();
+                    return;
+                }
+                computed = std::move(*list);
+                // The scan is the expensive half; share it with later
+                // tasks()/histogram() calls of the same generation.
+                publishTaskList(*memo, generation, computed);
+                tasks = &computed;
+            }
+            std::vector<double> durations;
+            durations.reserve(tasks->size());
+            for (const trace::TaskInstance *task : *tasks)
+                durations.push_back(
+                    static_cast<double>(task->duration()));
+            if (state->stale()) {
+                state->completeCancelled();
+                return;
+            }
+            state->complete(
+                stats::Histogram::fromValues(durations, num_bins));
+        });
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->handle = handle;
+    }
+    return QueryTicket<stats::Histogram>(std::move(state));
+}
+
+QueryTicket<index::MinMax>
+Session::submit(const CounterExtremaQuery &query)
+{
+    auto state = newTicketState<index::MinMax>(*engine_);
+    auto cache = counterIndexes_;
+    TimeInterval interval = query.interval.value_or(view());
+    CpuId cpu = query.cpu;
+    CounterId counter = query.counter;
+    base::TaskHandle handle = engine_->pool().submitTracked(
+        [state, cache, cpu, counter, interval] {
+            state->markRunning();
+            if (state->stale()) {
+                state->completeCancelled();
+                return;
+            }
+            state->complete(cache->query(cpu, counter, interval));
+        });
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->handle = handle;
+    }
+    return QueryTicket<index::MinMax>(std::move(state));
+}
+
+QueryTicket<Session::WarmupStats>
+Session::submit(const WarmupQuery &query)
+{
+    auto state = newTicketState<WarmupStats>(*engine_);
+    // Warm-up products are view-independent (indexes) or keyed by
+    // interval / filter generation, so generation bumps don't invalidate
+    // them: warm-up cancels only explicitly.
+    state->live = nullptr;
+    auto job = std::make_shared<WarmupJob>();
+    job->ticket = state;
+    job->trace = trace_;
+    job->cache = counterIndexes_;
+    job->memo = memo_;
+    job->filters = std::make_shared<const filter::FilterSet>(filters_);
+    job->statsInterval = view();
+    job->stats.workers = engine_->workers();
+
+    const WarmupPolicy &policy = query.policy;
+    std::size_t skipped = 0;
+    {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        job->filterGeneration = memo_->filterGeneration;
+        if (policy.counterIndexes) {
+            for (CpuId c = 0; c < trace_->numCpus(); c++) {
+                for (CounterId id : trace_->cpu(c).counterIds()) {
+                    if (!policy.counters.empty() &&
+                        std::find(policy.counters.begin(),
+                                  policy.counters.end(),
+                                  id) == policy.counters.end())
+                        continue;
+                    if (memo_->warmedPairs.count({c, id})) {
+                        skipped++;
+                        continue;
+                    }
+                    job->pairs.emplace_back(c, id);
+                }
+            }
+        }
+        // Already-memoized stats / task-list entries need no unit; the
+        // lookups count hits, keeping warm-up observable like the old
+        // eager revisit did.
+        if (policy.intervalStats)
+            job->doStats =
+                memo_->stats.tryGet(std::make_pair(
+                    job->statsInterval.start,
+                    job->statsInterval.end)) == nullptr;
+        if (policy.taskList)
+            job->doTaskList =
+                memo_->taskList.tryGet(job->filterGeneration) == nullptr;
+    }
+    job->stats.indexesVisited = job->pairs.size();
+    job->stats.indexesSkipped = skipped;
+
+    const std::size_t total = job->pairs.size() +
+                              (job->doStats ? 1 : 0) +
+                              (job->doTaskList ? 1 : 0);
+    if (total == 0)
+        return completedTicket(*engine_, job->stats);
+    const std::size_t drainers = std::max<std::size_t>(
+        1, std::min<std::size_t>(engine_->workers(), total));
+    job->active.store(drainers, std::memory_order_relaxed);
+    for (std::size_t d = 0; d < drainers; d++)
+        engine_->pool().submit([job] { drainWarmup(job); });
+    return QueryTicket<WarmupStats>(std::move(state));
+}
+
+QueryTicket<TimelineRenderResult>
+Session::submit(const TimelineRenderQuery &query)
+{
+    AFTERMATH_ASSERT(query.width > 0 && query.height > 0,
+                     "render query needs positive dimensions");
+    auto state = newTicketState<TimelineRenderResult>(*engine_);
+    auto trace = trace_;
+    // Snapshot the session's filters on the heap: the async render must
+    // not point into the (mutable) session object.
+    std::shared_ptr<const filter::FilterSet> filters;
+    render::TimelineConfig config = query.config;
+    if (!config.taskFilter && filters_.size() > 0) {
+        filters = std::make_shared<const filter::FilterSet>(filters_);
+        config.taskFilter = filters.get();
+    }
+    if (config.view.empty() && !view_.empty())
+        config.view = view_;
+    std::uint32_t width = query.width;
+    std::uint32_t height = query.height;
+    base::TaskHandle handle = engine_->pool().submitTracked(
+        [state, trace, filters, config, width, height] {
+            state->markRunning();
+            if (state->stale()) {
+                state->completeCancelled();
+                return;
+            }
+            TimelineRenderResult result;
+            result.fb = render::Framebuffer(width, height);
+            render::TimelineRenderer renderer(*trace);
+            renderer.render(config, result.fb);
+            result.stats = renderer.stats();
+            state->complete(std::move(result));
+        });
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->handle = handle;
+    }
+    return QueryTicket<TimelineRenderResult>(std::move(state));
+}
+
+} // namespace session
+} // namespace aftermath

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * The asynchronous query plane behind session::Session::submit().
+ *
+ * Session::submit(spec) returns a QueryTicket immediately and executes
+ * the query on the QueryEngine's shared base::ThreadPool. A ticket is a
+ * future with a status and a cancel: wait()/result() block until the
+ * query finished, cancel() requests cooperative abandonment, and every
+ * view/filter/trace mutation bumps the engine's generation counter so
+ * stale in-flight queries cancel at the next chunk boundary instead of
+ * wasting cores on a view the user already left.
+ *
+ * Executors never touch the Session object itself — they capture shared
+ * ownership of everything they read (the trace, the sharded index
+ * cache, a filter snapshot, the SessionMemo) so sessions stay movable
+ * and destruction is safe with queries in flight (the engine's pool
+ * drains before it dies). Completed results publish into the
+ * SessionMemo under its mutex, so asynchronous queries warm the same
+ * memo the synchronous wrappers serve hits from.
+ */
+
+#ifndef AFTERMATH_SESSION_QUERY_ENGINE_H
+#define AFTERMATH_SESSION_QUERY_ENGINE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/thread_pool.h"
+#include "base/time_interval.h"
+#include "base/types.h"
+#include "session/query_cache.h"
+#include "stats/interval_stats.h"
+#include "trace/trace.h"
+
+namespace aftermath {
+namespace session {
+
+/** Lifecycle of one submitted query. */
+enum class QueryStatus
+{
+    /** Queued; no worker picked it up yet. */
+    Pending,
+
+    /** A worker is executing it. */
+    Running,
+
+    /** Finished; the result is available. */
+    Done,
+
+    /** Abandoned — cancel() or a generation bump; no result. */
+    Cancelled,
+};
+
+namespace detail {
+
+/**
+ * Shared completion state of one query: the future's storage, the
+ * cooperative cancellation token, and the generation snapshot checked
+ * against the engine's live counter. Shared between the ticket, the
+ * executor tasks, and nothing else.
+ */
+template <typename Result>
+struct TicketState
+{
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    QueryStatus status = QueryStatus::Pending;
+    std::optional<Result> result;
+    base::CancellationToken cancel;
+    base::TaskHandle handle; ///< Set for single-task queries only.
+
+    /** Generation at submit; the query is stale once live differs. */
+    std::uint64_t generation = 0;
+
+    /** The engine's live counter; null = generation-immune (warm-up). */
+    std::shared_ptr<const std::atomic<std::uint64_t>> live;
+
+    /** True once the query should stop: cancelled or stale. */
+    bool
+    stale() const
+    {
+        if (cancel.cancelled())
+            return true;
+        return live &&
+               live->load(std::memory_order_acquire) != generation;
+    }
+
+    /** Transition Pending -> Running (first worker in). */
+    void
+    markRunning()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (status == QueryStatus::Pending)
+            status = QueryStatus::Running;
+    }
+
+    /** Deliver the result unless the ticket was already cancelled. */
+    void
+    complete(Result value)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (status == QueryStatus::Done ||
+            status == QueryStatus::Cancelled)
+            return;
+        result.emplace(std::move(value));
+        status = QueryStatus::Done;
+        cv.notify_all();
+    }
+
+    /** Terminal Cancelled transition (idempotent, loses to Done). */
+    void
+    completeCancelled()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (status == QueryStatus::Done ||
+            status == QueryStatus::Cancelled)
+            return;
+        status = QueryStatus::Cancelled;
+        cv.notify_all();
+    }
+};
+
+} // namespace detail
+
+/**
+ * The future half of one Session::submit() call: status observation,
+ * blocking wait, result access, and cooperative cancellation. Tickets
+ * are cheap shared handles — copy and pass them freely; all methods are
+ * safe from any thread. A default-constructed ticket is inert.
+ */
+template <typename Result>
+class QueryTicket
+{
+  public:
+    QueryTicket() = default;
+
+    /** Internal: wraps the shared state created by Session::submit. */
+    explicit QueryTicket(
+        std::shared_ptr<detail::TicketState<Result>> state)
+        : state_(std::move(state))
+    {}
+
+    /** True if the ticket tracks a submitted query. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** Current lifecycle state. */
+    QueryStatus
+    status() const
+    {
+        AFTERMATH_ASSERT(state_ != nullptr, "status() on an empty ticket");
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        return state_->status;
+    }
+
+    /** The engine generation this query was submitted under. */
+    std::uint64_t
+    generation() const
+    {
+        AFTERMATH_ASSERT(state_ != nullptr,
+                         "generation() on an empty ticket");
+        return state_->generation;
+    }
+
+    /**
+     * Request cooperative cancellation. A query still queued is
+     * cancelled immediately (it never runs); a running query stops at
+     * its next chunk boundary. A query that already completed keeps
+     * its result.
+     */
+    void
+    cancel()
+    {
+        AFTERMATH_ASSERT(state_ != nullptr, "cancel() on an empty ticket");
+        state_->cancel.requestCancel();
+        base::TaskHandle handle;
+        {
+            std::lock_guard<std::mutex> lock(state_->mutex);
+            handle = state_->handle;
+        }
+        if (handle.valid() && handle.tryCancel())
+            state_->completeCancelled();
+    }
+
+    /** Block until the query is Done or Cancelled; returns which. */
+    QueryStatus
+    wait() const
+    {
+        AFTERMATH_ASSERT(state_ != nullptr, "wait() on an empty ticket");
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        state_->cv.wait(lock, [this] {
+            return state_->status == QueryStatus::Done ||
+                   state_->status == QueryStatus::Cancelled;
+        });
+        return state_->status;
+    }
+
+    /** True once wait() would not block. */
+    bool
+    done() const
+    {
+        QueryStatus s = status();
+        return s == QueryStatus::Done || s == QueryStatus::Cancelled;
+    }
+
+    /**
+     * Wait and return the result. Panics on a cancelled query — call
+     * sites that may race a cancellation should wait() and check.
+     */
+    const Result &
+    result() const
+    {
+        QueryStatus s = wait();
+        AFTERMATH_ASSERT(s == QueryStatus::Done,
+                         "result() on a cancelled query");
+        return *state_->result;
+    }
+
+    /** Wait and move the result out (panics on a cancelled query). */
+    Result
+    take()
+    {
+        QueryStatus s = wait();
+        AFTERMATH_ASSERT(s == QueryStatus::Done,
+                         "take() on a cancelled query");
+        return std::move(*state_->result);
+    }
+
+  private:
+    std::shared_ptr<detail::TicketState<Result>> state_;
+};
+
+/**
+ * The memoized query state one session shares with its in-flight
+ * executors, guarded by one mutex: the per-interval statistics memo,
+ * the per-filter-generation task list, the live filter generation, and
+ * the set of (cpu, counter) pairs previous warm-ups covered (the
+ * incremental re-warm-up bookkeeping). Heap-allocated and captured by
+ * shared_ptr so executors survive session moves and destruction.
+ */
+struct SessionMemo
+{
+    mutable std::mutex mutex;
+    MemoCache<std::pair<TimeStamp, TimeStamp>, stats::IntervalStats>
+        stats;
+    MemoCache<std::uint64_t, std::vector<const trace::TaskInstance *>>
+        taskList;
+    std::uint64_t filterGeneration = 0;
+    std::set<std::pair<CpuId, CounterId>> warmedPairs;
+};
+
+/**
+ * The shared execution substrate of one or more sessions: a lazily
+ * started base::ThreadPool and the generation counter that invalidates
+ * in-flight queries. A SessionGroup points every variant at one engine
+ * so group-wide work (overlapped warm-up, submitAll) shares one pool
+ * instead of parking workers per variant.
+ *
+ * submit-side methods (pool(), setWorkers()) follow the session's
+ * external-synchronization contract — one driving thread; generation()
+ * and bumpGeneration() are safe from any thread.
+ */
+class QueryEngine
+{
+  public:
+    /** An engine whose pool will run @p workers threads (0 = one per
+     *  hardware thread). The pool starts on the first submit. */
+    explicit QueryEngine(unsigned workers = 1)
+        : generation_(std::make_shared<std::atomic<std::uint64_t>>(0)),
+          filterGeneration_(
+              std::make_shared<std::atomic<std::uint64_t>>(0))
+    {
+        setWorkers(workers);
+    }
+
+    /** Effective worker count of the (possibly not yet started) pool. */
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Resize the pool; takes effect immediately (a live pool drains its
+     * queue and joins before the new size applies).
+     */
+    void
+    setWorkers(unsigned workers)
+    {
+        unsigned effective =
+            workers == 0 ? base::ThreadPool::defaultWorkers() : workers;
+        if (pool_ && effective != workers_)
+            pool_.reset();
+        workers_ = effective;
+    }
+
+    /**
+     * The live generation, bumped by *every* shared-state mutation
+     * (view, filters, trace). View-dependent queries (interval stats,
+     * extrema, render) submitted under an older value are stale and
+     * cancel cooperatively.
+     */
+    std::uint64_t
+    generation() const
+    {
+        return generation_->load(std::memory_order_acquire);
+    }
+
+    /**
+     * The live filter generation, bumped only by filter and trace
+     * mutations. View-independent but filter-keyed queries (task list,
+     * histogram) poll this one, so panning the view never spuriously
+     * cancels them.
+     */
+    std::uint64_t
+    filterGeneration() const
+    {
+        return filterGeneration_->load(std::memory_order_acquire);
+    }
+
+    /** Invalidate in-flight view-dependent queries (the view moved). */
+    void
+    bumpGeneration()
+    {
+        generation_->fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    /** Invalidate every in-flight query (filters or trace moved). */
+    void
+    bumpFilterGeneration()
+    {
+        generation_->fetch_add(1, std::memory_order_acq_rel);
+        filterGeneration_->fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    /** The generation cell executors poll (shared, outlives the engine). */
+    std::shared_ptr<const std::atomic<std::uint64_t>>
+    generationCell() const
+    {
+        return generation_;
+    }
+
+    /** The filter-generation cell (shared, outlives the engine). */
+    std::shared_ptr<const std::atomic<std::uint64_t>>
+    filterGenerationCell() const
+    {
+        return filterGeneration_;
+    }
+
+    /** The worker pool, started on first use. */
+    base::ThreadPool &
+    pool()
+    {
+        if (!pool_)
+            pool_ = std::make_unique<base::ThreadPool>(workers_);
+        return *pool_;
+    }
+
+  private:
+    std::shared_ptr<std::atomic<std::uint64_t>> generation_;
+    std::shared_ptr<std::atomic<std::uint64_t>> filterGeneration_;
+    unsigned workers_ = 1;
+    std::unique_ptr<base::ThreadPool> pool_;
+};
+
+} // namespace session
+} // namespace aftermath
+
+#endif // AFTERMATH_SESSION_QUERY_ENGINE_H

@@ -51,14 +51,28 @@ durationsOf(const std::vector<const trace::TaskInstance *> &tasks)
 
 } // namespace
 
+namespace {
+
+void
+accumulate(CacheCounters &into, const CacheCounters &from)
+{
+    into.hits += from.hits;
+    into.builds += from.builds;
+    into.evictions += from.evictions;
+}
+
+} // namespace
+
 Session::Session(trace::Trace trace)
-    : trace_(std::make_shared<const trace::Trace>(std::move(trace)))
+    : trace_(std::make_shared<const trace::Trace>(std::move(trace))),
+      engine_(std::make_shared<QueryEngine>(1))
 {
     rebindTrace();
 }
 
 Session::Session(std::shared_ptr<const trace::Trace> trace)
-    : trace_(std::move(trace))
+    : trace_(std::move(trace)),
+      engine_(std::make_shared<QueryEngine>(1))
 {
     AFTERMATH_ASSERT(trace_ != nullptr, "session over a null trace");
     rebindTrace();
@@ -75,13 +89,24 @@ Session::view(const trace::Trace &trace)
 void
 Session::rebindTrace()
 {
-    counterIndexes_ = std::make_unique<CounterIndexCache>(*trace_);
+    counterIndexes_ = std::make_shared<CounterIndexCache>(*trace_);
     // The renderer scans the task-type table at construction; defer it
-    // until the first render so query-only sessions (in particular the
-    // throwaway ones behind the deprecated free functions) never pay it.
+    // until the first render so query-only sessions never pay it.
     renderer_.reset();
-    statsCache_.clear();
-    taskListCache_.clear();
+    // Replace — never clear in place — the shared memo: executors still
+    // in flight over the old trace keep publishing into the old object,
+    // which nobody queries anymore and which dies with their last
+    // reference, so stale results (or, worse, task pointers into the
+    // old trace) can never poison the new trace's caches.
+    auto fresh = std::make_shared<SessionMemo>();
+    if (memo_) {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        accumulate(statsBase_, memo_->stats.counters());
+        accumulate(taskListBase_, memo_->taskList.counters());
+        fresh->filterGeneration = memo_->filterGeneration;
+        fresh->stats.setCapacity(memo_->stats.capacity());
+    }
+    memo_ = std::move(fresh);
 }
 
 render::TimelineRenderer &
@@ -104,26 +129,48 @@ Session::setTrace(std::shared_ptr<const trace::Trace> trace)
     AFTERMATH_ASSERT(trace != nullptr, "session over a null trace");
     // Keep the index accounting cumulative across the swap: the cache
     // object dies with the old trace, its counters roll into the base.
+    // In-flight queries keep the old cache and trace alive through
+    // their captured shared_ptrs, but the generation bump cancels them
+    // before they can serve stale data.
     counterIndexBase_.hits += counterIndexes_->counters().hits;
     counterIndexBase_.builds += counterIndexes_->counters().builds;
     trace_ = std::move(trace);
     rebindTrace();
+    engine_->bumpFilterGeneration();
 }
 
 void
 Session::setFilters(filter::FilterSet filters)
 {
     filters_ = std::move(filters);
-    filterGeneration_++;
-    // Only filter-dependent caches go; indexes and interval statistics
-    // are filter-independent and survive.
-    taskListCache_.clear();
+    {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        // Only filter-dependent caches go; indexes and interval
+        // statistics are filter-independent and survive.
+        memo_->filterGeneration++;
+        memo_->taskList.clear();
+    }
+    engine_->bumpFilterGeneration();
 }
 
 void
 Session::clearFilters()
 {
     setFilters(filter::FilterSet());
+}
+
+std::uint64_t
+Session::filterGeneration() const
+{
+    std::lock_guard<std::mutex> lock(memo_->mutex);
+    return memo_->filterGeneration;
+}
+
+void
+Session::setView(const TimeInterval &view)
+{
+    view_ = view;
+    engine_->bumpGeneration();
 }
 
 TimeInterval
@@ -135,73 +182,21 @@ Session::view() const
 void
 Session::setConcurrency(const Concurrency &concurrency)
 {
-    if (concurrency.workers != concurrency_.workers)
-        pool_.reset(); // Rebuilt lazily with the new worker count.
     concurrency_ = concurrency;
+    engine_->setWorkers(concurrency.workers);
 }
 
-base::ThreadPool *
-Session::pool()
+void
+Session::setQueryEngine(std::shared_ptr<QueryEngine> engine)
 {
-    unsigned workers = concurrency_.workers == 0
-        ? base::ThreadPool::defaultWorkers()
-        : concurrency_.workers;
-    if (workers <= 1)
-        return nullptr;
-    if (!pool_)
-        pool_ = std::make_unique<base::ThreadPool>(workers);
-    return pool_.get();
+    AFTERMATH_ASSERT(engine != nullptr, "null query engine");
+    engine_ = std::move(engine);
 }
 
 Session::WarmupStats
 Session::warmup(const WarmupPolicy &policy)
 {
-    WarmupStats stats;
-
-    if (policy.counterIndexes) {
-        // Enumerate the sampled (cpu, counter) pairs up front; the
-        // builds are independent and go through the per-CPU-sharded
-        // index cache, so they run concurrently without contending.
-        std::vector<std::pair<CpuId, CounterId>> pairs;
-        for (CpuId c = 0; c < trace_->numCpus(); c++) {
-            for (CounterId id : trace_->cpu(c).counterIds()) {
-                if (policy.counters.empty() ||
-                    std::find(policy.counters.begin(),
-                              policy.counters.end(),
-                              id) != policy.counters.end())
-                    pairs.emplace_back(c, id);
-            }
-        }
-        std::uint64_t builds_before = counterIndexes_->counters().builds;
-        base::ThreadPool *workers = pool();
-        if (workers) {
-            stats.workers = workers->numWorkers();
-            workers->parallelFor(pairs.size(), [&](std::size_t i) {
-                counterIndexes_->get(pairs[i].first, pairs[i].second);
-            });
-        } else {
-            for (const auto &[cpu, counter] : pairs)
-                counterIndexes_->get(cpu, counter);
-        }
-        stats.indexesVisited = pairs.size();
-        stats.indexesBuilt = static_cast<std::size_t>(
-            counterIndexes_->counters().builds - builds_before);
-    }
-
-    // The memoized single-entry structures are cheap relative to the
-    // index sweep; they warm serially on the calling thread (MemoCache
-    // is not thread-safe, and there is nothing to overlap).
-    if (policy.intervalStats)
-        intervalStats(view());
-    if (policy.taskList)
-        tasks();
-
-    // Workers park only between the pool's construction and here; the
-    // session does not keep idle threads alive after the warm-up (a
-    // group of many-variant sessions would otherwise park
-    // variants x workers threads for the program's lifetime).
-    pool_.reset();
-    return stats;
+    return submit(WarmupQuery{policy}).take();
 }
 
 Session::WarmupStats
@@ -213,15 +208,26 @@ Session::warmup()
 void
 Session::setStatsCacheCapacity(std::size_t capacity)
 {
-    statsCache_.setCapacity(capacity);
+    std::lock_guard<std::mutex> lock(memo_->mutex);
+    memo_->stats.setCapacity(capacity);
 }
 
 const stats::IntervalStats &
 Session::intervalStats(const TimeInterval &interval)
 {
-    return statsCache_.getOrBuild(
-        std::make_pair(interval.start, interval.end),
-        [&] { return computeIntervalStatsUncached(interval); });
+    auto key = std::make_pair(interval.start, interval.end);
+    {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        if (const stats::IntervalStats *hit = memo_->stats.tryGet(key))
+            return *hit;
+    }
+    // Cold: submit-and-wait. The executor publishes under the same key
+    // on completion, so insertOrGet almost always finds the entry and
+    // merely returns the cached reference.
+    stats::IntervalStats result =
+        submit(IntervalStatsQuery{interval}).take();
+    std::lock_guard<std::mutex> lock(memo_->mutex);
+    return memo_->stats.insertOrGet(key, std::move(result));
 }
 
 const stats::IntervalStats &
@@ -230,36 +236,10 @@ Session::intervalStats()
     return intervalStats(view());
 }
 
-stats::IntervalStats
-Session::computeIntervalStatsUncached(const TimeInterval &interval) const
-{
-    stats::IntervalStats stats;
-    stats.interval = interval;
-
-    for (CpuId c = 0; c < trace_->numCpus(); c++) {
-        const auto &states = trace_->cpu(c).states();
-        trace::SliceRange slice = trace_->cpu(c).stateSlice(interval);
-        for (std::size_t i = slice.first; i < slice.last; i++) {
-            const trace::StateEvent &ev = states[i];
-            stats.timeInState[ev.state] +=
-                ev.interval.overlapDuration(interval);
-        }
-    }
-
-    for (const trace::TaskInstance &task : trace_->taskInstances()) {
-        if (task.interval.overlaps(interval)) {
-            stats.tasksOverlapping++;
-            if (interval.contains(task.interval.start))
-                stats.tasksStarted++;
-        }
-    }
-    return stats;
-}
-
 stats::Histogram
 Session::histogram(std::uint32_t num_bins)
 {
-    return stats::Histogram::fromValues(durationsOf(tasks()), num_bins);
+    return submit(HistogramQuery{num_bins}).take();
 }
 
 stats::Histogram
@@ -305,8 +285,17 @@ Session::taskCounterIncreasesMatching(CounterId counter,
 const std::vector<const trace::TaskInstance *> &
 Session::tasks()
 {
-    return taskListCache_.getOrBuild(
-        filterGeneration_, [&] { return tasksMatching(filters_); });
+    std::uint64_t generation;
+    {
+        std::lock_guard<std::mutex> lock(memo_->mutex);
+        generation = memo_->filterGeneration;
+        if (const auto *hit = memo_->taskList.tryGet(generation))
+            return *hit;
+    }
+    std::vector<const trace::TaskInstance *> result =
+        submit(TaskListQuery{}).take();
+    std::lock_guard<std::mutex> lock(memo_->mutex);
+    return memo_->taskList.insertOrGet(generation, std::move(result));
 }
 
 std::vector<const trace::TaskInstance *>
@@ -359,8 +348,11 @@ Session::cacheStats() const
         counterIndexBase_.hits + counterIndexes_->counters().hits;
     out.counterIndex.builds =
         counterIndexBase_.builds + counterIndexes_->counters().builds;
-    out.intervalStats = statsCache_.counters();
-    out.taskList = taskListCache_.counters();
+    out.intervalStats = statsBase_;
+    out.taskList = taskListBase_;
+    std::lock_guard<std::mutex> lock(memo_->mutex);
+    accumulate(out.intervalStats, memo_->stats.counters());
+    accumulate(out.taskList, memo_->taskList.counters());
     return out;
 }
 

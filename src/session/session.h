@@ -8,19 +8,42 @@
  * rescan (sections II-A, VI-B). Session is that shared state as an API:
  * it owns one finalized trace, the active filter set and the current
  * view interval, and answers the whole analysis surface through one
- * coherent object. Internally it lazily builds and memoizes the
- * per-(CPU, counter) min/max indexes and per-interval statistics,
- * invalidates filter-dependent caches on setFilters(), and feeds the
- * cached structures to the renderer, the statistics and the metrics so
- * no consumer ever rebuilds them.
+ * coherent object.
  *
- * Threading contract: queries and setters mutate internal caches and
- * require external synchronization — one thread at a time per session.
- * warmup() is the exception in implementation but not in contract: it
- * parallelizes index construction internally (over the per-CPU-sharded
- * index cache, driven by the Concurrency knob) yet must itself be the
- * only call running on the session. Distinct sessions, including
- * sessions viewing the same trace, are fully independent.
+ * Threading contract (the submit/ticket model): the session has a
+ * *driving side* and an *execution side*.
+ *
+ *  - Driving side: setters (setTrace, setFilters, setView,
+ *    setConcurrency), submit() and the synchronous query methods
+ *    require external synchronization — one driving thread at a time
+ *    per session (per group, when sessions share a QueryEngine).
+ *  - Execution side: submit(spec) returns a QueryTicket immediately
+ *    and runs the query on the engine's worker pool. Tickets are safe
+ *    from any thread (status/wait/result/cancel), so a UI thread can
+ *    submit, keep painting, and collect the result when it lands.
+ *    Completed results publish into the session's memo caches, which
+ *    are internally locked for exactly this producer path.
+ *
+ * Every mutation of the shared state (view, filters, trace) bumps the
+ * engine's generation counters; in-flight stale queries observe the
+ * bump at their next chunk boundary and complete as Cancelled instead
+ * of wasting cores on a view the user already left. Staleness is
+ * per-query: view-dependent queries (interval stats, extrema, render)
+ * cancel on any mutation, view-independent but filter-keyed ones (task
+ * list, histogram) only on filter/trace mutations — panning never
+ * cancels them — and warm-up tickets cancel only explicitly (their
+ * products are keyed or view-independent).
+ *
+ * The synchronous query methods are thin wrappers that check the memo,
+ * then submit-and-wait — results are bit-identical to the tickets'.
+ * The cold interval-statistics scan parallelizes across per-CPU and
+ * task-array chunks (exact integer partial sums merged in order), so
+ * cold queries scale with the Concurrency knob. One caveat inherited
+ * from the memo contract: with a bounded stats memo
+ * (setStatsCacheCapacity), references returned by intervalStats() can
+ * be evicted by *asynchronous* publishes too, so don't hold them across
+ * in-flight submissions. Distinct sessions not sharing an engine are
+ * fully independent.
  */
 
 #ifndef AFTERMATH_SESSION_SESSION_H
@@ -45,7 +68,9 @@
 #include "render/render_stats.h"
 #include "render/timeline_renderer.h"
 #include "session/counter_index_cache.h"
+#include "session/query.h"
 #include "session/query_cache.h"
+#include "session/query_engine.h"
 #include "stats/histogram.h"
 #include "stats/interval_stats.h"
 #include "trace/trace.h"
@@ -89,48 +114,21 @@ class Session
     using TaskPredicate =
         std::function<bool(const trace::TaskInstance &)>;
 
+    /** What warmup() prefetches (see session/query.h). */
+    using WarmupPolicy = session::WarmupPolicy;
+
+    /** What one warmup() call actually did (see session/query.h). */
+    using WarmupStats = session::WarmupStats;
+
     /**
-     * Parallelism knob for internally parallel operations (warmup()).
-     * Serial by default so existing callers see no new threads.
+     * Parallelism knob of the session's query engine. One worker by
+     * default, so queries of existing callers execute on a single
+     * background thread; raising it parallelizes cold interval-stats
+     * scans and warm-up index construction.
      */
     struct Concurrency
     {
-        /**
-         * Worker threads for warm-up; 1 = serial on the calling
-         * thread, 0 = one per hardware thread.
-         */
-        unsigned workers = 1;
-    };
-
-    /** What warmup() prefetches. */
-    struct WarmupPolicy
-    {
-        /** Build the min/max index of every sampled (cpu, counter). */
-        bool counterIndexes = true;
-
-        /**
-         * Restrict index warm-up to these counter ids; empty means
-         * every counter sampled on each CPU.
-         */
-        std::vector<CounterId> counters;
-
-        /** Memoize the interval statistics of the current view. */
-        bool intervalStats = true;
-
-        /** Cache the task list of the active filters. */
-        bool taskList = true;
-    };
-
-    /** What one warmup() call actually did. */
-    struct WarmupStats
-    {
-        /** (cpu, counter) pairs visited (built or already cached). */
-        std::size_t indexesVisited = 0;
-
-        /** Indexes newly built by this call. */
-        std::size_t indexesBuilt = 0;
-
-        /** Worker threads used (1 = it ran serially). */
+        /** Worker threads; 0 = one per hardware thread. */
         unsigned workers = 1;
     };
 
@@ -157,7 +155,8 @@ class Session
     /**
      * Replace the active filter set; filter-dependent caches (the task
      * list) are invalidated, filter-independent ones (counter indexes,
-     * interval statistics) survive.
+     * interval statistics) survive. Bumps the query generation: stale
+     * in-flight queries cancel.
      */
     void setFilters(filter::FilterSet filters);
 
@@ -168,19 +167,62 @@ class Session
     const filter::FilterSet &filters() const { return filters_; }
 
     /** Bumped by every setFilters()/clearFilters() call. */
-    std::uint64_t filterGeneration() const { return filterGeneration_; }
+    std::uint64_t filterGeneration() const;
 
-    /** Set the current view interval (the zoom window). */
-    void setView(const TimeInterval &view) { view_ = view; }
+    /**
+     * Set the current view interval (the zoom window). Bumps the query
+     * generation: in-flight queries for the old view cancel.
+     */
+    void setView(const TimeInterval &view);
 
     /** The current view interval; empty means the whole trace span. */
     TimeInterval view() const;
 
+    // -- Asynchronous queries ----------------------------------------------
+
+    /**
+     * Submit a query for execution on the engine's worker pool and
+     * return its ticket immediately. Results are bit-identical to the
+     * matching synchronous method, and memoizable results (interval
+     * statistics, the task list) publish into the session's memo on
+     * completion, so an async query warms the same cache later
+     * synchronous calls hit. An interval-stats or task-list query whose
+     * result is already memoized returns an already-Done ticket without
+     * touching the pool.
+     */
+    QueryTicket<stats::IntervalStats> submit(const IntervalStatsQuery &query);
+    QueryTicket<stats::Histogram> submit(const HistogramQuery &query);
+    QueryTicket<std::vector<const trace::TaskInstance *>>
+    submit(const TaskListQuery &query);
+    QueryTicket<index::MinMax> submit(const CounterExtremaQuery &query);
+    QueryTicket<WarmupStats> submit(const WarmupQuery &query);
+    QueryTicket<TimelineRenderResult>
+    submit(const TimelineRenderQuery &query);
+
+    /**
+     * The session's query engine (generation counter + worker pool).
+     * Exposed for pool introspection and for tests that need to
+     * control worker scheduling; replace it with setQueryEngine().
+     */
+    const std::shared_ptr<QueryEngine> &queryEngine() const
+    {
+        return engine_;
+    }
+
+    /**
+     * Point this session at @p engine (shared pool + shared generation
+     * counter). SessionGroup aligns every variant on one engine so
+     * group warm-up overlaps on one pool. The engine's current worker
+     * count stays in effect until the next setConcurrency().
+     */
+    void setQueryEngine(std::shared_ptr<QueryEngine> engine);
+
     // -- Warm-up and concurrency -------------------------------------------
 
     /**
-     * Set the parallelism of internally parallel operations. Takes
-     * effect on the next warmup(); queries are unaffected.
+     * Set the worker count of the query engine. Affects every
+     * subsequent query and warm-up (and, with a shared engine, every
+     * session on it).
      */
     void setConcurrency(const Concurrency &concurrency);
 
@@ -192,8 +234,11 @@ class Session
      * never pay a build on the interactive path: the per-(CPU, counter)
      * min/max indexes (constructed concurrently across CPUs when the
      * Concurrency knob allows), the interval statistics of the current
-     * view, and the filtered task list. Idempotent: structures already
-     * cached are not rebuilt, so a repeated call is a cheap no-op.
+     * view, and the filtered task list. Incremental: pairs covered by
+     * an earlier warm-up and already-memoized stats/task-list entries
+     * are skipped, so a re-warm-up after a view change rebuilds only
+     * what the new view needs. submit(WarmupQuery) is the asynchronous
+     * form — a UI thread warms up without blocking.
      */
     WarmupStats warmup(const WarmupPolicy &policy);
 
@@ -209,7 +254,8 @@ class Session
      * *distinct* intervals queried. Callers issuing unbounded streams
      * of unique intervals (continuous zooming) should bound the memo
      * with setStatsCacheCapacity(); the reference then stays valid only
-     * until the entry's eviction.
+     * until the entry's eviction — and asynchronous publishes evict
+     * too, so don't hold references across in-flight submissions.
      */
     const stats::IntervalStats &intervalStats(const TimeInterval &interval);
 
@@ -235,7 +281,10 @@ class Session
     /**
      * Extrema of @p counter on @p cpu within @p interval via the cached
      * min/max index (built on first use). Invalid result for unknown
-     * CPUs or counters never sampled on the CPU.
+     * CPUs or counters never sampled on the CPU. Answered directly from
+     * the thread-safe index cache — the per-pixel-column hot path pays
+     * no submit round-trip; submit(CounterExtremaQuery) reads the same
+     * structure, so both forms are identical by construction.
      */
     index::MinMax counterExtrema(CpuId cpu, CounterId counter,
                                  const TimeInterval &interval);
@@ -294,6 +343,8 @@ class Session
      * Render the timeline into @p fb through the session's persistent
      * renderer. When @p config names no task filter the session's active
      * filters apply; when it names no view the session's view applies.
+     * submit(TimelineRenderQuery) is the asynchronous form, rendering
+     * into a query-owned framebuffer.
      */
     const render::RenderStats &render(const render::TimelineConfig &config,
                                       render::Framebuffer &fb);
@@ -338,34 +389,24 @@ class Session
     /** The persistent renderer, built on first render call. */
     render::TimelineRenderer &renderer();
 
-    /** The pool matching the concurrency knob (nullptr when serial). */
-    base::ThreadPool *pool();
-
     /** The effective config: session filters and view filled in. */
     render::TimelineConfig
     effectiveConfig(const render::TimelineConfig &config) const;
 
-    /** The uncached interval-statistics computation. */
-    stats::IntervalStats
-    computeIntervalStatsUncached(const TimeInterval &interval) const;
-
     std::shared_ptr<const trace::Trace> trace_;
     filter::FilterSet filters_;
-    std::uint64_t filterGeneration_ = 0;
     TimeInterval view_; ///< Empty means the whole trace span.
     Concurrency concurrency_;
 
-    std::unique_ptr<CounterIndexCache> counterIndexes_;
+    // Shared with in-flight executors (shared_ptr so sessions stay
+    // movable and destruction-safe with queries in flight).
+    std::shared_ptr<CounterIndexCache> counterIndexes_;
     CacheCounters counterIndexBase_; ///< Accounting of pre-swap caches.
-    MemoCache<std::pair<TimeStamp, TimeStamp>,
-              stats::IntervalStats> statsCache_;
-    // Keyed by filterGeneration_ and additionally cleared on every
-    // filter change, so at most one generation's list is ever live;
-    // stale generations cannot accumulate or be served.
-    MemoCache<std::uint64_t,
-              std::vector<const trace::TaskInstance *>> taskListCache_;
+    std::shared_ptr<SessionMemo> memo_;
+    CacheCounters statsBase_;    ///< Pre-swap stats-memo accounting.
+    CacheCounters taskListBase_; ///< Pre-swap task-list accounting.
     std::unique_ptr<render::TimelineRenderer> renderer_;
-    std::unique_ptr<base::ThreadPool> pool_; ///< Alive only inside warmup().
+    std::shared_ptr<QueryEngine> engine_;
     render::RenderStats overlayStats_;
 };
 

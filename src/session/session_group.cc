@@ -12,6 +12,10 @@ std::size_t
 SessionGroup::add(std::string label, Session session)
 {
     variants_.push_back({std::move(label), std::move(session)});
+    // Aligned variants share one pool and one generation counter, so
+    // group-wide warm-up and submitAll overlap instead of parking one
+    // worker set per variant.
+    variants_.back().session.setQueryEngine(engine_);
     return variants_.size() - 1;
 }
 
@@ -79,10 +83,14 @@ SessionGroup::setConcurrency(const Session::Concurrency &concurrency)
 std::vector<Session::WarmupStats>
 SessionGroup::warmup(const Session::WarmupPolicy &policy)
 {
+    // Submit everything before waiting on anything: variants warm
+    // concurrently on the shared pool instead of in sequence.
+    std::vector<QueryTicket<Session::WarmupStats>> tickets =
+        submitAll(WarmupQuery{policy});
     std::vector<Session::WarmupStats> out;
-    out.reserve(variants_.size());
-    for (Variant &v : variants_)
-        out.push_back(v.session.warmup(policy));
+    out.reserve(tickets.size());
+    for (QueryTicket<Session::WarmupStats> &ticket : tickets)
+        out.push_back(ticket.take());
     return out;
 }
 

@@ -12,16 +12,25 @@
  * side-by-side and pixel-diff timeline rendering through one shared
  * framebuffer.
  *
- * Like Session, a group requires external synchronization: one thread
- * at a time. warmup() parallelizes internally per variant according to
- * each session's Concurrency knob.
+ * Every variant added to a group is rewired onto one shared
+ * QueryEngine (one worker pool, one generation counter), so group-wide
+ * work overlaps instead of warming variants in sequence: warmup()
+ * submits every variant's WarmupQuery before waiting on any of them,
+ * and submitAll(spec) fans one query spec out to all variants and
+ * returns the tickets so deltas compute concurrently.
+ *
+ * Like Session, a group's driving side requires external
+ * synchronization: one thread at a time. Tickets returned by
+ * submitAll() are safe from any thread.
  */
 
 #ifndef AFTERMATH_SESSION_SESSION_GROUP_H
 #define AFTERMATH_SESSION_SESSION_GROUP_H
 
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "render/framebuffer.h"
@@ -42,6 +51,9 @@ class SessionGroup
     /**
      * Add a variant; returns its index. The label names the variant in
      * regression rows and diagnostics ("baseline", "numa-aware", ...).
+     * The session is rewired onto the group's shared QueryEngine (its
+     * previous engine, and any concurrency set on it, is dropped —
+     * align parallelism through setConcurrency() on the group).
      * Adding invalidates references previously returned by session()
      * and label() — finish assembling the group before holding any.
      */
@@ -75,12 +87,40 @@ class SessionGroup
     void setConcurrency(const Session::Concurrency &concurrency);
 
     /**
-     * Warm every variant up under @p policy (variants in sequence,
-     * each internally parallel per its concurrency knob). Returns one
-     * WarmupStats per variant, in index order.
+     * Warm every variant up under @p policy, overlapped on the shared
+     * engine pool: all WarmupQuery tickets are submitted before any is
+     * waited on, so variants warm concurrently up to the pool's worker
+     * count. Returns one WarmupStats per variant, in index order.
      */
     std::vector<Session::WarmupStats>
     warmup(const Session::WarmupPolicy &policy = Session::WarmupPolicy());
+
+    // -- Asynchronous fan-out ----------------------------------------------
+
+    /**
+     * Submit @p spec to every variant and return the tickets in index
+     * order, all executing concurrently on the shared pool. The spec
+     * resolves per variant (a nullopt interval means each variant's own
+     * current view — aligned by setView()).
+     */
+    template <typename Spec>
+    auto
+    submitAll(const Spec &spec)
+        -> std::vector<decltype(std::declval<Session &>().submit(spec))>
+    {
+        std::vector<decltype(std::declval<Session &>().submit(spec))>
+            tickets;
+        tickets.reserve(variants_.size());
+        for (Variant &v : variants_)
+            tickets.push_back(v.session.submit(spec));
+        return tickets;
+    }
+
+    /** The engine every variant shares (pool + generation counter). */
+    const std::shared_ptr<QueryEngine> &queryEngine() const
+    {
+        return engine_;
+    }
 
     // -- Delta queries -----------------------------------------------------
 
@@ -141,6 +181,10 @@ class SessionGroup
     Variant &variant(std::size_t i);
 
     std::vector<Variant> variants_;
+
+    /** One pool + generation counter for every variant. */
+    std::shared_ptr<QueryEngine> engine_ =
+        std::make_shared<QueryEngine>(1);
 };
 
 } // namespace session

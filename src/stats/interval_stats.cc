@@ -33,5 +33,49 @@ IntervalStats::averageParallelism(std::uint32_t task_exec_state) const
     return static_cast<double>(t) / static_cast<double>(interval.duration());
 }
 
+void
+IntervalStats::mergeFrom(const IntervalStats &other)
+{
+    // operator[] creates zero entries for states other saw but never
+    // accumulated time for, matching the serial scan's map shape.
+    for (const auto &[state, time] : other.timeInState)
+        timeInState[state] += time;
+    tasksOverlapping += other.tasksOverlapping;
+    tasksStarted += other.tasksStarted;
+}
+
+IntervalStats
+intervalStateChunk(const trace::CpuTimeline &cpu,
+                   const TimeInterval &interval)
+{
+    IntervalStats partial;
+    partial.interval = interval;
+    const auto &states = cpu.states();
+    trace::SliceRange slice = cpu.stateSlice(interval);
+    for (std::size_t i = slice.first; i < slice.last; i++) {
+        const trace::StateEvent &ev = states[i];
+        partial.timeInState[ev.state] +=
+            ev.interval.overlapDuration(interval);
+    }
+    return partial;
+}
+
+IntervalStats
+intervalTaskChunk(const trace::TaskInstance *first,
+                  const trace::TaskInstance *last,
+                  const TimeInterval &interval)
+{
+    IntervalStats partial;
+    partial.interval = interval;
+    for (const trace::TaskInstance *task = first; task != last; task++) {
+        if (task->interval.overlaps(interval)) {
+            partial.tasksOverlapping++;
+            if (interval.contains(task->interval.start))
+                partial.tasksStarted++;
+        }
+    }
+    return partial;
+}
+
 } // namespace stats
 } // namespace aftermath

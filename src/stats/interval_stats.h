@@ -5,6 +5,13 @@
  * The statistical views present aggregate quantitative information for a
  * user-selected interval from the timeline (paper section II-A group 2):
  * per-state time breakdown, average parallelism and task counts.
+ *
+ * The stats of one interval decompose into independent partial sums —
+ * one per CPU's state array plus disjoint chunks of the task-instance
+ * array — merged with mergeFrom(). Every quantity is an exact integer
+ * sum, so any partition and merge order reproduces the serial scan
+ * bit for bit; the session's parallel interval-statistics executor is
+ * built on intervalStateChunk()/intervalTaskChunk().
  */
 
 #ifndef AFTERMATH_STATS_INTERVAL_STATS_H
@@ -42,7 +49,32 @@ struct IntervalStats
      * simultaneously (task-exec time / interval duration).
      */
     double averageParallelism(std::uint32_t task_exec_state) const;
+
+    /**
+     * Accumulate the partial sums of @p other (computed over disjoint
+     * slices of the same interval) into this object. The interval
+     * itself is untouched; state entries present in @p other with a
+     * zero sum are created here too, so a chunked scan reproduces the
+     * serial scan's map exactly.
+     */
+    void mergeFrom(const IntervalStats &other);
 };
+
+/**
+ * Partial interval statistics of one CPU: the per-state time overlap of
+ * @p cpu's state events with @p interval (task counts untouched).
+ */
+IntervalStats intervalStateChunk(const trace::CpuTimeline &cpu,
+                                 const TimeInterval &interval);
+
+/**
+ * Partial interval statistics of the task instances in [@p first,
+ * @p last): overlap and start counts within @p interval (state times
+ * untouched).
+ */
+IntervalStats intervalTaskChunk(const trace::TaskInstance *first,
+                                const trace::TaskInstance *last,
+                                const TimeInterval &interval);
 
 } // namespace stats
 } // namespace aftermath

@@ -169,24 +169,46 @@ TEST(SessionParallel, ParallelWarmupBitIdenticalToSerial)
     }
 }
 
-TEST(SessionParallel, RepeatedWarmupIsANoOp)
+TEST(SessionParallel, RepeatedWarmupIsIncrementallySkipped)
 {
     trace::Trace tr = denseTrace(4, 2, 300);
     Session session = Session::view(tr);
     session.setConcurrency({3});
-    session.warmup();
+    Session::WarmupStats initial = session.warmup();
+    EXPECT_EQ(initial.indexesVisited, 4u * 2u);
+    EXPECT_EQ(initial.indexesSkipped, 0u);
     SessionCacheStats first = session.cacheStats();
     EXPECT_EQ(first.counterIndex.builds, 4u * 2u);
     EXPECT_EQ(first.intervalStats.builds, 1u);
     EXPECT_EQ(first.taskList.builds, 1u);
 
-    for (int i = 0; i < 3; i++)
-        session.warmup();
+    for (int i = 0; i < 3; i++) {
+        // Incremental re-warm-up: covered pairs are skipped outright
+        // (the index cache is not even consulted), memoized stats and
+        // task-list entries answer as hits.
+        Session::WarmupStats repeat = session.warmup();
+        EXPECT_EQ(repeat.indexesVisited, 0u);
+        EXPECT_EQ(repeat.indexesSkipped, 4u * 2u);
+        EXPECT_EQ(repeat.indexesBuilt, 0u);
+    }
     SessionCacheStats later = session.cacheStats();
     EXPECT_EQ(later.counterIndex.builds, first.counterIndex.builds);
+    EXPECT_EQ(later.counterIndex.hits, first.counterIndex.hits);
     EXPECT_EQ(later.intervalStats.builds, first.intervalStats.builds);
     EXPECT_EQ(later.taskList.builds, first.taskList.builds);
-    EXPECT_GT(later.counterIndex.hits, first.counterIndex.hits);
+    EXPECT_GT(later.intervalStats.hits, first.intervalStats.hits);
+    EXPECT_GT(later.taskList.hits, first.taskList.hits);
+
+    // A view change re-warms only what the new view needs: the stats
+    // of the new interval, no index revisits.
+    session.setView({0, 120});
+    Session::WarmupStats after_zoom = session.warmup();
+    EXPECT_EQ(after_zoom.indexesVisited, 0u);
+    EXPECT_EQ(after_zoom.indexesSkipped, 4u * 2u);
+    EXPECT_EQ(session.cacheStats().intervalStats.builds,
+              first.intervalStats.builds + 1);
+    EXPECT_EQ(session.cacheStats().counterIndex.builds,
+              first.counterIndex.builds);
 }
 
 TEST(SessionParallel, WarmupPolicyRestrictsCounters)
