@@ -85,10 +85,26 @@ BM_ReadCompact(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * bytes.size()));
 }
 
+/** The two-phase decode with a worker pool (range = worker count). */
+void
+BM_ReadCompactParallel(benchmark::State &state)
+{
+    auto bytes = trace::writeTrace(g_trace, trace::Encoding::Compact);
+    trace::ReadOptions options;
+    options.workers = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        trace::ReadResult result = trace::readTrace(bytes, options);
+        benchmark::DoNotOptimize(result.ok);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+
 BENCHMARK(BM_WriteRaw);
 BENCHMARK(BM_WriteCompact);
 BENCHMARK(BM_ReadRaw);
 BENCHMARK(BM_ReadCompact);
+BENCHMARK(BM_ReadCompactParallel)->Arg(2)->Arg(4)->Arg(8);
 
 } // namespace
 
@@ -122,6 +138,22 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // The same load through the two-phase decode at 4 workers (see
+    // sec7_parallel_load for the full scaling study).
+    trace::ReadOptions parallel_options;
+    parallel_options.workers = 4;
+    auto t2 = std::chrono::steady_clock::now();
+    trace::ReadResult parallel_result =
+        trace::readTrace(compact, parallel_options);
+    auto t3 = std::chrono::steady_clock::now();
+    double parallel_load_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    if (!parallel_result.ok) {
+        std::fprintf(stderr, "parallel read failed: %s\n",
+                     parallel_result.error.c_str());
+        return 1;
+    }
+
     std::printf("\n");
     bench::row("records in trace",
                strFormat("%llu", static_cast<unsigned long long>(events)));
@@ -138,6 +170,10 @@ main(int argc, char **argv)
                strFormat("%.1f ms (%.0f MiB/s)", load_ms,
                          static_cast<double>(compact.size()) / 1048576.0 /
                              (load_ms / 1000.0)));
+    bench::row("compact load time (4 workers)",
+               strFormat("%.1f ms (%.0f MiB/s)", parallel_load_ms,
+                         static_cast<double>(compact.size()) / 1048576.0 /
+                             (parallel_load_ms / 1000.0)));
     bool ok = compact.size() * 2 < raw.size();
     bench::row("compact at least 2x smaller than raw",
                ok ? "yes" : "NO");

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Parallel trace loading: the two-phase per-CPU decode vs serial.
+ *
+ * The paper's workflow starts with loading a multi-GB trace before any
+ * interactive query can run; with warm-up and queries parallelized, the
+ * serial readTrace() pass was the dominant cold-start cost. This bench
+ * serializes the seidel trace (both encodings), measures cold-load wall
+ * time at 1/2/4/8 decode workers, verifies the parallel decode is
+ * bit-identical to the serial one (record equality via re-serialized
+ * bytes), and — on machines with >= 4 hardware threads — requires a
+ * >= 2x speedup at >= 4 workers. Results are emitted as JSON lines
+ * (BENCH_sec7_parallel_load.json) with the workers field for the perf
+ * trajectory.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+
+using namespace aftermath;
+
+namespace {
+
+/** Wall time of one cold load, seconds; aborts on a failed read. */
+double
+timeLoad(const std::vector<std::uint8_t> &bytes, unsigned workers)
+{
+    trace::ReadOptions options;
+    options.workers = workers;
+    auto start = std::chrono::steady_clock::now();
+    trace::ReadResult result = trace::readTrace(bytes, options);
+    std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start;
+    if (!result.ok) {
+        std::fprintf(stderr, "read failed: %s\n", result.error.c_str());
+        std::exit(1);
+    }
+    return d.count();
+}
+
+/** Average cold-load time over @p reps, seconds. */
+double
+averageLoad(const std::vector<std::uint8_t> &bytes, unsigned workers,
+            int reps)
+{
+    double total = 0.0;
+    for (int r = 0; r < reps; r++)
+        total += timeLoad(bytes, workers);
+    return total / reps;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section VII (this repo)",
+                  "parallel per-CPU trace decode vs serial loading");
+    bench::JsonLines json("sec7_parallel_load");
+
+    runtime::RunResult result = bench::runSeidel(false);
+    if (!result.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     result.error.c_str());
+        return 1;
+    }
+    const trace::Trace &tr = result.trace;
+
+    std::uint64_t events = 0;
+    for (CpuId c = 0; c < tr.numCpus(); c++) {
+        events += tr.cpu(c).states().size();
+        for (CounterId id : tr.cpu(c).counterIds())
+            events += tr.cpu(c).counterSamples(id).size();
+        events += tr.cpu(c).discreteEvents().size();
+        events += tr.cpu(c).commEvents().size();
+    }
+    auto compact = trace::writeTrace(tr, trace::Encoding::Compact);
+    auto raw = trace::writeTrace(tr, trace::Encoding::Raw);
+    bench::row("trace", strFormat("%u cpus, %llu per-cpu events",
+                                  tr.numCpus(),
+                                  static_cast<unsigned long long>(events)));
+    bench::row("compact stream", humanBytes(compact.size()));
+    bench::row("raw stream", humanBytes(raw.size()));
+
+    // Calibrate repetitions so each timing covers >= ~50 ms of work.
+    double probe = timeLoad(compact, 1);
+    int reps = static_cast<int>(
+        std::clamp(0.05 / std::max(probe, 1e-6), 3.0, 30.0));
+
+    double serial_s = averageLoad(compact, 1, reps);
+    json.add("serial_load_compact", serial_s, "s", 1);
+    bench::row("serial load (compact)",
+               strFormat("%.4f s (avg of %d, %.0f MiB/s)", serial_s, reps,
+                         static_cast<double>(compact.size()) / 1048576.0 /
+                             serial_s));
+
+    unsigned hw = std::thread::hardware_concurrency();
+    double speedup_at_4plus = 0.0;
+    for (unsigned workers : {2u, 4u, 8u}) {
+        double parallel_s = averageLoad(compact, workers, reps);
+        double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+        json.add(strFormat("parallel_load_w%u", workers), parallel_s,
+                 "s", static_cast<int>(workers));
+        json.add(strFormat("speedup_w%u", workers), speedup, "x",
+                 static_cast<int>(workers));
+        bench::row(strFormat("%u workers", workers),
+                   strFormat("%.4f s (%.2fx)", parallel_s, speedup));
+        if (workers >= 4)
+            speedup_at_4plus = std::max(speedup_at_4plus, speedup);
+    }
+
+    double raw_serial_s = averageLoad(raw, 1, reps);
+    double raw_parallel_s = averageLoad(raw, std::max(4u, std::min(hw, 8u)),
+                                        reps);
+    json.add("serial_load_raw", raw_serial_s, "s", 1);
+    json.add("parallel_load_raw", raw_parallel_s, "s",
+             static_cast<int>(std::max(4u, std::min(hw, 8u))));
+    bench::row("raw encoding",
+               strFormat("%.4f s serial, %.4f s parallel", raw_serial_s,
+                         raw_parallel_s));
+
+    // Correctness: every worker count materializes the same trace, bit
+    // for bit (compared through its canonical re-serialization).
+    bool identical = true;
+    std::vector<std::uint8_t> serial_reencoded;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        trace::ReadOptions options;
+        options.workers = workers;
+        trace::ReadResult decoded = trace::readTrace(compact, options);
+        if (!decoded.ok) {
+            identical = false;
+            break;
+        }
+        auto reencoded =
+            trace::writeTrace(decoded.trace, trace::Encoding::Raw);
+        if (workers == 1)
+            serial_reencoded = std::move(reencoded);
+        else if (reencoded != serial_reencoded)
+            identical = false;
+    }
+
+    json.add("identical", identical ? 1 : 0);
+    json.add("hardware_threads", hw);
+
+    std::printf("\n");
+    bench::row("parallel == serial (bit-identical)",
+               identical ? "yes" : "NO");
+    bool enough_hw = hw >= 4;
+    if (enough_hw) {
+        bench::row("speedup at >= 4 workers",
+                   strFormat("%.2fx (required: >= 2x)", speedup_at_4plus));
+    } else {
+        bench::row("speedup at >= 4 workers",
+                   strFormat("%.2fx (not required: only %u hardware "
+                             "thread%s)",
+                             speedup_at_4plus, hw, hw == 1 ? "" : "s"));
+    }
+    bench::row("json", json.ok() ? json.path().c_str() : "WRITE FAILED");
+
+    bool ok = identical && (!enough_hw || speedup_at_4plus >= 2.0);
+    return ok ? 0 : 1;
+}

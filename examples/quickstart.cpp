@@ -43,14 +43,19 @@ main()
                 result.seconds() * 1e3,
                 static_cast<unsigned long long>(result.steals));
 
-    // 4. Round-trip through the on-disk format (compact encoding).
+    // 4. Round-trip through the on-disk format (compact encoding). The
+    //    reader decodes per-CPU frame runs in parallel — here with two
+    //    workers; the trace is bit-identical at any worker count.
     std::string error;
     if (!trace::writeTraceFile(result.trace, "quickstart.ostv",
                                trace::Encoding::Compact, error)) {
         std::fprintf(stderr, "write failed: %s\n", error.c_str());
         return 1;
     }
-    trace::ReadResult loaded = trace::readTraceFile("quickstart.ostv");
+    trace::ReadOptions read_options;
+    read_options.workers = 2;
+    trace::ReadResult loaded =
+        trace::readTraceFile("quickstart.ostv", read_options);
     if (!loaded.ok) {
         std::fprintf(stderr, "read failed: %s\n", loaded.error.c_str());
         return 1;
@@ -96,8 +101,26 @@ main()
                 static_cast<unsigned long long>(first_half.tasksStarted),
                 durations.numBins());
 
+    // 5c. Traces also load asynchronously: submit a TraceLoadQuery, keep
+    //     querying the current trace while the file decodes on the
+    //     session's pool, then swap the result in with setTrace().
+    session::TraceLoadQuery load;
+    load.path = "quickstart.ostv";
+    auto load_ticket = session.submit(load);
+    session::TraceLoadResult reloaded = load_ticket.take();
+    if (!reloaded.ok) {
+        std::fprintf(stderr, "async load failed: %s\n",
+                     reloaded.error.c_str());
+        return 1;
+    }
+    session.setTrace(reloaded.trace);
+    std::printf("async reload: %zu bytes -> %u cpus, swapped in\n",
+                reloaded.bytesRead, session.trace().numCpus());
+    // The swap invalidated references into the old trace; rebind.
+    const trace::Trace &swapped = session.trace();
+
     // 6. Task graph reconstruction from the trace's memory accesses.
-    graph::TaskGraph tg = graph::TaskGraph::reconstruct(tr);
+    graph::TaskGraph tg = graph::TaskGraph::reconstruct(swapped);
     graph::DepthAnalysis depth = graph::computeDepths(tg);
     std::printf("task graph: %u nodes, %zu edges, max depth %u, "
                 "acyclic=%s\n",

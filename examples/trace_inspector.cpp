@@ -3,14 +3,19 @@
  * trace_inspector: a command-line dump tool for Aftermath trace files.
  *
  * Usage: trace_inspector <trace-file> [--states] [--counters] [--tasks]
+ *                        [--workers N]
  *
  * Prints the header, topology, per-CPU event inventories and summary
  * statistics of a trace file; with flags, dumps the individual records.
- * Also demonstrates symbol resolution: if a file <trace>.nm exists (nm
- * text output), task type addresses are resolved to function names.
+ * Loading uses the two-phase parallel reader — one decode worker per
+ * hardware thread by default, --workers N to pin the count (the
+ * materialized trace is bit-identical at any setting). Also
+ * demonstrates symbol resolution: if a file <trace>.nm exists (nm text
+ * output), task type addresses are resolved to function names.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -125,13 +130,21 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s <trace-file> [--states] [--counters] "
-                     "[--tasks]\n"
+                     "[--tasks] [--workers N]\n"
                      "(generate one with the quickstart example)\n",
                      argv[0]);
         return 2;
     }
 
-    trace::ReadResult result = trace::readTraceFile(argv[1]);
+    trace::ReadOptions options;
+    options.workers = 0; // One decode worker per hardware thread.
+    for (int i = 2; i < argc - 1; i++) {
+        if (!std::strcmp(argv[i], "--workers"))
+            options.workers =
+                static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+
+    trace::ReadResult result = trace::readTraceFile(argv[1], options);
     if (!result.ok) {
         std::fprintf(stderr, "error: %s\n", result.error.c_str());
         return 1;

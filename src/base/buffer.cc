@@ -40,63 +40,6 @@ ByteWriter::writeBytes(const std::uint8_t *bytes, std::size_t size)
     data_.insert(data_.end(), bytes, bytes + size);
 }
 
-std::uint64_t
-ByteReader::readLe(int bytes)
-{
-    if (!ok_ || size_ - offset_ < static_cast<std::size_t>(bytes)) {
-        ok_ = false;
-        return 0;
-    }
-    std::uint64_t v = 0;
-    for (int i = 0; i < bytes; i++)
-        v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
-    offset_ += bytes;
-    return v;
-}
-
-std::uint8_t
-ByteReader::readU8()
-{
-    return static_cast<std::uint8_t>(readLe(1));
-}
-
-std::uint16_t
-ByteReader::readU16()
-{
-    return static_cast<std::uint16_t>(readLe(2));
-}
-
-std::uint32_t
-ByteReader::readU32()
-{
-    return static_cast<std::uint32_t>(readLe(4));
-}
-
-std::uint64_t
-ByteReader::readU64()
-{
-    return readLe(8);
-}
-
-std::uint64_t
-ByteReader::readVarint()
-{
-    if (!ok_)
-        return 0;
-    std::uint64_t v = 0;
-    if (!varintDecode(data_, size_, offset_, v)) {
-        ok_ = false;
-        return 0;
-    }
-    return v;
-}
-
-std::int64_t
-ByteReader::readSignedVarint()
-{
-    return zigzagDecode(readVarint());
-}
-
 double
 ByteReader::readDouble()
 {
@@ -128,16 +71,6 @@ ByteReader::readBytes(std::uint8_t *out, std::size_t size)
         return;
     }
     std::memcpy(out, data_ + offset_, size);
-    offset_ += size;
-}
-
-void
-ByteReader::skip(std::size_t size)
-{
-    if (!ok_ || remaining() < size) {
-        ok_ = false;
-        return;
-    }
     offset_ += size;
 }
 

@@ -12,10 +12,14 @@
 #ifndef AFTERMATH_BASE_BUFFER_H
 #define AFTERMATH_BASE_BUFFER_H
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "base/varint.h"
 
 namespace aftermath {
 
@@ -112,12 +116,45 @@ class ByteReader
         : ByteReader(data.data(), data.size())
     {}
 
-    std::uint8_t readU8();
-    std::uint16_t readU16();
-    std::uint32_t readU32();
-    std::uint64_t readU64();
-    std::uint64_t readVarint();
-    std::int64_t readSignedVarint();
+    // The fixed-width and varint readers are the per-field hot path of
+    // the trace scan and decode passes; they are defined inline below
+    // so a multi-million-frame load never pays a call per field.
+    std::uint8_t
+    readU8()
+    {
+        if (!ok_ || size_ - offset_ < 1) {
+            ok_ = false;
+            return 0;
+        }
+        return data_[offset_++];
+    }
+
+    std::uint16_t readU16() { return static_cast<std::uint16_t>(readLe(2)); }
+    std::uint32_t readU32() { return static_cast<std::uint32_t>(readLe(4)); }
+    std::uint64_t readU64() { return readLe(8); }
+
+    std::uint64_t
+    readVarint()
+    {
+        std::uint64_t result = 0;
+        int shift = 0;
+        while (ok_ && offset_ < size_) {
+            std::uint8_t byte = data_[offset_++];
+            if (shift == 63 && (byte & 0x7e))
+                break; // Would overflow 64 bits.
+            result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return result;
+            if (shift == 63)
+                break; // An 11th byte would be required.
+            shift += 7;
+        }
+        ok_ = false;
+        return 0;
+    }
+
+    std::int64_t readSignedVarint() { return zigzagDecode(readVarint()); }
+
     double readDouble();
 
     /**
@@ -130,7 +167,89 @@ class ByteReader
     void readBytes(std::uint8_t *out, std::size_t size);
 
     /** Skip @p size bytes. */
-    void skip(std::size_t size);
+    void
+    skip(std::size_t size)
+    {
+        if (!ok_ || size_ - offset_ < size) {
+            ok_ = false;
+            return;
+        }
+        offset_ += size;
+    }
+
+    /**
+     * Skip one varint without materializing its value. Fails on exactly
+     * the inputs readVarint() rejects (truncation, > 64 bits), so a
+     * structural scan that skips and a decode that reads agree on which
+     * streams are well-formed.
+     */
+    void
+    skipVarint()
+    {
+        if (!ok_)
+            return;
+        // A 64-bit varint spans at most 10 bytes; the 10th may only
+        // carry bit 63 (mirrors readVarint's overflow rule).
+        for (int i = 0; i < 10 && offset_ < size_; i++) {
+            std::uint8_t byte = data_[offset_++];
+            if (!(byte & 0x80)) {
+                if (i == 9 && (byte & 0x7e))
+                    break;
+                return;
+            }
+        }
+        ok_ = false;
+    }
+
+    /**
+     * Skip @p n consecutive varints, word-at-a-time: a varint ends at
+     * a byte with the high bit clear, so counting terminators in an
+     * 8-byte window skips several small varints per load (compact
+     * trace fields are mostly 1-2 bytes). Unlike skipVarint() this
+     * does not police the 10-byte length bound — callers that skip
+     * here must re-read the bytes with readVarint() before trusting
+     * them (the trace reader's decode phase does exactly that), which
+     * reports over-long varints with full context.
+     */
+    void
+    skipVarints(unsigned n)
+    {
+        while (n > 0 && ok_) {
+            if (size_ - offset_ < 8) {
+                for (; n > 0; n--)
+                    skipVarint();
+                return;
+            }
+            std::uint64_t w;
+            std::memcpy(&w, data_ + offset_, 8);
+            std::uint64_t term = ~w & 0x8080808080808080ull;
+            unsigned count = static_cast<unsigned>(std::popcount(term));
+            if (count >= n) {
+                for (unsigned k = 1; k < n; k++)
+                    term &= term - 1; // Drop the k lowest terminators.
+                offset_ += static_cast<std::size_t>(
+                               std::countr_zero(term) / 8) + 1;
+                return;
+            }
+            offset_ += 8;
+            n -= count;
+        }
+    }
+
+    /**
+     * Reposition to absolute @p offset (<= size). Seeking does not
+     * clear a sticky failure; it exists so one reader can revisit
+     * already-validated frames (the parallel trace decoder).
+     */
+    void
+    seek(std::size_t offset)
+    {
+        if (!ok_ || offset > size_) {
+            ok_ = false;
+            return;
+        }
+        offset_ = offset;
+    }
 
     /** True until a read has failed. */
     bool ok() const { return ok_; }
@@ -152,13 +271,30 @@ class ByteReader
     bool atEnd() const { return ok_ && offset_ == size_; }
 
   private:
-    std::uint64_t readLe(int bytes);
+    std::uint64_t
+    readLe(int bytes)
+    {
+        if (!ok_ || size_ - offset_ < static_cast<std::size_t>(bytes)) {
+            ok_ = false;
+            return 0;
+        }
+        std::uint64_t v = 0;
+        std::memcpy(&v, data_ + offset_, static_cast<std::size_t>(bytes));
+        offset_ += static_cast<std::size_t>(bytes);
+        // The format is little-endian; so is every platform this
+        // library targets (static_assert below), making the memcpy the
+        // whole conversion.
+        return v;
+    }
 
     const std::uint8_t *data_;
     std::size_t size_;
     std::size_t offset_ = 0;
     bool ok_ = true;
 };
+
+static_assert(std::endian::native == std::endian::little,
+              "ByteReader's memcpy fast path assumes a little-endian host");
 
 } // namespace aftermath
 

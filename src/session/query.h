@@ -21,7 +21,9 @@
 #define AFTERMATH_SESSION_QUERY_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "base/time_interval.h"
@@ -29,6 +31,8 @@
 #include "render/framebuffer.h"
 #include "render/render_stats.h"
 #include "render/timeline_renderer.h"
+#include "trace/format.h"
+#include "trace/trace.h"
 
 namespace aftermath {
 namespace session {
@@ -139,6 +143,51 @@ struct TimelineRenderResult
     // replaces it with the width x height frame before completion.
     render::Framebuffer fb{1, 1};
     render::RenderStats stats;
+};
+
+/**
+ * Load a trace off the interaction path: the two-phase parallel reader
+ * (trace/reader.h) runs on the engine's pool and the finished trace
+ * comes back through the ticket, ready to swap in with
+ * Session::setTrace(result.trace) from the driving thread — executors
+ * never mutate the session, so queries over the old trace stay valid
+ * until the swap.
+ *
+ * Exactly one source must be set: a file path, or a shared in-memory
+ * byte buffer (kept alive by the executor until completion). Like
+ * warm-up, a load is generation-immune — view/filter/trace mutations
+ * do not cancel it; ticket.cancel() does, cooperatively at the next
+ * frame-run boundary (the ticket completes Cancelled, no result).
+ */
+struct TraceLoadQuery
+{
+    /** File to load; used when @p bytes is null. */
+    std::string path;
+
+    /** In-memory stream to load; takes precedence over @p path. */
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+
+    /** Decode workers of the parallel phase; 0 = the engine's count. */
+    unsigned workers = 0;
+};
+
+/** Outcome of a TraceLoadQuery (mirrors trace::ReadResult). */
+struct TraceLoadResult
+{
+    /** True if the trace parsed and finalized. */
+    bool ok = false;
+
+    /** Diagnostic when !ok (carries byte offset + frame kind). */
+    std::string error;
+
+    /** The loaded trace when ok; pass to Session::setTrace to swap. */
+    std::shared_ptr<const trace::Trace> trace;
+
+    /** Encoding found in the trace header. */
+    trace::Encoding encoding = trace::Encoding::Raw;
+
+    /** Total bytes consumed. */
+    std::size_t bytesRead = 0;
 };
 
 } // namespace session

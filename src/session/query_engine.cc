@@ -18,6 +18,7 @@
 #include "filter/task_filter.h"
 #include "session/session.h"
 #include "stats/histogram.h"
+#include "trace/reader.h"
 
 namespace aftermath {
 namespace session {
@@ -492,6 +493,58 @@ Session::submit(const WarmupQuery &query)
     for (std::size_t d = 0; d < drainers; d++)
         engine_->pool().submit([job] { drainWarmup(job); });
     return QueryTicket<WarmupStats>(std::move(state));
+}
+
+QueryTicket<TraceLoadResult>
+Session::submit(const TraceLoadQuery &query)
+{
+    AFTERMATH_ASSERT(query.bytes != nullptr || !query.path.empty(),
+                     "trace load query needs a source");
+    auto state = newTicketState<TraceLoadResult>(*engine_);
+    // A load's product is handed back to the driving thread, never
+    // published into shared caches, so view/filter/trace mutations
+    // cannot make it stale: generation-immune, explicit cancel only.
+    state->live = nullptr;
+    trace::ReadOptions options;
+    options.workers =
+        query.workers == 0 ? engine_->workers() : query.workers;
+    // Bridge ticket.cancel() into the reader's cooperative poll (the
+    // token copies share one flag).
+    options.cancel = state->cancel;
+    auto bytes = query.bytes;
+    std::string path = query.path;
+    base::TaskHandle handle = engine_->pool().submitTracked(
+        [state, bytes, path, options] {
+            state->markRunning();
+            if (state->stale()) {
+                state->completeCancelled();
+                return;
+            }
+            // The reader spins up its own decode pool: a pool task must
+            // not parallelFor() on its own pool, and a 1-worker engine
+            // would serialize the decode otherwise.
+            trace::ReadResult read =
+                bytes ? trace::readTrace(*bytes, options)
+                      : trace::readTraceFile(path, options);
+            if (read.cancelled) {
+                state->completeCancelled();
+                return;
+            }
+            TraceLoadResult result;
+            result.ok = read.ok;
+            result.error = std::move(read.error);
+            result.encoding = read.encoding;
+            result.bytesRead = read.bytesRead;
+            if (read.ok)
+                result.trace = std::make_shared<const trace::Trace>(
+                    std::move(read.trace));
+            state->complete(std::move(result));
+        });
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->handle = handle;
+    }
+    return QueryTicket<TraceLoadResult>(std::move(state));
 }
 
 QueryTicket<TimelineRenderResult>

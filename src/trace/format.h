@@ -50,6 +50,46 @@ enum class FrameType : std::uint8_t {
     EndOfTrace = 12,
 };
 
+/** Human-readable name of a frame type, for reader diagnostics. */
+inline const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Topology: return "Topology";
+      case FrameType::StateDescription: return "StateDescription";
+      case FrameType::CounterDescription: return "CounterDescription";
+      case FrameType::TaskType: return "TaskType";
+      case FrameType::StateEvent: return "StateEvent";
+      case FrameType::CounterSample: return "CounterSample";
+      case FrameType::DiscreteEvent: return "DiscreteEvent";
+      case FrameType::CommEvent: return "CommEvent";
+      case FrameType::TaskInstance: return "TaskInstance";
+      case FrameType::MemRegion: return "MemRegion";
+      case FrameType::MemAccess: return "MemAccess";
+      case FrameType::EndOfTrace: return "EndOfTrace";
+    }
+    return "unknown";
+}
+
+/**
+ * Whether frames of @p type belong to one CPU's event stream (the
+ * parallel reader decodes these per CPU) rather than to the trace's
+ * global tables (decoded serially during the frame scan).
+ */
+inline bool
+isPerCpuFrame(FrameType type)
+{
+    switch (type) {
+      case FrameType::StateEvent:
+      case FrameType::CounterSample:
+      case FrameType::DiscreteEvent:
+      case FrameType::CommEvent:
+        return true;
+      default:
+        return false;
+    }
+}
+
 /**
  * Timestamp delta-coding context classes for the compact encoding.
  *

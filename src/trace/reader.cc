@@ -1,7 +1,36 @@
+/**
+ * @file
+ * The two-phase trace loader (see reader.h for the contract).
+ *
+ * Phase 1 scans the stream serially: small global frames (topology,
+ * descriptions, task types) decode and apply in stream order, while
+ * every *lane* frame — the per-CPU events plus the three bulk global
+ * tables (task instances, memory regions, memory accesses) — is only
+ * structurally skipped and recorded into per-lane stretches (start
+ * offset + count of consecutive frames). The scan's hot loop extends a
+ * stretch with one masked 8-byte prefix compare and one word-at-a-time
+ * varint skip per frame.
+ *
+ * Phase 2 decodes the stretches. With workers > 1 it runs *during* the
+ * scan: full batches stream to a per-lane serial executor on a private
+ * base::ThreadPool (each lane has a FIFO and at most one active pump,
+ * so its container fills in exact stream order with its own delta
+ * registers), and the decode wall-clock hides behind the scan. Decode
+ * diagnostics merge by lowest byte offset, which makes the reported
+ * error — like the trace itself — independent of worker count and
+ * scheduling.
+ */
+
 #include "trace/reader.h"
 
+#include <atomic>
+#include <bit>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <limits>
+#include <memory>
+#include <mutex>
 
 #include "base/buffer.h"
 #include "base/string_util.h"
@@ -11,16 +40,51 @@ namespace trace {
 
 namespace {
 
-/** Mirrors TraceWriter's encoding decisions while decoding. */
+/** Guard against absurd CPU/node counts from corrupt headers. */
+constexpr std::uint32_t kMaxCpus = 1 << 16;
+constexpr std::uint32_t kMaxNodes = 1 << 12;
+
+/**
+ * A per-CPU frame stretch: the tag byte offset of the first frame of a
+ * run of *consecutive* frames on one CPU, packed with the frame count.
+ * Real traces interleave coarsely (a writer flushes per-CPU buffers),
+ * so stretches are long and the scan's bookkeeping amortizes to almost
+ * nothing per frame; the decode phase re-walks each stretch
+ * sequentially, re-reading the frame tags it dispatches on.
+ */
+constexpr unsigned kStretchCountShift = 48;
+constexpr std::uint64_t kStretchOffsetMask =
+    (std::uint64_t{1} << kStretchCountShift) - 1;
+constexpr std::size_t kMaxStretchFrames =
+    (std::size_t{1} << (64 - kStretchCountShift)) - 1;
+
+std::uint64_t
+packStretch(std::size_t offset, std::size_t count)
+{
+    return (static_cast<std::uint64_t>(offset) & kStretchOffsetMask) |
+           (static_cast<std::uint64_t>(count) << kStretchCountShift);
+}
+
+/** One previous-timestamp register per delta class (one CPU's worth). */
+struct DeltaRegisters
+{
+    TimeStamp last[static_cast<std::size_t>(DeltaClass::NumClasses)] = {};
+};
+
+/**
+ * Mirrors TraceWriter's encoding decisions while decoding. One decoder
+ * serves either the global frames (which never carry delta-coded
+ * timestamps) or exactly one CPU's frame run: the delta registers are
+ * one per class, not per (class, cpu), and live with the caller so a
+ * CPU's run can decode across several batches of the pipelined reader.
+ */
 class FrameDecoder
 {
   public:
-    FrameDecoder(ByteReader &reader, Encoding encoding)
-        : reader_(reader), encoding_(encoding)
-    {
-        lastTime_.assign(
-            static_cast<std::size_t>(DeltaClass::NumClasses), {});
-    }
+    FrameDecoder(ByteReader &reader, Encoding encoding,
+                 DeltaRegisters &registers)
+        : reader_(reader), encoding_(encoding), registers_(registers)
+    {}
 
     std::uint64_t
     readValue()
@@ -42,17 +106,15 @@ class FrameDecoder
     }
 
     TimeStamp
-    readTime(DeltaClass cls, CpuId cpu)
+    readTime(DeltaClass cls)
     {
         if (encoding_ != Encoding::Compact)
             return reader_.readU64();
-        auto &row = lastTime_[static_cast<std::size_t>(cls)];
-        if (cpu >= row.size())
-            row.resize(cpu + 1, 0);
+        TimeStamp &last = registers_.last[static_cast<std::size_t>(cls)];
         std::int64_t delta = reader_.readSignedVarint();
         TimeStamp time = static_cast<TimeStamp>(
-            static_cast<std::int64_t>(row[cpu]) + delta);
-        row[cpu] = time;
+            static_cast<std::int64_t>(last) + delta);
+        last = time;
         return time;
     }
 
@@ -67,17 +129,357 @@ class FrameDecoder
   private:
     ByteReader &reader_;
     Encoding encoding_;
-    std::vector<std::vector<TimeStamp>> lastTime_;
+    DeltaRegisters &registers_;
 };
 
-/** Guard against absurd CPU/node counts from corrupt headers. */
-constexpr std::uint32_t kMaxCpus = 1 << 16;
-constexpr std::uint32_t kMaxNodes = 1 << 12;
+/**
+ * The wire shape of one lane frame's payload — the single source of
+ * truth the scan's skip paths derive frame boundaries from (the decode
+ * switches re-read the same fields semantically, so a layout change
+ * there without a change here fails loudly in the round-trip tests).
+ *
+ * perCpu frames start with a varint/u32 CPU id that the scan decodes;
+ * the payload fields below follow it. kindByte is the comm-event u8
+ * between the CPU id and the payload varints; trailingByte is the
+ * mem-access is-write u8 after them. rawPayload counts every payload
+ * byte after the (tag, CPU id) prefix in the Raw encoding, kind and
+ * trailing bytes included.
+ */
+struct FrameLayout
+{
+    std::uint8_t payloadVarints = 0; ///< 0 = not a lane frame.
+    std::uint8_t rawPayload = 0;
+    bool kindByte = false;
+    bool trailingByte = false;
+    bool perCpu = false;
+};
+
+constexpr FrameLayout
+frameLayout(FrameType type)
+{
+    switch (type) {
+      case FrameType::StateEvent: // state, time, duration, task
+        return {4, 4 + 8 + 8 + 8, false, false, true};
+      case FrameType::CounterSample: // counter, time, value
+        return {3, 4 + 8 + 8, false, false, true};
+      case FrameType::DiscreteEvent: // type, time, payload
+        return {3, 4 + 8 + 8, false, false, true};
+      case FrameType::CommEvent: // kind u8, time, src, dst, size, region
+        return {5, 1 + 8 + 4 + 4 + 8 + 8, true, false, true};
+      case FrameType::TaskInstance: // id, type, cpu, start, duration
+        return {5, 8 + 8 + 4 + 8 + 8, false, false, false};
+      case FrameType::MemRegion: // id, address, size, node
+        return {4, 8 + 8 + 8 + 4, false, false, false};
+      case FrameType::MemAccess: // task, address, size + is-write u8
+        return {3, 8 + 8 + 8 + 1, false, true, false};
+      default:
+        return {};
+    }
+}
+
+/**
+ * Skip the payload of one lane frame (everything after the tag and,
+ * for per-CPU frames, the already-consumed CPU id) without
+ * materializing it. Truncation fails the reader here, during the
+ * scan; value-level violations (an over-long varint, a varint
+ * overflowing a 32-bit field) are left for the decode phase, which
+ * re-reads every field with full validation and reports the frame's
+ * offset and kind.
+ */
+void
+skipLanePayload(ByteReader &reader, Encoding encoding, FrameType type)
+{
+    const FrameLayout layout = frameLayout(type);
+    if (layout.payloadVarints == 0) {
+        reader.markFailed();
+        return;
+    }
+    if (encoding == Encoding::Compact) {
+        if (layout.kindByte)
+            reader.skip(1);
+        reader.skipVarints(layout.payloadVarints);
+        if (layout.trailingByte)
+            reader.skip(1);
+        return;
+    }
+    reader.skip(layout.rawPayload);
+}
+
+/** First decode error of one lane's frame run. */
+struct CpuDecodeStatus
+{
+    std::size_t errorOffset = std::numeric_limits<std::size_t>::max();
+    std::string error;
+
+    bool failed() const
+    {
+        return errorOffset != std::numeric_limits<std::size_t>::max();
+    }
+};
+
+/**
+ * Decode lanes: every CPU timeline is one lane, and the three bulk
+ * global containers — task instances, memory regions, memory accesses
+ * — are one lane each (lane = numCpus + k below). Frames of one lane
+ * decode strictly in stream order, so each container fills exactly as
+ * the serial reader would fill it; different lanes touch disjoint
+ * Trace members and decode concurrently.
+ */
+constexpr std::size_t kNumGlobalLanes = 3;
+
+std::size_t
+globalLaneIndex(FrameType type)
+{
+    switch (type) {
+      case FrameType::TaskInstance: return 0;
+      case FrameType::MemRegion: return 1;
+      default: return 2; // MemAccess
+    }
+}
+
+/**
+ * Decode one batch of a CPU's frame stretches into its timeline, in
+ * stream order, carrying the delta registers across batches. The scan
+ * already validated frame structure and CPU ids, so the only possible
+ * failures are value-level (a varint over-long or overflowing a 32-bit
+ * field).
+ */
+void
+decodeBatch(const std::vector<std::uint8_t> &bytes, Encoding encoding,
+            const std::vector<std::uint64_t> &stretches,
+            CpuTimeline &timeline, DeltaRegisters &registers,
+            const base::CancellationToken &cancel,
+            std::atomic<bool> &cancelled, CpuDecodeStatus &status)
+{
+    if (status.failed())
+        return;
+    ByteReader reader(bytes);
+    FrameDecoder decoder(reader, encoding, registers);
+    std::size_t frames_seen = 0;
+    for (std::uint64_t stretch : stretches) {
+        reader.seek(static_cast<std::size_t>(stretch &
+                                             kStretchOffsetMask));
+        const std::size_t count =
+            static_cast<std::size_t>(stretch >> kStretchCountShift);
+        for (std::size_t k = 0; k < count; k++) {
+            if ((frames_seen++ & 0x3ff) == 0 &&
+                (cancelled.load(std::memory_order_relaxed) ||
+                 cancel.cancelled())) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+            const std::size_t offset = reader.offset();
+            FrameType type = static_cast<FrameType>(reader.readU8());
+            switch (type) {
+              case FrameType::StateEvent: {
+                decoder.readValue32(); // CPU id, validated by the scan.
+                StateEvent ev;
+                ev.state = decoder.readValue32();
+                ev.interval.start = decoder.readTime(DeltaClass::State);
+                ev.interval.end = ev.interval.start + decoder.readValue();
+                ev.task = decoder.readValue();
+                if (reader.ok())
+                    timeline.addState(ev);
+                break;
+              }
+              case FrameType::CounterSample: {
+                decoder.readValue32();
+                CounterId counter = decoder.readValue32();
+                CounterSample sample;
+                sample.time = decoder.readTime(DeltaClass::Counter);
+                sample.value = decoder.readCounterValue();
+                if (reader.ok())
+                    timeline.addCounterSample(counter, sample);
+                break;
+              }
+              case FrameType::DiscreteEvent: {
+                decoder.readValue32();
+                DiscreteEvent ev;
+                ev.type = static_cast<DiscreteType>(decoder.readValue32());
+                ev.time = decoder.readTime(DeltaClass::Discrete);
+                ev.payload = decoder.readValue();
+                if (reader.ok())
+                    timeline.addDiscrete(ev);
+                break;
+              }
+              case FrameType::CommEvent: {
+                decoder.readValue32();
+                CommEvent ev;
+                ev.kind = static_cast<CommKind>(reader.readU8());
+                ev.time = decoder.readTime(DeltaClass::Comm);
+                ev.src = decoder.readValue32();
+                ev.dst = decoder.readValue32();
+                ev.size = decoder.readValue();
+                ev.region = decoder.readValue();
+                if (reader.ok())
+                    timeline.addComm(ev);
+                break;
+              }
+              default:
+                // The scan only records per-CPU frame tags.
+                reader.markFailed();
+            }
+            if (!reader.ok()) {
+                status.errorOffset = offset;
+                status.error = strFormat("corrupt %s frame at offset %zu",
+                                         frameTypeName(type), offset);
+                return;
+            }
+        }
+    }
+}
+
+/**
+ * Decode one batch of a global lane's frame stretches into the trace's
+ * corresponding container, in stream order. Semantic validation that
+ * needs the whole trace (a task instance on an out-of-range CPU) is
+ * finalize()'s job, exactly as for directly populated traces.
+ */
+void
+decodeGlobalBatch(const std::vector<std::uint8_t> &bytes,
+                  Encoding encoding,
+                  const std::vector<std::uint64_t> &stretches, Trace &trace,
+                  const base::CancellationToken &cancel,
+                  std::atomic<bool> &cancelled, CpuDecodeStatus &status)
+{
+    if (status.failed())
+        return;
+    ByteReader reader(bytes);
+    DeltaRegisters registers; // Unused: global frames carry no times.
+    FrameDecoder decoder(reader, encoding, registers);
+    std::size_t frames_seen = 0;
+    for (std::uint64_t stretch : stretches) {
+        reader.seek(static_cast<std::size_t>(stretch &
+                                             kStretchOffsetMask));
+        const std::size_t count =
+            static_cast<std::size_t>(stretch >> kStretchCountShift);
+        for (std::size_t k = 0; k < count; k++) {
+            if ((frames_seen++ & 0x3ff) == 0 &&
+                (cancelled.load(std::memory_order_relaxed) ||
+                 cancel.cancelled())) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+            const std::size_t offset = reader.offset();
+            FrameType type = static_cast<FrameType>(reader.readU8());
+            switch (type) {
+              case FrameType::TaskInstance: {
+                TaskInstance instance;
+                instance.id = decoder.readValue();
+                instance.type = decoder.readValue();
+                instance.cpu = decoder.readValue32();
+                instance.interval.start = decoder.readValue();
+                instance.interval.end = instance.interval.start +
+                                        decoder.readValue();
+                if (reader.ok())
+                    trace.addTaskInstance(instance);
+                break;
+              }
+              case FrameType::MemRegion: {
+                MemRegion region;
+                region.id = decoder.readValue();
+                region.address = decoder.readValue();
+                region.size = decoder.readValue();
+                std::uint32_t node = decoder.readValue32();
+                if (reader.ok()) {
+                    region.node =
+                        node == std::numeric_limits<std::uint32_t>::max()
+                            ? kInvalidNode : node;
+                    trace.addMemRegion(region);
+                }
+                break;
+              }
+              case FrameType::MemAccess: {
+                MemAccess access;
+                access.task = decoder.readValue();
+                access.address = decoder.readValue();
+                access.size = decoder.readValue();
+                access.isWrite = reader.readU8() != 0;
+                if (reader.ok())
+                    trace.addMemAccess(access);
+                break;
+              }
+              default:
+                // The scan only records this lane's frame tags.
+                reader.markFailed();
+            }
+            if (!reader.ok()) {
+                status.errorOffset = offset;
+                status.error = strFormat("corrupt %s frame at offset %zu",
+                                         frameTypeName(type), offset);
+                return;
+            }
+        }
+    }
+}
+
+/** Frames per batch handed from the scan to the decode workers. */
+constexpr std::size_t kBatchFrames = 4096;
+
+/**
+ * The scan-to-decoder pipeline: while the serial scan walks the byte
+ * stream, completed lane batches decode concurrently on the pool, so
+ * decode wall-clock hides behind the scan instead of following it.
+ *
+ * Per-lane order is preserved by a per-key serial executor: each lane
+ * has a FIFO of pending batches and at most one active pump task; the
+ * pump drains the FIFO, carrying the lane's delta registers and error
+ * slot, which only the active pump touches (handoff happens-before via
+ * the mutex).
+ */
+struct DecodePipeline
+{
+    explicit DecodePipeline(std::size_t num_lanes) : lanes(num_lanes) {}
+
+    struct Lane
+    {
+        std::deque<std::vector<std::uint64_t>> pending;
+        bool active = false;
+        DeltaRegisters registers;
+        CpuDecodeStatus status;
+    };
+
+    std::mutex mutex;
+    std::vector<Lane> lanes;
+    std::atomic<bool> cancelled{false};
+};
+
+void
+pumpLane(const std::shared_ptr<DecodePipeline> &pipeline,
+         const std::vector<std::uint8_t> &bytes, Encoding encoding,
+         Trace &trace, std::size_t lane,
+         const base::CancellationToken &cancel)
+{
+    DecodePipeline::Lane &state = pipeline->lanes[lane];
+    const std::size_t num_cpus = pipeline->lanes.size() - kNumGlobalLanes;
+    for (;;) {
+        std::vector<std::uint64_t> batch;
+        {
+            std::lock_guard<std::mutex> lock(pipeline->mutex);
+            if (state.pending.empty() ||
+                pipeline->cancelled.load(std::memory_order_relaxed)) {
+                state.active = false;
+                return;
+            }
+            batch = std::move(state.pending.front());
+            state.pending.pop_front();
+        }
+        if (lane < num_cpus) {
+            decodeBatch(bytes, encoding, batch,
+                        trace.cpu(static_cast<CpuId>(lane)),
+                        state.registers, cancel, pipeline->cancelled,
+                        state.status);
+        } else {
+            decodeGlobalBatch(bytes, encoding, batch, trace, cancel,
+                              pipeline->cancelled, state.status);
+        }
+    }
+}
 
 } // namespace
 
 ReadResult
-readTrace(const std::vector<std::uint8_t> &bytes)
+readTrace(const std::vector<std::uint8_t> &bytes, const ReadOptions &options)
 {
     ReadResult result;
     ByteReader reader(bytes);
@@ -88,64 +490,394 @@ readTrace(const std::vector<std::uint8_t> &bytes)
     std::uint64_t cpu_freq = reader.readU64();
 
     if (!reader.ok() || magic != kTraceMagic) {
-        result.error = "not an Aftermath trace (bad magic)";
+        result.error = "not an Aftermath trace (bad magic at offset 0)";
         return result;
     }
     if (version != kTraceVersion) {
-        result.error = strFormat("unsupported trace version %u", version);
+        result.error = strFormat(
+            "unsupported trace version %u at offset 4", version);
         return result;
     }
     if (encoding_raw > static_cast<std::uint16_t>(Encoding::Compact)) {
-        result.error = strFormat("unknown encoding %u", encoding_raw);
+        result.error =
+            strFormat("unknown encoding %u at offset 6", encoding_raw);
         return result;
     }
     Encoding encoding = static_cast<Encoding>(encoding_raw);
     result.encoding = encoding;
     result.trace.setCpuFreqHz(cpu_freq);
 
-    FrameDecoder decoder(reader, encoding);
+    // ---- Phase 1: serial frame scan ------------------------------------
+    DeltaRegisters scan_registers; // Unused: global frames carry no times.
+    FrameDecoder decoder(reader, encoding, scan_registers);
     Trace &trace = result.trace;
+    std::vector<std::vector<std::uint64_t>> runs;
+    std::vector<std::size_t> frames_buffered;
+    std::size_t scanned = 0;
     bool have_topology = false;
     bool done = false;
 
-    auto check_cpu = [&](CpuId cpu) -> bool {
+    const unsigned max_workers = options.workers == 0
+                                     ? base::ThreadPool::defaultWorkers()
+                                     : options.workers;
+    std::unique_ptr<base::ThreadPool> pool;
+    std::shared_ptr<DecodePipeline> pipeline;
+
+    // Hand one lane's accumulated batch to the decode pipeline. The
+    // pipeline (and its pool) starts lazily on the first full batch,
+    // so small traces never pay thread start-up and decode serially.
+    auto flush_batch = [&](std::size_t lane) {
+        if (!pipeline) {
+            const std::size_t num_lanes = runs.size();
+            pipeline = std::make_shared<DecodePipeline>(num_lanes);
+            pool = std::make_unique<base::ThreadPool>(
+                std::min<unsigned>(max_workers,
+                                   static_cast<unsigned>(num_lanes)));
+        }
+        bool start_pump;
+        {
+            std::lock_guard<std::mutex> lock(pipeline->mutex);
+            DecodePipeline::Lane &state = pipeline->lanes[lane];
+            state.pending.push_back(std::move(runs[lane]));
+            start_pump = !state.active;
+            if (start_pump)
+                state.active = true;
+        }
+        runs[lane].clear();
+        frames_buffered[lane] = 0;
+        if (start_pump) {
+            auto p = pipeline;
+            Trace *t = &trace;
+            const std::vector<std::uint8_t> *b = &bytes;
+            base::CancellationToken cancel = options.cancel;
+            pool->submit([p, b, encoding, t, lane, cancel] {
+                pumpLane(p, *b, encoding, *t, lane, cancel);
+            });
+        }
+    };
+
+    // The open stretch of consecutive frames on one lane; closing it
+    // appends one packed entry to that lane's run.
+    std::size_t stretch_lane = 0;
+    std::size_t stretch_start = 0;
+    std::size_t stretch_count = 0; // 0 = no open stretch.
+
+    auto close_stretch = [&] {
+        if (stretch_count == 0)
+            return;
+        runs[stretch_lane].push_back(
+            packStretch(stretch_start, stretch_count));
+        frames_buffered[stretch_lane] += stretch_count;
+        stretch_count = 0;
+        if (max_workers > 1 &&
+            frames_buffered[stretch_lane] >= kBatchFrames)
+            flush_batch(stretch_lane);
+    };
+
+    auto append_frame = [&](std::size_t lane, std::size_t offset) {
+        if (stretch_count > 0 &&
+            (lane != stretch_lane || stretch_count >= kMaxStretchFrames))
+            close_stretch();
+        if (stretch_count == 0) {
+            stretch_lane = lane;
+            stretch_start = offset;
+        }
+        stretch_count++;
+    };
+
+    // A failed or cancelled scan must stop the decode pipeline before
+    // `result` leaves the function: the pumps hold pointers into
+    // result.trace, so they have to be parked before any return that
+    // might move it. Invoked ahead of every early return in the scan.
+    auto abort_pipeline = [&] {
+        if (!pipeline)
+            return;
+        pipeline->cancelled.store(true, std::memory_order_relaxed);
+        pool->wait();
+    };
+
+    auto check_cpu = [&](CpuId cpu, FrameType type,
+                         std::size_t offset) -> bool {
         if (!have_topology) {
-            result.error = "event frame before topology frame";
+            result.error = strFormat(
+                "%s frame at offset %zu precedes the topology frame",
+                frameTypeName(type), offset);
             return false;
         }
         if (cpu >= trace.numCpus()) {
-            result.error = strFormat("event on cpu %u outside topology",
-                                     cpu);
+            result.error = strFormat(
+                "%s frame at offset %zu: event on cpu %u outside topology",
+                frameTypeName(type), offset, cpu);
             return false;
         }
         return true;
     };
 
+    const std::uint8_t *data = bytes.data();
+    const std::size_t size = bytes.size();
+    const bool compact = encoding == Encoding::Compact;
+
+    // Strict inline varint for the raw-pointer fast path: fails on
+    // exactly the inputs ByteReader::readVarint rejects.
+    auto read_varint_fast = [&](std::size_t &p, std::uint64_t &v) -> bool {
+        v = 0;
+        int shift = 0;
+        while (p < size) {
+            std::uint8_t b = data[p++];
+            if (shift == 63 && (b & 0x7e))
+                return false;
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return true;
+            if (shift == 63)
+                return false;
+            shift += 7;
+        }
+        return false;
+    };
+
+    // Word-at-a-time varint skipping (see ByteReader::skipVarints; the
+    // decode phase re-reads every field skipped here with validation).
+    auto skip_varints_fast = [&](std::size_t &p, unsigned n) -> bool {
+        while (n > 0) {
+            if (size - p < 8) {
+                std::uint64_t v;
+                for (; n > 0; n--) {
+                    if (!read_varint_fast(p, v))
+                        return false;
+                }
+                return true;
+            }
+            std::uint64_t w;
+            std::memcpy(&w, data + p, 8);
+            std::uint64_t term = ~w & 0x8080808080808080ull;
+            unsigned count = static_cast<unsigned>(std::popcount(term));
+            if (count >= n) {
+                for (unsigned k = 1; k < n; k++)
+                    term &= term - 1; // Drop the k lowest terminators.
+                p += static_cast<std::size_t>(
+                         std::countr_zero(term) / 8) + 1;
+                return true;
+            }
+            p += 8;
+            n -= count;
+        }
+        return true;
+    };
+
+    // The (tag byte + encoded CPU id) prefix of the last lane frame,
+    // as a masked 8-byte pattern: while consecutive frames repeat it
+    // (the overwhelmingly common case), the scan extends the stretch
+    // with one compare instead of re-decoding tag and id. Global lane
+    // frames have a 1-byte prefix (the tag alone).
+    std::uint64_t prefix_pattern = 0;
+    std::uint64_t prefix_mask = 0;
+    std::size_t prefix_len = 0; // 0 = no cached prefix.
+    FrameLayout prefix_layout;
+    std::size_t prefix_lane = 0;
+    FrameType prefix_type = FrameType::StateEvent;
+
     while (!done) {
-        std::uint8_t type_raw = reader.readU8();
-        if (!reader.ok()) {
-            result.error = "truncated trace: missing end-of-trace frame";
-            return result;
+        // Fast path: stretches of consecutive per-CPU frames (the bulk
+        // of any real trace) scan in one register-resident raw-pointer
+        // loop. Falls back to the general path at global frames, near
+        // the buffer tail, and before the topology frame.
+        if (have_topology) {
+            std::size_t pos = reader.offset();
+            while (size - pos >= 64) {
+                if (prefix_len != 0) {
+                    std::uint64_t head;
+                    std::memcpy(&head, data + pos, 8);
+                    if (((head ^ prefix_pattern) & prefix_mask) == 0) {
+                        // Same tag (and CPU): extend the stretch.
+                        std::size_t p = pos + prefix_len;
+                        if (compact) {
+                            if (prefix_layout.kindByte)
+                                p++; // The comm kind byte (any value).
+                            // The trailing is-write byte must exist
+                            // beyond the varints (word-skipping does
+                            // not bound varint length, so p can reach
+                            // the buffer end here).
+                            if (!skip_varints_fast(
+                                    p, prefix_layout.payloadVarints) ||
+                                (prefix_layout.trailingByte &&
+                                 p >= size)) {
+                                result.error = strFormat(
+                                    "truncated or corrupt %s frame at "
+                                    "offset %zu",
+                                    frameTypeName(prefix_type), pos);
+                                abort_pipeline();
+                                return result;
+                            }
+                            if (prefix_layout.trailingByte)
+                                p++; // The mem-access is-write byte.
+                        } else {
+                            // rawPayload covers kind/trailing bytes.
+                            p += prefix_layout.rawPayload;
+                        }
+                        if (stretch_count >= kMaxStretchFrames)
+                            close_stretch();
+                        if (stretch_count == 0) {
+                            stretch_lane = prefix_lane;
+                            stretch_start = pos;
+                        }
+                        stretch_count++;
+                        pos = p;
+                        if ((++scanned & 0xfff) == 0 &&
+                            options.cancel.cancelled()) {
+                            result.cancelled = true;
+                            result.error = "trace load cancelled";
+                            abort_pipeline();
+                            return result;
+                        }
+                        continue;
+                    }
+                }
+                FrameType ftype = static_cast<FrameType>(data[pos]);
+                const FrameLayout layout = frameLayout(ftype);
+                if (layout.payloadVarints == 0)
+                    break; // Description/end frame: general path.
+                const std::size_t frame_offset = pos;
+                std::size_t p = pos + 1;
+                std::size_t prefix_end = p;
+                std::size_t lane;
+                if (layout.perCpu) {
+                    std::uint64_t cpu64;
+                    if (compact) {
+                        bool ok = read_varint_fast(p, cpu64) &&
+                                  cpu64 <= std::numeric_limits<
+                                               std::uint32_t>::max();
+                        prefix_end = p;
+                        if (ok && layout.kindByte)
+                            p++; // The comm kind byte (any value).
+                        if (!ok ||
+                            !skip_varints_fast(p,
+                                               layout.payloadVarints)) {
+                            result.error = strFormat(
+                                "truncated or corrupt %s frame at "
+                                "offset %zu",
+                                frameTypeName(ftype), frame_offset);
+                            abort_pipeline();
+                            return result;
+                        }
+                    } else {
+                        std::uint32_t c32;
+                        std::memcpy(&c32, data + p, 4);
+                        cpu64 = c32;
+                        prefix_end = p + 4;
+                        p += 4 + layout.rawPayload;
+                    }
+                    CpuId cpu = static_cast<CpuId>(cpu64);
+                    if (cpu >= trace.numCpus()) {
+                        result.error = strFormat(
+                            "%s frame at offset %zu: event on cpu %u "
+                            "outside topology",
+                            frameTypeName(ftype), frame_offset, cpu);
+                        abort_pipeline();
+                        return result;
+                    }
+                    lane = cpu;
+                } else {
+                    if (compact) {
+                        // The trailing is-write byte must exist beyond
+                        // the varints (word-skipping does not bound
+                        // varint length, so p can reach the buffer
+                        // end here).
+                        if (!skip_varints_fast(p,
+                                               layout.payloadVarints) ||
+                            (layout.trailingByte && p >= size)) {
+                            result.error = strFormat(
+                                "truncated or corrupt %s frame at "
+                                "offset %zu",
+                                frameTypeName(ftype), frame_offset);
+                            abort_pipeline();
+                            return result;
+                        }
+                        if (layout.trailingByte)
+                            p++; // The mem-access is-write byte.
+                    } else {
+                        p += layout.rawPayload;
+                    }
+                    lane = trace.numCpus() + globalLaneIndex(ftype);
+                }
+                append_frame(lane, frame_offset);
+                // Cache this frame's prefix for the stretch fast path
+                // (tag + CPU id bytes; at most 1 + 5 <= 8 bytes).
+                prefix_len = prefix_end - frame_offset;
+                prefix_mask =
+                    prefix_len >= 8
+                        ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << (8 * prefix_len)) - 1;
+                std::memcpy(&prefix_pattern, data + frame_offset, 8);
+                prefix_pattern &= prefix_mask;
+                prefix_layout = layout;
+                prefix_lane = lane;
+                prefix_type = ftype;
+                pos = p;
+                if ((++scanned & 0xfff) == 0 &&
+                    options.cancel.cancelled()) {
+                    result.cancelled = true;
+                    result.error = "trace load cancelled";
+                    abort_pipeline();
+                    return result;
+                }
+            }
+            reader.seek(pos);
         }
 
-        switch (static_cast<FrameType>(type_raw)) {
+        if ((++scanned & 0xfff) == 0 && options.cancel.cancelled()) {
+            result.cancelled = true;
+            result.error = "trace load cancelled";
+            abort_pipeline();
+            return result;
+        }
+        std::size_t frame_offset = reader.offset();
+        std::uint8_t type_raw = reader.readU8();
+        if (!reader.ok()) {
+            result.error = strFormat(
+                "truncated trace at offset %zu: missing end-of-trace frame",
+                frame_offset);
+            abort_pipeline();
+            return result;
+        }
+        FrameType type = static_cast<FrameType>(type_raw);
+
+        // A non-lane frame (descriptions, topology, end-of-trace,
+        // unknown tags) interrupts the byte-contiguity of the open
+        // stretch; close it so decode never walks across it.
+        bool lane_frame = isPerCpuFrame(type) ||
+                          type == FrameType::TaskInstance ||
+                          type == FrameType::MemRegion ||
+                          type == FrameType::MemAccess;
+        if (!lane_frame)
+            close_stretch();
+
+        switch (type) {
           case FrameType::Topology: {
             if (have_topology) {
-                result.error = "duplicate topology frame";
+                result.error = strFormat(
+                    "duplicate topology frame at offset %zu", frame_offset);
+                abort_pipeline();
                 return result;
             }
             std::uint32_t num_cpus = decoder.readValue32();
             std::uint32_t num_nodes = decoder.readValue32();
             if (!reader.ok() || num_cpus == 0 || num_cpus > kMaxCpus ||
                 num_nodes == 0 || num_nodes > kMaxNodes) {
-                result.error = "invalid topology frame";
+                result.error = strFormat(
+                    "invalid topology frame at offset %zu", frame_offset);
+                abort_pipeline();
                 return result;
             }
             std::vector<NodeId> cpu_to_node(num_cpus);
             for (auto &node : cpu_to_node) {
                 node = decoder.readValue32();
                 if (reader.ok() && node >= num_nodes) {
-                    result.error = "cpu mapped to invalid node";
+                    result.error = strFormat(
+                        "cpu mapped to invalid node in topology frame "
+                        "at offset %zu",
+                        frame_offset);
+                    abort_pipeline();
                     return result;
                 }
             }
@@ -154,11 +886,15 @@ readTrace(const std::vector<std::uint8_t> &bytes)
             for (auto &d : distances)
                 d = decoder.readValue32();
             if (!reader.ok()) {
-                result.error = "truncated topology frame";
+                result.error = strFormat(
+                    "truncated topology frame at offset %zu", frame_offset);
+                abort_pipeline();
                 return result;
             }
             trace.setTopology(MachineTopology::custom(
                 std::move(cpu_to_node), num_nodes, std::move(distances)));
+            runs.resize(trace.numCpus() + kNumGlobalLanes);
+            frames_buffered.resize(trace.numCpus() + kNumGlobalLanes, 0);
             have_topology = true;
             break;
           }
@@ -179,70 +915,39 @@ readTrace(const std::vector<std::uint8_t> &bytes)
             break;
           }
           case FrameType::TaskType: {
-            TaskType type;
-            type.id = decoder.readValue();
-            type.name = reader.readString();
+            TaskType task_type;
+            task_type.id = decoder.readValue();
+            task_type.name = reader.readString();
             if (reader.ok())
-                trace.addTaskType(type);
+                trace.addTaskType(task_type);
             break;
           }
-          case FrameType::StateEvent: {
-            CpuId cpu = decoder.readValue32();
-            StateEvent ev;
-            ev.state = decoder.readValue32();
-            ev.interval.start = decoder.readTime(DeltaClass::State, cpu);
-            ev.interval.end = ev.interval.start + decoder.readValue();
-            ev.task = decoder.readValue();
-            if (!reader.ok())
-                break;
-            if (!check_cpu(cpu))
-                return result;
-            trace.cpu(cpu).addState(ev);
-            break;
-          }
-          case FrameType::CounterSample: {
-            CpuId cpu = decoder.readValue32();
-            CounterId counter = decoder.readValue32();
-            CounterSample sample;
-            sample.time = decoder.readTime(DeltaClass::Counter, cpu);
-            sample.value = decoder.readCounterValue();
-            if (!reader.ok())
-                break;
-            if (!check_cpu(cpu))
-                return result;
-            trace.cpu(cpu).addCounterSample(counter, sample);
-            break;
-          }
-          case FrameType::DiscreteEvent: {
-            CpuId cpu = decoder.readValue32();
-            DiscreteEvent ev;
-            ev.type = static_cast<DiscreteType>(decoder.readValue32());
-            ev.time = decoder.readTime(DeltaClass::Discrete, cpu);
-            ev.payload = decoder.readValue();
-            if (!reader.ok())
-                break;
-            if (!check_cpu(cpu))
-                return result;
-            trace.cpu(cpu).addDiscrete(ev);
-            break;
-          }
+          case FrameType::StateEvent:
+          case FrameType::CounterSample:
+          case FrameType::DiscreteEvent:
           case FrameType::CommEvent: {
             CpuId cpu = decoder.readValue32();
-            CommEvent ev;
-            ev.kind = static_cast<CommKind>(reader.readU8());
-            ev.time = decoder.readTime(DeltaClass::Comm, cpu);
-            ev.src = decoder.readValue32();
-            ev.dst = decoder.readValue32();
-            ev.size = decoder.readValue();
-            ev.region = decoder.readValue();
+            skipLanePayload(reader, encoding, type);
             if (!reader.ok())
                 break;
-            if (!check_cpu(cpu))
+            if (!check_cpu(cpu, type, frame_offset)) {
+                abort_pipeline();
                 return result;
-            trace.cpu(cpu).addComm(ev);
+            }
+            append_frame(cpu, frame_offset);
             break;
           }
           case FrameType::TaskInstance: {
+            if (have_topology) {
+                // Buffer-tail frame: skip and hand to the task lane
+                // (finalize() validates instance CPUs, as for directly
+                // populated traces).
+                skipLanePayload(reader, encoding, type);
+                if (reader.ok())
+                    append_frame(trace.numCpus() + globalLaneIndex(type),
+                                 frame_offset);
+                break;
+            }
             TaskInstance instance;
             instance.id = decoder.readValue();
             instance.type = decoder.readValue();
@@ -252,12 +957,24 @@ readTrace(const std::vector<std::uint8_t> &bytes)
                                     decoder.readValue();
             if (!reader.ok())
                 break;
-            if (!check_cpu(instance.cpu))
+            // Unreachable on success: no topology yet means the frame
+            // is premature.
+            if (!check_cpu(instance.cpu, type, frame_offset)) {
+                abort_pipeline();
                 return result;
-            trace.addTaskInstance(instance);
+            }
             break;
           }
           case FrameType::MemRegion: {
+            if (have_topology) {
+                skipLanePayload(reader, encoding, type);
+                if (reader.ok())
+                    append_frame(trace.numCpus() + globalLaneIndex(type),
+                                 frame_offset);
+                break;
+            }
+            // Legal before the topology frame: decode directly (the
+            // lanes exist only once the topology sizes them).
             MemRegion region;
             region.id = decoder.readValue();
             region.address = decoder.readValue();
@@ -270,6 +987,13 @@ readTrace(const std::vector<std::uint8_t> &bytes)
             break;
           }
           case FrameType::MemAccess: {
+            if (have_topology) {
+                skipLanePayload(reader, encoding, type);
+                if (reader.ok())
+                    append_frame(trace.numCpus() + globalLaneIndex(type),
+                                 frame_offset);
+                break;
+            }
             MemAccess access;
             access.task = decoder.readValue();
             access.address = decoder.readValue();
@@ -284,35 +1008,106 @@ readTrace(const std::vector<std::uint8_t> &bytes)
             break;
           default:
             result.error = strFormat("unknown frame type %u at offset %zu",
-                                     type_raw, reader.offset() - 1);
+                                     type_raw, frame_offset);
+            abort_pipeline();
             return result;
         }
 
         if (!reader.ok()) {
-            result.error = strFormat("truncated or corrupt frame (type %u)",
-                                     type_raw);
+            result.error = strFormat(
+                "truncated or corrupt %s frame at offset %zu",
+                frameTypeName(type), frame_offset);
+            abort_pipeline();
             return result;
         }
     }
 
     if (!have_topology) {
         result.error = "trace contains no topology frame";
+        abort_pipeline();
+        return result;
+    }
+
+    // ---- Phase 2: drain the pipeline / decode serially -----------------
+    close_stretch(); // No-op unless the stream ended mid-stretch.
+    const std::size_t num_cpus = trace.numCpus();
+    const std::size_t num_lanes = runs.size();
+    bool decode_cancelled = false;
+    const CpuDecodeStatus *first_error = nullptr;
+    auto consider = [&](const CpuDecodeStatus &status) {
+        // The minimum-offset rule keeps the reported diagnostic
+        // independent of scheduling and worker count.
+        if (status.failed() &&
+            (!first_error || status.errorOffset < first_error->errorOffset))
+            first_error = &status;
+    };
+    std::vector<CpuDecodeStatus> statuses;
+    if (pipeline) {
+        // Most batches already decoded while the scan was running; hand
+        // over the partial tails and wait for the pumps to drain.
+        for (std::size_t lane = 0; lane < num_lanes; lane++) {
+            if (!runs[lane].empty())
+                flush_batch(lane);
+        }
+        pool->wait();
+        decode_cancelled =
+            pipeline->cancelled.load(std::memory_order_relaxed) ||
+            options.cancel.cancelled();
+        if (!decode_cancelled) {
+            for (const DecodePipeline::Lane &state : pipeline->lanes)
+                consider(state.status);
+        }
+    } else if (options.cancel.cancelled()) {
+        decode_cancelled = true;
+    } else {
+        // Small trace or workers == 1: decode every run on the calling
+        // thread. No early exit on a failed lane, so the minimum-offset
+        // rule sees the same candidates as the pipelined mode.
+        statuses.resize(num_lanes);
+        std::atomic<bool> cancelled{false};
+        for (std::size_t lane = 0; lane < num_lanes; lane++) {
+            if (lane < num_cpus) {
+                DeltaRegisters registers;
+                decodeBatch(bytes, encoding, runs[lane],
+                            trace.cpu(static_cast<CpuId>(lane)),
+                            registers, options.cancel, cancelled,
+                            statuses[lane]);
+            } else {
+                decodeGlobalBatch(bytes, encoding, runs[lane], trace,
+                                  options.cancel, cancelled,
+                                  statuses[lane]);
+            }
+        }
+        decode_cancelled = cancelled.load(std::memory_order_relaxed) ||
+                           options.cancel.cancelled();
+        if (!decode_cancelled) {
+            for (const CpuDecodeStatus &status : statuses)
+                consider(status);
+        }
+    }
+
+    if (decode_cancelled) {
+        result.cancelled = true;
+        result.error = "trace load cancelled";
+        return result;
+    }
+    if (first_error) {
+        result.error = first_error->error;
         return result;
     }
 
     std::string finalize_error;
-    if (!trace.finalize(finalize_error)) {
+    if (!trace.finalize(finalize_error, pool.get())) {
         result.error = "trace validation failed: " + finalize_error;
         return result;
     }
-
     result.bytesRead = reader.offset();
     result.ok = true;
     return result;
 }
 
 ReadResult
-readTraceFile(const std::string &path)
+readTraceFile(const std::string &path, const ReadOptions &options)
 {
     ReadResult result;
     std::FILE *f = std::fopen(path.c_str(), "rb");
@@ -335,7 +1130,7 @@ readTraceFile(const std::string &path)
         result.error = "short read from " + path;
         return result;
     }
-    return readTrace(bytes);
+    return readTrace(bytes, options);
 }
 
 } // namespace trace

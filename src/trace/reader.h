@@ -6,6 +6,33 @@
  * timestamp ordering (the format's only ordering requirement), rejects
  * malformed or truncated input with a diagnostic instead of crashing, and
  * finalizes the resulting Trace so it is immediately analyzable.
+ *
+ * Two-phase decode contract: loading always runs in two passes.
+ *
+ *  1. Frame scan (serial). One walk over the byte stream validates the
+ *     header, decodes the small global frames (topology, state/counter
+ *     descriptions, task types) in stream order, and partitions every
+ *     other frame into per-lane runs of consecutive-frame stretches
+ *     without materializing them — one lane per CPU for the event
+ *     frames (state, counter, discrete, comm; CPU ids are validated
+ *     against the topology here) and one lane each for the bulk global
+ *     tables (task instances, memory regions, memory accesses). The
+ *     scan checks frame structure and stops at the first malformed
+ *     frame.
+ *  2. Lane decode (parallel). Each lane's stretches decode strictly in
+ *     stream order with private delta-timestamp registers, so every
+ *     container fills exactly as a serial pass would fill it. With
+ *     ReadOptions::workers > 1 the decode is pipelined: batches of
+ *     scanned frames stream to a base::ThreadPool while the scan is
+ *     still running. Decode diagnostics are merged by lowest byte
+ *     offset so the reported error does not depend on scheduling.
+ *
+ * Bit-identity guarantee: the materialized Trace, the diagnostics (which
+ * carry the failing frame's byte offset and kind), and bytesRead are
+ * identical at every worker count — workers only changes wall-clock
+ * time. Cancellation (ReadOptions::cancel) is cooperative and observed
+ * at batch boundaries in both phases; a cancelled load returns
+ * ok == false with cancelled == true and no usable trace.
  */
 
 #ifndef AFTERMATH_TRACE_READER_H
@@ -15,27 +42,49 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "trace/format.h"
 #include "trace/trace.h"
 
 namespace aftermath {
 namespace trace {
 
+/** Knobs of the two-phase trace loader. */
+struct ReadOptions
+{
+    /**
+     * Worker threads of the per-CPU decode phase; 1 decodes on the
+     * calling thread, 0 uses one worker per hardware thread. The
+     * result is bit-identical at every setting.
+     */
+    unsigned workers = 1;
+
+    /**
+     * Cooperative cancellation: requestCancel() from any thread stops
+     * the load at the next frame-run boundary. The default token never
+     * cancels.
+     */
+    base::CancellationToken cancel;
+};
+
 /** Outcome of reading a trace stream. */
 struct ReadResult
 {
     bool ok = false;     ///< True if the trace parsed and finalized.
-    std::string error;   ///< Diagnostic when !ok.
+    bool cancelled = false; ///< True if ReadOptions::cancel stopped the load.
+    std::string error;   ///< Diagnostic when !ok (byte offset + frame kind).
     Trace trace;         ///< The materialized trace when ok.
     Encoding encoding = Encoding::Raw; ///< Encoding found in the header.
     std::size_t bytesRead = 0;         ///< Total bytes consumed.
 };
 
 /** Parse a trace from an in-memory byte buffer. */
-ReadResult readTrace(const std::vector<std::uint8_t> &bytes);
+ReadResult readTrace(const std::vector<std::uint8_t> &bytes,
+                     const ReadOptions &options = {});
 
 /** Parse a trace from a file. */
-ReadResult readTraceFile(const std::string &path);
+ReadResult readTraceFile(const std::string &path,
+                         const ReadOptions &options = {});
 
 } // namespace trace
 } // namespace aftermath

@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 
 namespace aftermath {
 namespace trace {
@@ -36,14 +37,15 @@ Trace::addTaskType(const TaskType &type)
 void
 Trace::addTaskInstance(const TaskInstance &instance)
 {
-    instanceIndex_[instance.id] = taskInstances_.size();
+    // The id -> index map is built by finalize() (parallelizable and
+    // off the reader's serial scan); appends stay O(1) plain.
     taskInstances_.push_back(instance);
 }
 
 void
 Trace::addMemRegion(const MemRegion &region)
 {
-    regionIndex_[region.id] = memRegions_.size();
+    // The id -> index map is rebuilt by finalize() after sorting.
     memRegions_.push_back(region);
 }
 
@@ -78,6 +80,12 @@ Trace::cpuOrNull(CpuId cpu) const
 bool
 Trace::finalize(std::string &error)
 {
+    return finalize(error, nullptr);
+}
+
+bool
+Trace::finalize(std::string &error, base::ThreadPool *pool)
+{
     if (finalized_) {
         error = "trace already finalized";
         return false;
@@ -87,14 +95,110 @@ Trace::finalize(std::string &error)
         return false;
     }
 
-    lastTime_ = 0;
-    for (CpuId c = 0; c < cpus_.size(); c++) {
-        std::string cpu_error;
-        if (!cpus_[c].finalize(cpu_error)) {
-            error = strFormat("cpu %u: %s", c, cpu_error.c_str());
-            return false;
+    // Region table sorted by address for O(log n) address lookups; the
+    // NUMA placement of a region is stored once and found per access
+    // through this index (paper section VI-A).
+    std::string region_error;
+    auto build_region_index = [&] {
+        auto by_address = [](const MemRegion &a, const MemRegion &b) {
+            return a.address < b.address;
+        };
+        if (!std::is_sorted(memRegions_.begin(), memRegions_.end(),
+                            by_address))
+            std::sort(memRegions_.begin(), memRegions_.end(), by_address);
+        regionIndex_.clear();
+        regionIndex_.reserve(memRegions_.size());
+        for (std::size_t i = 0; i < memRegions_.size(); i++) {
+            if (i > 0 &&
+                memRegions_[i].address < memRegions_[i - 1].address +
+                                             memRegions_[i - 1].size &&
+                memRegions_[i].size > 0 && memRegions_[i - 1].size > 0) {
+                region_error = strFormat(
+                    "memory regions %llu and %llu overlap",
+                    static_cast<unsigned long long>(memRegions_[i - 1].id),
+                    static_cast<unsigned long long>(memRegions_[i].id));
+                return;
+            }
+            regionIndex_[memRegions_[i].id] = i;
         }
-        lastTime_ = std::max(lastTime_, cpus_[c].lastTime());
+    };
+
+    // Group accesses by task instance so per-task locality queries are
+    // a range scan rather than a full pass. Traces written after a
+    // finalize (every file round-trip) arrive already grouped; the
+    // is_sorted probe makes their reload O(n) instead of O(n log n).
+    auto build_access_ranges = [&] {
+        auto by_task = [](const MemAccess &a, const MemAccess &b) {
+            return a.task < b.task;
+        };
+        if (!std::is_sorted(memAccesses_.begin(), memAccesses_.end(),
+                            by_task))
+            std::stable_sort(memAccesses_.begin(), memAccesses_.end(),
+                             by_task);
+        accessRanges_.clear();
+        accessRanges_.reserve(taskInstances_.size());
+        std::size_t begin = 0;
+        for (std::size_t i = 0; i <= memAccesses_.size(); i++) {
+            if (i == memAccesses_.size() ||
+                (i > begin &&
+                 memAccesses_[i].task != memAccesses_[begin].task)) {
+                if (i > begin)
+                    accessRanges_[memAccesses_[begin].task] = {begin, i};
+                begin = i;
+            }
+        }
+    };
+
+    // Task-instance id -> index (insertion order, last duplicate wins,
+    // matching the behaviour of indexing on append).
+    auto build_instance_index = [&] {
+        instanceIndex_.clear();
+        instanceIndex_.reserve(taskInstances_.size());
+        for (std::size_t i = 0; i < taskInstances_.size(); i++)
+            instanceIndex_[taskInstances_[i].id] = i;
+    };
+
+    lastTime_ = 0;
+    if (pool && cpus_.size() > 1) {
+        // Independent units on the pool: one ordering validation per
+        // CPU plus the three index builds (they touch disjoint
+        // members). The lowest-numbered failing CPU is reported and
+        // errors rank exactly like the serial control flow below.
+        const std::size_t n = cpus_.size();
+        std::vector<std::string> cpu_errors(n);
+        std::vector<std::uint8_t> cpu_failed(n, 0);
+        pool->parallelFor(n + 3, [&](std::size_t unit) {
+            if (unit < n) {
+                if (!cpus_[unit].finalize(cpu_errors[unit]))
+                    cpu_failed[unit] = 1;
+            } else if (unit == n) {
+                build_region_index();
+            } else if (unit == n + 1) {
+                build_access_ranges();
+            } else {
+                build_instance_index();
+            }
+        });
+        for (CpuId c = 0; c < n; c++) {
+            if (cpu_failed[c]) {
+                error = strFormat("cpu %u: %s", c, cpu_errors[c].c_str());
+                return false;
+            }
+        }
+        for (CpuId c = 0; c < n; c++)
+            lastTime_ = std::max(lastTime_, cpus_[c].lastTime());
+    } else {
+        for (CpuId c = 0; c < cpus_.size(); c++) {
+            std::string cpu_error;
+            if (!cpus_[c].finalize(cpu_error)) {
+                error = strFormat("cpu %u: %s", c, cpu_error.c_str());
+                return false;
+            }
+            lastTime_ = std::max(lastTime_, cpus_[c].lastTime());
+        }
+        build_region_index();
+        build_access_ranges();
+        build_instance_index();
     }
 
     for (const TaskInstance &instance : taskInstances_) {
@@ -107,43 +211,9 @@ Trace::finalize(std::string &error)
         lastTime_ = std::max(lastTime_, instance.interval.end);
     }
 
-    // Region table sorted by address for O(log n) address lookups; the
-    // NUMA placement of a region is stored once and found per access
-    // through this index (paper section VI-A).
-    std::sort(memRegions_.begin(), memRegions_.end(),
-              [](const MemRegion &a, const MemRegion &b) {
-                  return a.address < b.address;
-              });
-    regionIndex_.clear();
-    for (std::size_t i = 0; i < memRegions_.size(); i++) {
-        if (i > 0 && memRegions_[i].address <
-                         memRegions_[i - 1].address + memRegions_[i - 1].size
-                  && memRegions_[i].size > 0 && memRegions_[i - 1].size > 0) {
-            error = strFormat("memory regions %llu and %llu overlap",
-                              static_cast<unsigned long long>(
-                                  memRegions_[i - 1].id),
-                              static_cast<unsigned long long>(
-                                  memRegions_[i].id));
-            return false;
-        }
-        regionIndex_[memRegions_[i].id] = i;
-    }
-
-    // Group accesses by task instance so per-task locality queries are a
-    // range scan rather than a full pass.
-    std::stable_sort(memAccesses_.begin(), memAccesses_.end(),
-                     [](const MemAccess &a, const MemAccess &b) {
-                         return a.task < b.task;
-                     });
-    accessRanges_.clear();
-    std::size_t begin = 0;
-    for (std::size_t i = 0; i <= memAccesses_.size(); i++) {
-        if (i == memAccesses_.size() ||
-            (i > begin && memAccesses_[i].task != memAccesses_[begin].task)) {
-            if (i > begin)
-                accessRanges_[memAccesses_[begin].task] = {begin, i};
-            begin = i;
-        }
+    if (!region_error.empty()) {
+        error = region_error;
+        return false;
     }
 
     finalized_ = true;

@@ -29,6 +29,11 @@
 #include "trace/topology.h"
 
 namespace aftermath {
+
+namespace base {
+class ThreadPool;
+}
+
 namespace trace {
 
 /**
@@ -79,6 +84,15 @@ class Trace
      *         validation fails.
      */
     bool finalize(std::string &error);
+
+    /**
+     * finalize() with the per-CPU ordering validation distributed over
+     * @p pool (nullptr validates serially). The result — including
+     * which violation is reported — is identical to the serial form:
+     * every CPU validates independently and the lowest-numbered failing
+     * CPU wins. The parallel trace reader drives this overload.
+     */
+    bool finalize(std::string &error, base::ThreadPool *pool);
 
     // -- Access ----------------------------------------------------------
 

@@ -25,6 +25,7 @@
 #include "session/session_group.h"
 #include "stats/regression.h"
 #include "trace/state.h"
+#include "trace_builder.h"
 
 namespace aftermath {
 namespace session {
@@ -35,41 +36,17 @@ constexpr std::uint32_t kExec =
 constexpr std::uint32_t kIdle =
     static_cast<std::uint32_t>(trace::CoreState::Idle);
 
-/**
- * A trace with @p cpus CPUs, @p counters counters sampled densely on
- * every CPU, plus states and one task per CPU. @p scale varies the
- * counter values (and task lengths) so different variants differ.
- */
+/** The shared counter-heavy fixture (see tests/trace_builder.h). */
 trace::Trace
 denseTrace(std::uint32_t cpus = 8, std::uint32_t counters = 3,
            int samples = 2'000, std::int64_t scale = 1)
 {
-    trace::Trace tr;
-    tr.setTopology(trace::MachineTopology::uniform(2, (cpus + 1) / 2));
-    for (CounterId id = 0; id < counters; id++)
-        tr.addCounterDescription({id, "ctr"});
-    tr.addTaskType({0xa, "w"});
-    Rng rng(42);
-    for (CpuId c = 0; c < cpus; c++) {
-        TimeStamp task_end = 100 + 40 * (c % 5) * scale;
-        tr.addTaskInstance({c, 0xa, c, {0, task_end}});
-        tr.cpu(c).addState({{0, task_end}, kExec, c});
-        tr.cpu(c).addState(
-            {{task_end, task_end + 50}, kIdle, kInvalidTaskInstance});
-        for (CounterId id = 0; id < counters; id++) {
-            TimeStamp t = 0;
-            std::int64_t v = 0;
-            for (int i = 0; i < samples; i++) {
-                t += 1 + rng.nextBounded(3);
-                v += (static_cast<std::int64_t>(rng.nextBounded(201)) -
-                      100) * scale;
-                tr.cpu(c).addCounterSample(id, {t, v});
-            }
-        }
-    }
-    std::string err;
-    EXPECT_TRUE(tr.finalize(err)) << err;
-    return tr;
+    test_support::DenseTraceOptions options;
+    options.cpus = cpus;
+    options.counters = counters;
+    options.samples = samples;
+    options.scale = scale;
+    return test_support::buildDenseTrace(options);
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce)

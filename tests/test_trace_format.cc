@@ -4,120 +4,24 @@
 
 #include <cstdio>
 
-#include "base/rng.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
+#include "trace_builder.h"
 
 namespace aftermath {
 namespace trace {
 namespace {
 
-/** Build a randomized but valid trace. */
+using test_support::buildRandomTrace;
+using test_support::expectTracesEqual;
+
+/** The shared random-trace fixture at this file's historic density. */
 Trace
 randomTrace(std::uint64_t seed, std::uint32_t num_cpus = 4)
 {
-    Rng rng(seed);
-    Trace tr;
-    tr.setTopology(MachineTopology::uniform((num_cpus + 1) / 2, 2));
-    tr.setCpuFreqHz(2'400'000'000);
-    for (const auto &desc : coreStateDescriptions())
-        tr.addStateDescription(desc);
-    tr.addCounterDescription({0, "ctr_a"});
-    tr.addCounterDescription({1, "ctr_b"});
-    tr.addTaskType({0x1000, "work_alpha"});
-    tr.addTaskType({0x2000, "work_beta"});
-
-    TaskInstanceId next_task = 0;
-    for (CpuId c = 0; c < tr.numCpus(); c++) {
-        TimeStamp t = rng.nextBounded(50);
-        std::int64_t ctr = 0;
-        for (int i = 0; i < 50; i++) {
-            TimeStamp end = t + 1 + rng.nextBounded(100);
-            bool is_task = rng.nextBool(0.6);
-            TaskInstanceId task = kInvalidTaskInstance;
-            if (is_task) {
-                task = next_task++;
-                tr.addTaskInstance(
-                    {task, rng.nextBool(0.5) ? 0x1000ull : 0x2000ull, c,
-                     {t, end}});
-                tr.addMemAccess({task, 0x100000 + task * 0x1000, 64,
-                                 rng.nextBool(0.5)});
-            }
-            tr.cpu(c).addState(
-                {{t, end},
-                 is_task ? 0u : static_cast<std::uint32_t>(
-                     1 + rng.nextBounded(4)),
-                 task});
-            ctr += static_cast<std::int64_t>(rng.nextBounded(1000)) - 200;
-            tr.cpu(c).addCounterSample(
-                static_cast<CounterId>(rng.nextBounded(2)), {t, ctr});
-            if (rng.nextBool(0.3)) {
-                tr.cpu(c).addDiscrete(
-                    {t, DiscreteType::TaskCreated, task});
-            }
-            if (rng.nextBool(0.3)) {
-                tr.cpu(c).addComm(
-                    {t, CommKind::DataRead,
-                     static_cast<std::uint32_t>(rng.nextBounded(2)),
-                     static_cast<std::uint32_t>(rng.nextBounded(2)),
-                     rng.nextBounded(4096), 0});
-            }
-            t = end + rng.nextBounded(10);
-        }
-    }
-    for (TaskInstanceId id = 0; id < next_task; id++)
-        tr.addMemRegion({id, 0x100000 + id * 0x1000, 0x1000,
-                         static_cast<NodeId>(id % 2)});
-    std::string err;
-    EXPECT_TRUE(tr.finalize(err)) << err;
-    return tr;
-}
-
-void
-expectTracesEqual(const Trace &a, const Trace &b)
-{
-    ASSERT_EQ(a.numCpus(), b.numCpus());
-    EXPECT_EQ(a.cpuFreqHz(), b.cpuFreqHz());
-    EXPECT_EQ(a.span(), b.span());
-    EXPECT_EQ(a.states(), b.states());
-    EXPECT_EQ(a.counters(), b.counters());
-    ASSERT_EQ(a.taskInstances().size(), b.taskInstances().size());
-    ASSERT_EQ(a.memRegions().size(), b.memRegions().size());
-    ASSERT_EQ(a.memAccesses().size(), b.memAccesses().size());
-    for (std::size_t i = 0; i < a.taskInstances().size(); i++) {
-        const TaskInstance &x = a.taskInstances()[i];
-        const TaskInstance &y = b.taskInstances()[i];
-        EXPECT_EQ(x.id, y.id);
-        EXPECT_EQ(x.type, y.type);
-        EXPECT_EQ(x.cpu, y.cpu);
-        EXPECT_EQ(x.interval, y.interval);
-    }
-    for (CpuId c = 0; c < a.numCpus(); c++) {
-        const CpuTimeline &x = a.cpu(c);
-        const CpuTimeline &y = b.cpu(c);
-        ASSERT_EQ(x.states().size(), y.states().size()) << "cpu " << c;
-        for (std::size_t i = 0; i < x.states().size(); i++) {
-            EXPECT_EQ(x.states()[i].interval, y.states()[i].interval);
-            EXPECT_EQ(x.states()[i].state, y.states()[i].state);
-            EXPECT_EQ(x.states()[i].task, y.states()[i].task);
-        }
-        ASSERT_EQ(x.counterIds(), y.counterIds());
-        for (CounterId id : x.counterIds()) {
-            const auto &sx = x.counterSamples(id);
-            const auto &sy = y.counterSamples(id);
-            ASSERT_EQ(sx.size(), sy.size());
-            for (std::size_t i = 0; i < sx.size(); i++) {
-                EXPECT_EQ(sx[i].time, sy[i].time);
-                EXPECT_EQ(sx[i].value, sy[i].value);
-            }
-        }
-        ASSERT_EQ(x.discreteEvents().size(), y.discreteEvents().size());
-        ASSERT_EQ(x.commEvents().size(), y.commEvents().size());
-        for (std::size_t i = 0; i < x.commEvents().size(); i++) {
-            EXPECT_EQ(x.commEvents()[i].size, y.commEvents()[i].size);
-            EXPECT_EQ(x.commEvents()[i].src, y.commEvents()[i].src);
-        }
-    }
+    test_support::RandomTraceOptions options;
+    options.cpus = num_cpus;
+    return buildRandomTrace(seed, options);
 }
 
 /** Property sweep over seeds x encodings. */
