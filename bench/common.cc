@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 namespace aftermath {
 namespace bench {
@@ -34,8 +36,20 @@ row(const std::string &name, const std::string &value)
     std::printf("%-44s %s\n", name.c_str(), value.c_str());
 }
 
+std::string
+benchOutDir()
+{
+    const char *env = std::getenv("AFTERMATH_BENCH_OUT");
+    std::string dir = env && *env ? env : "bench-out";
+    // Best effort: on failure the JsonLines open fails and ok()
+    // reports it; the bench rows still print.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
 JsonLines::JsonLines(const std::string &bench)
-    : bench_(bench), path_("BENCH_" + bench + ".json"),
+    : bench_(bench), path_(benchOutDir() + "/BENCH_" + bench + ".json"),
       os_(path_, std::ios::trunc)
 {}
 

@@ -31,15 +31,24 @@ void banner(const std::string &figure, const std::string &description);
 void row(const std::string &name, const std::string &value);
 
 /**
+ * The directory bench JSON results land in: $AFTERMATH_BENCH_OUT when
+ * set, "bench-out" under the working directory otherwise. Created on
+ * first use. A stable location lets tools/check_bench.py gate CI on
+ * the metrics and lets the workflow upload one artifact directory.
+ */
+std::string benchOutDir();
+
+/**
  * Machine-readable result sink: one JSON object per add(), written to
- * BENCH_<bench>.json in the working directory so the perf trajectory
- * can track bench metrics across commits without parsing the
- * human-readable rows.
+ * benchOutDir()/BENCH_<bench>.json so the bench-regression gate
+ * (tools/check_bench.py against bench/baselines/) and the perf
+ * trajectory can track bench metrics across commits without parsing
+ * the human-readable rows.
  */
 class JsonLines
 {
   public:
-    /** Open (truncate) BENCH_<bench>.json. */
+    /** Open (truncate) benchOutDir()/BENCH_<bench>.json. */
     explicit JsonLines(const std::string &bench);
 
     /**

@@ -99,9 +99,21 @@ main()
                          static_cast<double>(compact.size()) / 1048576.0 /
                              serial_s));
 
+    // Worker counts above the hardware concurrency only timeslice the
+    // same cores: the sweep skips them (with a machine-readable
+    // "skipped" marker) instead of reporting misleading ~1.0x
+    // speedups. hw == 0 means the runtime could not tell — run all.
     unsigned hw = std::thread::hardware_concurrency();
     double speedup_at_4plus = 0.0;
     for (unsigned workers : {2u, 4u, 8u}) {
+        if (hw > 0 && workers > hw) {
+            json.add(strFormat("skipped_w%u", workers), 1, "",
+                     static_cast<int>(workers));
+            bench::row(strFormat("%u workers", workers),
+                       strFormat("skipped (only %u hardware thread%s)",
+                                 hw, hw == 1 ? "" : "s"));
+            continue;
+        }
         double parallel_s = averageLoad(compact, workers, reps);
         double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
         json.add(strFormat("parallel_load_w%u", workers), parallel_s,
@@ -115,14 +127,23 @@ main()
     }
 
     double raw_serial_s = averageLoad(raw, 1, reps);
-    double raw_parallel_s = averageLoad(raw, std::max(4u, std::min(hw, 8u)),
-                                        reps);
     json.add("serial_load_raw", raw_serial_s, "s", 1);
-    json.add("parallel_load_raw", raw_parallel_s, "s",
-             static_cast<int>(std::max(4u, std::min(hw, 8u))));
-    bench::row("raw encoding",
-               strFormat("%.4f s serial, %.4f s parallel", raw_serial_s,
-                         raw_parallel_s));
+    unsigned raw_workers = std::max(4u, std::min(std::max(hw, 1u), 8u));
+    if (hw == 0 || hw >= 4) {
+        double raw_parallel_s = averageLoad(raw, raw_workers, reps);
+        json.add("parallel_load_raw", raw_parallel_s, "s",
+                 static_cast<int>(raw_workers));
+        bench::row("raw encoding",
+                   strFormat("%.4f s serial, %.4f s parallel",
+                             raw_serial_s, raw_parallel_s));
+    } else {
+        json.add("skipped_raw_parallel", 1, "",
+                 static_cast<int>(raw_workers));
+        bench::row("raw encoding",
+                   strFormat("%.4f s serial (parallel skipped: only %u "
+                             "hardware thread%s)",
+                             raw_serial_s, hw, hw == 1 ? "" : "s"));
+    }
 
     // Correctness: every worker count materializes the same trace, bit
     // for bit (compared through its canonical re-serialization).

@@ -90,9 +90,20 @@ main()
     bench::row("serial warm-up",
                strFormat("%.4f s (avg of %d)", serial_s, reps));
 
+    // Worker counts above the hardware concurrency only timeslice the
+    // same cores; skip them (with a machine-readable marker) instead
+    // of emitting misleading ~1.0x speedups. hw == 0 = unknown.
     unsigned hw = std::thread::hardware_concurrency();
     double speedup_at_4plus = 0.0;
     for (unsigned workers : {2u, 4u, 8u}) {
+        if (hw > 0 && workers > hw) {
+            json.add(strFormat("skipped_w%u", workers), 1, "",
+                     static_cast<int>(workers));
+            bench::row(strFormat("%u workers", workers),
+                       strFormat("skipped (only %u hardware thread%s)",
+                                 hw, hw == 1 ? "" : "s"));
+            continue;
+        }
         double parallel_s = averageWarmup(tr, workers, reps);
         double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
         json.add(strFormat("parallel_warmup_w%u", workers), parallel_s,

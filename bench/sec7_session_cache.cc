@@ -153,6 +153,15 @@ main(int argc, char **argv)
     json.add("index_builds",
              static_cast<double>(
                  g_session->cacheStats().counterIndex.builds));
+    // The fraction of index queries answered without a rebuild: the
+    // facade's whole point, gated in CI against bench/baselines/.
+    session::CacheCounters index_counters =
+        g_session->cacheStats().counterIndex;
+    double hit_ratio = index_counters.total() > 0
+        ? static_cast<double>(index_counters.hits) /
+              static_cast<double>(index_counters.total())
+        : 0.0;
+    json.add("cache_hit_ratio", hit_ratio);
 
     std::printf("\n");
     bench::row("queries per run",

@@ -16,7 +16,7 @@
  *   session.setFilters(filters);            // shared by stats + render
  *   auto &stats = session.intervalStats();  // memoized
  *   auto mm = session.counterExtrema(cpu, counter, interval); // indexed
- *   session.render(config, framebuffer);    // persistent renderer
+ *   session.render(config, framebuffer);    // pooled renderer
  *
  * Sessions extend to comparison workflows, to many-core traces, and to
  * UI threads that must never block: session::SessionGroup aligns N
@@ -26,7 +26,11 @@
  * QueryTicket futures executed on the shared pool, with cooperative
  * cancellation when the view or filters move on; and warmup() /
  * submit(WarmupQuery) build the per-CPU search structures concurrently
- * and incrementally before the user's first zoom needs them.
+ * and incrementally before the user's first zoom needs them. The pool
+ * schedules by QueryPriority — interactive queries overtake queued
+ * background work, which yields at chunk boundaries — and its workers
+ * can be reclaimed after quiescence (QueryEngine::setIdleTimeout,
+ * shutdown()).
  *
  * The per-layer modules remain available underneath: the trace model
  * and format, indexes, filters, derived metrics, statistics, task-graph

@@ -32,11 +32,19 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::submit(std::function<void()> task)
+ThreadPool::submit(std::function<void()> task, TaskPriority priority)
 {
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        if (priority == TaskPriority::High) {
+            highQueue_.push_back(std::move(task));
+            // Published under the lock, read lock-free by yield probes:
+            // the count only needs to be eventually visible, and the
+            // release pairs with hasHighPriorityWork()'s acquire.
+            highQueued_.fetch_add(1, std::memory_order_release);
+        } else {
+            queue_.push_back(std::move(task));
+        }
     }
     wake_.notify_one();
 }
@@ -86,21 +94,23 @@ TaskHandle::wait() const
 }
 
 TaskHandle
-ThreadPool::submitTracked(std::function<void()> task)
+ThreadPool::submitTracked(std::function<void()> task, TaskPriority priority)
 {
     auto shared = std::make_shared<TaskHandle::Shared>();
-    submit([shared, task = std::move(task)] {
-        {
+    submit(
+        [shared, task = std::move(task)] {
+            {
+                std::unique_lock<std::mutex> lock(shared->mutex);
+                if (shared->state == TaskHandle::State::Skipped)
+                    return; // Cancelled while queued; never run.
+                shared->state = TaskHandle::State::Running;
+            }
+            task();
             std::unique_lock<std::mutex> lock(shared->mutex);
-            if (shared->state == TaskHandle::State::Skipped)
-                return; // Cancelled while queued; never run.
-            shared->state = TaskHandle::State::Running;
-        }
-        task();
-        std::unique_lock<std::mutex> lock(shared->mutex);
-        shared->state = TaskHandle::State::Finished;
-        shared->cv.notify_all();
-    });
+            shared->state = TaskHandle::State::Finished;
+            shared->cv.notify_all();
+        },
+        priority);
     return TaskHandle(shared);
 }
 
@@ -108,7 +118,18 @@ void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    idle_.wait(lock, [this] {
+        return highQueue_.empty() && queue_.empty() && running_ == 0;
+    });
+}
+
+std::chrono::steady_clock::duration
+ThreadPool::idleFor() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!highQueue_.empty() || !queue_.empty() || running_ > 0)
+        return std::chrono::steady_clock::duration::zero();
+    return std::chrono::steady_clock::now() - idleSince_;
 }
 
 void
@@ -118,20 +139,29 @@ ThreadPool::workerLoop()
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stopping_ with a drained queue.
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            wake_.wait(lock, [this] {
+                return stopping_ || !highQueue_.empty() || !queue_.empty();
+            });
+            if (highQueue_.empty() && queue_.empty())
+                return; // stopping_ with drained queues.
+            if (!highQueue_.empty()) {
+                task = std::move(highQueue_.front());
+                highQueue_.pop_front();
+                highQueued_.fetch_sub(1, std::memory_order_release);
+            } else {
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
             running_++;
         }
         task();
         {
             std::unique_lock<std::mutex> lock(mutex_);
             running_--;
-            if (queue_.empty() && running_ == 0)
+            if (highQueue_.empty() && queue_.empty() && running_ == 0) {
+                idleSince_ = std::chrono::steady_clock::now();
                 idle_.notify_all();
+            }
         }
     }
 }

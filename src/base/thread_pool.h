@@ -1,21 +1,25 @@
 /**
  * @file
- * A small fixed-size worker pool for internally parallel analyses.
+ * A small fixed-size worker pool with two-level priority scheduling.
  *
  * The paper's interactivity hinges on building the per-(CPU, counter)
- * search structures before the user needs them (section VI-B); on
- * many-core traces that construction is embarrassingly parallel across
- * CPUs. ThreadPool is the minimal substrate for that: a fixed worker
- * count, one FIFO task queue, and a blocking parallelFor() — no work
- * stealing, no priorities, no dynamic resizing. Session::warmup() and
- * SessionGroup drive it; it is usable standalone for any
- * independent-chunk computation.
+ * search structures before the user needs them (section VI-B) *and* on
+ * never letting that background construction delay a just-submitted
+ * interactive query. ThreadPool is the substrate for both: a fixed
+ * worker count, a high-priority queue drained strictly before the
+ * normal queue, a blocking parallelFor() — no work stealing, no
+ * dynamic resizing. Long-running normal-priority tasks can poll
+ * hasHighPriorityWork() at chunk boundaries and yield their worker by
+ * re-submitting themselves (the session query engine's background
+ * drainers do exactly that). Session queries and warm-up drive it; it
+ * is usable standalone for any independent-chunk computation.
  */
 
 #ifndef AFTERMATH_BASE_THREAD_POOL_H
 #define AFTERMATH_BASE_THREAD_POOL_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -27,6 +31,18 @@
 
 namespace aftermath {
 namespace base {
+
+/**
+ * Scheduling class of one submitted task. High tasks are popped
+ * strictly before Normal tasks; within one class the order is FIFO.
+ * The session query engine maps interactive queries to High and
+ * background work (warm-up, trace loads) to Normal.
+ */
+enum class TaskPriority
+{
+    High,
+    Normal,
+};
 
 /**
  * A copyable flag for cooperative cancellation.
@@ -113,14 +129,20 @@ class TaskHandle
 };
 
 /**
- * Fixed-size thread pool with a FIFO task queue.
+ * Fixed-size thread pool with a two-level priority queue.
  *
  * Tasks must not throw: an exception escaping a task terminates the
  * process (the pool runs analysis kernels that report failure through
  * their results, not through exceptions). submit()/parallelFor() may be
  * called from any thread, including from inside a pool task — but
  * parallelFor() must not, as a task waiting for sibling tasks on the
- * same pool can deadlock. Destruction drains the queue, then joins.
+ * same pool can deadlock. Destruction drains both queues, then joins.
+ *
+ * Cooperative yielding: hasHighPriorityWork() is a lock-free probe a
+ * running Normal task can poll at chunk boundaries; when it reports
+ * queued High work, the task re-submits its continuation at Normal
+ * priority and returns, freeing its worker for the High task. The pool
+ * never preempts — yielding is entirely the task's choice.
  */
 class ThreadPool
 {
@@ -130,25 +152,46 @@ class ThreadPool
      */
     explicit ThreadPool(unsigned num_workers);
 
-    /** Drains every queued task, then joins the workers. */
+    /** Drains every queued task (both priorities), then joins. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue @p task for execution on some worker. */
-    void submit(std::function<void()> task);
+    /** Enqueue @p task for execution at @p priority. */
+    void submit(std::function<void()> task,
+                TaskPriority priority = TaskPriority::Normal);
 
     /**
-     * Enqueue @p task and return a handle that can wait for it or
-     * cancel it while it is still queued. Costs one small shared
-     * allocation over submit(); use for tasks a caller may abandon
-     * (the session query engine's single-task queries).
+     * Enqueue @p task at @p priority and return a handle that can wait
+     * for it or cancel it while it is still queued. Costs one small
+     * shared allocation over submit(); use for tasks a caller may
+     * abandon (the session query engine's single-task queries).
      */
-    TaskHandle submitTracked(std::function<void()> task);
+    TaskHandle submitTracked(std::function<void()> task,
+                             TaskPriority priority = TaskPriority::Normal);
 
-    /** Block until the queue is empty and no task is running. */
+    /**
+     * True while High tasks are queued and waiting for a worker (a
+     * running High task no longer counts). Lock-free; the yield probe
+     * of background chunk loops.
+     */
+    bool
+    hasHighPriorityWork() const
+    {
+        return highQueued_.load(std::memory_order_acquire) > 0;
+    }
+
+    /** Block until both queues are empty and no task is running. */
     void wait();
+
+    /**
+     * How long the pool has been quiescent (both queues empty, nothing
+     * running); zero while busy. Fresh pools count as idle since
+     * construction. The idle-teardown reaper of session::QueryEngine
+     * polls this.
+     */
+    std::chrono::steady_clock::duration idleFor() const;
 
     /**
      * Run body(i) for every i in [0, n), distributing indexes across
@@ -156,7 +199,7 @@ class ThreadPool
      * thread participates, so a pool is never idle-waited on from a
      * thread that could work. Chunking is by single index: bodies are
      * expected to be coarse (an index build, a per-CPU scan), where
-     * scheduling overhead is noise.
+     * scheduling overhead is noise. Helpers run at Normal priority.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
@@ -168,16 +211,22 @@ class ThreadPool
     static unsigned defaultWorkers();
 
   private:
-    /** Worker main loop: pop and run until stopping and drained. */
+    /** Worker main loop: pop (High first) and run until drained. */
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    std::deque<std::function<void()>> highQueue_; ///< Popped first.
+    std::deque<std::function<void()>> queue_;     ///< Normal priority.
+    std::atomic<std::size_t> highQueued_{0}; ///< Mirror of highQueue_.size().
+    mutable std::mutex mutex_;
     std::condition_variable wake_;  ///< Signals queued work / shutdown.
-    std::condition_variable idle_;  ///< Signals queue drained + all idle.
+    std::condition_variable idle_;  ///< Signals queues drained + all idle.
     std::size_t running_ = 0;       ///< Tasks currently executing.
     bool stopping_ = false;
+
+    /** Last transition to quiescence; meaningful only while idle. */
+    std::chrono::steady_clock::time_point idleSince_ =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace base

@@ -38,6 +38,26 @@ namespace aftermath {
 namespace session {
 
 /**
+ * Scheduling class of one submitted query on the engine's two-level
+ * queue. Interactive queries jump ahead of every queued Background
+ * task, and running Background fan-out jobs (interval statistics,
+ * warm-up) yield their workers cooperatively at chunk boundaries when
+ * Interactive work arrives. Every spec carries a default matching its
+ * role — render/stats/histogram/task-list/extrema are Interactive,
+ * warm-up and trace loads are Background — and callers can override it
+ * per submission (e.g. a speculative prefetch of the next view's stats
+ * submits an IntervalStatsQuery at Background).
+ */
+enum class QueryPriority
+{
+    /** Latency-critical: a user is waiting on the result. */
+    Interactive,
+
+    /** Prefetch/bulk work: runs when no interactive work is queued. */
+    Background,
+};
+
+/**
  * What a warm-up prefetches. Warm-up is incremental: (cpu, counter)
  * pairs already warmed by an earlier warm-up of the same session are
  * skipped, and the interval statistics / task list units are skipped
@@ -90,6 +110,9 @@ struct IntervalStatsQuery
 {
     /** Interval to aggregate; nullopt = the current view. */
     std::optional<TimeInterval> interval;
+
+    /** Scheduling class; Background turns the scan into a prefetch. */
+    QueryPriority priority = QueryPriority::Interactive;
 };
 
 /** Duration histogram of the tasks passing the active filters. */
@@ -97,11 +120,16 @@ struct HistogramQuery
 {
     /** Number of equal-width bins. */
     std::uint32_t numBins = 20;
+
+    /** Scheduling class. */
+    QueryPriority priority = QueryPriority::Interactive;
 };
 
 /** The task instances passing the active filters (Session::tasks). */
 struct TaskListQuery
 {
+    /** Scheduling class. */
+    QueryPriority priority = QueryPriority::Interactive;
 };
 
 /**
@@ -115,12 +143,24 @@ struct CounterExtremaQuery
 
     /** Query interval; nullopt = the current view. */
     std::optional<TimeInterval> interval;
+
+    /** Scheduling class. */
+    QueryPriority priority = QueryPriority::Interactive;
 };
 
 /** Prefetch the structures @p policy names (Session::warmup). */
 struct WarmupQuery
 {
     WarmupPolicy policy;
+
+    /**
+     * Scheduling class. Background by default: a warm-up storm must
+     * never delay a just-submitted interactive query (its drainers
+     * yield at every index-build boundary). The synchronous
+     * Session::warmup() wrapper submits at Interactive, since its
+     * caller blocks on the result.
+     */
+    QueryPriority priority = QueryPriority::Background;
 };
 
 /**
@@ -134,6 +174,10 @@ struct TimelineRenderQuery
     render::TimelineConfig config;
     std::uint32_t width = 640;
     std::uint32_t height = 360;
+
+    /** Scheduling class; a pan/zoom redraw must never queue behind
+     *  background warm-up. */
+    QueryPriority priority = QueryPriority::Interactive;
 };
 
 /** The finished frame and operation counts of a TimelineRenderQuery. */
@@ -169,6 +213,14 @@ struct TraceLoadQuery
 
     /** Decode workers of the parallel phase; 0 = the engine's count. */
     unsigned workers = 0;
+
+    /**
+     * Scheduling class. Background by default: a load queues behind
+     * interactive work, though once running it holds its engine worker
+     * until completion or cancellation (the decode itself runs on the
+     * reader's private pool, so the engine worker mostly waits).
+     */
+    QueryPriority priority = QueryPriority::Background;
 };
 
 /** Outcome of a TraceLoadQuery (mirrors trace::ReadResult). */

@@ -16,6 +16,7 @@
 #include <algorithm>
 
 #include "filter/task_filter.h"
+#include "session/renderer_pool.h"
 #include "session/session.h"
 #include "stats/histogram.h"
 #include "trace/reader.h"
@@ -23,7 +24,135 @@
 namespace aftermath {
 namespace session {
 
+// -- QueryEngine lifecycle -----------------------------------------------
+
+QueryEngine::QueryEngine(unsigned workers)
+    : generation_(std::make_shared<std::atomic<std::uint64_t>>(0)),
+      filterGeneration_(std::make_shared<std::atomic<std::uint64_t>>(0))
+{
+    setWorkers(workers);
+}
+
+QueryEngine::~QueryEngine()
+{
+    if (reaper_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            stopReaper_ = true;
+        }
+        reaperCv_.notify_all();
+        reaper_.join();
+    }
+    // pool_ drains both queues and joins in its destructor; executors
+    // never call back into the engine, so no lock is needed here.
+}
+
+void
+QueryEngine::setWorkers(unsigned workers)
+{
+    unsigned effective =
+        workers == 0 ? base::ThreadPool::defaultWorkers() : workers;
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (pool_ && effective != workers_)
+        pool_.reset();
+    workers_ = effective;
+}
+
+base::ThreadPool &
+QueryEngine::ensurePoolLocked()
+{
+    if (!pool_) {
+        pool_ = std::make_unique<base::ThreadPool>(workers_);
+        // A parked reaper waits for the pool to exist again.
+        reaperCv_.notify_all();
+    }
+    return *pool_;
+}
+
+base::ThreadPool &
+QueryEngine::pool()
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    return ensurePoolLocked();
+}
+
+void
+QueryEngine::withPool(const std::function<void(base::ThreadPool &)> &body)
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    body(ensurePoolLocked());
+}
+
+void
+QueryEngine::setIdleTimeout(std::chrono::milliseconds timeout)
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        idleTimeout_ = timeout;
+        if (timeout.count() > 0 && !reaper_.joinable())
+            reaper_ = std::thread([this] { reaperLoop(); });
+    }
+    reaperCv_.notify_all();
+}
+
+void
+QueryEngine::shutdown()
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    // Drains both queues (queued background work completes) and joins.
+    pool_.reset();
+}
+
+unsigned
+QueryEngine::liveWorkers() const
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    return pool_ ? pool_->numWorkers() : 0;
+}
+
+bool
+QueryEngine::hasInteractiveWork() const
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    return pool_ && pool_->hasHighPriorityWork();
+}
+
+void
+QueryEngine::reaperLoop()
+{
+    std::unique_lock<std::mutex> lock(poolMutex_);
+    for (;;) {
+        if (stopReaper_)
+            return;
+        if (idleTimeout_.count() <= 0 || !pool_) {
+            // Nothing to reap until a timeout is set and a pool lives.
+            reaperCv_.wait(lock);
+            continue;
+        }
+        std::chrono::steady_clock::duration idle = pool_->idleFor();
+        if (idle >= idleTimeout_) {
+            // Quiescent past the timeout: park-then-join. No task is
+            // queued or running (that is what idle means), and every
+            // submission path holds poolMutex_, so nothing races the
+            // teardown. The next submission restarts the pool.
+            pool_.reset();
+            continue;
+        }
+        reaperCv_.wait_for(lock, idleTimeout_ - idle +
+                                     std::chrono::milliseconds(1));
+    }
+}
+
 namespace {
+
+/** The pool scheduling class of one query priority. */
+base::TaskPriority
+toTaskPriority(QueryPriority priority)
+{
+    return priority == QueryPriority::Interactive
+        ? base::TaskPriority::High
+        : base::TaskPriority::Normal;
+}
 
 /** Fresh ticket state snapshotting the engine's generation. */
 template <typename Result>
@@ -109,7 +238,37 @@ struct StatsJob
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> active{0};
     std::atomic<bool> abandoned{false};
+
+    /** The executing pool; valid for every drainer run (a drainer only
+     *  runs on this pool, and the pool drains before it dies). */
+    base::ThreadPool *pool = nullptr;
+
+    /** Background jobs yield at chunk boundaries; interactive never. */
+    bool background = false;
 };
+
+void drainStats(const std::shared_ptr<StatsJob> &job);
+
+/**
+ * The cooperative yield of one background drainer: when interactive
+ * work is queued, re-submit the continuation at Background priority
+ * and free this worker for the High task. The claim cursor makes the
+ * hand-off invisible — the continuation resumes exactly where the job
+ * left off, so results stay bit-identical to an uninterrupted run.
+ * Returns true when the caller must return *without* touching the
+ * job's active count (the continuation still owns its slot).
+ */
+template <typename Job>
+bool
+yieldForInteractive(const std::shared_ptr<Job> &job,
+                    void (*drain)(const std::shared_ptr<Job> &))
+{
+    if (!job->background || !job->pool->hasHighPriorityWork())
+        return false;
+    job->pool->submit([job, drain] { drain(job); },
+                      base::TaskPriority::Normal);
+    return true;
+}
 
 void
 drainStats(const std::shared_ptr<StatsJob> &job)
@@ -121,6 +280,8 @@ drainStats(const std::shared_ptr<StatsJob> &job)
             job->abandoned.store(true, std::memory_order_relaxed);
             break;
         }
+        if (yieldForInteractive(job, drainStats))
+            return;
         std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= total)
             break;
@@ -182,6 +343,10 @@ struct WarmupJob
     std::atomic<std::size_t> active{0};
     std::atomic<std::size_t> built{0}; ///< Indexes this job constructed.
     std::atomic<bool> abandoned{false};
+
+    /** See StatsJob::pool / StatsJob::background. */
+    base::ThreadPool *pool = nullptr;
+    bool background = false;
 };
 
 void
@@ -197,6 +362,8 @@ drainWarmup(const std::shared_ptr<WarmupJob> &job)
             job->abandoned.store(true, std::memory_order_relaxed);
             break;
         }
+        if (yieldForInteractive(job, drainWarmup))
+            return;
         std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= total)
             break;
@@ -299,16 +466,21 @@ Session::submit(const IntervalStatsQuery &query)
         return completedTicket(*engine_, std::move(empty));
     }
     job->partials.resize(total);
+    job->background = query.priority == QueryPriority::Background;
     const std::size_t drainers =
         std::max<std::size_t>(1, std::min<std::size_t>(workers, total));
     job->active.store(drainers, std::memory_order_relaxed);
-    for (std::size_t d = 0; d < drainers; d++)
-        engine_->pool().submit([job] { drainStats(job); });
+    base::TaskPriority priority = toTaskPriority(query.priority);
+    engine_->withPool([&](base::ThreadPool &pool) {
+        job->pool = &pool;
+        for (std::size_t d = 0; d < drainers; d++)
+            pool.submit([job] { drainStats(job); }, priority);
+    });
     return QueryTicket<stats::IntervalStats>(std::move(state));
 }
 
 QueryTicket<std::vector<const trace::TaskInstance *>>
-Session::submit(const TaskListQuery &)
+Session::submit(const TaskListQuery &query)
 {
     using List = std::vector<const trace::TaskInstance *>;
     std::uint64_t generation;
@@ -326,17 +498,21 @@ Session::submit(const TaskListQuery &)
     auto trace = trace_;
     auto memo = memo_;
     auto filters = std::make_shared<const filter::FilterSet>(filters_);
-    base::TaskHandle handle = engine_->pool().submitTracked(
-        [state, trace, memo, filters, generation] {
-            state->markRunning();
-            auto list = scanTaskList(*trace, *filters, *state);
-            if (!list) {
-                state->completeCancelled();
-                return;
-            }
-            publishTaskList(*memo, generation, *list);
-            state->complete(std::move(*list));
-        });
+    base::TaskHandle handle;
+    engine_->withPool([&](base::ThreadPool &pool) {
+        handle = pool.submitTracked(
+            [state, trace, memo, filters, generation] {
+                state->markRunning();
+                auto list = scanTaskList(*trace, *filters, *state);
+                if (!list) {
+                    state->completeCancelled();
+                    return;
+                }
+                publishTaskList(*memo, generation, *list);
+                state->complete(std::move(*list));
+            },
+            toTaskPriority(query.priority));
+    });
     {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->handle = handle;
@@ -365,39 +541,44 @@ Session::submit(const HistogramQuery &query)
     auto memo = memo_;
     auto filters = std::make_shared<const filter::FilterSet>(filters_);
     std::uint32_t num_bins = query.numBins;
-    base::TaskHandle handle = engine_->pool().submitTracked(
-        [state, trace, memo, filters, cached, generation, num_bins] {
-            state->markRunning();
-            if (state->stale()) {
-                state->completeCancelled();
-                return;
-            }
-            const List *tasks = cached.get();
-            List computed;
-            if (!tasks) {
-                auto list = scanTaskList(*trace, *filters, *state);
-                if (!list) {
+    base::TaskHandle handle;
+    engine_->withPool([&](base::ThreadPool &pool) {
+        handle = pool.submitTracked(
+            [state, trace, memo, filters, cached, generation, num_bins] {
+                state->markRunning();
+                if (state->stale()) {
                     state->completeCancelled();
                     return;
                 }
-                computed = std::move(*list);
-                // The scan is the expensive half; share it with later
-                // tasks()/histogram() calls of the same generation.
-                publishTaskList(*memo, generation, computed);
-                tasks = &computed;
-            }
-            std::vector<double> durations;
-            durations.reserve(tasks->size());
-            for (const trace::TaskInstance *task : *tasks)
-                durations.push_back(
-                    static_cast<double>(task->duration()));
-            if (state->stale()) {
-                state->completeCancelled();
-                return;
-            }
-            state->complete(
-                stats::Histogram::fromValues(durations, num_bins));
-        });
+                const List *tasks = cached.get();
+                List computed;
+                if (!tasks) {
+                    auto list = scanTaskList(*trace, *filters, *state);
+                    if (!list) {
+                        state->completeCancelled();
+                        return;
+                    }
+                    computed = std::move(*list);
+                    // The scan is the expensive half; share it with
+                    // later tasks()/histogram() calls of the same
+                    // generation.
+                    publishTaskList(*memo, generation, computed);
+                    tasks = &computed;
+                }
+                std::vector<double> durations;
+                durations.reserve(tasks->size());
+                for (const trace::TaskInstance *task : *tasks)
+                    durations.push_back(
+                        static_cast<double>(task->duration()));
+                if (state->stale()) {
+                    state->completeCancelled();
+                    return;
+                }
+                state->complete(
+                    stats::Histogram::fromValues(durations, num_bins));
+            },
+            toTaskPriority(query.priority));
+    });
     {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->handle = handle;
@@ -413,15 +594,19 @@ Session::submit(const CounterExtremaQuery &query)
     TimeInterval interval = query.interval.value_or(view());
     CpuId cpu = query.cpu;
     CounterId counter = query.counter;
-    base::TaskHandle handle = engine_->pool().submitTracked(
-        [state, cache, cpu, counter, interval] {
-            state->markRunning();
-            if (state->stale()) {
-                state->completeCancelled();
-                return;
-            }
-            state->complete(cache->query(cpu, counter, interval));
-        });
+    base::TaskHandle handle;
+    engine_->withPool([&](base::ThreadPool &pool) {
+        handle = pool.submitTracked(
+            [state, cache, cpu, counter, interval] {
+                state->markRunning();
+                if (state->stale()) {
+                    state->completeCancelled();
+                    return;
+                }
+                state->complete(cache->query(cpu, counter, interval));
+            },
+            toTaskPriority(query.priority));
+    });
     {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->handle = handle;
@@ -487,11 +672,16 @@ Session::submit(const WarmupQuery &query)
                               (job->doTaskList ? 1 : 0);
     if (total == 0)
         return completedTicket(*engine_, job->stats);
+    job->background = query.priority == QueryPriority::Background;
     const std::size_t drainers = std::max<std::size_t>(
         1, std::min<std::size_t>(engine_->workers(), total));
     job->active.store(drainers, std::memory_order_relaxed);
-    for (std::size_t d = 0; d < drainers; d++)
-        engine_->pool().submit([job] { drainWarmup(job); });
+    base::TaskPriority priority = toTaskPriority(query.priority);
+    engine_->withPool([&](base::ThreadPool &pool) {
+        job->pool = &pool;
+        for (std::size_t d = 0; d < drainers; d++)
+            pool.submit([job] { drainWarmup(job); }, priority);
+    });
     return QueryTicket<WarmupStats>(std::move(state));
 }
 
@@ -513,33 +703,37 @@ Session::submit(const TraceLoadQuery &query)
     options.cancel = state->cancel;
     auto bytes = query.bytes;
     std::string path = query.path;
-    base::TaskHandle handle = engine_->pool().submitTracked(
-        [state, bytes, path, options] {
-            state->markRunning();
-            if (state->stale()) {
-                state->completeCancelled();
-                return;
-            }
-            // The reader spins up its own decode pool: a pool task must
-            // not parallelFor() on its own pool, and a 1-worker engine
-            // would serialize the decode otherwise.
-            trace::ReadResult read =
-                bytes ? trace::readTrace(*bytes, options)
-                      : trace::readTraceFile(path, options);
-            if (read.cancelled) {
-                state->completeCancelled();
-                return;
-            }
-            TraceLoadResult result;
-            result.ok = read.ok;
-            result.error = std::move(read.error);
-            result.encoding = read.encoding;
-            result.bytesRead = read.bytesRead;
-            if (read.ok)
-                result.trace = std::make_shared<const trace::Trace>(
-                    std::move(read.trace));
-            state->complete(std::move(result));
-        });
+    base::TaskHandle handle;
+    engine_->withPool([&](base::ThreadPool &pool) {
+        handle = pool.submitTracked(
+            [state, bytes, path, options] {
+                state->markRunning();
+                if (state->stale()) {
+                    state->completeCancelled();
+                    return;
+                }
+                // The reader spins up its own decode pool: a pool task
+                // must not parallelFor() on its own pool, and a
+                // 1-worker engine would serialize the decode otherwise.
+                trace::ReadResult read =
+                    bytes ? trace::readTrace(*bytes, options)
+                          : trace::readTraceFile(path, options);
+                if (read.cancelled) {
+                    state->completeCancelled();
+                    return;
+                }
+                TraceLoadResult result;
+                result.ok = read.ok;
+                result.error = std::move(read.error);
+                result.encoding = read.encoding;
+                result.bytesRead = read.bytesRead;
+                if (read.ok)
+                    result.trace = std::make_shared<const trace::Trace>(
+                        std::move(read.trace));
+                state->complete(std::move(result));
+            },
+            toTaskPriority(query.priority));
+    });
     {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->handle = handle;
@@ -566,20 +760,28 @@ Session::submit(const TimelineRenderQuery &query)
         config.view = view_;
     std::uint32_t width = query.width;
     std::uint32_t height = query.height;
-    base::TaskHandle handle = engine_->pool().submitTracked(
-        [state, trace, filters, config, width, height] {
-            state->markRunning();
-            if (state->stale()) {
-                state->completeCancelled();
-                return;
-            }
-            TimelineRenderResult result;
-            result.fb = render::Framebuffer(width, height);
-            render::TimelineRenderer renderer(*trace);
-            renderer.render(config, result.fb);
-            result.stats = renderer.stats();
-            state->complete(std::move(result));
-        });
+    auto renderers = rendererPool_;
+    base::TaskHandle handle;
+    engine_->withPool([&](base::ThreadPool &pool) {
+        handle = pool.submitTracked(
+            [state, trace, renderers, filters, config, width, height] {
+                state->markRunning();
+                if (state->stale()) {
+                    state->completeCancelled();
+                    return;
+                }
+                TimelineRenderResult result;
+                result.fb = render::Framebuffer(width, height);
+                // Check a pooled renderer out instead of constructing:
+                // repeated async renders reuse the palette and memo
+                // caches a fresh renderer would rebuild per query.
+                RendererPool::Lease lease = renderers->checkout(trace);
+                lease->render(config, result.fb);
+                result.stats = lease->stats();
+                state->complete(std::move(result));
+            },
+            toTaskPriority(query.priority));
+    });
     {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->handle = handle;

@@ -10,25 +10,52 @@
  * stale in-flight queries cancel at the next chunk boundary instead of
  * wasting cores on a view the user already left.
  *
+ * The two-queue contract: every spec carries a QueryPriority, and the
+ * engine drains the Interactive queue strictly before the Background
+ * queue. Interactive work (render, stats, histogram, task list,
+ * extrema) jumps ahead of every queued Background task, and running
+ * Background fan-out jobs (warm-up, background stats prefetches) poll
+ * base::ThreadPool::hasHighPriorityWork() at their chunk boundaries —
+ * the same boundaries at which they poll the cancellation token — and
+ * yield their worker by re-submitting their continuation at Background
+ * priority. A background warm-up storm therefore delays a
+ * just-submitted interactive query by at most one chunk (one index
+ * build, one per-CPU scan), never by the whole storm. The claim-cursor
+ * protocol makes yielding invisible in the results: continuations
+ * resume exactly where the job left off, and the merged output stays
+ * bit-identical to a serial run. Single-task Background queries (trace
+ * loads) queue behind interactive work but hold their worker once
+ * running.
+ *
+ * Idle lifecycle: the pool starts lazily on the first submission, and
+ * with setIdleTimeout(t) a reaper thread joins the workers after t of
+ * quiescence — the next submission restarts them transparently.
+ * shutdown() is the explicit form (drain, join, restart lazily).
+ * Many-session programs and SessionGroup's shared engine reclaim their
+ * parked workers this way instead of holding N idle pools alive.
+ *
  * Executors never touch the Session object itself — they capture shared
  * ownership of everything they read (the trace, the sharded index
- * cache, a filter snapshot, the SessionMemo) so sessions stay movable
- * and destruction is safe with queries in flight (the engine's pool
- * drains before it dies). Completed results publish into the
- * SessionMemo under its mutex, so asynchronous queries warm the same
- * memo the synchronous wrappers serve hits from.
+ * cache, a filter snapshot, the renderer pool, the SessionMemo) so
+ * sessions stay movable and destruction is safe with queries in flight
+ * (the engine's pool drains before it dies). Completed results publish
+ * into the SessionMemo under its mutex, so asynchronous queries warm
+ * the same memo the synchronous wrappers serve hits from.
  */
 
 #ifndef AFTERMATH_SESSION_QUERY_ENGINE_H
 #define AFTERMATH_SESSION_QUERY_ENGINE_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -258,44 +285,42 @@ struct SessionMemo
 
 /**
  * The shared execution substrate of one or more sessions: a lazily
- * started base::ThreadPool and the generation counter that invalidates
- * in-flight queries. A SessionGroup points every variant at one engine
- * so group-wide work (overlapped warm-up, submitAll) shares one pool
- * instead of parking workers per variant.
+ * started base::ThreadPool with a two-level priority queue, the
+ * generation counters that invalidate in-flight queries, and the idle
+ * lifecycle of the workers. A SessionGroup points every variant at one
+ * engine so group-wide work (overlapped warm-up, submitAll) shares one
+ * pool instead of parking workers per variant.
  *
- * submit-side methods (pool(), setWorkers()) follow the session's
- * external-synchronization contract — one driving thread; generation()
- * and bumpGeneration() are safe from any thread.
+ * Driving-side methods (pool(), withPool(), setWorkers(),
+ * setIdleTimeout(), shutdown()) follow the session's
+ * external-synchronization contract — one driving thread at a time;
+ * generation()/bumpGeneration()/liveWorkers()/hasInteractiveWork() are
+ * safe from any thread. With an idle timeout enabled, references
+ * returned by pool() stay valid only while the pool is busy or within
+ * the timeout of its last activity — enqueue through withPool() (which
+ * holds the teardown lock) instead of holding the reference.
  */
 class QueryEngine
 {
   public:
     /** An engine whose pool will run @p workers threads (0 = one per
      *  hardware thread). The pool starts on the first submit. */
-    explicit QueryEngine(unsigned workers = 1)
-        : generation_(std::make_shared<std::atomic<std::uint64_t>>(0)),
-          filterGeneration_(
-              std::make_shared<std::atomic<std::uint64_t>>(0))
-    {
-        setWorkers(workers);
-    }
+    explicit QueryEngine(unsigned workers = 1);
 
-    /** Effective worker count of the (possibly not yet started) pool. */
+    /** Joins the reaper; the pool drains both queues before dying. */
+    ~QueryEngine();
+
+    QueryEngine(const QueryEngine &) = delete;
+    QueryEngine &operator=(const QueryEngine &) = delete;
+
+    /** Effective worker count of the (possibly parked) pool. */
     unsigned workers() const { return workers_; }
 
     /**
      * Resize the pool; takes effect immediately (a live pool drains its
-     * queue and joins before the new size applies).
+     * queues and joins before the new size applies).
      */
-    void
-    setWorkers(unsigned workers)
-    {
-        unsigned effective =
-            workers == 0 ? base::ThreadPool::defaultWorkers() : workers;
-        if (pool_ && effective != workers_)
-            pool_.reset();
-        workers_ = effective;
-    }
+    void setWorkers(unsigned workers);
 
     /**
      * The live generation, bumped by *every* shared-state mutation
@@ -350,20 +375,76 @@ class QueryEngine
         return filterGeneration_;
     }
 
-    /** The worker pool, started on first use. */
-    base::ThreadPool &
-    pool()
-    {
-        if (!pool_)
-            pool_ = std::make_unique<base::ThreadPool>(workers_);
-        return *pool_;
-    }
+    /**
+     * The worker pool, restarted if parked. Driving side only; with an
+     * idle timeout enabled, do not hold the reference across periods
+     * of quiescence — the reaper may tear the pool down.
+     */
+    base::ThreadPool &pool();
+
+    /**
+     * Run @p body with the live pool (restarted if parked) while
+     * holding the teardown lock, so the reaper cannot join the workers
+     * between the restart and the body's enqueues. The submit path of
+     * every executor. The body must only enqueue — calling back into
+     * the engine deadlocks.
+     */
+    void withPool(const std::function<void(base::ThreadPool &)> &body);
+
+    // -- Idle lifecycle ----------------------------------------------------
+
+    /**
+     * Park-then-join the workers after @p timeout of quiescence (both
+     * queues empty, nothing running); zero (the default) keeps them
+     * alive for the engine's lifetime. The next submission restarts
+     * the pool transparently — only the thread start-up cost returns.
+     * Starts the reaper thread on first use.
+     */
+    void setIdleTimeout(std::chrono::milliseconds timeout);
+
+    /** The active idle timeout; zero = never torn down. */
+    std::chrono::milliseconds idleTimeout() const { return idleTimeout_; }
+
+    /**
+     * Drain both queues, join the workers and release them now. Any
+     * queued work (including background warm-up) completes first. The
+     * next submission restarts the pool lazily; setWorkers() and the
+     * idle timeout survive the cycle.
+     */
+    void shutdown();
+
+    /**
+     * Worker threads currently alive: 0 while the pool is parked (not
+     * yet started, idle-reaped, or shut down), workers() otherwise.
+     * Safe from any thread — the observable probe of idle teardown.
+     */
+    unsigned liveWorkers() const;
+
+    /**
+     * True while interactive (High) work is queued and waiting for a
+     * worker. Background chunk loops poll the pool-level equivalent
+     * (base::ThreadPool::hasHighPriorityWork()) directly.
+     */
+    bool hasInteractiveWork() const;
 
   private:
+    /** Start the pool if parked; caller holds poolMutex_. */
+    base::ThreadPool &ensurePoolLocked();
+
+    /** Reaper main loop: park-then-join after idleTimeout_ quiescence. */
+    void reaperLoop();
+
     std::shared_ptr<std::atomic<std::uint64_t>> generation_;
     std::shared_ptr<std::atomic<std::uint64_t>> filterGeneration_;
     unsigned workers_ = 1;
+
+    /** Guards pool_ lifetime against the reaper thread. */
+    mutable std::mutex poolMutex_;
     std::unique_ptr<base::ThreadPool> pool_;
+    std::chrono::milliseconds idleTimeout_{0};
+    std::thread reaper_;
+    std::condition_variable reaperCv_;
+    bool stopReaper_ = false;
 };
 
 } // namespace session

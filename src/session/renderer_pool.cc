@@ -1,0 +1,107 @@
+#include "session/renderer_pool.h"
+
+#include <utility>
+
+namespace aftermath {
+namespace session {
+
+void
+RendererPool::Lease::release()
+{
+    if (!renderer_)
+        return;
+    pool_->checkin(trace_.get(), std::move(renderer_));
+    pool_.reset();
+    trace_.reset();
+}
+
+void
+RendererPool::setTrace(std::shared_ptr<const trace::Trace> trace)
+{
+    // Destroy the invalidated renderers outside the lock: concurrent
+    // checkouts should not wait on cache teardown.
+    std::vector<std::unique_ptr<render::TimelineRenderer>> stale;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (trace.get() == current_.get()) {
+            current_ = std::move(trace); // Same trace, maybe new owner.
+            return;
+        }
+        stale.swap(idle_);
+        counters_.dropped += stale.size();
+        current_ = std::move(trace);
+    }
+}
+
+RendererPool::Lease
+RendererPool::checkout(const std::shared_ptr<const trace::Trace> &trace)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (trace.get() == current_.get() && !idle_.empty()) {
+            std::unique_ptr<render::TimelineRenderer> renderer =
+                std::move(idle_.back());
+            idle_.pop_back();
+            counters_.reused++;
+            return Lease(shared_from_this(), trace, std::move(renderer));
+        }
+        counters_.created++;
+    }
+    // Construction scans the trace's task-type table — outside the
+    // lock, so concurrent cold checkouts build in parallel.
+    return Lease(shared_from_this(), trace,
+                 std::make_unique<render::TimelineRenderer>(*trace));
+}
+
+void
+RendererPool::checkin(const trace::Trace *trace,
+                      std::unique_ptr<render::TimelineRenderer> renderer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.returned++;
+    if (trace == current_.get() && idle_.size() < capacity_) {
+        idle_.push_back(std::move(renderer));
+        return;
+    }
+    counters_.dropped++;
+    // The unique_ptr destroys the stale/surplus renderer on return —
+    // still under the lock, but teardown of a renderer is cheap
+    // (hash-map destructors, no trace access).
+}
+
+void
+RendererPool::setCapacity(std::size_t capacity)
+{
+    std::vector<std::unique_ptr<render::TimelineRenderer>> evicted;
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    while (idle_.size() > capacity_) {
+        evicted.push_back(std::move(idle_.back()));
+        idle_.pop_back();
+        counters_.dropped++;
+    }
+}
+
+std::size_t
+RendererPool::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+std::size_t
+RendererPool::idleCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
+}
+
+RendererPool::Counters
+RendererPool::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace session
+} // namespace aftermath

@@ -90,9 +90,13 @@ void
 Session::rebindTrace()
 {
     counterIndexes_ = std::make_shared<CounterIndexCache>(*trace_);
-    // The renderer scans the task-type table at construction; defer it
-    // until the first render so query-only sessions never pay it.
-    renderer_.reset();
+    // Renderers are constructed lazily by the pool (they scan the
+    // task-type table), so query-only sessions never pay for one;
+    // re-keying drops the old trace's idle renderers while in-flight
+    // leases of the old trace finish and are discarded on return.
+    if (!rendererPool_)
+        rendererPool_ = std::make_shared<RendererPool>();
+    rendererPool_->setTrace(trace_);
     // Replace — never clear in place — the shared memo: executors still
     // in flight over the old trace keep publishing into the old object,
     // which nobody queries anymore and which dies with their last
@@ -107,14 +111,6 @@ Session::rebindTrace()
         fresh->stats.setCapacity(memo_->stats.capacity());
     }
     memo_ = std::move(fresh);
-}
-
-render::TimelineRenderer &
-Session::renderer()
-{
-    if (!renderer_)
-        renderer_ = std::make_unique<render::TimelineRenderer>(*trace_);
-    return *renderer_;
 }
 
 void
@@ -196,7 +192,9 @@ Session::setQueryEngine(std::shared_ptr<QueryEngine> engine)
 Session::WarmupStats
 Session::warmup(const WarmupPolicy &policy)
 {
-    return submit(WarmupQuery{policy}).take();
+    // The caller blocks on the result, so the synchronous form runs at
+    // Interactive priority instead of the spec's Background default.
+    return submit(WarmupQuery{policy, QueryPriority::Interactive}).take();
 }
 
 Session::WarmupStats
@@ -350,6 +348,10 @@ Session::cacheStats() const
         counterIndexBase_.builds + counterIndexes_->counters().builds;
     out.intervalStats = statsBase_;
     out.taskList = taskListBase_;
+    RendererPool::Counters renderers = rendererPool_->counters();
+    out.renderer.hits = renderers.reused;
+    out.renderer.builds = renderers.created;
+    out.renderer.evictions = renderers.dropped;
     std::lock_guard<std::mutex> lock(memo_->mutex);
     accumulate(out.intervalStats, memo_->stats.counters());
     accumulate(out.taskList, memo_->taskList.counters());

@@ -71,6 +71,7 @@
 #include "session/query.h"
 #include "session/query_cache.h"
 #include "session/query_engine.h"
+#include "session/renderer_pool.h"
 #include "stats/histogram.h"
 #include "stats/interval_stats.h"
 #include "trace/trace.h"
@@ -89,6 +90,10 @@ struct SessionCacheStats
 
     /** Filtered task list cache. */
     CacheCounters taskList;
+
+    /** Renderer checkout pool (hits = reuses, builds = constructions,
+     *  evictions = returns dropped as stale or over capacity). */
+    CacheCounters renderer;
 };
 
 /**
@@ -226,6 +231,18 @@ class Session
      */
     void setQueryEngine(std::shared_ptr<QueryEngine> engine);
 
+    /**
+     * The session's renderer checkout pool: sync and async renders
+     * lease TimelineRenderer instances here instead of constructing
+     * per call, so palette and per-task caches survive across redraws.
+     * Invalidated on setTrace(). Exposed for capacity tuning
+     * (setCapacity) and counter introspection.
+     */
+    const std::shared_ptr<RendererPool> &rendererPool() const
+    {
+        return rendererPool_;
+    }
+
     // -- Warm-up and concurrency -------------------------------------------
 
     /**
@@ -349,11 +366,13 @@ class Session
     // -- Rendering ---------------------------------------------------------
 
     /**
-     * Render the timeline into @p fb through the session's persistent
-     * renderer. When @p config names no task filter the session's active
-     * filters apply; when it names no view the session's view applies.
-     * submit(TimelineRenderQuery) is the asynchronous form, rendering
-     * into a query-owned framebuffer.
+     * Render the timeline into @p fb through a renderer leased from
+     * the session's RendererPool (palette and per-task caches persist
+     * across redraws). When @p config names no task filter the
+     * session's active filters apply; when it names no view the
+     * session's view applies. submit(TimelineRenderQuery) is the
+     * asynchronous form, rendering into a query-owned framebuffer
+     * through the same pool.
      */
     const render::RenderStats &render(const render::TimelineConfig &config,
                                       render::Framebuffer &fb);
@@ -395,9 +414,6 @@ class Session
     /** Re-point every per-trace structure after a trace swap. */
     void rebindTrace();
 
-    /** The persistent renderer, built on first render call. */
-    render::TimelineRenderer &renderer();
-
     /** The effective config: session filters and view filled in. */
     render::TimelineConfig
     effectiveConfig(const render::TimelineConfig &config) const;
@@ -414,8 +430,9 @@ class Session
     std::shared_ptr<SessionMemo> memo_;
     CacheCounters statsBase_;    ///< Pre-swap stats-memo accounting.
     CacheCounters taskListBase_; ///< Pre-swap task-list accounting.
-    std::unique_ptr<render::TimelineRenderer> renderer_;
+    std::shared_ptr<RendererPool> rendererPool_;
     std::shared_ptr<QueryEngine> engine_;
+    render::RenderStats renderStats_; ///< Last timeline render's counts.
     render::RenderStats overlayStats_;
 };
 

@@ -84,9 +84,11 @@ std::vector<Session::WarmupStats>
 SessionGroup::warmup(const Session::WarmupPolicy &policy)
 {
     // Submit everything before waiting on anything: variants warm
-    // concurrently on the shared pool instead of in sequence.
+    // concurrently on the shared pool instead of in sequence. The
+    // caller blocks on the results, so the synchronous form runs at
+    // Interactive priority like Session::warmup().
     std::vector<QueryTicket<Session::WarmupStats>> tickets =
-        submitAll(WarmupQuery{policy});
+        submitAll(WarmupQuery{policy, QueryPriority::Interactive});
     std::vector<Session::WarmupStats> out;
     out.reserve(tickets.size());
     for (QueryTicket<Session::WarmupStats> &ticket : tickets)

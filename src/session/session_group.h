@@ -17,7 +17,11 @@
  * work overlaps instead of warming variants in sequence: warmup()
  * submits every variant's WarmupQuery before waiting on any of them,
  * and submitAll(spec) fans one query spec out to all variants and
- * returns the tickets so deltas compute concurrently.
+ * returns the tickets so deltas compute concurrently. The shared
+ * engine's idle lifecycle applies group-wide: queryEngine()->
+ * setIdleTimeout()/shutdown() parks-then-joins the one worker set
+ * after quiescence, and the next submission of any variant restarts
+ * it.
  *
  * Like Session, a group's driving side requires external
  * synchronization: one thread at a time. Tickets returned by

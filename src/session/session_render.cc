@@ -1,7 +1,9 @@
 /**
  * @file
- * The rendering face of session::Session: timeline passes through the
- * persistent renderer and counter overlays through the cached indexes.
+ * The rendering face of session::Session: timeline passes check a
+ * renderer out of the session's RendererPool (palette caches persist
+ * across redraws, shared with the async TimelineRenderQuery
+ * executors); counter overlays go through the cached indexes.
  */
 
 #include "session/session.h"
@@ -24,18 +26,20 @@ const render::RenderStats &
 Session::render(const render::TimelineConfig &config,
                 render::Framebuffer &fb)
 {
-    render::TimelineRenderer &r = renderer();
-    r.render(effectiveConfig(config), fb);
-    return r.stats();
+    RendererPool::Lease lease = rendererPool_->checkout(trace_);
+    lease->render(effectiveConfig(config), fb);
+    renderStats_ = lease->stats();
+    return renderStats_;
 }
 
 const render::RenderStats &
 Session::renderNaive(const render::TimelineConfig &config,
                      render::Framebuffer &fb)
 {
-    render::TimelineRenderer &r = renderer();
-    r.renderNaive(effectiveConfig(config), fb);
-    return r.stats();
+    RendererPool::Lease lease = rendererPool_->checkout(trace_);
+    lease->renderNaive(effectiveConfig(config), fb);
+    renderStats_ = lease->stats();
+    return renderStats_;
 }
 
 const render::RenderStats &

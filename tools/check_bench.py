@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare BENCH_*.json metrics against baselines.
+
+Every bench binary writes one JSON object per metric (JSON lines) into
+the bench-out directory (bench/common.cc, JsonLines). This tool loads
+each committed baseline from bench/baselines/<bench>.json and checks
+the measured metrics against its thresholds, failing the CI job on any
+regression.
+
+Baseline schema::
+
+    {
+      "bench": "sec7_async_queries",
+      "checks": [
+        {"metric": "identical", "min": 1},
+        {"metric": "speedup_w4", "min": 2.0,
+         "when": {"metric": "hardware_threads", "min": 4},
+         "skip_marker": "skipped_w4"}
+      ]
+    }
+
+Check semantics:
+  - "min" / "max": inclusive bounds on the measured value.
+  - "when": the check only applies when the named metric satisfies the
+    given bounds (e.g. speedup floors only on >= 4-thread runners).
+    A missing "when" metric skips the check (conservative: a bench
+    that cannot tell its environment is not failed for it).
+  - "skip_marker": the bench emitted this metric (truthy) to say the
+    measurement was deliberately skipped (e.g. worker counts above the
+    hardware concurrency); the check is skipped, not failed.
+  - A metric missing without an applicable skip is a failure: silence
+    must never read as "covered".
+
+Exit status: 0 when every applicable check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_results(path):
+    """Parse one JSON-lines bench output into {metric: value}."""
+    metrics = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{path}:{lineno}: invalid JSON: {exc}")
+        metrics[obj["metric"]] = obj["value"]
+    return metrics
+
+
+def bounds_ok(value, check):
+    if "min" in check and value < check["min"]:
+        return False
+    if "max" in check and value > check["max"]:
+        return False
+    return True
+
+
+def bounds_str(check):
+    parts = []
+    if "min" in check:
+        parts.append(f">= {check['min']}")
+    if "max" in check:
+        parts.append(f"<= {check['max']}")
+    return " and ".join(parts) if parts else "(no bounds)"
+
+
+def run_checks(bench, checks, metrics, report):
+    """Evaluate one baseline; returns the number of failures."""
+    failures = 0
+    for check in checks:
+        name = check["metric"]
+        label = f"{bench}:{name}"
+
+        marker = check.get("skip_marker")
+        if marker is not None and metrics.get(marker):
+            report.append(("SKIP", label, f"bench marked {marker}"))
+            continue
+
+        when = check.get("when")
+        if when is not None:
+            gate_value = metrics.get(when["metric"])
+            if gate_value is None or not bounds_ok(gate_value, when):
+                report.append(
+                    ("SKIP", label,
+                     f"condition {when['metric']} {bounds_str(when)} "
+                     f"not met (value: {gate_value})"))
+                continue
+
+        value = metrics.get(name)
+        if value is None:
+            report.append(("FAIL", label, "metric missing from output"))
+            failures += 1
+            continue
+        if bounds_ok(value, check):
+            report.append(
+                ("PASS", label, f"{value:g} {bounds_str(check)}"))
+        else:
+            report.append(
+                ("FAIL", label,
+                 f"{value:g} violates {bounds_str(check)}"))
+            failures += 1
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate CI on bench metrics vs committed baselines.")
+    parser.add_argument("--bench-out", default="bench-out",
+                        help="directory of BENCH_*.json results")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of committed baseline files")
+    parser.add_argument("--bench", action="append", default=None,
+                        help="restrict to these bench names "
+                             "(default: every baseline present)")
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baselines)
+    out_dir = Path(args.bench_out)
+    if not baseline_dir.is_dir():
+        raise SystemExit(f"no baseline directory at {baseline_dir}")
+
+    baseline_files = sorted(baseline_dir.glob("*.json"))
+    if args.bench:
+        wanted = set(args.bench)
+        baseline_files = [p for p in baseline_files if p.stem in wanted]
+    if not baseline_files:
+        raise SystemExit("no baselines selected — nothing to gate")
+
+    report = []
+    failures = 0
+    for baseline_path in baseline_files:
+        baseline = json.loads(baseline_path.read_text())
+        bench = baseline["bench"]
+        result_path = out_dir / f"BENCH_{bench}.json"
+        if not result_path.is_file():
+            report.append(("FAIL", bench,
+                           f"no results at {result_path} — did the "
+                           f"bench run with AFTERMATH_BENCH_OUT set?"))
+            failures += 1
+            continue
+        metrics = load_results(result_path)
+        failures += run_checks(bench, baseline["checks"], metrics,
+                               report)
+
+    width = max(len(label) for _, label, _ in report)
+    for status, label, detail in report:
+        print(f"{status:4}  {label:<{width}}  {detail}")
+    print(f"\n{len(report)} checks, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
