@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "common.h"
 
 using namespace aftermath;
@@ -55,7 +56,8 @@ timeColdStats(const trace::Trace &tr, unsigned workers,
 {
     Session session = Session::view(tr);
     session.setConcurrency({workers});
-    session.queryEngine()->pool(); // Spin workers up outside the timing.
+    // Spin workers up outside the timing.
+    session.queryEngine()->withPool([](base::ThreadPool &) {});
     auto start = Clock::now();
     const stats::IntervalStats &stats = session.intervalStats();
     double seconds = secondsSince(start);
@@ -151,7 +153,7 @@ main()
     for (int r = 0; r < reps; r++) {
         Session session = Session::view(tr);
         session.setConcurrency({2});
-        session.queryEngine()->pool();
+        session.queryEngine()->withPool([](base::ThreadPool &) {});
         auto ticket = session.submit(session::IntervalStatsQuery{
             TimeInterval{span.start, span.end - 1 - r}});
         while (ticket.status() == session::QueryStatus::Pending)
@@ -180,7 +182,7 @@ main()
     {
         Session session = Session::view(tr);
         session.setConcurrency({2});
-        session.queryEngine()->pool();
+        session.queryEngine()->withPool([](base::ThreadPool &) {});
         auto stale = session.submit(session::IntervalStatsQuery{
             TimeInterval{span.start, span.end - 7}});
         session.setView({span.start, span.start + span.duration() / 4});
@@ -217,7 +219,8 @@ main()
             }
             Session probe = Session::view(tr);
             probe.setQueryEngine(engine);
-            engine->pool(); // Spin workers up outside the timing.
+            // Spin workers up outside the timing.
+            engine->withPool([](base::ThreadPool &) {});
 
             std::vector<session::QueryTicket<session::WarmupStats>>
                 storm_tickets;

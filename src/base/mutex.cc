@@ -1,0 +1,194 @@
+#include "base/mutex.h"
+
+#include <vector>
+
+#include "base/logging.h"
+
+// The CMake option AFTERMATH_LOCK_RANK_CHECKS compiles the checker in
+// or out for the whole library; this translation unit is the only one
+// that looks at the macro, so mixed-definition ODR hazards cannot
+// arise (lock()/unlock() are deliberately out of line).
+#ifndef AFTERMATH_LOCK_RANK_CHECKS
+#define AFTERMATH_LOCK_RANK_CHECKS 0
+#endif
+
+namespace aftermath {
+namespace base {
+
+#if AFTERMATH_LOCK_RANK_CHECKS
+
+namespace {
+
+/** One ranked lock the current thread holds. */
+struct HeldLock
+{
+    const Mutex *mutex;
+    const char *file; ///< Acquisition site (from __builtin_FILE()).
+    int line;
+};
+
+/**
+ * The calling thread's ranked-lock stack. Unranked mutexes never touch
+ * it, so the common leaf locks stay exactly as cheap as std::mutex.
+ */
+thread_local std::vector<HeldLock> t_held;
+
+/**
+ * The order check of one blocking acquisition, run *before* blocking so
+ * a would-be deadlock aborts with a report instead of hanging. Unlock
+ * order is unconstrained (scopes may interleave), so the new rank is
+ * checked against every held lock, not just the most recent.
+ */
+void
+checkRankOrder(const Mutex &mutex, const char *file, int line)
+{
+    for (const HeldLock &held : t_held) {
+        if (held.mutex->rank() < mutex.rank())
+            continue;
+        panic("lock-rank violation: acquiring \"%s\" (rank %d) at "
+              "%s:%d while holding \"%s\" (rank %d) acquired at %s:%d"
+              " — see the lockrank registry in base/mutex.h",
+              mutex.name(), mutex.rank(), file, line,
+              held.mutex->name(), held.mutex->rank(), held.file,
+              held.line);
+    }
+}
+
+void
+recordAcquired(const Mutex &mutex, const char *file, int line)
+{
+    t_held.push_back(HeldLock{&mutex, file, line});
+}
+
+void
+recordReleased(const Mutex &mutex)
+{
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+        if (it->mutex == &mutex) {
+            t_held.erase(std::next(it).base());
+            return;
+        }
+    }
+    panic("lock-rank bookkeeping: releasing \"%s\" (rank %d), which "
+          "this thread does not hold",
+          mutex.name(), mutex.rank());
+}
+
+} // namespace
+
+void
+Mutex::lock(const char *file, int line)
+{
+    if (rank_ != lockrank::kNone)
+        checkRankOrder(*this, file, line);
+    impl_.lock();
+    if (rank_ != lockrank::kNone)
+        recordAcquired(*this, file, line);
+}
+
+void
+Mutex::unlock()
+{
+    if (rank_ != lockrank::kNone)
+        recordReleased(*this);
+    impl_.unlock();
+}
+
+bool
+Mutex::tryLock(const char *file, int line)
+{
+    if (!impl_.try_lock())
+        return false;
+    // No order check: a try-lock cannot deadlock. It still counts as
+    // held so later blocking acquisitions are checked against it.
+    if (rank_ != lockrank::kNone)
+        recordAcquired(*this, file, line);
+    return true;
+}
+
+void
+Mutex::noteWaitRelease()
+{
+    if (rank_ != lockrank::kNone)
+        recordReleased(*this);
+}
+
+void
+Mutex::noteWaitReacquire()
+{
+    // The wake-up re-acquisition is a fresh acquisition for ordering
+    // purposes: a thread that waited while holding a higher-ranked
+    // lock aborts here, exactly where the deadlock would form.
+    if (rank_ != lockrank::kNone) {
+        checkRankOrder(*this, "(condvar wake-up)", 0);
+        recordAcquired(*this, "(condvar wake-up)", 0);
+    }
+}
+
+bool
+Mutex::rankChecksEnabled()
+{
+    return true;
+}
+
+std::size_t
+Mutex::heldRankedLocks()
+{
+    return t_held.size();
+}
+
+#else // !AFTERMATH_LOCK_RANK_CHECKS
+
+void
+Mutex::lock(const char *, int)
+{
+    impl_.lock();
+}
+
+void
+Mutex::unlock()
+{
+    impl_.unlock();
+}
+
+bool
+Mutex::tryLock(const char *, int)
+{
+    return impl_.try_lock();
+}
+
+void
+Mutex::noteWaitRelease()
+{}
+
+void
+Mutex::noteWaitReacquire()
+{}
+
+bool
+Mutex::rankChecksEnabled()
+{
+    return false;
+}
+
+std::size_t
+Mutex::heldRankedLocks()
+{
+    return 0;
+}
+
+#endif // AFTERMATH_LOCK_RANK_CHECKS
+
+void
+CondVar::wait(MutexLock &lock)
+{
+    Mutex &mutex = lock.mutex_;
+    mutex.noteWaitRelease();
+    std::unique_lock<std::mutex> relock(mutex.impl_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release(); // MutexLock keeps ownership.
+    mutex.noteWaitReacquire();
+}
+
+} // namespace base
+} // namespace aftermath

@@ -23,10 +23,10 @@ ThreadPool::ThreadPool(unsigned num_workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
-    wake_.notify_all();
+    wake_.notifyAll();
     for (std::thread &worker : workers_)
         worker.join();
 }
@@ -35,7 +35,7 @@ void
 ThreadPool::submit(std::function<void()> task, TaskPriority priority)
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (priority == TaskPriority::High) {
             highQueue_.push_back(std::move(task));
             // Published under the lock, read lock-free by yield probes:
@@ -46,7 +46,7 @@ ThreadPool::submit(std::function<void()> task, TaskPriority priority)
             queue_.push_back(std::move(task));
         }
     }
-    wake_.notify_one();
+    wake_.notifyOne();
 }
 
 bool
@@ -54,11 +54,11 @@ TaskHandle::tryCancel()
 {
     if (!shared_)
         return false;
-    std::unique_lock<std::mutex> lock(shared_->mutex);
+    MutexLock lock(shared_->mutex);
     if (shared_->state != State::Queued)
         return false;
     shared_->state = State::Skipped;
-    shared_->cv.notify_all();
+    shared_->cv.notifyAll();
     return true;
 }
 
@@ -67,7 +67,7 @@ TaskHandle::done() const
 {
     if (!shared_)
         return false;
-    std::unique_lock<std::mutex> lock(shared_->mutex);
+    MutexLock lock(shared_->mutex);
     return shared_->state == State::Finished ||
            shared_->state == State::Skipped;
 }
@@ -77,7 +77,7 @@ TaskHandle::skipped() const
 {
     if (!shared_)
         return false;
-    std::unique_lock<std::mutex> lock(shared_->mutex);
+    MutexLock lock(shared_->mutex);
     return shared_->state == State::Skipped;
 }
 
@@ -86,11 +86,10 @@ TaskHandle::wait() const
 {
     if (!shared_)
         return;
-    std::unique_lock<std::mutex> lock(shared_->mutex);
-    shared_->cv.wait(lock, [this] {
-        return shared_->state == State::Finished ||
-               shared_->state == State::Skipped;
-    });
+    MutexLock lock(shared_->mutex);
+    while (shared_->state != State::Finished &&
+           shared_->state != State::Skipped)
+        shared_->cv.wait(lock);
 }
 
 TaskHandle
@@ -100,15 +99,15 @@ ThreadPool::submitTracked(std::function<void()> task, TaskPriority priority)
     submit(
         [shared, task = std::move(task)] {
             {
-                std::unique_lock<std::mutex> lock(shared->mutex);
+                MutexLock lock(shared->mutex);
                 if (shared->state == TaskHandle::State::Skipped)
                     return; // Cancelled while queued; never run.
                 shared->state = TaskHandle::State::Running;
             }
             task();
-            std::unique_lock<std::mutex> lock(shared->mutex);
+            MutexLock lock(shared->mutex);
             shared->state = TaskHandle::State::Finished;
-            shared->cv.notify_all();
+            shared->cv.notifyAll();
         },
         priority);
     return TaskHandle(shared);
@@ -117,16 +116,15 @@ ThreadPool::submitTracked(std::function<void()> task, TaskPriority priority)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] {
-        return highQueue_.empty() && queue_.empty() && running_ == 0;
-    });
+    MutexLock lock(mutex_);
+    while (!highQueue_.empty() || !queue_.empty() || running_ > 0)
+        idle_.wait(lock);
 }
 
 std::chrono::steady_clock::duration
 ThreadPool::idleFor() const
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!highQueue_.empty() || !queue_.empty() || running_ > 0)
         return std::chrono::steady_clock::duration::zero();
     return std::chrono::steady_clock::now() - idleSince_;
@@ -138,10 +136,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] {
-                return stopping_ || !highQueue_.empty() || !queue_.empty();
-            });
+            MutexLock lock(mutex_);
+            while (!stopping_ && highQueue_.empty() && queue_.empty())
+                wake_.wait(lock);
             if (highQueue_.empty() && queue_.empty())
                 return; // stopping_ with drained queues.
             if (!highQueue_.empty()) {
@@ -156,11 +153,11 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             running_--;
             if (highQueue_.empty() && queue_.empty() && running_ == 0) {
                 idleSince_ = std::chrono::steady_clock::now();
-                idle_.notify_all();
+                idle_.notifyAll();
             }
         }
     }
@@ -172,9 +169,9 @@ namespace {
 struct ForState
 {
     std::atomic<std::size_t> next{0}; ///< Next unclaimed index.
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t active = 0; ///< Participants still draining.
+    Mutex mutex{lockrank::kTaskState, "parallel-for"};
+    CondVar done;
+    std::size_t active AM_GUARDED_BY(mutex) = 0; ///< Still draining.
 };
 
 } // namespace
@@ -209,21 +206,22 @@ ThreadPool::parallelFor(std::size_t n,
 
     std::size_t helpers = std::min<std::size_t>(workers_.size(), n - 1);
     {
-        std::unique_lock<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         state->active = helpers;
     }
     for (std::size_t h = 0; h < helpers; h++) {
         submit([state, drain] {
             drain();
-            std::unique_lock<std::mutex> lock(state->mutex);
+            MutexLock lock(state->mutex);
             if (--state->active == 0)
-                state->done.notify_all();
+                state->done.notifyAll();
         });
     }
     drain();
 
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->done.wait(lock, [&] { return state->active == 0; });
+    MutexLock lock(state->mutex);
+    while (state->active != 0)
+        state->done.wait(lock);
 }
 
 } // namespace base

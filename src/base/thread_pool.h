@@ -20,14 +20,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace aftermath {
 namespace base {
@@ -116,9 +117,9 @@ class TaskHandle
 
     struct Shared
     {
-        mutable std::mutex mutex;
-        std::condition_variable cv;
-        State state = State::Queued;
+        mutable Mutex mutex{lockrank::kTaskState, "task-handle"};
+        CondVar cv;
+        State state AM_GUARDED_BY(mutex) = State::Queued;
     };
 
     explicit TaskHandle(std::shared_ptr<Shared> shared)
@@ -214,18 +215,29 @@ class ThreadPool
     /** Worker main loop: pop (High first) and run until drained. */
     void workerLoop();
 
+    /** Written by the constructor only, then read-only (numWorkers()
+     *  and parallelFor() read it without the lock). */
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> highQueue_; ///< Popped first.
-    std::deque<std::function<void()>> queue_;     ///< Normal priority.
+
+    mutable Mutex mutex_{lockrank::kThreadPool, "thread-pool"};
+    CondVar wake_; ///< Signals queued work / shutdown.
+    CondVar idle_; ///< Signals queues drained + all idle.
+
+    /** Popped first. */
+    std::deque<std::function<void()>> highQueue_ AM_GUARDED_BY(mutex_);
+
+    /** Normal priority. */
+    std::deque<std::function<void()>> queue_ AM_GUARDED_BY(mutex_);
+
     std::atomic<std::size_t> highQueued_{0}; ///< Mirror of highQueue_.size().
-    mutable std::mutex mutex_;
-    std::condition_variable wake_;  ///< Signals queued work / shutdown.
-    std::condition_variable idle_;  ///< Signals queues drained + all idle.
-    std::size_t running_ = 0;       ///< Tasks currently executing.
-    bool stopping_ = false;
+
+    /** Tasks currently executing. */
+    std::size_t running_ AM_GUARDED_BY(mutex_) = 0;
+
+    bool stopping_ AM_GUARDED_BY(mutex_) = false;
 
     /** Last transition to quiescence; meaningful only while idle. */
-    std::chrono::steady_clock::time_point idleSince_ =
+    std::chrono::steady_clock::time_point idleSince_ AM_GUARDED_BY(mutex_) =
         std::chrono::steady_clock::now();
 };
 

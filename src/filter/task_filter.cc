@@ -7,7 +7,7 @@ namespace aftermath {
 namespace filter {
 
 bool
-TaskTypeFilter::matches(const trace::Trace &, // NOLINT(misc-unused-param)
+TaskTypeFilter::matches(const trace::Trace &,
                         const trace::TaskInstance &task) const
 {
     return types_.count(task.type) > 0;

@@ -20,7 +20,7 @@ CounterIndexCache::get(CpuId cpu, CounterId counter, bool *built)
     // The build runs under the shard lock: only same-CPU queries wait on
     // it, and they would have to wait for the index anyway. Entries are
     // never evicted, so the reference is stable after the lock drops.
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    base::MutexLock lock(shard.mutex);
     auto it = shard.entries.find(counter);
     if (it != shard.entries.end()) {
         shard.counters.hits++;
@@ -56,8 +56,10 @@ CounterIndexCache::query(CpuId cpu, CounterId counter,
 void
 CounterIndexCache::clear()
 {
-    for (Shard &shard : shards_)
+    for (Shard &shard : shards_) {
+        base::MutexLock lock(shard.mutex);
         shard.entries.clear();
+    }
 }
 
 std::size_t
@@ -65,7 +67,7 @@ CounterIndexCache::size() const
 {
     std::size_t total = 0;
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        base::MutexLock lock(shard.mutex);
         total += shard.entries.size();
     }
     return total;
@@ -76,7 +78,7 @@ CounterIndexCache::counters() const
 {
     CacheCounters total;
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        base::MutexLock lock(shard.mutex);
         total.hits += shard.counters.hits;
         total.builds += shard.counters.builds;
     }

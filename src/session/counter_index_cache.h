@@ -14,8 +14,9 @@
  * builds for different CPUs never contend, which is what lets
  * Session::warmup() construct the indexes of a many-core trace
  * concurrently. get()/getOrNull()/query()/counters() are safe to call
- * from multiple threads; clear() requires external synchronization
- * (no concurrent queries).
+ * from multiple threads; clear() takes each shard lock in turn, but
+ * callers must still guarantee no reference returned by get() is used
+ * afterwards (entries die with the map).
  */
 
 #ifndef AFTERMATH_SESSION_COUNTER_INDEX_CACHE_H
@@ -23,9 +24,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "base/types.h"
 #include "index/counter_index.h"
 #include "session/query_cache.h"
@@ -71,7 +73,11 @@ class CounterIndexCache
     index::MinMax query(CpuId cpu, CounterId counter,
                         const TimeInterval &interval);
 
-    /** Drop every built index (counters preserved). Not thread-safe. */
+    /**
+     * Drop every built index (counters preserved). Thread-safe against
+     * concurrent get() calls, but references obtained before the clear
+     * dangle — callers coordinate that externally.
+     */
     void clear();
 
     /** Number of indexes currently built. */
@@ -87,14 +93,21 @@ class CounterIndexCache
     std::uint32_t arity() const { return arity_; }
 
   private:
-    /** One CPU's slice of the store, guarded by its own lock. */
+    /**
+     * One CPU's slice of the store, guarded by its own lock. Shards
+     * share one rank (kCounterIndexShard) because no code path ever
+     * holds two of them at once — clear()/size()/counters() visit
+     * them strictly one at a time.
+     */
     struct Shard
     {
-        mutable std::mutex mutex;
+        mutable base::Mutex mutex{base::lockrank::kCounterIndexShard,
+                                  "counter-index-shard"};
         // unique_ptr because CounterIndex pins a reference to its
         // sample array and is neither copyable nor movable.
-        std::map<CounterId, std::unique_ptr<index::CounterIndex>> entries;
-        CacheCounters counters;
+        std::map<CounterId, std::unique_ptr<index::CounterIndex>> entries
+            AM_GUARDED_BY(mutex);
+        CacheCounters counters AM_GUARDED_BY(mutex);
     };
 
     const trace::Trace &trace_;

@@ -9,6 +9,12 @@
  * one reusable type, with an opt-in LRU capacity bound for callers whose
  * key stream is unbounded (continuous zooming queries a never-repeating
  * sequence of intervals).
+ *
+ * MemoCache itself is not synchronized: every instance lives behind an
+ * externally held lock (SessionMemo's caches under SessionMemo::mutex,
+ * annotated AM_GUARDED_BY so the thread-safety analysis enforces the
+ * contract at the member level). Keeping the lock outside means one
+ * acquisition covers a tryGet()/insertOrGet() pair instead of two.
  */
 
 #ifndef AFTERMATH_SESSION_QUERY_CACHE_H

@@ -37,10 +37,10 @@ QueryEngine::~QueryEngine()
 {
     if (reaper_.joinable()) {
         {
-            std::lock_guard<std::mutex> lock(poolMutex_);
+            base::MutexLock lock(poolMutex_);
             stopReaper_ = true;
         }
-        reaperCv_.notify_all();
+        reaperCv_.notifyAll();
         reaper_.join();
     }
     // pool_ drains both queues and joins in its destructor; executors
@@ -52,7 +52,7 @@ QueryEngine::setWorkers(unsigned workers)
 {
     unsigned effective =
         workers == 0 ? base::ThreadPool::defaultWorkers() : workers;
-    std::lock_guard<std::mutex> lock(poolMutex_);
+    base::MutexLock lock(poolMutex_);
     if (pool_ && effective != workers_)
         pool_.reset();
     workers_ = effective;
@@ -64,41 +64,43 @@ QueryEngine::ensurePoolLocked()
     if (!pool_) {
         pool_ = std::make_unique<base::ThreadPool>(workers_);
         // A parked reaper waits for the pool to exist again.
-        reaperCv_.notify_all();
+        reaperCv_.notifyAll();
     }
     return *pool_;
-}
-
-base::ThreadPool &
-QueryEngine::pool()
-{
-    std::lock_guard<std::mutex> lock(poolMutex_);
-    return ensurePoolLocked();
 }
 
 void
 QueryEngine::withPool(const std::function<void(base::ThreadPool &)> &body)
 {
-    std::lock_guard<std::mutex> lock(poolMutex_);
+    base::MutexLock lock(poolMutex_);
     body(ensurePoolLocked());
+}
+
+void
+QueryEngine::drain()
+{
+    base::MutexLock lock(poolMutex_);
+    // A parked pool has nothing queued or running: already drained.
+    if (pool_)
+        pool_->wait();
 }
 
 void
 QueryEngine::setIdleTimeout(std::chrono::milliseconds timeout)
 {
     {
-        std::lock_guard<std::mutex> lock(poolMutex_);
+        base::MutexLock lock(poolMutex_);
         idleTimeout_ = timeout;
         if (timeout.count() > 0 && !reaper_.joinable())
             reaper_ = std::thread([this] { reaperLoop(); });
     }
-    reaperCv_.notify_all();
+    reaperCv_.notifyAll();
 }
 
 void
 QueryEngine::shutdown()
 {
-    std::lock_guard<std::mutex> lock(poolMutex_);
+    base::MutexLock lock(poolMutex_);
     // Drains both queues (queued background work completes) and joins.
     pool_.reset();
 }
@@ -106,21 +108,21 @@ QueryEngine::shutdown()
 unsigned
 QueryEngine::liveWorkers() const
 {
-    std::lock_guard<std::mutex> lock(poolMutex_);
+    base::MutexLock lock(poolMutex_);
     return pool_ ? pool_->numWorkers() : 0;
 }
 
 bool
 QueryEngine::hasInteractiveWork() const
 {
-    std::lock_guard<std::mutex> lock(poolMutex_);
+    base::MutexLock lock(poolMutex_);
     return pool_ && pool_->hasHighPriorityWork();
 }
 
 void
 QueryEngine::reaperLoop()
 {
-    std::unique_lock<std::mutex> lock(poolMutex_);
+    base::MutexLock lock(poolMutex_);
     for (;;) {
         if (stopReaper_)
             return;
@@ -138,8 +140,8 @@ QueryEngine::reaperLoop()
             pool_.reset();
             continue;
         }
-        reaperCv_.wait_for(lock, idleTimeout_ - idle +
-                                     std::chrono::milliseconds(1));
+        reaperCv_.waitFor(lock, idleTimeout_ - idle +
+                                    std::chrono::milliseconds(1));
     }
 }
 
@@ -207,7 +209,7 @@ void
 publishTaskList(SessionMemo &memo, std::uint64_t filter_generation,
                 const std::vector<const trace::TaskInstance *> &list)
 {
-    std::lock_guard<std::mutex> lock(memo.mutex);
+    base::MutexLock lock(memo.mutex);
     if (memo.filterGeneration != filter_generation)
         return;
     memo.taskList.insertOrGet(
@@ -311,7 +313,7 @@ drainStats(const std::shared_ptr<StatsJob> &job)
     for (const stats::IntervalStats &partial : job->partials)
         merged.mergeFrom(partial);
     {
-        std::lock_guard<std::mutex> lock(job->memo->mutex);
+        base::MutexLock lock(job->memo->mutex);
         job->memo->stats.insertOrGet(
             std::make_pair(job->interval.start, job->interval.end),
             stats::IntervalStats(merged));
@@ -387,7 +389,7 @@ drainWarmup(const std::shared_ptr<WarmupJob> &job)
             merged.mergeFrom(stats::intervalTaskChunk(
                 instances.data(), instances.data() + instances.size(),
                 job->statsInterval));
-            std::lock_guard<std::mutex> lock(job->memo->mutex);
+            base::MutexLock lock(job->memo->mutex);
             job->memo->stats.insertOrGet(
                 std::make_pair(job->statsInterval.start,
                                job->statsInterval.end),
@@ -415,7 +417,7 @@ drainWarmup(const std::shared_ptr<WarmupJob> &job)
     WarmupStats stats = job->stats;
     stats.indexesBuilt = job->built.load(std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(job->memo->mutex);
+        base::MutexLock lock(job->memo->mutex);
         job->memo->warmedPairs.insert(job->pairs.begin(),
                                       job->pairs.end());
     }
@@ -431,7 +433,7 @@ Session::submit(const IntervalStatsQuery &query)
 {
     TimeInterval interval = query.interval.value_or(view());
     {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
+        base::MutexLock lock(memo_->mutex);
         if (const stats::IntervalStats *hit = memo_->stats.tryGet(
                 std::make_pair(interval.start, interval.end)))
             return completedTicket(*engine_, stats::IntervalStats(*hit));
@@ -458,7 +460,7 @@ Session::submit(const IntervalStatsQuery &query)
         stats::IntervalStats empty;
         empty.interval = interval;
         {
-            std::lock_guard<std::mutex> lock(memo_->mutex);
+            base::MutexLock lock(memo_->mutex);
             memo_->stats.insertOrGet(
                 std::make_pair(interval.start, interval.end),
                 stats::IntervalStats(empty));
@@ -485,7 +487,7 @@ Session::submit(const TaskListQuery &query)
     using List = std::vector<const trace::TaskInstance *>;
     std::uint64_t generation;
     {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
+        base::MutexLock lock(memo_->mutex);
         generation = memo_->filterGeneration;
         if (const List *hit = memo_->taskList.tryGet(generation))
             return completedTicket(*engine_, List(*hit));
@@ -514,7 +516,7 @@ Session::submit(const TaskListQuery &query)
             toTaskPriority(query.priority));
     });
     {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        base::MutexLock lock(state->mutex);
         state->handle = handle;
     }
     return QueryTicket<List>(std::move(state));
@@ -532,7 +534,7 @@ Session::submit(const HistogramQuery &query)
     std::uint64_t generation;
     std::shared_ptr<const List> cached;
     {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
+        base::MutexLock lock(memo_->mutex);
         generation = memo_->filterGeneration;
         if (const List *hit = memo_->taskList.tryGet(generation))
             cached = std::make_shared<const List>(*hit);
@@ -580,7 +582,7 @@ Session::submit(const HistogramQuery &query)
             toTaskPriority(query.priority));
     });
     {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        base::MutexLock lock(state->mutex);
         state->handle = handle;
     }
     return QueryTicket<stats::Histogram>(std::move(state));
@@ -608,7 +610,7 @@ Session::submit(const CounterExtremaQuery &query)
             toTaskPriority(query.priority));
     });
     {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        base::MutexLock lock(state->mutex);
         state->handle = handle;
     }
     return QueryTicket<index::MinMax>(std::move(state));
@@ -634,7 +636,7 @@ Session::submit(const WarmupQuery &query)
     const WarmupPolicy &policy = query.policy;
     std::size_t skipped = 0;
     {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
+        base::MutexLock lock(memo_->mutex);
         job->filterGeneration = memo_->filterGeneration;
         if (policy.counterIndexes) {
             for (CpuId c = 0; c < trace_->numCpus(); c++) {
@@ -735,7 +737,7 @@ Session::submit(const TraceLoadQuery &query)
             toTaskPriority(query.priority));
     });
     {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        base::MutexLock lock(state->mutex);
         state->handle = handle;
     }
     return QueryTicket<TraceLoadResult>(std::move(state));
@@ -783,7 +785,7 @@ Session::submit(const TimelineRenderQuery &query)
             toTaskPriority(query.priority));
     });
     {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        base::MutexLock lock(state->mutex);
         state->handle = handle;
     }
     return QueryTicket<TimelineRenderResult>(std::move(state));

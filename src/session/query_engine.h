@@ -41,6 +41,23 @@
  * (the engine's pool drains before it dies). Completed results publish
  * into the SessionMemo under its mutex, so asynchronous queries warm
  * the same memo the synchronous wrappers serve hits from.
+ *
+ * ## Lock order
+ *
+ * The query plane's global lock order (enforced at runtime by the
+ * lock-rank checker; registry in base/mutex.h):
+ *
+ *   QueryEngine::poolMutex_ (kQueryEngine)
+ *     -> base::ThreadPool::mutex_ (kThreadPool)
+ *
+ * is the only real nesting: withPool() holds the teardown lock across
+ * pool restart + enqueue, and the idle reaper holds it across
+ * idleFor() probes and the final pool_.reset(). Every other mutex in
+ * the plane — SessionMemo::mutex (kSessionMemo), the CounterIndexCache
+ * shards (kCounterIndexShard), RendererPool (kRendererPool), and the
+ * leaf completion states TicketState (kTicketState) / TaskHandle
+ * (kTaskState) — is acquired on its own or strictly after the ones
+ * above it in rank order, never the other way around.
  */
 
 #ifndef AFTERMATH_SESSION_QUERY_ENGINE_H
@@ -48,11 +65,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
@@ -60,6 +75,8 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "base/thread_pool.h"
 #include "base/time_interval.h"
 #include "base/types.h"
@@ -97,17 +114,21 @@ namespace detail {
 template <typename Result>
 struct TicketState
 {
-    mutable std::mutex mutex;
-    std::condition_variable cv;
-    QueryStatus status = QueryStatus::Pending;
-    std::optional<Result> result;
+    mutable base::Mutex mutex{base::lockrank::kTicketState, "ticket"};
+    base::CondVar cv;
+    QueryStatus status AM_GUARDED_BY(mutex) = QueryStatus::Pending;
+    std::optional<Result> result AM_GUARDED_BY(mutex);
     base::CancellationToken cancel;
-    base::TaskHandle handle; ///< Set for single-task queries only.
 
-    /** Generation at submit; the query is stale once live differs. */
+    /** Set for single-task queries only. */
+    base::TaskHandle handle AM_GUARDED_BY(mutex);
+
+    /** Generation at submit; the query is stale once live differs.
+     *  Written before the query is published, then read-only. */
     std::uint64_t generation = 0;
 
-    /** The engine's live counter; null = generation-immune (warm-up). */
+    /** The engine's live counter; null = generation-immune (warm-up).
+     *  Written before the query is published, then read-only. */
     std::shared_ptr<const std::atomic<std::uint64_t>> live;
 
     /** True once the query should stop: cancelled or stale. */
@@ -124,7 +145,7 @@ struct TicketState
     void
     markRunning()
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        base::MutexLock lock(mutex);
         if (status == QueryStatus::Pending)
             status = QueryStatus::Running;
     }
@@ -133,25 +154,25 @@ struct TicketState
     void
     complete(Result value)
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        base::MutexLock lock(mutex);
         if (status == QueryStatus::Done ||
             status == QueryStatus::Cancelled)
             return;
         result.emplace(std::move(value));
         status = QueryStatus::Done;
-        cv.notify_all();
+        cv.notifyAll();
     }
 
     /** Terminal Cancelled transition (idempotent, loses to Done). */
     void
     completeCancelled()
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        base::MutexLock lock(mutex);
         if (status == QueryStatus::Done ||
             status == QueryStatus::Cancelled)
             return;
         status = QueryStatus::Cancelled;
-        cv.notify_all();
+        cv.notifyAll();
     }
 };
 
@@ -183,7 +204,7 @@ class QueryTicket
     status() const
     {
         AFTERMATH_ASSERT(state_ != nullptr, "status() on an empty ticket");
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        base::MutexLock lock(state_->mutex);
         return state_->status;
     }
 
@@ -209,7 +230,7 @@ class QueryTicket
         state_->cancel.requestCancel();
         base::TaskHandle handle;
         {
-            std::lock_guard<std::mutex> lock(state_->mutex);
+            base::MutexLock lock(state_->mutex);
             handle = state_->handle;
         }
         if (handle.valid() && handle.tryCancel())
@@ -221,11 +242,10 @@ class QueryTicket
     wait() const
     {
         AFTERMATH_ASSERT(state_ != nullptr, "wait() on an empty ticket");
-        std::unique_lock<std::mutex> lock(state_->mutex);
-        state_->cv.wait(lock, [this] {
-            return state_->status == QueryStatus::Done ||
-                   state_->status == QueryStatus::Cancelled;
-        });
+        base::MutexLock lock(state_->mutex);
+        while (state_->status != QueryStatus::Done &&
+               state_->status != QueryStatus::Cancelled)
+            state_->cv.wait(lock);
         return state_->status;
     }
 
@@ -240,6 +260,9 @@ class QueryTicket
     /**
      * Wait and return the result. Panics on a cancelled query — call
      * sites that may race a cancellation should wait() and check.
+     * The reference is stable: Done is terminal and the result is
+     * never written again, so reading through it without the lock is
+     * safe once this returns.
      */
     const Result &
     result() const
@@ -247,6 +270,7 @@ class QueryTicket
         QueryStatus s = wait();
         AFTERMATH_ASSERT(s == QueryStatus::Done,
                          "result() on a cancelled query");
+        base::MutexLock lock(state_->mutex);
         return *state_->result;
     }
 
@@ -257,6 +281,7 @@ class QueryTicket
         QueryStatus s = wait();
         AFTERMATH_ASSERT(s == QueryStatus::Done,
                          "take() on a cancelled query");
+        base::MutexLock lock(state_->mutex);
         return std::move(*state_->result);
     }
 
@@ -274,13 +299,15 @@ class QueryTicket
  */
 struct SessionMemo
 {
-    mutable std::mutex mutex;
+    mutable base::Mutex mutex{base::lockrank::kSessionMemo,
+                              "session-memo"};
     MemoCache<std::pair<TimeStamp, TimeStamp>, stats::IntervalStats>
-        stats;
+        stats AM_GUARDED_BY(mutex);
     MemoCache<std::uint64_t, std::vector<const trace::TaskInstance *>>
-        taskList;
-    std::uint64_t filterGeneration = 0;
-    std::set<std::pair<CpuId, CounterId>> warmedPairs;
+        taskList AM_GUARDED_BY(mutex);
+    std::uint64_t filterGeneration AM_GUARDED_BY(mutex) = 0;
+    std::set<std::pair<CpuId, CounterId>> warmedPairs
+        AM_GUARDED_BY(mutex);
 };
 
 /**
@@ -291,14 +318,14 @@ struct SessionMemo
  * engine so group-wide work (overlapped warm-up, submitAll) shares one
  * pool instead of parking workers per variant.
  *
- * Driving-side methods (pool(), withPool(), setWorkers(),
- * setIdleTimeout(), shutdown()) follow the session's
- * external-synchronization contract — one driving thread at a time;
+ * Driving-side methods (withPool(), setWorkers(), setIdleTimeout(),
+ * shutdown(), drain()) follow the session's external-synchronization
+ * contract — one driving thread at a time;
  * generation()/bumpGeneration()/liveWorkers()/hasInteractiveWork() are
- * safe from any thread. With an idle timeout enabled, references
- * returned by pool() stay valid only while the pool is busy or within
- * the timeout of its last activity — enqueue through withPool() (which
- * holds the teardown lock) instead of holding the reference.
+ * safe from any thread. The pool is never exposed by reference: with
+ * an idle timeout enabled the reaper may join the workers at any
+ * quiescent moment, so every enqueue goes through withPool(), which
+ * holds the teardown lock across restart + enqueue.
  */
 class QueryEngine
 {
@@ -314,7 +341,12 @@ class QueryEngine
     QueryEngine &operator=(const QueryEngine &) = delete;
 
     /** Effective worker count of the (possibly parked) pool. */
-    unsigned workers() const { return workers_; }
+    unsigned
+    workers() const AM_EXCLUDES(poolMutex_)
+    {
+        base::MutexLock lock(poolMutex_);
+        return workers_;
+    }
 
     /**
      * Resize the pool; takes effect immediately (a live pool drains its
@@ -376,20 +408,21 @@ class QueryEngine
     }
 
     /**
-     * The worker pool, restarted if parked. Driving side only; with an
-     * idle timeout enabled, do not hold the reference across periods
-     * of quiescence — the reaper may tear the pool down.
-     */
-    base::ThreadPool &pool();
-
-    /**
      * Run @p body with the live pool (restarted if parked) while
      * holding the teardown lock, so the reaper cannot join the workers
      * between the restart and the body's enqueues. The submit path of
-     * every executor. The body must only enqueue — calling back into
-     * the engine deadlocks.
+     * every executor — and the only way to reach the pool. The body
+     * must only enqueue — calling back into the engine deadlocks.
      */
-    void withPool(const std::function<void(base::ThreadPool &)> &body);
+    void withPool(const std::function<void(base::ThreadPool &)> &body)
+        AM_EXCLUDES(poolMutex_);
+
+    /**
+     * Block until both of the pool's queues are empty and no task is
+     * running. A parked pool counts as drained. The structured
+     * replacement for the old pool().wait() idiom.
+     */
+    void drain() AM_EXCLUDES(poolMutex_);
 
     // -- Idle lifecycle ----------------------------------------------------
 
@@ -400,10 +433,16 @@ class QueryEngine
      * the pool transparently — only the thread start-up cost returns.
      * Starts the reaper thread on first use.
      */
-    void setIdleTimeout(std::chrono::milliseconds timeout);
+    void setIdleTimeout(std::chrono::milliseconds timeout)
+        AM_EXCLUDES(poolMutex_);
 
     /** The active idle timeout; zero = never torn down. */
-    std::chrono::milliseconds idleTimeout() const { return idleTimeout_; }
+    std::chrono::milliseconds
+    idleTimeout() const AM_EXCLUDES(poolMutex_)
+    {
+        base::MutexLock lock(poolMutex_);
+        return idleTimeout_;
+    }
 
     /**
      * Drain both queues, join the workers and release them now. Any
@@ -428,23 +467,32 @@ class QueryEngine
     bool hasInteractiveWork() const;
 
   private:
-    /** Start the pool if parked; caller holds poolMutex_. */
-    base::ThreadPool &ensurePoolLocked();
+    /** Start the pool if parked. */
+    base::ThreadPool &ensurePoolLocked() AM_REQUIRES(poolMutex_);
 
     /** Reaper main loop: park-then-join after idleTimeout_ quiescence. */
     void reaperLoop();
 
     std::shared_ptr<std::atomic<std::uint64_t>> generation_;
     std::shared_ptr<std::atomic<std::uint64_t>> filterGeneration_;
-    unsigned workers_ = 1;
 
-    /** Guards pool_ lifetime against the reaper thread. */
-    mutable std::mutex poolMutex_;
-    std::unique_ptr<base::ThreadPool> pool_;
-    std::chrono::milliseconds idleTimeout_{0};
+    /**
+     * Guards pool lifetime against the reaper thread. The outermost
+     * lock of the plane (lockrank::kQueryEngine): withPool() and the
+     * reaper hold it while acquiring the pool's own mutex underneath.
+     */
+    mutable base::Mutex poolMutex_{base::lockrank::kQueryEngine,
+                                   "query-engine"};
+
+    unsigned workers_ AM_GUARDED_BY(poolMutex_) = 1;
+    std::unique_ptr<base::ThreadPool> pool_ AM_GUARDED_BY(poolMutex_);
+    std::chrono::milliseconds idleTimeout_ AM_GUARDED_BY(poolMutex_){0};
+
+    /** Started/joined by driving-side methods only. */
     std::thread reaper_;
-    std::condition_variable reaperCv_;
-    bool stopReaper_ = false;
+
+    base::CondVar reaperCv_;
+    bool stopReaper_ AM_GUARDED_BY(poolMutex_) = false;
 };
 
 } // namespace session

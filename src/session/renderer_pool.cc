@@ -22,7 +22,7 @@ RendererPool::setTrace(std::shared_ptr<const trace::Trace> trace)
     // checkouts should not wait on cache teardown.
     std::vector<std::unique_ptr<render::TimelineRenderer>> stale;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         if (trace.get() == current_.get()) {
             current_ = std::move(trace); // Same trace, maybe new owner.
             return;
@@ -37,7 +37,7 @@ RendererPool::Lease
 RendererPool::checkout(const std::shared_ptr<const trace::Trace> &trace)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         if (trace.get() == current_.get() && !idle_.empty()) {
             std::unique_ptr<render::TimelineRenderer> renderer =
                 std::move(idle_.back());
@@ -57,23 +57,27 @@ void
 RendererPool::checkin(const trace::Trace *trace,
                       std::unique_ptr<render::TimelineRenderer> renderer)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.returned++;
-    if (trace == current_.get() && idle_.size() < capacity_) {
-        idle_.push_back(std::move(renderer));
-        return;
+    // Destroy a stale/surplus renderer outside the lock (doomed dies
+    // after the locked scope), so its hash-map-heavy teardown never
+    // serializes concurrent checkouts.
+    std::unique_ptr<render::TimelineRenderer> doomed;
+    {
+        base::MutexLock lock(mutex_);
+        counters_.returned++;
+        if (trace == current_.get() && idle_.size() < capacity_) {
+            idle_.push_back(std::move(renderer));
+            return;
+        }
+        counters_.dropped++;
+        doomed = std::move(renderer);
     }
-    counters_.dropped++;
-    // The unique_ptr destroys the stale/surplus renderer on return —
-    // still under the lock, but teardown of a renderer is cheap
-    // (hash-map destructors, no trace access).
 }
 
 void
 RendererPool::setCapacity(std::size_t capacity)
 {
     std::vector<std::unique_ptr<render::TimelineRenderer>> evicted;
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     capacity_ = capacity;
     while (idle_.size() > capacity_) {
         evicted.push_back(std::move(idle_.back()));
@@ -85,21 +89,21 @@ RendererPool::setCapacity(std::size_t capacity)
 std::size_t
 RendererPool::capacity() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return capacity_;
 }
 
 std::size_t
 RendererPool::idleCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return idle_.size();
 }
 
 RendererPool::Counters
 RendererPool::counters() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return counters_;
 }
 

@@ -30,9 +30,10 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "render/timeline_renderer.h"
 #include "trace/trace.h"
 
@@ -155,11 +156,13 @@ class RendererPool
     void checkin(const trace::Trace *trace,
                  std::unique_ptr<render::TimelineRenderer> renderer);
 
-    mutable std::mutex mutex_;
-    std::shared_ptr<const trace::Trace> current_;
-    std::vector<std::unique_ptr<render::TimelineRenderer>> idle_;
-    std::size_t capacity_;
-    Counters counters_;
+    mutable base::Mutex mutex_{base::lockrank::kRendererPool,
+                               "renderer-pool"};
+    std::shared_ptr<const trace::Trace> current_ AM_GUARDED_BY(mutex_);
+    std::vector<std::unique_ptr<render::TimelineRenderer>> idle_
+        AM_GUARDED_BY(mutex_);
+    std::size_t capacity_ AM_GUARDED_BY(mutex_);
+    Counters counters_ AM_GUARDED_BY(mutex_);
 };
 
 } // namespace session

@@ -104,11 +104,20 @@ Session::rebindTrace()
     // old trace) can never poison the new trace's caches.
     auto fresh = std::make_shared<SessionMemo>();
     if (memo_) {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
-        accumulate(statsBase_, memo_->stats.counters());
-        accumulate(taskListBase_, memo_->taskList.counters());
-        fresh->filterGeneration = memo_->filterGeneration;
-        fresh->stats.setCapacity(memo_->stats.capacity());
+        // Sequential, never nested: both memos rank kSessionMemo, so
+        // copy out under the old lock, then write under the fresh one.
+        std::uint64_t filter_generation;
+        std::size_t stats_capacity;
+        {
+            base::MutexLock lock(memo_->mutex);
+            accumulate(statsBase_, memo_->stats.counters());
+            accumulate(taskListBase_, memo_->taskList.counters());
+            filter_generation = memo_->filterGeneration;
+            stats_capacity = memo_->stats.capacity();
+        }
+        base::MutexLock lock(fresh->mutex);
+        fresh->filterGeneration = filter_generation;
+        fresh->stats.setCapacity(stats_capacity);
     }
     memo_ = std::move(fresh);
 }
@@ -140,7 +149,7 @@ Session::setFilters(filter::FilterSet filters)
 {
     filters_ = std::move(filters);
     {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
+        base::MutexLock lock(memo_->mutex);
         // Only filter-dependent caches go; indexes and interval
         // statistics are filter-independent and survive.
         memo_->filterGeneration++;
@@ -158,7 +167,7 @@ Session::clearFilters()
 std::uint64_t
 Session::filterGeneration() const
 {
-    std::lock_guard<std::mutex> lock(memo_->mutex);
+    base::MutexLock lock(memo_->mutex);
     return memo_->filterGeneration;
 }
 
@@ -206,7 +215,7 @@ Session::warmup()
 void
 Session::setStatsCacheCapacity(std::size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(memo_->mutex);
+    base::MutexLock lock(memo_->mutex);
     memo_->stats.setCapacity(capacity);
 }
 
@@ -215,7 +224,7 @@ Session::intervalStats(const TimeInterval &interval)
 {
     auto key = std::make_pair(interval.start, interval.end);
     {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
+        base::MutexLock lock(memo_->mutex);
         if (const stats::IntervalStats *hit = memo_->stats.tryGet(key))
             return *hit;
     }
@@ -224,7 +233,7 @@ Session::intervalStats(const TimeInterval &interval)
     // merely returns the cached reference.
     stats::IntervalStats result =
         submit(IntervalStatsQuery{interval}).take();
-    std::lock_guard<std::mutex> lock(memo_->mutex);
+    base::MutexLock lock(memo_->mutex);
     return memo_->stats.insertOrGet(key, std::move(result));
 }
 
@@ -285,14 +294,14 @@ Session::tasks()
 {
     std::uint64_t generation;
     {
-        std::lock_guard<std::mutex> lock(memo_->mutex);
+        base::MutexLock lock(memo_->mutex);
         generation = memo_->filterGeneration;
         if (const auto *hit = memo_->taskList.tryGet(generation))
             return *hit;
     }
     std::vector<const trace::TaskInstance *> result =
         submit(TaskListQuery{}).take();
-    std::lock_guard<std::mutex> lock(memo_->mutex);
+    base::MutexLock lock(memo_->mutex);
     return memo_->taskList.insertOrGet(generation, std::move(result));
 }
 
@@ -352,7 +361,7 @@ Session::cacheStats() const
     out.renderer.hits = renderers.reused;
     out.renderer.builds = renderers.created;
     out.renderer.evictions = renderers.dropped;
-    std::lock_guard<std::mutex> lock(memo_->mutex);
+    base::MutexLock lock(memo_->mutex);
     accumulate(out.intervalStats, memo_->stats.counters());
     accumulate(out.taskList, memo_->taskList.counters());
     return out;

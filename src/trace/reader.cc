@@ -30,10 +30,11 @@
 #include <deque>
 #include <limits>
 #include <memory>
-#include <mutex>
 
 #include "base/buffer.h"
+#include "base/mutex.h"
 #include "base/string_util.h"
+#include "base/thread_annotations.h"
 
 namespace aftermath {
 namespace trace {
@@ -425,22 +426,39 @@ constexpr std::size_t kBatchFrames = 4096;
  * has a FIFO of pending batches and at most one active pump task; the
  * pump drains the FIFO, carrying the lane's delta registers and error
  * slot, which only the active pump touches (handoff happens-before via
- * the mutex).
+ * the mutex). The mutex-shared half (LaneQueue) and the pump-owned
+ * half (LaneDecode) are separate structs so the guarded accesses are
+ * exactly the queue operations — the decode state needs no lock by
+ * construction.
  */
 struct DecodePipeline
 {
-    explicit DecodePipeline(std::size_t num_lanes) : lanes(num_lanes) {}
+    explicit DecodePipeline(std::size_t num_lanes)
+        : queues(num_lanes), decode(num_lanes)
+    {}
 
-    struct Lane
+    /** One lane's batch FIFO and pump-active flag. */
+    struct LaneQueue
     {
         std::deque<std::vector<std::uint64_t>> pending;
         bool active = false;
+    };
+
+    /**
+     * One lane's decode carry: exclusively owned by the lane's single
+     * active pump (at most one exists; the active flag's lock hand-off
+     * makes successive pumps happen-before ordered).
+     */
+    struct LaneDecode
+    {
         DeltaRegisters registers;
         CpuDecodeStatus status;
     };
 
-    std::mutex mutex;
-    std::vector<Lane> lanes;
+    base::Mutex mutex{base::lockrank::kDecodePipeline,
+                      "decode-pipeline"};
+    std::vector<LaneQueue> queues AM_GUARDED_BY(mutex);
+    std::vector<LaneDecode> decode;
     std::atomic<bool> cancelled{false};
 };
 
@@ -450,19 +468,20 @@ pumpLane(const std::shared_ptr<DecodePipeline> &pipeline,
          Trace &trace, std::size_t lane,
          const base::CancellationToken &cancel)
 {
-    DecodePipeline::Lane &state = pipeline->lanes[lane];
-    const std::size_t num_cpus = pipeline->lanes.size() - kNumGlobalLanes;
+    DecodePipeline::LaneDecode &state = pipeline->decode[lane];
+    const std::size_t num_cpus = pipeline->decode.size() - kNumGlobalLanes;
     for (;;) {
         std::vector<std::uint64_t> batch;
         {
-            std::lock_guard<std::mutex> lock(pipeline->mutex);
-            if (state.pending.empty() ||
+            base::MutexLock lock(pipeline->mutex);
+            DecodePipeline::LaneQueue &queue = pipeline->queues[lane];
+            if (queue.pending.empty() ||
                 pipeline->cancelled.load(std::memory_order_relaxed)) {
-                state.active = false;
+                queue.active = false;
                 return;
             }
-            batch = std::move(state.pending.front());
-            state.pending.pop_front();
+            batch = std::move(queue.pending.front());
+            queue.pending.pop_front();
         }
         if (lane < num_cpus) {
             decodeBatch(bytes, encoding, batch,
@@ -536,12 +555,12 @@ readTrace(const std::vector<std::uint8_t> &bytes, const ReadOptions &options)
         }
         bool start_pump;
         {
-            std::lock_guard<std::mutex> lock(pipeline->mutex);
-            DecodePipeline::Lane &state = pipeline->lanes[lane];
-            state.pending.push_back(std::move(runs[lane]));
-            start_pump = !state.active;
+            base::MutexLock lock(pipeline->mutex);
+            DecodePipeline::LaneQueue &queue = pipeline->queues[lane];
+            queue.pending.push_back(std::move(runs[lane]));
+            start_pump = !queue.active;
             if (start_pump)
-                state.active = true;
+                queue.active = true;
         }
         runs[lane].clear();
         frames_buffered[lane] = 0;
@@ -1054,7 +1073,9 @@ readTrace(const std::vector<std::uint8_t> &bytes, const ReadOptions &options)
             pipeline->cancelled.load(std::memory_order_relaxed) ||
             options.cancel.cancelled();
         if (!decode_cancelled) {
-            for (const DecodePipeline::Lane &state : pipeline->lanes)
+            // pool->wait() returned: every pump is done, the decode
+            // halves are quiescent and safe to read without the lock.
+            for (const DecodePipeline::LaneDecode &state : pipeline->decode)
                 consider(state.status);
         }
     } else if (options.cancel.cancelled()) {

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Compile-fail case: calling an AM_REQUIRES(mutex) method without
+ * holding the mutex must be rejected by -Werror=thread-safety.
+ */
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Counter
+{
+    aftermath::base::Mutex mutex;
+    int value AM_GUARDED_BY(mutex) = 0;
+
+    int
+    read() AM_REQUIRES(mutex)
+    {
+        return value;
+    }
+};
+
+} // namespace
+
+int
+aftermathTsaFailCase()
+{
+    Counter counter;
+    return counter.read(); // Lock not held: must be rejected.
+}

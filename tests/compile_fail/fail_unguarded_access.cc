@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Compile-fail case: writing an AM_GUARDED_BY member without holding
+ * its mutex must be rejected by -Werror=thread-safety. The harness
+ * (tests/compile_fail/CMakeLists.txt) fails the configure if this
+ * file compiles.
+ */
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Counter
+{
+    aftermath::base::Mutex mutex;
+    int value AM_GUARDED_BY(mutex) = 0;
+
+    void
+    bump()
+    {
+        value++; // No lock held: the analysis must reject this.
+    }
+};
+
+} // namespace
+
+int
+aftermathTsaFailCase()
+{
+    Counter counter;
+    counter.bump();
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Positive control of the compile-fail harness: structurally identical
+ * to the fail cases but correctly locked, so it must compile. If this
+ * case ever fails, the harness (includes, flags) is broken — not the
+ * analysis.
+ */
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+struct Counter
+{
+    aftermath::base::Mutex mutex;
+    int value AM_GUARDED_BY(mutex) = 0;
+
+    void
+    bump()
+    {
+        aftermath::base::MutexLock lock(mutex);
+        value++;
+    }
+
+    int
+    read() AM_REQUIRES(mutex)
+    {
+        return value;
+    }
+
+    int
+    lockedRead()
+    {
+        aftermath::base::MutexLock lock(mutex);
+        return read();
+    }
+};
+
+} // namespace
+
+int
+aftermathTsaPassCase()
+{
+    Counter counter;
+    counter.bump();
+    return counter.lockedRead();
+}

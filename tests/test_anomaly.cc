@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Dedicated unit tests of the anomaly scanner (stats/anomaly.h) on
+ * hand-built traces: ranking determinism and ordering guarantees,
+ * empty-trace and single-CPU edges, the per-kind cap, and the
+ * statistical thresholds (minimum sample counts, zero variance).
+ * Smoke-level detection coverage lives in test_extensions.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/anomaly.h"
+#include "trace/state.h"
+
+namespace aftermath {
+namespace {
+
+constexpr std::uint32_t kExec =
+    static_cast<std::uint32_t>(trace::CoreState::TaskExec);
+constexpr std::uint32_t kIdle =
+    static_cast<std::uint32_t>(trace::CoreState::Idle);
+
+/** Rank used for ordering checks: idle phases first, bursts last. */
+int
+kindRank(stats::AnomalyKind kind)
+{
+    switch (kind) {
+      case stats::AnomalyKind::IdlePhase:
+        return 0;
+      case stats::AnomalyKind::DurationOutlier:
+        return 1;
+      case stats::AnomalyKind::CounterBurst:
+        return 2;
+    }
+    return 3;
+}
+
+TEST(AnomalyScan, EmptyTraceYieldsNoFindings)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 2));
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+    EXPECT_TRUE(tr.span().empty());
+    EXPECT_TRUE(stats::scanForAnomalies(tr).empty());
+}
+
+TEST(AnomalyScan, SingleCpuIdlePhaseIsDetected)
+{
+    // With one CPU the idle threshold is 0.5 workers: the lone CPU
+    // going idle must still register as a full-severity phase.
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.cpu(0).addState({{0, 400}, kExec, kInvalidTaskInstance});
+    tr.cpu(0).addState({{400, 600}, kIdle, kInvalidTaskInstance});
+    tr.cpu(0).addState({{600, 1000}, kExec, kInvalidTaskInstance});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    auto findings = stats::scanForAnomalies(tr);
+    ASSERT_FALSE(findings.empty());
+    EXPECT_EQ(findings.front().kind, stats::AnomalyKind::IdlePhase);
+    EXPECT_GT(findings.front().severity, 0.9);
+}
+
+/** A trace that triggers all three kinds at several severities. */
+trace::Trace
+buildBusyTrace()
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 2));
+    tr.addTaskType({0x1, "work"});
+    tr.addCounterDescription({0, "misses"});
+
+    // Tasks: a tight cluster around 100 cycles with two outliers of
+    // different magnitude (ids 11 and 23). The baseline population is
+    // large so both outliers clear the z-score threshold even though
+    // they inflate the type's own variance.
+    TimeStamp t = 0;
+    for (TaskInstanceId id = 0; id < 100; id++) {
+        TimeStamp d = 100 + (id % 3);
+        if (id == 11)
+            d = 600;
+        if (id == 23)
+            d = 900;
+        tr.addTaskInstance({id, 0x1, 0, {t, t + d}});
+        tr.cpu(0).addState({{t, t + d}, kExec, id});
+        t += d;
+    }
+    const TimeStamp end = t;
+
+    // CPU 1: executes, then idles through the middle (two disjoint
+    // idle phases of different depth relative to the span).
+    tr.cpu(1).addState({{0, end / 4}, kExec, kInvalidTaskInstance});
+    tr.cpu(1).addState(
+        {{end / 4, end / 2}, kIdle, kInvalidTaskInstance});
+    tr.cpu(1).addState(
+        {{end / 2, 3 * end / 4}, kExec, kInvalidTaskInstance});
+    tr.cpu(1).addState({{3 * end / 4, end}, kIdle, kInvalidTaskInstance});
+
+    // Counter on CPU 1: steady rate with two bursts, the second
+    // stronger than the first.
+    std::int64_t v = 0;
+    for (TimeStamp ct = 0; ct <= end; ct += end / 100) {
+        std::int64_t dv = static_cast<std::int64_t>(end / 100);
+        if (ct == 20 * (end / 100))
+            dv *= 10;
+        if (ct == 60 * (end / 100))
+            dv *= 25;
+        v += dv;
+        tr.cpu(1).addCounterSample(0, {ct, v});
+    }
+    return tr;
+}
+
+TEST(AnomalyScan, FindingsAreGroupedByKindAndSortedBySeverity)
+{
+    trace::Trace tr = buildBusyTrace();
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    auto findings = stats::scanForAnomalies(tr);
+    ASSERT_GE(findings.size(), 3u);
+
+    // All three kinds present, grouped (idle first), and severity is
+    // non-increasing within each kind.
+    bool seen[3] = {false, false, false};
+    for (std::size_t i = 0; i < findings.size(); i++) {
+        seen[kindRank(findings[i].kind)] = true;
+        if (i == 0)
+            continue;
+        int prev = kindRank(findings[i - 1].kind);
+        int cur = kindRank(findings[i].kind);
+        EXPECT_LE(prev, cur) << "finding " << i;
+        if (prev == cur) {
+            EXPECT_GE(findings[i - 1].severity, findings[i].severity)
+                << "finding " << i;
+        }
+    }
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+
+    // The stronger duration outlier (task 23) outranks the weaker one.
+    std::vector<TaskInstanceId> outliers;
+    for (const stats::Anomaly &a : findings) {
+        if (a.kind == stats::AnomalyKind::DurationOutlier)
+            outliers.push_back(a.task);
+    }
+    ASSERT_EQ(outliers.size(), 2u);
+    EXPECT_EQ(outliers[0], 23u);
+    EXPECT_EQ(outliers[1], 11u);
+}
+
+TEST(AnomalyScan, RankingIsDeterministic)
+{
+    trace::Trace tr = buildBusyTrace();
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    auto first = stats::scanForAnomalies(tr);
+    auto second = stats::scanForAnomalies(tr);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); i++) {
+        EXPECT_EQ(first[i].kind, second[i].kind) << i;
+        EXPECT_EQ(first[i].severity, second[i].severity) << i;
+        EXPECT_EQ(first[i].description, second[i].description) << i;
+    }
+}
+
+TEST(AnomalyScan, MaxPerKindCapsEachKindIndependently)
+{
+    trace::Trace tr = buildBusyTrace();
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    stats::AnomalyScanOptions options;
+    options.maxPerKind = 1;
+    auto findings = stats::scanForAnomalies(tr, options);
+
+    std::size_t counts[3] = {0, 0, 0};
+    for (const stats::Anomaly &a : findings)
+        counts[kindRank(a.kind)]++;
+    EXPECT_LE(counts[0], 1u);
+    EXPECT_LE(counts[1], 1u);
+    EXPECT_LE(counts[2], 1u);
+    // The cap keeps the most severe finding of each kind: the big
+    // outlier survives, the small one is dropped.
+    for (const stats::Anomaly &a : findings) {
+        if (a.kind == stats::AnomalyKind::DurationOutlier)
+            EXPECT_EQ(a.task, 23u);
+    }
+}
+
+TEST(AnomalyScan, FewerThanTenTasksSkipsDurationOutliers)
+{
+    // 9 samples of one type — even a gross outlier must be ignored,
+    // the z-score would be meaningless.
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addTaskType({0x1, "work"});
+    TimeStamp t = 0;
+    for (TaskInstanceId id = 0; id < 9; id++) {
+        TimeStamp d = (id == 4) ? 5'000 : 100 + (id % 3);
+        tr.addTaskInstance({id, 0x1, 0, {t, t + d}});
+        tr.cpu(0).addState({{t, t + d}, kExec, id});
+        t += d;
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    for (const stats::Anomaly &a : stats::scanForAnomalies(tr))
+        EXPECT_NE(a.kind, stats::AnomalyKind::DurationOutlier);
+}
+
+TEST(AnomalyScan, ZeroVarianceDurationsYieldNoOutliers)
+{
+    // 20 identical durations: sd == 0, nothing can be an outlier.
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addTaskType({0x1, "work"});
+    TimeStamp t = 0;
+    for (TaskInstanceId id = 0; id < 20; id++) {
+        tr.addTaskInstance({id, 0x1, 0, {t, t + 100}});
+        tr.cpu(0).addState({{t, t + 100}, kExec, id});
+        t += 100;
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    for (const stats::Anomaly &a : stats::scanForAnomalies(tr))
+        EXPECT_NE(a.kind, stats::AnomalyKind::DurationOutlier);
+}
+
+TEST(AnomalyScan, FewerThanThreeCounterSamplesSkipsBursts)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addCounterDescription({0, "misses"});
+    // Two samples encoding an enormous rate jump: still below the
+    // minimum sample count, so no burst may be reported.
+    tr.cpu(0).addCounterSample(0, {0, 0});
+    tr.cpu(0).addCounterSample(0, {1'000, 1'000'000});
+    tr.cpu(0).addState({{0, 1'000}, kExec, kInvalidTaskInstance});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    for (const stats::Anomaly &a : stats::scanForAnomalies(tr))
+        EXPECT_NE(a.kind, stats::AnomalyKind::CounterBurst);
+}
+
+TEST(AnomalyScan, BurstReportsCpuCounterAndInterval)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 2));
+    tr.addCounterDescription({7, "stalls"});
+    std::int64_t v = 0;
+    for (TimeStamp t = 0; t <= 1'000; t += 10) {
+        v += (t == 700) ? 200 : 10;
+        tr.cpu(1).addCounterSample(7, {t, v});
+    }
+    for (CpuId c = 0; c < 2; c++)
+        tr.cpu(c).addState({{0, 1'000}, kExec, kInvalidTaskInstance});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    bool found = false;
+    for (const stats::Anomaly &a : stats::scanForAnomalies(tr)) {
+        if (a.kind != stats::AnomalyKind::CounterBurst)
+            continue;
+        found = true;
+        EXPECT_EQ(a.cpu, 1u);
+        EXPECT_EQ(a.counter, 7u);
+        EXPECT_TRUE(a.interval.overlaps({690, 701}));
+        EXPECT_NE(a.description.find("stalls"), std::string::npos);
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace aftermath

@@ -306,9 +306,13 @@ TEST(QueryPriorityTest, InteractiveOvertakesBackgroundStorm)
     // behind the barrier, so the ordering assertion is deterministic.
     auto gate1 = std::make_shared<Gate>();
     auto gate2 = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([gate1] { gate1->block(); });
+    session.queryEngine()->withPool([&](base::ThreadPool &pool) {
+        pool.submit([gate1] { gate1->block(); });
+    });
     gate1->awaitEntered();
-    session.queryEngine()->pool().submit([gate2] { gate2->block(); });
+    session.queryEngine()->withPool([&](base::ThreadPool &pool) {
+        pool.submit([gate2] { gate2->block(); });
+    });
 
     std::vector<QueryTicket<stats::IntervalStats>> storm;
     for (TimeStamp k = 1; k <= 4; k++)

@@ -114,6 +114,15 @@ struct Gate
     }
 };
 
+/** Park the engine's (sole) worker behind @p gate. */
+void
+occupyWorker(Session &session, const std::shared_ptr<Gate> &gate)
+{
+    session.queryEngine()->withPool([&](base::ThreadPool &pool) {
+        pool.submit([gate] { gate->block(); });
+    });
+}
+
 TEST(TaskHandle, TrackedTaskRunsAndReportsDone)
 {
     base::ThreadPool pool(2);
@@ -262,7 +271,7 @@ TEST(SessionAsync, CancelWhileQueuedReportsCancelledAndBuildsNothing)
     trace::Trace tr = denseTrace();
     Session session = Session::view(tr); // 1 worker by default.
     auto gate = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([gate] { gate->block(); });
+    occupyWorker(session, gate);
 
     auto ticket = session.submit(IntervalStatsQuery{TimeInterval{0, 50}});
     EXPECT_EQ(ticket.status(), QueryStatus::Pending);
@@ -279,7 +288,7 @@ TEST(SessionAsync, GenerationBumpCancelsStaleInFlightQueries)
     trace::Trace tr = denseTrace();
     Session session = Session::view(tr);
     auto gate = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([gate] { gate->block(); });
+    occupyWorker(session, gate);
 
     auto stale = session.submit(IntervalStatsQuery{TimeInterval{0, 60}});
     std::uint64_t old_generation = stale.generation();
@@ -300,7 +309,7 @@ TEST(SessionAsync, SingleTaskQueriesCancelInstantlyWhileQueued)
     trace::Trace tr = denseTrace();
     Session session = Session::view(tr);
     auto gate = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([gate] { gate->block(); });
+    occupyWorker(session, gate);
 
     // Tracked single-task queries dequeue on cancel: Cancelled is
     // observable before the worker is even free again.
@@ -308,7 +317,7 @@ TEST(SessionAsync, SingleTaskQueriesCancelInstantlyWhileQueued)
     ticket.cancel();
     EXPECT_EQ(ticket.status(), QueryStatus::Cancelled);
     gate->release();
-    session.queryEngine()->pool().wait();
+    session.queryEngine()->drain();
     EXPECT_EQ(session.cacheStats().taskList.builds, 0u);
 }
 
@@ -317,7 +326,7 @@ TEST(SessionAsync, ViewBumpDoesNotCancelFilterKeyedQueries)
     trace::Trace tr = denseTrace();
     Session session = Session::view(tr);
     auto gate = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([gate] { gate->block(); });
+    occupyWorker(session, gate);
 
     // Task list and histogram are view-independent: panning must not
     // cancel them...
@@ -331,9 +340,7 @@ TEST(SessionAsync, ViewBumpDoesNotCancelFilterKeyedQueries)
 
     // ...but a filter change does cancel them.
     auto filter_gate = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([filter_gate] {
-        filter_gate->block();
-    });
+    occupyWorker(session, filter_gate);
     auto stale = session.submit(HistogramQuery{8});
     filter::FilterSet none_pass;
     none_pass.add(std::make_shared<filter::DurationFilter>(0, 1));
@@ -348,7 +355,7 @@ TEST(SessionAsync, TraceSwapDoesNotLetStaleExecutorsPoisonCaches)
     trace::Trace after = denseTrace(4, 2, 300, 3);
     Session session = Session::view(before);
     auto gate = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([gate] { gate->block(); });
+    occupyWorker(session, gate);
 
     // A generation-immune warm-up of the old trace is in flight when
     // the trace is swapped: it must complete against the *old* trace's
@@ -383,7 +390,7 @@ TEST(SessionAsync, WarmupTicketSurvivesGenerationBumps)
     trace::Trace tr = denseTrace(4, 2, 400);
     Session session = Session::view(tr);
     auto gate = std::make_shared<Gate>();
-    session.queryEngine()->pool().submit([gate] { gate->block(); });
+    occupyWorker(session, gate);
 
     auto warmup = session.submit(WarmupQuery{});
     session.setView({0, 150}); // Bumps the generation...
@@ -397,9 +404,7 @@ TEST(SessionAsync, WarmupTicketSurvivesGenerationBumps)
     // An explicit cancel is still honoured while queued.
     Session other = Session::view(tr);
     auto other_gate = std::make_shared<Gate>();
-    other.queryEngine()->pool().submit([other_gate] {
-        other_gate->block();
-    });
+    occupyWorker(other, other_gate);
     auto cancelled = other.submit(WarmupQuery{});
     cancelled.cancel();
     other_gate->release();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/buffer.h"
+#include "base/thread_pool.h"
 #include "session/session.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
@@ -437,8 +438,10 @@ TEST(TraceLoadQuery, QueuedLoadCancelsBeforeRunning)
     session.setConcurrency({1});
     // Occupy the single engine worker so the load stays queued.
     std::atomic<bool> release{false};
-    session.queryEngine()->pool().submit([&] {
-        while (!release.load(std::memory_order_acquire)) {}
+    session.queryEngine()->withPool([&](base::ThreadPool &pool) {
+        pool.submit([&] {
+            while (!release.load(std::memory_order_acquire)) {}
+        });
     });
     auto bytes = std::make_shared<const std::vector<std::uint8_t>>(
         smallTraceBytes(Encoding::Raw));
