@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Inspecting a trace over the daemon protocol instead of in process.
+ *
+ * The session layer's remote form: a daemon::Server owns the trace and
+ * the one shared QueryEngine, and every UI (here: two clients — an
+ * interactive inspector and a background prefetcher) speaks the
+ * length-prefixed wire protocol of daemon/protocol.h. Results are
+ * bit-identical to local Session calls; what changes is *where* the
+ * work runs and who shares its caches.
+ *
+ * Run with no arguments for the self-contained demo (simulates a
+ * seidel execution, serves it in process), or point it at a running
+ * daemon:
+ *
+ *     aftermathd --socket /tmp/aftermath.sock &
+ *     remote_inspector /tmp/aftermath.sock /path/to/trace
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aftermath.h"
+
+using namespace aftermath;
+
+namespace {
+
+/** A modest seidel run — enough structure to be worth inspecting. */
+trace::Trace
+simulate()
+{
+    workloads::SeidelParams params;
+    params.blocksX = 24;
+    params.blocksY = 24;
+    params.blockDim = 64;
+    params.iterations = 8;
+    params.numNodes =
+        machine::MachineSpec::opteron64().topology.numNodes();
+
+    runtime::RuntimeConfig config;
+    config.machine = machine::MachineSpec::opteron64();
+    config.seed = 11;
+    runtime::RunResult result =
+        runtime::RuntimeSystem(config).run(workloads::buildSeidel(params));
+    if (!result.ok)
+        fatal("simulation failed: %s", result.error.c_str());
+    return std::move(result.trace);
+}
+
+void
+inspect(daemon::Client &client, std::uint64_t trace_id,
+        const TimeInterval &span)
+{
+    // Pipeline a batch of interval queries and collect out of order —
+    // the wire protocol is asynchronous, the blocking API is sugar.
+    const TimeStamp quarter = span.end / 4;
+    std::vector<daemon::Future<stats::IntervalStats>> futures;
+    for (int q = 0; q < 4; q++) {
+        daemon::IntervalStatsRequest request;
+        request.head.traceId = trace_id;
+        request.head.priority = daemon::WirePriority::Interactive;
+        request.interval =
+            TimeInterval{q * quarter, (q + 1) * quarter};
+        futures.push_back(client.asyncIntervalStats(request));
+    }
+    for (int q = 3; q >= 0; q--) {
+        daemon::Reply<stats::IntervalStats> reply = futures[q].get();
+        if (!reply.ok())
+            fatal("interval stats failed: %s", reply.message.c_str());
+        std::printf("  quarter %d: %llu tasks started\n", q,
+                    static_cast<unsigned long long>(
+                        reply.value.tasksStarted));
+    }
+
+    daemon::HistogramRequest histo;
+    histo.head.traceId = trace_id;
+    histo.numBins = 12;
+    daemon::Reply<stats::Histogram> h = client.histogram(histo);
+    if (!h.ok())
+        fatal("histogram failed: %s", h.message.c_str());
+    std::printf("  task durations: %llu tasks across %u bins\n",
+                static_cast<unsigned long long>(h.value.total()),
+                h.value.numBins());
+
+    daemon::TimelineRenderRequest frame;
+    frame.head.traceId = trace_id;
+    frame.mode = static_cast<std::uint8_t>(render::TimelineMode::State);
+    frame.view = span;
+    frame.width = 320;
+    frame.height = 180;
+    daemon::Reply<daemon::RenderReply> rendered =
+        client.timelineRender(frame);
+    if (!rendered.ok())
+        fatal("render failed: %s", rendered.message.c_str());
+    std::printf("  rendered %ux%u state timeline: %llu rect ops\n",
+                rendered.value.fb.width(), rendered.value.fb.height(),
+                static_cast<unsigned long long>(
+                    rendered.value.stats.rectOps));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    daemon::Server server(daemon::Server::Options{0, 16});
+    daemon::OpenTraceRequest open;
+    std::string socket_path;
+
+    if (argc == 3) {
+        // Remote mode: aftermathd is already serving somewhere.
+        socket_path = argv[1];
+        open.path = argv[2];
+    } else {
+        // Self-contained: simulate, then serve the bytes in process.
+        std::printf("== Simulating a seidel execution to inspect\n");
+        open.bytes =
+            std::make_shared<const std::vector<std::uint8_t>>(
+                trace::writeTrace(simulate(), trace::Encoding::Compact));
+        std::printf("   %zu bytes of trace on the wire\n",
+                    open.bytes->size());
+    }
+
+    auto connect = [&](daemon::Client &client) {
+        std::string error;
+        bool ok = socket_path.empty()
+                      ? client.adopt(server.connectInProcess(), error)
+                      : client.connectUnix(socket_path, error);
+        if (!ok)
+            fatal("connect failed: %s", error.c_str());
+    };
+
+    // Client one prefetches at Background priority: the warm-up storm
+    // populates the *shared* per-trace caches without ever delaying a
+    // just-submitted interactive query.
+    std::printf("== Prefetching through a background client\n");
+    daemon::Client prefetcher;
+    connect(prefetcher);
+    daemon::Reply<daemon::OpenTraceReply> opened =
+        prefetcher.openTrace(open);
+    if (!opened.ok())
+        fatal("open failed: %s", opened.message.c_str());
+    std::printf("   trace open: %u cpus, span [%llu, %llu)\n",
+                opened.value.numCpus,
+                static_cast<unsigned long long>(opened.value.span.start),
+                static_cast<unsigned long long>(opened.value.span.end));
+    daemon::WarmupRequest warm;
+    warm.head.traceId = opened.value.traceId;
+    warm.head.priority = daemon::WirePriority::Background;
+    daemon::Future<session::WarmupStats> warming =
+        prefetcher.asyncWarmup(warm);
+
+    // Client two inspects interactively; with a path-keyed open both
+    // clients would share one trace and its caches (inline-bytes opens
+    // stay private to their client).
+    std::printf("== Inspecting through an interactive client\n");
+    daemon::Client inspector;
+    connect(inspector);
+    daemon::Reply<daemon::OpenTraceReply> view = inspector.openTrace(open);
+    if (!view.ok())
+        fatal("open failed: %s", view.message.c_str());
+    inspect(inspector, view.value.traceId, view.value.span);
+
+    daemon::Reply<session::WarmupStats> warmed = warming.get();
+    if (warmed.ok())
+        std::printf("== Background warm-up built %llu indexes meanwhile\n",
+                    static_cast<unsigned long long>(
+                        warmed.value.indexesBuilt));
+
+    if (socket_path.empty()) {
+        server.stop();
+        daemon::Server::Stats stats = server.stats();
+        std::printf("== Served %llu requests over %llu connections\n",
+                    static_cast<unsigned long long>(stats.requests),
+                    static_cast<unsigned long long>(
+                        stats.connectionsAccepted));
+    }
+    return 0;
+}

@@ -110,6 +110,12 @@
 #include "render/render_stats.h"
 #include "render/timeline_renderer.h"
 
+// Trace serving (aftermathd and its client).
+#include "daemon/client.h"
+#include "daemon/protocol.h"
+#include "daemon/server.h"
+#include "daemon/wire.h"
+
 // Symbols and annotations.
 #include "symbols/annotations.h"
 #include "symbols/symbol_table.h"

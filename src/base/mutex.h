@@ -28,11 +28,30 @@
  * same mutex) aborts too. Unranked mutexes (the default constructor)
  * are exempt — use a rank for any mutex that can nest with another.
  *
+ *   kDaemonServer (40)      daemon::Server::mutex_ — connection list +
+ *                           shared-trace registry; held while opening a
+ *                           trace entry, before any connection or
+ *                           session lock.
+ *   kDaemonConnection (50)  one daemon connection's state: in-flight
+ *                           request map + response send queue. Held by
+ *                           request handlers across submit() (every
+ *                           session/engine lock ranks higher) and by
+ *                           completion callbacks enqueueing responses.
+ *   kDaemonClient (60)      daemon::Client::mutex_ — pending-reply map
+ *                           of the client library (never nests with
+ *                           server-side locks in one thread; ranked for
+ *                           in-process loopback tests).
  *   kQueryEngine (100)      session::QueryEngine::poolMutex_ — the
- *                           outermost lock: held across pool restart +
- *                           enqueue (withPool) and by the idle reaper.
- *   kSessionMemo (200)      session::SessionMemo::mutex — memoized
- *                           query state shared with executors.
+ *                           outermost lock of the query plane: held
+ *                           across pool restart + enqueue (withPool)
+ *                           and by the idle reaper.
+ *   kStatsMemo (190)        session::StatsMemo::mutex — the
+ *                           filter-independent memo (interval stats,
+ *                           warmed pairs) shared across every client
+ *                           viewing one trace.
+ *   kSessionMemo (200)      session::SessionMemo::mutex — per-client
+ *                           filter-keyed memo state shared with
+ *                           executors.
  *   kCounterIndexShard (300) one CounterIndexCache shard; shards never
  *                           nest with each other.
  *   kRendererPool (310)     session::RendererPool::mutex_.
@@ -70,7 +89,11 @@ namespace lockrank {
 /** Unranked: exempt from order checking (leaf locks that never nest). */
 inline constexpr int kNone = -1;
 
+inline constexpr int kDaemonServer = 40;
+inline constexpr int kDaemonConnection = 50;
+inline constexpr int kDaemonClient = 60;
 inline constexpr int kQueryEngine = 100;
+inline constexpr int kStatsMemo = 190;
 inline constexpr int kSessionMemo = 200;
 inline constexpr int kCounterIndexShard = 300;
 inline constexpr int kRendererPool = 310;

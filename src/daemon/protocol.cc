@@ -1,0 +1,620 @@
+#include "daemon/protocol.h"
+
+#include <unordered_set>
+
+namespace aftermath {
+namespace daemon {
+
+namespace {
+
+/** Bound a decoded element count by the bytes actually present. */
+bool
+plausibleCount(ByteReader &r, std::uint64_t count,
+               std::size_t min_bytes_per_element)
+{
+    if (!r.ok())
+        return false;
+    if (count > r.remaining() / min_bytes_per_element) {
+        r.markFailed();
+        return false;
+    }
+    return true;
+}
+
+/** Optional interval: u8 presence flag, then the two edges if set. */
+void
+writeOptionalInterval(const std::optional<TimeInterval> &interval,
+                      ByteWriter &w)
+{
+    w.writeU8(interval ? 1 : 0);
+    if (interval) {
+        w.writeU64(interval->start);
+        w.writeU64(interval->end);
+    }
+}
+
+bool
+readOptionalInterval(ByteReader &r, std::optional<TimeInterval> &out)
+{
+    std::uint8_t present = r.readU8();
+    if (present > 1) {
+        r.markFailed();
+        return false;
+    }
+    if (present) {
+        TimeInterval interval;
+        interval.start = r.readU64();
+        interval.end = r.readU64();
+        out = interval;
+    } else {
+        out = std::nullopt;
+    }
+    return r.ok();
+}
+
+void
+writeHead(const QueryHead &head, ByteWriter &w)
+{
+    w.writeVarint(head.traceId);
+    w.writeU8(static_cast<std::uint8_t>(head.priority));
+}
+
+bool
+readHead(ByteReader &r, QueryHead &out)
+{
+    out.traceId = r.readVarint();
+    std::uint8_t priority = r.readU8();
+    if (priority > static_cast<std::uint8_t>(WirePriority::Background)) {
+        r.markFailed();
+        return false;
+    }
+    out.priority = static_cast<WirePriority>(priority);
+    return r.ok();
+}
+
+} // namespace
+
+session::QueryPriority
+effectivePriority(WirePriority p, session::QueryPriority fallback)
+{
+    switch (p) {
+    case WirePriority::Interactive:
+        return session::QueryPriority::Interactive;
+    case WirePriority::Background:
+        return session::QueryPriority::Background;
+    case WirePriority::Default:
+        break;
+    }
+    return fallback;
+}
+
+// -- Handshake -----------------------------------------------------------
+
+void
+encodeHandshake(const Handshake &h, ByteWriter &w)
+{
+    w.writeU32(h.magic);
+    w.writeU32(h.version);
+    w.writeU32(h.inflightCap);
+}
+
+bool
+decodeHandshake(ByteReader &r, Handshake &out)
+{
+    out.magic = r.readU32();
+    out.version = r.readU32();
+    out.inflightCap = r.readU32();
+    return r.ok();
+}
+
+// -- OpenTrace / CloseTrace ----------------------------------------------
+
+void
+encodeOpenTrace(const OpenTraceRequest &q, ByteWriter &w)
+{
+    if (q.bytes) {
+        w.writeU8(1);
+        w.writeVarint(q.bytes->size());
+        w.writeBytes(q.bytes->data(), q.bytes->size());
+    } else {
+        w.writeU8(0);
+        w.writeString(q.path);
+    }
+}
+
+bool
+decodeOpenTrace(ByteReader &r, OpenTraceRequest &out)
+{
+    out = OpenTraceRequest();
+    std::uint8_t source = r.readU8();
+    if (!r.ok() || source > 1) {
+        r.markFailed();
+        return false;
+    }
+    if (source == 0) {
+        out.path = r.readString();
+        return r.ok();
+    }
+    std::uint64_t size = r.readVarint();
+    if (!plausibleCount(r, size, 1))
+        return false;
+    auto bytes = std::make_shared<std::vector<std::uint8_t>>(size);
+    if (size > 0)
+        r.readBytes(bytes->data(), size);
+    if (!r.ok())
+        return false;
+    out.bytes = std::move(bytes);
+    return true;
+}
+
+void
+encodeOpenTraceReply(const OpenTraceReply &reply, ByteWriter &w)
+{
+    w.writeVarint(reply.traceId);
+    w.writeVarint(reply.numCpus);
+    w.writeU64(reply.span.start);
+    w.writeU64(reply.span.end);
+}
+
+bool
+decodeOpenTraceReply(ByteReader &r, OpenTraceReply &out)
+{
+    out.traceId = r.readVarint();
+    out.numCpus = static_cast<std::uint32_t>(r.readVarint());
+    out.span.start = r.readU64();
+    out.span.end = r.readU64();
+    return r.ok();
+}
+
+// -- Filters --------------------------------------------------------------
+
+void
+encodeFilters(const std::vector<FilterSpec> &specs, ByteWriter &w)
+{
+    w.writeVarint(specs.size());
+    for (const FilterSpec &spec : specs) {
+        w.writeU8(static_cast<std::uint8_t>(spec.kind));
+        switch (spec.kind) {
+        case FilterSpec::Kind::TaskType:
+        case FilterSpec::Kind::Cpu:
+            w.writeVarint(spec.ids.size());
+            for (std::uint64_t id : spec.ids)
+                w.writeVarint(id);
+            break;
+        case FilterSpec::Kind::Duration:
+            w.writeVarint(spec.min);
+            w.writeVarint(spec.max);
+            break;
+        case FilterSpec::Kind::Interval:
+            w.writeU64(spec.interval.start);
+            w.writeU64(spec.interval.end);
+            break;
+        case FilterSpec::Kind::NumaTarget:
+            w.writeVarint(spec.node);
+            w.writeU8(spec.writes ? 1 : 0);
+            break;
+        }
+    }
+}
+
+bool
+decodeFilters(ByteReader &r, std::vector<FilterSpec> &out)
+{
+    out.clear();
+    std::uint64_t count = r.readVarint();
+    if (!plausibleCount(r, count, 1))
+        return false;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        FilterSpec spec;
+        std::uint8_t kind = r.readU8();
+        if (!r.ok() ||
+            kind > static_cast<std::uint8_t>(FilterSpec::Kind::NumaTarget)) {
+            r.markFailed();
+            return false;
+        }
+        spec.kind = static_cast<FilterSpec::Kind>(kind);
+        switch (spec.kind) {
+        case FilterSpec::Kind::TaskType:
+        case FilterSpec::Kind::Cpu: {
+            std::uint64_t ids = r.readVarint();
+            if (!plausibleCount(r, ids, 1))
+                return false;
+            spec.ids.reserve(ids);
+            for (std::uint64_t j = 0; j < ids; j++)
+                spec.ids.push_back(r.readVarint());
+            break;
+        }
+        case FilterSpec::Kind::Duration:
+            spec.min = r.readVarint();
+            spec.max = r.readVarint();
+            break;
+        case FilterSpec::Kind::Interval:
+            spec.interval.start = r.readU64();
+            spec.interval.end = r.readU64();
+            break;
+        case FilterSpec::Kind::NumaTarget:
+            spec.node = static_cast<NodeId>(r.readVarint());
+            std::uint8_t writes = r.readU8();
+            if (writes > 1) {
+                r.markFailed();
+                return false;
+            }
+            spec.writes = writes == 1;
+            break;
+        }
+        if (!r.ok())
+            return false;
+        out.push_back(std::move(spec));
+    }
+    return r.ok();
+}
+
+filter::FilterSet
+materializeFilters(const std::vector<FilterSpec> &specs)
+{
+    filter::FilterSet set;
+    for (const FilterSpec &spec : specs) {
+        switch (spec.kind) {
+        case FilterSpec::Kind::TaskType: {
+            std::unordered_set<TaskTypeId> types(spec.ids.begin(),
+                                                 spec.ids.end());
+            set.add(std::make_shared<filter::TaskTypeFilter>(
+                std::move(types)));
+            break;
+        }
+        case FilterSpec::Kind::Duration:
+            set.add(std::make_shared<filter::DurationFilter>(spec.min,
+                                                             spec.max));
+            break;
+        case FilterSpec::Kind::Cpu: {
+            std::unordered_set<CpuId> cpus;
+            for (std::uint64_t id : spec.ids)
+                cpus.insert(static_cast<CpuId>(id));
+            set.add(std::make_shared<filter::CpuFilter>(std::move(cpus)));
+            break;
+        }
+        case FilterSpec::Kind::Interval:
+            set.add(
+                std::make_shared<filter::IntervalFilter>(spec.interval));
+            break;
+        case FilterSpec::Kind::NumaTarget:
+            set.add(std::make_shared<filter::NumaTargetFilter>(
+                spec.node, spec.writes));
+            break;
+        }
+    }
+    return set;
+}
+
+// -- Query requests -------------------------------------------------------
+
+void
+encodeIntervalStatsRequest(const IntervalStatsRequest &q, ByteWriter &w)
+{
+    writeHead(q.head, w);
+    writeOptionalInterval(q.interval, w);
+}
+
+bool
+decodeIntervalStatsRequest(ByteReader &r, IntervalStatsRequest &out)
+{
+    return readHead(r, out.head) && readOptionalInterval(r, out.interval);
+}
+
+void
+encodeHistogramRequest(const HistogramRequest &q, ByteWriter &w)
+{
+    writeHead(q.head, w);
+    w.writeVarint(q.numBins);
+}
+
+bool
+decodeHistogramRequest(ByteReader &r, HistogramRequest &out)
+{
+    if (!readHead(r, out.head))
+        return false;
+    std::uint64_t bins = r.readVarint();
+    // One count per bin comes back over the same transport: a bin
+    // count that cannot fit a reply frame is semantically garbage.
+    if (!r.ok() || bins == 0 || bins > kMaxFrameBytes) {
+        r.markFailed();
+        return false;
+    }
+    out.numBins = static_cast<std::uint32_t>(bins);
+    return true;
+}
+
+void
+encodeTaskListRequest(const TaskListRequest &q, ByteWriter &w)
+{
+    writeHead(q.head, w);
+}
+
+bool
+decodeTaskListRequest(ByteReader &r, TaskListRequest &out)
+{
+    return readHead(r, out.head);
+}
+
+void
+encodeCounterExtremaRequest(const CounterExtremaRequest &q, ByteWriter &w)
+{
+    writeHead(q.head, w);
+    w.writeVarint(q.cpu);
+    w.writeVarint(q.counter);
+    writeOptionalInterval(q.interval, w);
+}
+
+bool
+decodeCounterExtremaRequest(ByteReader &r, CounterExtremaRequest &out)
+{
+    if (!readHead(r, out.head))
+        return false;
+    out.cpu = static_cast<CpuId>(r.readVarint());
+    out.counter = static_cast<CounterId>(r.readVarint());
+    return readOptionalInterval(r, out.interval);
+}
+
+void
+encodeWarmupRequest(const WarmupRequest &q, ByteWriter &w)
+{
+    writeHead(q.head, w);
+    w.writeU8(q.policy.counterIndexes ? 1 : 0);
+    w.writeU8(q.policy.intervalStats ? 1 : 0);
+    w.writeU8(q.policy.taskList ? 1 : 0);
+    w.writeVarint(q.policy.counters.size());
+    for (CounterId counter : q.policy.counters)
+        w.writeVarint(counter);
+}
+
+bool
+decodeWarmupRequest(ByteReader &r, WarmupRequest &out)
+{
+    if (!readHead(r, out.head))
+        return false;
+    std::uint8_t flags[3];
+    for (std::uint8_t &flag : flags) {
+        flag = r.readU8();
+        if (flag > 1) {
+            r.markFailed();
+            return false;
+        }
+    }
+    out.policy.counterIndexes = flags[0] == 1;
+    out.policy.intervalStats = flags[1] == 1;
+    out.policy.taskList = flags[2] == 1;
+    std::uint64_t counters = r.readVarint();
+    if (!plausibleCount(r, counters, 1))
+        return false;
+    out.policy.counters.clear();
+    out.policy.counters.reserve(counters);
+    for (std::uint64_t i = 0; i < counters; i++)
+        out.policy.counters.push_back(
+            static_cast<CounterId>(r.readVarint()));
+    return r.ok();
+}
+
+void
+encodeTimelineRenderRequest(const TimelineRenderRequest &q, ByteWriter &w)
+{
+    writeHead(q.head, w);
+    w.writeU8(q.mode);
+    w.writeU64(q.view.start);
+    w.writeU64(q.view.end);
+    w.writeU64(q.heatmapMin);
+    w.writeU64(q.heatmapMax);
+    w.writeVarint(q.heatmapShades);
+    w.writeU32(q.width);
+    w.writeU32(q.height);
+}
+
+bool
+decodeTimelineRenderRequest(ByteReader &r, TimelineRenderRequest &out)
+{
+    if (!readHead(r, out.head))
+        return false;
+    out.mode = r.readU8();
+    if (!r.ok() ||
+        out.mode > static_cast<std::uint8_t>(
+                       render::TimelineMode::NumaHeatmap)) {
+        r.markFailed();
+        return false;
+    }
+    out.view.start = r.readU64();
+    out.view.end = r.readU64();
+    out.heatmapMin = r.readU64();
+    out.heatmapMax = r.readU64();
+    out.heatmapShades = static_cast<std::uint32_t>(r.readVarint());
+    out.width = r.readU32();
+    out.height = r.readU32();
+    if (!r.ok())
+        return false;
+    // Four bytes per pixel must fit one response frame.
+    std::uint64_t pixels =
+        static_cast<std::uint64_t>(out.width) * out.height;
+    if (out.width == 0 || out.height == 0 ||
+        pixels > kMaxFrameBytes / 4) {
+        r.markFailed();
+        return false;
+    }
+    return true;
+}
+
+// -- Query replies --------------------------------------------------------
+
+void
+encodeTaskRows(const std::vector<TaskRow> &rows, ByteWriter &w)
+{
+    w.writeVarint(rows.size());
+    for (const TaskRow &row : rows) {
+        w.writeVarint(row.id);
+        w.writeVarint(row.type);
+        w.writeVarint(row.cpu);
+        w.writeU64(row.interval.start);
+        w.writeU64(row.interval.end);
+    }
+}
+
+bool
+decodeTaskRows(ByteReader &r, std::vector<TaskRow> &out)
+{
+    out.clear();
+    std::uint64_t count = r.readVarint();
+    if (!plausibleCount(r, count, 19))
+        return false;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        TaskRow row;
+        row.id = r.readVarint();
+        row.type = r.readVarint();
+        row.cpu = static_cast<CpuId>(r.readVarint());
+        row.interval.start = r.readU64();
+        row.interval.end = r.readU64();
+        if (!r.ok())
+            return false;
+        out.push_back(row);
+    }
+    return r.ok();
+}
+
+void
+encodeWarmupStats(const session::WarmupStats &s, ByteWriter &w)
+{
+    w.writeVarint(s.indexesVisited);
+    w.writeVarint(s.indexesBuilt);
+    w.writeVarint(s.indexesSkipped);
+    w.writeVarint(s.workers);
+}
+
+bool
+decodeWarmupStats(ByteReader &r, session::WarmupStats &out)
+{
+    out.indexesVisited = r.readVarint();
+    out.indexesBuilt = r.readVarint();
+    out.indexesSkipped = r.readVarint();
+    out.workers = static_cast<unsigned>(r.readVarint());
+    return r.ok();
+}
+
+void
+encodeRenderReply(const RenderReply &reply, ByteWriter &w)
+{
+    const render::Framebuffer &fb = reply.fb;
+    w.writeU32(fb.width());
+    w.writeU32(fb.height());
+    // RGBA runs in row-major order, spanning row boundaries. Timeline
+    // frames aggregate equal adjacent pixels, so runs are long.
+    std::uint64_t total =
+        static_cast<std::uint64_t>(fb.width()) * fb.height();
+    std::uint64_t i = 0;
+    while (i < total) {
+        render::Rgba color =
+            fb.pixel(static_cast<std::int64_t>(i % fb.width()),
+                     static_cast<std::int64_t>(i / fb.width()));
+        std::uint64_t run = 1;
+        while (i + run < total &&
+               fb.pixel(
+                   static_cast<std::int64_t>((i + run) % fb.width()),
+                   static_cast<std::int64_t>((i + run) / fb.width())) ==
+                   color)
+            run++;
+        w.writeVarint(run);
+        w.writeU8(color.r);
+        w.writeU8(color.g);
+        w.writeU8(color.b);
+        w.writeU8(color.a);
+        i += run;
+    }
+    w.writeVarint(reply.stats.rectOps);
+    w.writeVarint(reply.stats.lineOps);
+    w.writeVarint(reply.stats.eventsVisited);
+}
+
+bool
+decodeRenderReply(ByteReader &r, RenderReply &out)
+{
+    std::uint32_t width = r.readU32();
+    std::uint32_t height = r.readU32();
+    if (!r.ok())
+        return false;
+    std::uint64_t total = static_cast<std::uint64_t>(width) * height;
+    if (width == 0 || height == 0 || total > kMaxFrameBytes / 4) {
+        r.markFailed();
+        return false;
+    }
+    out.fb = render::Framebuffer(width, height);
+    std::uint64_t i = 0;
+    while (i < total) {
+        std::uint64_t run = r.readVarint();
+        render::Rgba color;
+        color.r = r.readU8();
+        color.g = r.readU8();
+        color.b = r.readU8();
+        color.a = r.readU8();
+        if (!r.ok())
+            return false;
+        if (run == 0 || run > total - i) {
+            r.markFailed();
+            return false;
+        }
+        for (std::uint64_t p = i; p < i + run; p++)
+            out.fb.setPixel(static_cast<std::int64_t>(p % width),
+                            static_cast<std::int64_t>(p / width), color);
+        i += run;
+    }
+    out.stats.rectOps = r.readVarint();
+    out.stats.lineOps = r.readVarint();
+    out.stats.eventsVisited = r.readVarint();
+    return r.ok();
+}
+
+// -- Response envelope ----------------------------------------------------
+
+void
+encodeFailure(Status status, std::uint64_t offset,
+              const std::string &message, ByteWriter &w)
+{
+    w.writeU8(static_cast<std::uint8_t>(status));
+    switch (status) {
+    case Status::Error:
+        w.writeVarint(offset);
+        w.writeString(message);
+        break;
+    case Status::Rejected:
+        w.writeString(message);
+        break;
+    case Status::Ok:
+    case Status::Cancelled:
+        break;
+    }
+}
+
+bool
+decodeResponseHead(ByteReader &r, ResponseHead &out)
+{
+    out = ResponseHead();
+    std::uint8_t status = r.readU8();
+    if (!r.ok() ||
+        status > static_cast<std::uint8_t>(Status::Rejected)) {
+        r.markFailed();
+        return false;
+    }
+    out.status = static_cast<Status>(status);
+    switch (out.status) {
+    case Status::Error:
+        out.errorOffset = r.readVarint();
+        out.message = r.readString();
+        break;
+    case Status::Rejected:
+        out.message = r.readString();
+        break;
+    case Status::Ok:
+    case Status::Cancelled:
+        break;
+    }
+    return r.ok();
+}
+
+} // namespace daemon
+} // namespace aftermath

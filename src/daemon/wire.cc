@@ -1,0 +1,219 @@
+#include "daemon/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace aftermath {
+namespace daemon {
+
+namespace {
+
+/** read(2) exactly @p size bytes; 1 = ok, 0 = clean EOF at offset 0,
+ *  -1 = error or mid-buffer EOF. */
+int
+readAll(int fd, std::uint8_t *out, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        ssize_t n = ::read(fd, out + done, size - done);
+        if (n == 0)
+            return done == 0 ? 0 : -1;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return 1;
+}
+
+bool
+writeAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-response must
+        // surface as EPIPE to the writer loop, not kill the process.
+        ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+int
+Socket::release()
+{
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+FrameReadStatus
+readFrame(int fd, Frame &out)
+{
+    std::uint8_t lenbuf[4];
+    int rc = readAll(fd, lenbuf, sizeof lenbuf);
+    if (rc == 0)
+        return FrameReadStatus::Eof;
+    if (rc < 0)
+        return FrameReadStatus::IoError;
+
+    std::uint32_t length = static_cast<std::uint32_t>(lenbuf[0]) |
+                           static_cast<std::uint32_t>(lenbuf[1]) << 8 |
+                           static_cast<std::uint32_t>(lenbuf[2]) << 16 |
+                           static_cast<std::uint32_t>(lenbuf[3]) << 24;
+    if (length > kMaxFrameBytes)
+        return FrameReadStatus::TooLarge;
+    if (length < kFrameHeaderBytes)
+        return FrameReadStatus::Truncated;
+
+    std::vector<std::uint8_t> payload(length);
+    rc = readAll(fd, payload.data(), payload.size());
+    if (rc <= 0)
+        return FrameReadStatus::Truncated;
+
+    std::uint8_t type = payload[0];
+    if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
+        type > static_cast<std::uint8_t>(MsgType::Response))
+        return FrameReadStatus::Truncated;
+    out.type = static_cast<MsgType>(type);
+    out.requestId = 0;
+    for (int i = 0; i < 8; i++)
+        out.requestId |= static_cast<std::uint64_t>(payload[1 + i])
+                         << (8 * i);
+    out.body.assign(payload.begin() + kFrameHeaderBytes, payload.end());
+    return FrameReadStatus::Ok;
+}
+
+bool
+writeFrame(int fd, MsgType type, std::uint64_t request_id,
+           const std::vector<std::uint8_t> &body)
+{
+    if (body.size() > kMaxFrameBytes - kFrameHeaderBytes)
+        return false;
+    std::uint32_t length =
+        static_cast<std::uint32_t>(kFrameHeaderBytes + body.size());
+    std::vector<std::uint8_t> head(4 + kFrameHeaderBytes);
+    head[0] = static_cast<std::uint8_t>(length);
+    head[1] = static_cast<std::uint8_t>(length >> 8);
+    head[2] = static_cast<std::uint8_t>(length >> 16);
+    head[3] = static_cast<std::uint8_t>(length >> 24);
+    head[4] = static_cast<std::uint8_t>(type);
+    for (int i = 0; i < 8; i++)
+        head[5 + i] = static_cast<std::uint8_t>(request_id >> (8 * i));
+    if (!writeAll(fd, head.data(), head.size()))
+        return false;
+    return body.empty() || writeAll(fd, body.data(), body.size());
+}
+
+Socket
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        error = "socket path too long: " + path;
+        return Socket();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return Socket();
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        error = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return Socket();
+    }
+    return Socket(fd);
+}
+
+Socket
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        error = "socket path too long: " + path;
+        return Socket();
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return Socket();
+    }
+    ::unlink(path.c_str()); // Stale socket file from a previous run.
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) < 0) {
+        error = "bind " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return Socket();
+    }
+    if (::listen(fd, 64) < 0) {
+        error = "listen " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return Socket();
+    }
+    return Socket(fd);
+}
+
+Socket
+acceptConnection(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        return Socket();
+    }
+}
+
+bool
+socketPair(Socket &a, Socket &b, std::string &error)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+        error = std::string("socketpair: ") + std::strerror(errno);
+        return false;
+    }
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+    return true;
+}
+
+} // namespace daemon
+} // namespace aftermath

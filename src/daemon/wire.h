@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Transport under the daemon protocol: a minimal owned-socket type and
+ * the length-prefixed frame I/O both endpoints share.
+ *
+ * The daemon listens on a Unix-domain stream socket today; everything
+ * above this file sees only connected stream file descriptors, so a
+ * TCP listener is a drop-in addition (one more accept path in
+ * daemon/server.cc) with no protocol change. Frame I/O loops over
+ * partial reads/writes and retries EINTR, so callers observe whole
+ * frames or a terminal error — never a torn one.
+ */
+
+#ifndef AFTERMATH_DAEMON_WIRE_H
+#define AFTERMATH_DAEMON_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.h"
+
+namespace aftermath {
+namespace daemon {
+
+/** Owning wrapper of one socket fd (move-only, closes on destruction). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Close the fd now (idempotent). */
+    void close();
+
+    /**
+     * shutdown(2) both directions without closing the fd: a blocked
+     * reader on another thread wakes with EOF. The thread-safe way to
+     * interrupt a connection (close() would race fd reuse).
+     */
+    void shutdownBoth();
+
+    /** Release ownership of the fd to the caller. */
+    int release();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Outcome of one readFrame() call. */
+enum class FrameReadStatus
+{
+    Ok,       ///< A whole frame was read.
+    Eof,      ///< Orderly close before any byte of this frame.
+    Truncated,///< Peer closed mid-frame.
+    TooLarge, ///< Length field exceeds kMaxFrameBytes (unframeable).
+    IoError,  ///< read(2) failed.
+};
+
+/** One decoded frame: payload split into its fixed head and the body. */
+struct Frame
+{
+    MsgType type = MsgType::Hello;
+    std::uint64_t requestId = 0;
+    std::vector<std::uint8_t> body;
+};
+
+/**
+ * Read one length-prefixed frame. On TooLarge the stream can no longer
+ * be framed — the connection must close after an error response. A
+ * frame whose payload is shorter than the fixed head, or whose type
+ * byte is not a MsgType, reports Truncated.
+ */
+FrameReadStatus readFrame(int fd, Frame &out);
+
+/**
+ * Write one frame (length prefix, type, request id, @p body). False on
+ * a write error or a body larger than the protocol allows.
+ */
+bool writeFrame(int fd, MsgType type, std::uint64_t request_id,
+                const std::vector<std::uint8_t> &body);
+
+/** Connect to the Unix-domain socket at @p path (blocking). */
+Socket connectUnix(const std::string &path, std::string &error);
+
+/** Bind + listen on @p path, unlinking a stale socket file first. */
+Socket listenUnix(const std::string &path, std::string &error);
+
+/** Accept one connection; invalid socket on error/shutdown. */
+Socket acceptConnection(int listen_fd);
+
+/** A connected AF_UNIX stream pair (in-process client transport). */
+bool socketPair(Socket &a, Socket &b, std::string &error);
+
+} // namespace daemon
+} // namespace aftermath
+
+#endif // AFTERMATH_DAEMON_WIRE_H

@@ -27,8 +27,7 @@ namespace session {
 // -- QueryEngine lifecycle -----------------------------------------------
 
 QueryEngine::QueryEngine(unsigned workers)
-    : generation_(std::make_shared<std::atomic<std::uint64_t>>(0)),
-      filterGeneration_(std::make_shared<std::atomic<std::uint64_t>>(0))
+    : defaultDomain_(std::make_shared<GenerationDomain>())
 {
     setWorkers(workers);
 }
@@ -62,7 +61,7 @@ base::ThreadPool &
 QueryEngine::ensurePoolLocked()
 {
     if (!pool_) {
-        pool_ = std::make_unique<base::ThreadPool>(workers_);
+        pool_ = std::make_shared<base::ThreadPool>(workers_);
         // A parked reaper waits for the pool to exist again.
         reaperCv_.notifyAll();
     }
@@ -79,10 +78,18 @@ QueryEngine::withPool(const std::function<void(base::ThreadPool &)> &body)
 void
 QueryEngine::drain()
 {
-    base::MutexLock lock(poolMutex_);
+    // Copy the handle and wait outside poolMutex_: holding the lock
+    // across a full quiescence wait would turn drain() into a barrier
+    // every concurrent submitter queues behind (and would deadlock
+    // outright if a drained task ever needed the lock to finish).
+    std::shared_ptr<base::ThreadPool> pool;
+    {
+        base::MutexLock lock(poolMutex_);
+        pool = pool_;
+    }
     // A parked pool has nothing queued or running: already drained.
-    if (pool_)
-        pool_->wait();
+    if (pool)
+        pool->wait();
 }
 
 void
@@ -156,23 +163,23 @@ toTaskPriority(QueryPriority priority)
         : base::TaskPriority::Normal;
 }
 
-/** Fresh ticket state snapshotting the engine's generation. */
+/** Fresh ticket state snapshotting the driving domain's generation. */
 template <typename Result>
 std::shared_ptr<detail::TicketState<Result>>
-newTicketState(const QueryEngine &engine)
+newTicketState(const GenerationDomain &domain)
 {
     auto state = std::make_shared<detail::TicketState<Result>>();
-    state->generation = engine.generation();
-    state->live = engine.generationCell();
+    state->generation = domain.generation();
+    state->live = domain.generationCell();
     return state;
 }
 
 /** An already-Done ticket (memo fast path; never touches the pool). */
 template <typename Result>
 QueryTicket<Result>
-completedTicket(const QueryEngine &engine, Result value)
+completedTicket(const GenerationDomain &domain, Result value)
 {
-    auto state = newTicketState<Result>(engine);
+    auto state = newTicketState<Result>(domain);
     state->status = QueryStatus::Done;
     state->result.emplace(std::move(value));
     return QueryTicket<Result>(std::move(state));
@@ -231,7 +238,7 @@ struct StatsJob
 {
     std::shared_ptr<detail::TicketState<stats::IntervalStats>> ticket;
     std::shared_ptr<const trace::Trace> trace;
-    std::shared_ptr<SessionMemo> memo;
+    std::shared_ptr<StatsMemo> memo;
     TimeInterval interval;
     std::size_t cpuChunks = 0;
     std::size_t taskChunks = 0;
@@ -333,6 +340,7 @@ struct WarmupJob
     std::shared_ptr<detail::TicketState<WarmupStats>> ticket;
     std::shared_ptr<const trace::Trace> trace;
     std::shared_ptr<CounterIndexCache> cache;
+    std::shared_ptr<StatsMemo> statsMemo;
     std::shared_ptr<SessionMemo> memo;
     std::shared_ptr<const filter::FilterSet> filters;
     std::vector<std::pair<CpuId, CounterId>> pairs;
@@ -389,8 +397,8 @@ drainWarmup(const std::shared_ptr<WarmupJob> &job)
             merged.mergeFrom(stats::intervalTaskChunk(
                 instances.data(), instances.data() + instances.size(),
                 job->statsInterval));
-            base::MutexLock lock(job->memo->mutex);
-            job->memo->stats.insertOrGet(
+            base::MutexLock lock(job->statsMemo->mutex);
+            job->statsMemo->stats.insertOrGet(
                 std::make_pair(job->statsInterval.start,
                                job->statsInterval.end),
                 std::move(merged));
@@ -417,9 +425,9 @@ drainWarmup(const std::shared_ptr<WarmupJob> &job)
     WarmupStats stats = job->stats;
     stats.indexesBuilt = job->built.load(std::memory_order_relaxed);
     {
-        base::MutexLock lock(job->memo->mutex);
-        job->memo->warmedPairs.insert(job->pairs.begin(),
-                                      job->pairs.end());
+        base::MutexLock lock(job->statsMemo->mutex);
+        job->statsMemo->warmedPairs.insert(job->pairs.begin(),
+                                           job->pairs.end());
     }
     job->ticket->complete(stats);
 }
@@ -433,16 +441,16 @@ Session::submit(const IntervalStatsQuery &query)
 {
     TimeInterval interval = query.interval.value_or(view());
     {
-        base::MutexLock lock(memo_->mutex);
-        if (const stats::IntervalStats *hit = memo_->stats.tryGet(
+        base::MutexLock lock(statsMemo_->mutex);
+        if (const stats::IntervalStats *hit = statsMemo_->stats.tryGet(
                 std::make_pair(interval.start, interval.end)))
-            return completedTicket(*engine_, stats::IntervalStats(*hit));
+            return completedTicket(*domain_, stats::IntervalStats(*hit));
     }
-    auto state = newTicketState<stats::IntervalStats>(*engine_);
+    auto state = newTicketState<stats::IntervalStats>(*domain_);
     auto job = std::make_shared<StatsJob>();
     job->ticket = state;
     job->trace = trace_;
-    job->memo = memo_;
+    job->memo = statsMemo_;
     job->interval = interval;
     job->cpuChunks = trace_->numCpus();
     const std::size_t instances = trace_->taskInstances().size();
@@ -460,12 +468,12 @@ Session::submit(const IntervalStatsQuery &query)
         stats::IntervalStats empty;
         empty.interval = interval;
         {
-            base::MutexLock lock(memo_->mutex);
-            memo_->stats.insertOrGet(
+            base::MutexLock lock(statsMemo_->mutex);
+            statsMemo_->stats.insertOrGet(
                 std::make_pair(interval.start, interval.end),
                 stats::IntervalStats(empty));
         }
-        return completedTicket(*engine_, std::move(empty));
+        return completedTicket(*domain_, std::move(empty));
     }
     job->partials.resize(total);
     job->background = query.priority == QueryPriority::Background;
@@ -490,13 +498,13 @@ Session::submit(const TaskListQuery &query)
         base::MutexLock lock(memo_->mutex);
         generation = memo_->filterGeneration;
         if (const List *hit = memo_->taskList.tryGet(generation))
-            return completedTicket(*engine_, List(*hit));
+            return completedTicket(*domain_, List(*hit));
     }
-    auto state = newTicketState<List>(*engine_);
+    auto state = newTicketState<List>(*domain_);
     // The task list is view-independent: staleness tracks the filter
     // generation, so panning the view never cancels it.
-    state->generation = engine_->filterGeneration();
-    state->live = engine_->filterGenerationCell();
+    state->generation = domain_->filterGeneration();
+    state->live = domain_->filterGenerationCell();
     auto trace = trace_;
     auto memo = memo_;
     auto filters = std::make_shared<const filter::FilterSet>(filters_);
@@ -526,11 +534,11 @@ QueryTicket<stats::Histogram>
 Session::submit(const HistogramQuery &query)
 {
     using List = std::vector<const trace::TaskInstance *>;
-    auto state = newTicketState<stats::Histogram>(*engine_);
+    auto state = newTicketState<stats::Histogram>(*domain_);
     // Like the task list it is built from, the histogram is
     // view-independent: staleness tracks the filter generation only.
-    state->generation = engine_->filterGeneration();
-    state->live = engine_->filterGenerationCell();
+    state->generation = domain_->filterGeneration();
+    state->live = domain_->filterGenerationCell();
     std::uint64_t generation;
     std::shared_ptr<const List> cached;
     {
@@ -591,7 +599,7 @@ Session::submit(const HistogramQuery &query)
 QueryTicket<index::MinMax>
 Session::submit(const CounterExtremaQuery &query)
 {
-    auto state = newTicketState<index::MinMax>(*engine_);
+    auto state = newTicketState<index::MinMax>(*domain_);
     auto cache = counterIndexes_;
     TimeInterval interval = query.interval.value_or(view());
     CpuId cpu = query.cpu;
@@ -619,7 +627,7 @@ Session::submit(const CounterExtremaQuery &query)
 QueryTicket<Session::WarmupStats>
 Session::submit(const WarmupQuery &query)
 {
-    auto state = newTicketState<WarmupStats>(*engine_);
+    auto state = newTicketState<WarmupStats>(*domain_);
     // Warm-up products are view-independent (indexes) or keyed by
     // interval / filter generation, so generation bumps don't invalidate
     // them: warm-up cancels only explicitly.
@@ -628,6 +636,7 @@ Session::submit(const WarmupQuery &query)
     job->ticket = state;
     job->trace = trace_;
     job->cache = counterIndexes_;
+    job->statsMemo = statsMemo_;
     job->memo = memo_;
     job->filters = std::make_shared<const filter::FilterSet>(filters_);
     job->statsInterval = view();
@@ -635,9 +644,11 @@ Session::submit(const WarmupQuery &query)
 
     const WarmupPolicy &policy = query.policy;
     std::size_t skipped = 0;
+    // The two memos lock sequentially (never nested): warmed pairs and
+    // the stats memo live in the shared StatsMemo, the filter
+    // generation and task list in the per-context SessionMemo.
     {
-        base::MutexLock lock(memo_->mutex);
-        job->filterGeneration = memo_->filterGeneration;
+        base::MutexLock lock(statsMemo_->mutex);
         if (policy.counterIndexes) {
             for (CpuId c = 0; c < trace_->numCpus(); c++) {
                 for (CounterId id : trace_->cpu(c).counterIds()) {
@@ -646,7 +657,7 @@ Session::submit(const WarmupQuery &query)
                                   policy.counters.end(),
                                   id) == policy.counters.end())
                         continue;
-                    if (memo_->warmedPairs.count({c, id})) {
+                    if (statsMemo_->warmedPairs.count({c, id})) {
                         skipped++;
                         continue;
                     }
@@ -659,9 +670,13 @@ Session::submit(const WarmupQuery &query)
         // eager revisit did.
         if (policy.intervalStats)
             job->doStats =
-                memo_->stats.tryGet(std::make_pair(
+                statsMemo_->stats.tryGet(std::make_pair(
                     job->statsInterval.start,
                     job->statsInterval.end)) == nullptr;
+    }
+    {
+        base::MutexLock lock(memo_->mutex);
+        job->filterGeneration = memo_->filterGeneration;
         if (policy.taskList)
             job->doTaskList =
                 memo_->taskList.tryGet(job->filterGeneration) == nullptr;
@@ -673,7 +688,7 @@ Session::submit(const WarmupQuery &query)
                               (job->doStats ? 1 : 0) +
                               (job->doTaskList ? 1 : 0);
     if (total == 0)
-        return completedTicket(*engine_, job->stats);
+        return completedTicket(*domain_, job->stats);
     job->background = query.priority == QueryPriority::Background;
     const std::size_t drainers = std::max<std::size_t>(
         1, std::min<std::size_t>(engine_->workers(), total));
@@ -692,7 +707,7 @@ Session::submit(const TraceLoadQuery &query)
 {
     AFTERMATH_ASSERT(query.bytes != nullptr || !query.path.empty(),
                      "trace load query needs a source");
-    auto state = newTicketState<TraceLoadResult>(*engine_);
+    auto state = newTicketState<TraceLoadResult>(*domain_);
     // A load's product is handed back to the driving thread, never
     // published into shared caches, so view/filter/trace mutations
     // cannot make it stale: generation-immune, explicit cancel only.
@@ -748,7 +763,7 @@ Session::submit(const TimelineRenderQuery &query)
 {
     AFTERMATH_ASSERT(query.width > 0 && query.height > 0,
                      "render query needs positive dimensions");
-    auto state = newTicketState<TimelineRenderResult>(*engine_);
+    auto state = newTicketState<TimelineRenderResult>(*domain_);
     auto trace = trace_;
     // Snapshot the session's filters on the heap: the async render must
     // not point into the (mutable) session object.

@@ -6,9 +6,13 @@
  * the query on the QueryEngine's shared base::ThreadPool. A ticket is a
  * future with a status and a cancel: wait()/result() block until the
  * query finished, cancel() requests cooperative abandonment, and every
- * view/filter/trace mutation bumps the engine's generation counter so
+ * view/filter/trace mutation bumps the session's GenerationDomain so
  * stale in-flight queries cancel at the next chunk boundary instead of
- * wasting cores on a view the user already left.
+ * wasting cores on a view the user already left. A domain is the unit
+ * of cancellation: sessions default to their engine's domain (one
+ * driving context, the historical behaviour), while the trace-serving
+ * daemon gives every client its own domain over one shared engine so
+ * client A panning its view never cancels client B's queries.
  *
  * The two-queue contract: every spec carries a QueryPriority, and the
  * engine drains the Interactive queue strictly before the Background
@@ -36,28 +40,43 @@
  *
  * Executors never touch the Session object itself — they capture shared
  * ownership of everything they read (the trace, the sharded index
- * cache, a filter snapshot, the renderer pool, the SessionMemo) so
- * sessions stay movable and destruction is safe with queries in flight
- * (the engine's pool drains before it dies). Completed results publish
- * into the SessionMemo under its mutex, so asynchronous queries warm
- * the same memo the synchronous wrappers serve hits from.
+ * cache, a filter snapshot, the renderer pool, the memos) so sessions
+ * stay movable and destruction is safe with queries in flight (the
+ * engine's pool drains before it dies). Completed results publish into
+ * the memos under their mutexes, so asynchronous queries warm the same
+ * caches the synchronous wrappers serve hits from. Memoized state is
+ * split by invalidation scope: the filter-independent StatsMemo
+ * (interval statistics, warmed index pairs) is shareable across every
+ * client viewing one trace, while the filter-keyed SessionMemo (task
+ * list, filter generation) stays per driving context.
  *
  * ## Lock order
  *
  * The query plane's global lock order (enforced at runtime by the
  * lock-rank checker; registry in base/mutex.h):
  *
- *   QueryEngine::poolMutex_ (kQueryEngine)
- *     -> base::ThreadPool::mutex_ (kThreadPool)
+ *   daemon::Server (kDaemonServer, 40)
+ *     -> daemon connection state (kDaemonConnection, 50)
+ *       -> QueryEngine::poolMutex_ (kQueryEngine, 100)
+ *         -> base::ThreadPool::mutex_ (kThreadPool, 400)
  *
- * is the only real nesting: withPool() holds the teardown lock across
- * pool restart + enqueue, and the idle reaper holds it across
- * idleFor() probes and the final pool_.reset(). Every other mutex in
- * the plane — SessionMemo::mutex (kSessionMemo), the CounterIndexCache
- * shards (kCounterIndexShard), RendererPool (kRendererPool), and the
- * leaf completion states TicketState (kTicketState) / TaskHandle
- * (kTaskState) — is acquired on its own or strictly after the ones
- * above it in rank order, never the other way around.
+ * The engine->pool edge is the only real nesting inside the plane:
+ * withPool() holds the teardown lock across pool restart + enqueue,
+ * and the idle reaper holds it across idleFor() probes and the final
+ * pool_.reset(). The daemon ranks sit below it because a connection's
+ * request handler holds its connection lock while submitting into the
+ * engine; ticket completion callbacks run with *no* lock held (they
+ * fire after TicketState::mutex is released), so a callback may
+ * re-enter the daemon's low-ranked locks to enqueue a response without
+ * inverting the order. Every other mutex in the plane —
+ * StatsMemo::mutex (kStatsMemo, 190), SessionMemo::mutex
+ * (kSessionMemo, 200), the CounterIndexCache shards
+ * (kCounterIndexShard, 300), RendererPool (kRendererPool, 310), and
+ * the leaf completion states TicketState (kTicketState, 500) /
+ * TaskHandle (kTaskState, 510) — is acquired on its own or strictly
+ * after the ones above it in rank order, never the other way around;
+ * the two memo ranks are never held together (executors publish into
+ * one memo at a time).
  */
 
 #ifndef AFTERMATH_SESSION_QUERY_ENGINE_H
@@ -103,13 +122,89 @@ enum class QueryStatus
     Cancelled,
 };
 
+/**
+ * The pair of cancellation counters one driving context bumps on
+ * shared-state mutations: the full generation (view + filters + trace)
+ * and the filter generation (filters + trace only). Executors snapshot
+ * the relevant counter at submit and poll the shared cell at chunk
+ * boundaries; a bump makes every older in-flight query of this domain
+ * stale.
+ *
+ * A domain is the unit of cancellation isolation. A lone Session (and
+ * every session of a SessionGroup) lives on its engine's default
+ * domain, so mutations cancel group-wide exactly as before; the
+ * trace-serving daemon creates one domain per client, so a client's
+ * view/filter mutations cancel only that client's stale queries even
+ * though all clients share one engine and pool.
+ *
+ * Bump methods are safe from any thread; the cells outlive the domain
+ * through the shared_ptr handles executors capture.
+ */
+class GenerationDomain
+{
+  public:
+    GenerationDomain()
+        : generation_(std::make_shared<std::atomic<std::uint64_t>>(0)),
+          filterGeneration_(
+              std::make_shared<std::atomic<std::uint64_t>>(0))
+    {}
+
+    /** The live generation (bumped by every mutation). */
+    std::uint64_t
+    generation() const
+    {
+        return generation_->load(std::memory_order_acquire);
+    }
+
+    /** The live filter generation (filter/trace mutations only). */
+    std::uint64_t
+    filterGeneration() const
+    {
+        return filterGeneration_->load(std::memory_order_acquire);
+    }
+
+    /** Invalidate in-flight view-dependent queries (the view moved). */
+    void
+    bumpGeneration()
+    {
+        generation_->fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    /** Invalidate every in-flight query (filters or trace moved). */
+    void
+    bumpFilterGeneration()
+    {
+        generation_->fetch_add(1, std::memory_order_acq_rel);
+        filterGeneration_->fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    /** The generation cell executors poll (shared, outlives the domain). */
+    std::shared_ptr<const std::atomic<std::uint64_t>>
+    generationCell() const
+    {
+        return generation_;
+    }
+
+    /** The filter-generation cell (shared, outlives the domain). */
+    std::shared_ptr<const std::atomic<std::uint64_t>>
+    filterGenerationCell() const
+    {
+        return filterGeneration_;
+    }
+
+  private:
+    std::shared_ptr<std::atomic<std::uint64_t>> generation_;
+    std::shared_ptr<std::atomic<std::uint64_t>> filterGeneration_;
+};
+
 namespace detail {
 
 /**
  * Shared completion state of one query: the future's storage, the
- * cooperative cancellation token, and the generation snapshot checked
- * against the engine's live counter. Shared between the ticket, the
- * executor tasks, and nothing else.
+ * cooperative cancellation token, the optional completion callback,
+ * and the generation snapshot checked against the domain's live
+ * counter. Shared between the ticket, the executor tasks, and nothing
+ * else.
  */
 template <typename Result>
 struct TicketState
@@ -123,11 +218,20 @@ struct TicketState
     /** Set for single-task queries only. */
     base::TaskHandle handle AM_GUARDED_BY(mutex);
 
+    /**
+     * Invoked exactly once on the terminal transition (Done or
+     * Cancelled), *after* the state mutex is released — so a callback
+     * may acquire low-ranked locks (the daemon enqueues the wire
+     * response here) without inverting the lock order. Runs on the
+     * completing thread (an engine worker, or the caller of cancel()).
+     */
+    std::function<void(QueryStatus)> callback AM_GUARDED_BY(mutex);
+
     /** Generation at submit; the query is stale once live differs.
      *  Written before the query is published, then read-only. */
     std::uint64_t generation = 0;
 
-    /** The engine's live counter; null = generation-immune (warm-up).
+    /** The domain's live counter; null = generation-immune (warm-up).
      *  Written before the query is published, then read-only. */
     std::shared_ptr<const std::atomic<std::uint64_t>> live;
 
@@ -154,25 +258,39 @@ struct TicketState
     void
     complete(Result value)
     {
-        base::MutexLock lock(mutex);
-        if (status == QueryStatus::Done ||
-            status == QueryStatus::Cancelled)
-            return;
-        result.emplace(std::move(value));
-        status = QueryStatus::Done;
-        cv.notifyAll();
+        std::function<void(QueryStatus)> cb;
+        {
+            base::MutexLock lock(mutex);
+            if (status == QueryStatus::Done ||
+                status == QueryStatus::Cancelled)
+                return;
+            result.emplace(std::move(value));
+            status = QueryStatus::Done;
+            cv.notifyAll();
+            cb = std::move(callback);
+            callback = nullptr;
+        }
+        if (cb)
+            cb(QueryStatus::Done);
     }
 
     /** Terminal Cancelled transition (idempotent, loses to Done). */
     void
     completeCancelled()
     {
-        base::MutexLock lock(mutex);
-        if (status == QueryStatus::Done ||
-            status == QueryStatus::Cancelled)
-            return;
-        status = QueryStatus::Cancelled;
-        cv.notifyAll();
+        std::function<void(QueryStatus)> cb;
+        {
+            base::MutexLock lock(mutex);
+            if (status == QueryStatus::Done ||
+                status == QueryStatus::Cancelled)
+                return;
+            status = QueryStatus::Cancelled;
+            cv.notifyAll();
+            cb = std::move(callback);
+            callback = nullptr;
+        }
+        if (cb)
+            cb(QueryStatus::Cancelled);
     }
 };
 
@@ -285,29 +403,73 @@ class QueryTicket
         return std::move(*state_->result);
     }
 
+    /**
+     * Register @p fn to run once, on the terminal transition (Done or
+     * Cancelled). If the query already finished, @p fn runs inline
+     * before returning; otherwise it runs on the completing thread
+     * (an engine worker, or the caller of cancel()), with no ticket
+     * lock held — acquiring other locks inside is safe. One callback
+     * per ticket; a second registration replaces an unfired first.
+     * The daemon's push path: completion encodes and enqueues the
+     * response frame here instead of parking a thread per request.
+     */
+    void
+    onComplete(std::function<void(QueryStatus)> fn)
+    {
+        AFTERMATH_ASSERT(state_ != nullptr,
+                         "onComplete() on an empty ticket");
+        QueryStatus terminal;
+        {
+            base::MutexLock lock(state_->mutex);
+            if (state_->status != QueryStatus::Done &&
+                state_->status != QueryStatus::Cancelled) {
+                state_->callback = std::move(fn);
+                return;
+            }
+            terminal = state_->status;
+        }
+        fn(terminal);
+    }
+
   private:
     std::shared_ptr<detail::TicketState<Result>> state_;
 };
 
 /**
- * The memoized query state one session shares with its in-flight
- * executors, guarded by one mutex: the per-interval statistics memo,
- * the per-filter-generation task list, the live filter generation, and
- * the set of (cpu, counter) pairs previous warm-ups covered (the
- * incremental re-warm-up bookkeeping). Heap-allocated and captured by
+ * Filter-independent memoized query state, guarded by one mutex: the
+ * per-interval statistics memo and the set of (cpu, counter) pairs
+ * previous warm-ups covered (the incremental re-warm-up bookkeeping).
+ * Everything here is keyed by values that don't depend on a driving
+ * context's filters, so one StatsMemo is shareable across every client
+ * viewing the same trace (the daemon's shared-cache plane): client A's
+ * cold stats scan warms the memo client B then hits. Heap-allocated
+ * and captured by shared_ptr so executors survive session moves and
+ * destruction.
+ */
+struct StatsMemo
+{
+    mutable base::Mutex mutex{base::lockrank::kStatsMemo, "stats-memo"};
+    MemoCache<std::pair<TimeStamp, TimeStamp>, stats::IntervalStats>
+        stats AM_GUARDED_BY(mutex);
+    std::set<std::pair<CpuId, CounterId>> warmedPairs
+        AM_GUARDED_BY(mutex);
+};
+
+/**
+ * Filter-keyed memoized query state of one driving context: the
+ * per-filter-generation task list and the live filter generation.
+ * Never shared across clients — two clients with different filter sets
+ * would poison each other's task lists — so each daemon client (and
+ * each local session) owns its own. Heap-allocated and captured by
  * shared_ptr so executors survive session moves and destruction.
  */
 struct SessionMemo
 {
     mutable base::Mutex mutex{base::lockrank::kSessionMemo,
                               "session-memo"};
-    MemoCache<std::pair<TimeStamp, TimeStamp>, stats::IntervalStats>
-        stats AM_GUARDED_BY(mutex);
     MemoCache<std::uint64_t, std::vector<const trace::TaskInstance *>>
         taskList AM_GUARDED_BY(mutex);
     std::uint64_t filterGeneration AM_GUARDED_BY(mutex) = 0;
-    std::set<std::pair<CpuId, CounterId>> warmedPairs
-        AM_GUARDED_BY(mutex);
 };
 
 /**
@@ -355,56 +517,69 @@ class QueryEngine
     void setWorkers(unsigned workers);
 
     /**
-     * The live generation, bumped by *every* shared-state mutation
-     * (view, filters, trace). View-dependent queries (interval stats,
-     * extrema, render) submitted under an older value are stale and
-     * cancel cooperatively.
+     * The engine's default GenerationDomain: the cancellation scope of
+     * every session that never called setGenerationDomain(). One lone
+     * session, or all sessions of a SessionGroup, bump and poll this
+     * one — the historical engine-wide cancellation semantics. The
+     * daemon leaves it untouched and hands every client its own
+     * domain instead.
+     */
+    const std::shared_ptr<GenerationDomain> &
+    defaultDomain() const
+    {
+        return defaultDomain_;
+    }
+
+    /**
+     * The default domain's live generation, bumped by *every*
+     * shared-state mutation (view, filters, trace). View-dependent
+     * queries (interval stats, extrema, render) submitted under an
+     * older value are stale and cancel cooperatively.
      */
     std::uint64_t
     generation() const
     {
-        return generation_->load(std::memory_order_acquire);
+        return defaultDomain_->generation();
     }
 
     /**
-     * The live filter generation, bumped only by filter and trace
-     * mutations. View-independent but filter-keyed queries (task list,
-     * histogram) poll this one, so panning the view never spuriously
-     * cancels them.
+     * The default domain's live filter generation, bumped only by
+     * filter and trace mutations. View-independent but filter-keyed
+     * queries (task list, histogram) poll this one, so panning the
+     * view never spuriously cancels them.
      */
     std::uint64_t
     filterGeneration() const
     {
-        return filterGeneration_->load(std::memory_order_acquire);
+        return defaultDomain_->filterGeneration();
     }
 
     /** Invalidate in-flight view-dependent queries (the view moved). */
     void
     bumpGeneration()
     {
-        generation_->fetch_add(1, std::memory_order_acq_rel);
+        defaultDomain_->bumpGeneration();
     }
 
     /** Invalidate every in-flight query (filters or trace moved). */
     void
     bumpFilterGeneration()
     {
-        generation_->fetch_add(1, std::memory_order_acq_rel);
-        filterGeneration_->fetch_add(1, std::memory_order_acq_rel);
+        defaultDomain_->bumpFilterGeneration();
     }
 
     /** The generation cell executors poll (shared, outlives the engine). */
     std::shared_ptr<const std::atomic<std::uint64_t>>
     generationCell() const
     {
-        return generation_;
+        return defaultDomain_->generationCell();
     }
 
     /** The filter-generation cell (shared, outlives the engine). */
     std::shared_ptr<const std::atomic<std::uint64_t>>
     filterGenerationCell() const
     {
-        return filterGeneration_;
+        return defaultDomain_->filterGenerationCell();
     }
 
     /**
@@ -473,8 +648,7 @@ class QueryEngine
     /** Reaper main loop: park-then-join after idleTimeout_ quiescence. */
     void reaperLoop();
 
-    std::shared_ptr<std::atomic<std::uint64_t>> generation_;
-    std::shared_ptr<std::atomic<std::uint64_t>> filterGeneration_;
+    std::shared_ptr<GenerationDomain> defaultDomain_;
 
     /**
      * Guards pool lifetime against the reaper thread. The outermost
@@ -485,7 +659,13 @@ class QueryEngine
                                    "query-engine"};
 
     unsigned workers_ AM_GUARDED_BY(poolMutex_) = 1;
-    std::unique_ptr<base::ThreadPool> pool_ AM_GUARDED_BY(poolMutex_);
+    /**
+     * shared_ptr, not unique_ptr: drain() copies the handle and waits
+     * on it *outside* poolMutex_, so concurrent submitters never queue
+     * behind a full quiescence wait. A teardown racing such a drain
+     * defers the join to whichever thread drops the last reference.
+     */
+    std::shared_ptr<base::ThreadPool> pool_ AM_GUARDED_BY(poolMutex_);
     std::chrono::milliseconds idleTimeout_ AM_GUARDED_BY(poolMutex_){0};
 
     /** Started/joined by driving-side methods only. */

@@ -65,14 +65,16 @@ accumulate(CacheCounters &into, const CacheCounters &from)
 
 Session::Session(trace::Trace trace)
     : trace_(std::make_shared<const trace::Trace>(std::move(trace))),
-      engine_(std::make_shared<QueryEngine>(1))
+      engine_(std::make_shared<QueryEngine>(1)),
+      domain_(engine_->defaultDomain())
 {
     rebindTrace();
 }
 
 Session::Session(std::shared_ptr<const trace::Trace> trace)
     : trace_(std::move(trace)),
-      engine_(std::make_shared<QueryEngine>(1))
+      engine_(std::make_shared<QueryEngine>(1)),
+      domain_(engine_->defaultDomain())
 {
     AFTERMATH_ASSERT(trace_ != nullptr, "session over a null trace");
     rebindTrace();
@@ -97,27 +99,35 @@ Session::rebindTrace()
     if (!rendererPool_)
         rendererPool_ = std::make_shared<RendererPool>();
     rendererPool_->setTrace(trace_);
-    // Replace — never clear in place — the shared memo: executors still
-    // in flight over the old trace keep publishing into the old object,
-    // which nobody queries anymore and which dies with their last
-    // reference, so stale results (or, worse, task pointers into the
-    // old trace) can never poison the new trace's caches.
-    auto fresh = std::make_shared<SessionMemo>();
-    if (memo_) {
-        // Sequential, never nested: both memos rank kSessionMemo, so
-        // copy out under the old lock, then write under the fresh one.
-        std::uint64_t filter_generation;
+    // Replace — never clear in place — the shared memos: executors
+    // still in flight over the old trace keep publishing into the old
+    // objects, which nobody queries anymore and which die with their
+    // last reference, so stale results (or, worse, task pointers into
+    // the old trace) can never poison the new trace's caches.
+    auto freshStats = std::make_shared<StatsMemo>();
+    if (statsMemo_) {
+        // Sequential, never nested: both rank kStatsMemo, so copy out
+        // under the old lock, then write under the fresh one.
         std::size_t stats_capacity;
         {
+            base::MutexLock lock(statsMemo_->mutex);
+            accumulate(statsBase_, statsMemo_->stats.counters());
+            stats_capacity = statsMemo_->stats.capacity();
+        }
+        base::MutexLock lock(freshStats->mutex);
+        freshStats->stats.setCapacity(stats_capacity);
+    }
+    statsMemo_ = std::move(freshStats);
+    auto fresh = std::make_shared<SessionMemo>();
+    if (memo_) {
+        std::uint64_t filter_generation;
+        {
             base::MutexLock lock(memo_->mutex);
-            accumulate(statsBase_, memo_->stats.counters());
             accumulate(taskListBase_, memo_->taskList.counters());
             filter_generation = memo_->filterGeneration;
-            stats_capacity = memo_->stats.capacity();
         }
         base::MutexLock lock(fresh->mutex);
         fresh->filterGeneration = filter_generation;
-        fresh->stats.setCapacity(stats_capacity);
     }
     memo_ = std::move(fresh);
 }
@@ -141,7 +151,7 @@ Session::setTrace(std::shared_ptr<const trace::Trace> trace)
     counterIndexBase_.builds += counterIndexes_->counters().builds;
     trace_ = std::move(trace);
     rebindTrace();
-    engine_->bumpFilterGeneration();
+    domain_->bumpFilterGeneration();
 }
 
 void
@@ -155,7 +165,7 @@ Session::setFilters(filter::FilterSet filters)
         memo_->filterGeneration++;
         memo_->taskList.clear();
     }
-    engine_->bumpFilterGeneration();
+    domain_->bumpFilterGeneration();
 }
 
 void
@@ -175,7 +185,7 @@ void
 Session::setView(const TimeInterval &view)
 {
     view_ = view;
-    engine_->bumpGeneration();
+    domain_->bumpGeneration();
 }
 
 TimeInterval
@@ -196,6 +206,47 @@ Session::setQueryEngine(std::shared_ptr<QueryEngine> engine)
 {
     AFTERMATH_ASSERT(engine != nullptr, "null query engine");
     engine_ = std::move(engine);
+    // Re-align the cancellation scope with the new engine: a group's
+    // sessions sharing one engine share one domain (the historical
+    // semantics). Isolated contexts re-point with setGenerationDomain().
+    domain_ = engine_->defaultDomain();
+}
+
+void
+Session::setGenerationDomain(std::shared_ptr<GenerationDomain> domain)
+{
+    AFTERMATH_ASSERT(domain != nullptr, "null generation domain");
+    domain_ = std::move(domain);
+}
+
+Session::SharedCaches
+Session::sharedCaches() const
+{
+    SharedCaches out;
+    out.counterIndexes = counterIndexes_;
+    out.statsMemo = statsMemo_;
+    out.renderers = rendererPool_;
+    return out;
+}
+
+void
+Session::adoptSharedCaches(const SharedCaches &caches)
+{
+    AFTERMATH_ASSERT(caches.counterIndexes != nullptr &&
+                         caches.statsMemo != nullptr &&
+                         caches.renderers != nullptr,
+                     "adopting incomplete shared caches");
+    // Roll the replaced caches' counters into the bases, exactly like a
+    // trace swap, so cacheStats() stays cumulative across the adoption.
+    counterIndexBase_.hits += counterIndexes_->counters().hits;
+    counterIndexBase_.builds += counterIndexes_->counters().builds;
+    {
+        base::MutexLock lock(statsMemo_->mutex);
+        accumulate(statsBase_, statsMemo_->stats.counters());
+    }
+    counterIndexes_ = caches.counterIndexes;
+    statsMemo_ = caches.statsMemo;
+    rendererPool_ = caches.renderers;
 }
 
 Session::WarmupStats
@@ -215,8 +266,8 @@ Session::warmup()
 void
 Session::setStatsCacheCapacity(std::size_t capacity)
 {
-    base::MutexLock lock(memo_->mutex);
-    memo_->stats.setCapacity(capacity);
+    base::MutexLock lock(statsMemo_->mutex);
+    statsMemo_->stats.setCapacity(capacity);
 }
 
 const stats::IntervalStats &
@@ -224,8 +275,8 @@ Session::intervalStats(const TimeInterval &interval)
 {
     auto key = std::make_pair(interval.start, interval.end);
     {
-        base::MutexLock lock(memo_->mutex);
-        if (const stats::IntervalStats *hit = memo_->stats.tryGet(key))
+        base::MutexLock lock(statsMemo_->mutex);
+        if (const stats::IntervalStats *hit = statsMemo_->stats.tryGet(key))
             return *hit;
     }
     // Cold: submit-and-wait. The executor publishes under the same key
@@ -233,8 +284,8 @@ Session::intervalStats(const TimeInterval &interval)
     // merely returns the cached reference.
     stats::IntervalStats result =
         submit(IntervalStatsQuery{interval}).take();
-    base::MutexLock lock(memo_->mutex);
-    return memo_->stats.insertOrGet(key, std::move(result));
+    base::MutexLock lock(statsMemo_->mutex);
+    return statsMemo_->stats.insertOrGet(key, std::move(result));
 }
 
 const stats::IntervalStats &
@@ -361,8 +412,11 @@ Session::cacheStats() const
     out.renderer.hits = renderers.reused;
     out.renderer.builds = renderers.created;
     out.renderer.evictions = renderers.dropped;
+    {
+        base::MutexLock lock(statsMemo_->mutex);
+        accumulate(out.intervalStats, statsMemo_->stats.counters());
+    }
     base::MutexLock lock(memo_->mutex);
-    accumulate(out.intervalStats, memo_->stats.counters());
     accumulate(out.taskList, memo_->taskList.counters());
     return out;
 }

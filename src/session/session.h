@@ -146,6 +146,20 @@ class Session
     /** A non-owning session over a trace that outlives it. */
     static Session view(const trace::Trace &trace);
 
+    /**
+     * The lazily-built caches that are shareable across every session
+     * (every daemon client) viewing the *same* trace: the sharded
+     * counter-index cache, the filter-independent stats memo, and the
+     * renderer checkout pool. The filter-keyed SessionMemo is
+     * deliberately absent — it never crosses driving contexts.
+     */
+    struct SharedCaches
+    {
+        std::shared_ptr<CounterIndexCache> counterIndexes;
+        std::shared_ptr<StatsMemo> statsMemo;
+        std::shared_ptr<RendererPool> renderers;
+    };
+
     // -- Shared state ------------------------------------------------------
 
     /** The trace under analysis. */
@@ -224,12 +238,47 @@ class Session
     }
 
     /**
-     * Point this session at @p engine (shared pool + shared generation
-     * counter). SessionGroup aligns every variant on one engine so
-     * group warm-up overlaps on one pool. The engine's current worker
-     * count stays in effect until the next setConcurrency().
+     * Point this session at @p engine (shared pool) and at the engine's
+     * default GenerationDomain (shared cancellation scope). SessionGroup
+     * aligns every variant on one engine so group warm-up overlaps on
+     * one pool. The engine's current worker count stays in effect until
+     * the next setConcurrency(). For per-client cancellation isolation
+     * over a shared engine, follow with setGenerationDomain().
      */
     void setQueryEngine(std::shared_ptr<QueryEngine> engine);
+
+    /**
+     * Point this session at its own cancellation domain: view/filter/
+     * trace mutations bump (and in-flight queries poll) @p domain
+     * instead of the engine's default. The daemon gives each client one
+     * domain so a client's mutations never cancel another client's
+     * queries on the shared engine.
+     */
+    void setGenerationDomain(std::shared_ptr<GenerationDomain> domain);
+
+    /** The session's cancellation domain (never null). */
+    const std::shared_ptr<GenerationDomain> &generationDomain() const
+    {
+        return domain_;
+    }
+
+    /**
+     * Handles to this session's shareable per-trace caches, for a
+     * second session over the *same* trace to adopt. The returned
+     * shared_ptrs stay valid across this session's moves.
+     */
+    SharedCaches sharedCaches() const;
+
+    /**
+     * Replace this session's counter-index cache, stats memo and
+     * renderer pool with @p caches, which must have been obtained from
+     * a session over the same trace object (sharedCaches() on the
+     * first session for that trace). Counters of the replaced caches
+     * roll into this session's cumulative accounting. The daemon's
+     * shared-cache plane: every client viewing one trace adopts one
+     * set, so a scan any client paid for serves them all.
+     */
+    void adoptSharedCaches(const SharedCaches &caches);
 
     /**
      * The session's renderer checkout pool: sync and async renders
@@ -427,11 +476,13 @@ class Session
     // movable and destruction-safe with queries in flight).
     std::shared_ptr<CounterIndexCache> counterIndexes_;
     CacheCounters counterIndexBase_; ///< Accounting of pre-swap caches.
-    std::shared_ptr<SessionMemo> memo_;
+    std::shared_ptr<StatsMemo> statsMemo_; ///< Shareable across clients.
+    std::shared_ptr<SessionMemo> memo_;    ///< Per driving context.
     CacheCounters statsBase_;    ///< Pre-swap stats-memo accounting.
     CacheCounters taskListBase_; ///< Pre-swap task-list accounting.
     std::shared_ptr<RendererPool> rendererPool_;
     std::shared_ptr<QueryEngine> engine_;
+    std::shared_ptr<GenerationDomain> domain_; ///< Never null.
     render::RenderStats renderStats_; ///< Last timeline render's counts.
     render::RenderStats overlayStats_;
 };

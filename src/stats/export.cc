@@ -35,5 +35,188 @@ exportTaskCounterTsvFile(
     return true;
 }
 
+// -- Binary wire serialization -------------------------------------------
+
+namespace {
+
+/**
+ * Guard a decoded element count against the bytes actually present:
+ * every element of the collections below occupies at least
+ * @p min_bytes_per_element, so a count larger than remaining() /
+ * min_bytes is structurally impossible — fail at the count instead of
+ * attempting a gigantic allocation from garbage input.
+ */
+bool
+plausibleCount(ByteReader &r, std::uint64_t count,
+               std::size_t min_bytes_per_element)
+{
+    if (!r.ok())
+        return false;
+    if (count > r.remaining() / min_bytes_per_element) {
+        r.markFailed();
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+encodeIntervalStats(const IntervalStats &s, ByteWriter &w)
+{
+    w.writeU64(s.interval.start);
+    w.writeU64(s.interval.end);
+    w.writeVarint(s.timeInState.size());
+    for (const auto &[state, time] : s.timeInState) {
+        w.writeVarint(state);
+        w.writeVarint(time);
+    }
+    w.writeVarint(s.tasksOverlapping);
+    w.writeVarint(s.tasksStarted);
+}
+
+bool
+decodeIntervalStats(ByteReader &r, IntervalStats &out)
+{
+    out = IntervalStats();
+    out.interval.start = r.readU64();
+    out.interval.end = r.readU64();
+    std::uint64_t states = r.readVarint();
+    if (!plausibleCount(r, states, 2))
+        return false;
+    for (std::uint64_t i = 0; i < states; i++) {
+        std::uint32_t state = static_cast<std::uint32_t>(r.readVarint());
+        TimeStamp time = r.readVarint();
+        if (!r.ok())
+            return false;
+        out.timeInState.emplace(state, time);
+    }
+    out.tasksOverlapping = r.readVarint();
+    out.tasksStarted = r.readVarint();
+    return r.ok();
+}
+
+void
+encodeHistogram(const Histogram &h, ByteWriter &w)
+{
+    w.writeDouble(h.rangeMin());
+    w.writeDouble(h.rangeMax());
+    w.writeVarint(h.numBins());
+    for (std::uint32_t i = 0; i < h.numBins(); i++)
+        w.writeVarint(h.count(i));
+}
+
+bool
+decodeHistogram(ByteReader &r, Histogram &out)
+{
+    double min = r.readDouble();
+    double max = r.readDouble();
+    std::uint64_t bins = r.readVarint();
+    if (!r.ok() || bins == 0) {
+        r.markFailed();
+        return false;
+    }
+    if (!plausibleCount(r, bins, 1))
+        return false;
+    std::vector<std::uint64_t> counts;
+    counts.reserve(bins);
+    for (std::uint64_t i = 0; i < bins; i++)
+        counts.push_back(r.readVarint());
+    if (!r.ok())
+        return false;
+    out = Histogram::fromBins(std::move(counts), min, max);
+    return true;
+}
+
+void
+encodeMinMax(const index::MinMax &m, ByteWriter &w)
+{
+    w.writeU8(m.valid ? 1 : 0);
+    w.writeSignedVarint(m.min);
+    w.writeSignedVarint(m.max);
+}
+
+bool
+decodeMinMax(ByteReader &r, index::MinMax &out)
+{
+    std::uint8_t valid = r.readU8();
+    if (valid > 1)
+        r.markFailed();
+    out.valid = valid == 1;
+    out.min = r.readSignedVarint();
+    out.max = r.readSignedVarint();
+    return r.ok();
+}
+
+void
+encodeTaskCounterRows(const std::vector<metrics::TaskCounterIncrease> &rows,
+                      ByteWriter &w)
+{
+    w.writeVarint(rows.size());
+    for (const metrics::TaskCounterIncrease &row : rows) {
+        w.writeVarint(row.task);
+        w.writeVarint(row.type);
+        w.writeVarint(row.cpu);
+        w.writeVarint(row.duration);
+        w.writeSignedVarint(row.increase);
+    }
+}
+
+bool
+decodeTaskCounterRows(ByteReader &r,
+                      std::vector<metrics::TaskCounterIncrease> &out)
+{
+    out.clear();
+    std::uint64_t count = r.readVarint();
+    if (!plausibleCount(r, count, 5))
+        return false;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        metrics::TaskCounterIncrease row;
+        row.task = r.readVarint();
+        row.type = r.readVarint();
+        row.cpu = static_cast<CpuId>(r.readVarint());
+        row.duration = r.readVarint();
+        row.increase = r.readSignedVarint();
+        if (!r.ok())
+            return false;
+        out.push_back(row);
+    }
+    return r.ok();
+}
+
+void
+encodeCommMatrix(const CommMatrix &m, ByteWriter &w)
+{
+    w.writeVarint(m.numNodes());
+    for (NodeId src = 0; src < m.numNodes(); src++)
+        for (NodeId dst = 0; dst < m.numNodes(); dst++)
+            w.writeVarint(m.bytes(src, dst));
+}
+
+bool
+decodeCommMatrix(ByteReader &r, CommMatrix &out)
+{
+    std::uint64_t nodes = r.readVarint();
+    // Cells scale quadratically; bound the node count first so the
+    // multiplication below cannot overflow.
+    if (!r.ok() || nodes > 1u << 16) {
+        r.markFailed();
+        return false;
+    }
+    std::uint64_t cells = nodes * nodes;
+    if (cells > 0 && !plausibleCount(r, cells, 1))
+        return false;
+    std::vector<std::uint64_t> values;
+    values.reserve(cells);
+    for (std::uint64_t i = 0; i < cells; i++)
+        values.push_back(r.readVarint());
+    if (!r.ok())
+        return false;
+    out = CommMatrix::fromCells(static_cast<std::uint32_t>(nodes),
+                                std::move(values));
+    return true;
+}
+
 } // namespace stats
 } // namespace aftermath

@@ -1,11 +1,23 @@
 /**
  * @file
- * Export of per-task performance data for external analysis.
+ * Export of per-task performance data for external analysis, plus the
+ * binary encode/decode of the statistics value types.
  *
  * Aftermath exports performance data to files processed by external
  * statistics packages (paper section V); the filter mechanisms apply to
  * the exported data so outliers and auxiliary tasks can be excluded
  * before the analysis.
+ *
+ * The binary half serializes the statistics results the trace-serving
+ * daemon ships over its wire protocol (src/daemon/protocol.h):
+ * IntervalStats, Histogram, MinMax, CommMatrix and task-counter rows,
+ * on the same ByteWriter/ByteReader varint idioms as the trace format.
+ * Every encode/decode pair round-trips exactly — integer sums are
+ * varints, doubles travel as IEEE-754 bits — so a result decoded on
+ * the client is bit-identical to the server's local computation.
+ * Decoders follow the reader's sticky-failure contract: they return
+ * false on malformed input (reader failed or a structural bound
+ * violated) and the reader's offset() then points at the failure.
  */
 
 #ifndef AFTERMATH_STATS_EXPORT_H
@@ -15,7 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "base/buffer.h"
+#include "index/counter_index.h"
 #include "metrics/task_attribution.h"
+#include "stats/comm_matrix.h"
+#include "stats/histogram.h"
+#include "stats/interval_stats.h"
 
 namespace aftermath {
 namespace stats {
@@ -33,6 +50,40 @@ void exportTaskCounterTsv(
 bool exportTaskCounterTsvFile(
     const std::vector<metrics::TaskCounterIncrease> &rows,
     const std::string &path, std::string &error);
+
+// -- Binary wire serialization -------------------------------------------
+
+/** Append @p s: interval, per-state times, task counts. */
+void encodeIntervalStats(const IntervalStats &s, ByteWriter &w);
+
+/** Decode into @p out; false on malformed input (offset() points at it). */
+bool decodeIntervalStats(ByteReader &r, IntervalStats &out);
+
+/** Append @p h: range edges (IEEE bits), per-bin counts. */
+void encodeHistogram(const Histogram &h, ByteWriter &w);
+
+/** Decode into @p out via Histogram::fromBins; false on malformed input. */
+bool decodeHistogram(ByteReader &r, Histogram &out);
+
+/** Append @p m: validity flag and signed extrema. */
+void encodeMinMax(const index::MinMax &m, ByteWriter &w);
+
+/** Decode into @p out; false on malformed input. */
+bool decodeMinMax(ByteReader &r, index::MinMax &out);
+
+/** Append @p rows: count, then one row per task-counter increase. */
+void encodeTaskCounterRows(
+    const std::vector<metrics::TaskCounterIncrease> &rows, ByteWriter &w);
+
+/** Decode into @p out; false on malformed input. */
+bool decodeTaskCounterRows(ByteReader &r,
+                           std::vector<metrics::TaskCounterIncrease> &out);
+
+/** Append @p m: node count, then the row-major cells. */
+void encodeCommMatrix(const CommMatrix &m, ByteWriter &w);
+
+/** Decode into @p out via CommMatrix::fromCells; false on malformed input. */
+bool decodeCommMatrix(ByteReader &r, CommMatrix &out);
 
 } // namespace stats
 } // namespace aftermath

@@ -40,6 +40,24 @@ Histogram::fromValues(const std::vector<double> &values,
     return h;
 }
 
+Histogram
+Histogram::fromBins(std::vector<std::uint64_t> counts, double min,
+                    double max)
+{
+    AFTERMATH_ASSERT(!counts.empty(), "histogram needs at least one bin");
+    Histogram h;
+    h.min_ = min;
+    h.max_ = max;
+    // Same expression as fromValues on the same (post-clamp) edges, so
+    // the recomputed width matches the original bit for bit.
+    h.width_ = (max - min) / static_cast<double>(counts.size());
+    h.total_ = 0;
+    for (std::uint64_t c : counts)
+        h.total_ += c;
+    h.counts_ = std::move(counts);
+    return h;
+}
+
 double
 Histogram::fraction(std::uint32_t i) const
 {

@@ -35,6 +35,22 @@ class Histogram
                                 std::optional<double> min = std::nullopt,
                                 std::optional<double> max = std::nullopt);
 
+    /**
+     * Reconstruct a histogram from its bin counts and range — the
+     * decode half of the wire serialization (stats/export.h). The
+     * total is the sum of @p counts and the bin width is recomputed
+     * from the range, so a histogram round-tripped through
+     * encode/decode is bit-identical to the original (fromValues
+     * stores post-clamp edges; the width expression is deterministic
+     * on IEEE doubles).
+     *
+     * @param counts Per-bin observation counts (>= 1 bin).
+     * @param min Lower edge of the range, as rangeMin() returned it.
+     * @param max Upper edge of the range, as rangeMax() returned it.
+     */
+    static Histogram fromBins(std::vector<std::uint64_t> counts,
+                              double min, double max);
+
     /** Number of bins. */
     std::uint32_t numBins() const
     {

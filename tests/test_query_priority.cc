@@ -636,6 +636,114 @@ TEST(RendererPoolTest, TraceSwapRekeysSessionRenders)
     EXPECT_GE(session.cacheStats().renderer.evictions, 1u);
 }
 
+// -- drain() vs concurrent submitters -------------------------------------
+
+/**
+ * drain() must neither race nor serialize against clients that are
+ * still submitting: submitter threads (one session each, all on one
+ * shared engine — the daemon's shape) push distinct-interval queries
+ * while another thread drains in a tight loop. Every ticket must
+ * complete Done with the exact serial result; TSan (CI) checks the
+ * drain path's handoff of the pool handle. Before drain() copied the
+ * pool handle out of the engine lock, this test parked every
+ * submitter behind each quiescence wait.
+ */
+TEST(QueryPriorityTest, DrainRacesConcurrentSubmitters)
+{
+    trace::Trace tr = denseTrace(6, 2, 1'200);
+    const TimeInterval span = tr.span();
+    auto engine = std::make_shared<QueryEngine>(2);
+
+    constexpr int kSubmitters = 4;
+    constexpr int kQueriesEach = 32;
+    std::atomic<bool> done{false};
+    std::atomic<int> completed{0};
+
+    std::thread drainer([&] {
+        while (!done.load(std::memory_order_acquire))
+            engine->drain();
+    });
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; t++) {
+        submitters.emplace_back([&, t] {
+            Session session = Session::view(tr);
+            session.setQueryEngine(engine);
+            std::vector<QueryTicket<stats::IntervalStats>> tickets;
+            tickets.reserve(kQueriesEach);
+            for (int i = 0; i < kQueriesEach; i++) {
+                // Distinct per (thread, i): every query misses the
+                // memo and really reaches the pool.
+                const TimeStamp skew =
+                    static_cast<TimeStamp>(t * kQueriesEach + i + 1);
+                IntervalStatsQuery query;
+                query.interval = TimeInterval{span.start, span.end - skew};
+                query.priority = (i % 2) != 0 ? QueryPriority::Background
+                                              : QueryPriority::Interactive;
+                tickets.push_back(session.submit(query));
+            }
+            for (std::size_t i = 0; i < tickets.size(); i++) {
+                EXPECT_EQ(tickets[i].wait(), QueryStatus::Done);
+                const TimeStamp skew = static_cast<TimeStamp>(
+                    t * kQueriesEach + static_cast<int>(i) + 1);
+                expectStatsEqual(
+                    tickets[i].result(),
+                    serialIntervalStats(tr, {span.start, span.end - skew}));
+                completed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &thread : submitters)
+        thread.join();
+    done.store(true, std::memory_order_release);
+    drainer.join();
+    EXPECT_EQ(completed.load(), kSubmitters * kQueriesEach);
+    engine->drain(); // Final quiescence: nothing left behind.
+}
+
+/**
+ * The harder interleaving: drain() overlapping pool *teardown* (idle
+ * reaping via a tiny timeout plus explicit shutdown churn) while a
+ * submitter keeps restarting the pool. The join may land on whichever
+ * thread drops the last pool handle; results must stay exact.
+ */
+TEST(QueryPriorityTest, DrainRacesTeardownChurn)
+{
+    trace::Trace tr = denseTrace(4, 2, 600);
+    const TimeInterval span = tr.span();
+    auto engine = std::make_shared<QueryEngine>(2);
+    engine->setIdleTimeout(std::chrono::milliseconds(1));
+
+    std::atomic<bool> done{false};
+    std::thread drainer([&] {
+        while (!done.load(std::memory_order_acquire))
+            engine->drain();
+    });
+    std::thread churner([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            engine->shutdown();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+
+    Session session = Session::view(tr);
+    session.setQueryEngine(engine);
+    for (int i = 0; i < 60; i++) {
+        const TimeStamp skew = static_cast<TimeStamp>(i + 1);
+        IntervalStatsQuery query;
+        query.interval = TimeInterval{span.start, span.end - skew};
+        auto ticket = session.submit(query);
+        ASSERT_EQ(ticket.wait(), QueryStatus::Done);
+        expectStatsEqual(
+            ticket.result(),
+            serialIntervalStats(tr, {span.start, span.end - skew}));
+    }
+    done.store(true, std::memory_order_release);
+    drainer.join();
+    churner.join();
+}
+
 } // namespace
 } // namespace session
 } // namespace aftermath

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Exact round-trip coverage of the binary statistics serialization
+ * (stats/export.h) — the payload layer of the daemon's wire protocol.
+ *
+ * Every encode/decode pair must reproduce the original value exactly:
+ * integers are compared for equality, doubles for bit-identity (the
+ * wire carries IEEE-754 bits, and Histogram::fromBins recomputes the
+ * bin width with the same expression fromValues used). Truncated
+ * buffers must fail the decoder, never crash or fabricate values.
+ */
+
+#include <cstring>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "base/buffer.h"
+#include "stats/comm_matrix.h"
+#include "stats/export.h"
+#include "stats/histogram.h"
+#include "stats/interval_stats.h"
+#include "trace_builder.h"
+
+using namespace aftermath;
+
+namespace {
+
+/** Bit-level equality: NaN-safe and distinguishes -0.0 from 0.0. */
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ba, bb;
+    std::memcpy(&ba, &a, sizeof ba);
+    std::memcpy(&bb, &b, sizeof bb);
+    return ba == bb;
+}
+
+stats::IntervalStats
+sampleStats()
+{
+    stats::IntervalStats s;
+    s.interval = {123, 456789};
+    s.timeInState[0] = 1000;
+    s.timeInState[3] = 0; // Zero-sum entries must survive the trip.
+    s.timeInState[7] = 0xdeadbeefcafeull;
+    s.tasksOverlapping = 42;
+    s.tasksStarted = 17;
+    return s;
+}
+
+} // namespace
+
+TEST(StatsExport, IntervalStatsRoundTrip)
+{
+    stats::IntervalStats s = sampleStats();
+    ByteWriter w;
+    stats::encodeIntervalStats(s, w);
+    std::vector<std::uint8_t> bytes = w.take();
+
+    ByteReader r(bytes);
+    stats::IntervalStats back;
+    ASSERT_TRUE(stats::decodeIntervalStats(r, back));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(back.interval.start, s.interval.start);
+    EXPECT_EQ(back.interval.end, s.interval.end);
+    EXPECT_EQ(back.timeInState, s.timeInState);
+    EXPECT_EQ(back.tasksOverlapping, s.tasksOverlapping);
+    EXPECT_EQ(back.tasksStarted, s.tasksStarted);
+}
+
+TEST(StatsExport, IntervalStatsEmptyRoundTrip)
+{
+    stats::IntervalStats s;
+    ByteWriter w;
+    stats::encodeIntervalStats(s, w);
+    ByteReader r(w.data());
+    stats::IntervalStats back;
+    ASSERT_TRUE(stats::decodeIntervalStats(r, back));
+    EXPECT_TRUE(back.timeInState.empty());
+    EXPECT_EQ(back.tasksOverlapping, 0u);
+}
+
+TEST(StatsExport, HistogramRoundTripIsBitIdentical)
+{
+    std::mt19937_64 rng(7);
+    std::vector<double> values;
+    for (int i = 0; i < 500; i++)
+        values.push_back(
+            static_cast<double>(rng() % 1000000) / 3.0 + 0.125);
+    stats::Histogram h = stats::Histogram::fromValues(values, 23);
+
+    ByteWriter w;
+    stats::encodeHistogram(h, w);
+    ByteReader r(w.data());
+    stats::Histogram back;
+    ASSERT_TRUE(stats::decodeHistogram(r, back));
+    EXPECT_TRUE(r.atEnd());
+
+    ASSERT_EQ(back.numBins(), h.numBins());
+    for (std::uint32_t i = 0; i < h.numBins(); i++)
+        EXPECT_EQ(back.count(i), h.count(i)) << "bin " << i;
+    EXPECT_EQ(back.total(), h.total());
+    EXPECT_TRUE(sameBits(back.rangeMin(), h.rangeMin()));
+    EXPECT_TRUE(sameBits(back.rangeMax(), h.rangeMax()));
+    EXPECT_TRUE(sameBits(back.binWidth(), h.binWidth()));
+    for (std::uint32_t i = 0; i < h.numBins(); i++) {
+        EXPECT_TRUE(sameBits(back.binCenter(i), h.binCenter(i)));
+        EXPECT_TRUE(sameBits(back.fraction(i), h.fraction(i)));
+    }
+}
+
+TEST(StatsExport, HistogramDegenerateRangeRoundTrip)
+{
+    // All-equal observations trigger fromValues' max = min + 1 clamp;
+    // the wire carries the post-clamp edges, so the trip stays exact.
+    std::vector<double> values(10, 4.25);
+    stats::Histogram h = stats::Histogram::fromValues(values, 5);
+    ByteWriter w;
+    stats::encodeHistogram(h, w);
+    ByteReader r(w.data());
+    stats::Histogram back;
+    ASSERT_TRUE(stats::decodeHistogram(r, back));
+    EXPECT_TRUE(sameBits(back.rangeMax(), h.rangeMax()));
+    EXPECT_TRUE(sameBits(back.binWidth(), h.binWidth()));
+    EXPECT_EQ(back.count(0), h.count(0));
+    EXPECT_EQ(back.peaks(), h.peaks());
+}
+
+TEST(StatsExport, MinMaxRoundTrip)
+{
+    index::MinMax cases[] = {
+        {-1234567890123ll, 987654321012ll, true},
+        {0, 0, false},
+        {-1, -1, true},
+    };
+    for (const index::MinMax &m : cases) {
+        ByteWriter w;
+        stats::encodeMinMax(m, w);
+        ByteReader r(w.data());
+        index::MinMax back;
+        ASSERT_TRUE(stats::decodeMinMax(r, back));
+        EXPECT_TRUE(r.atEnd());
+        EXPECT_EQ(back.valid, m.valid);
+        EXPECT_EQ(back.min, m.min);
+        EXPECT_EQ(back.max, m.max);
+    }
+}
+
+TEST(StatsExport, MinMaxRejectsBadValidityByte)
+{
+    ByteWriter w;
+    w.writeU8(2); // Neither 0 nor 1.
+    w.writeSignedVarint(0);
+    w.writeSignedVarint(0);
+    ByteReader r(w.data());
+    index::MinMax back;
+    EXPECT_FALSE(stats::decodeMinMax(r, back));
+}
+
+TEST(StatsExport, TaskCounterRowsRoundTrip)
+{
+    std::vector<metrics::TaskCounterIncrease> rows;
+    for (int i = 0; i < 37; i++) {
+        metrics::TaskCounterIncrease row;
+        row.task = static_cast<TaskInstanceId>(i * 1000 + 1);
+        row.type = 0xabc000 + static_cast<TaskTypeId>(i % 3);
+        row.cpu = static_cast<CpuId>(i % 8);
+        row.duration = 5000 + static_cast<TimeStamp>(i);
+        row.increase = (i % 2) ? -i * 77 : i * 1234;
+        rows.push_back(row);
+    }
+    ByteWriter w;
+    stats::encodeTaskCounterRows(rows, w);
+    ByteReader r(w.data());
+    std::vector<metrics::TaskCounterIncrease> back;
+    ASSERT_TRUE(stats::decodeTaskCounterRows(r, back));
+    EXPECT_TRUE(r.atEnd());
+    ASSERT_EQ(back.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        EXPECT_EQ(back[i].task, rows[i].task);
+        EXPECT_EQ(back[i].type, rows[i].type);
+        EXPECT_EQ(back[i].cpu, rows[i].cpu);
+        EXPECT_EQ(back[i].duration, rows[i].duration);
+        EXPECT_EQ(back[i].increase, rows[i].increase);
+        EXPECT_TRUE(sameBits(back[i].ratePerKcycle(),
+                             rows[i].ratePerKcycle()));
+    }
+}
+
+TEST(StatsExport, CommMatrixRoundTripFromTrace)
+{
+    trace::Trace tr = test_support::buildRandomTrace(11);
+    stats::CommMatrix m = stats::CommMatrix::fromTrace(tr);
+    ByteWriter w;
+    stats::encodeCommMatrix(m, w);
+    ByteReader r(w.data());
+    stats::CommMatrix back;
+    ASSERT_TRUE(stats::decodeCommMatrix(r, back));
+    EXPECT_TRUE(r.atEnd());
+    ASSERT_EQ(back.numNodes(), m.numNodes());
+    for (NodeId s = 0; s < m.numNodes(); s++)
+        for (NodeId d = 0; d < m.numNodes(); d++)
+            EXPECT_EQ(back.bytes(s, d), m.bytes(s, d));
+    EXPECT_EQ(back.totalBytes(), m.totalBytes());
+    EXPECT_TRUE(sameBits(back.diagonalFraction(), m.diagonalFraction()));
+    EXPECT_EQ(back.toAscii(), m.toAscii());
+}
+
+TEST(StatsExport, CommMatrixEmptyRoundTrip)
+{
+    stats::CommMatrix m = stats::CommMatrix::fromCells(0, {});
+    ByteWriter w;
+    stats::encodeCommMatrix(m, w);
+    ByteReader r(w.data());
+    stats::CommMatrix back;
+    ASSERT_TRUE(stats::decodeCommMatrix(r, back));
+    EXPECT_EQ(back.numNodes(), 0u);
+    EXPECT_EQ(back.totalBytes(), 0u);
+}
+
+TEST(StatsExport, TruncationFailsEveryDecoder)
+{
+    // Encode one valid instance of each type, then decode every
+    // strict prefix: the decoder must return false (never crash, never
+    // fabricate a value from the void).
+    ByteWriter w;
+    stats::encodeIntervalStats(sampleStats(), w);
+    std::vector<std::uint8_t> stats_bytes = w.take();
+    for (std::size_t len = 0; len < stats_bytes.size(); len++) {
+        ByteReader r(stats_bytes.data(), len);
+        stats::IntervalStats out;
+        EXPECT_FALSE(stats::decodeIntervalStats(r, out))
+            << "prefix " << len;
+    }
+
+    stats::Histogram h =
+        stats::Histogram::fromValues({1.0, 2.0, 3.0, 4.0}, 4);
+    stats::encodeHistogram(h, w);
+    std::vector<std::uint8_t> histo_bytes = w.take();
+    for (std::size_t len = 0; len < histo_bytes.size(); len++) {
+        ByteReader r(histo_bytes.data(), len);
+        stats::Histogram out;
+        EXPECT_FALSE(stats::decodeHistogram(r, out)) << "prefix " << len;
+    }
+
+    stats::CommMatrix m =
+        stats::CommMatrix::fromCells(2, {1, 200, 3000, 40000});
+    stats::encodeCommMatrix(m, w);
+    std::vector<std::uint8_t> matrix_bytes = w.take();
+    for (std::size_t len = 0; len < matrix_bytes.size(); len++) {
+        ByteReader r(matrix_bytes.data(), len);
+        stats::CommMatrix out;
+        EXPECT_FALSE(stats::decodeCommMatrix(r, out))
+            << "prefix " << len;
+    }
+}
+
+TEST(StatsExport, HostileCountsAreRejected)
+{
+    // A huge element count with almost no bytes behind it must fail at
+    // the count, not allocate.
+    ByteWriter w;
+    w.writeU64(0);
+    w.writeU64(100);
+    w.writeVarint(0xffffffffffull); // timeInState "size".
+    ByteReader r(w.data());
+    stats::IntervalStats out;
+    EXPECT_FALSE(stats::decodeIntervalStats(r, out));
+
+    ByteWriter wm;
+    wm.writeVarint(1u << 20); // nodes -> 2^40 cells.
+    ByteReader rm(wm.data());
+    stats::CommMatrix mout;
+    EXPECT_FALSE(stats::decodeCommMatrix(rm, mout));
+}

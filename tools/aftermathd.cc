@@ -1,0 +1,109 @@
+/**
+ * @file
+ * aftermathd: the trace-serving daemon's entry point.
+ *
+ * Serves traces to daemon::Client connections over a Unix-domain
+ * socket (daemon/server.h):
+ *
+ *     aftermathd --socket /tmp/aftermath.sock [--workers N] [--cap K]
+ *
+ * One QueryEngine serves every client; clients opening the same trace
+ * file share its caches. SIGINT/SIGTERM shut the daemon down cleanly
+ * (in-flight work is cancelled and waited out) and print the session's
+ * request counters.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "daemon/server.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--workers N] [--cap K]\n"
+        "  --socket PATH  Unix-domain socket to listen on (required)\n"
+        "  --workers N    query-engine worker threads (0 = one per\n"
+        "                 hardware thread; default 0)\n"
+        "  --cap K        per-client in-flight request cap (default 16)\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    aftermath::daemon::Server::Options options;
+    options.workers = 0;
+
+    for (int i = 1; i < argc; i++) {
+        auto needValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--socket") == 0) {
+            socket_path = needValue("--socket");
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            options.workers = static_cast<unsigned>(
+                std::strtoul(needValue("--workers"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--cap") == 0) {
+            options.inflightCap = static_cast<std::uint32_t>(
+                std::strtoul(needValue("--cap"), nullptr, 10));
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (socket_path.empty() || options.inflightCap == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    // Block the shutdown signals before any thread spawns so they are
+    // delivered to sigwait below, not to a connection thread.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    aftermath::daemon::Server server(options);
+    std::string error;
+    if (!server.serveUnix(socket_path, error)) {
+        std::fprintf(stderr, "aftermathd: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("aftermathd: serving on %s (cap %u per client)\n",
+                socket_path.c_str(), options.inflightCap);
+    std::fflush(stdout);
+
+    int caught = 0;
+    sigwait(&signals, &caught);
+    std::printf("aftermathd: signal %d, shutting down\n", caught);
+    server.stop();
+
+    aftermath::daemon::Server::Stats stats = server.stats();
+    std::printf("aftermathd: served %llu requests over %llu connections "
+                "(%llu rejected, %llu protocol errors, %llu reaped on "
+                "disconnect)\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.connectionsAccepted),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.protocolErrors),
+                static_cast<unsigned long long>(
+                    stats.cancelledOnDisconnect));
+    return 0;
+}
