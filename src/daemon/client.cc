@@ -127,6 +127,12 @@ decodeOpenReply(ByteReader &r, OpenTraceReply &out)
     return decodeOpenTraceReply(r, out) && r.atEnd();
 }
 
+bool
+decodeAnoms(ByteReader &r, std::vector<stats::Anomaly> &out)
+{
+    return stats::decodeAnomalies(r, out) && r.atEnd();
+}
+
 } // namespace
 
 Client::Client() : core_(std::make_shared<ClientCore>()) {}
@@ -361,6 +367,15 @@ Client::asyncTimelineRender(const TimelineRenderRequest &req)
                                 decodeRender);
 }
 
+Future<std::vector<stats::Anomaly>>
+Client::asyncAnomalyScan(const AnomalyScanRequest &req)
+{
+    ByteWriter w;
+    encodeAnomalyScanRequest(req, w);
+    return request<std::vector<stats::Anomaly>>(MsgType::AnomalyScan,
+                                                w.take(), decodeAnoms);
+}
+
 Future<Ack>
 Client::asyncCancel(std::uint64_t target_request_id)
 {
@@ -430,6 +445,12 @@ Reply<RenderReply>
 Client::timelineRender(const TimelineRenderRequest &request)
 {
     return asyncTimelineRender(request).get();
+}
+
+Reply<std::vector<stats::Anomaly>>
+Client::anomalyScan(const AnomalyScanRequest &request)
+{
+    return asyncAnomalyScan(request).get();
 }
 
 } // namespace daemon

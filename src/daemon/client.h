@@ -181,6 +181,8 @@ class Client
     Future<session::WarmupStats> asyncWarmup(const WarmupRequest &request);
     Future<RenderReply>
     asyncTimelineRender(const TimelineRenderRequest &request);
+    Future<std::vector<stats::Anomaly>>
+    asyncAnomalyScan(const AnomalyScanRequest &request);
 
     /**
      * Ask the server to cancel in-flight request @p target_request_id.
@@ -205,6 +207,8 @@ class Client
     Reply<session::WarmupStats> warmup(const WarmupRequest &request);
     Reply<RenderReply>
     timelineRender(const TimelineRenderRequest &request);
+    Reply<std::vector<stats::Anomaly>>
+    anomalyScan(const AnomalyScanRequest &request);
 
   private:
     /** Register a slot and send the frame; null slot = send failed. */

@@ -1,5 +1,6 @@
 #include "daemon/protocol.h"
 
+#include <cmath>
 #include <unordered_set>
 
 namespace aftermath {
@@ -438,6 +439,51 @@ decodeTimelineRenderRequest(ByteReader &r, TimelineRenderRequest &out)
         r.markFailed();
         return false;
     }
+    return true;
+}
+
+void
+encodeAnomalyScanRequest(const AnomalyScanRequest &q, ByteWriter &w)
+{
+    writeHead(q.head, w);
+    writeOptionalInterval(q.interval, w);
+    w.writeVarint(q.options.numIntervals);
+    w.writeDouble(q.options.idleWorkerFraction);
+    w.writeDouble(q.options.durationZScore);
+    w.writeDouble(q.options.burstFactor);
+    w.writeVarint(q.options.maxPerKind);
+}
+
+bool
+decodeAnomalyScanRequest(ByteReader &r, AnomalyScanRequest &out)
+{
+    if (!readHead(r, out.head) || !readOptionalInterval(r, out.interval))
+        return false;
+    std::uint64_t intervals = r.readVarint();
+    // The scan materializes one slot per sub-interval per CPU chunk: a
+    // million subdivisions is already far past useful resolution.
+    if (!r.ok() || intervals == 0 || intervals > 1u << 20) {
+        r.markFailed();
+        return false;
+    }
+    out.options.numIntervals = static_cast<std::uint32_t>(intervals);
+    out.options.idleWorkerFraction = r.readDouble();
+    out.options.durationZScore = r.readDouble();
+    out.options.burstFactor = r.readDouble();
+    if (!r.ok() || !std::isfinite(out.options.idleWorkerFraction) ||
+        !std::isfinite(out.options.durationZScore) ||
+        !std::isfinite(out.options.burstFactor)) {
+        r.markFailed();
+        return false;
+    }
+    std::uint64_t cap = r.readVarint();
+    // Findings come back over the same transport; a cap past the frame
+    // bound is semantically garbage.
+    if (!r.ok() || cap > kMaxFrameBytes) {
+        r.markFailed();
+        return false;
+    }
+    out.options.maxPerKind = static_cast<std::size_t>(cap);
     return true;
 }
 

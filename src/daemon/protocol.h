@@ -119,7 +119,17 @@ enum class MsgType : std::uint8_t
     Warmup = 12,
     Cancel = 13,   ///< Cancel an in-flight request by its request-id.
     Response = 14, ///< Server -> client; echoes the request-id.
+    AnomalyScan = 15, ///< Ranked anomaly scan (stats/anomaly.h).
 };
+
+/**
+ * Highest assigned message type, the upper bound of the wire layer's
+ * frame-type validation. Extend this when appending a type to MsgType
+ * — numbers above Response stay valid because existing assignments
+ * never move.
+ */
+constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::AnomalyScan);
 
 /** First body byte of every Response frame. */
 enum class Status : std::uint8_t
@@ -255,6 +265,18 @@ struct WarmupRequest
     session::WarmupPolicy policy;
 };
 
+/**
+ * Wire form of session::AnomalyScanQuery. The reply body is the ranked
+ * list via stats::encodeAnomalies(), byte-identical to encoding a
+ * local Session's scan of the same window under the same thresholds.
+ */
+struct AnomalyScanRequest
+{
+    QueryHead head;
+    std::optional<TimeInterval> interval; ///< nullopt = current view.
+    stats::AnomalyScanOptions options;
+};
+
 /** TimelineRenderQuery minus the process-local taskFilter pointer. */
 struct TimelineRenderRequest
 {
@@ -282,6 +304,8 @@ bool decodeWarmupRequest(ByteReader &r, WarmupRequest &out);
 void encodeTimelineRenderRequest(const TimelineRenderRequest &q,
                                  ByteWriter &w);
 bool decodeTimelineRenderRequest(ByteReader &r, TimelineRenderRequest &out);
+void encodeAnomalyScanRequest(const AnomalyScanRequest &q, ByteWriter &w);
+bool decodeAnomalyScanRequest(ByteReader &r, AnomalyScanRequest &out);
 
 // -- Query replies --------------------------------------------------------
 

@@ -484,6 +484,31 @@ Server::Connection::dispatch(const Frame &frame)
             });
         return;
     }
+    case MsgType::AnomalyScan: {
+        AnomalyScanRequest q;
+        if (!decodeOrFail(frame, "AnomalyScan", decodeAnomalyScanRequest,
+                          q))
+            return;
+        Binding *binding = findBinding(q.head.traceId);
+        if (!binding) {
+            sendFailure(frame.requestId, Status::Error, 0,
+                        "unknown trace id");
+            return;
+        }
+        if (!admit(frame.requestId))
+            return;
+        session::AnomalyScanQuery spec;
+        spec.options = q.options;
+        spec.interval = q.interval;
+        spec.priority =
+            effectivePriority(q.head.priority, spec.priority);
+        track<std::vector<stats::Anomaly>>(
+            frame.requestId, binding->session->submit(spec),
+            spec.priority == QueryPriority::Background,
+            [](const std::vector<stats::Anomaly> &anomalies,
+               ByteWriter &w) { stats::encodeAnomalies(anomalies, w); });
+        return;
+    }
     default:
         server_->protocolErrors_.fetch_add(1, std::memory_order_relaxed);
         sendFailure(frame.requestId, Status::Error, 0,

@@ -102,7 +102,7 @@ readFrame(int fd, Frame &out)
 
     std::uint8_t type = payload[0];
     if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
-        type > static_cast<std::uint8_t>(MsgType::Response))
+        type > kMaxMsgType)
         return FrameReadStatus::Truncated;
     out.type = static_cast<MsgType>(type);
     out.requestId = 0;

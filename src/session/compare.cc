@@ -73,6 +73,19 @@ pairedHistograms(const std::vector<std::vector<double>> &observations,
     return out;
 }
 
+bool
+regressionRankedBefore(const RegressionFinding &a,
+                       const RegressionFinding &b)
+{
+    if (a.severity != b.severity)
+        return a.severity > b.severity;
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    if (a.taskType != b.taskType)
+        return a.taskType < b.taskType;
+    return stats::anomalyRankedBefore(a.anomaly, b.anomaly);
+}
+
 } // namespace compare
 } // namespace session
 } // namespace aftermath

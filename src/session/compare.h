@@ -23,6 +23,7 @@
 
 #include "base/time_interval.h"
 #include "base/types.h"
+#include "stats/anomaly.h"
 #include "stats/histogram.h"
 #include "stats/interval_stats.h"
 #include "stats/regression.h"
@@ -117,6 +118,73 @@ struct RegressionRow
 
     /** Fit of duration (y) vs counter rate per kcycle (x). */
     stats::Regression fit;
+};
+
+// -- Cross-variant regression detection ----------------------------------
+
+/** Thresholds of SessionGroup::detectRegressions(). */
+struct RegressionOptions
+{
+    /** Thresholds of the per-variant anomaly scans. */
+    stats::AnomalyScanOptions scan;
+
+    /**
+     * Task-type slowdown: minimum variant-over-baseline mean-duration
+     * ratio to report.
+     */
+    double slowdownRatio = 1.25;
+};
+
+/** One way the variant regressed relative to the baseline. */
+struct RegressionFinding
+{
+    enum class Kind : std::uint8_t {
+        /** A task type's mean duration grew past slowdownRatio. */
+        TaskTypeSlowdown = 0,
+        /** An idle phase with no overlapping baseline idle phase. */
+        NewIdlePhase = 1,
+        /** A counter burst of a (cpu, counter) pair quiet at the same
+         *  time in the baseline. */
+        NewCounterBurst = 2,
+    };
+
+    Kind kind = Kind::TaskTypeSlowdown;
+
+    /** The slowed-down type (TaskTypeSlowdown only). */
+    TaskTypeId taskType = 0;
+
+    /** The variant-side anomaly (NewIdlePhase / NewCounterBurst). */
+    stats::Anomaly anomaly;
+
+    /**
+     * Ranking key: the mean-duration ratio for slowdowns, the
+     * variant-side normalized anomaly severity otherwise.
+     */
+    double severity = 0.0;
+
+    /** Human-readable summary with raw magnitudes. */
+    std::string description;
+};
+
+/**
+ * Strict ranking of regression findings: severity descending, ties by
+ * kind ordinal, task type, then the anomaly's ranked order.
+ */
+bool regressionRankedBefore(const RegressionFinding &a,
+                            const RegressionFinding &b);
+
+/** What SessionGroup::detectRegressions() found. */
+struct RegressionReport
+{
+    /** Group indexes the comparison ran over. */
+    std::size_t baseline = 0;
+    std::size_t variant = 0;
+
+    /** Variant-minus-baseline interval statistics over both views. */
+    IntervalStatsDelta delta;
+
+    /** Regressions, ranked by regressionRankedBefore(). */
+    std::vector<RegressionFinding> findings;
 };
 
 } // namespace compare

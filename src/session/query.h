@@ -31,6 +31,7 @@
 #include "render/framebuffer.h"
 #include "render/render_stats.h"
 #include "render/timeline_renderer.h"
+#include "stats/anomaly.h"
 #include "trace/format.h"
 #include "trace/trace.h"
 
@@ -187,6 +188,37 @@ struct TimelineRenderResult
     // replaces it with the width x height frame before completion.
     render::Framebuffer fb{1, 1};
     render::RenderStats stats;
+};
+
+/**
+ * Ranked anomaly scan of the current view (Session::scanForAnomalies):
+ * idle phases, duration outliers and counter bursts in one list, see
+ * stats/anomaly.h. The executor fans the scan out as independent chunks
+ * — one per CPU, one per task type, one per sampled (cpu, counter) pair
+ * — on the shared pool and merges partials deterministically, so the
+ * result is bit-identical to the serial scanner at any worker count.
+ * The scan respects the session's active FilterSet (outlier detection
+ * is restricted to tasks it accepts) and is view-generation-aware: a
+ * view or filter change while the scan is queued or running cancels it.
+ * Cancellation — explicit or by generation bump — is cooperative at
+ * chunk boundaries.
+ */
+struct AnomalyScanQuery
+{
+    /** Detector thresholds and the per-kind cap. */
+    stats::AnomalyScanOptions options;
+
+    /** Interval to scan; nullopt = the current view. */
+    std::optional<TimeInterval> interval;
+
+    /**
+     * Scheduling class. Background by default: a whole-trace scan is a
+     * "find me something interesting" sweep, not a blocking
+     * interaction, and its drainers yield at every chunk boundary when
+     * interactive work arrives. The synchronous
+     * Session::scanForAnomalies() wrapper submits at Interactive.
+     */
+    QueryPriority priority = QueryPriority::Background;
 };
 
 /**

@@ -18,6 +18,7 @@
 #include "filter/task_filter.h"
 #include "session/renderer_pool.h"
 #include "session/session.h"
+#include "stats/anomaly.h"
 #include "stats/histogram.h"
 #include "trace/reader.h"
 
@@ -432,6 +433,66 @@ drainWarmup(const std::shared_ptr<WarmupJob> &job)
     job->ticket->complete(stats);
 }
 
+// -- Anomaly scan (parallel fan-out) -------------------------------------
+
+/**
+ * One anomaly scan decomposed into the detector chunks of
+ * stats::anomalyScanChunks(): per-CPU idle chunks, per-task-type
+ * outlier chunks, per-(cpu, counter) burst chunks. Claiming, yielding
+ * and completion mirror StatsJob; the last drainer merges the partials
+ * in chunk order through stats::mergeAnomalyChunks(), so the ranked
+ * list is bit-identical to the serial scanner at any worker count.
+ */
+struct AnomalyScanJob
+{
+    std::shared_ptr<detail::TicketState<std::vector<stats::Anomaly>>>
+        ticket;
+    std::shared_ptr<const trace::Trace> trace;
+    std::shared_ptr<const filter::FilterSet> filters;
+    stats::AnomalyScanOptions options;
+    TimeInterval interval;
+    std::vector<stats::AnomalyScanChunk> chunks;
+    std::vector<stats::AnomalyChunkResult> partials;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> active{0};
+    std::atomic<bool> abandoned{false};
+
+    /** See StatsJob::pool / StatsJob::background. */
+    base::ThreadPool *pool = nullptr;
+    bool background = false;
+};
+
+void
+drainAnomalies(const std::shared_ptr<AnomalyScanJob> &job)
+{
+    job->ticket->markRunning();
+    const std::size_t total = job->chunks.size();
+    for (;;) {
+        if (job->ticket->stale()) {
+            job->abandoned.store(true, std::memory_order_relaxed);
+            break;
+        }
+        if (yieldForInteractive(job, drainAnomalies))
+            return;
+        std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total)
+            break;
+        job->partials[i] = stats::runAnomalyChunk(
+            *job->trace, job->chunks[i], job->options, job->interval,
+            job->filters.get());
+    }
+    if (job->active.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    if (job->abandoned.load(std::memory_order_relaxed) ||
+        job->ticket->stale()) {
+        job->ticket->completeCancelled();
+        return;
+    }
+    job->ticket->complete(stats::mergeAnomalyChunks(
+        *job->trace, job->chunks, std::move(job->partials), job->options,
+        job->interval));
+}
+
 } // namespace
 
 // -- Session::submit overloads -------------------------------------------
@@ -804,6 +865,40 @@ Session::submit(const TimelineRenderQuery &query)
         state->handle = handle;
     }
     return QueryTicket<TimelineRenderResult>(std::move(state));
+}
+
+QueryTicket<std::vector<stats::Anomaly>>
+Session::submit(const AnomalyScanQuery &query)
+{
+    TimeInterval interval = query.interval.value_or(view());
+    // View-dependent by default generation: a view, filter or trace
+    // mutation makes a queued or running scan stale (polled at chunk
+    // boundaries) — the findings describe a window the user just left.
+    auto state = newTicketState<std::vector<stats::Anomaly>>(*domain_);
+    auto job = std::make_shared<AnomalyScanJob>();
+    job->ticket = state;
+    job->trace = trace_;
+    job->filters = std::make_shared<const filter::FilterSet>(filters_);
+    job->options = query.options;
+    job->interval = interval;
+    if (interval.empty() || query.options.numIntervals == 0)
+        return completedTicket(*domain_, std::vector<stats::Anomaly>());
+    job->chunks = stats::anomalyScanChunks(*trace_);
+    const std::size_t total = job->chunks.size();
+    if (total == 0)
+        return completedTicket(*domain_, std::vector<stats::Anomaly>());
+    job->partials.resize(total);
+    job->background = query.priority == QueryPriority::Background;
+    const std::size_t drainers = std::max<std::size_t>(
+        1, std::min<std::size_t>(engine_->workers(), total));
+    job->active.store(drainers, std::memory_order_relaxed);
+    base::TaskPriority priority = toTaskPriority(query.priority);
+    engine_->withPool([&](base::ThreadPool &pool) {
+        job->pool = &pool;
+        for (std::size_t d = 0; d < drainers; d++)
+            pool.submit([job] { drainAnomalies(job); }, priority);
+    });
+    return QueryTicket<std::vector<stats::Anomaly>>(std::move(state));
 }
 
 } // namespace session

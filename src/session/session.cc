@@ -263,6 +263,17 @@ Session::warmup()
     return warmup(WarmupPolicy());
 }
 
+std::vector<stats::Anomaly>
+Session::scanForAnomalies(const stats::AnomalyScanOptions &options)
+{
+    // The caller blocks on the result, so the synchronous form runs at
+    // Interactive priority instead of the spec's Background default.
+    AnomalyScanQuery query;
+    query.options = options;
+    query.priority = QueryPriority::Interactive;
+    return submit(query).take();
+}
+
 void
 Session::setStatsCacheCapacity(std::size_t capacity)
 {

@@ -219,6 +219,18 @@ class Session
     submit(const TimelineRenderQuery &query);
 
     /**
+     * Scan for anomalies asynchronously (see AnomalyScanQuery): the
+     * detector chunks fan out on the engine's pool, respect the active
+     * filters and the query interval (nullopt = current view), and the
+     * merged ranked list is bit-identical to the synchronous
+     * scanForAnomalies() at any worker count. View-generation-aware:
+     * view/filter/trace mutations cancel a queued or running scan at
+     * its next chunk boundary.
+     */
+    QueryTicket<std::vector<stats::Anomaly>>
+    submit(const AnomalyScanQuery &query);
+
+    /**
      * Load a trace asynchronously through the two-phase parallel
      * reader (trace/reader.h) and return its ticket; the driving
      * thread swaps the result in with setTrace(result.trace). Like
@@ -350,6 +362,16 @@ class Session
     /** Duration histogram of the tasks accepted by @p filter. */
     stats::Histogram histogramMatching(const filter::TaskFilter &filter,
                                        std::uint32_t num_bins) const;
+
+    /**
+     * Ranked anomaly scan of the current view, restricted to tasks the
+     * active filters accept (stats/anomaly.h). Blocking wrapper around
+     * submit(AnomalyScanQuery) at Interactive priority; the parallel
+     * chunk fan-out and deterministic merge make the result identical
+     * at any worker count.
+     */
+    std::vector<stats::Anomaly>
+    scanForAnomalies(const stats::AnomalyScanOptions &options = {});
 
     // -- Counter queries ---------------------------------------------------
 

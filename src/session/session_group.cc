@@ -1,8 +1,11 @@
 #include "session/session_group.h"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 #include "base/logging.h"
+#include "base/string_util.h"
 #include "stats/regression.h"
 
 namespace aftermath {
@@ -143,6 +146,116 @@ SessionGroup::regressionRows(CounterId counter)
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+compare::RegressionReport
+SessionGroup::detectRegressions(std::size_t baseline, std::size_t variant,
+                                const compare::RegressionOptions &options)
+{
+    compare::RegressionReport report;
+    report.baseline = baseline;
+    report.variant = variant;
+
+    // Kick both anomaly scans off first so they overlap on the shared
+    // pool while the driving thread computes the stats delta and the
+    // per-type means.
+    AnomalyScanQuery scan;
+    scan.options = options.scan;
+    scan.priority = QueryPriority::Interactive;
+    QueryTicket<std::vector<stats::Anomaly>> scan_a =
+        session(baseline).submit(scan);
+    QueryTicket<std::vector<stats::Anomaly>> scan_b =
+        session(variant).submit(scan);
+
+    report.delta = intervalStatsDelta(baseline, variant);
+
+    // Task-type slowdowns over the filtered task lists: the mean
+    // duration of every type present on both sides, compared directly.
+    struct TypeAgg
+    {
+        double sum = 0.0;
+        std::size_t n = 0;
+    };
+    std::map<TaskTypeId, TypeAgg> agg_a, agg_b;
+    for (const trace::TaskInstance *task : session(baseline).tasks()) {
+        TypeAgg &agg = agg_a[task->type];
+        agg.sum += static_cast<double>(task->duration());
+        agg.n++;
+    }
+    for (const trace::TaskInstance *task : session(variant).tasks()) {
+        TypeAgg &agg = agg_b[task->type];
+        agg.sum += static_cast<double>(task->duration());
+        agg.n++;
+    }
+    const auto &types = session(variant).trace().taskTypes();
+    for (const auto &[type, b] : agg_b) {
+        auto it = agg_a.find(type);
+        if (it == agg_a.end() || it->second.n == 0 || b.n == 0)
+            continue; // A type absent on one side has no ratio.
+        double mean_a =
+            it->second.sum / static_cast<double>(it->second.n);
+        double mean_b = b.sum / static_cast<double>(b.n);
+        if (mean_a <= 0)
+            continue;
+        double ratio = mean_b / mean_a;
+        if (ratio < options.slowdownRatio)
+            continue;
+        auto name_it = types.find(type);
+        const char *name =
+            name_it != types.end() ? name_it->second.name.c_str() : "?";
+        compare::RegressionFinding finding;
+        finding.kind = compare::RegressionFinding::Kind::TaskTypeSlowdown;
+        finding.taskType = type;
+        finding.severity = ratio;
+        finding.description = strFormat(
+            "task type %llu (%s): mean duration %.2fx baseline "
+            "(%s -> %s)",
+            static_cast<unsigned long long>(type), name, ratio,
+            humanCycles(static_cast<TimeStamp>(mean_a)).c_str(),
+            humanCycles(static_cast<TimeStamp>(mean_b)).c_str());
+        report.findings.push_back(std::move(finding));
+    }
+
+    // Variant-side anomalies with no baseline counterpart: an idle
+    // phase nothing overlaps, a burst of a pair quiet at that time.
+    std::vector<stats::Anomaly> base_anomalies = scan_a.take();
+    for (const stats::Anomaly &a : scan_b.take()) {
+        bool matched = false;
+        compare::RegressionFinding finding;
+        switch (a.kind) {
+        case stats::AnomalyKind::IdlePhase:
+            for (const stats::Anomaly &base : base_anomalies)
+                matched |= base.kind == stats::AnomalyKind::IdlePhase &&
+                           base.interval.overlaps(a.interval);
+            finding.kind = compare::RegressionFinding::Kind::NewIdlePhase;
+            break;
+        case stats::AnomalyKind::CounterBurst:
+            for (const stats::Anomaly &base : base_anomalies)
+                matched |=
+                    base.kind == stats::AnomalyKind::CounterBurst &&
+                    base.cpu == a.cpu && base.counter == a.counter &&
+                    base.interval.overlaps(a.interval);
+            finding.kind =
+                compare::RegressionFinding::Kind::NewCounterBurst;
+            break;
+        case stats::AnomalyKind::DurationOutlier:
+            // Individual outliers don't pair across variants (task ids
+            // differ); the per-type means above cover slowdowns.
+            matched = true;
+            break;
+        }
+        if (matched)
+            continue;
+        finding.anomaly = a;
+        finding.severity = a.severity;
+        finding.description =
+            strFormat("variant-only %s", a.description.c_str());
+        report.findings.push_back(std::move(finding));
+    }
+
+    std::sort(report.findings.begin(), report.findings.end(),
+              compare::regressionRankedBefore);
+    return report;
 }
 
 render::RenderStats

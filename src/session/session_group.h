@@ -148,6 +148,22 @@ class SessionGroup
      */
     std::vector<compare::RegressionRow> regressionRows(CounterId counter);
 
+    /**
+     * Cross-variant regression detection: what got worse in variant
+     * @p variant relative to variant @p baseline (the paper's A/B
+     * workflow, automated). Reports task types whose mean filtered
+     * duration grew past options.slowdownRatio, idle phases of the
+     * variant with no overlapping baseline idle phase, and counter
+     * bursts of (cpu, counter) pairs quiet at the same time in the
+     * baseline — ranked by compare::regressionRankedBefore() — plus
+     * the variant-minus-baseline interval-statistics delta. The two
+     * underlying anomaly scans overlap on the shared engine pool.
+     * Deterministic: same sessions and options, same report.
+     */
+    compare::RegressionReport
+    detectRegressions(std::size_t baseline, std::size_t variant,
+                      const compare::RegressionOptions &options = {});
+
     // -- Rendering ---------------------------------------------------------
 
     /**

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "base/string_util.h"
-#include "metrics/generators.h"
+#include "filter/task_filter.h"
 #include "trace/state.h"
 
 namespace aftermath {
@@ -13,85 +12,87 @@ namespace stats {
 
 namespace {
 
-void
-detectIdlePhases(const trace::Trace &trace,
-                 const AnomalyScanOptions &options,
-                 std::vector<Anomaly> &out)
+/** The i-th of n equal subdivisions of @p scan (last absorbs remainder);
+ *  must match metrics::stateOccupancy's subdivision exactly. */
+TimeInterval
+subIntervalOf(const TimeInterval &scan, std::uint32_t i, std::uint32_t n)
 {
-    metrics::DerivedCounter idle = metrics::stateOccupancy(
-        trace, static_cast<std::uint32_t>(trace::CoreState::Idle),
-        options.numIntervals);
-    if (idle.samples.empty())
-        return;
-
-    double threshold = options.idleWorkerFraction *
-                       static_cast<double>(trace.numCpus());
-    TimeStamp width = trace.span().duration() / options.numIntervals;
-
-    // Merge consecutive above-threshold intervals into one phase.
-    std::vector<Anomaly> phases;
-    std::size_t i = 0;
-    while (i < idle.samples.size()) {
-        if (idle.samples[i].value < threshold) {
-            i++;
-            continue;
-        }
-        std::size_t begin = i;
-        double peak = 0.0;
-        while (i < idle.samples.size() &&
-               idle.samples[i].value >= threshold) {
-            peak = std::max(peak, idle.samples[i].value);
-            i++;
-        }
-        Anomaly a;
-        a.kind = AnomalyKind::IdlePhase;
-        a.interval = {idle.samples[begin].time - width / 2,
-                      idle.samples[i - 1].time + width / 2};
-        a.severity = peak / static_cast<double>(trace.numCpus());
-        a.description = strFormat(
-            "idle phase: up to %.0f of %u workers idle for %s",
-            peak, trace.numCpus(),
-            humanCycles(a.interval.duration()).c_str());
-        phases.push_back(std::move(a));
-    }
-    std::sort(phases.begin(), phases.end(),
-              [](const Anomaly &a, const Anomaly &b) {
-                  return a.severity > b.severity;
-              });
-    if (phases.size() > options.maxPerKind)
-        phases.resize(options.maxPerKind);
-    out.insert(out.end(), phases.begin(), phases.end());
+    TimeStamp width = scan.duration() / n;
+    TimeStamp start = scan.start + static_cast<TimeStamp>(i) * width;
+    TimeStamp end = (i + 1 == n) ? scan.end : start + width;
+    return {start, end};
 }
 
-void
-detectDurationOutliers(const trace::Trace &trace,
-                       const AnomalyScanOptions &options,
-                       std::vector<Anomaly> &out)
+/** [start, end] widened by @p half each side, saturating-clamped to
+ *  @p scan. Naive widening would wrap below zero at the scan start and
+ *  spill past the scan end; a phase never extends beyond the window it
+ *  was detected in. */
+TimeInterval
+widenClamped(TimeStamp start, TimeStamp end, TimeStamp half,
+             const TimeInterval &scan)
 {
-    // Per-type mean and stddev of task durations.
-    struct TypeStats
-    {
-        double sum = 0, sum2 = 0;
-        std::uint64_t n = 0;
-    };
-    std::map<TaskTypeId, TypeStats> by_type;
-    for (const trace::TaskInstance &task : trace.taskInstances()) {
-        TypeStats &s = by_type[task.type];
-        double d = static_cast<double>(task.duration());
-        s.sum += d;
-        s.sum2 += d * d;
-        s.n++;
-    }
+    TimeInterval out;
+    out.start = (start >= scan.start + half) ? start - half : scan.start;
+    out.end = (scan.end - end >= half) ? end + half : scan.end;
+    return out;
+}
 
-    std::vector<Anomaly> findings;
+AnomalyChunkResult
+runIdleChunk(const trace::Trace &trace, CpuId cpu,
+             const AnomalyScanOptions &options,
+             const TimeInterval &scan)
+{
+    AnomalyChunkResult out;
+    out.idleTime.assign(options.numIntervals, 0);
+    const trace::CpuTimeline &timeline = trace.cpu(cpu);
+    for (std::uint32_t i = 0; i < options.numIntervals; i++) {
+        TimeInterval iv = subIntervalOf(scan, i, options.numIntervals);
+        if (iv.empty())
+            continue;
+        out.idleTime[i] = timeline.timeInState(
+            static_cast<std::uint32_t>(trace::CoreState::Idle), iv);
+    }
+    return out;
+}
+
+AnomalyChunkResult
+runOutlierChunk(const trace::Trace &trace, TaskTypeId type,
+                const AnomalyScanOptions &options,
+                const TimeInterval &scan,
+                const filter::FilterSet *filters)
+{
+    AnomalyChunkResult out;
+
+    // Welford accumulation in trace order: numerically stable where the
+    // one-pass sum2/n - mean^2 form catastrophically cancels for large
+    // cycle counts (variance of small jitter on ~2^50-cycle durations
+    // would vanish entirely, silently suppressing every z-score).
+    double mean = 0.0, m2 = 0.0;
+    std::uint64_t n = 0;
     for (const trace::TaskInstance &task : trace.taskInstances()) {
-        const TypeStats &s = by_type[task.type];
-        if (s.n < 10)
-            continue; // Too few samples for a meaningful z-score.
-        double mean = s.sum / static_cast<double>(s.n);
-        double var = s.sum2 / static_cast<double>(s.n) - mean * mean;
-        double sd = var > 0 ? std::sqrt(var) : 0.0;
-        if (sd <= 0)
+        if (task.type != type || !task.interval.overlaps(scan))
+            continue;
+        if (filters && !filters->matches(trace, task))
+            continue;
+        double d = static_cast<double>(task.duration());
+        n++;
+        double delta = d - mean;
+        mean += delta / static_cast<double>(n);
+        m2 += delta * (d - mean);
+    }
+    if (n < 10)
+        return out; // Too few samples for a meaningful z-score.
+    double sd = std::sqrt(m2 / static_cast<double>(n));
+    if (sd <= 0)
+        return out;
+
+    auto it = trace.taskTypes().find(type);
+    const char *name =
+        it != trace.taskTypes().end() ? it->second.name.c_str() : "?";
+    for (const trace::TaskInstance &task : trace.taskInstances()) {
+        if (task.type != type || !task.interval.overlaps(scan))
+            continue;
+        if (filters && !filters->matches(trace, task))
             continue;
         double z = (static_cast<double>(task.duration()) - mean) / sd;
         if (z < options.durationZScore)
@@ -102,89 +103,288 @@ detectDurationOutliers(const trace::Trace &trace,
         a.cpu = task.cpu;
         a.task = task.id;
         a.severity = z;
-        auto it = trace.taskTypes().find(task.type);
         a.description = strFormat(
             "task %llu (%s) ran %s, %.1f sigma above its type mean",
-            static_cast<unsigned long long>(task.id),
-            it != trace.taskTypes().end() ? it->second.name.c_str()
-                                          : "?",
+            static_cast<unsigned long long>(task.id), name,
             humanCycles(task.duration()).c_str(), z);
-        findings.push_back(std::move(a));
+        out.findings.push_back(std::move(a));
     }
-    std::sort(findings.begin(), findings.end(),
-              [](const Anomaly &a, const Anomaly &b) {
-                  return a.severity > b.severity;
-              });
-    if (findings.size() > options.maxPerKind)
-        findings.resize(options.maxPerKind);
-    out.insert(out.end(), findings.begin(), findings.end());
+    return out;
 }
 
-void
-detectCounterBursts(const trace::Trace &trace,
-                    const AnomalyScanOptions &options,
-                    std::vector<Anomaly> &out)
+AnomalyChunkResult
+runBurstChunk(const trace::Trace &trace, CpuId cpu, CounterId counter,
+              const AnomalyScanOptions &options, const TimeInterval &scan)
 {
-    std::vector<Anomaly> findings;
-    for (const auto &[counter, name] : trace.counters()) {
-        for (CpuId c = 0; c < trace.numCpus(); c++) {
-            const auto &samples = trace.cpu(c).counterSamples(counter);
-            if (samples.size() < 3)
-                continue;
-            // Trace-wide mean rate on this cpu.
-            double total_dv = static_cast<double>(
-                samples.back().value - samples.front().value);
-            double total_dt = static_cast<double>(
-                samples.back().time - samples.front().time);
-            if (total_dt <= 0 || total_dv <= 0)
-                continue;
-            double mean_rate = total_dv / total_dt;
+    AnomalyChunkResult out;
+    const auto &samples = trace.cpu(cpu).counterSamples(counter);
 
-            for (std::size_t i = 1; i < samples.size(); i++) {
-                double dv = static_cast<double>(samples[i].value -
-                                                samples[i - 1].value);
-                double dt = static_cast<double>(samples[i].time -
-                                                samples[i - 1].time);
-                if (dt <= 0)
-                    continue;
-                double rate = dv / dt;
-                if (rate < options.burstFactor * mean_rate)
-                    continue;
-                Anomaly a;
-                a.kind = AnomalyKind::CounterBurst;
-                a.interval = {samples[i - 1].time, samples[i].time};
-                a.cpu = c;
-                a.counter = counter;
-                a.severity = rate / mean_rate;
-                a.description = strFormat(
-                    "cpu %u: %s rate %.1fx the run average", c,
-                    name.c_str(), a.severity);
-                findings.push_back(std::move(a));
-            }
-        }
+    // The in-window contiguous run of samples. A closed [start, end]
+    // bound keeps the whole-span scan identical to an unrestricted one
+    // (the last sample of a trace sits exactly at span().end).
+    std::size_t first = 0;
+    while (first < samples.size() && samples[first].time < scan.start)
+        first++;
+    std::size_t last = first;
+    while (last < samples.size() && samples[last].time <= scan.end)
+        last++;
+    if (last - first < 3)
+        return out;
+
+    // Mean rate over the *increasing* segments only. Counter values are
+    // signed and reset: a naive back-minus-front delta shrinks (or goes
+    // negative) across each reset, deflating the mean rate and
+    // manufacturing false bursts out of perfectly steady segments.
+    std::int64_t total_dv = 0;
+    std::uint64_t total_dt = 0;
+    for (std::size_t i = first + 1; i < last; i++) {
+        std::int64_t dv = samples[i].value - samples[i - 1].value;
+        TimeStamp dt = samples[i].time - samples[i - 1].time;
+        if (dt == 0 || dv <= 0)
+            continue; // Resets and stalls carry no rate information.
+        total_dv += dv;
+        total_dt += dt;
     }
-    std::sort(findings.begin(), findings.end(),
-              [](const Anomaly &a, const Anomaly &b) {
-                  return a.severity > b.severity;
-              });
+    if (total_dt == 0 || total_dv <= 0)
+        return out;
+    double mean_rate = static_cast<double>(total_dv) /
+                       static_cast<double>(total_dt);
+
+    auto it = trace.counters().find(counter);
+    const char *name =
+        it != trace.counters().end() ? it->second.c_str() : "?";
+    for (std::size_t i = first + 1; i < last; i++) {
+        std::int64_t dv = samples[i].value - samples[i - 1].value;
+        TimeStamp dt = samples[i].time - samples[i - 1].time;
+        if (dt == 0 || dv <= 0)
+            continue;
+        double rate =
+            static_cast<double>(dv) / static_cast<double>(dt);
+        if (rate < options.burstFactor * mean_rate)
+            continue;
+        Anomaly a;
+        a.kind = AnomalyKind::CounterBurst;
+        a.interval = {samples[i - 1].time, samples[i].time};
+        a.cpu = cpu;
+        a.counter = counter;
+        a.severity = rate / mean_rate;
+        a.description =
+            strFormat("cpu %u: %s rate %.1fx the run average", cpu,
+                      name, a.severity);
+        out.findings.push_back(std::move(a));
+    }
+    return out;
+}
+
+/**
+ * Sort one kind's raw findings, cap at maxPerKind (keeping the most
+ * severe), normalize severities so the kind's top finding scores 1.0,
+ * and append to @p out.
+ */
+void
+finishKind(std::vector<Anomaly> findings,
+           const AnomalyScanOptions &options, std::vector<Anomaly> &out)
+{
+    std::sort(findings.begin(), findings.end(), anomalyRankedBefore);
     if (findings.size() > options.maxPerKind)
         findings.resize(options.maxPerKind);
-    out.insert(out.end(), findings.begin(), findings.end());
+    if (!findings.empty() && findings.front().severity > 0) {
+        double top = findings.front().severity;
+        for (Anomaly &a : findings)
+            a.severity /= top;
+    }
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
 }
 
 } // namespace
+
+bool
+anomalyRankedBefore(const Anomaly &a, const Anomaly &b)
+{
+    if (a.severity != b.severity)
+        return a.severity > b.severity;
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    if (a.interval.start != b.interval.start)
+        return a.interval.start < b.interval.start;
+    if (a.interval.end != b.interval.end)
+        return a.interval.end < b.interval.end;
+    if (a.cpu != b.cpu)
+        return a.cpu < b.cpu;
+    if (a.task != b.task)
+        return a.task < b.task;
+    return a.counter < b.counter;
+}
+
+std::vector<AnomalyScanChunk>
+anomalyScanChunks(const trace::Trace &trace)
+{
+    std::vector<AnomalyScanChunk> chunks;
+    for (CpuId c = 0; c < trace.numCpus(); c++) {
+        AnomalyScanChunk chunk;
+        chunk.family = AnomalyScanChunk::Family::Idle;
+        chunk.cpu = c;
+        chunks.push_back(chunk);
+    }
+    for (const auto &[type, info] : trace.taskTypes()) {
+        (void)info;
+        AnomalyScanChunk chunk;
+        chunk.family = AnomalyScanChunk::Family::Outlier;
+        chunk.taskType = type;
+        chunks.push_back(chunk);
+    }
+    for (const auto &[counter, name] : trace.counters()) {
+        (void)name;
+        for (CpuId c = 0; c < trace.numCpus(); c++) {
+            // A pair that never reaches three samples cannot burst in
+            // any window; skip it so fan-out stays proportional to the
+            // sampled pairs.
+            if (trace.cpu(c).counterSamples(counter).size() < 3)
+                continue;
+            AnomalyScanChunk chunk;
+            chunk.family = AnomalyScanChunk::Family::Burst;
+            chunk.cpu = c;
+            chunk.counter = counter;
+            chunks.push_back(chunk);
+        }
+    }
+    return chunks;
+}
+
+AnomalyChunkResult
+runAnomalyChunk(const trace::Trace &trace, const AnomalyScanChunk &chunk,
+                const AnomalyScanOptions &options,
+                const TimeInterval &scan_interval,
+                const filter::FilterSet *filters)
+{
+    switch (chunk.family) {
+    case AnomalyScanChunk::Family::Idle:
+        return runIdleChunk(trace, chunk.cpu, options, scan_interval);
+    case AnomalyScanChunk::Family::Outlier:
+        return runOutlierChunk(trace, chunk.taskType, options,
+                               scan_interval, filters);
+    case AnomalyScanChunk::Family::Burst:
+        break;
+    }
+    return runBurstChunk(trace, chunk.cpu, chunk.counter, options,
+                         scan_interval);
+}
+
+std::vector<Anomaly>
+mergeAnomalyChunks(const trace::Trace &trace,
+                   const std::vector<AnomalyScanChunk> &chunks,
+                   std::vector<AnomalyChunkResult> partials,
+                   const AnomalyScanOptions &options,
+                   const TimeInterval &scan_interval)
+{
+    // Partials combine in chunk order: idle totals sum exactly, outlier
+    // and burst findings concatenate by ascending id. Nothing depends
+    // on which worker computed which chunk.
+    std::vector<TimeStamp> idle_totals(options.numIntervals, 0);
+    std::vector<Anomaly> outliers, bursts;
+    for (std::size_t i = 0; i < chunks.size() && i < partials.size();
+         i++) {
+        AnomalyChunkResult &partial = partials[i];
+        switch (chunks[i].family) {
+        case AnomalyScanChunk::Family::Idle:
+            for (std::size_t j = 0;
+                 j < partial.idleTime.size() && j < idle_totals.size();
+                 j++)
+                idle_totals[j] += partial.idleTime[j];
+            break;
+        case AnomalyScanChunk::Family::Outlier:
+            outliers.insert(
+                outliers.end(),
+                std::make_move_iterator(partial.findings.begin()),
+                std::make_move_iterator(partial.findings.end()));
+            break;
+        case AnomalyScanChunk::Family::Burst:
+            bursts.insert(
+                bursts.end(),
+                std::make_move_iterator(partial.findings.begin()),
+                std::make_move_iterator(partial.findings.end()));
+            break;
+        }
+    }
+
+    // Merge consecutive above-threshold sub-intervals into phases.
+    std::vector<Anomaly> phases;
+    double threshold = options.idleWorkerFraction *
+                       static_cast<double>(trace.numCpus());
+    TimeStamp width = scan_interval.duration() / options.numIntervals;
+    std::uint32_t i = 0;
+    while (i < options.numIntervals) {
+        TimeInterval iv = subIntervalOf(scan_interval, i,
+                                        options.numIntervals);
+        double value = iv.empty()
+            ? 0.0
+            : static_cast<double>(idle_totals[i]) /
+                  static_cast<double>(iv.duration());
+        if (iv.empty() || value < threshold) {
+            i++;
+            continue;
+        }
+        std::uint32_t begin = i;
+        double peak = 0.0;
+        TimeStamp phase_end = iv.end;
+        while (i < options.numIntervals) {
+            TimeInterval sub = subIntervalOf(scan_interval, i,
+                                             options.numIntervals);
+            if (sub.empty())
+                break;
+            double v = static_cast<double>(idle_totals[i]) /
+                       static_cast<double>(sub.duration());
+            if (v < threshold)
+                break;
+            peak = std::max(peak, v);
+            phase_end = sub.end;
+            i++;
+        }
+        Anomaly a;
+        a.kind = AnomalyKind::IdlePhase;
+        a.interval = widenClamped(
+            subIntervalOf(scan_interval, begin, options.numIntervals)
+                .start,
+            phase_end, width / 2, scan_interval);
+        a.severity = peak / static_cast<double>(trace.numCpus());
+        a.description = strFormat(
+            "idle phase: up to %.0f of %u workers idle for %s", peak,
+            trace.numCpus(), humanCycles(a.interval.duration()).c_str());
+        phases.push_back(std::move(a));
+    }
+
+    std::vector<Anomaly> out;
+    finishKind(std::move(phases), options, out);
+    finishKind(std::move(outliers), options, out);
+    finishKind(std::move(bursts), options, out);
+    std::sort(out.begin(), out.end(), anomalyRankedBefore);
+    return out;
+}
+
+std::vector<Anomaly>
+scanForAnomalies(const trace::Trace &trace,
+                 const AnomalyScanOptions &options,
+                 const TimeInterval &scan_interval,
+                 const filter::FilterSet *filters)
+{
+    if (scan_interval.empty() || options.numIntervals == 0)
+        return {};
+    std::vector<AnomalyScanChunk> chunks = anomalyScanChunks(trace);
+    std::vector<AnomalyChunkResult> partials;
+    partials.reserve(chunks.size());
+    for (const AnomalyScanChunk &chunk : chunks)
+        partials.push_back(runAnomalyChunk(trace, chunk, options,
+                                           scan_interval, filters));
+    return mergeAnomalyChunks(trace, chunks, std::move(partials),
+                              options, scan_interval);
+}
 
 std::vector<Anomaly>
 scanForAnomalies(const trace::Trace &trace,
                  const AnomalyScanOptions &options)
 {
-    std::vector<Anomaly> out;
-    if (trace.span().empty())
-        return out;
-    detectIdlePhases(trace, options, out);
-    detectDurationOutliers(trace, options, out);
-    detectCounterBursts(trace, options, out);
-    return out;
+    return scanForAnomalies(trace, options, trace.span(), nullptr);
 }
 
 } // namespace stats

@@ -6,8 +6,28 @@
  * quickly focus the search for interesting anomalies" as ongoing work
  * (section VIII). This module implements that extension: it scans a
  * trace for the anomaly classes the paper debugs by hand — idle phases,
- * task-duration outliers, and counter bursts — and returns ranked,
- * time-localized findings the user can jump to.
+ * task-duration outliers, and counter bursts — and returns one ranked,
+ * time-localized list of findings the user can jump to.
+ *
+ * ## Chunk plane
+ *
+ * The scan decomposes into independent chunks — one per CPU (idle
+ * phases), one per task type (duration outliers), one per sampled
+ * (cpu, counter) pair (bursts) — exposed through anomalyScanChunks() /
+ * runAnomalyChunk() / mergeAnomalyChunks() so the asynchronous query
+ * plane (session::AnomalyScanQuery) can fan them out on the shared
+ * worker pool. The serial scanForAnomalies() runs the *same* chunks in
+ * chunk order through the *same* merge, so the parallel result is
+ * bit-identical to the serial one at any worker count by construction.
+ *
+ * ## Ranking
+ *
+ * Findings are capped per kind (maxPerKind keeps the most severe),
+ * severities are normalized per kind (each kind's top finding scores
+ * 1.0, so a 40x counter burst does not drown every idle phase), and
+ * the kinds merge into one list under a strict total order
+ * (anomalyRankedBefore): severity descending, ties broken by kind and
+ * location. Descriptions keep the raw magnitudes.
  */
 
 #ifndef AFTERMATH_STATS_ANOMALY_H
@@ -22,13 +42,18 @@
 #include "trace/trace.h"
 
 namespace aftermath {
+
+namespace filter {
+class FilterSet;
+}
+
 namespace stats {
 
 /** Classes of detected anomalies. */
-enum class AnomalyKind {
-    IdlePhase,       ///< Many workers simultaneously idle (Fig 2/3).
-    DurationOutlier, ///< Task far longer than its type's typical run.
-    CounterBurst,    ///< Counter rate spike relative to the trace mean.
+enum class AnomalyKind : std::uint8_t {
+    IdlePhase = 0,       ///< Many workers simultaneously idle (Fig 2/3).
+    DurationOutlier = 1, ///< Task far longer than its type's typical run.
+    CounterBurst = 2,    ///< Counter rate spike relative to the run mean.
 };
 
 /** One ranked finding. */
@@ -39,29 +64,114 @@ struct Anomaly
     CpuId cpu = kInvalidCpu;          ///< Affected CPU (if applicable).
     TaskInstanceId task = kInvalidTaskInstance; ///< Affected task.
     CounterId counter = 0;            ///< Affected counter (bursts).
-    double severity = 0.0;            ///< Higher = more interesting.
-    std::string description;          ///< Human-readable summary.
+    double severity = 0.0;            ///< Normalized per kind; top = 1.0.
+    std::string description;          ///< Human-readable, raw magnitudes.
 };
 
 /** Thresholds of the scanner. */
 struct AnomalyScanOptions
 {
-    /** Subdivisions of the trace span used for phase detection. */
+    /** Subdivisions of the scan interval used for phase detection. */
     std::uint32_t numIntervals = 100;
     /** Idle phase: fraction of workers that must be idle. */
     double idleWorkerFraction = 0.5;
     /** Duration outlier: z-score threshold within the task type. */
     double durationZScore = 3.0;
-    /** Counter burst: rate relative to the trace-wide mean rate. */
+    /** Counter burst: rate relative to the run's mean rate. */
     double burstFactor = 4.0;
     /** Cap on findings returned per kind. */
     std::size_t maxPerKind = 20;
 };
 
 /**
- * Scan @p trace for anomalies; findings are sorted by severity within
- * each kind, idle phases first.
+ * The strict total order of the ranked list: severity descending, then
+ * kind ordinal, interval edges, cpu, task and counter ascending. Total
+ * (no two distinct findings compare equal), so sorting with it is
+ * deterministic regardless of the order findings were produced in.
  */
+bool anomalyRankedBefore(const Anomaly &a, const Anomaly &b);
+
+// -- Chunk plane ---------------------------------------------------------
+
+/** One independent unit of a decomposed anomaly scan. */
+struct AnomalyScanChunk
+{
+    enum class Family : std::uint8_t {
+        Idle = 0,    ///< Per-CPU idle time per sub-interval.
+        Outlier = 1, ///< Duration outliers of one task type.
+        Burst = 2,   ///< Bursts of one (cpu, counter) pair.
+    };
+
+    Family family = Family::Idle;
+    CpuId cpu = kInvalidCpu;  ///< Idle and Burst chunks.
+    TaskTypeId taskType = 0;  ///< Outlier chunks.
+    CounterId counter = 0;    ///< Burst chunks.
+};
+
+/** Partial result of one chunk. */
+struct AnomalyChunkResult
+{
+    /**
+     * Idle chunks: this CPU's idle time (exact integer cycles) in each
+     * of the numIntervals subdivisions of the scan interval. Merged by
+     * elementwise summation across CPUs, so the merged totals are
+     * bit-identical at any execution order.
+     */
+    std::vector<TimeStamp> idleTime;
+
+    /** Outlier and Burst chunks: raw (un-normalized) findings. */
+    std::vector<Anomaly> findings;
+};
+
+/**
+ * The chunk decomposition of a scan over @p trace: one Idle chunk per
+ * CPU, one Outlier chunk per task type, one Burst chunk per
+ * (cpu, counter) pair with enough samples. The order is deterministic
+ * (families in enum order, ids ascending) and mergeAnomalyChunks()
+ * consumes partials in exactly this order.
+ */
+std::vector<AnomalyScanChunk> anomalyScanChunks(const trace::Trace &trace);
+
+/**
+ * Execute one chunk. @p scan_interval restricts the detectors to one
+ * window (idle sub-intervals subdivide it, tasks must overlap it,
+ * counter samples outside [start, end] are ignored); @p filters — when
+ * non-null — restricts outlier detection to tasks the set accepts
+ * (idle phases and counter bursts are not task-scoped and ignore it).
+ */
+AnomalyChunkResult runAnomalyChunk(const trace::Trace &trace,
+                                   const AnomalyScanChunk &chunk,
+                                   const AnomalyScanOptions &options,
+                                   const TimeInterval &scan_interval,
+                                   const filter::FilterSet *filters);
+
+/**
+ * Merge per-chunk partials (in anomalyScanChunks() order) into the
+ * final ranked list: idle totals become merged phase findings, each
+ * kind is sorted and capped at maxPerKind, severities normalize per
+ * kind, and the kinds interleave under anomalyRankedBefore().
+ */
+std::vector<Anomaly>
+mergeAnomalyChunks(const trace::Trace &trace,
+                   const std::vector<AnomalyScanChunk> &chunks,
+                   std::vector<AnomalyChunkResult> partials,
+                   const AnomalyScanOptions &options,
+                   const TimeInterval &scan_interval);
+
+// -- Whole-scan entry points ---------------------------------------------
+
+/**
+ * Scan @p scan_interval of @p trace for anomalies, restricted to tasks
+ * @p filters accepts (null = no filter). Runs every chunk serially in
+ * chunk order through mergeAnomalyChunks(), so the result is the
+ * bit-identical reference for the parallel AnomalyScanQuery executor.
+ */
+std::vector<Anomaly> scanForAnomalies(const trace::Trace &trace,
+                                      const AnomalyScanOptions &options,
+                                      const TimeInterval &scan_interval,
+                                      const filter::FilterSet *filters);
+
+/** Whole-span, unfiltered scan of @p trace. */
 std::vector<Anomaly> scanForAnomalies(
     const trace::Trace &trace, const AnomalyScanOptions &options = {});
 

@@ -218,5 +218,53 @@ decodeCommMatrix(ByteReader &r, CommMatrix &out)
     return true;
 }
 
+void
+encodeAnomalies(const std::vector<Anomaly> &anomalies, ByteWriter &w)
+{
+    w.writeVarint(anomalies.size());
+    for (const Anomaly &a : anomalies) {
+        w.writeU8(static_cast<std::uint8_t>(a.kind));
+        w.writeU64(a.interval.start);
+        w.writeU64(a.interval.end);
+        w.writeVarint(a.cpu);
+        w.writeVarint(a.task);
+        w.writeVarint(a.counter);
+        w.writeDouble(a.severity);
+        w.writeString(a.description);
+    }
+}
+
+bool
+decodeAnomalies(ByteReader &r, std::vector<Anomaly> &out)
+{
+    out.clear();
+    std::uint64_t count = r.readVarint();
+    // Kind byte + two fixed u64 edges + three varints + severity bits
+    // + the description's length byte: at least 29 bytes per finding.
+    if (!plausibleCount(r, count, 29))
+        return false;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        Anomaly a;
+        std::uint8_t kind = r.readU8();
+        if (kind > static_cast<std::uint8_t>(AnomalyKind::CounterBurst)) {
+            r.markFailed();
+            return false;
+        }
+        a.kind = static_cast<AnomalyKind>(kind);
+        a.interval.start = r.readU64();
+        a.interval.end = r.readU64();
+        a.cpu = static_cast<CpuId>(r.readVarint());
+        a.task = r.readVarint();
+        a.counter = static_cast<CounterId>(r.readVarint());
+        a.severity = r.readDouble();
+        a.description = r.readString();
+        if (!r.ok())
+            return false;
+        out.push_back(std::move(a));
+    }
+    return r.ok();
+}
+
 } // namespace stats
 } // namespace aftermath

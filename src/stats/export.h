@@ -30,6 +30,7 @@
 #include "base/buffer.h"
 #include "index/counter_index.h"
 #include "metrics/task_attribution.h"
+#include "stats/anomaly.h"
 #include "stats/comm_matrix.h"
 #include "stats/histogram.h"
 #include "stats/interval_stats.h"
@@ -84,6 +85,17 @@ void encodeCommMatrix(const CommMatrix &m, ByteWriter &w);
 
 /** Decode into @p out via CommMatrix::fromCells; false on malformed input. */
 bool decodeCommMatrix(ByteReader &r, CommMatrix &out);
+
+/**
+ * Append @p anomalies: count, then per finding the kind byte, interval
+ * edges (fixed u64), cpu/task/counter varints, severity as IEEE bits
+ * and the description string — so a ranked list decoded on the client
+ * is byte-identical to the server's local scan when re-encoded.
+ */
+void encodeAnomalies(const std::vector<Anomaly> &anomalies, ByteWriter &w);
+
+/** Decode into @p out; false on malformed input (bad kind, overrun). */
+bool decodeAnomalies(ByteReader &r, std::vector<Anomaly> &out);
 
 } // namespace stats
 } // namespace aftermath

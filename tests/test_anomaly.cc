@@ -115,7 +115,7 @@ buildBusyTrace()
     return tr;
 }
 
-TEST(AnomalyScan, FindingsAreGroupedByKindAndSortedBySeverity)
+TEST(AnomalyScan, FindingsFormOneRankedListAcrossKinds)
 {
     trace::Trace tr = buildBusyTrace();
     std::string err;
@@ -124,22 +124,31 @@ TEST(AnomalyScan, FindingsAreGroupedByKindAndSortedBySeverity)
     auto findings = stats::scanForAnomalies(tr);
     ASSERT_GE(findings.size(), 3u);
 
-    // All three kinds present, grouped (idle first), and severity is
-    // non-increasing within each kind.
+    // One globally ranked list under the strict total order: severity
+    // never increases, and each adjacent pair is correctly ordered.
     bool seen[3] = {false, false, false};
+    double kind_top[3] = {0.0, 0.0, 0.0};
     for (std::size_t i = 0; i < findings.size(); i++) {
-        seen[kindRank(findings[i].kind)] = true;
+        int rank = kindRank(findings[i].kind);
+        seen[rank] = true;
+        kind_top[rank] = std::max(kind_top[rank], findings[i].severity);
         if (i == 0)
             continue;
-        int prev = kindRank(findings[i - 1].kind);
-        int cur = kindRank(findings[i].kind);
-        EXPECT_LE(prev, cur) << "finding " << i;
-        if (prev == cur) {
-            EXPECT_GE(findings[i - 1].severity, findings[i].severity)
-                << "finding " << i;
-        }
+        EXPECT_GE(findings[i - 1].severity, findings[i].severity)
+            << "finding " << i;
+        EXPECT_FALSE(
+            stats::anomalyRankedBefore(findings[i], findings[i - 1]))
+            << "finding " << i;
     }
     EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+
+    // Severities normalize per kind: every kind's top finding scores
+    // exactly 1.0, so the global head is a severity-1.0 finding and no
+    // kind drowns the others.
+    EXPECT_EQ(findings.front().severity, 1.0);
+    EXPECT_EQ(kind_top[0], 1.0);
+    EXPECT_EQ(kind_top[1], 1.0);
+    EXPECT_EQ(kind_top[2], 1.0);
 
     // The stronger duration outlier (task 23) outranks the weaker one.
     std::vector<TaskInstanceId> outliers;
@@ -187,8 +196,9 @@ TEST(AnomalyScan, MaxPerKindCapsEachKindIndependently)
     // The cap keeps the most severe finding of each kind: the big
     // outlier survives, the small one is dropped.
     for (const stats::Anomaly &a : findings) {
-        if (a.kind == stats::AnomalyKind::DurationOutlier)
+        if (a.kind == stats::AnomalyKind::DurationOutlier) {
             EXPECT_EQ(a.task, 23u);
+        }
     }
 }
 
@@ -275,6 +285,92 @@ TEST(AnomalyScan, BurstReportsCpuCounterAndInterval)
         EXPECT_NE(a.description.find("stalls"), std::string::npos);
     }
     EXPECT_TRUE(found);
+}
+
+// Regression: a resetting counter must not manufacture bursts. A naive
+// back-minus-front total delta shrinks across each reset, deflating the
+// mean rate until perfectly steady segments look like 4x bursts.
+TEST(AnomalyScan, CounterResetDoesNotManufactureBursts)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addCounterDescription({0, "misses"});
+    tr.cpu(0).addState({{0, 1'000}, kExec, kInvalidTaskInstance});
+
+    // Perfectly constant rate (10 per 10 cycles) with three resets to
+    // zero. No window is ever faster than the true rate.
+    std::int64_t v = 0;
+    for (TimeStamp t = 0; t <= 1'000; t += 10) {
+        tr.cpu(0).addCounterSample(0, {t, v});
+        v += 10;
+        if (t == 240 || t == 490 || t == 740)
+            v = 0;
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    for (const stats::Anomaly &a : stats::scanForAnomalies(tr))
+        EXPECT_NE(a.kind, stats::AnomalyKind::CounterBurst)
+            << a.description;
+}
+
+// Regression: idle phases at the trace edges are widened by half a
+// sub-interval on each side; without a saturating clamp the widening
+// wraps below zero at the trace start (unsigned timestamps) and spills
+// past the trace end.
+TEST(AnomalyScan, IdlePhaseIntervalsStayWithinTraceSpan)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.cpu(0).addState({{0, 100}, kIdle, kInvalidTaskInstance});
+    tr.cpu(0).addState({{100, 900}, kExec, kInvalidTaskInstance});
+    tr.cpu(0).addState({{900, 1'000}, kIdle, kInvalidTaskInstance});
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    auto findings = stats::scanForAnomalies(tr);
+    std::size_t phases = 0;
+    for (const stats::Anomaly &a : findings) {
+        if (a.kind != stats::AnomalyKind::IdlePhase)
+            continue;
+        phases++;
+        EXPECT_GE(a.interval.start, tr.span().start) << a.description;
+        EXPECT_LE(a.interval.end, tr.span().end) << a.description;
+    }
+    // Both edge phases must be reported — clamped, not dropped.
+    EXPECT_EQ(phases, 2u);
+}
+
+// Regression: duration variance must survive large cycle counts. The
+// one-pass sum2/n - mean^2 form cancels catastrophically once durations
+// reach ~2^52 cycles (sum2 needs ~104 bits), flattening the jitter to
+// sd == 0 and silently suppressing every outlier; Welford accumulation
+// keeps the small deviations exact.
+TEST(AnomalyScan, LargeDurationsStillDetectOutliers)
+{
+    trace::Trace tr;
+    tr.setTopology(trace::MachineTopology::uniform(1, 1));
+    tr.addTaskType({0x1, "work"});
+    TimeStamp t = 0;
+    for (TaskInstanceId id = 0; id < 12; id++) {
+        TimeStamp d = (TimeStamp{1} << 52) + (id % 3);
+        if (id == 7)
+            d += 100'000;
+        tr.addTaskInstance({id, 0x1, 0, {t, t + d}});
+        tr.cpu(0).addState({{t, t + d}, kExec, id});
+        t += d;
+    }
+    std::string err;
+    ASSERT_TRUE(tr.finalize(err)) << err;
+
+    bool found = false;
+    for (const stats::Anomaly &a : stats::scanForAnomalies(tr)) {
+        if (a.kind != stats::AnomalyKind::DurationOutlier)
+            continue;
+        found = true;
+        EXPECT_EQ(a.task, 7u) << a.description;
+    }
+    EXPECT_TRUE(found) << "outlier lost to catastrophic cancellation";
 }
 
 } // namespace

@@ -129,6 +129,14 @@ bytesOf(const RenderReply &r)
     return w.take();
 }
 
+std::vector<std::uint8_t>
+bytesOf(const std::vector<stats::Anomaly> &findings)
+{
+    ByteWriter w;
+    stats::encodeAnomalies(findings, w);
+    return w.take();
+}
+
 /** The server's task-list row projection, applied to a local result. */
 std::vector<TaskRow>
 toRows(const std::vector<const trace::TaskInstance *> &tasks)
@@ -520,6 +528,75 @@ TEST(Daemon, DisconnectCancelsInflightBackgroundWork)
         EXPECT_EQ(server.stats().sharedTraces, 0u); // Binding released.
         gate.release();
     }
+    server.stop();
+}
+
+/**
+ * Remote anomaly scans return the exact ranked list a local serial
+ * scan produces — byte-identical through the wire encoders, for the
+ * whole span and for a restricted interval with non-default
+ * thresholds, at both wire priorities.
+ */
+TEST(Daemon, AnomalyScanRoundTripsBitIdenticalToLocalScan)
+{
+    const trace::Trace &tr = *traceFile().trace;
+    Server server(Server::Options{2, 16});
+    Client client;
+    ASSERT_TRUE(connect(server, client));
+    std::uint64_t id = 0;
+    ASSERT_TRUE(openShared(client, id));
+
+    AnomalyScanRequest request;
+    request.head.traceId = id;
+    request.head.priority = WirePriority::Interactive;
+    Reply<std::vector<stats::Anomaly>> reply = client.anomalyScan(request);
+    ASSERT_TRUE(reply.ok()) << reply.message;
+    EXPECT_EQ(bytesOf(reply.value), bytesOf(stats::scanForAnomalies(tr)));
+
+    // Restricted interval, tightened thresholds, Background priority.
+    const TimeInterval window{13, tr.span().end - 17};
+    request.head.priority = WirePriority::Background;
+    request.interval = window;
+    request.options.numIntervals = 50;
+    request.options.durationZScore = 2.0;
+    request.options.maxPerKind = 3;
+    Reply<std::vector<stats::Anomaly>> windowed =
+        client.anomalyScan(request);
+    ASSERT_TRUE(windowed.ok()) << windowed.message;
+    EXPECT_EQ(bytesOf(windowed.value),
+              bytesOf(stats::scanForAnomalies(tr, request.options, window,
+                                              nullptr)));
+
+    EXPECT_TRUE(client.closeTrace(id).ok());
+    server.stop();
+}
+
+TEST(Daemon, AnomalyScanCancelsOverTheWire)
+{
+    Server server(Server::Options{1, 16});
+    Client client;
+    ASSERT_TRUE(connect(server, client));
+    std::uint64_t id = 0;
+    ASSERT_TRUE(openShared(client, id));
+
+    WorkerGate gate(*server.engine());
+    AnomalyScanRequest request;
+    request.head.traceId = id;
+    request.head.priority = WirePriority::Background;
+    Future<std::vector<stats::Anomaly>> future =
+        client.asyncAnomalyScan(request);
+
+    // The scan's drainers sit queued behind the gate; the Cancel frame
+    // marks the ticket before any of them can claim a chunk.
+    EXPECT_TRUE(client.asyncCancel(future.requestId()).get().ok());
+    gate.release();
+    EXPECT_EQ(future.get().status, Status::Cancelled);
+
+    // The connection is still healthy: the same scan now completes.
+    Reply<std::vector<stats::Anomaly>> reply = client.anomalyScan(request);
+    ASSERT_TRUE(reply.ok()) << reply.message;
+    EXPECT_EQ(bytesOf(reply.value),
+              bytesOf(stats::scanForAnomalies(*traceFile().trace)));
     server.stop();
 }
 

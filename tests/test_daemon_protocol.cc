@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -242,7 +243,7 @@ TEST(DaemonProtocol, GarbageBodiesAnswerErrorsWithByteOffsets)
         MsgType::IntervalStats, MsgType::Histogram,
         MsgType::TaskList,      MsgType::CounterExtrema,
         MsgType::TimelineRender, MsgType::Warmup,
-        MsgType::Cancel,
+        MsgType::AnomalyScan,   MsgType::Cancel,
     };
     std::uint64_t request_id = 1;
     for (MsgType type : types) {
@@ -308,6 +309,70 @@ TEST(DaemonProtocol, SeededRandomByteStormsNeverCrashTheServer)
     }
     expectServerStillServes(server);
     server.stop();
+}
+
+TEST(DaemonProtocol, AnomalyScanRequestRoundTripsAndValidates)
+{
+    AnomalyScanRequest request;
+    request.head.traceId = 42;
+    request.head.priority = WirePriority::Background;
+    request.interval = TimeInterval{7, 900};
+    request.options.numIntervals = 64;
+    request.options.idleWorkerFraction = 0.25;
+    request.options.durationZScore = 2.5;
+    request.options.burstFactor = 8.0;
+    request.options.maxPerKind = 5;
+
+    ByteWriter w;
+    encodeAnomalyScanRequest(request, w);
+    ByteReader r(w.data());
+    AnomalyScanRequest back;
+    ASSERT_TRUE(decodeAnomalyScanRequest(r, back));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(back.head.traceId, 42u);
+    EXPECT_EQ(back.head.priority, WirePriority::Background);
+    ASSERT_TRUE(back.interval.has_value());
+    EXPECT_EQ(*back.interval, TimeInterval(7, 900));
+    EXPECT_EQ(back.options.numIntervals, 64u);
+    EXPECT_EQ(back.options.idleWorkerFraction, 0.25);
+    EXPECT_EQ(back.options.durationZScore, 2.5);
+    EXPECT_EQ(back.options.burstFactor, 8.0);
+    EXPECT_EQ(back.options.maxPerKind, 5u);
+
+    // A nullopt interval (scan the current view) round-trips too.
+    request.interval.reset();
+    ByteWriter w2;
+    encodeAnomalyScanRequest(request, w2);
+    ByteReader r2(w2.data());
+    ASSERT_TRUE(decodeAnomalyScanRequest(r2, back));
+    EXPECT_FALSE(back.interval.has_value());
+
+    // Structurally invalid thresholds must fail the decoder instead of
+    // reaching the scanner: a zero or absurd sub-interval count and
+    // non-finite doubles.
+    auto rejects = [](const AnomalyScanRequest &bad) {
+        ByteWriter bw;
+        encodeAnomalyScanRequest(bad, bw);
+        ByteReader br(bw.data());
+        AnomalyScanRequest out;
+        return !decodeAnomalyScanRequest(br, out);
+    };
+    AnomalyScanRequest bad = request;
+    bad.options.numIntervals = 0;
+    EXPECT_TRUE(rejects(bad));
+    bad = request;
+    bad.options.numIntervals = (1u << 20) + 1;
+    EXPECT_TRUE(rejects(bad));
+    bad = request;
+    bad.options.burstFactor = std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(rejects(bad));
+    bad = request;
+    bad.options.durationZScore = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(rejects(bad));
+    bad = request;
+    bad.options.idleWorkerFraction =
+        -std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(rejects(bad));
 }
 
 TEST(DaemonProtocol, RequestsBeforeHandshakeAreRejected)

@@ -64,7 +64,10 @@ TEST(AnomalyScan, FindsDurationOutlier)
     for (const stats::Anomaly &a : findings) {
         if (a.kind == stats::AnomalyKind::DurationOutlier) {
             EXPECT_EQ(a.task, 17u);
-            EXPECT_GT(a.severity, 3.0);
+            // The kind's sole (top) finding: normalized severity 1.0,
+            // raw sigma preserved in the description.
+            EXPECT_EQ(a.severity, 1.0);
+            EXPECT_NE(a.description.find("sigma"), std::string::npos);
             found = true;
         }
     }
@@ -90,7 +93,11 @@ TEST(AnomalyScan, FindsCounterBurst)
     for (const stats::Anomaly &a : findings) {
         if (a.kind == stats::AnomalyKind::CounterBurst) {
             EXPECT_TRUE(a.interval.overlaps({500, 511}));
-            EXPECT_GT(a.severity, 4.0);
+            // Top burst normalizes to 1.0; the raw multiple stays in
+            // the description.
+            EXPECT_EQ(a.severity, 1.0);
+            EXPECT_NE(a.description.find("x the run average"),
+                      std::string::npos);
             found = true;
         }
     }

@@ -219,6 +219,99 @@ TEST(StatsExport, CommMatrixEmptyRoundTrip)
     EXPECT_EQ(back.totalBytes(), 0u);
 }
 
+namespace {
+
+/** One finding of each kind, including the sentinel ids. */
+std::vector<stats::Anomaly>
+sampleAnomalies()
+{
+    std::vector<stats::Anomaly> findings;
+    stats::Anomaly idle;
+    idle.kind = stats::AnomalyKind::IdlePhase;
+    idle.interval = {0, 5'000};
+    idle.severity = 1.0;
+    idle.description = "idle phase: up to 3 of 4 workers idle";
+    findings.push_back(idle);
+    stats::Anomaly outlier;
+    outlier.kind = stats::AnomalyKind::DurationOutlier;
+    outlier.interval = {123, 456};
+    outlier.task = 77;
+    outlier.severity = 0.625;
+    outlier.description = "task 77 (work) ran long";
+    findings.push_back(outlier);
+    stats::Anomaly burst;
+    burst.kind = stats::AnomalyKind::CounterBurst;
+    burst.interval = {0xdeadbeefull, 0xdeadbeefull + 9};
+    burst.cpu = 3;
+    burst.counter = 0xabc;
+    burst.severity = 0.015625;
+    burst.description = ""; // Empty strings must survive the trip.
+    findings.push_back(burst);
+    return findings;
+}
+
+} // namespace
+
+TEST(StatsExport, AnomaliesRoundTrip)
+{
+    std::vector<stats::Anomaly> findings = sampleAnomalies();
+    ByteWriter w;
+    stats::encodeAnomalies(findings, w);
+    ByteReader r(w.data());
+    std::vector<stats::Anomaly> back;
+    ASSERT_TRUE(stats::decodeAnomalies(r, back));
+    EXPECT_TRUE(r.atEnd());
+    ASSERT_EQ(back.size(), findings.size());
+    for (std::size_t i = 0; i < findings.size(); i++) {
+        EXPECT_EQ(back[i].kind, findings[i].kind) << i;
+        EXPECT_EQ(back[i].interval, findings[i].interval) << i;
+        EXPECT_EQ(back[i].cpu, findings[i].cpu) << i;
+        EXPECT_EQ(back[i].task, findings[i].task) << i;
+        EXPECT_EQ(back[i].counter, findings[i].counter) << i;
+        EXPECT_TRUE(sameBits(back[i].severity, findings[i].severity)) << i;
+        EXPECT_EQ(back[i].description, findings[i].description) << i;
+    }
+
+    // Re-encoding the decoded list reproduces the exact bytes — the
+    // property the daemon round-trip tests build on.
+    ByteWriter w2;
+    stats::encodeAnomalies(back, w2);
+    EXPECT_EQ(w2.data(), w.data());
+}
+
+TEST(StatsExport, AnomaliesEmptyRoundTrip)
+{
+    ByteWriter w;
+    stats::encodeAnomalies({}, w);
+    ByteReader r(w.data());
+    std::vector<stats::Anomaly> back = sampleAnomalies();
+    ASSERT_TRUE(stats::decodeAnomalies(r, back));
+    EXPECT_TRUE(back.empty());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(StatsExport, AnomaliesRejectBadKindByte)
+{
+    ByteWriter w;
+    w.writeVarint(1);
+    w.writeU8(7); // No such kind.
+    for (int i = 0; i < 40; i++)
+        w.writeU8(0); // Plenty of bytes so the count bound passes.
+    ByteReader r(w.data());
+    std::vector<stats::Anomaly> out;
+    EXPECT_FALSE(stats::decodeAnomalies(r, out));
+}
+
+TEST(StatsExport, AnomaliesRejectHostileCount)
+{
+    ByteWriter w;
+    w.writeVarint(0xffffffffull); // Count with almost no bytes behind.
+    w.writeU8(0);
+    ByteReader r(w.data());
+    std::vector<stats::Anomaly> out;
+    EXPECT_FALSE(stats::decodeAnomalies(r, out));
+}
+
 TEST(StatsExport, TruncationFailsEveryDecoder)
 {
     // Encode one valid instance of each type, then decode every
@@ -252,6 +345,15 @@ TEST(StatsExport, TruncationFailsEveryDecoder)
         ByteReader r(matrix_bytes.data(), len);
         stats::CommMatrix out;
         EXPECT_FALSE(stats::decodeCommMatrix(r, out))
+            << "prefix " << len;
+    }
+
+    stats::encodeAnomalies(sampleAnomalies(), w);
+    std::vector<std::uint8_t> anomaly_bytes = w.take();
+    for (std::size_t len = 0; len < anomaly_bytes.size(); len++) {
+        ByteReader r(anomaly_bytes.data(), len);
+        std::vector<stats::Anomaly> out;
+        EXPECT_FALSE(stats::decodeAnomalies(r, out))
             << "prefix " << len;
     }
 }

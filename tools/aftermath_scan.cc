@@ -1,0 +1,164 @@
+/**
+ * @file
+ * aftermath-scan: print the ranked anomaly list of a trace.
+ *
+ * Runs the anomaly scanner (stats/anomaly.h) over a trace file and
+ * prints one line per finding, most severe first:
+ *
+ *     aftermath-scan --trace FILE [--socket PATH] [--max-per-kind N]
+ *                    [--z SIGMA] [--burst FACTOR] [--idle FRACTION]
+ *
+ * Without --socket the scan runs in-process through the Session query
+ * plane. With --socket the request goes to a running aftermathd over
+ * the wire protocol instead — the daemon opens (or shares) FILE on its
+ * side and answers the exact same ranked list, byte-identical to the
+ * local scan, which is also how the daemon round-trip is demoed by
+ * hand.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "daemon/client.h"
+#include "session/session.h"
+#include "stats/anomaly.h"
+#include "trace/reader.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --trace FILE [--socket PATH] [options]\n"
+        "  --trace FILE     trace file to scan (required)\n"
+        "  --socket PATH    scan via the aftermathd at PATH instead of\n"
+        "                   in-process\n"
+        "  --max-per-kind N keep the N most severe findings per kind\n"
+        "                   (default 20)\n"
+        "  --z SIGMA        duration-outlier z-score threshold "
+        "(default 3.0)\n"
+        "  --burst FACTOR   counter-burst rate factor (default 4.0)\n"
+        "  --idle FRACTION  idle-phase worker fraction (default 0.5)\n",
+        argv0);
+}
+
+const char *
+kindName(aftermath::stats::AnomalyKind kind)
+{
+    switch (kind) {
+      case aftermath::stats::AnomalyKind::IdlePhase:
+        return "idle ";
+      case aftermath::stats::AnomalyKind::DurationOutlier:
+        return "outlier";
+      case aftermath::stats::AnomalyKind::CounterBurst:
+        return "burst";
+    }
+    return "?";
+}
+
+void
+printFindings(const std::vector<aftermath::stats::Anomaly> &findings)
+{
+    if (findings.empty()) {
+        std::printf("no anomalies found\n");
+        return;
+    }
+    for (const aftermath::stats::Anomaly &a : findings) {
+        std::printf("%5.3f  %-7s  [%llu, %llu)  %s\n", a.severity,
+                    kindName(a.kind),
+                    static_cast<unsigned long long>(a.interval.start),
+                    static_cast<unsigned long long>(a.interval.end),
+                    a.description.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string socket_path;
+    aftermath::stats::AnomalyScanOptions options;
+
+    for (int i = 1; i < argc; i++) {
+        auto needValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            trace_path = needValue("--trace");
+        } else if (std::strcmp(argv[i], "--socket") == 0) {
+            socket_path = needValue("--socket");
+        } else if (std::strcmp(argv[i], "--max-per-kind") == 0) {
+            options.maxPerKind = static_cast<std::size_t>(
+                std::strtoul(needValue("--max-per-kind"), nullptr, 10));
+        } else if (std::strcmp(argv[i], "--z") == 0) {
+            options.durationZScore = std::strtod(needValue("--z"), nullptr);
+        } else if (std::strcmp(argv[i], "--burst") == 0) {
+            options.burstFactor =
+                std::strtod(needValue("--burst"), nullptr);
+        } else if (std::strcmp(argv[i], "--idle") == 0) {
+            options.idleWorkerFraction =
+                std::strtod(needValue("--idle"), nullptr);
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (trace_path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    if (!socket_path.empty()) {
+        aftermath::daemon::Client client;
+        std::string error;
+        if (!client.connectUnix(socket_path, error)) {
+            std::fprintf(stderr, "aftermath-scan: %s\n", error.c_str());
+            return 1;
+        }
+        aftermath::daemon::OpenTraceRequest open;
+        open.path = trace_path;
+        auto opened = client.openTrace(open);
+        if (!opened.ok()) {
+            std::fprintf(stderr, "aftermath-scan: open failed: %s\n",
+                         opened.message.c_str());
+            return 1;
+        }
+        aftermath::daemon::AnomalyScanRequest request;
+        request.head.traceId = opened.value.traceId;
+        request.options = options;
+        auto reply = client.anomalyScan(request);
+        if (!reply.ok()) {
+            std::fprintf(stderr, "aftermath-scan: scan failed: %s\n",
+                         reply.message.c_str());
+            return 1;
+        }
+        printFindings(reply.value);
+        client.closeTrace(opened.value.traceId);
+        return 0;
+    }
+
+    aftermath::trace::ReadResult read =
+        aftermath::trace::readTraceFile(trace_path);
+    if (!read.ok) {
+        std::fprintf(stderr, "aftermath-scan: %s\n", read.error.c_str());
+        return 1;
+    }
+    aftermath::session::Session session =
+        aftermath::session::Session::view(read.trace);
+    std::printf("%s: %u cpus, %zu task instances\n", trace_path.c_str(),
+                read.trace.numCpus(), read.trace.taskInstances().size());
+    printFindings(session.scanForAnomalies(options));
+    return 0;
+}
