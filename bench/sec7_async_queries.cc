@@ -226,7 +226,8 @@ main()
                 storm_tickets;
             for (Session &sess : storm)
                 storm_tickets.push_back(sess.submit(session::WarmupQuery{
-                    session::WarmupPolicy(), storm_priority}));
+                    {std::nullopt, storm_priority},
+                    session::WarmupPolicy()}));
             auto start = Clock::now();
             auto ticket = probe.submit(session::IntervalStatsQuery{
                 TimeInterval{span.start, span.end - 1 - t}});

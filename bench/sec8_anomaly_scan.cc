@@ -194,7 +194,7 @@ main()
                 storm_tickets;
             for (Session &sess : storm) {
                 session::AnomalyScanQuery scan;
-                scan.priority = storm_priority;
+                scan.context.priority = storm_priority;
                 storm_tickets.push_back(sess.submit(scan));
             }
             auto start = Clock::now();

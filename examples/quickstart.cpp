@@ -93,7 +93,7 @@ main()
     session.setConcurrency({2});
     auto stats_ticket = session.submit(
         session::IntervalStatsQuery{TimeInterval{0, result.makespan / 2}});
-    auto histogram_ticket = session.submit(session::HistogramQuery{16});
+    auto histogram_ticket = session.submit(session::HistogramQuery{{}, 16});
     stats::IntervalStats first_half = stats_ticket.take();
     stats::Histogram durations = histogram_ticket.take();
     std::printf("async: %llu tasks started in the first half, "

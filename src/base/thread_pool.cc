@@ -130,6 +130,31 @@ ThreadPool::idleFor() const
     return std::chrono::steady_clock::now() - idleSince_;
 }
 
+bool
+ThreadPool::runOneHighPriorityTask()
+{
+    std::function<void()> task;
+    {
+        MutexLock lock(mutex_);
+        if (highQueue_.empty())
+            return false;
+        task = std::move(highQueue_.front());
+        highQueue_.pop_front();
+        highQueued_.fetch_sub(1, std::memory_order_release);
+        running_++;
+    }
+    task();
+    {
+        MutexLock lock(mutex_);
+        running_--;
+        if (highQueue_.empty() && queue_.empty() && running_ == 0) {
+            idleSince_ = std::chrono::steady_clock::now();
+            idle_.notifyAll();
+        }
+    }
+    return true;
+}
+
 void
 ThreadPool::workerLoop()
 {

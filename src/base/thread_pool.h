@@ -183,6 +183,18 @@ class ThreadPool
         return highQueued_.load(std::memory_order_acquire) > 0;
     }
 
+    /**
+     * Pop and run one queued High task on the calling thread; false
+     * when none is waiting. This is the donation form of yielding: a
+     * long-running Normal task whose state is expensive to re-submit
+     * (a trace load holding a mapped file and parse cursors) calls
+     * this at chunk boundaries instead of abandoning its worker —
+     * interactive work runs immediately, on the donor's thread, and
+     * the donor resumes where it left off. The task counts as running
+     * for wait()/idleFor() exactly as if a worker had popped it.
+     */
+    bool runOneHighPriorityTask();
+
     /** Block until both queues are empty and no task is running. */
     void wait();
 

@@ -53,6 +53,77 @@ readOptionalInterval(ByteReader &r, std::optional<TimeInterval> &out)
     return r.ok();
 }
 
+/**
+ * Resolution request (protocol v2): u8 kind, then the kind's one
+ * parameter as a varint — maxErrorNs for Budget, width for Pixels,
+ * nothing meaningful for Exact (encoded as 0).
+ */
+void
+writeResolution(const Resolution &res, ByteWriter &w)
+{
+    w.writeU8(static_cast<std::uint8_t>(res.kind));
+    switch (res.kind) {
+    case Resolution::Kind::Exact:
+        w.writeVarint(0);
+        break;
+    case Resolution::Kind::Budget:
+        w.writeVarint(res.maxErrorNs);
+        break;
+    case Resolution::Kind::Pixels:
+        w.writeVarint(res.width);
+        break;
+    }
+}
+
+bool
+readResolution(ByteReader &r, Resolution &out)
+{
+    std::uint8_t kind = r.readU8();
+    if (!r.ok() ||
+        kind > static_cast<std::uint8_t>(Resolution::Kind::Pixels)) {
+        r.markFailed();
+        return false;
+    }
+    std::uint64_t value = r.readVarint();
+    if (!r.ok())
+        return false;
+    switch (static_cast<Resolution::Kind>(kind)) {
+    case Resolution::Kind::Exact:
+        out = Resolution::exact();
+        break;
+    case Resolution::Kind::Budget:
+        out = Resolution::budget(value);
+        break;
+    case Resolution::Kind::Pixels:
+        out = Resolution::pixels(static_cast<std::uint32_t>(value));
+        break;
+    }
+    return true;
+}
+
+/** Resolution provenance on replies: exact flag + the two counters. */
+void
+writeResolutionInfo(const ResolutionInfo &info, ByteWriter &w)
+{
+    w.writeU8(info.exact ? 1 : 0);
+    w.writeVarint(info.nodesTouched);
+    w.writeVarint(info.granularityNs);
+}
+
+bool
+readResolutionInfo(ByteReader &r, ResolutionInfo &out)
+{
+    std::uint8_t exact = r.readU8();
+    if (exact > 1) {
+        r.markFailed();
+        return false;
+    }
+    out.exact = exact == 1;
+    out.nodesTouched = r.readVarint();
+    out.granularityNs = r.readVarint();
+    return r.ok();
+}
+
 void
 writeHead(const QueryHead &head, ByteWriter &w)
 {
@@ -295,12 +366,15 @@ encodeIntervalStatsRequest(const IntervalStatsRequest &q, ByteWriter &w)
 {
     writeHead(q.head, w);
     writeOptionalInterval(q.interval, w);
+    writeResolution(q.resolution, w);
 }
 
 bool
 decodeIntervalStatsRequest(ByteReader &r, IntervalStatsRequest &out)
 {
-    return readHead(r, out.head) && readOptionalInterval(r, out.interval);
+    return readHead(r, out.head) &&
+           readOptionalInterval(r, out.interval) &&
+           readResolution(r, out.resolution);
 }
 
 void
@@ -308,6 +382,8 @@ encodeHistogramRequest(const HistogramRequest &q, ByteWriter &w)
 {
     writeHead(q.head, w);
     w.writeVarint(q.numBins);
+    writeOptionalInterval(q.interval, w);
+    writeResolution(q.resolution, w);
 }
 
 bool
@@ -323,7 +399,8 @@ decodeHistogramRequest(ByteReader &r, HistogramRequest &out)
         return false;
     }
     out.numBins = static_cast<std::uint32_t>(bins);
-    return true;
+    return readOptionalInterval(r, out.interval) &&
+           readResolution(r, out.resolution);
 }
 
 void
@@ -345,6 +422,7 @@ encodeCounterExtremaRequest(const CounterExtremaRequest &q, ByteWriter &w)
     w.writeVarint(q.cpu);
     w.writeVarint(q.counter);
     writeOptionalInterval(q.interval, w);
+    writeResolution(q.resolution, w);
 }
 
 bool
@@ -354,7 +432,8 @@ decodeCounterExtremaRequest(ByteReader &r, CounterExtremaRequest &out)
         return false;
     out.cpu = static_cast<CpuId>(r.readVarint());
     out.counter = static_cast<CounterId>(r.readVarint());
-    return readOptionalInterval(r, out.interval);
+    return readOptionalInterval(r, out.interval) &&
+           readResolution(r, out.resolution);
 }
 
 void
@@ -408,6 +487,7 @@ encodeTimelineRenderRequest(const TimelineRenderRequest &q, ByteWriter &w)
     w.writeVarint(q.heatmapShades);
     w.writeU32(q.width);
     w.writeU32(q.height);
+    writeResolution(q.resolution, w);
 }
 
 bool
@@ -439,7 +519,7 @@ decodeTimelineRenderRequest(ByteReader &r, TimelineRenderRequest &out)
         r.markFailed();
         return false;
     }
-    return true;
+    return readResolution(r, out.resolution);
 }
 
 void
@@ -575,6 +655,7 @@ encodeRenderReply(const RenderReply &reply, ByteWriter &w)
     w.writeVarint(reply.stats.rectOps);
     w.writeVarint(reply.stats.lineOps);
     w.writeVarint(reply.stats.eventsVisited);
+    writeResolutionInfo(reply.stats.resolution, w);
 }
 
 bool
@@ -612,7 +693,7 @@ decodeRenderReply(ByteReader &r, RenderReply &out)
     out.stats.rectOps = r.readVarint();
     out.stats.lineOps = r.readVarint();
     out.stats.eventsVisited = r.readVarint();
-    return r.ok();
+    return readResolutionInfo(r, out.stats.resolution);
 }
 
 // -- Response envelope ----------------------------------------------------

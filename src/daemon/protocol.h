@@ -79,6 +79,7 @@
 #include <vector>
 
 #include "base/buffer.h"
+#include "base/resolution.h"
 #include "base/time_interval.h"
 #include "base/types.h"
 #include "filter/task_filter.h"
@@ -93,8 +94,14 @@ namespace daemon {
 /** First u32 of every Hello: "AMD1" (Aftermath Daemon, format 1). */
 inline constexpr std::uint32_t kMagic = 0x414D4431;
 
-/** Highest protocol version this build speaks. */
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/**
+ * Highest protocol version this build speaks. Version 2 added the
+ * resolution request field (base/resolution.h) to interval-stats,
+ * histogram, counter-extrema and timeline-render requests, an optional
+ * interval on histogram requests, and resolution provenance on the
+ * render reply.
+ */
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /** Hard upper bound on one frame's payload (16 MiB). */
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
@@ -238,12 +245,15 @@ struct IntervalStatsRequest
 {
     QueryHead head;
     std::optional<TimeInterval> interval; ///< nullopt = current view.
+    Resolution resolution;                ///< Exact | Budget | Pixels.
 };
 
 struct HistogramRequest
 {
     QueryHead head;
     std::uint32_t numBins = 20;
+    std::optional<TimeInterval> interval; ///< nullopt = all tasks.
+    Resolution resolution;                ///< Applies when interval set.
 };
 
 struct TaskListRequest
@@ -257,6 +267,7 @@ struct CounterExtremaRequest
     CpuId cpu = 0;
     CounterId counter = 0;
     std::optional<TimeInterval> interval;
+    Resolution resolution; ///< Exact | Budget | Pixels.
 };
 
 struct WarmupRequest
@@ -288,6 +299,7 @@ struct TimelineRenderRequest
     std::uint32_t heatmapShades = 10;
     std::uint32_t width = 640;
     std::uint32_t height = 360;
+    Resolution resolution; ///< Exact | Budget | Pixels.
 };
 
 void encodeIntervalStatsRequest(const IntervalStatsRequest &q, ByteWriter &w);

@@ -334,12 +334,13 @@ Server::Connection::dispatch(const Frame &frame)
         if (!admit(frame.requestId))
             return;
         session::IntervalStatsQuery spec;
-        spec.interval = q.interval;
-        spec.priority =
-            effectivePriority(q.head.priority, spec.priority);
+        spec.context.interval = q.interval;
+        spec.context.resolution = q.resolution;
+        spec.context.priority =
+            effectivePriority(q.head.priority, spec.context.priority);
         track<stats::IntervalStats>(
             frame.requestId, binding->session->submit(spec),
-            spec.priority == QueryPriority::Background,
+            spec.context.priority == QueryPriority::Background,
             [](const stats::IntervalStats &s, ByteWriter &w) {
                 stats::encodeIntervalStats(s, w);
             });
@@ -359,11 +360,13 @@ Server::Connection::dispatch(const Frame &frame)
             return;
         session::HistogramQuery spec;
         spec.numBins = q.numBins;
-        spec.priority =
-            effectivePriority(q.head.priority, spec.priority);
+        spec.context.interval = q.interval;
+        spec.context.resolution = q.resolution;
+        spec.context.priority =
+            effectivePriority(q.head.priority, spec.context.priority);
         track<stats::Histogram>(
             frame.requestId, binding->session->submit(spec),
-            spec.priority == QueryPriority::Background,
+            spec.context.priority == QueryPriority::Background,
             [](const stats::Histogram &h, ByteWriter &w) {
                 stats::encodeHistogram(h, w);
             });
@@ -382,11 +385,11 @@ Server::Connection::dispatch(const Frame &frame)
         if (!admit(frame.requestId))
             return;
         session::TaskListQuery spec;
-        spec.priority =
-            effectivePriority(q.head.priority, spec.priority);
+        spec.context.priority =
+            effectivePriority(q.head.priority, spec.context.priority);
         track<std::vector<const trace::TaskInstance *>>(
             frame.requestId, binding->session->submit(spec),
-            spec.priority == QueryPriority::Background,
+            spec.context.priority == QueryPriority::Background,
             [](const std::vector<const trace::TaskInstance *> &tasks,
                ByteWriter &w) {
                 std::vector<TaskRow> rows;
@@ -414,12 +417,13 @@ Server::Connection::dispatch(const Frame &frame)
         session::CounterExtremaQuery spec;
         spec.cpu = q.cpu;
         spec.counter = q.counter;
-        spec.interval = q.interval;
-        spec.priority =
-            effectivePriority(q.head.priority, spec.priority);
+        spec.context.interval = q.interval;
+        spec.context.resolution = q.resolution;
+        spec.context.priority =
+            effectivePriority(q.head.priority, spec.context.priority);
         track<index::MinMax>(
             frame.requestId, binding->session->submit(spec),
-            spec.priority == QueryPriority::Background,
+            spec.context.priority == QueryPriority::Background,
             [](const index::MinMax &m, ByteWriter &w) {
                 stats::encodeMinMax(m, w);
             });
@@ -439,11 +443,11 @@ Server::Connection::dispatch(const Frame &frame)
             return;
         session::WarmupQuery spec;
         spec.policy = q.policy;
-        spec.priority =
-            effectivePriority(q.head.priority, spec.priority);
+        spec.context.priority =
+            effectivePriority(q.head.priority, spec.context.priority);
         track<session::WarmupStats>(
             frame.requestId, binding->session->submit(spec),
-            spec.priority == QueryPriority::Background,
+            spec.context.priority == QueryPriority::Background,
             [](const session::WarmupStats &s, ByteWriter &w) {
                 encodeWarmupStats(s, w);
             });
@@ -470,11 +474,12 @@ Server::Connection::dispatch(const Frame &frame)
         spec.config.heatmapShades = q.heatmapShades;
         spec.width = q.width;
         spec.height = q.height;
-        spec.priority =
-            effectivePriority(q.head.priority, spec.priority);
+        spec.context.resolution = q.resolution;
+        spec.context.priority =
+            effectivePriority(q.head.priority, spec.context.priority);
         track<session::TimelineRenderResult>(
             frame.requestId, binding->session->submit(spec),
-            spec.priority == QueryPriority::Background,
+            spec.context.priority == QueryPriority::Background,
             [](const session::TimelineRenderResult &result,
                ByteWriter &w) {
                 RenderReply reply;
@@ -499,12 +504,12 @@ Server::Connection::dispatch(const Frame &frame)
             return;
         session::AnomalyScanQuery spec;
         spec.options = q.options;
-        spec.interval = q.interval;
-        spec.priority =
-            effectivePriority(q.head.priority, spec.priority);
+        spec.context.interval = q.interval;
+        spec.context.priority =
+            effectivePriority(q.head.priority, spec.context.priority);
         track<std::vector<stats::Anomaly>>(
             frame.requestId, binding->session->submit(spec),
-            spec.priority == QueryPriority::Background,
+            spec.context.priority == QueryPriority::Background,
             [](const std::vector<stats::Anomaly> &anomalies,
                ByteWriter &w) { stats::encodeAnomalies(anomalies, w); });
         return;

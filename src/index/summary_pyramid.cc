@@ -1,0 +1,436 @@
+#include "index/summary_pyramid.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace aftermath {
+namespace index {
+
+namespace {
+
+/** Slotwise combine; an empty aggregate is the identity. */
+void
+combineAggregate(SummaryPyramid::CounterAggregate &into,
+                 const SummaryPyramid::CounterAggregate &from)
+{
+    if (from.count == 0)
+        return;
+    if (into.count == 0) {
+        into = from;
+        return;
+    }
+    into.min = std::min(into.min, from.min);
+    into.max = std::max(into.max, from.max);
+    // Wrapping add via unsigned arithmetic (signed overflow is UB).
+    into.sum = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(into.sum) +
+        static_cast<std::uint64_t>(from.sum));
+    into.count += from.count;
+}
+
+/** Merge two sorted (state, time) vectors, summing equal states. */
+std::vector<std::pair<std::uint32_t, TimeStamp>>
+mergeOccupancy(const std::vector<std::pair<std::uint32_t, TimeStamp>> &a,
+               const std::vector<std::pair<std::uint32_t, TimeStamp>> &b)
+{
+    std::vector<std::pair<std::uint32_t, TimeStamp>> out;
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i].first < b[j].first) {
+            out.push_back(a[i++]);
+        } else if (b[j].first < a[i].first) {
+            out.push_back(b[j++]);
+        } else {
+            out.emplace_back(a[i].first, a[i].second + b[j].second);
+            i++;
+            j++;
+        }
+    }
+    for (; i < a.size(); i++)
+        out.push_back(a[i]);
+    for (; j < b.size(); j++)
+        out.push_back(b[j]);
+    return out;
+}
+
+} // namespace
+
+SummaryPyramid::SummaryPyramid(const trace::Trace &trace, CpuId cpu,
+                               TimeStamp leaf_granularity,
+                               std::uint64_t leaf_count)
+    : g0_(leaf_granularity), leafCount_(leaf_count)
+{
+    AFTERMATH_ASSERT(g0_ > 0 && leafCount_ > 0,
+                     "pyramid with a degenerate leaf layout");
+    const trace::CpuTimeline &tl = trace.cpu(cpu);
+    counterIds_ = tl.counterIds();
+
+    std::vector<Node> leaves(leafCount_);
+    const TimeStamp domain_end = g0_ * leafCount_;
+
+    // State occupancy: distribute each event's overlap across the
+    // leaves it spans. Zero-duration events have no occupancy.
+    {
+        std::vector<std::map<std::uint32_t, TimeStamp>> acc(leafCount_);
+        for (const trace::StateEvent &ev : tl.states()) {
+            if (ev.interval.end <= ev.interval.start ||
+                ev.interval.start >= domain_end)
+                continue;
+            std::uint64_t first = ev.interval.start / g0_;
+            std::uint64_t last =
+                std::min((ev.interval.end - 1) / g0_ + 1, leafCount_);
+            for (std::uint64_t leaf = first; leaf < last; leaf++) {
+                TimeInterval slot{leaf * g0_, (leaf + 1) * g0_};
+                TimeStamp overlap = ev.interval.overlapDuration(slot);
+                if (overlap > 0)
+                    acc[leaf][ev.state] += overlap;
+            }
+        }
+        for (std::uint64_t leaf = 0; leaf < leafCount_; leaf++)
+            leaves[leaf].occupancy.assign(acc[leaf].begin(),
+                                          acc[leaf].end());
+    }
+
+    // Counter aggregates: one slot per sampled counter, samples
+    // bucketed by time. Sample times never reach domain_end (the leaf
+    // count strictly covers the span), but stay defensive.
+    for (std::uint64_t leaf = 0; leaf < leafCount_; leaf++)
+        leaves[leaf].counters.resize(counterIds_.size());
+    for (std::size_t slot = 0; slot < counterIds_.size(); slot++) {
+        for (const trace::CounterSample &sample :
+             tl.counterSamples(counterIds_[slot])) {
+            std::uint64_t leaf = sample.time / g0_;
+            if (leaf >= leafCount_)
+                continue;
+            CounterAggregate one;
+            one.count = 1;
+            one.min = sample.value;
+            one.max = sample.value;
+            one.sum = sample.value;
+            combineAggregate(leaves[leaf].counters[slot], one);
+        }
+    }
+
+    // Task-begin counts of this CPU's tasks.
+    for (const trace::TaskInstance &task : trace.taskInstances()) {
+        if (task.cpu != cpu || task.interval.start >= domain_end)
+            continue;
+        leaves[task.interval.start / g0_].tasksStarted++;
+    }
+
+    levels_.push_back(std::move(leaves));
+    while (levels_.back().size() > 1) {
+        const std::vector<Node> &prev = levels_.back();
+        std::vector<Node> next((prev.size() + 1) / 2);
+        for (std::size_t i = 0; i < next.size(); i++) {
+            const Node &left = prev[2 * i];
+            if (2 * i + 1 >= prev.size()) {
+                next[i] = left;
+                continue;
+            }
+            const Node &right = prev[2 * i + 1];
+            next[i].occupancy =
+                mergeOccupancy(left.occupancy, right.occupancy);
+            next[i].counters = left.counters;
+            for (std::size_t slot = 0; slot < next[i].counters.size();
+                 slot++)
+                combineAggregate(next[i].counters[slot],
+                                 right.counters[slot]);
+            next[i].tasksStarted =
+                left.tasksStarted + right.tasksStarted;
+        }
+        levels_.push_back(std::move(next));
+    }
+}
+
+template <typename Visit>
+void
+SummaryPyramid::decompose(std::uint64_t first, std::uint64_t last,
+                          std::uint64_t &nodes_touched, Visit &&visit) const
+{
+    std::size_t level = 0;
+    while (first < last && level < levels_.size()) {
+        if (first & 1) {
+            visit(levels_[level][first]);
+            first++;
+            nodes_touched++;
+        }
+        if (last & 1) {
+            last--;
+            visit(levels_[level][last]);
+            nodes_touched++;
+        }
+        first >>= 1;
+        last >>= 1;
+        level++;
+    }
+}
+
+void
+SummaryPyramid::occupancy(std::uint64_t first_leaf, std::uint64_t last_leaf,
+                          std::map<std::uint32_t, TimeStamp> &into,
+                          std::uint64_t &nodes_touched) const
+{
+    last_leaf = std::min(last_leaf, leafCount_);
+    if (first_leaf >= last_leaf)
+        return;
+    decompose(first_leaf, last_leaf, nodes_touched, [&](const Node &node) {
+        for (const auto &entry : node.occupancy)
+            into[entry.first] += entry.second;
+    });
+}
+
+std::vector<std::pair<std::uint32_t, double>>
+SummaryPyramid::occupancyOver(const TimeInterval &interval,
+                              std::uint64_t &nodes_touched) const
+{
+    std::map<std::uint32_t, double> acc;
+    const TimeStamp domain_end = g0_ * leafCount_;
+    TimeStamp start = std::min(interval.start, domain_end);
+    TimeStamp end = std::min(interval.end, domain_end);
+
+    auto addFraction = [&](std::uint64_t leaf, TimeStamp covered) {
+        const Node &node = levels_[0][leaf];
+        double fraction =
+            static_cast<double>(covered) / static_cast<double>(g0_);
+        for (const auto &entry : node.occupancy)
+            acc[entry.first] += static_cast<double>(entry.second) * fraction;
+        nodes_touched++;
+    };
+
+    if (start < end && start % g0_ != 0) {
+        // Leading partial leaf.
+        std::uint64_t leaf = start / g0_;
+        TimeStamp leaf_end = (leaf + 1) * g0_;
+        addFraction(leaf, std::min(end, leaf_end) - start);
+        start = std::min(leaf_end, end);
+    }
+    if (start < end && end % g0_ != 0 && end / g0_ >= start / g0_) {
+        // Trailing partial leaf (distinct from the leading one here).
+        std::uint64_t leaf = end / g0_;
+        addFraction(leaf, end - leaf * g0_);
+        end = leaf * g0_;
+    }
+    if (start < end) {
+        std::map<std::uint32_t, TimeStamp> exact;
+        occupancy(start / g0_, end / g0_, exact, nodes_touched);
+        for (const auto &entry : exact)
+            acc[entry.first] += static_cast<double>(entry.second);
+    }
+    return {acc.begin(), acc.end()};
+}
+
+SummaryPyramid::CounterAggregate
+SummaryPyramid::counterAggregate(CounterId counter,
+                                 std::uint64_t first_leaf,
+                                 std::uint64_t last_leaf,
+                                 std::uint64_t &nodes_touched) const
+{
+    CounterAggregate out;
+    auto it = std::lower_bound(counterIds_.begin(), counterIds_.end(),
+                               counter);
+    if (it == counterIds_.end() || *it != counter)
+        return out;
+    std::size_t slot =
+        static_cast<std::size_t>(it - counterIds_.begin());
+    last_leaf = std::min(last_leaf, leafCount_);
+    if (first_leaf >= last_leaf)
+        return out;
+    decompose(first_leaf, last_leaf, nodes_touched, [&](const Node &node) {
+        combineAggregate(out, node.counters[slot]);
+    });
+    return out;
+}
+
+std::uint64_t
+SummaryPyramid::tasksStarted(std::uint64_t first_leaf,
+                             std::uint64_t last_leaf,
+                             std::uint64_t &nodes_touched) const
+{
+    std::uint64_t out = 0;
+    last_leaf = std::min(last_leaf, leafCount_);
+    if (first_leaf >= last_leaf)
+        return out;
+    decompose(first_leaf, last_leaf, nodes_touched,
+              [&](const Node &node) { out += node.tasksStarted; });
+    return out;
+}
+
+std::size_t
+SummaryPyramid::memoryBytes() const
+{
+    std::size_t bytes = sizeof(*this);
+    for (const std::vector<Node> &level : levels_) {
+        bytes += level.size() * sizeof(Node);
+        for (const Node &node : level) {
+            bytes += node.occupancy.size() *
+                     sizeof(std::pair<std::uint32_t, TimeStamp>);
+            bytes += node.counters.size() * sizeof(CounterAggregate);
+        }
+    }
+    return bytes;
+}
+
+TracePyramids::TracePyramids(const trace::Trace &trace)
+    : trace_(trace), shards_(trace.numCpus())
+{
+    const TimeStamp span_end = trace.span().end;
+    // Smallest power-of-two leaf strictly covering the span with at
+    // most kTargetLeaves leaves; the extra leaf keeps the last event
+    // strictly inside the domain even when the span divides evenly.
+    g0_ = 1;
+    while (span_end / g0_ + 1 > kTargetLeaves)
+        g0_ <<= 1;
+    leafCount_ = span_end / g0_ + 1;
+
+    const std::vector<trace::TaskInstance> &instances =
+        trace.taskInstances();
+    tasksByStart_.reserve(instances.size());
+    for (const trace::TaskInstance &task : instances)
+        tasksByStart_.push_back(&task);
+    std::stable_sort(tasksByStart_.begin(), tasksByStart_.end(),
+                     [](const trace::TaskInstance *a,
+                        const trace::TaskInstance *b) {
+                         return a->interval.start < b->interval.start;
+                     });
+    taskStarts_.reserve(instances.size());
+    taskEnds_.reserve(instances.size());
+    for (const trace::TaskInstance *task : tasksByStart_)
+        taskStarts_.push_back(task->interval.start);
+    for (const trace::TaskInstance &task : instances)
+        taskEnds_.push_back(task.interval.end);
+    std::sort(taskEnds_.begin(), taskEnds_.end());
+}
+
+const SummaryPyramid &
+TracePyramids::get(CpuId cpu, bool *built)
+{
+    const SummaryPyramid *pyramid = getOrNull(cpu, built);
+    AFTERMATH_ASSERT(pyramid != nullptr,
+                     "pyramid of an out-of-range cpu");
+    return *pyramid;
+}
+
+const SummaryPyramid *
+TracePyramids::getOrNull(CpuId cpu, bool *built)
+{
+    if (built)
+        *built = false;
+    if (cpu >= shards_.size())
+        return nullptr;
+    Shard &shard = shards_[cpu];
+    base::MutexLock lock(shard.mutex);
+    if (!shard.pyramid) {
+        shard.pyramid = std::make_unique<SummaryPyramid>(
+            trace_, cpu, g0_, leafCount_);
+        if (built)
+            *built = true;
+    }
+    return shard.pyramid.get();
+}
+
+std::size_t
+TracePyramids::size() const
+{
+    std::size_t count = 0;
+    for (const Shard &shard : shards_) {
+        base::MutexLock lock(shard.mutex);
+        if (shard.pyramid)
+            count++;
+    }
+    return count;
+}
+
+TimeStamp
+TracePyramids::granularityFor(const Resolution &resolution,
+                              const TimeInterval &interval) const
+{
+    std::uint64_t budget = 0;
+    switch (resolution.kind) {
+    case Resolution::Kind::Exact:
+        return 0;
+    case Resolution::Kind::Budget:
+        budget = resolution.maxErrorNs;
+        break;
+    case Resolution::Kind::Pixels:
+        if (resolution.width == 0)
+            return 0;
+        budget = interval.duration() / resolution.width;
+        break;
+    }
+    if (budget < g0_)
+        return 0;
+    // Largest power-of-two multiple of g0 within the budget, capped at
+    // the domain (a coarser snap could not move an edge any further).
+    TimeStamp g = g0_;
+    while (g <= budget / 2 && g < domainEnd())
+        g *= 2;
+    return g;
+}
+
+TimeInterval
+TracePyramids::snap(const TimeInterval &interval,
+                    TimeStamp granularity) const
+{
+    const TimeStamp dom = domainEnd();
+    TimeStamp start = interval.start >= dom
+                          ? dom
+                          : interval.start / granularity * granularity;
+    TimeStamp end =
+        interval.end >= dom
+            ? dom
+            : std::min((interval.end + granularity - 1) / granularity *
+                           granularity,
+                       dom);
+    if (end < start)
+        end = start;
+    return {start, end};
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+TracePyramids::leafRange(const TimeInterval &interval) const
+{
+    return {interval.start / g0_,
+            std::min(interval.end / g0_, leafCount_)};
+}
+
+std::uint64_t
+TracePyramids::tasksStartedIn(const TimeInterval &interval) const
+{
+    auto lo = std::lower_bound(taskStarts_.begin(), taskStarts_.end(),
+                               interval.start);
+    auto hi = std::lower_bound(taskStarts_.begin(), taskStarts_.end(),
+                               interval.end);
+    return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::uint64_t
+TracePyramids::tasksOverlapping(const TimeInterval &interval) const
+{
+    // #{start < end} - #{end <= start}: exactly the tasks whose
+    // interval overlaps [start, end), including the spanning tasks an
+    // empty interval still intersects.
+    auto started = std::lower_bound(taskStarts_.begin(),
+                                    taskStarts_.end(), interval.end);
+    auto finished = std::upper_bound(taskEnds_.begin(), taskEnds_.end(),
+                                     interval.start);
+    return static_cast<std::uint64_t>(started - taskStarts_.begin()) -
+           static_cast<std::uint64_t>(finished - taskEnds_.begin());
+}
+
+std::pair<std::size_t, std::size_t>
+TracePyramids::taskStartRange(const TimeInterval &interval) const
+{
+    auto lo = std::lower_bound(taskStarts_.begin(), taskStarts_.end(),
+                               interval.start);
+    auto hi = std::lower_bound(taskStarts_.begin(), taskStarts_.end(),
+                               interval.end);
+    return {static_cast<std::size_t>(lo - taskStarts_.begin()),
+            static_cast<std::size_t>(hi - taskStarts_.begin())};
+}
+
+} // namespace index
+} // namespace aftermath

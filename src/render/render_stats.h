@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "base/resolution.h"
+
 namespace aftermath {
 namespace render {
 
@@ -22,6 +24,14 @@ struct RenderStats
     std::uint64_t rectOps = 0;   ///< fillRect calls.
     std::uint64_t lineOps = 0;   ///< drawLine/drawVLine calls.
     std::uint64_t eventsVisited = 0; ///< Trace events inspected.
+
+    /**
+     * How the frame was resolved (base/resolution.h): exact per-event
+     * predominant-color resolution (the default), or pyramid-backed
+     * occupancy bands — then granularityNs is the pyramid's leaf
+     * granularity and nodesTouched counts the nodes consulted.
+     */
+    ResolutionInfo resolution;
 
     void
     reset()

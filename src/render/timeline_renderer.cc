@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "index/summary_pyramid.h"
 #include "trace/numa.h"
 #include "trace/state.h"
 
@@ -145,6 +146,103 @@ TimelineRenderer::taskColor(const TimelineConfig &config, TaskInstanceId id)
     return color;
 }
 
+bool
+TimelineRenderer::usePyramids(const TimelineConfig &config,
+                              const TimelineLayout &layout) const
+{
+    if (config.mode != TimelineMode::State || !config.pyramids ||
+        config.resolution.kind == Resolution::Kind::Exact)
+        return false;
+    // The task filter changes which exec events are drawn; occupancy
+    // nodes carry no task identity, so filtered renders stay exact.
+    if (config.taskFilter || layout.width() == 0)
+        return false;
+    // Deep zoom: once a pixel is finer than one leaf, every pixel of a
+    // leaf would repeat the leaf's mix — and the exact path is cheap
+    // there anyway (few events per pixel).
+    TimeStamp per_pixel = layout.view().duration() / layout.width();
+    return per_pixel >= config.pyramids->leafGranularity();
+}
+
+void
+TimelineRenderer::renderPyramidLane(const TimelineConfig &config,
+                                    const TimelineLayout &layout,
+                                    CpuId cpu, Framebuffer &fb)
+{
+    const index::SummaryPyramid &pyramid = config.pyramids->get(cpu);
+    const std::uint32_t top = layout.laneTop(cpu);
+    const std::uint32_t height = layout.laneHeight();
+    std::uint64_t nodes = 0;
+
+    struct Band
+    {
+        std::uint32_t state;
+        double exact;
+        std::uint32_t rows;
+    };
+    std::vector<Band> bands;
+    for (std::uint32_t x = 0; x < layout.width(); x++) {
+        TimeInterval pixel = layout.pixelInterval(x);
+        if (pixel.empty()) {
+            fb.fillRect(x, top, 1, height, laneBackground(cpu));
+            stats_.rectOps++;
+            continue;
+        }
+        auto occupancy = pyramid.occupancyOver(pixel, nodes);
+        // Share of the lane height per state, rows summing to the
+        // covered share by largest-remainder rounding; uncovered time
+        // (idle between events) stays lane background.
+        bands.clear();
+        double covered = 0.0;
+        const double total = static_cast<double>(pixel.duration());
+        for (const auto &[state, time] : occupancy) {
+            double share = std::min((time / total) *
+                                        static_cast<double>(height),
+                                    static_cast<double>(height));
+            bands.push_back(
+                {state, share, static_cast<std::uint32_t>(share)});
+            covered += share;
+        }
+        std::sort(bands.begin(), bands.end(),
+                  [](const Band &a, const Band &b) {
+                      return a.state < b.state;
+                  });
+        std::uint32_t covered_rows = static_cast<std::uint32_t>(
+            std::min(covered + 0.5, static_cast<double>(height)));
+        std::uint32_t assigned = 0;
+        for (const Band &b : bands)
+            assigned += b.rows;
+        while (assigned < covered_rows) {
+            Band *best = nullptr;
+            for (Band &b : bands) {
+                double rem = b.exact - static_cast<double>(b.rows);
+                if (!best ||
+                    rem > best->exact - static_cast<double>(best->rows))
+                    best = &b;
+            }
+            if (!best)
+                break;
+            best->rows++;
+            assigned++;
+        }
+        std::uint32_t y = top;
+        for (const Band &b : bands) {
+            std::uint32_t rows =
+                std::min(b.rows, top + height - y);
+            if (rows == 0)
+                continue;
+            fb.fillRect(x, y, 1, rows, stateColor(b.state));
+            stats_.rectOps++;
+            y += rows;
+        }
+        if (y < top + height) {
+            fb.fillRect(x, y, 1, top + height - y, laneBackground(cpu));
+            stats_.rectOps++;
+        }
+    }
+    stats_.resolution.nodesTouched += nodes;
+}
+
 Rgba
 TimelineRenderer::resolveInterval(const TimelineConfig &config, CpuId cpu,
                                   const std::vector<trace::StateEvent> &states,
@@ -280,6 +378,15 @@ TimelineRenderer::render(const TimelineConfig &config, Framebuffer &fb)
     TimelineLayout layout(view, fb.width(), fb.height(),
                           trace_.numCpus());
     prepareHeatmapRange(config, view);
+
+    if (usePyramids(config, layout)) {
+        stats_.resolution.exact = false;
+        stats_.resolution.granularityNs =
+            config.pyramids->leafGranularity();
+        for (CpuId cpu = 0; cpu < trace_.numCpus(); cpu++)
+            renderPyramidLane(config, layout, cpu, fb);
+        return;
+    }
 
     std::vector<Rgba> row(layout.width());
     for (CpuId cpu = 0; cpu < trace_.numCpus(); cpu++) {

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/resolution.h"
 #include "base/time_interval.h"
 #include "filter/task_filter.h"
 #include "render/color.h"
@@ -27,6 +28,11 @@
 #include "trace/trace.h"
 
 namespace aftermath {
+
+namespace index {
+class TracePyramids;
+} // namespace index
+
 namespace render {
 
 /** The five timeline modes of paper section II-B. */
@@ -59,6 +65,23 @@ struct TimelineConfig
 
     /** Optional task filter; non-matching tasks are not drawn. */
     const filter::TaskFilter *taskFilter = nullptr;
+
+    /**
+     * Resolution request (base/resolution.h). A non-Exact request lets
+     * State-mode renders answer each pixel column from the summary
+     * pyramid's occupancy — sub-pixel vertical bands showing the state
+     * mix instead of the per-event predominant color — when `pyramids`
+     * is set, no task filter is active, and a pixel spans at least one
+     * pyramid leaf. Exact (the default) always renders per event.
+     */
+    Resolution resolution;
+
+    /**
+     * Pyramid store backing non-Exact renders; owned by the caller and
+     * kept alive across the render (Session wires its own and the
+     * async executor holds a shared reference).
+     */
+    index::TracePyramids *pyramids = nullptr;
 };
 
 /**
@@ -102,6 +125,19 @@ class TimelineRenderer
                       std::uint32_t x);
 
   private:
+    /** True when this render can answer from the summary pyramids. */
+    bool usePyramids(const TimelineConfig &config,
+                     const TimelineLayout &layout) const;
+
+    /**
+     * Pyramid-backed lane: every pixel column drawn as sub-pixel
+     * vertical bands of the column's state occupancy (largest-remainder
+     * rounding, states in id order, uncovered time as lane background).
+     */
+    void renderPyramidLane(const TimelineConfig &config,
+                           const TimelineLayout &layout, CpuId cpu,
+                           Framebuffer &fb);
+
     /** Resolve every pixel column color of one CPU lane. */
     void resolveLane(const TimelineConfig &config,
                      const TimelineLayout &layout, CpuId cpu,

@@ -11,10 +11,39 @@
  * worker pool (see session/query_engine.h). Every spec mirrors one
  * synchronous Session method and produces a bit-identical result.
  *
- * Specs that carry an interval use std::optional: std::nullopt means
- * "the session's current view at submit time", while an explicit
- * interval — even an empty one — is used exactly as given, matching the
- * synchronous overload pairs.
+ * ## The QueryContext contract
+ *
+ * Every spec embeds one QueryContext as its first member, carrying the
+ * three knobs common to the whole query plane:
+ *
+ *  - interval: std::optional — std::nullopt means "the session's
+ *    current view at submit time", while an explicit interval (even an
+ *    empty one) is used exactly as given, matching the synchronous
+ *    overload pairs. Specs without an interval notion ignore it unless
+ *    documented otherwise (HistogramQuery restricts to tasks starting
+ *    inside it).
+ *  - priority: the scheduling class; each spec's QueryContext default
+ *    matches its role (render/stats/histogram/task-list/extrema are
+ *    Interactive; warm-up, anomaly scans, trace loads and pyramid
+ *    builds are Background).
+ *  - resolution: how much error the caller tolerates
+ *    (base/resolution.h). Resolution::Exact — the default — keeps
+ *    every result bit-identical to the historical scan. Budget/Pixels
+ *    let interval stats, histograms, counter extrema and timeline
+ *    renders answer from the summary pyramids
+ *    (index/summary_pyramid.h) in O(log n + output resolution): the
+ *    interval snaps outward to a granularity within the budget and
+ *    the *snapped* interval is answered exactly; results carry a
+ *    ResolutionInfo provenance telling approximate answers from exact
+ *    ones. Approximate results are never memoized.
+ *
+ * Construct specs with nested braces or designated initializers —
+ * `IntervalStatsQuery{{interval}}`,
+ * `HistogramQuery{.context = {}, .numBins = 16}` — or default-construct
+ * and assign through `spec.context`. The pre-QueryContext field names
+ * survive one deprecation cycle as accessor aliases
+ * (`spec.interval()`, `spec.priority()`); new code should reach
+ * through `spec.context` directly.
  */
 
 #ifndef AFTERMATH_SESSION_QUERY_H
@@ -26,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "base/resolution.h"
 #include "base/time_interval.h"
 #include "base/types.h"
 #include "render/framebuffer.h"
@@ -43,10 +73,9 @@ namespace session {
  * queue. Interactive queries jump ahead of every queued Background
  * task, and running Background fan-out jobs (interval statistics,
  * warm-up) yield their workers cooperatively at chunk boundaries when
- * Interactive work arrives. Every spec carries a default matching its
- * role — render/stats/histogram/task-list/extrema are Interactive,
- * warm-up and trace loads are Background — and callers can override it
- * per submission (e.g. a speculative prefetch of the next view's stats
+ * Interactive work arrives. Every spec's QueryContext carries a
+ * default matching its role, and callers can override it per
+ * submission (e.g. a speculative prefetch of the next view's stats
  * submits an IntervalStatsQuery at Background).
  */
 enum class QueryPriority
@@ -56,6 +85,44 @@ enum class QueryPriority
 
     /** Prefetch/bulk work: runs when no interactive work is queued. */
     Background,
+};
+
+/**
+ * The knobs shared by every query spec: the target interval, the
+ * scheduling class, and the resolution request. See the file comment
+ * for the contract.
+ */
+struct QueryContext
+{
+    QueryContext() = default;
+
+    /**
+     * Trailing knobs default so call sites spell only what they
+     * override: `{interval}`, `{interval, priority}`,
+     * `{std::nullopt, QueryPriority::Background}`, ...
+     */
+    QueryContext(std::optional<TimeInterval> interval_,
+                 QueryPriority priority_ = QueryPriority::Interactive,
+                 Resolution resolution_ = {})
+        : interval(std::move(interval_)), priority(priority_),
+          resolution(resolution_)
+    {}
+
+    /** Lets `SomeQuery{interval}` convert in one step. */
+    QueryContext(TimeInterval interval_,
+                 QueryPriority priority_ = QueryPriority::Interactive,
+                 Resolution resolution_ = {})
+        : interval(interval_), priority(priority_), resolution(resolution_)
+    {}
+
+    /** Interval to operate on; nullopt = the current view. */
+    std::optional<TimeInterval> interval;
+
+    /** Scheduling class on the engine's two-level queue. */
+    QueryPriority priority = QueryPriority::Interactive;
+
+    /** Error tolerance; Exact = the historical bit-identical path. */
+    Resolution resolution;
 };
 
 /**
@@ -102,66 +169,136 @@ struct WarmupStats
 
 /**
  * Aggregate statistics of one interval (Session::intervalStats). The
- * cold scan executes in parallel: per-CPU state chunks and task-array
- * chunks produce partial sums merged at the end (exact integer sums,
- * so the result is bit-identical to the serial scan at any worker
- * count). Memoized results answer as already-completed tickets.
+ * cold exact scan executes in parallel: per-CPU state chunks and
+ * task-array chunks produce partial sums merged at the end (exact
+ * integer sums, so the result is bit-identical to the serial scan at
+ * any worker count). Memoized results answer as already-completed
+ * tickets. Under Resolution::Budget/Pixels the interval snaps to the
+ * pyramid granularity and the snapped interval is answered exactly
+ * from O(log n) nodes; the result's interval and resolution fields
+ * report what was actually computed.
  */
 struct IntervalStatsQuery
 {
-    /** Interval to aggregate; nullopt = the current view. */
-    std::optional<TimeInterval> interval;
+    QueryContext context;
 
-    /** Scheduling class; Background turns the scan into a prefetch. */
-    QueryPriority priority = QueryPriority::Interactive;
+    /** Deprecated alias of context.interval (one deprecation cycle). */
+    std::optional<TimeInterval> &interval() { return context.interval; }
+    const std::optional<TimeInterval> &interval() const
+    {
+        return context.interval;
+    }
+
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
 };
 
-/** Duration histogram of the tasks passing the active filters. */
+/**
+ * Duration histogram of the tasks passing the active filters. When
+ * context.interval is set, only tasks *starting* inside it are binned
+ * (the interval-stats tasksStarted notion); under Budget/Pixels the
+ * interval snaps to the pyramid granularity and the selection uses the
+ * pyramid's start-sorted task array instead of a full list scan.
+ */
 struct HistogramQuery
 {
+    QueryContext context;
+
     /** Number of equal-width bins. */
     std::uint32_t numBins = 20;
 
-    /** Scheduling class. */
-    QueryPriority priority = QueryPriority::Interactive;
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
 };
 
 /** The task instances passing the active filters (Session::tasks). */
 struct TaskListQuery
 {
-    /** Scheduling class. */
-    QueryPriority priority = QueryPriority::Interactive;
+    QueryContext context;
+
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
 };
 
 /**
- * Extrema of one counter on one CPU through the cached min/max index
- * (Session::counterExtrema).
+ * Extrema of one counter on one CPU (Session::counterExtrema): through
+ * the cached min/max index at Resolution::Exact, or from the pyramid's
+ * per-node counter aggregates over the snapped interval under
+ * Budget/Pixels.
  */
 struct CounterExtremaQuery
 {
+    QueryContext context;
+
     CpuId cpu = 0;
     CounterId counter = 0;
 
-    /** Query interval; nullopt = the current view. */
-    std::optional<TimeInterval> interval;
+    /** Deprecated alias of context.interval (one deprecation cycle). */
+    std::optional<TimeInterval> &interval() { return context.interval; }
+    const std::optional<TimeInterval> &interval() const
+    {
+        return context.interval;
+    }
 
-    /** Scheduling class. */
-    QueryPriority priority = QueryPriority::Interactive;
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
 };
 
-/** Prefetch the structures @p policy names (Session::warmup). */
+/**
+ * Prefetch the structures @p policy names (Session::warmup).
+ *
+ * Background by default: a warm-up storm must never delay a
+ * just-submitted interactive query (its drainers yield at every
+ * index-build boundary). The synchronous Session::warmup() wrapper
+ * submits at Interactive, since its caller blocks on the result.
+ */
 struct WarmupQuery
 {
+    QueryContext context{std::nullopt, QueryPriority::Background,
+                         Resolution{}};
+
     WarmupPolicy policy;
 
-    /**
-     * Scheduling class. Background by default: a warm-up storm must
-     * never delay a just-submitted interactive query (its drainers
-     * yield at every index-build boundary). The synchronous
-     * Session::warmup() wrapper submits at Interactive, since its
-     * caller blocks on the result.
-     */
-    QueryPriority priority = QueryPriority::Background;
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
+};
+
+/**
+ * Build the summary pyramids (index/summary_pyramid.h) of every CPU
+ * off the interactive path, chunked per CPU on the engine's pool like
+ * WarmupQuery: Background by default, cooperative yield at every
+ * pyramid-build boundary, generation-immune (view/filter mutations
+ * never cancel it — the pyramids are trace-keyed, not view-keyed;
+ * only ticket.cancel() stops it). Idempotent: CPUs whose pyramid an
+ * earlier build (or a resolution-bearing query) already constructed
+ * are visited but not rebuilt.
+ */
+struct PyramidBuildQuery
+{
+    QueryContext context{std::nullopt, QueryPriority::Background,
+                         Resolution{}};
+
+    /** Deprecated-style alias for symmetry with the other specs. */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
+};
+
+/** What one pyramid build actually did. */
+struct PyramidBuildStats
+{
+    /** CPUs scheduled by this call. */
+    std::size_t cpusVisited = 0;
+
+    /** Pyramids newly built by this call. */
+    std::size_t cpusBuilt = 0;
+
+    /** Worker threads available to the executing pool. */
+    unsigned workers = 1;
 };
 
 /**
@@ -169,16 +306,21 @@ struct WarmupQuery
  * dimensions. Session filters and view are injected at submit time when
  * the config names none, exactly like Session::render(); a config that
  * names a taskFilter must keep it alive until the ticket completes.
+ * A non-Exact context.resolution overrides the config's resolution
+ * field, letting remote and async callers request pyramid-backed
+ * rendering without touching the render config.
  */
 struct TimelineRenderQuery
 {
+    QueryContext context;
+
     render::TimelineConfig config;
     std::uint32_t width = 640;
     std::uint32_t height = 360;
 
-    /** Scheduling class; a pan/zoom redraw must never queue behind
-     *  background warm-up. */
-    QueryPriority priority = QueryPriority::Interactive;
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
 };
 
 /** The finished frame and operation counts of a TimelineRenderQuery. */
@@ -201,24 +343,31 @@ struct TimelineRenderResult
  * is restricted to tasks it accepts) and is view-generation-aware: a
  * view or filter change while the scan is queued or running cancels it.
  * Cancellation — explicit or by generation bump — is cooperative at
- * chunk boundaries.
+ * chunk boundaries. The detectors need exact event positions, so
+ * context.resolution is accepted but treated as Exact.
+ *
+ * Background by default: a whole-trace scan is a "find me something
+ * interesting" sweep, not a blocking interaction. The synchronous
+ * Session::scanForAnomalies() wrapper submits at Interactive.
  */
 struct AnomalyScanQuery
 {
+    QueryContext context{std::nullopt, QueryPriority::Background,
+                         Resolution{}};
+
     /** Detector thresholds and the per-kind cap. */
     stats::AnomalyScanOptions options;
 
-    /** Interval to scan; nullopt = the current view. */
-    std::optional<TimeInterval> interval;
+    /** Deprecated alias of context.interval (one deprecation cycle). */
+    std::optional<TimeInterval> &interval() { return context.interval; }
+    const std::optional<TimeInterval> &interval() const
+    {
+        return context.interval;
+    }
 
-    /**
-     * Scheduling class. Background by default: a whole-trace scan is a
-     * "find me something interesting" sweep, not a blocking
-     * interaction, and its drainers yield at every chunk boundary when
-     * interactive work arrives. The synchronous
-     * Session::scanForAnomalies() wrapper submits at Interactive.
-     */
-    QueryPriority priority = QueryPriority::Background;
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
 };
 
 /**
@@ -234,9 +383,17 @@ struct AnomalyScanQuery
  * warm-up, a load is generation-immune — view/filter/trace mutations
  * do not cancel it; ticket.cancel() does, cooperatively at the next
  * frame-run boundary (the ticket completes Cancelled, no result).
+ *
+ * Background by default: a load queues behind interactive work, and
+ * while running its frame-scan loop drains queued Interactive tasks at
+ * batch boundaries (the scan polls between frame runs), so even a
+ * single-worker engine stays responsive during a long load.
  */
 struct TraceLoadQuery
 {
+    QueryContext context{std::nullopt, QueryPriority::Background,
+                         Resolution{}};
+
     /** File to load; used when @p bytes is null. */
     std::string path;
 
@@ -246,13 +403,9 @@ struct TraceLoadQuery
     /** Decode workers of the parallel phase; 0 = the engine's count. */
     unsigned workers = 0;
 
-    /**
-     * Scheduling class. Background by default: a load queues behind
-     * interactive work, though once running it holds its engine worker
-     * until completion or cancellation (the decode itself runs on the
-     * reader's private pool, so the engine worker mostly waits).
-     */
-    QueryPriority priority = QueryPriority::Background;
+    /** Deprecated alias of context.priority (one deprecation cycle). */
+    QueryPriority &priority() { return context.priority; }
+    QueryPriority priority() const { return context.priority; }
 };
 
 /** Outcome of a TraceLoadQuery (mirrors trace::ReadResult). */

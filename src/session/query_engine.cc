@@ -16,6 +16,7 @@
 #include <algorithm>
 
 #include "filter/task_filter.h"
+#include "index/summary_pyramid.h"
 #include "session/renderer_pool.h"
 #include "session/session.h"
 #include "stats/anomaly.h"
@@ -493,6 +494,66 @@ drainAnomalies(const std::shared_ptr<AnomalyScanJob> &job)
         job->interval));
 }
 
+// -- Pyramid build (parallel fan-out, generation-immune) -----------------
+
+/**
+ * One pyramid build: every CPU as an independent build unit, claimed
+ * through the usual atomic cursor. A unit calls TracePyramids::get(),
+ * which builds under the CPU's shard lock — builds for different CPUs
+ * never contend, and a CPU whose pyramid a concurrent resolution-
+ * bearing query already built is attributed to that query, not this
+ * job (the @p built out-parameter is decided under the shard lock).
+ */
+struct PyramidJob
+{
+    std::shared_ptr<detail::TicketState<PyramidBuildStats>> ticket;
+    std::shared_ptr<const trace::Trace> trace;
+    std::shared_ptr<index::TracePyramids> pyramids;
+    PyramidBuildStats stats;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> active{0};
+    std::atomic<std::size_t> built{0}; ///< Pyramids this job constructed.
+    std::atomic<bool> abandoned{false};
+
+    /** See StatsJob::pool / StatsJob::background. */
+    base::ThreadPool *pool = nullptr;
+    bool background = false;
+};
+
+void
+drainPyramids(const std::shared_ptr<PyramidJob> &job)
+{
+    job->ticket->markRunning();
+    const std::size_t total = job->trace->numCpus();
+    for (;;) {
+        if (job->ticket->stale()) {
+            job->abandoned.store(true, std::memory_order_relaxed);
+            break;
+        }
+        if (yieldForInteractive(job, drainPyramids))
+            return;
+        std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total)
+            break;
+        bool constructed = false;
+        job->pyramids->get(static_cast<CpuId>(i), &constructed);
+        if (constructed)
+            job->built.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (job->active.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    if (job->abandoned.load(std::memory_order_relaxed) ||
+        job->ticket->stale()) {
+        // Pyramids already built stay cached (queries answer from them
+        // lazily); the next build revisits the remaining CPUs cheaply.
+        job->ticket->completeCancelled();
+        return;
+    }
+    PyramidBuildStats stats = job->stats;
+    stats.cpusBuilt = job->built.load(std::memory_order_relaxed);
+    job->ticket->complete(stats);
+}
+
 } // namespace
 
 // -- Session::submit overloads -------------------------------------------
@@ -500,7 +561,53 @@ drainAnomalies(const std::shared_ptr<AnomalyScanJob> &job)
 QueryTicket<stats::IntervalStats>
 Session::submit(const IntervalStatsQuery &query)
 {
-    TimeInterval interval = query.interval.value_or(view());
+    TimeInterval interval = query.context.interval.value_or(view());
+    const TimeStamp granularity =
+        pyramids_->granularityFor(query.context.resolution, interval);
+    if (granularity > 0) {
+        // Pyramid path: snap the interval outward to the granularity
+        // and answer the *snapped* interval exactly from O(log n)
+        // nodes per CPU — one tracked task, no fan-out, and no memo
+        // (the memo holds exact answers for requested intervals only).
+        TimeInterval snapped = pyramids_->snap(interval, granularity);
+        const bool exact = snapped.start == interval.start &&
+                           snapped.end == interval.end;
+        auto state = newTicketState<stats::IntervalStats>(*domain_);
+        auto trace = trace_;
+        auto pyramids = pyramids_;
+        base::TaskHandle handle;
+        engine_->withPool([&](base::ThreadPool &pool) {
+            handle = pool.submitTracked(
+                [state, trace, pyramids, snapped, granularity, exact] {
+                    state->markRunning();
+                    if (state->stale()) {
+                        state->completeCancelled();
+                        return;
+                    }
+                    stats::IntervalStats out;
+                    out.interval = snapped;
+                    std::uint64_t nodes = 0;
+                    auto range = pyramids->leafRange(snapped);
+                    for (CpuId c = 0; c < trace->numCpus(); c++)
+                        pyramids->get(c).occupancy(
+                            range.first, range.second, out.timeInState,
+                            nodes);
+                    out.tasksStarted = pyramids->tasksStartedIn(snapped);
+                    out.tasksOverlapping =
+                        pyramids->tasksOverlapping(snapped);
+                    out.resolution.exact = exact;
+                    out.resolution.nodesTouched = nodes;
+                    out.resolution.granularityNs = granularity;
+                    state->complete(std::move(out));
+                },
+                toTaskPriority(query.context.priority));
+        });
+        {
+            base::MutexLock lock(state->mutex);
+            state->handle = handle;
+        }
+        return QueryTicket<stats::IntervalStats>(std::move(state));
+    }
     {
         base::MutexLock lock(statsMemo_->mutex);
         if (const stats::IntervalStats *hit = statsMemo_->stats.tryGet(
@@ -537,11 +644,11 @@ Session::submit(const IntervalStatsQuery &query)
         return completedTicket(*domain_, std::move(empty));
     }
     job->partials.resize(total);
-    job->background = query.priority == QueryPriority::Background;
+    job->background = query.context.priority == QueryPriority::Background;
     const std::size_t drainers =
         std::max<std::size_t>(1, std::min<std::size_t>(workers, total));
     job->active.store(drainers, std::memory_order_relaxed);
-    base::TaskPriority priority = toTaskPriority(query.priority);
+    base::TaskPriority priority = toTaskPriority(query.context.priority);
     engine_->withPool([&](base::ThreadPool &pool) {
         job->pool = &pool;
         for (std::size_t d = 0; d < drainers; d++)
@@ -582,7 +689,7 @@ Session::submit(const TaskListQuery &query)
                 publishTaskList(*memo, generation, *list);
                 state->complete(std::move(*list));
             },
-            toTaskPriority(query.priority));
+            toTaskPriority(query.context.priority));
     });
     {
         base::MutexLock lock(state->mutex);
@@ -595,6 +702,69 @@ QueryTicket<stats::Histogram>
 Session::submit(const HistogramQuery &query)
 {
     using List = std::vector<const trace::TaskInstance *>;
+    if (query.context.interval) {
+        const TimeStamp granularity = pyramids_->granularityFor(
+            query.context.resolution, *query.context.interval);
+        if (granularity > 0) {
+            // Pyramid path: snap the interval and select the tasks
+            // starting inside it by binary search on the start-sorted
+            // task array — O(log n + matches) instead of a full list
+            // scan. Bin counts are order-independent, so the result
+            // equals the exact path's histogram of the snapped
+            // interval bit for bit.
+            TimeInterval snapped =
+                pyramids_->snap(*query.context.interval, granularity);
+            const bool exact =
+                snapped.start == query.context.interval->start &&
+                snapped.end == query.context.interval->end;
+            auto state = newTicketState<stats::Histogram>(*domain_);
+            state->generation = domain_->filterGeneration();
+            state->live = domain_->filterGenerationCell();
+            auto trace = trace_;
+            auto pyramids = pyramids_;
+            auto filters =
+                std::make_shared<const filter::FilterSet>(filters_);
+            std::uint32_t num_bins = query.numBins;
+            base::TaskHandle handle;
+            engine_->withPool([&](base::ThreadPool &pool) {
+                handle = pool.submitTracked(
+                    [state, trace, pyramids, filters, snapped,
+                     granularity, exact, num_bins] {
+                        state->markRunning();
+                        if (state->stale()) {
+                            state->completeCancelled();
+                            return;
+                        }
+                        auto range = pyramids->taskStartRange(snapped);
+                        const List &by_start = pyramids->tasksByStart();
+                        std::vector<double> durations;
+                        durations.reserve(range.second - range.first);
+                        for (std::size_t i = range.first;
+                             i < range.second; i++) {
+                            const trace::TaskInstance *task = by_start[i];
+                            if (filters->matches(*trace, *task))
+                                durations.push_back(static_cast<double>(
+                                    task->duration()));
+                        }
+                        if (state->stale()) {
+                            state->completeCancelled();
+                            return;
+                        }
+                        stats::Histogram h = stats::Histogram::fromValues(
+                            durations, num_bins);
+                        h.resolution.exact = exact;
+                        h.resolution.granularityNs = granularity;
+                        state->complete(std::move(h));
+                    },
+                    toTaskPriority(query.context.priority));
+            });
+            {
+                base::MutexLock lock(state->mutex);
+                state->handle = handle;
+            }
+            return QueryTicket<stats::Histogram>(std::move(state));
+        }
+    }
     auto state = newTicketState<stats::Histogram>(*domain_);
     // Like the task list it is built from, the histogram is
     // view-independent: staleness tracks the filter generation only.
@@ -612,10 +782,12 @@ Session::submit(const HistogramQuery &query)
     auto memo = memo_;
     auto filters = std::make_shared<const filter::FilterSet>(filters_);
     std::uint32_t num_bins = query.numBins;
+    std::optional<TimeInterval> restrict_to = query.context.interval;
     base::TaskHandle handle;
     engine_->withPool([&](base::ThreadPool &pool) {
         handle = pool.submitTracked(
-            [state, trace, memo, filters, cached, generation, num_bins] {
+            [state, trace, memo, filters, cached, generation, num_bins,
+             restrict_to] {
                 state->markRunning();
                 if (state->stale()) {
                     state->completeCancelled();
@@ -632,15 +804,20 @@ Session::submit(const HistogramQuery &query)
                     computed = std::move(*list);
                     // The scan is the expensive half; share it with
                     // later tasks()/histogram() calls of the same
-                    // generation.
+                    // generation (the published list is unrestricted;
+                    // the interval only narrows the binned values).
                     publishTaskList(*memo, generation, computed);
                     tasks = &computed;
                 }
                 std::vector<double> durations;
                 durations.reserve(tasks->size());
-                for (const trace::TaskInstance *task : *tasks)
+                for (const trace::TaskInstance *task : *tasks) {
+                    if (restrict_to &&
+                        !restrict_to->contains(task->interval.start))
+                        continue;
                     durations.push_back(
                         static_cast<double>(task->duration()));
+                }
                 if (state->stale()) {
                     state->completeCancelled();
                     return;
@@ -648,7 +825,7 @@ Session::submit(const HistogramQuery &query)
                 state->complete(
                     stats::Histogram::fromValues(durations, num_bins));
             },
-            toTaskPriority(query.priority));
+            toTaskPriority(query.context.priority));
     });
     {
         base::MutexLock lock(state->mutex);
@@ -662,9 +839,51 @@ Session::submit(const CounterExtremaQuery &query)
 {
     auto state = newTicketState<index::MinMax>(*domain_);
     auto cache = counterIndexes_;
-    TimeInterval interval = query.interval.value_or(view());
+    TimeInterval interval = query.context.interval.value_or(view());
+    const TimeStamp granularity =
+        pyramids_->granularityFor(query.context.resolution, interval);
     CpuId cpu = query.cpu;
     CounterId counter = query.counter;
+    if (granularity > 0) {
+        // Pyramid path: the extrema of the snapped interval from the
+        // per-node counter aggregates — O(log n) nodes instead of the
+        // index's per-sample range scan. An out-of-range CPU yields
+        // the same invalid MinMax a counter with no samples does.
+        TimeInterval snapped = pyramids_->snap(interval, granularity);
+        auto pyramids = pyramids_;
+        base::TaskHandle handle;
+        engine_->withPool([&](base::ThreadPool &pool) {
+            handle = pool.submitTracked(
+                [state, pyramids, cpu, counter, snapped] {
+                    state->markRunning();
+                    if (state->stale()) {
+                        state->completeCancelled();
+                        return;
+                    }
+                    index::MinMax out;
+                    if (const index::SummaryPyramid *p =
+                            pyramids->getOrNull(cpu)) {
+                        std::uint64_t nodes = 0;
+                        auto range = pyramids->leafRange(snapped);
+                        index::SummaryPyramid::CounterAggregate agg =
+                            p->counterAggregate(counter, range.first,
+                                                range.second, nodes);
+                        if (agg.count > 0) {
+                            out.valid = true;
+                            out.min = agg.min;
+                            out.max = agg.max;
+                        }
+                    }
+                    state->complete(out);
+                },
+                toTaskPriority(query.context.priority));
+        });
+        {
+            base::MutexLock lock(state->mutex);
+            state->handle = handle;
+        }
+        return QueryTicket<index::MinMax>(std::move(state));
+    }
     base::TaskHandle handle;
     engine_->withPool([&](base::ThreadPool &pool) {
         handle = pool.submitTracked(
@@ -676,7 +895,7 @@ Session::submit(const CounterExtremaQuery &query)
                 }
                 state->complete(cache->query(cpu, counter, interval));
             },
-            toTaskPriority(query.priority));
+            toTaskPriority(query.context.priority));
     });
     {
         base::MutexLock lock(state->mutex);
@@ -750,17 +969,46 @@ Session::submit(const WarmupQuery &query)
                               (job->doTaskList ? 1 : 0);
     if (total == 0)
         return completedTicket(*domain_, job->stats);
-    job->background = query.priority == QueryPriority::Background;
+    job->background = query.context.priority == QueryPriority::Background;
     const std::size_t drainers = std::max<std::size_t>(
         1, std::min<std::size_t>(engine_->workers(), total));
     job->active.store(drainers, std::memory_order_relaxed);
-    base::TaskPriority priority = toTaskPriority(query.priority);
+    base::TaskPriority priority = toTaskPriority(query.context.priority);
     engine_->withPool([&](base::ThreadPool &pool) {
         job->pool = &pool;
         for (std::size_t d = 0; d < drainers; d++)
             pool.submit([job] { drainWarmup(job); }, priority);
     });
     return QueryTicket<WarmupStats>(std::move(state));
+}
+
+QueryTicket<PyramidBuildStats>
+Session::submit(const PyramidBuildQuery &query)
+{
+    auto state = newTicketState<PyramidBuildStats>(*domain_);
+    // Pyramids are trace-keyed, never view- or filter-keyed, so
+    // generation bumps don't invalidate a build: explicit cancel only.
+    state->live = nullptr;
+    auto job = std::make_shared<PyramidJob>();
+    job->ticket = state;
+    job->trace = trace_;
+    job->pyramids = pyramids_;
+    job->stats.cpusVisited = trace_->numCpus();
+    job->stats.workers = engine_->workers();
+    const std::size_t total = trace_->numCpus();
+    if (total == 0)
+        return completedTicket(*domain_, job->stats);
+    job->background = query.context.priority == QueryPriority::Background;
+    const std::size_t drainers = std::max<std::size_t>(
+        1, std::min<std::size_t>(engine_->workers(), total));
+    job->active.store(drainers, std::memory_order_relaxed);
+    base::TaskPriority priority = toTaskPriority(query.context.priority);
+    engine_->withPool([&](base::ThreadPool &pool) {
+        job->pool = &pool;
+        for (std::size_t d = 0; d < drainers; d++)
+            pool.submit([job] { drainPyramids(job); }, priority);
+    });
+    return QueryTicket<PyramidBuildStats>(std::move(state));
 }
 
 QueryTicket<TraceLoadResult>
@@ -783,6 +1031,18 @@ Session::submit(const TraceLoadQuery &query)
     std::string path = query.path;
     base::TaskHandle handle;
     engine_->withPool([&](base::ThreadPool &pool) {
+        // The load's serial frame scan can occupy a worker for the
+        // whole file; drain queued interactive tasks at the reader's
+        // poll boundaries so even a 1-worker engine stays responsive.
+        // The pool outlives the load task (it runs on that pool, and
+        // the pool drains before destruction), so the raw pointer in
+        // the yield hook stays valid.
+        base::ThreadPool *pool_ptr = &pool;
+        options.yield = [pool_ptr] {
+            while (pool_ptr->hasHighPriorityWork() &&
+                   pool_ptr->runOneHighPriorityTask()) {
+            }
+        };
         handle = pool.submitTracked(
             [state, bytes, path, options] {
                 state->markRunning();
@@ -810,7 +1070,7 @@ Session::submit(const TraceLoadQuery &query)
                         std::move(read.trace));
                 state->complete(std::move(result));
             },
-            toTaskPriority(query.priority));
+            toTaskPriority(query.context.priority));
     });
     {
         base::MutexLock lock(state->mutex);
@@ -836,13 +1096,21 @@ Session::submit(const TimelineRenderQuery &query)
     }
     if (config.view.empty() && !view_.empty())
         config.view = view_;
+    // A non-Exact context.resolution overrides the config's own knob,
+    // so async and remote callers can request pyramid-backed rendering
+    // without touching the render config.
+    if (query.context.resolution.kind != Resolution::Kind::Exact)
+        config.resolution = query.context.resolution;
+    auto pyramids = pyramids_;
+    config.pyramids = pyramids.get();
     std::uint32_t width = query.width;
     std::uint32_t height = query.height;
     auto renderers = rendererPool_;
     base::TaskHandle handle;
     engine_->withPool([&](base::ThreadPool &pool) {
         handle = pool.submitTracked(
-            [state, trace, renderers, filters, config, width, height] {
+            [state, trace, renderers, filters, pyramids, config, width,
+             height] {
                 state->markRunning();
                 if (state->stale()) {
                     state->completeCancelled();
@@ -858,7 +1126,7 @@ Session::submit(const TimelineRenderQuery &query)
                 result.stats = lease->stats();
                 state->complete(std::move(result));
             },
-            toTaskPriority(query.priority));
+            toTaskPriority(query.context.priority));
     });
     {
         base::MutexLock lock(state->mutex);
@@ -870,7 +1138,7 @@ Session::submit(const TimelineRenderQuery &query)
 QueryTicket<std::vector<stats::Anomaly>>
 Session::submit(const AnomalyScanQuery &query)
 {
-    TimeInterval interval = query.interval.value_or(view());
+    TimeInterval interval = query.context.interval.value_or(view());
     // View-dependent by default generation: a view, filter or trace
     // mutation makes a queued or running scan stale (polled at chunk
     // boundaries) — the findings describe a window the user just left.
@@ -888,11 +1156,11 @@ Session::submit(const AnomalyScanQuery &query)
     if (total == 0)
         return completedTicket(*domain_, std::vector<stats::Anomaly>());
     job->partials.resize(total);
-    job->background = query.priority == QueryPriority::Background;
+    job->background = query.context.priority == QueryPriority::Background;
     const std::size_t drainers = std::max<std::size_t>(
         1, std::min<std::size_t>(engine_->workers(), total));
     job->active.store(drainers, std::memory_order_relaxed);
-    base::TaskPriority priority = toTaskPriority(query.priority);
+    base::TaskPriority priority = toTaskPriority(query.context.priority);
     engine_->withPool([&](base::ThreadPool &pool) {
         job->pool = &pool;
         for (std::size_t d = 0; d < drainers; d++)

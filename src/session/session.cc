@@ -92,6 +92,11 @@ void
 Session::rebindTrace()
 {
     counterIndexes_ = std::make_shared<CounterIndexCache>(*trace_);
+    // The pyramid store is cheap to construct (the per-CPU pyramids
+    // build lazily; only the trace-global task arrays are eager) and
+    // trace-keyed, so a swap replaces it wholesale — in-flight queries
+    // keep the old store and trace alive through their shared_ptrs.
+    pyramids_ = std::make_shared<index::TracePyramids>(*trace_);
     // Renderers are constructed lazily by the pool (they scan the
     // task-type table), so query-only sessions never pay for one;
     // re-keying drops the old trace's idle renderers while in-flight
@@ -226,6 +231,7 @@ Session::sharedCaches() const
     out.counterIndexes = counterIndexes_;
     out.statsMemo = statsMemo_;
     out.renderers = rendererPool_;
+    out.pyramids = pyramids_;
     return out;
 }
 
@@ -234,7 +240,8 @@ Session::adoptSharedCaches(const SharedCaches &caches)
 {
     AFTERMATH_ASSERT(caches.counterIndexes != nullptr &&
                          caches.statsMemo != nullptr &&
-                         caches.renderers != nullptr,
+                         caches.renderers != nullptr &&
+                         caches.pyramids != nullptr,
                      "adopting incomplete shared caches");
     // Roll the replaced caches' counters into the bases, exactly like a
     // trace swap, so cacheStats() stays cumulative across the adoption.
@@ -247,6 +254,7 @@ Session::adoptSharedCaches(const SharedCaches &caches)
     counterIndexes_ = caches.counterIndexes;
     statsMemo_ = caches.statsMemo;
     rendererPool_ = caches.renderers;
+    pyramids_ = caches.pyramids;
 }
 
 Session::WarmupStats
@@ -254,7 +262,9 @@ Session::warmup(const WarmupPolicy &policy)
 {
     // The caller blocks on the result, so the synchronous form runs at
     // Interactive priority instead of the spec's Background default.
-    return submit(WarmupQuery{policy, QueryPriority::Interactive}).take();
+    return submit(WarmupQuery{{std::nullopt, QueryPriority::Interactive},
+                              policy})
+        .take();
 }
 
 Session::WarmupStats
@@ -270,7 +280,7 @@ Session::scanForAnomalies(const stats::AnomalyScanOptions &options)
     // Interactive priority instead of the spec's Background default.
     AnomalyScanQuery query;
     query.options = options;
-    query.priority = QueryPriority::Interactive;
+    query.context.priority = QueryPriority::Interactive;
     return submit(query).take();
 }
 
@@ -294,7 +304,7 @@ Session::intervalStats(const TimeInterval &interval)
     // on completion, so insertOrGet almost always finds the entry and
     // merely returns the cached reference.
     stats::IntervalStats result =
-        submit(IntervalStatsQuery{interval}).take();
+        submit(IntervalStatsQuery{{interval}}).take();
     base::MutexLock lock(statsMemo_->mutex);
     return statsMemo_->stats.insertOrGet(key, std::move(result));
 }
@@ -308,7 +318,8 @@ Session::intervalStats()
 stats::Histogram
 Session::histogram(std::uint32_t num_bins)
 {
-    return submit(HistogramQuery{num_bins}).take();
+    return submit(HistogramQuery{.context = {}, .numBins = num_bins})
+        .take();
 }
 
 stats::Histogram

@@ -60,6 +60,7 @@
 #include "base/types.h"
 #include "filter/task_filter.h"
 #include "index/counter_index.h"
+#include "index/summary_pyramid.h"
 #include "metrics/derived_counter.h"
 #include "metrics/task_attribution.h"
 #include "render/counter_overlay.h"
@@ -149,15 +150,17 @@ class Session
     /**
      * The lazily-built caches that are shareable across every session
      * (every daemon client) viewing the *same* trace: the sharded
-     * counter-index cache, the filter-independent stats memo, and the
-     * renderer checkout pool. The filter-keyed SessionMemo is
-     * deliberately absent — it never crosses driving contexts.
+     * counter-index cache, the filter-independent stats memo, the
+     * renderer checkout pool and the summary pyramids. The filter-keyed
+     * SessionMemo is deliberately absent — it never crosses driving
+     * contexts.
      */
     struct SharedCaches
     {
         std::shared_ptr<CounterIndexCache> counterIndexes;
         std::shared_ptr<StatsMemo> statsMemo;
         std::shared_ptr<RendererPool> renderers;
+        std::shared_ptr<index::TracePyramids> pyramids;
     };
 
     // -- Shared state ------------------------------------------------------
@@ -217,6 +220,14 @@ class Session
     QueryTicket<WarmupStats> submit(const WarmupQuery &query);
     QueryTicket<TimelineRenderResult>
     submit(const TimelineRenderQuery &query);
+
+    /**
+     * Build the summary pyramids of every CPU off the interactive path
+     * (see PyramidBuildQuery): per-CPU build units on the engine's
+     * pool, cooperative yield to interactive work, generation-immune.
+     * Idempotent — already-built CPUs are visited, not rebuilt.
+     */
+    QueryTicket<PyramidBuildStats> submit(const PyramidBuildQuery &query);
 
     /**
      * Scan for anomalies asynchronously (see AnomalyScanQuery): the
@@ -302,6 +313,18 @@ class Session
     const std::shared_ptr<RendererPool> &rendererPool() const
     {
         return rendererPool_;
+    }
+
+    /**
+     * The session's summary pyramids (index/summary_pyramid.h):
+     * resolution-aware queries (Resolution::Budget / Pixels) answer
+     * from them, building each CPU's pyramid on first use; a
+     * PyramidBuildQuery prefetches them off the interactive path.
+     * Replaced wholesale on setTrace(). Never null.
+     */
+    const std::shared_ptr<index::TracePyramids> &pyramids() const
+    {
+        return pyramids_;
     }
 
     // -- Warm-up and concurrency -------------------------------------------
@@ -503,6 +526,7 @@ class Session
     CacheCounters statsBase_;    ///< Pre-swap stats-memo accounting.
     CacheCounters taskListBase_; ///< Pre-swap task-list accounting.
     std::shared_ptr<RendererPool> rendererPool_;
+    std::shared_ptr<index::TracePyramids> pyramids_;
     std::shared_ptr<QueryEngine> engine_;
     std::shared_ptr<GenerationDomain> domain_; ///< Never null.
     render::RenderStats renderStats_; ///< Last timeline render's counts.

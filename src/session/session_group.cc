@@ -90,8 +90,8 @@ SessionGroup::warmup(const Session::WarmupPolicy &policy)
     // concurrently on the shared pool instead of in sequence. The
     // caller blocks on the results, so the synchronous form runs at
     // Interactive priority like Session::warmup().
-    std::vector<QueryTicket<Session::WarmupStats>> tickets =
-        submitAll(WarmupQuery{policy, QueryPriority::Interactive});
+    std::vector<QueryTicket<Session::WarmupStats>> tickets = submitAll(
+        WarmupQuery{{std::nullopt, QueryPriority::Interactive}, policy});
     std::vector<Session::WarmupStats> out;
     out.reserve(tickets.size());
     for (QueryTicket<Session::WarmupStats> &ticket : tickets)
@@ -161,7 +161,7 @@ SessionGroup::detectRegressions(std::size_t baseline, std::size_t variant,
     // per-type means.
     AnomalyScanQuery scan;
     scan.options = options.scan;
-    scan.priority = QueryPriority::Interactive;
+    scan.context.priority = QueryPriority::Interactive;
     QueryTicket<std::vector<stats::Anomaly>> scan_a =
         session(baseline).submit(scan);
     QueryTicket<std::vector<stats::Anomaly>> scan_b =

@@ -19,6 +19,12 @@ Session::effectiveConfig(const render::TimelineConfig &config) const
         effective.taskFilter = &filters_;
     if (effective.view.empty() && !view_.empty())
         effective.view = view_;
+    // Wire the session's pyramid store in so a config requesting
+    // Budget/Pixels resolution renders O(pixels) occupancy bands; the
+    // store outlives the synchronous render (pyramids_ is replaced,
+    // never destroyed, on setTrace).
+    if (!effective.pyramids)
+        effective.pyramids = pyramids_.get();
     return effective;
 }
 

@@ -59,6 +59,29 @@ plausibleCount(ByteReader &r, std::uint64_t count,
     return true;
 }
 
+/** Resolution provenance: exact flag + nodes touched + granularity. */
+void
+writeResolutionInfo(const ResolutionInfo &info, ByteWriter &w)
+{
+    w.writeU8(info.exact ? 1 : 0);
+    w.writeVarint(info.nodesTouched);
+    w.writeVarint(info.granularityNs);
+}
+
+bool
+readResolutionInfo(ByteReader &r, ResolutionInfo &out)
+{
+    std::uint8_t exact = r.readU8();
+    if (exact > 1) {
+        r.markFailed();
+        return false;
+    }
+    out.exact = exact == 1;
+    out.nodesTouched = r.readVarint();
+    out.granularityNs = r.readVarint();
+    return r.ok();
+}
+
 } // namespace
 
 void
@@ -73,6 +96,7 @@ encodeIntervalStats(const IntervalStats &s, ByteWriter &w)
     }
     w.writeVarint(s.tasksOverlapping);
     w.writeVarint(s.tasksStarted);
+    writeResolutionInfo(s.resolution, w);
 }
 
 bool
@@ -93,7 +117,7 @@ decodeIntervalStats(ByteReader &r, IntervalStats &out)
     }
     out.tasksOverlapping = r.readVarint();
     out.tasksStarted = r.readVarint();
-    return r.ok();
+    return readResolutionInfo(r, out.resolution);
 }
 
 void
@@ -104,6 +128,7 @@ encodeHistogram(const Histogram &h, ByteWriter &w)
     w.writeVarint(h.numBins());
     for (std::uint32_t i = 0; i < h.numBins(); i++)
         w.writeVarint(h.count(i));
+    writeResolutionInfo(h.resolution, w);
 }
 
 bool
@@ -125,7 +150,7 @@ decodeHistogram(ByteReader &r, Histogram &out)
     if (!r.ok())
         return false;
     out = Histogram::fromBins(std::move(counts), min, max);
-    return true;
+    return readResolutionInfo(r, out.resolution);
 }
 
 void

@@ -14,6 +14,8 @@
 #include <optional>
 #include <vector>
 
+#include "base/resolution.h"
+
 namespace aftermath {
 namespace stats {
 
@@ -21,6 +23,14 @@ namespace stats {
 class Histogram
 {
   public:
+    /**
+     * How the observation set was selected (base/resolution.h): exact
+     * task-list scan, or the pyramid's start-sorted task array over a
+     * snapped interval. Bin counts themselves are always exact over
+     * the selected set.
+     */
+    ResolutionInfo resolution;
+
     /**
      * Build a histogram of @p values with @p num_bins equal bins.
      *

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 
+#include "base/resolution.h"
 #include "base/time_interval.h"
 #include "base/types.h"
 #include "trace/trace.h"
@@ -37,6 +38,13 @@ struct IntervalStats
     std::uint64_t tasksOverlapping = 0;
     /** Tasks that started within the interval. */
     std::uint64_t tasksStarted = 0;
+
+    /**
+     * How the result was answered (base/resolution.h): exact scan, or
+     * pyramid nodes over a snapped interval — in which case
+     * this->interval reports the snapped interval actually computed.
+     */
+    ResolutionInfo resolution;
 
     /** Total worker time across all states. */
     TimeStamp totalTime() const;

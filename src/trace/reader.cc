@@ -742,12 +742,15 @@ readTrace(const std::vector<std::uint8_t> &bytes, const ReadOptions &options)
                         }
                         stretch_count++;
                         pos = p;
-                        if ((++scanned & 0xfff) == 0 &&
-                            options.cancel.cancelled()) {
-                            result.cancelled = true;
-                            result.error = "trace load cancelled";
-                            abort_pipeline();
-                            return result;
+                        if ((++scanned & 0xfff) == 0) {
+                            if (options.yield)
+                                options.yield();
+                            if (options.cancel.cancelled()) {
+                                result.cancelled = true;
+                                result.error = "trace load cancelled";
+                                abort_pipeline();
+                                return result;
+                            }
                         }
                         continue;
                     }
@@ -833,22 +836,29 @@ readTrace(const std::vector<std::uint8_t> &bytes, const ReadOptions &options)
                 prefix_lane = lane;
                 prefix_type = ftype;
                 pos = p;
-                if ((++scanned & 0xfff) == 0 &&
-                    options.cancel.cancelled()) {
-                    result.cancelled = true;
-                    result.error = "trace load cancelled";
-                    abort_pipeline();
-                    return result;
+                if ((++scanned & 0xfff) == 0) {
+                    if (options.yield)
+                        options.yield();
+                    if (options.cancel.cancelled()) {
+                        result.cancelled = true;
+                        result.error = "trace load cancelled";
+                        abort_pipeline();
+                        return result;
+                    }
                 }
             }
             reader.seek(pos);
         }
 
-        if ((++scanned & 0xfff) == 0 && options.cancel.cancelled()) {
-            result.cancelled = true;
-            result.error = "trace load cancelled";
-            abort_pipeline();
-            return result;
+        if ((++scanned & 0xfff) == 0) {
+            if (options.yield)
+                options.yield();
+            if (options.cancel.cancelled()) {
+                result.cancelled = true;
+                result.error = "trace load cancelled";
+                abort_pipeline();
+                return result;
+            }
         }
         std::size_t frame_offset = reader.offset();
         std::uint8_t type_raw = reader.readU8();

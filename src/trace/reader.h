@@ -39,6 +39,7 @@
 #define AFTERMATH_TRACE_READER_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,16 @@ struct ReadOptions
      * cancels.
      */
     base::CancellationToken cancel;
+
+    /**
+     * Invoked at the same frame-run boundaries the cancel token is
+     * polled at (every 4096 scanned frames). A background trace load
+     * sets this to donate its thread to queued interactive work
+     * (base::ThreadPool::runOneHighPriorityTask()) so a load never
+     * delays a just-submitted query by more than one scan batch. Must
+     * not re-enter the reader; null means never yield.
+     */
+    std::function<void()> yield;
 };
 
 /** Outcome of reading a trace stream. */

@@ -283,15 +283,19 @@ TEST(ThreadPoolPriority, IdleForTracksQuiescence)
 
 TEST(QueryPriorityDefaults, SpecsCarryTheirRole)
 {
-    EXPECT_EQ(IntervalStatsQuery{}.priority, QueryPriority::Interactive);
-    EXPECT_EQ(HistogramQuery{}.priority, QueryPriority::Interactive);
-    EXPECT_EQ(TaskListQuery{}.priority, QueryPriority::Interactive);
-    EXPECT_EQ(CounterExtremaQuery{}.priority,
+    EXPECT_EQ(IntervalStatsQuery{}.context.priority,
               QueryPriority::Interactive);
-    EXPECT_EQ(TimelineRenderQuery{}.priority,
+    EXPECT_EQ(HistogramQuery{}.context.priority,
               QueryPriority::Interactive);
-    EXPECT_EQ(WarmupQuery{}.priority, QueryPriority::Background);
-    EXPECT_EQ(TraceLoadQuery{}.priority, QueryPriority::Background);
+    EXPECT_EQ(TaskListQuery{}.context.priority,
+              QueryPriority::Interactive);
+    EXPECT_EQ(CounterExtremaQuery{}.context.priority,
+              QueryPriority::Interactive);
+    EXPECT_EQ(TimelineRenderQuery{}.context.priority,
+              QueryPriority::Interactive);
+    EXPECT_EQ(WarmupQuery{}.context.priority, QueryPriority::Background);
+    EXPECT_EQ(TraceLoadQuery{}.context.priority,
+              QueryPriority::Background);
 }
 
 TEST(QueryPriorityTest, InteractiveOvertakesBackgroundStorm)
@@ -317,8 +321,8 @@ TEST(QueryPriorityTest, InteractiveOvertakesBackgroundStorm)
     std::vector<QueryTicket<stats::IntervalStats>> storm;
     for (TimeStamp k = 1; k <= 4; k++)
         storm.push_back(session.submit(IntervalStatsQuery{
-            TimeInterval{span.start, span.end - k},
-            QueryPriority::Background}));
+            {TimeInterval{span.start, span.end - k},
+             QueryPriority::Background}}));
     QueryTicket<stats::IntervalStats> interactive =
         session.submit(IntervalStatsQuery{
             TimeInterval{span.start + 1, span.end}});
@@ -356,13 +360,13 @@ TEST(QueryPriorityTest, BackgroundYieldKeepsResultsBitIdentical)
         TimeInterval interval{span.start,
                               span.end - 1 - static_cast<TimeStamp>(rep)};
         auto background = session.submit(
-            IntervalStatsQuery{interval, QueryPriority::Background});
+            IntervalStatsQuery{{interval, QueryPriority::Background}});
         // Interactive flood racing the background scan: every arrival
         // is a potential yield point for the background drainers.
         std::vector<QueryTicket<index::MinMax>> flood;
         for (CpuId c = 0; c < tr.numCpus(); c++)
             flood.push_back(session.submit(CounterExtremaQuery{
-                c, static_cast<CounterId>(c % 2), span}));
+                {span}, c, static_cast<CounterId>(c % 2)}));
         for (auto &ticket : flood)
             EXPECT_EQ(ticket.wait(), QueryStatus::Done);
         ASSERT_EQ(background.wait(), QueryStatus::Done);
@@ -379,7 +383,7 @@ TEST(QueryPriorityTest, BackgroundWarmupYieldsAndStillWarmsEverything)
     auto warmup = session.submit(WarmupQuery{}); // Background default.
     std::vector<QueryTicket<stats::Histogram>> flood;
     for (unsigned i = 0; i < 8; i++)
-        flood.push_back(session.submit(HistogramQuery{10u + i}));
+        flood.push_back(session.submit(HistogramQuery{{}, 10u + i}));
     for (auto &ticket : flood)
         EXPECT_EQ(ticket.wait(), QueryStatus::Done);
     ASSERT_EQ(warmup.wait(), QueryStatus::Done);
@@ -459,8 +463,8 @@ TEST(IdleLifecycle, ShutdownDrainsQueuedBackgroundWorkFirst)
     Session session = Session::view(tr);
     TimeInterval span = tr.span();
     auto ticket = session.submit(IntervalStatsQuery{
-        TimeInterval{span.start, span.end - 3},
-        QueryPriority::Background});
+        {TimeInterval{span.start, span.end - 3},
+         QueryPriority::Background}});
     session.queryEngine()->shutdown();
     // Drained, not abandoned: the ticket completed before the join.
     EXPECT_EQ(ticket.status(), QueryStatus::Done);
@@ -678,9 +682,11 @@ TEST(QueryPriorityTest, DrainRacesConcurrentSubmitters)
                 const TimeStamp skew =
                     static_cast<TimeStamp>(t * kQueriesEach + i + 1);
                 IntervalStatsQuery query;
-                query.interval = TimeInterval{span.start, span.end - skew};
-                query.priority = (i % 2) != 0 ? QueryPriority::Background
-                                              : QueryPriority::Interactive;
+                query.context.interval =
+                    TimeInterval{span.start, span.end - skew};
+                query.context.priority = (i % 2) != 0
+                    ? QueryPriority::Background
+                    : QueryPriority::Interactive;
                 tickets.push_back(session.submit(query));
             }
             for (std::size_t i = 0; i < tickets.size(); i++) {
@@ -732,7 +738,8 @@ TEST(QueryPriorityTest, DrainRacesTeardownChurn)
     for (int i = 0; i < 60; i++) {
         const TimeStamp skew = static_cast<TimeStamp>(i + 1);
         IntervalStatsQuery query;
-        query.interval = TimeInterval{span.start, span.end - skew};
+        query.context.interval =
+            TimeInterval{span.start, span.end - skew};
         auto ticket = session.submit(query);
         ASSERT_EQ(ticket.wait(), QueryStatus::Done);
         expectStatsEqual(

@@ -238,7 +238,7 @@ TEST(SessionAnomaly, ViewAndExplicitIntervalsRestrictTheScan)
 
     // An explicit query interval overrides the view.
     AnomalyScanQuery query;
-    query.interval = tr.span();
+    query.context.interval = tr.span();
     std::vector<std::uint8_t> whole = bytesOf(session.submit(query).take());
     EXPECT_EQ(whole, bytesOf(stats::scanForAnomalies(
                          tr, {}, tr.span(), &session.filters())));
@@ -297,7 +297,8 @@ TEST(SessionAnomaly, BackgroundScanCoexistsWithInteractiveQueries)
     // The scan defaults to Background so its drainers yield to
     // interactive work at chunk boundaries; racing it against
     // interval-stats queries must perturb neither result.
-    EXPECT_EQ(AnomalyScanQuery{}.priority, QueryPriority::Background);
+    EXPECT_EQ(AnomalyScanQuery{}.context.priority,
+              QueryPriority::Background);
 
     trace::Trace tr = buildAnomalousTrace();
     Session session = Session::view(tr);

@@ -228,7 +228,7 @@ TEST(SessionAsync, SubmitHistogramAndTaskListMatchSyncWrappers)
     auto task_list = list_ticket.take();
     EXPECT_EQ(task_list, b.tasks());
 
-    stats::Histogram async_h = a.submit(HistogramQuery{9}).take();
+    stats::Histogram async_h = a.submit(HistogramQuery{{}, 9}).take();
     stats::Histogram sync_h = b.histogram(9);
     ASSERT_EQ(async_h.numBins(), sync_h.numBins());
     EXPECT_EQ(async_h.rangeMin(), sync_h.rangeMin());
@@ -249,7 +249,7 @@ TEST(SessionAsync, SubmitCounterExtremaMatchesSync)
         TimeInterval iv{start, start + 1 + rng.nextBounded(max_t / 2)};
         index::MinMax sync = session.counterExtrema(cpu, 1, iv);
         index::MinMax async =
-            session.submit(CounterExtremaQuery{cpu, 1, iv}).take();
+            session.submit(CounterExtremaQuery{{iv}, cpu, 1}).take();
         ASSERT_EQ(async.valid, sync.valid);
         if (sync.valid) {
             EXPECT_EQ(async.min, sync.min);
@@ -260,7 +260,7 @@ TEST(SessionAsync, SubmitCounterExtremaMatchesSync)
     session.setView({0, 77});
     index::MinMax sync_view = session.counterExtrema(0, 0);
     index::MinMax async_view =
-        session.submit(CounterExtremaQuery{0, 0, std::nullopt}).take();
+        session.submit(CounterExtremaQuery{{std::nullopt}, 0, 0}).take();
     EXPECT_EQ(async_view.valid, sync_view.valid);
     EXPECT_EQ(async_view.min, sync_view.min);
     EXPECT_EQ(async_view.max, sync_view.max);
@@ -331,7 +331,7 @@ TEST(SessionAsync, ViewBumpDoesNotCancelFilterKeyedQueries)
     // Task list and histogram are view-independent: panning must not
     // cancel them...
     auto list = session.submit(TaskListQuery{});
-    auto histogram = session.submit(HistogramQuery{8});
+    auto histogram = session.submit(HistogramQuery{{}, 8});
     session.setView({10, 40});
     gate->release();
     EXPECT_EQ(list.wait(), QueryStatus::Done);
@@ -341,7 +341,7 @@ TEST(SessionAsync, ViewBumpDoesNotCancelFilterKeyedQueries)
     // ...but a filter change does cancel them.
     auto filter_gate = std::make_shared<Gate>();
     occupyWorker(session, filter_gate);
-    auto stale = session.submit(HistogramQuery{8});
+    auto stale = session.submit(HistogramQuery{{}, 8});
     filter::FilterSet none_pass;
     none_pass.add(std::make_shared<filter::DurationFilter>(0, 1));
     session.setFilters(none_pass);

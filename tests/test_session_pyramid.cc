@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Property tests of the resolution-aware query plane: pyramid answers
+ * are bit-identical to the exact scan over the snapped interval,
+ * snapping stays within the requested budget, Resolution::Exact is
+ * bit-identical at every worker count, pyramids invalidate with the
+ * trace and share through SharedCaches, and the cooperative-yield
+ * plumbing (ThreadPool::runOneHighPriorityTask, ReadOptions::yield)
+ * behaves. Built with TSan and ASan+UBSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "base/resolution.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "daemon/client.h"
+#include "daemon/server.h"
+#include "index/summary_pyramid.h"
+#include "session/query.h"
+#include "session/session.h"
+#include "stats/interval_stats.h"
+#include "trace_builder.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace aftermath {
+namespace session {
+namespace {
+
+using test_support::buildRandomTrace;
+using test_support::RandomTraceOptions;
+
+/** The serial exact interval scan, as ground truth. */
+stats::IntervalStats
+serialIntervalStats(const trace::Trace &tr, const TimeInterval &interval)
+{
+    stats::IntervalStats out;
+    out.interval = interval;
+    for (CpuId c = 0; c < tr.numCpus(); c++) {
+        const auto &states = tr.cpu(c).states();
+        trace::SliceRange slice = tr.cpu(c).stateSlice(interval);
+        for (std::size_t i = slice.first; i < slice.last; i++)
+            out.timeInState[states[i].state] +=
+                states[i].interval.overlapDuration(interval);
+    }
+    for (const trace::TaskInstance &task : tr.taskInstances()) {
+        if (task.interval.overlaps(interval))
+            out.tasksOverlapping++;
+        if (interval.contains(task.interval.start))
+            out.tasksStarted++;
+    }
+    return out;
+}
+
+/**
+ * Equality of the aggregate payload. The exact state scan records
+ * zero-duration entries for states merely touched by the interval;
+ * the pyramid path does not, so zero entries are dropped on both
+ * sides before comparing (the documented caveat of the pyramid path).
+ */
+void
+expectSameAggregates(const stats::IntervalStats &a,
+                     const stats::IntervalStats &b)
+{
+    std::map<std::uint32_t, TimeStamp> nza, nzb;
+    for (const auto &[state, t] : a.timeInState)
+        if (t != 0)
+            nza[state] = t;
+    for (const auto &[state, t] : b.timeInState)
+        if (t != 0)
+            nzb[state] = t;
+    EXPECT_EQ(nza, nzb);
+    EXPECT_EQ(a.tasksStarted, b.tasksStarted);
+    EXPECT_EQ(a.tasksOverlapping, b.tasksOverlapping);
+}
+
+/** A random subinterval of @p span (possibly small, never empty). */
+TimeInterval
+randomInterval(Rng &rng, const TimeInterval &span)
+{
+    TimeStamp len = span.duration();
+    TimeStamp start = span.start + rng.nextBounded(len);
+    TimeStamp end = start + 1 + rng.nextBounded(len - (start - span.start));
+    return {start, end};
+}
+
+TEST(SummaryPyramid, BudgetAnswersEqualExactScanOfSnappedInterval)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+        RandomTraceOptions opts;
+        opts.cpus = 5;
+        opts.statesPerCpu = 400;
+        trace::Trace tr = buildRandomTrace(seed, opts);
+        Session session = Session::view(tr);
+        const TimeInterval span = tr.span();
+
+        Rng rng(seed * 31 + 1);
+        for (int trial = 0; trial < 25; trial++) {
+            TimeInterval interval = randomInterval(rng, span);
+            std::uint64_t budget = 1 + rng.nextBounded(span.duration());
+            Resolution res = Resolution::budget(budget);
+
+            stats::IntervalStats approx =
+                session
+                    .submit(IntervalStatsQuery{
+                        {interval, QueryPriority::Interactive, res}})
+                    .take();
+
+            const TimeStamp g =
+                session.pyramids()->granularityFor(res, interval);
+            if (g == 0) {
+                // Budget finer than a leaf: exact fallback.
+                EXPECT_TRUE(approx.resolution.exact);
+                EXPECT_EQ(approx.resolution.granularityNs, 0u);
+                EXPECT_EQ(approx.interval, interval);
+                expectSameAggregates(approx,
+                                     serialIntervalStats(tr, interval));
+                continue;
+            }
+
+            // The snapped interval covers the request, each edge moved
+            // by less than the granularity (and the granularity is
+            // within the budget).
+            EXPECT_LE(g, budget);
+            EXPECT_LE(approx.interval.start, interval.start);
+            EXPECT_GE(approx.interval.end, interval.end);
+            EXPECT_LT(interval.start - approx.interval.start, g);
+            EXPECT_LT(approx.interval.end - interval.end, g);
+            EXPECT_EQ(approx.interval,
+                      session.pyramids()->snap(interval, g));
+
+            // Bit-identical to the exact scan of the snapped interval.
+            expectSameAggregates(
+                approx, serialIntervalStats(tr, approx.interval));
+
+            // Provenance: granularity reported, exactness iff the snap
+            // was the identity.
+            EXPECT_EQ(approx.resolution.granularityNs, g);
+            EXPECT_EQ(approx.resolution.exact,
+                      approx.interval == interval);
+            EXPECT_GT(approx.resolution.nodesTouched, 0u);
+        }
+    }
+}
+
+TEST(SummaryPyramid, PixelsIsBudgetOfIntervalOverWidth)
+{
+    trace::Trace tr = buildRandomTrace(5);
+    Session session = Session::view(tr);
+    const TimeInterval span = tr.span();
+    const std::uint32_t width = 64;
+
+    stats::IntervalStats by_pixels =
+        session
+            .submit(IntervalStatsQuery{
+                {span, QueryPriority::Interactive,
+                 Resolution::pixels(width)}})
+            .take();
+    stats::IntervalStats by_budget =
+        session
+            .submit(IntervalStatsQuery{
+                {span, QueryPriority::Interactive,
+                 Resolution::budget(span.duration() / width)}})
+            .take();
+    EXPECT_EQ(by_pixels.interval, by_budget.interval);
+    expectSameAggregates(by_pixels, by_budget);
+    EXPECT_EQ(by_pixels.resolution.granularityNs,
+              by_budget.resolution.granularityNs);
+
+    // Width 0 is an exact request.
+    stats::IntervalStats w0 =
+        session
+            .submit(IntervalStatsQuery{
+                {span, QueryPriority::Interactive, Resolution::pixels(0)}})
+            .take();
+    EXPECT_TRUE(w0.resolution.exact);
+    expectSameAggregates(w0, serialIntervalStats(tr, span));
+}
+
+TEST(SummaryPyramid, ExactStaysBitIdenticalAtEveryWorkerCount)
+{
+    trace::Trace tr = buildRandomTrace(11);
+    const TimeInterval span = tr.span();
+    TimeInterval interval{span.start + 13, span.end - 7};
+    stats::IntervalStats expect = serialIntervalStats(tr, interval);
+
+    for (unsigned workers : {1u, 2u, 5u}) {
+        Session session = Session::view(tr);
+        session.setConcurrency({workers});
+        stats::IntervalStats got =
+            session.submit(IntervalStatsQuery{{interval}}).take();
+        EXPECT_EQ(got.timeInState, expect.timeInState) << workers;
+        EXPECT_EQ(got.tasksStarted, expect.tasksStarted) << workers;
+        EXPECT_EQ(got.tasksOverlapping, expect.tasksOverlapping)
+            << workers;
+        EXPECT_TRUE(got.resolution.exact);
+        EXPECT_EQ(got.resolution.granularityNs, 0u);
+    }
+}
+
+TEST(SummaryPyramid, ApproximateResultsAreNeverMemoized)
+{
+    trace::Trace tr = buildRandomTrace(17);
+    Session session = Session::view(tr);
+    const TimeInterval span = tr.span();
+    TimeInterval interval{span.start + 3, span.end - 5};
+    Resolution coarse = Resolution::budget(span.duration() / 4);
+
+    stats::IntervalStats approx =
+        session
+            .submit(IntervalStatsQuery{
+                {interval, QueryPriority::Interactive, coarse}})
+            .take();
+    ASSERT_GT(approx.resolution.granularityNs, 0u);
+
+    // The exact query over the same interval must not be served from
+    // anything the approximate pass left behind.
+    stats::IntervalStats exact =
+        session.submit(IntervalStatsQuery{{interval}}).take();
+    EXPECT_TRUE(exact.resolution.exact);
+    EXPECT_EQ(exact.interval, interval);
+    expectSameAggregates(exact, serialIntervalStats(tr, interval));
+}
+
+TEST(SummaryPyramid, CounterExtremaMatchExactOverSnappedInterval)
+{
+    trace::Trace tr = buildRandomTrace(23);
+    Session session = Session::view(tr);
+    const TimeInterval span = tr.span();
+    Rng rng(99);
+    for (int trial = 0; trial < 15; trial++) {
+        CpuId cpu = static_cast<CpuId>(rng.nextBounded(tr.numCpus()));
+        TimeInterval interval = randomInterval(rng, span);
+        Resolution res =
+            Resolution::budget(1 + rng.nextBounded(span.duration()));
+        index::MinMax approx =
+            session
+                .submit(CounterExtremaQuery{
+                    {interval, QueryPriority::Interactive, res}, cpu, 0})
+                .take();
+        TimeStamp g = session.pyramids()->granularityFor(res, interval);
+        TimeInterval probe =
+            g == 0 ? interval : session.pyramids()->snap(interval, g);
+        index::MinMax exact =
+            session.submit(CounterExtremaQuery{{probe}, cpu, 0}).take();
+        EXPECT_EQ(approx.valid, exact.valid);
+        if (exact.valid) {
+            EXPECT_EQ(approx.min, exact.min);
+            EXPECT_EQ(approx.max, exact.max);
+        }
+    }
+}
+
+TEST(SummaryPyramid, HistogramRestrictionMatchesExactOverSnappedInterval)
+{
+    trace::Trace tr = buildRandomTrace(29);
+    Session session = Session::view(tr);
+    const TimeInterval span = tr.span();
+    Rng rng(7);
+    for (int trial = 0; trial < 10; trial++) {
+        TimeInterval interval = randomInterval(rng, span);
+        Resolution res =
+            Resolution::budget(1 + rng.nextBounded(span.duration()));
+        stats::Histogram approx =
+            session
+                .submit(HistogramQuery{
+                    {interval, QueryPriority::Interactive, res}, 12})
+                .take();
+        TimeStamp g = session.pyramids()->granularityFor(res, interval);
+        TimeInterval probe =
+            g == 0 ? interval : session.pyramids()->snap(interval, g);
+        stats::Histogram exact =
+            session.submit(HistogramQuery{{probe}, 12}).take();
+        ASSERT_EQ(approx.numBins(), exact.numBins());
+        EXPECT_EQ(approx.rangeMin(), exact.rangeMin());
+        EXPECT_EQ(approx.rangeMax(), exact.rangeMax());
+        for (std::uint32_t bin = 0; bin < exact.numBins(); bin++)
+            EXPECT_EQ(approx.count(bin), exact.count(bin)) << bin;
+    }
+}
+
+TEST(SummaryPyramid, BuildQueryIsIdempotentAndAttributed)
+{
+    trace::Trace tr = buildRandomTrace(31);
+    Session session = Session::view(tr);
+    PyramidBuildStats first = session.submit(PyramidBuildQuery{}).take();
+    EXPECT_EQ(first.cpusVisited, tr.numCpus());
+    EXPECT_EQ(first.cpusBuilt, tr.numCpus());
+    PyramidBuildStats second = session.submit(PyramidBuildQuery{}).take();
+    EXPECT_EQ(second.cpusVisited, tr.numCpus());
+    EXPECT_EQ(second.cpusBuilt, 0u);
+}
+
+TEST(SummaryPyramid, SetTraceReplacesThePyramidStoreWholesale)
+{
+    trace::Trace before = buildRandomTrace(37);
+    Session session = Session::view(before);
+    session.submit(PyramidBuildQuery{}).take();
+    std::shared_ptr<index::TracePyramids> old = session.pyramids();
+
+    trace::Trace after = buildRandomTrace(41);
+    const TimeInterval span = after.span();
+    session.setTrace(std::move(after));
+    EXPECT_NE(session.pyramids().get(), old.get());
+
+    // Approximate queries answer from the *new* trace's pyramids.
+    TimeInterval interval{span.start + 1, span.end - 1};
+    Resolution res = Resolution::budget(span.duration() / 2);
+    stats::IntervalStats approx =
+        session
+            .submit(IntervalStatsQuery{
+                {interval, QueryPriority::Interactive, res}})
+            .take();
+    expectSameAggregates(
+        approx, serialIntervalStats(session.trace(), approx.interval));
+}
+
+TEST(SummaryPyramid, SharedCachesShareOnePyramidStore)
+{
+    auto tr = std::make_shared<const trace::Trace>(buildRandomTrace(43));
+    Session a(tr);
+    a.submit(PyramidBuildQuery{}).take();
+    Session b(tr);
+    b.adoptSharedCaches(a.sharedCaches());
+    EXPECT_EQ(a.pyramids().get(), b.pyramids().get());
+
+    const TimeInterval span = tr->span();
+    Resolution res = Resolution::budget(span.duration() / 8);
+    stats::IntervalStats via_b =
+        a.submit(IntervalStatsQuery{
+                     {span, QueryPriority::Interactive, res}})
+            .take();
+    expectSameAggregates(via_b,
+                         serialIntervalStats(*tr, via_b.interval));
+}
+
+TEST(SummaryPyramid, RenderAtPixelsResolutionReportsProvenance)
+{
+    trace::Trace tr = buildRandomTrace(47);
+    Session session = Session::view(tr);
+    render::TimelineConfig config;
+    config.view = tr.span();
+    // A granularity far coarser than a leaf guarantees the pyramid
+    // path engages for this viewport width.
+    render::Framebuffer fb(32, 64);
+    config.resolution = Resolution::pixels(32);
+    const render::RenderStats &stats = session.render(config, fb);
+    EXPECT_FALSE(stats.resolution.exact);
+    EXPECT_EQ(stats.resolution.granularityNs,
+              session.pyramids()->leafGranularity());
+    EXPECT_GT(stats.resolution.nodesTouched, 0u);
+
+    // Exact rendering is untouched by the pyramid plumbing.
+    render::Framebuffer exact_fb(32, 64);
+    render::TimelineConfig exact_config;
+    exact_config.view = tr.span();
+    const render::RenderStats &exact_stats =
+        session.render(exact_config, exact_fb);
+    EXPECT_TRUE(exact_stats.resolution.exact);
+    EXPECT_EQ(exact_stats.resolution.granularityNs, 0u);
+}
+
+TEST(SummaryPyramid, ThreadPoolRunsOneHighPriorityTaskOnDonorThread)
+{
+    base::ThreadPool pool(1);
+    // Park the only worker so High submissions stay queued.
+    std::atomic<bool> release{false};
+    std::atomic<bool> ran{false};
+    pool.submit([&release] {
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::yield();
+    });
+    pool.submit([&ran] { ran.store(true, std::memory_order_release); },
+                base::TaskPriority::High);
+
+    // The donor (this thread) runs the queued High task directly.
+    EXPECT_TRUE(pool.hasHighPriorityWork());
+    EXPECT_TRUE(pool.runOneHighPriorityTask());
+    EXPECT_TRUE(ran.load(std::memory_order_acquire));
+    EXPECT_FALSE(pool.hasHighPriorityWork());
+    EXPECT_FALSE(pool.runOneHighPriorityTask());
+    release.store(true, std::memory_order_release);
+    pool.wait();
+}
+
+TEST(SummaryPyramid, ReaderYieldHookFiresAtScanBatchBoundaries)
+{
+    RandomTraceOptions opts;
+    opts.cpus = 4;
+    opts.statesPerCpu = 1'200; // Comfortably over one 4096-frame batch.
+    trace::Trace tr = buildRandomTrace(53, opts);
+    std::vector<std::uint8_t> bytes =
+        trace::writeTrace(tr, trace::Encoding::Compact);
+
+    std::atomic<std::uint64_t> yields{0};
+    trace::ReadOptions options;
+    options.yield = [&yields] {
+        yields.fetch_add(1, std::memory_order_relaxed);
+    };
+    trace::ReadResult result = trace::readTrace(bytes, options);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(yields.load(), 0u);
+
+    // The hook is observational: the decoded trace is unchanged.
+    trace::ReadResult plain = trace::readTrace(bytes);
+    ASSERT_TRUE(plain.ok) << plain.error;
+    EXPECT_EQ(result.trace.taskInstances().size(),
+              plain.trace.taskInstances().size());
+}
+
+TEST(SummaryPyramid, DaemonCarriesResolutionAndProvenanceOverTheWire)
+{
+    using namespace aftermath::daemon;
+    trace::Trace built = buildRandomTrace(59);
+    std::vector<std::uint8_t> bytes =
+        trace::writeTrace(built, trace::Encoding::Raw);
+
+    Server server(Server::Options{2, 16});
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.adopt(server.connectInProcess(), error)) << error;
+
+    OpenTraceRequest open;
+    open.bytes =
+        std::make_shared<const std::vector<std::uint8_t>>(bytes);
+    Reply<OpenTraceReply> opened = client.openTrace(open);
+    ASSERT_TRUE(opened.ok()) << opened.message;
+    const TimeInterval span = opened.value.span;
+
+    // A local session over the same trace is the reference.
+    trace::ReadResult local_read = trace::readTrace(bytes);
+    ASSERT_TRUE(local_read.ok) << local_read.error;
+    Session local = Session::view(local_read.trace);
+
+    TimeInterval interval{span.start + 9, span.end - 11};
+    Resolution res = Resolution::budget(span.duration() / 3);
+
+    IntervalStatsRequest request;
+    request.head.traceId = opened.value.traceId;
+    request.interval = interval;
+    request.resolution = res;
+    Reply<stats::IntervalStats> remote = client.intervalStats(request);
+    ASSERT_TRUE(remote.ok()) << remote.message;
+
+    stats::IntervalStats expect =
+        local
+            .submit(IntervalStatsQuery{
+                {interval, QueryPriority::Interactive, res}})
+            .take();
+    EXPECT_EQ(remote.value.interval, expect.interval);
+    EXPECT_EQ(remote.value.timeInState, expect.timeInState);
+    EXPECT_EQ(remote.value.tasksStarted, expect.tasksStarted);
+    EXPECT_EQ(remote.value.tasksOverlapping, expect.tasksOverlapping);
+    EXPECT_EQ(remote.value.resolution.exact, expect.resolution.exact);
+    EXPECT_EQ(remote.value.resolution.granularityNs,
+              expect.resolution.granularityNs);
+
+    // Exact over the wire stays bit-identical to the local exact scan.
+    IntervalStatsRequest exact_request;
+    exact_request.head.traceId = opened.value.traceId;
+    exact_request.interval = interval;
+    Reply<stats::IntervalStats> remote_exact =
+        client.intervalStats(exact_request);
+    ASSERT_TRUE(remote_exact.ok()) << remote_exact.message;
+    stats::IntervalStats local_exact =
+        serialIntervalStats(local_read.trace, interval);
+    EXPECT_EQ(remote_exact.value.timeInState, local_exact.timeInState);
+    EXPECT_EQ(remote_exact.value.tasksStarted, local_exact.tasksStarted);
+    EXPECT_TRUE(remote_exact.value.resolution.exact);
+
+    // Render provenance rides the RenderReply.
+    TimelineRenderRequest render;
+    render.head.traceId = opened.value.traceId;
+    render.view = span;
+    render.width = 16;
+    render.height = 32;
+    render.resolution = Resolution::pixels(16);
+    Reply<RenderReply> frame = client.timelineRender(render);
+    ASSERT_TRUE(frame.ok()) << frame.message;
+    EXPECT_FALSE(frame.value.stats.resolution.exact);
+    EXPECT_GT(frame.value.stats.resolution.granularityNs, 0u);
+
+    client.closeTrace(opened.value.traceId);
+}
+
+} // namespace
+} // namespace session
+} // namespace aftermath

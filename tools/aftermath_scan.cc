@@ -14,6 +14,14 @@
  * side and answers the exact same ranked list, byte-identical to the
  * local scan, which is also how the daemon round-trip is demoed by
  * hand.
+ *
+ * With --resolution the tool additionally prints the interval
+ * statistics of the whole trace span at the requested resolution
+ * (exact, budget:<time-units>, or pixels:<columns>), including the
+ * provenance line telling whether the answer came from the summary
+ * pyramids and at what granularity — the quickest way to see the
+ * resolution-aware query plane at work on a real trace, locally or
+ * over the wire.
  */
 
 #include <cstdio>
@@ -43,7 +51,10 @@ usage(const char *argv0)
         "  --z SIGMA        duration-outlier z-score threshold "
         "(default 3.0)\n"
         "  --burst FACTOR   counter-burst rate factor (default 4.0)\n"
-        "  --idle FRACTION  idle-phase worker fraction (default 0.5)\n",
+        "  --idle FRACTION  idle-phase worker fraction (default 0.5)\n"
+        "  --resolution R   also print whole-span interval statistics\n"
+        "                   at resolution R: exact, budget:<time-units>\n"
+        "                   or pixels:<columns>\n",
         argv0);
 }
 
@@ -77,6 +88,51 @@ printFindings(const std::vector<aftermath::stats::Anomaly> &findings)
     }
 }
 
+/** Parse "exact", "budget:<ns>" or "pixels:<w>"; exits on garbage. */
+aftermath::Resolution
+parseResolution(const char *arg, const char *argv0)
+{
+    using aftermath::Resolution;
+    if (std::strcmp(arg, "exact") == 0)
+        return Resolution::exact();
+    if (std::strncmp(arg, "budget:", 7) == 0) {
+        char *end = nullptr;
+        unsigned long long ns = std::strtoull(arg + 7, &end, 10);
+        if (end != arg + 7 && *end == '\0')
+            return Resolution::budget(ns);
+    } else if (std::strncmp(arg, "pixels:", 7) == 0) {
+        char *end = nullptr;
+        unsigned long long w = std::strtoull(arg + 7, &end, 10);
+        if (end != arg + 7 && *end == '\0' && w <= 0xffffffffull)
+            return Resolution::pixels(static_cast<std::uint32_t>(w));
+    }
+    std::fprintf(stderr, "bad --resolution value: %s\n", arg);
+    usage(argv0);
+    std::exit(2);
+}
+
+void
+printIntervalStats(const aftermath::stats::IntervalStats &stats)
+{
+    std::printf("interval stats over [%llu, %llu):\n",
+                static_cast<unsigned long long>(stats.interval.start),
+                static_cast<unsigned long long>(stats.interval.end));
+    for (const auto &[state, time] : stats.timeInState)
+        std::printf("  state %2u: %llu (%.1f%%)\n", state,
+                    static_cast<unsigned long long>(time),
+                    100.0 * stats.stateFraction(state));
+    std::printf("  tasks started %llu, overlapping %llu\n",
+                static_cast<unsigned long long>(stats.tasksStarted),
+                static_cast<unsigned long long>(stats.tasksOverlapping));
+    std::printf("  resolution: %s, granularity %llu, %llu pyramid "
+                "nodes\n",
+                stats.resolution.exact ? "exact" : "approximate",
+                static_cast<unsigned long long>(
+                    stats.resolution.granularityNs),
+                static_cast<unsigned long long>(
+                    stats.resolution.nodesTouched));
+}
+
 } // namespace
 
 int
@@ -84,6 +140,8 @@ main(int argc, char **argv)
 {
     std::string trace_path;
     std::string socket_path;
+    bool want_stats = false;
+    aftermath::Resolution resolution;
     aftermath::stats::AnomalyScanOptions options;
 
     for (int i = 1; i < argc; i++) {
@@ -110,6 +168,10 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--idle") == 0) {
             options.idleWorkerFraction =
                 std::strtod(needValue("--idle"), nullptr);
+        } else if (std::strcmp(argv[i], "--resolution") == 0) {
+            want_stats = true;
+            resolution =
+                parseResolution(needValue("--resolution"), argv[0]);
         } else {
             usage(argv[0]);
             return 2;
@@ -145,6 +207,19 @@ main(int argc, char **argv)
             return 1;
         }
         printFindings(reply.value);
+        if (want_stats) {
+            aftermath::daemon::IntervalStatsRequest stats_request;
+            stats_request.head.traceId = opened.value.traceId;
+            stats_request.interval = opened.value.span;
+            stats_request.resolution = resolution;
+            auto stats = client.intervalStats(stats_request);
+            if (!stats.ok()) {
+                std::fprintf(stderr, "aftermath-scan: stats failed: %s\n",
+                             stats.message.c_str());
+                return 1;
+            }
+            printIntervalStats(stats.value);
+        }
         client.closeTrace(opened.value.traceId);
         return 0;
     }
@@ -160,5 +235,11 @@ main(int argc, char **argv)
     std::printf("%s: %u cpus, %zu task instances\n", trace_path.c_str(),
                 read.trace.numCpus(), read.trace.taskInstances().size());
     printFindings(session.scanForAnomalies(options));
+    if (want_stats) {
+        aftermath::session::IntervalStatsQuery query{
+            {session.trace().span(),
+             aftermath::session::QueryPriority::Interactive, resolution}};
+        printIntervalStats(session.submit(query).take());
+    }
     return 0;
 }
